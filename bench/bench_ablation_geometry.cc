@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation A3 — the joint PE-geometry / memory-access optimization of
+ * Section 5.4, run as an actual design-space sweep: every (T, S=N)
+ * candidate is checked against the constraint system (equations (15)),
+ * priced on the Cyclone V model, and timed with the analytic cycle
+ * model (cycle-exact against the simulator; see test_design_space).
+ * Prints the full sweep including *why* infeasible points fail, and
+ * the throughput/ALM Pareto frontier.
+ */
+
+#include "bench_util.hh"
+
+#include "accel/design_space.hh"
+
+using namespace vibnn;
+using namespace vibnn::accel;
+
+int
+main()
+{
+    bench::banner("Ablation A3",
+                  "Design-space sweep over PE geometry (Section 5.4 "
+                  "joint optimization), network 784-200-200-10");
+
+    const std::vector<std::size_t> layers{784, 200, 200, 10};
+    ExplorerOptions options;
+    options.peSetChoices = {2, 4, 8, 16, 24, 32, 64};
+    options.peSizeChoices = {4, 8, 16};
+    options.bitChoices = {8};
+    options.mcSamples = 8;
+
+    const auto points = exploreDesignSpace(layers, options);
+
+    TextTable table;
+    table.setHeader({"T", "S=N", "M", "cyc/pass", "Images/s", "Images/J",
+                     "util", "ALMs", "DSPs", "status"});
+    for (const auto &p : points) {
+        if (p.feasible) {
+            table.addRow(
+                {strfmt("%d", p.config.peSets),
+                 strfmt("%d", p.config.pesPerSet),
+                 strfmt("%d", p.config.totalPes()),
+                 strfmt("%llu",
+                        static_cast<unsigned long long>(p.cyclesPerPass)),
+                 strfmt("%.0f", p.imagesPerSecond),
+                 strfmt("%.0f", p.imagesPerJoule),
+                 strfmt("%.2f", p.utilization),
+                 strfmt("%.0f", p.estimate.total().alms),
+                 strfmt("%d", p.estimate.total().dsps), "ok"});
+        } else {
+            table.addRow({strfmt("%d", p.config.peSets),
+                          strfmt("%d", p.config.pesPerSet),
+                          strfmt("%d", p.config.totalPes()), "-", "-",
+                          "-", "-", "-", "-", p.reason});
+        }
+    }
+    table.print();
+
+    const auto frontier = paretoFrontier(points);
+    std::printf("\nThroughput/ALM Pareto frontier:\n");
+    TextTable front;
+    front.setHeader({"T", "S=N", "Images/s", "ALMs", "Images/J"});
+    for (std::size_t idx : frontier) {
+        const auto &p = points[idx];
+        front.addRow({strfmt("%d", p.config.peSets),
+                      strfmt("%d", p.config.pesPerSet),
+                      strfmt("%.0f", p.imagesPerSecond),
+                      strfmt("%.0f", p.estimate.total().alms),
+                      strfmt("%.0f", p.imagesPerJoule)});
+    }
+    front.print();
+
+    std::printf(
+        "\nReading: the paper's 16x8x8 point sits on (or near) the\n"
+        "frontier — larger word sizes violate equation (15b) before\n"
+        "they buy throughput, and more PE sets than min-layer chunks\n"
+        "violate the write-drain condition (14a). That is the Section\n"
+        "5.4 joint-optimization argument, reproduced mechanically.\n");
+    return 0;
+}

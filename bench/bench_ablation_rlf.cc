@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Ablation A1 (ours): which parts of the RLF-GRNG design actually buy
+ * output quality?
+ *
+ *  - update combining (equation (11) -> (12)): bounded step 3 -> 5;
+ *  - output multiplexing (Figure 8): per-port decorrelation;
+ *  - lane count: how wide the SeMem word must be before the pooled
+ *    stream looks iid.
+ *
+ * Reported per configuration: per-port lag-1 autocorrelation, serial
+ * stream runs pass rate, and windowed stability errors.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "grng/rlf_grng.hh"
+#include "stats/autocorr.hh"
+#include "stats/moments.hh"
+#include "stats/runs_test.hh"
+
+using namespace vibnn;
+using namespace vibnn::grng;
+
+namespace
+{
+
+struct Probe
+{
+    double portAc1;
+    double runsRate;
+    double muError;
+    double sigmaError;
+};
+
+Probe
+probe(RlfGrngConfig config)
+{
+    config.seed = envSeed();
+    Probe result{};
+
+    // Port-0 stream autocorrelation.
+    {
+        RlfGrng gen(config);
+        std::vector<int> cycle;
+        std::vector<double> port;
+        for (int c = 0; c < 4000; ++c) {
+            gen.nextCycleCounts(cycle);
+            port.push_back(gen.normalize(cycle[0]));
+        }
+        result.portAc1 = stats::autocorrelation(port, 1);
+    }
+    // Serial-stream runs + stability.
+    {
+        RlfGrng gen(config);
+        result.runsRate = stats::runsTestPassRate(
+            [&gen](std::vector<double> &buf) {
+                for (auto &x : buf)
+                    x = gen.next();
+            },
+            scaledCount(10000), scaledCount(40));
+        RlfGrng gen2(config);
+        std::vector<double> xs(scaledCount(1 << 18));
+        for (auto &x : xs)
+            x = gen2.next();
+        const auto s = stats::measureStability(xs, 4096);
+        result.muError = s.muError;
+        result.sigmaError = s.sigmaError;
+    }
+    return result;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation A1",
+                  "RLF-GRNG design knobs: update combining, output "
+                  "multiplexing, lane count");
+
+    TextTable table;
+    table.setHeader({"Configuration", "port ac(1)", "runs rate",
+                     "mu err", "sigma err"});
+
+    struct Case
+    {
+        const char *label;
+        RlfUpdateMode mode;
+        bool mux;
+        int lanes;
+    };
+    const Case cases[] = {
+        {"single-update, no mux, 8 lanes", RlfUpdateMode::Single, false,
+         8},
+        {"combined-update, no mux, 8 lanes", RlfUpdateMode::Combined,
+         false, 8},
+        {"combined-update, mux, 8 lanes", RlfUpdateMode::Combined, true,
+         8},
+        {"combined-update, mux, 16 lanes", RlfUpdateMode::Combined, true,
+         16},
+        {"combined-update, mux, 64 lanes", RlfUpdateMode::Combined, true,
+         64},
+    };
+
+    for (const auto &c : cases) {
+        RlfGrngConfig config;
+        config.mode = c.mode;
+        config.outputMux = c.mux;
+        config.lanes = c.lanes;
+        const auto p = probe(config);
+        table.addRow({c.label, strfmt("%+.3f", p.portAc1),
+                      strfmt("%.2f", p.runsRate),
+                      strfmt("%.4f", p.muError),
+                      strfmt("%.4f", p.sigmaError)});
+    }
+    table.print();
+
+    std::printf(
+        "\nReadings: without the output mux a port is a slow popcount\n"
+        "walk (ac ~ 0.97-0.98); the mux drops it to noise level. The\n"
+        "combined update roughly halves the walk's correlation time\n"
+        "(its purpose in Section 4.1.2). More lanes average the\n"
+        "windowed stability errors down.\n");
+    return 0;
+}

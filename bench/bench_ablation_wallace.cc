@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Ablation A2 (ours): the BNNWallace design space — sharing, shift
+ * selection, pass-phase rotation, pool size and unit count — against
+ * output quality and modeled hardware cost. This is the experimental
+ * backing for the "variable shift" design decision documented in
+ * bnn_wallace.hh.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "grng/bnn_wallace.hh"
+#include "hwmodel/grng_hw.hh"
+#include "stats/autocorr.hh"
+#include "stats/runs_test.hh"
+
+using namespace vibnn;
+using namespace vibnn::grng;
+
+namespace
+{
+
+double
+portPeakAc(const BnnWallaceConfig &config)
+{
+    BnnWallaceGrng gen(config);
+    std::vector<double> all, port;
+    const std::size_t cycles = scaledCount(20000);
+    for (std::size_t c = 0; c < cycles; ++c)
+        gen.nextCycle(all);
+    const std::size_t stride = 4 * config.units;
+    for (std::size_t i = 0; i < all.size(); i += stride)
+        port.push_back(all[i]);
+    double peak = 0.0;
+    for (std::size_t lag = 1;
+         lag <= static_cast<std::size_t>(config.poolSize) / 2 + 8; ++lag)
+        peak = std::max(peak,
+                        std::fabs(stats::autocorrelation(port, lag)));
+    return peak;
+}
+
+double
+runsRate(const BnnWallaceConfig &config)
+{
+    BnnWallaceGrng gen(config);
+    return stats::runsTestPassRate(
+        [&gen](std::vector<double> &buf) {
+            for (auto &x : buf)
+                x = gen.next();
+        },
+        scaledCount(20000), scaledCount(30));
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation A2",
+                  "BNNWallace design space: shift scheme, pool size, "
+                  "unit count vs quality and modeled cost");
+
+    TextTable table;
+    table.setHeader({"Configuration", "port peak |ac|", "runs rate",
+                     "mem bits (model)"});
+
+    struct Case
+    {
+        const char *label;
+        bool sharing;
+        bool variable;
+        int units;
+        int pool;
+    };
+    const Case cases[] = {
+        {"NSS (no sharing)", false, false, 8, 256},
+        {"fixed shift-1", true, false, 8, 256},
+        {"variable shift", true, true, 8, 256},
+        {"variable shift, pool 1024", true, true, 8, 1024},
+        {"variable shift, 16 units", true, true, 16, 256},
+        {"variable shift, 32 units", true, true, 32, 128},
+    };
+
+    for (const auto &c : cases) {
+        BnnWallaceConfig config;
+        config.sharingAndShifting = c.sharing;
+        config.variableShift = c.variable;
+        config.units = c.units;
+        config.poolSize = c.pool;
+        config.seed = envSeed();
+
+        hw::BnnWallaceHwConfig hw_config;
+        hw_config.units = c.units;
+        hw_config.poolSize = c.pool;
+        const auto estimate = bnnWallaceEstimate(hw_config);
+
+        table.addRow({c.label, strfmt("%.3f", portPeakAc(config)),
+                      strfmt("%.2f", runsRate(config)),
+                      strfmt("%lld",
+                             static_cast<long long>(
+                                 estimate.total().memoryBits))});
+    }
+    table.print();
+
+    std::printf(
+        "\nReadings: the fixed shift-by-one leaves the ~0.5 revisit\n"
+        "spike at a neighbouring lag (the system stays linear\n"
+        "time-invariant); the LFSR-selected variable shift removes it\n"
+        "at ~10 LUTs. Sharing more/smaller pools trades memory for\n"
+        "mixing — the paper's 2x memory-saving claim.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Extension bench E1 — Figure 16's small-data experiment transplanted
+ * to the convolutional domain. The paper asserts (Section 1) that
+ * VIBNN's principles "can be applied to CNNs and RNNs as well"; the
+ * load-bearing property is that a *Bayesian* network keeps its accuracy
+ * advantage when training data shrinks. This bench trains a
+ * point-estimate CNN and a Bayesian CNN (same LeNet-ish topology) on
+ * stratified fractions of synthetic MNIST and reports both curves —
+ * the conv analogue of Figure 16's FNN-vs-BNN comparison.
+ */
+
+#include "bench_util.hh"
+
+#include "bnn/bayesian_cnn.hh"
+#include "data/synth_mnist.hh"
+#include "nn/cnn.hh"
+
+using namespace vibnn;
+
+int
+main()
+{
+    const double scale = envScale();
+    const std::uint64_t seed = envSeed();
+    bench::banner("Extension E1",
+                  "Small-data accuracy, point-estimate CNN vs Bayesian "
+                  "CNN (Figure 16 protocol, conv domain)");
+
+    data::SynthMnistConfig mnist;
+    mnist.trainCount = static_cast<std::size_t>(384 * scale);
+    mnist.testCount = static_cast<std::size_t>(256 * scale);
+    mnist.seed = seed;
+    const auto dataset = data::makeSynthMnist(mnist);
+
+    const auto topology = nn::ConvNetConfig::lenetLike(10);
+    const double fractions[] = {1.0 / 8, 1.0 / 4, 1.0 / 2, 1.0};
+
+    TextTable table;
+    table.setHeader({"fraction", "train n", "CNN acc", "BayesCNN acc",
+                     "Bayes advantage"});
+
+    Rng frac_rng(seed + 11);
+    for (double fraction : fractions) {
+        const auto subset =
+            data::stratifiedFraction(dataset.train, fraction, frac_rng);
+
+        double cnn_acc;
+        {
+            Rng init(seed + 21);
+            nn::ConvNet net(topology, init);
+            nn::TrainConfig cfg;
+            cfg.epochs = 15;
+            cfg.batchSize = 16;
+            cfg.learningRate = 2e-3f;
+            cfg.seed = seed + 22;
+            trainConvNet(net, subset.view(), cfg);
+            cnn_acc = evaluateAccuracy(net, dataset.test.view());
+        }
+
+        double bcnn_acc;
+        {
+            Rng init(seed + 31);
+            bnn::BayesianConvNet net(topology, init, -5.0f);
+            bnn::BnnTrainConfig cfg;
+            cfg.epochs = 15;
+            cfg.batchSize = 16;
+            cfg.learningRate = 2e-3f;
+            cfg.priorSigma = 0.3f;
+            // Tempered KL, as in the Figure 16 / Table 7 benches (see
+            // DESIGN.md finding 6).
+            cfg.klWeight = 0.3f;
+            cfg.evalSamples = 8;
+            cfg.seed = seed + 32;
+            trainBcnn(net, subset.view(), cfg);
+            bcnn_acc = evaluateBcnnAccuracy(net, dataset.test.view(), 8,
+                                            seed + 33);
+        }
+
+        table.addRow({strfmt("%.3f", fraction),
+                      strfmt("%zu", subset.count()),
+                      strfmt("%.4f", cnn_acc), strfmt("%.4f", bcnn_acc),
+                      strfmt("%+.4f", bcnn_acc - cnn_acc)});
+        std::printf("  done: fraction %.3f (n=%zu) CNN %.3f BCNN %.3f\n",
+                    fraction, subset.count(), cnn_acc, bcnn_acc);
+    }
+    table.print();
+
+    std::printf(
+        "\nPaper's claim (Figure 16, FNN-vs-BNN): \"BNN performances\n"
+        "much better as training data size shrinks\". Measured here:\n"
+        "the Bayesian CNN holds a small edge at the sub-50%% fractions\n"
+        "and concedes at full data — the paper's *shape*, but far\n"
+        "smaller in magnitude than the MLP experiment, because conv\n"
+        "weight sharing already regularizes what the Bayesian ensemble\n"
+        "would otherwise have to: the overfitting the BNN rescues the\n"
+        "784-200-200-10 MLP from largely never happens to a LeNet.\n"
+        "This is an honest deviation, analyzed in EXPERIMENTS.md.\n");
+    return 0;
+}

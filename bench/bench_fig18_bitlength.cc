@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 18: test accuracy of the hardware path as a
+ * function of the operand bit-length B, plus the paper's binary-search
+ * selection of the smallest B above the 97.5%-of-software threshold
+ * (Section 5.2 settles on 8 bits).
+ */
+
+#include "bench_util.hh"
+#include "core/vibnn.hh"
+#include "data/synth_mnist.hh"
+
+using namespace vibnn;
+
+int
+main()
+{
+    bench::banner("Figure 18",
+                  "Hardware test accuracy vs operand bit-length "
+                  "(synthetic MNIST)");
+
+    data::SynthMnistConfig mnist_config;
+    mnist_config.trainCount = scaledCount(1200);
+    mnist_config.testCount = scaledCount(300);
+    mnist_config.seed = envSeed();
+    const auto ds = data::makeSynthMnist(mnist_config);
+
+    // Train one BNN, then requantize it at every bit-length.
+    bnn::BnnTrainConfig train_config;
+    train_config.epochs = scaledCount(4);
+    train_config.batchSize = 32;
+    train_config.learningRate = 1e-3f;
+    train_config.priorSigma = 0.3f;
+    train_config.seed = envSeed() + 41;
+
+    accel::AcceleratorConfig base_config;
+    base_config.mcSamples = 4;
+    const auto sys = core::VibnnSystem::train(ds, {200, 200},
+                                              train_config, base_config,
+                                              "rlf");
+    const double software_acc =
+        sys.softwareAccuracy(ds.test.view(), 8, envSeed() + 42);
+    const double threshold = 0.975 * software_acc;
+    std::printf("software BNN accuracy: %.4f -> threshold %.4f "
+                "(97.5%% of software, the paper's criterion)\n",
+                software_acc, threshold);
+
+    TextTable table;
+    table.setHeader({"Bit-length", "Hardware accuracy",
+                     "meets threshold"});
+    int smallest_passing = -1;
+    for (int bits : {2, 3, 4, 5, 6, 7, 8, 10, 12, 16}) {
+        accel::AcceleratorConfig config = base_config;
+        config.bits = bits;
+        core::VibnnSystem quantized(sys.network(), config, "rlf",
+                                    envSeed() + 43);
+        const double acc = quantized.hardwareAccuracy(ds.test.view());
+        const bool ok = acc >= threshold;
+        if (ok && smallest_passing < 0)
+            smallest_passing = bits;
+        table.addRow({strfmt("%d", bits), strfmt("%.4f", acc),
+                      ok ? "yes" : "no"});
+        std::printf("  done: B=%d acc=%.4f\n", bits, acc);
+    }
+    table.print();
+
+    std::printf("\nsmallest bit-length meeting the threshold: %d "
+                "(paper: 8)\n", smallest_passing);
+    return 0;
+}

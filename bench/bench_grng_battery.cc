@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Extension bench S2 — the Figure 15 methodology widened from one
+ * instrument (the runs test) to a five-test randomness battery (runs,
+ * Ljung-Box, KS, chi-square, Anderson-Darling), applied to every
+ * generator in the registry. Shape tests run twice: raw, and dithered
+ * within the generator's own output lattice (estimated from the
+ * stream), separating "the 8-bit grid is visible" from "the underlying
+ * distribution is wrong".
+ */
+
+#include <algorithm>
+
+#include "bench_util.hh"
+#include "grng/registry.hh"
+#include "stats/battery.hh"
+
+using namespace vibnn;
+using namespace vibnn::stats;
+
+namespace
+{
+
+/** Smallest positive gap between sorted sample values — the output
+ *  lattice step for discrete generators, ~0 for continuous ones. */
+double
+estimateLatticeStep(grng::GaussianGenerator &gen)
+{
+    std::vector<double> probe(4096);
+    gen.fill(probe);
+    std::sort(probe.begin(), probe.end());
+    double step = 0.0;
+    for (std::size_t i = 1; i < probe.size(); ++i) {
+        const double gap = probe[i] - probe[i - 1];
+        if (gap > 1e-9 && (step == 0.0 || gap < step))
+            step = gap;
+    }
+    // Continuous generators: gaps are O(1/n), not a lattice.
+    return step > 1e-4 ? step : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = envScale();
+    const std::uint64_t seed = envSeed();
+    bench::banner("Survey S2 (extension)",
+                  "Five-test randomness battery over all generators "
+                  "(Figure 15 widened)");
+
+    BatteryConfig config;
+    config.samplesPerTest = 10000;
+    config.repetitions =
+        std::max<std::size_t>(5, static_cast<std::size_t>(20 * scale));
+    config.seed = seed + 5;
+
+    TextTable table;
+    table.setHeader({"Generator", "runs", "ljung-box", "ks(raw)",
+                     "chi2(raw)", "AD(raw)", "ks(dith)", "AD(dith)",
+                     "lattice"});
+
+    for (const auto &id : grng::generatorIds()) {
+        auto gen = grng::makeGenerator(id, seed + 17);
+        const double step = estimateLatticeStep(*gen);
+
+        auto generate = [&](std::vector<double> &out) {
+            gen->fill(out);
+        };
+
+        auto raw_config = config;
+        raw_config.ditherStep = 0.0;
+        const auto raw = runBattery(generate, raw_config);
+
+        auto dith_config = config;
+        dith_config.ditherStep = step;
+        // Fresh generator so both runs see from-reset streams.
+        auto gen2 = grng::makeGenerator(id, seed + 17);
+        auto generate2 = [&](std::vector<double> &out) {
+            gen2->fill(out);
+        };
+        const auto dith = runBattery(generate2, dith_config);
+
+        table.addRow({id, strfmt("%.2f", raw.row("runs").passRate),
+                      strfmt("%.2f", raw.row("ljung-box").passRate),
+                      strfmt("%.2f", raw.row("ks").passRate),
+                      strfmt("%.2f", raw.row("chi-square").passRate),
+                      strfmt("%.2f", raw.row("anderson-darling").passRate),
+                      strfmt("%.2f", dith.row("ks").passRate),
+                      strfmt("%.2f",
+                             dith.row("anderson-darling").passRate),
+                      step > 0.0 ? strfmt("%.4f", step) : "cont."});
+    }
+    table.print();
+
+    std::printf(
+        "\nReading: pass rates are fractions of %zu repetitions at "
+        "alpha=0.05\n(~0.95 expected for an ideal generator; 0.00 = "
+        "systematic failure).\n"
+        "The battery sharpens the Figure 15 story (see EXPERIMENTS.md):\n"
+        " - software baselines and BNNWallace pass the shape tests; the\n"
+        "   RLF family's 8-bit binomial lattice plus its bounded-step\n"
+        "   walk (DESIGN.md finding 3) fail shape *and* order tests on\n"
+        "   the pooled stream at n=10k — Ljung-Box sees what the runs\n"
+        "   test only partially sees, quantifying why the paper's\n"
+        "   output multiplexers alone do not make the stream iid.\n"
+        " - Wallace-NSS fails the order tests outright (its Figure 15\n"
+        "   row); BNNWallace passes shape but its 256-entry-per-unit\n"
+        "   logical pool leaves residual order structure at this n,\n"
+        "   consistent with the fig15 bench's pool-size sweep.\n"
+        " - the lattice/dither columns separate 'the 8-bit grid is\n"
+        "   visible' (an intended quantization) from 'the distribution\n"
+        "   is wrong' (a real failure).\n",
+        config.repetitions);
+    return 0;
+}

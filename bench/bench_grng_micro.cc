@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Host-side GRNG throughput microbenchmark (google-benchmark): cost
+ * per sample of every generator in the registry, plus the RLF micro
+ * model. Software context for the hardware designs; the FPGA-side
+ * throughput story lives in bench_table2/bench_table5.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "grng/registry.hh"
+#include "grng/lfsr.hh"
+#include "grng/rlf.hh"
+
+using namespace vibnn::grng;
+
+namespace
+{
+
+void
+BM_Generator(benchmark::State &state, const std::string &id)
+{
+    auto gen = makeGenerator(id, 42);
+    double sink = 0.0;
+    for (auto _ : state)
+        sink += gen->next();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_RlfMicroModel(benchmark::State &state)
+{
+    RlfLogicMicro micro(255, expandSeedBits(255, 7));
+    int sink = 0;
+    for (auto _ : state)
+        sink += micro.step();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // anonymous namespace
+
+BENCHMARK_CAPTURE(BM_Generator, rlf, std::string("rlf"));
+BENCHMARK_CAPTURE(BM_Generator, bnnwallace, std::string("bnnwallace"));
+BENCHMARK_CAPTURE(BM_Generator, wallace_nss, std::string("wallace-nss"));
+BENCHMARK_CAPTURE(BM_Generator, wallace_sw_1024,
+                  std::string("wallace-1024"));
+BENCHMARK_CAPTURE(BM_Generator, clt_lfsr, std::string("clt-lfsr"));
+BENCHMARK_CAPTURE(BM_Generator, box_muller, std::string("box-muller"));
+BENCHMARK_CAPTURE(BM_Generator, polar, std::string("polar"));
+BENCHMARK_CAPTURE(BM_Generator, ziggurat, std::string("ziggurat"));
+BENCHMARK_CAPTURE(BM_Generator, cdf_inversion,
+                  std::string("cdf-inversion"));
+BENCHMARK(BM_RlfMicroModel);

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension bench S1 — the quantitative version of the paper's Section
+ * 2.3 argument: across the four hardware GRNG families (Malik & Hemani
+ * taxonomy), only the CLT family (RLF) and the recursion family
+ * (Wallace) deliver 64 samples/cycle without spending the DSP
+ * multipliers and deep elementary-function pipelines that the inversion
+ * and transformation families require — hardware the PE array needs for
+ * itself (Table 4 shows 342/342 DSP usage by the network).
+ */
+
+#include "bench_util.hh"
+#include "hwmodel/cyclonev.hh"
+#include "hwmodel/grng_survey.hh"
+
+using namespace vibnn;
+using namespace vibnn::hw;
+
+int
+main()
+{
+    bench::banner("Survey S1 (extension)",
+                  "Hardware cost of the four GRNG families of Section "
+                  "2.3, 64-parallel generation task");
+
+    SurveyGrngConfig config; // 64 lanes, 8-bit samples, 16-bit datapath
+
+    TextTable table;
+    table.setHeader({"Family", "Design", "ALMs", "Registers", "Mem bits",
+                     "DSPs", "Fmax MHz", "Power mW", "Samples/cycle"});
+    for (const auto &row : grngSurvey(config)) {
+        const auto total = row.estimate.total();
+        table.addRow({row.family, row.design, strfmt("%.0f", total.alms),
+                      strfmt("%.0f", total.registers),
+                      strfmt("%lld",
+                             static_cast<long long>(total.memoryBits)),
+                      strfmt("%d", total.dsps),
+                      strfmt("%.1f", row.estimate.fmaxMhz),
+                      strfmt("%.1f", row.estimate.powerMw),
+                      strfmt("%s%.1f",
+                             row.deterministicRate ? "" : "~",
+                             row.samplesPerCycle)});
+    }
+    table.print();
+
+    std::printf(
+        "\nDSP budget context: the device has %d DSP blocks and the\n"
+        "paper's PE array uses all of them (Table 4). A GRNG family\n"
+        "that needs DSPs competes directly with the MAC datapath.\n",
+        CycloneVDevice::totalDsps);
+
+    std::printf(
+        "\nPaper's claim (Section 2.3): \"we believe the CLT-based\n"
+        "methods and the Wallace method to be the most appropriate\n"
+        "choices for hardware neural network acceleration ... the\n"
+        "lower computation overhead\". The table above quantifies\n"
+        "that choice on this repo's calibrated Cyclone V model: the\n"
+        "two selected families are the only ones with zero DSP usage\n"
+        "and the smallest soft-logic footprint, and the rejection\n"
+        "family additionally breaks the free-running one-sample-per-\n"
+        "cycle contract the weight generator requires.\n");
+    return 0;
+}

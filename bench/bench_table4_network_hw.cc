@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Table 4: FPGA resource utilization of the full VIBNN
+ * accelerator (16 PE-sets x 8 PEs x 8 inputs, 8-bit operands,
+ * 784-200-200-10 network) for both GRNG choices.
+ */
+
+#include "bench_util.hh"
+#include "hwmodel/cyclonev.hh"
+#include "hwmodel/network_hw.hh"
+
+using namespace vibnn;
+using namespace vibnn::hw;
+
+int
+main()
+{
+    bench::banner("Table 4",
+                  "Full-network FPGA utilization, 16x8x8 @ 8-bit, "
+                  "784-200-200-10");
+
+    NetworkHwConfig config;
+    config.grng = GrngKind::Rlf;
+    const auto rlf = networkEstimate(config);
+    config.grng = GrngKind::BnnWallace;
+    const auto wal = networkEstimate(config);
+
+    const auto rt = rlf.total();
+    const auto wt = wal.total();
+    const double total_alms = CycloneVDevice::totalAlms;
+    const double total_bits = CycloneVDevice::totalMemoryBits;
+
+    TextTable table;
+    table.setHeader({"Metric", "RLF-based (model)", "RLF (paper)",
+                     "Wallace-based (model)", "Wallace (paper)"});
+    table.addRow({"Total ALMs",
+                  strfmt("%.0f (%.1f%%)", rt.alms,
+                         100.0 * rt.alms / total_alms),
+                  "98,006 (86.3%)",
+                  strfmt("%.0f (%.1f%%)", wt.alms,
+                         100.0 * wt.alms / total_alms),
+                  "91,126 (80.2%)"});
+    table.addRow({"Total DSPs", strfmt("%d (100%%)", rt.dsps),
+                  "342 (100%)", strfmt("%d (100%%)", wt.dsps),
+                  "342 (100%)"});
+    table.addRow({"Total Registers", strfmt("%.0f", rt.registers),
+                  "88,720", strfmt("%.0f", wt.registers), "78,800"});
+    table.addRow({"Block Memory Bits",
+                  strfmt("%lld (%.1f%%)",
+                         static_cast<long long>(rt.memoryBits),
+                         100.0 * rt.memoryBits / total_bits),
+                  "4,572,928 (36.6%)",
+                  strfmt("%lld (%.1f%%)",
+                         static_cast<long long>(wt.memoryBits),
+                         100.0 * wt.memoryBits / total_bits),
+                  "4,880,128 (39.1%)"});
+    table.print();
+
+    std::printf("\nItemized (RLF-based):\n");
+    for (const auto &c : rlf.components) {
+        std::printf("  %-26s ALMs %8.0f  regs %7.0f  bits %9lld  "
+                    "DSP %3d\n",
+                    c.label.c_str(), c.resources.alms,
+                    c.resources.registers,
+                    static_cast<long long>(c.resources.memoryBits),
+                    c.resources.dsps);
+    }
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduces Table 5: throughput and energy efficiency on the MNIST
+ * network (784-200-200-10).
+ *
+ *  - FPGA rows: cycles/image measured on the cycle-level simulator,
+ *    clock and power from the calibrated Cyclone V model.
+ *  - CPU row: measured on this machine (single-thread software BNN,
+ *    one MC pass per image, the same workload the accelerator executes
+ *    per pass); energy uses the paper's CPU TDP assumption (91 W for
+ *    the i7-6700k class).
+ *  - GPU row: no GPU exists in this environment; the paper's reported
+ *    numbers are printed as reference constants (substitution
+ *    documented in DESIGN.md).
+ */
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "accel/simulator.hh"
+#include "bnn/bayesian_mlp.hh"
+#include "grng/registry.hh"
+#include "hwmodel/network_hw.hh"
+
+using namespace vibnn;
+
+int
+main()
+{
+    bench::banner("Table 5",
+                  "Throughput / energy on the MNIST network "
+                  "(one Monte-Carlo pass per image)");
+
+    // Timing does not depend on trained weights; an initialized
+    // network exercises exactly the same datapath.
+    Rng rng(envSeed());
+    bnn::BayesianMlp net({784, 200, 200, 10}, rng);
+    accel::AcceleratorConfig config; // 16 x 8 x 8 @ 8-bit
+    const auto quantized = accel::quantizeNetwork(net, config);
+
+    // --- FPGA: cycle-level simulation ---------------------------------
+    auto gen = grng::makeGenerator("rlf", envSeed());
+    accel::Simulator sim(quantized, config, gen.get());
+    std::vector<float> image(784, 0.5f);
+    const std::size_t sim_images = scaledCount(20);
+    for (std::size_t i = 0; i < sim_images; ++i)
+        sim.runPass(image.data());
+    const double cycles = sim.stats().cyclesPerPass();
+
+    hw::NetworkHwConfig hw_config;
+    hw_config.grng = hw::GrngKind::Rlf;
+    const auto rlf_design = networkEstimate(hw_config);
+    hw_config.grng = hw::GrngKind::BnnWallace;
+    const auto wal_design = networkEstimate(hw_config);
+    const auto rlf_perf = performanceFromCycles(rlf_design, cycles);
+    const auto wal_perf = performanceFromCycles(wal_design, cycles);
+
+    // --- CPU: measured on this host ------------------------------------
+    std::vector<float> logits(10);
+    auto ws = net.makeWorkspace();
+    Rng eps_rng(envSeed() + 1);
+    auto eps = [&eps_rng] { return eps_rng.gaussian(); };
+    const std::size_t cpu_images = scaledCount(400);
+    bench::Stopwatch cpu_clock;
+    for (std::size_t i = 0; i < cpu_images; ++i)
+        net.sampledForward(image.data(), logits.data(), ws, eps);
+    const double cpu_seconds = cpu_clock.seconds();
+    const double cpu_throughput =
+        static_cast<double>(cpu_images) / cpu_seconds;
+    const double cpu_tdp_w = 91.0; // i7-6700k class TDP (modeled)
+    const double cpu_energy = cpu_throughput / cpu_tdp_w;
+
+    TextTable table;
+    table.setHeader({"Configuration", "Throughput (Images/s)",
+                     "Energy (Images/J)", "source"});
+    table.addRow({"Intel i7-6700k (paper)", "10478.1", "115.1",
+                  "paper reference"});
+    table.addRow({"CPU on this host (measured)",
+                  strfmt("%.1f", cpu_throughput),
+                  strfmt("%.1f", cpu_energy),
+                  strfmt("measured, TDP %.0f W model", cpu_tdp_w)});
+    table.addRow({"Nvidia GTX1070 (paper)", "27988.1", "186.6",
+                  "paper reference (no GPU here)"});
+    table.addRow({"RLF-based FPGA (model)",
+                  strfmt("%.1f", rlf_perf.imagesPerSecond),
+                  strfmt("%.1f", rlf_perf.imagesPerJoule),
+                  strfmt("sim %.0f cyc @ %.1f MHz, %.2f W", cycles,
+                         rlf_perf.fsysMhz, rlf_perf.powerMw / 1000)});
+    table.addRow({"RLF-based FPGA (paper)", "321543.4", "52694.8",
+                  "paper reference"});
+    table.addRow({"BNNWallace-based FPGA (model)",
+                  strfmt("%.1f", wal_perf.imagesPerSecond),
+                  strfmt("%.1f", wal_perf.imagesPerJoule),
+                  strfmt("sim %.0f cyc @ %.1f MHz, %.2f W", cycles,
+                         wal_perf.fsysMhz, wal_perf.powerMw / 1000)});
+    table.addRow({"BNNWallace-based FPGA (paper)", "321543.4", "37722.1",
+                  "paper reference"});
+    table.print();
+
+    std::printf(
+        "\nSimulator detail: %.0f cycles/pass, PE utilization %.1f%%,\n"
+        "GRN samples per pass %.0f, speedup over this host's CPU %.0fx\n",
+        cycles,
+        100.0 * sim.stats().utilization(config.totalPes(),
+                                        config.peInputs()),
+        static_cast<double>(sim.stats().grnSamples) /
+            static_cast<double>(sim.stats().images),
+        rlf_perf.imagesPerSecond / cpu_throughput);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures:
+ * it prints the measured values next to the paper's reported ones, and
+ * honours two environment knobs:
+ *   VIBNN_SCALE — multiplies workload sizes (default 1 = laptop scale;
+ *                 see EXPERIMENTS.md for what each scale covers),
+ *   VIBNN_SEED  — master seed.
+ */
+
+#ifndef VIBNN_BENCH_BENCH_UTIL_HH
+#define VIBNN_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/env.hh"
+#include "common/table.hh"
+
+namespace vibnn::bench
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("==============================================================\n");
+    std::printf("VIBNN reproduction — %s\n", artifact.c_str());
+    std::printf("%s\n", description.c_str());
+    std::printf("scale=%.2f seed=%llu\n", envScale(),
+                static_cast<unsigned long long>(envSeed()));
+    std::printf("==============================================================\n");
+}
+
+/** Wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace vibnn::bench
+
+#endif // VIBNN_BENCH_BENCH_UTIL_HH

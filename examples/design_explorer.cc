@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Design-space exploration for a user-supplied network — the Section
+ * 5.4 joint-optimization flow as a user would actually run it: describe
+ * the network, enumerate PE geometries under the paper's constraint
+ * system, and pick a deployment point off the throughput/ALM Pareto
+ * frontier.
+ *
+ * Run:  ./build/examples/design_explorer [in hidden... out]
+ *       (defaults to the paper's 784-200-200-10)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "accel/design_space.hh"
+
+using namespace vibnn;
+using namespace vibnn::accel;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::size_t> layers{784, 200, 200, 10};
+    if (argc > 1) {
+        layers.clear();
+        for (int i = 1; i < argc; ++i) {
+            const long v = std::strtol(argv[i], nullptr, 10);
+            if (v <= 0) {
+                std::fprintf(stderr, "bad layer size: %s\n", argv[i]);
+                return 1;
+            }
+            layers.push_back(static_cast<std::size_t>(v));
+        }
+        if (layers.size() < 2) {
+            std::fprintf(stderr, "need at least input and output\n");
+            return 1;
+        }
+    }
+
+    std::printf("network:");
+    for (std::size_t s : layers)
+        std::printf(" %zu", s);
+    std::printf("\n\n");
+
+    ExplorerOptions options;
+    options.peSetChoices = {2, 4, 8, 16, 32};
+    options.peSizeChoices = {4, 8, 16};
+    options.bitChoices = {8};
+    options.mcSamples = 8;
+
+    const auto points = exploreDesignSpace(layers, options);
+    const auto frontier = paretoFrontier(points);
+
+    std::size_t feasible = 0;
+    for (const auto &p : points)
+        feasible += p.feasible ? 1 : 0;
+    std::printf("%zu candidates, %zu feasible, %zu on the "
+                "throughput/ALM Pareto frontier:\n\n",
+                points.size(), feasible, frontier.size());
+
+    std::printf("%4s %5s %10s %12s %10s %10s %6s\n", "T", "S=N",
+                "cyc/pass", "images/s", "images/J", "ALMs", "util");
+    for (std::size_t idx : frontier) {
+        const auto &p = points[idx];
+        std::printf("%4d %5d %10llu %12.0f %10.0f %10.0f %6.2f\n",
+                    p.config.peSets, p.config.pesPerSet,
+                    static_cast<unsigned long long>(p.cyclesPerPass),
+                    p.imagesPerSecond, p.imagesPerJoule,
+                    p.estimate.total().alms, p.utilization);
+    }
+
+    // Recommend the highest-throughput feasible point that still fits
+    // comfortably (< 90% ALMs).
+    const DesignPoint *best = nullptr;
+    for (std::size_t idx : frontier) {
+        const auto &p = points[idx];
+        if (p.estimate.total().alms < 0.9 * 113560 &&
+            (!best || p.imagesPerSecond > best->imagesPerSecond)) {
+            best = &p;
+        }
+    }
+    if (best) {
+        std::printf("\nrecommended deployment: T=%d PE-sets of S=N=%d "
+                    "(%.0f images/s at %.1f MHz, %.0f mW)\n",
+                    best->config.peSets, best->config.pesPerSet,
+                    best->imagesPerSecond, best->estimate.fmaxMhz,
+                    best->estimate.powerMw);
+    }
+
+    std::printf("\nwhy the rest of the space is closed:\n");
+    std::size_t shown = 0;
+    for (const auto &p : points) {
+        if (!p.feasible && shown < 4) {
+            std::printf("  T=%d S=N=%d: %s\n", p.config.peSets,
+                        p.config.pesPerSet, p.reason.c_str());
+            ++shown;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GRNG playground: draw from every Gaussian generator in the library,
+ * print an ASCII histogram and the headline statistics. A quick way to
+ * *see* the difference between the hardware designs and the software
+ * baselines.
+ *
+ * Run:  ./build/examples/grng_playground [generator-id ...]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "grng/registry.hh"
+#include "stats/histogram.hh"
+#include "stats/ks_test.hh"
+#include "stats/moments.hh"
+#include "stats/runs_test.hh"
+
+using namespace vibnn;
+
+namespace
+{
+
+void
+showGenerator(const std::string &id)
+{
+    auto gen = grng::makeGenerator(id, 20180324);
+    std::vector<double> xs(100000);
+    for (auto &x : xs)
+        x = gen->next();
+
+    stats::RunningMoments m;
+    m.add(xs);
+    const auto runs = stats::runsTest(
+        std::vector<double>(xs.begin(), xs.begin() + 10000));
+    const auto ks = stats::ksTestStandardNormal(xs);
+
+    std::printf("\n--- %s ---\n", gen->name().c_str());
+    std::printf("mean %+.4f  stddev %.4f  skew %+.3f  ex.kurtosis "
+                "%+.3f\n",
+                m.mean(), m.stddev(), m.skewness(), m.excessKurtosis());
+    std::printf("runs test z=%+.2f (%s)   KS D=%.4f\n", runs.z,
+                runs.passed ? "pass" : "FAIL", ks.statistic);
+
+    stats::Histogram hist(-4.0, 4.0, 17);
+    hist.add(xs);
+    std::fputs(hist.renderAscii(48).c_str(), stdout);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> ids;
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            ids.emplace_back(argv[i]);
+    } else {
+        ids = {"rlf", "bnnwallace", "wallace-nss", "wallace-1024",
+               "clt-lfsr", "ziggurat"};
+    }
+    for (const auto &id : ids)
+        showGenerator(id);
+
+    std::printf("\n(all generator ids: ");
+    for (const auto &id : grng::generatorIds())
+        std::printf("%s ", id.c_str());
+    std::printf(")\n");
+    return 0;
+}

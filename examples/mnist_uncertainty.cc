@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Uncertainty on image classification — the "why BNNs" demo.
+ *
+ * Trains a compact BNN on synthetic MNIST, then shows the predictive
+ * entropy (the uncertainty estimate conventional networks lack) on
+ * three kinds of inputs: clean digits, heavily corrupted digits, and
+ * pure noise. The entropy rises with corruption — exactly the
+ * behaviour that lets a deployed system say "I don't know".
+ *
+ * Run:  ./build/examples/mnist_uncertainty
+ */
+
+#include <cstdio>
+
+#include "bnn/bnn_trainer.hh"
+#include "data/synth_mnist.hh"
+
+using namespace vibnn;
+
+int
+main()
+{
+    data::SynthMnistConfig mnist_config;
+    mnist_config.trainCount = 1500;
+    mnist_config.testCount = 300;
+    mnist_config.seed = 20180324;
+    const auto ds = data::makeSynthMnist(mnist_config);
+
+    Rng rng(3);
+    bnn::BayesianMlp net({784, 100, 10}, rng);
+    bnn::BnnTrainConfig config;
+    config.epochs = 8;
+    config.batchSize = 32;
+    config.learningRate = 1e-3f;
+    config.seed = 5;
+    std::printf("training a 784-100-10 BNN on %zu synthetic digits...\n",
+                ds.train.count());
+    trainBnn(net, ds.train.view(), config);
+    std::printf("test accuracy (8-sample MC ensemble): %.2f%%\n\n",
+                100 * evaluateBnnAccuracy(net, ds.test.view(), 8, 11));
+
+    // Show one clean digit.
+    const float *clean = ds.test.sample(0);
+    std::printf("a clean test digit (label %d):\n%s\n",
+                ds.test.labels[0], data::asciiDigit(clean).c_str());
+
+    Rng noise_rng(17);
+    auto corrupted = [&](double noise_level) {
+        std::vector<float> img(clean, clean + 784);
+        for (auto &p : img) {
+            p = static_cast<float>(
+                std::clamp(p + noise_rng.gaussian(0.0, noise_level),
+                           0.0, 1.0));
+        }
+        return img;
+    };
+
+    Rng eps_rng(23);
+    std::printf("predictive entropy vs input corruption "
+                "(64 MC samples):\n");
+    std::printf("  %-28s %8s\n", "input", "entropy");
+    std::printf("  %-28s %8.4f\n", "clean digit",
+                net.predictiveEntropy(clean, 64, eps_rng));
+    for (double noise : {0.2, 0.5, 1.0}) {
+        const auto img = corrupted(noise);
+        std::printf("  noise sigma = %-14.1f %8.4f\n", noise,
+                    net.predictiveEntropy(img.data(), 64, eps_rng));
+    }
+    {
+        std::vector<float> pure_noise(784);
+        for (auto &p : pure_noise)
+            p = static_cast<float>(noise_rng.uniform());
+        std::printf("  %-28s %8.4f\n", "uniform pixel noise",
+                    net.predictiveEntropy(pure_noise.data(), 64,
+                                          eps_rng));
+    }
+    std::printf("\n(max possible entropy for 10 classes: ln 10 = "
+                "2.3026)\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+#include "accel/config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace vibnn::accel
+{
+
+fixed::FixedPointFormat
+AcceleratorConfig::activationFormat() const
+{
+    return {bits, std::max(1, bits - 4)};
+}
+
+fixed::FixedPointFormat
+AcceleratorConfig::weightFormat() const
+{
+    return {bits, std::max(1, bits - 2)};
+}
+
+fixed::FixedPointFormat
+AcceleratorConfig::epsFormat() const
+{
+    return {8, 5};
+}
+
+void
+AcceleratorConfig::validate(
+    const std::vector<std::size_t> &layer_sizes) const
+{
+    VIBNN_ASSERT(peSets >= 1 && pesPerSet >= 1, "degenerate geometry");
+    VIBNN_ASSERT(bits >= 2 && bits <= 16, "operand width out of range");
+
+    // Equation (15b): the per-set WPMem word B*N*S must fit the
+    // device's maximum word size (we take MaxWS = 1024 bits, a
+    // realistic striped-M10K word).
+    constexpr int max_ws = 1024;
+    const int word = bits * peInputs() * pesPerSet;
+    if (word > max_ws) {
+        fatal(strfmt("WPMem word %d exceeds MaxWS %d (equation 15b)",
+                     word, max_ws));
+    }
+
+    // Write-drain feasibility: each round produces T words for the
+    // idle IFMem, drained one per cycle while the next round computes
+    // for ceil(in/N) cycles. (The paper's equation (14a) prints this
+    // with an extra factor S; as written it would reject the paper's
+    // own 16x8x8 configuration, so we implement the version that
+    // matches the architecture's intent.)
+    std::size_t min_in = layer_sizes.front();
+    for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i)
+        min_in = std::min(min_in, layer_sizes[i]);
+    const std::size_t chunks =
+        (min_in + peInputs() - 1) / peInputs();
+    if (static_cast<std::size_t>(peSets) > chunks) {
+        fatal(strfmt("PE sets (%d) exceed min rounds-per-layer (%zu); "
+                     "IFMem write-back cannot drain (equation 14a)",
+                     peSets, chunks));
+    }
+}
+
+std::vector<std::size_t>
+QuantizedNetwork::layerSizes() const
+{
+    std::vector<std::size_t> sizes;
+    sizes.push_back(layers.front().inDim);
+    for (const auto &layer : layers)
+        sizes.push_back(layer.outDim);
+    return sizes;
+}
+
+QuantizedNetwork
+quantizeNetwork(const bnn::BayesianMlp &net,
+                const AcceleratorConfig &config)
+{
+    QuantizedNetwork q;
+    q.activationFormat = config.activationFormat();
+    q.weightFormat = config.weightFormat();
+    q.epsFormat = config.epsFormat();
+
+    for (const auto &layer : net.layers()) {
+        QuantizedLayer ql;
+        ql.inDim = layer.inDim();
+        ql.outDim = layer.outDim();
+
+        const auto &mu = layer.muWeight().data();
+        const auto &rho = layer.rhoWeight().data();
+        ql.muWeight.resize(mu.size());
+        ql.sigmaWeight.resize(mu.size());
+        for (std::size_t i = 0; i < mu.size(); ++i) {
+            ql.muWeight[i] = static_cast<std::int32_t>(
+                q.weightFormat.fromReal(mu[i]));
+            ql.sigmaWeight[i] = static_cast<std::int32_t>(
+                q.weightFormat.fromReal(
+                    bnn::VariationalDense::sigmaOf(rho[i])));
+        }
+
+        ql.muBias.resize(layer.muBias().size());
+        ql.sigmaBias.resize(layer.muBias().size());
+        for (std::size_t i = 0; i < layer.muBias().size(); ++i) {
+            ql.muBias[i] = static_cast<std::int32_t>(
+                q.weightFormat.fromReal(layer.muBias()[i]));
+            ql.sigmaBias[i] = static_cast<std::int32_t>(
+                q.weightFormat.fromReal(
+                    bnn::VariationalDense::sigmaOf(layer.rhoBias()[i])));
+        }
+        q.layers.push_back(std::move(ql));
+    }
+    return q;
+}
+
+} // namespace vibnn::accel

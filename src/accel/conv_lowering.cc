@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Conv-on-accelerator lowering (see conv_lowering.hh).
+ */
+
+#include "accel/conv_lowering.hh"
+
+#include "accel/design_space.hh"
+#include "common/logging.hh"
+
+namespace vibnn::accel
+{
+
+QuantizedNetwork
+quantizeConvLayer(const bnn::VariationalConv2d &layer,
+                  const AcceleratorConfig &config)
+{
+    QuantizedNetwork q;
+    q.activationFormat = config.activationFormat();
+    q.weightFormat = config.weightFormat();
+    q.epsFormat = config.epsFormat();
+
+    QuantizedLayer ql;
+    ql.inDim = layer.spec().patchSize();
+    ql.outDim = layer.spec().outChannels;
+
+    const auto &mu = layer.muWeight().data();
+    const auto &rho = layer.rhoWeight().data();
+    ql.muWeight.resize(mu.size());
+    ql.sigmaWeight.resize(mu.size());
+    for (std::size_t i = 0; i < mu.size(); ++i) {
+        ql.muWeight[i] =
+            static_cast<std::int32_t>(q.weightFormat.fromReal(mu[i]));
+        ql.sigmaWeight[i] = static_cast<std::int32_t>(
+            q.weightFormat.fromReal(
+                bnn::VariationalConv2d::sigmaOf(rho[i])));
+    }
+
+    ql.muBias.resize(layer.muBias().size());
+    ql.sigmaBias.resize(layer.muBias().size());
+    for (std::size_t i = 0; i < layer.muBias().size(); ++i) {
+        ql.muBias[i] = static_cast<std::int32_t>(
+            q.weightFormat.fromReal(layer.muBias()[i]));
+        ql.sigmaBias[i] = static_cast<std::int32_t>(
+            q.weightFormat.fromReal(
+                bnn::VariationalConv2d::sigmaOf(layer.rhoBias()[i])));
+    }
+    q.layers.push_back(std::move(ql));
+    return q;
+}
+
+ConvLayerRunner::ConvLayerRunner(const bnn::VariationalConv2d &layer,
+                                 const AcceleratorConfig &config,
+                                 grng::GaussianGenerator *generator,
+                                 bool apply_relu)
+    : spec_(layer.spec()), config_(config), applyRelu_(apply_relu),
+      lowered_(quantizeConvLayer(layer, config))
+{
+    VIBNN_ASSERT(spec_.valid(), "invalid conv geometry");
+    sim_ = std::make_unique<Simulator>(lowered_, config_, generator);
+    patchReal_.resize(spec_.patchSize());
+}
+
+std::vector<std::int64_t>
+ConvLayerRunner::runPass(const float *x)
+{
+    nn::im2col(spec_, x, patches_);
+    const std::size_t positions = spec_.positions();
+    const std::size_t channels = spec_.outChannels;
+    std::vector<std::int64_t> out(spec_.outputSize());
+
+    for (std::size_t p = 0; p < positions; ++p) {
+        const float *patch = patches_.row(p);
+        // One simulator pass per output position: the patch is this
+        // position's "image", the filter bank its dense layer.
+        const auto raw = sim_->runPass(patch);
+        for (std::size_t oc = 0; oc < channels; ++oc) {
+            std::int64_t v = raw[oc];
+            // The simulator finishes a single-layer network on the
+            // no-ReLU output path; clamping after the floor-shift is
+            // arithmetically identical to the PE's finishNeuron ReLU
+            // (the test suite pins this equality down).
+            if (applyRelu_ && v < 0)
+                v = 0;
+            out[oc * positions + p] = v;
+        }
+    }
+    return out;
+}
+
+std::vector<float>
+ConvLayerRunner::runPassReal(const float *x)
+{
+    const auto raw = runPass(x);
+    std::vector<float> real(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        real[i] = static_cast<float>(
+            lowered_.activationFormat.toReal(raw[i]));
+    }
+    return real;
+}
+
+std::uint64_t
+ConvLayerRunner::cyclesPerConvPass() const
+{
+    const std::vector<std::size_t> sizes{spec_.patchSize(),
+                                         spec_.outChannels};
+    return spec_.positions() * predictPassCycles(sizes, config_);
+}
+
+} // namespace vibnn::accel

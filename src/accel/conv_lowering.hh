@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Convolution-on-accelerator lowering.
+ *
+ * The paper's Section 1 claims VIBNN's design principles "are
+ * orthogonal to the optimization techniques on convolutional layers"
+ * — i.e. the PE array + weight generator serve CNNs too. This module
+ * makes that concrete with the standard im2col mapping: one output
+ * *position* of a conv layer is a dense neuron bank (outChannels
+ * neurons of patchSize inputs), so a conv layer executes as
+ * positions() time-multiplexed passes of a single-layer dense network
+ * on the unmodified cycle simulator. The weight generator samples a
+ * fresh w = mu + sigma*eps per position-pass from the same WPMem
+ * planes — the hardware analogue of drawing an independent filter
+ * sample per receptive field (a *local* reparameterization in hardware
+ * terms; the software direct estimator shares one filter sample across
+ * positions, and the tests pin down both semantics).
+ *
+ * The host-side im2col gather plays the memory distributor's role;
+ * everything from the IFMem word reads to the PE accumulate/ReLU runs
+ * in the simulator, so cycle counts and arithmetic are the machine's.
+ */
+
+#ifndef VIBNN_ACCEL_CONV_LOWERING_HH
+#define VIBNN_ACCEL_CONV_LOWERING_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/simulator.hh"
+#include "bnn/variational_conv.hh"
+#include "grng/generator.hh"
+#include "nn/conv.hh"
+
+namespace vibnn::accel
+{
+
+/**
+ * Lower one variational conv layer to a single-layer quantized dense
+ * network: outDim = outChannels, inDim = patchSize, with the filter
+ * (mu, sigma) planes quantized on the config's grids.
+ */
+QuantizedNetwork quantizeConvLayer(const bnn::VariationalConv2d &layer,
+                                   const AcceleratorConfig &config);
+
+/** One conv layer running on the cycle simulator. */
+class ConvLayerRunner
+{
+  public:
+    /**
+     * @param layer The trained variational conv layer (quantized here).
+     * @param config Accelerator geometry (validated against the
+     *        lowered layer).
+     * @param generator GRNG feeding the weight generator (not owned).
+     * @param apply_relu Apply the PE output stage's ReLU (hidden conv
+     *        layers); false for a terminal layer.
+     */
+    ConvLayerRunner(const bnn::VariationalConv2d &layer,
+                    const AcceleratorConfig &config,
+                    grng::GaussianGenerator *generator,
+                    bool apply_relu = true);
+
+    /**
+     * Run one sampled pass over a CHW input image: im2col on the host,
+     * one simulator pass per output position, outputs collected into
+     * CHW maps on the activation grid.
+     * @param x Input maps, spec().inputSize() floats.
+     * @return Raw activation-grid values, spec().outputSize() entries.
+     */
+    std::vector<std::int64_t> runPass(const float *x);
+
+    /** Real-valued view of runPass (activation grid -> floats). */
+    std::vector<float> runPassReal(const float *x);
+
+    /** Simulator statistics (cycles accumulate across passes). */
+    const CycleStats &stats() const { return sim_->stats(); }
+
+    const nn::ConvSpec &spec() const { return spec_; }
+
+    /** Cycles one full conv pass costs: positions x dense-pass cost. */
+    std::uint64_t cyclesPerConvPass() const;
+
+  private:
+    nn::ConvSpec spec_;
+    AcceleratorConfig config_;
+    bool applyRelu_;
+    QuantizedNetwork lowered_;
+    std::unique_ptr<Simulator> sim_;
+    nn::Matrix patches_;
+    std::vector<float> patchReal_;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_CONV_LOWERING_HH

@@ -1,0 +1,127 @@
+#include "accel/functional.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+#include "nn/tensor.hh"
+
+namespace vibnn::accel
+{
+
+FunctionalRunner::FunctionalRunner(const QuantizedNetwork &network,
+                                   const AcceleratorConfig &config,
+                                   grng::GaussianGenerator *generator)
+    : network_(network), config_(config), kernel_(network),
+      weightGen_(kernel_, generator)
+{
+    config_.validate(network_.layerSizes());
+}
+
+std::vector<std::int64_t>
+FunctionalRunner::runPass(const float *x)
+{
+    const int t_sets = config_.peSets;
+    const int s_pes = config_.pesPerSet;
+    const int n = config_.peInputs();
+    const int m = config_.totalPes();
+    const auto &act = network_.activationFormat;
+
+    // Quantize the input onto the activation grid, padded to a whole
+    // number of N-wide words (as the IFMem stores it).
+    const std::size_t in_dim = network_.inputDim();
+    const std::size_t padded =
+        (in_dim + n - 1) / n * static_cast<std::size_t>(n);
+    bufferA_.assign(padded, 0);
+    for (std::size_t i = 0; i < in_dim; ++i)
+        bufferA_[i] = act.fromReal(x[i]);
+
+    for (std::size_t li = 0; li < network_.layers.size(); ++li) {
+        const auto &layer = network_.layers[li];
+        const bool output_layer = li + 1 == network_.layers.size();
+        const std::size_t rounds = (layer.outDim + m - 1) / m;
+        const std::size_t chunks = (layer.inDim + n - 1) / n;
+        const std::size_t out_padded =
+            (layer.outDim + n - 1) / n * static_cast<std::size_t>(n);
+        bufferB_.assign(std::max<std::size_t>(out_padded, n), 0);
+
+        // Accumulators for the M in-flight neurons of a round.
+        std::vector<std::int64_t> acc(m);
+
+        for (std::size_t r = 0; r < rounds; ++r) {
+            std::fill(acc.begin(), acc.end(), 0);
+            for (std::size_t c = 0; c < chunks; ++c) {
+                const std::int64_t *inputs = bufferA_.data() + c * n;
+                for (int t = 0; t < t_sets; ++t) {
+                    for (int s = 0; s < s_pes; ++s) {
+                        const std::size_t pe =
+                            static_cast<std::size_t>(t) * s_pes + s;
+                        const std::size_t neuron = r * m + pe;
+                        std::int64_t sum = 0;
+                        for (int k = 0; k < n; ++k) {
+                            // eps is consumed for every lane every
+                            // chunk — identical order to the cycle
+                            // simulator.
+                            std::int64_t mu = 0, sg = 0;
+                            const std::size_t input =
+                                c * static_cast<std::size_t>(n) + k;
+                            if (neuron < layer.outDim &&
+                                input < layer.inDim) {
+                                const std::size_t idx =
+                                    neuron * layer.inDim + input;
+                                mu = layer.muWeight[idx];
+                                sg = layer.sigmaWeight[idx];
+                            }
+                            const std::int64_t w =
+                                weightGen_.sample(mu, sg);
+                            sum += w * inputs[k];
+                        }
+                        acc[pe] += sum;
+                    }
+                }
+            }
+            for (int pe = 0; pe < m; ++pe) {
+                const std::size_t neuron = r * m + pe;
+                if (neuron >= layer.outDim)
+                    continue;
+                const std::int64_t value =
+                    output_layer
+                        ? kernel_.finishOutputNeuron(
+                              acc[pe], layer.muBias[neuron])
+                        : kernel_.finishNeuron(acc[pe],
+                                               layer.muBias[neuron]);
+                bufferB_[neuron] = value;
+            }
+        }
+        bufferA_.swap(bufferB_);
+    }
+
+    bufferA_.resize(network_.outputDim());
+    return bufferA_;
+}
+
+std::size_t
+FunctionalRunner::classify(const float *x, float *probs)
+{
+    const std::size_t out_dim = network_.outputDim();
+    std::vector<float> acc(out_dim, 0.0f);
+    std::vector<float> logits(out_dim);
+    const auto &act = network_.activationFormat;
+
+    for (int s = 0; s < config_.mcSamples; ++s) {
+        const auto raw = runPass(x);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            logits[i] = static_cast<float>(act.toReal(raw[i]));
+        nn::softmax(logits.data(), out_dim);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            acc[i] += logits[i];
+    }
+    const float inv = 1.0f / static_cast<float>(config_.mcSamples);
+    for (auto &p : acc)
+        p *= inv;
+    if (probs)
+        std::copy(acc.begin(), acc.end(), probs);
+    return nn::argmax(acc.data(), acc.size());
+}
+
+} // namespace vibnn::accel

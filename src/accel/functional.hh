@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fast functional model of the accelerator datapath.
+ *
+ * Bit-exact with the cycle-level Simulator (a ctest asserts this): it
+ * consumes GRNG samples in the identical (layer, round, chunk, set, pe,
+ * lane) order and runs the identical DatapathKernel arithmetic, but
+ * skips the memory modeling and cycle accounting. Accuracy benches
+ * (Tables 6/7, Figure 18) evaluate thousands of images x MC samples;
+ * this path makes that feasible while the Simulator provides the
+ * timing for Table 5 on a sample of images.
+ */
+
+#ifndef VIBNN_ACCEL_FUNCTIONAL_HH
+#define VIBNN_ACCEL_FUNCTIONAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/weight_generator.hh"
+
+namespace vibnn::accel
+{
+
+/** Functional (untimed) quantized inference engine. */
+class FunctionalRunner
+{
+  public:
+    FunctionalRunner(const QuantizedNetwork &network,
+                     const AcceleratorConfig &config,
+                     grng::GaussianGenerator *generator);
+
+    /** One forward pass; raw outputs on the activation grid. */
+    std::vector<std::int64_t> runPass(const float *x);
+
+    /** MC-ensemble classification (equation (6)). */
+    std::size_t classify(const float *x, float *probs = nullptr);
+
+    const QuantizedNetwork &network() const { return network_; }
+
+  private:
+    QuantizedNetwork network_;
+    AcceleratorConfig config_;
+    DatapathKernel kernel_;
+    WeightGenerator weightGen_;
+    std::vector<std::int64_t> bufferA_, bufferB_;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_FUNCTIONAL_HH

@@ -1,0 +1,4 @@
+#include "accel/pe.hh"
+
+// Pe is header-only arithmetic plus statistics; this translation unit
+// anchors the class for the library.

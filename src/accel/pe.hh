@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Processing element (paper Figure 11): an N-input MAC (multipliers +
+ * adder tree) feeding an accumulator, bias adder and ReLU, organized as
+ * a three-stage pipeline. The arithmetic lives in DatapathKernel; this
+ * class adds the accumulator state and the MAC statistics.
+ */
+
+#ifndef VIBNN_ACCEL_PE_HH
+#define VIBNN_ACCEL_PE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/config.hh"
+
+namespace vibnn::accel
+{
+
+/** One time-multiplexed neuron processor. */
+class Pe
+{
+  public:
+    explicit Pe(const DatapathKernel &kernel) : kernel_(kernel) {}
+
+    /** Reset the accumulator for a new neuron. */
+    void
+    startNeuron()
+    {
+        accumulator_ = 0;
+    }
+
+    /**
+     * One MAC chunk: multiply `count` sampled weights with inputs and
+     * fold into the accumulator (stage 1 + stage 2 of the pipeline).
+     */
+    void
+    macChunk(const std::int64_t *weights, const std::int32_t *inputs,
+             int count)
+    {
+        std::int64_t sum = 0;
+        for (int i = 0; i < count; ++i)
+            sum += weights[i] * inputs[i];
+        accumulator_ += sum;
+        macs_ += static_cast<std::uint64_t>(count);
+    }
+
+    /** Stage 3: bias + ReLU + requantize (hidden layers). */
+    std::int64_t
+    finish(std::int64_t bias_raw, bool output_layer) const
+    {
+        return output_layer
+                   ? kernel_.finishOutputNeuron(accumulator_, bias_raw)
+                   : kernel_.finishNeuron(accumulator_, bias_raw);
+    }
+
+    /** Pipeline latency in cycles: multiply, accumulate, activate. */
+    static constexpr int pipelineDepth = 3;
+
+    std::int64_t accumulator() const { return accumulator_; }
+    std::uint64_t macCount() const { return macs_; }
+
+  private:
+    DatapathKernel kernel_;
+    std::int64_t accumulator_ = 0;
+    std::uint64_t macs_ = 0;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_PE_HH

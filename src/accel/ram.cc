@@ -1,0 +1,55 @@
+#include "accel/ram.hh"
+
+#include "common/logging.hh"
+
+namespace vibnn::accel
+{
+
+DualPortRam::DualPortRam(std::string name, std::size_t depth,
+                         std::size_t lanes)
+    : name_(std::move(name)), lanes_(lanes),
+      words_(depth, RamWord(lanes, 0))
+{
+    VIBNN_ASSERT(depth > 0 && lanes > 0, "degenerate RAM " << name_);
+}
+
+void
+DualPortRam::beginCycle()
+{
+    readsThisCycle_ = 0;
+    writesThisCycle_ = 0;
+}
+
+const RamWord &
+DualPortRam::read(std::size_t address)
+{
+    VIBNN_ASSERT(address < words_.size(),
+                 name_ << ": read address " << address << " out of range");
+    VIBNN_ASSERT(++readsThisCycle_ <= 1,
+                 name_ << ": read port oversubscribed in one cycle");
+    ++totalReads_;
+    return words_[address];
+}
+
+void
+DualPortRam::write(std::size_t address, const RamWord &word)
+{
+    VIBNN_ASSERT(address < words_.size(),
+                 name_ << ": write address " << address
+                       << " out of range");
+    VIBNN_ASSERT(word.size() == lanes_, name_ << ": word width mismatch");
+    VIBNN_ASSERT(++writesThisCycle_ <= 1,
+                 name_ << ": write port oversubscribed in one cycle");
+    ++totalWrites_;
+    words_[address] = word;
+}
+
+RamWord &
+DualPortRam::backdoor(std::size_t address)
+{
+    VIBNN_ASSERT(address < words_.size(),
+                 name_ << ": backdoor address out of range");
+    return words_[address];
+}
+
+} // namespace vibnn::accel

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Word-addressable simple-dual-port RAM model.
+ *
+ * Models the on-chip memories of the accelerator (IFMems, WPMems) at
+ * word granularity: one read port and one write port, each usable at
+ * most once per cycle — the budget the paper's banking schemes are
+ * designed around. beginCycle() opens a new accounting window; reads
+ * and writes outside the budget trip a VIBNN_ASSERT, so scheduling bugs
+ * in the controller fail loudly in tests instead of silently producing
+ * impossible hardware.
+ */
+
+#ifndef VIBNN_ACCEL_RAM_HH
+#define VIBNN_ACCEL_RAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vibnn::accel
+{
+
+/** A word of raw fixed-point values. */
+using RamWord = std::vector<std::int32_t>;
+
+/** Simple dual-port RAM of `depth` words x `lanes` values. */
+class DualPortRam
+{
+  public:
+    /**
+     * @param name Diagnostic label.
+     * @param depth Word count.
+     * @param lanes Values per word.
+     */
+    DualPortRam(std::string name, std::size_t depth, std::size_t lanes);
+
+    /** Open a new cycle window (resets the per-cycle port budget). */
+    void beginCycle();
+
+    /** Read the word at `address` through the read port. */
+    const RamWord &read(std::size_t address);
+
+    /** Write the word at `address` through the write port. */
+    void write(std::size_t address, const RamWord &word);
+
+    /** Backdoor access (initialization / checking), no port charge. */
+    RamWord &backdoor(std::size_t address);
+
+    std::size_t depth() const { return words_.size(); }
+    std::size_t lanes() const { return lanes_; }
+    const std::string &name() const { return name_; }
+
+    std::uint64_t totalReads() const { return totalReads_; }
+    std::uint64_t totalWrites() const { return totalWrites_; }
+
+  private:
+    std::string name_;
+    std::size_t lanes_;
+    std::vector<RamWord> words_;
+    int readsThisCycle_ = 0;
+    int writesThisCycle_ = 0;
+    std::uint64_t totalReads_ = 0;
+    std::uint64_t totalWrites_ = 0;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_RAM_HH

@@ -1,0 +1,281 @@
+#include "accel/simulator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+#include "nn/tensor.hh"
+
+namespace vibnn::accel
+{
+
+double
+CycleStats::utilization(int total_pes, int pe_inputs) const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    const double peak = static_cast<double>(totalCycles) * total_pes *
+        pe_inputs;
+    return static_cast<double>(macs) / peak;
+}
+
+double
+CycleStats::cyclesPerPass() const
+{
+    if (images == 0)
+        return 0.0;
+    return static_cast<double>(totalCycles) /
+        static_cast<double>(images);
+}
+
+Simulator::Simulator(const QuantizedNetwork &network,
+                     const AcceleratorConfig &config,
+                     grng::GaussianGenerator *generator)
+    : network_(network), config_(config), kernel_(network),
+      weightGen_(kernel_, generator)
+{
+    config_.validate(network_.layerSizes());
+
+    const int n = config_.peInputs();
+    for (int p = 0; p < config_.totalPes(); ++p)
+        pes_.emplace_back(kernel_);
+
+    // IFMems sized for the widest layer.
+    std::size_t widest = 0;
+    for (std::size_t w : network_.layerSizes())
+        widest = std::max(widest, w);
+    const std::size_t if_depth = (widest + n - 1) / n;
+    ifmems_[0] =
+        std::make_unique<DualPortRam>("IFMem1", if_depth, n);
+    ifmems_[1] =
+        std::make_unique<DualPortRam>("IFMem2", if_depth, n);
+
+    packWpmems();
+}
+
+void
+Simulator::packWpmems()
+{
+    const int t_sets = config_.peSets;
+    const int s_pes = config_.pesPerSet;
+    const int n = config_.peInputs();
+    const int m = config_.totalPes();
+
+    // Total words per WPMem across all layers.
+    std::size_t depth = 0;
+    layerWpBase_.clear();
+    for (const auto &layer : network_.layers) {
+        layerWpBase_.push_back(depth);
+        const std::size_t rounds = (layer.outDim + m - 1) / m;
+        const std::size_t chunks = (layer.inDim + n - 1) / n;
+        depth += rounds * chunks;
+    }
+
+    const std::size_t lanes = static_cast<std::size_t>(s_pes) * n;
+    for (int t = 0; t < t_sets; ++t) {
+        wpmemMu_.push_back(std::make_unique<DualPortRam>(
+            "WPMem" + std::to_string(t + 1) + ".mu", depth, lanes));
+        wpmemSigma_.push_back(std::make_unique<DualPortRam>(
+            "WPMem" + std::to_string(t + 1) + ".sigma", depth, lanes));
+    }
+
+    // Pack: word (layer, round, chunk) for set t holds, for each PE s
+    // in the set, the N parameters of neuron round*M + t*S + s over
+    // inputs [chunk*N, chunk*N + N).
+    for (std::size_t li = 0; li < network_.layers.size(); ++li) {
+        const auto &layer = network_.layers[li];
+        const std::size_t rounds = (layer.outDim + m - 1) / m;
+        const std::size_t chunks = (layer.inDim + n - 1) / n;
+        for (std::size_t r = 0; r < rounds; ++r) {
+            for (std::size_t c = 0; c < chunks; ++c) {
+                const std::size_t addr =
+                    layerWpBase_[li] + r * chunks + c;
+                for (int t = 0; t < t_sets; ++t) {
+                    RamWord &mu = wpmemMu_[t]->backdoor(addr);
+                    RamWord &sg = wpmemSigma_[t]->backdoor(addr);
+                    for (int s = 0; s < s_pes; ++s) {
+                        const std::size_t neuron =
+                            r * m + static_cast<std::size_t>(t) * s_pes +
+                            s;
+                        for (int k = 0; k < n; ++k) {
+                            const std::size_t input = c * n + k;
+                            std::int32_t mv = 0, sv = 0;
+                            if (neuron < layer.outDim &&
+                                input < layer.inDim) {
+                                const std::size_t idx =
+                                    neuron * layer.inDim + input;
+                                mv = layer.muWeight[idx];
+                                sv = layer.sigmaWeight[idx];
+                            }
+                            mu[s * n + k] = mv;
+                            sg[s * n + k] = sv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Simulator::runLayer(std::size_t layer_index, bool output_layer)
+{
+    const auto &layer = network_.layers[layer_index];
+    const int t_sets = config_.peSets;
+    const int s_pes = config_.pesPerSet;
+    const int n = config_.peInputs();
+    const int m = config_.totalPes();
+
+    DualPortRam &ifmem_in = *ifmems_[activeIfmem_];
+    DualPortRam &ifmem_out = *ifmems_[1 - activeIfmem_];
+
+    const std::size_t rounds = (layer.outDim + m - 1) / m;
+    const std::size_t chunks = (layer.inDim + n - 1) / n;
+    std::uint64_t cycles = 0;
+
+    std::vector<std::int64_t> weights(n);
+
+    for (std::size_t r = 0; r < rounds; ++r) {
+        for (auto &pe : pes_)
+            pe.startNeuron();
+
+        for (std::size_t c = 0; c < chunks; ++c) {
+            // ---- one chunk cycle ----
+            ifmem_in.beginCycle();
+            const RamWord &inputs = ifmem_in.read(c);
+            ++stats_.ifmemReads;
+
+            const std::size_t addr =
+                layerWpBase_[layer_index] + r * chunks + c;
+            for (int t = 0; t < t_sets; ++t) {
+                wpmemMu_[t]->beginCycle();
+                wpmemSigma_[t]->beginCycle();
+                const RamWord &mu = wpmemMu_[t]->read(addr);
+                const RamWord &sg = wpmemSigma_[t]->read(addr);
+                stats_.wpmemReads += 2;
+
+                for (int s = 0; s < s_pes; ++s) {
+                    // Every lane consumes an eps each cycle — the GRNG
+                    // free-runs — whether or not the neuron is real.
+                    for (int k = 0; k < n; ++k) {
+                        weights[k] =
+                            weightGen_.sample(mu[s * n + k],
+                                              sg[s * n + k]);
+                    }
+                    pes_[static_cast<std::size_t>(t) * s_pes + s]
+                        .macChunk(weights.data(), inputs.data(), n);
+                }
+            }
+            ++cycles;
+        }
+
+        // Pipeline drain: weight-generator tier + PE stages.
+        cycles += WeightGenerator::pipelineDepth + Pe::pipelineDepth;
+
+        // Memory distributor: finish neurons, pack one word per set,
+        // write into the idle IFMem. Writes overlap the next round's
+        // compute (the validate() drain condition guarantees the write
+        // port keeps up); only the final round's writes extend the
+        // layer's critical path.
+        for (int t = 0; t < t_sets; ++t) {
+            RamWord word(n, 0);
+            bool any = false;
+            for (int s = 0; s < s_pes; ++s) {
+                const std::size_t neuron =
+                    r * m + static_cast<std::size_t>(t) * s_pes + s;
+                if (neuron >= layer.outDim)
+                    continue;
+                any = true;
+                const std::int64_t value = pes_[static_cast<std::size_t>(
+                                                    t) * s_pes + s]
+                                               .finish(
+                                                   layer.muBias[neuron],
+                                                   output_layer);
+                word[s] = static_cast<std::int32_t>(value);
+            }
+            if (any) {
+                ifmem_out.beginCycle();
+                ifmem_out.write(r * t_sets + t, word);
+                ++stats_.ifmemWrites;
+                if (r + 1 == rounds)
+                    ++cycles; // non-overlapped tail writes
+            }
+        }
+    }
+
+    cycles += 2; // layer-boundary controller sync
+    stats_.layerCycles[layer_index] += cycles;
+    stats_.totalCycles += cycles;
+    activeIfmem_ = 1 - activeIfmem_;
+}
+
+std::vector<std::int64_t>
+Simulator::runPass(const float *x)
+{
+    const int n = config_.peInputs();
+    const auto &act = network_.activationFormat;
+
+    if (stats_.layerCycles.size() != network_.layers.size())
+        stats_.layerCycles.assign(network_.layers.size(), 0);
+
+    // Load the quantized image into the active IFMem (backdoor: the
+    // external-memory transfer is pipelined with compute and is not
+    // part of the per-image cycle count; see EXPERIMENTS.md).
+    activeIfmem_ = 0;
+    const std::size_t in_dim = network_.inputDim();
+    for (std::size_t w = 0; w * n < in_dim; ++w) {
+        RamWord &word = ifmems_[0]->backdoor(w);
+        for (int k = 0; k < n; ++k) {
+            const std::size_t i = w * n + k;
+            word[k] = i < in_dim
+                          ? static_cast<std::int32_t>(act.fromReal(x[i]))
+                          : 0;
+        }
+    }
+
+    for (std::size_t li = 0; li < network_.layers.size(); ++li)
+        runLayer(li, li + 1 == network_.layers.size());
+
+    // Collect the output layer from the now-active IFMem.
+    const std::size_t out_dim = network_.outputDim();
+    std::vector<std::int64_t> out(out_dim);
+    for (std::size_t i = 0; i < out_dim; ++i) {
+        const RamWord &word = ifmems_[activeIfmem_]->backdoor(i / n);
+        out[i] = word[i % n];
+    }
+
+    // Refresh aggregate counters.
+    stats_.grnSamples = weightGen_.samplesDrawn();
+    std::uint64_t macs = 0;
+    for (const auto &pe : pes_)
+        macs += pe.macCount();
+    stats_.macs = macs;
+    ++stats_.images;
+    return out;
+}
+
+std::size_t
+Simulator::classify(const float *x, float *probs)
+{
+    const std::size_t out_dim = network_.outputDim();
+    std::vector<float> acc(out_dim, 0.0f);
+    std::vector<float> logits(out_dim);
+    const auto &act = network_.activationFormat;
+
+    for (int s = 0; s < config_.mcSamples; ++s) {
+        const auto raw = runPass(x);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            logits[i] = static_cast<float>(act.toReal(raw[i]));
+        nn::softmax(logits.data(), out_dim);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            acc[i] += logits[i];
+    }
+    const float inv = 1.0f / static_cast<float>(config_.mcSamples);
+    for (auto &p : acc)
+        p *= inv;
+    if (probs)
+        std::copy(acc.begin(), acc.end(), probs);
+    return nn::argmax(acc.data(), acc.size());
+}
+
+} // namespace vibnn::accel

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cycle-level simulator of the VIBNN accelerator (paper Figures 2, 13,
+ * 14).
+ *
+ * The simulated machine executes one fully-connected layer at a time in
+ * "rounds" of M = T*S neurons. Within a round, every cycle:
+ *
+ *  - the active IFMem's read port delivers one word of N input features
+ *    (broadcast to all PEs — the word-size insight of Section 5.4.1),
+ *  - every PE-set's WPMem delivers one mu word and one sigma word
+ *    (B*N*S bits each, equation (15b)),
+ *  - the weight generator turns each (mu, sigma) pair plus a GRNG eps
+ *    into a sampled weight, and
+ *  - each PE multiplies its N weights with the broadcast inputs and
+ *    accumulates.
+ *
+ * After ceil(in/N) chunk cycles plus the pipeline drain (2-stage weight
+ * generator + 3-stage PE, Figure 14), the round's outputs pass through
+ * bias/ReLU and the memory distributor writes them — one S-wide word
+ * per PE-set — into the *other* IFMem (the ping-pong of Section 5.4.1),
+ * overlapped with the next round's compute. Port-budget violations trip
+ * assertions inside DualPortRam.
+ *
+ * The datapath arithmetic is shared with the fast functional path
+ * (functional.hh), so `ctest` enforces bit-exact agreement between the
+ * two.
+ */
+
+#ifndef VIBNN_ACCEL_SIMULATOR_HH
+#define VIBNN_ACCEL_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/pe.hh"
+#include "accel/ram.hh"
+#include "accel/weight_generator.hh"
+
+namespace vibnn::accel
+{
+
+/** Execution statistics for one or more inference passes. */
+struct CycleStats
+{
+    std::uint64_t totalCycles = 0;
+    std::vector<std::uint64_t> layerCycles;
+    std::uint64_t ifmemReads = 0;
+    std::uint64_t ifmemWrites = 0;
+    std::uint64_t wpmemReads = 0;
+    std::uint64_t grnSamples = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t images = 0;
+
+    /** PE-array utilization: useful MACs / peak MAC slots. */
+    double utilization(int total_pes, int pe_inputs) const;
+
+    /** Cycles per single forward pass (one MC sample). */
+    double cyclesPerPass() const;
+};
+
+/** The cycle-level accelerator. */
+class Simulator
+{
+  public:
+    /**
+     * @param network Quantized network to load (WPMems are packed at
+     *        construction).
+     * @param config Architecture geometry; validated against the
+     *        network here.
+     * @param generator The GRNG instance (not owned).
+     */
+    Simulator(const QuantizedNetwork &network,
+              const AcceleratorConfig &config,
+              grng::GaussianGenerator *generator);
+
+    /**
+     * Run one forward pass (one MC sample) for an image given as real
+     * features; returns raw output-layer values on the activation grid.
+     */
+    std::vector<std::int64_t> runPass(const float *x);
+
+    /**
+     * Full Monte-Carlo classification (config.mcSamples passes with
+     * softmax averaging, equation (6)).
+     * @param probs Optional: receives the averaged class probabilities.
+     * @return The predicted class.
+     */
+    std::size_t classify(const float *x, float *probs = nullptr);
+
+    const CycleStats &stats() const { return stats_; }
+    const AcceleratorConfig &config() const { return config_; }
+    const QuantizedNetwork &network() const { return network_; }
+
+  private:
+    /** Execute one layer; input lives in ifmems_[active], output goes
+     *  to ifmems_[1 - active]. */
+    void runLayer(std::size_t layer_index, bool output_layer);
+
+    /** Pack a layer's parameters into the per-set WPMems. */
+    void packWpmems();
+
+    QuantizedNetwork network_;
+    AcceleratorConfig config_;
+    DatapathKernel kernel_;
+    WeightGenerator weightGen_;
+    std::vector<Pe> pes_;
+
+    /** Ping-pong input-feature memories. */
+    std::unique_ptr<DualPortRam> ifmems_[2];
+    int activeIfmem_ = 0;
+
+    /**
+     * Per PE-set weight memories, mu and sigma planes. Address layout:
+     * sequential words in (layer, round, chunk) order; each word holds
+     * S * N values (N per PE in the set).
+     */
+    std::vector<std::unique_ptr<DualPortRam>> wpmemMu_;
+    std::vector<std::unique_ptr<DualPortRam>> wpmemSigma_;
+    /** First WPMem word of each layer. */
+    std::vector<std::size_t> layerWpBase_;
+
+    CycleStats stats_;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_SIMULATOR_HH

@@ -1,0 +1,23 @@
+#include "accel/weight_generator.hh"
+
+#include "common/logging.hh"
+
+namespace vibnn::accel
+{
+
+WeightGenerator::WeightGenerator(const DatapathKernel &kernel,
+                                 grng::GaussianGenerator *generator)
+    : kernel_(kernel), generator_(generator)
+{
+    VIBNN_ASSERT(generator != nullptr, "weight generator needs a GRNG");
+}
+
+std::int64_t
+WeightGenerator::nextEpsRaw()
+{
+    ++samplesDrawn_;
+    return kernel_.eps.fromReal(generator_->next(),
+                                fixed::RoundMode::Nearest);
+}
+
+} // namespace vibnn::accel

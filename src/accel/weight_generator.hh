@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Weight generator: GRNG + weight updater (paper Figure 12).
+ *
+ * Per weight lane and cycle, the updater receives an 8-bit unit-Gaussian
+ * eps from the GRNG, reads (mu, sigma) from the WPMem word, and emits
+ * w = mu + sigma * eps on the weight grid. A DFF tier between the GRNG
+ * and the updater and a register tier holding the sampled weights
+ * (Figure 14) give it a two-stage pipeline, modeled as latency in the
+ * simulator's cycle accounting.
+ */
+
+#ifndef VIBNN_ACCEL_WEIGHT_GENERATOR_HH
+#define VIBNN_ACCEL_WEIGHT_GENERATOR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "accel/config.hh"
+#include "grng/generator.hh"
+
+namespace vibnn::accel
+{
+
+/** GRNG + weight updater for a bank of weight lanes. */
+class WeightGenerator
+{
+  public:
+    /**
+     * @param kernel Shared datapath arithmetic.
+     * @param generator The eps source (RLF, BNNWallace, or any
+     *        GaussianGenerator). Not owned.
+     */
+    WeightGenerator(const DatapathKernel &kernel,
+                    grng::GaussianGenerator *generator);
+
+    /** Draw one eps on the eps grid (8-bit). */
+    std::int64_t nextEpsRaw();
+
+    /** Produce one sampled weight. */
+    std::int64_t
+    sample(std::int64_t mu_raw, std::int64_t sigma_raw)
+    {
+        return kernel_.sampleWeight(mu_raw, sigma_raw, nextEpsRaw());
+    }
+
+    /** Pipeline depth in cycles (GRNG DFF tier + weight tier). */
+    static constexpr int pipelineDepth = 2;
+
+    /** Samples drawn so far. */
+    std::uint64_t samplesDrawn() const { return samplesDrawn_; }
+
+  private:
+    DatapathKernel kernel_;
+    grng::GaussianGenerator *generator_;
+    std::uint64_t samplesDrawn_ = 0;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_WEIGHT_GENERATOR_HH

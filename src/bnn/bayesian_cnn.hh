@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Bayesian convolutional network: variational conv(+pool) blocks with a
+ * variational dense head and Monte-Carlo ensemble inference — the CNN
+ * instantiation of the paper's BNN model (Section 1 notes VIBNN's
+ * principles apply to CNNs; every sampled parameter here is exactly one
+ * GRN drawn per Monte-Carlo pass, i.e. the same weight-generator traffic
+ * pattern the accelerator serves for MLPs).
+ */
+
+#ifndef VIBNN_BNN_BAYESIAN_CNN_HH
+#define VIBNN_BNN_BAYESIAN_CNN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "bnn/bnn_trainer.hh"
+#include "bnn/variational_conv.hh"
+#include "bnn/variational_dense.hh"
+#include "common/rng.hh"
+#include "nn/cnn.hh"
+
+namespace vibnn::bnn
+{
+
+/** Per-sample workspace for a full Bayesian-CNN pass. */
+struct BcnnWorkspace
+{
+    /** Buffers between stages; buffers[0] is the input copy. */
+    std::vector<std::vector<float>> buffers;
+    /** Pre-activation copies for ReLU backward (sized per ReLU stage). */
+    std::vector<std::vector<float>> preActs;
+    std::vector<VariationalConvScratch> convScratch;
+    std::vector<nn::PoolScratch> poolScratch;
+    std::vector<VariationalScratch> denseScratch;
+    std::vector<VariationalConvGradients> convGrads;
+    std::vector<VariationalGradients> denseGrads;
+    std::vector<float> deltaA, deltaB;
+    double lossSum = 0.0;
+    std::size_t sampleCount = 0;
+};
+
+/** Feed-forward Bayesian convolutional classifier. */
+class BayesianConvNet
+{
+  public:
+    /**
+     * @param config Topology (shared with the point-estimate ConvNet).
+     * @param rng Initialization source.
+     * @param rho_init Initial rho for all layers.
+     */
+    BayesianConvNet(const nn::ConvNetConfig &config, Rng &rng,
+                    float rho_init = -5.0f);
+
+    const nn::ConvNetConfig &config() const { return config_; }
+    std::size_t inputDim() const;
+    std::size_t outputDim() const { return config_.numClasses; }
+
+    BcnnWorkspace makeWorkspace() const;
+    void zeroGrads(BcnnWorkspace &ws) const;
+
+    /**
+     * One training sample: sampled forward (direct or LRT), softmax
+     * cross-entropy, backward; gradients accumulate into ws.
+     */
+    double trainSample(const float *x, std::size_t target,
+                       BcnnWorkspace &ws, Rng &rng, bool use_lrt);
+
+    /** Add KL gradients (scaled) into ws; returns the KL value. */
+    double accumulateKl(BcnnWorkspace &ws, float prior_sigma,
+                        float scale) const;
+
+    /** Total KL divergence to the prior. */
+    double klDivergence(float prior_sigma) const;
+
+    /**
+     * One sampled forward pass; eps is any callable returning doubles
+     * targeting N(0,1) — an Rng lambda or a hardware GRNG.
+     */
+    template <typename EpsFn>
+    void
+    sampledForward(const float *x, float *logits, BcnnWorkspace &ws,
+                   EpsFn &&eps) const
+    {
+        forwardImpl(x, logits, ws, ForwardMode::Direct, nullptr, &eps);
+    }
+
+    /** Mean-field deterministic forward (mu only). */
+    void meanForward(const float *x, float *logits,
+                     BcnnWorkspace &ws) const;
+
+    /**
+     * Monte-Carlo predictive distribution (paper equation (6)):
+     * average softmax outputs of num_samples sampled networks.
+     */
+    template <typename EpsFn>
+    void
+    mcPredict(const float *x, std::size_t num_samples, float *probs,
+              BcnnWorkspace &ws, EpsFn &&eps) const
+    {
+        std::vector<float> acc(outputDim(), 0.0f);
+        std::vector<float> logits(outputDim());
+        for (std::size_t s = 0; s < num_samples; ++s) {
+            sampledForward(x, logits.data(), ws, eps);
+            softmaxInPlace(logits.data(), logits.size());
+            for (std::size_t i = 0; i < acc.size(); ++i)
+                acc[i] += logits[i];
+        }
+        const float inv = 1.0f / static_cast<float>(num_samples);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            probs[i] = acc[i] * inv;
+    }
+
+    /** argmax of mcPredict using rng.gaussian() as the eps source. */
+    std::size_t mcClassify(const float *x, std::size_t num_samples,
+                           BcnnWorkspace &ws, Rng &rng) const;
+
+    /** Predictive entropy of the MC ensemble (uncertainty measure). */
+    double predictiveEntropy(const float *x, std::size_t num_samples,
+                             BcnnWorkspace &ws, Rng &rng) const;
+
+    /** Flat parameter plumbing (convs then dense; per layer mu-weight,
+     *  mu-bias, rho-weight, rho-bias). */
+    std::size_t paramCount() const;
+    void gatherParams(std::vector<float> &flat) const;
+    void scatterParams(const std::vector<float> &flat);
+    void gatherGrads(const BcnnWorkspace &ws, std::vector<float> &flat)
+        const;
+
+    const std::vector<VariationalConv2d> &convLayers() const
+    {
+        return convs_;
+    }
+    const std::vector<VariationalDense> &denseLayers() const
+    {
+        return dense_;
+    }
+
+  private:
+    enum class Stage { Conv, Pool, Dense };
+    enum class ForwardMode { Mean, Direct, Lrt };
+
+    /** Shared forward walker. Exactly one of rng / eps is used
+     *  depending on the mode. */
+    template <typename EpsFn>
+    void
+    forwardImpl(const float *x, float *logits, BcnnWorkspace &ws,
+                ForwardMode mode, Rng *rng, EpsFn *eps) const
+    {
+        std::copy(x, x + inputDim(), ws.buffers[0].begin());
+        for (std::size_t s = 0; s < stages_.size(); ++s) {
+            const float *in = ws.buffers[s].data();
+            float *out = ws.buffers[s + 1].data();
+            runStage(s, in, out, ws, mode, rng, eps);
+            if (stageRelu_[s]) {
+                std::copy(out, out + stageOutSize_[s],
+                          ws.preActs[s].begin());
+                for (std::size_t i = 0; i < stageOutSize_[s]; ++i)
+                    out[i] = out[i] > 0.0f ? out[i] : 0.0f;
+            }
+        }
+        std::copy(ws.buffers.back().begin(), ws.buffers.back().end(),
+                  logits);
+    }
+
+    template <typename EpsFn>
+    void
+    runStage(std::size_t s, const float *in, float *out,
+             BcnnWorkspace &ws, ForwardMode mode, Rng *rng, EpsFn *eps)
+        const
+    {
+        const std::size_t idx = stageIndex_[s];
+        switch (stages_[s]) {
+          case Stage::Conv:
+            if (mode == ForwardMode::Mean)
+                convs_[idx].meanForward(in, out, ws.convScratch[idx]);
+            else if (mode == ForwardMode::Lrt)
+                convs_[idx].lrtForward(in, out, ws.convScratch[idx],
+                                       *rng);
+            else
+                convs_[idx].sampleForward(in, out, ws.convScratch[idx],
+                                          *eps);
+            break;
+          case Stage::Pool:
+            pools_[idx].forward(in, out, ws.poolScratch[idx]);
+            break;
+          case Stage::Dense:
+            if (mode == ForwardMode::Mean)
+                dense_[idx].meanForward(in, out);
+            else if (mode == ForwardMode::Lrt)
+                dense_[idx].lrtForward(in, out, ws.denseScratch[idx],
+                                       *rng);
+            else
+                dense_[idx].sampleForward(in, out, ws.denseScratch[idx],
+                                          *eps);
+            break;
+        }
+    }
+
+    void backwardImpl(float *delta, float *next_delta, BcnnWorkspace &ws,
+                      bool use_lrt) const;
+
+    static void softmaxInPlace(float *values, std::size_t count);
+
+    nn::ConvNetConfig config_;
+    std::vector<Stage> stages_;
+    std::vector<std::size_t> stageIndex_;
+    std::vector<std::size_t> stageOutSize_;
+    std::vector<bool> stageRelu_;
+    std::vector<VariationalConv2d> convs_;
+    std::vector<nn::MaxPool2dLayer> pools_;
+    std::vector<VariationalDense> dense_;
+};
+
+/** MC-ensemble classification accuracy of a Bayesian CNN. */
+double evaluateBcnnAccuracy(const BayesianConvNet &net,
+                            const nn::DataView &data,
+                            std::size_t mc_samples, std::uint64_t seed);
+
+/** Train a Bayesian CNN with Bayes-by-Backprop (reuses BnnTrainConfig;
+ *  the useLocalReparameterization flag selects the estimator). */
+nn::TrainHistory trainBcnn(BayesianConvNet &net, const nn::DataView &train,
+                           const BnnTrainConfig &config);
+
+} // namespace vibnn::bnn
+
+#endif // VIBNN_BNN_BAYESIAN_CNN_HH

@@ -1,0 +1,265 @@
+#include "bnn/bayesian_mlp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+#include "nn/loss.hh"
+
+namespace vibnn::bnn
+{
+
+BayesianMlp::BayesianMlp(const std::vector<std::size_t> &layer_sizes,
+                         Rng &rng, float rho_init)
+    : layerSizes_(layer_sizes)
+{
+    VIBNN_ASSERT(layer_sizes.size() >= 2, "need input and output layers");
+    for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+        layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1], rng,
+                             rho_init);
+    }
+}
+
+BnnWorkspace
+BayesianMlp::makeWorkspace() const
+{
+    BnnWorkspace ws;
+    ensureWorkspace(ws);
+    return ws;
+}
+
+void
+BayesianMlp::ensureWorkspace(BnnWorkspace &ws) const
+{
+    bool compatible = ws.activations.size() == layerSizes_.size() &&
+        ws.gradients.size() == layers_.size();
+    for (std::size_t i = 0; compatible && i < layerSizes_.size(); ++i)
+        compatible = ws.activations[i].size() == layerSizes_[i];
+    for (std::size_t i = 0; compatible && i < layers_.size(); ++i) {
+        compatible = ws.gradients[i].muWeight.rows() ==
+                layers_[i].outDim() &&
+            ws.gradients[i].muWeight.cols() == layers_[i].inDim();
+    }
+    if (compatible)
+        return;
+    ws.activations.resize(layerSizes_.size());
+    ws.preActivations.resize(layers_.size());
+    ws.layerScratch.resize(layers_.size());
+    ws.gradients.resize(layers_.size());
+    std::size_t widest = 0;
+    for (std::size_t i = 0; i < layerSizes_.size(); ++i) {
+        ws.activations[i].resize(layerSizes_[i]);
+        widest = std::max(widest, layerSizes_[i]);
+    }
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        ws.preActivations[i].resize(layers_[i].outDim());
+        ws.gradients[i].resize(layers_[i].outDim(), layers_[i].inDim());
+        layers_[i].prepareScratch(ws.layerScratch[i]);
+    }
+    ws.deltaA.resize(widest);
+    ws.deltaB.resize(widest);
+}
+
+void
+BayesianMlp::zeroGrads(BnnWorkspace &ws) const
+{
+    ensureWorkspace(ws);
+    for (auto &g : ws.gradients)
+        g.zero();
+    ws.lossSum = 0.0;
+    ws.sampleCount = 0;
+}
+
+void
+BayesianMlp::softmaxInPlace(float *values, std::size_t count)
+{
+    nn::softmax(values, count);
+}
+
+double
+BayesianMlp::trainSample(const float *x, std::size_t target,
+                         BnnWorkspace &ws, Rng &rng, bool use_lrt)
+{
+    ensureWorkspace(ws);
+    std::copy(x, x + inputDim(), ws.activations[0].begin());
+
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        float *pre = ws.preActivations[i].data();
+        if (use_lrt) {
+            layers_[i].lrtForward(ws.activations[i].data(), pre,
+                                  ws.layerScratch[i], rng);
+        } else {
+            auto eps = [&rng] { return rng.gaussian(); };
+            layers_[i].sampleForward(ws.activations[i].data(), pre,
+                                     ws.layerScratch[i], eps);
+        }
+        auto &out = ws.activations[i + 1];
+        std::copy(pre, pre + out.size(), out.begin());
+        if (i + 1 < layers_.size())
+            nn::reluForward(out.data(), out.size());
+    }
+
+    auto &logits = ws.activations.back();
+    float *delta = ws.deltaA.data();
+    const double loss = nn::softmaxCrossEntropy(
+        logits.data(), logits.size(), target, delta);
+    ws.lossSum += loss;
+    ++ws.sampleCount;
+
+    for (std::size_t ii = layers_.size(); ii-- > 0;) {
+        float *dx = ii > 0 ? ws.deltaB.data() : nullptr;
+        if (use_lrt) {
+            layers_[ii].lrtBackward(ws.activations[ii].data(), delta,
+                                    ws.layerScratch[ii],
+                                    ws.gradients[ii], dx);
+        } else {
+            layers_[ii].sampleBackward(ws.activations[ii].data(), delta,
+                                       ws.layerScratch[ii],
+                                       ws.gradients[ii], dx);
+        }
+        if (ii > 0) {
+            nn::reluBackward(ws.preActivations[ii - 1].data(), dx,
+                             ws.deltaA.data(), layers_[ii].inDim());
+            delta = ws.deltaA.data();
+        }
+    }
+    return loss;
+}
+
+double
+BayesianMlp::accumulateKl(BnnWorkspace &ws, float prior_sigma,
+                          float scale) const
+{
+    double kl = 0.0;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        kl += layers_[i].klDivergence(prior_sigma);
+        layers_[i].klBackward(prior_sigma, scale, ws.gradients[i]);
+    }
+    return kl;
+}
+
+double
+BayesianMlp::klDivergence(float prior_sigma) const
+{
+    double kl = 0.0;
+    for (const auto &layer : layers_)
+        kl += layer.klDivergence(prior_sigma);
+    return kl;
+}
+
+std::size_t
+BayesianMlp::mcClassify(const float *x, std::size_t num_samples,
+                        Rng &rng) const
+{
+    std::vector<float> probs(outputDim());
+    auto eps = [&rng] { return rng.gaussian(); };
+    mcPredict(x, num_samples, probs.data(), eps);
+    return nn::argmax(probs.data(), probs.size());
+}
+
+std::size_t
+BayesianMlp::mcClassify(const float *x, std::size_t num_samples,
+                        grng::GaussianGenerator &gen) const
+{
+    std::vector<float> probs(outputDim());
+    auto eps = [&gen] { return gen.next(); };
+    mcPredict(x, num_samples, probs.data(), eps);
+    return nn::argmax(probs.data(), probs.size());
+}
+
+double
+BayesianMlp::predictiveEntropy(const float *x, std::size_t num_samples,
+                               Rng &rng) const
+{
+    std::vector<float> probs(outputDim());
+    auto eps = [&rng] { return rng.gaussian(); };
+    mcPredict(x, num_samples, probs.data(), eps);
+    double entropy = 0.0;
+    for (float p : probs)
+        if (p > 1e-12f)
+            entropy -= p * std::log(p);
+    return entropy;
+}
+
+void
+BayesianMlp::meanForward(const float *x, float *logits) const
+{
+    std::vector<float> buf_a(x, x + inputDim());
+    std::vector<float> buf_b;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        buf_b.resize(layers_[i].outDim());
+        layers_[i].meanForward(buf_a.data(), buf_b.data());
+        if (i + 1 < layers_.size())
+            nn::reluForward(buf_b.data(), buf_b.size());
+        buf_a.swap(buf_b);
+    }
+    std::copy(buf_a.begin(), buf_a.end(), logits);
+}
+
+std::size_t
+BayesianMlp::paramCount() const
+{
+    std::size_t count = 0;
+    for (const auto &layer : layers_) {
+        count += 2 * layer.muWeight().size();
+        count += 2 * layer.muBias().size();
+    }
+    return count;
+}
+
+void
+BayesianMlp::gatherParams(std::vector<float> &flat) const
+{
+    flat.resize(paramCount());
+    std::size_t k = 0;
+    for (const auto &layer : layers_) {
+        for (float v : layer.muWeight().data())
+            flat[k++] = v;
+        for (float v : layer.rhoWeight().data())
+            flat[k++] = v;
+        for (float v : layer.muBias())
+            flat[k++] = v;
+        for (float v : layer.rhoBias())
+            flat[k++] = v;
+    }
+}
+
+void
+BayesianMlp::scatterParams(const std::vector<float> &flat)
+{
+    VIBNN_ASSERT(flat.size() == paramCount(), "flat parameter mismatch");
+    std::size_t k = 0;
+    for (auto &layer : layers_) {
+        for (float &v : layer.muWeight().data())
+            v = flat[k++];
+        for (float &v : layer.rhoWeight().data())
+            v = flat[k++];
+        for (float &v : layer.muBias())
+            v = flat[k++];
+        for (float &v : layer.rhoBias())
+            v = flat[k++];
+    }
+}
+
+void
+BayesianMlp::gatherGrads(const BnnWorkspace &ws,
+                         std::vector<float> &flat) const
+{
+    flat.resize(paramCount());
+    const float inv = ws.sampleCount > 0
+                          ? 1.0f / static_cast<float>(ws.sampleCount)
+                          : 1.0f;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        for (float g : ws.gradients[i].muWeight.data())
+            flat[k++] = g * inv;
+        for (float g : ws.gradients[i].rhoWeight.data())
+            flat[k++] = g * inv;
+        for (float g : ws.gradients[i].muBias)
+            flat[k++] = g * inv;
+        for (float g : ws.gradients[i].rhoBias)
+            flat[k++] = g * inv;
+    }
+}
+
+} // namespace vibnn::bnn

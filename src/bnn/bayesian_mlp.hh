@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Bayesian multi-layer perceptron: variational dense layers with ReLU
+ * hidden activations and Monte-Carlo ensemble inference (the paper's
+ * equations (3)-(6)). This is the software model whose trained
+ * (mu, sigma) parameters get lowered onto the accelerator.
+ */
+
+#ifndef VIBNN_BNN_BAYESIAN_MLP_HH
+#define VIBNN_BNN_BAYESIAN_MLP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "bnn/variational_dense.hh"
+#include "common/rng.hh"
+#include "grng/generator.hh"
+
+namespace vibnn::bnn
+{
+
+/** Per-thread scratch for a full-network pass. */
+struct BnnWorkspace
+{
+    std::vector<std::vector<float>> activations;
+    std::vector<std::vector<float>> preActivations;
+    std::vector<VariationalScratch> layerScratch;
+    std::vector<VariationalGradients> gradients;
+    std::vector<float> deltaA, deltaB;
+    double lossSum = 0.0;
+    std::size_t sampleCount = 0;
+};
+
+/** Feed-forward Bayesian neural network. */
+class BayesianMlp
+{
+  public:
+    /**
+     * @param layer_sizes Sizes including input and output.
+     * @param rng Initialization source.
+     * @param rho_init Initial rho for all layers.
+     */
+    BayesianMlp(const std::vector<std::size_t> &layer_sizes, Rng &rng,
+                float rho_init = -5.0f);
+
+    std::size_t inputDim() const { return layerSizes_.front(); }
+    std::size_t outputDim() const { return layerSizes_.back(); }
+    const std::vector<std::size_t> &layerSizes() const
+    {
+        return layerSizes_;
+    }
+
+    BnnWorkspace makeWorkspace() const;
+    void zeroGrads(BnnWorkspace &ws) const;
+
+    /**
+     * One training sample: sampled forward (direct or LRT per the flag),
+     * softmax cross-entropy, backward; gradients accumulate into ws.
+     */
+    double trainSample(const float *x, std::size_t target,
+                       BnnWorkspace &ws, Rng &rng, bool use_lrt);
+
+    /** Add KL gradients (scaled) into ws; returns the KL value. */
+    double accumulateKl(BnnWorkspace &ws, float prior_sigma,
+                        float scale) const;
+
+    /** Total KL divergence to the prior. */
+    double klDivergence(float prior_sigma) const;
+
+    /**
+     * Monte-Carlo predictive distribution (equation (6)): average the
+     * softmax outputs of `num_samples` sampled networks, with eps drawn
+     * from `eps`. probs must hold outputDim() floats.
+     */
+    template <typename EpsFn>
+    void
+    mcPredict(const float *x, std::size_t num_samples, float *probs,
+              EpsFn &&eps) const
+    {
+        thread_local BnnWorkspace ws;
+        ensureWorkspace(ws);
+        std::vector<float> acc(outputDim(), 0.0f);
+        std::vector<float> logits(outputDim());
+        for (std::size_t s = 0; s < num_samples; ++s) {
+            sampledForward(x, logits.data(), ws, eps);
+            softmaxInPlace(logits.data(), logits.size());
+            for (std::size_t i = 0; i < acc.size(); ++i)
+                acc[i] += logits[i];
+        }
+        const float inv = 1.0f / static_cast<float>(num_samples);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            probs[i] = acc[i] * inv;
+    }
+
+    /** argmax of mcPredict. */
+    std::size_t mcClassify(const float *x, std::size_t num_samples,
+                           Rng &rng) const;
+
+    /** argmax using a GaussianGenerator as the eps source (the hardware
+     *  simulation path uses the accel module instead; this is the
+     *  software-with-hardware-GRNG configuration). */
+    std::size_t mcClassify(const float *x, std::size_t num_samples,
+                           grng::GaussianGenerator &gen) const;
+
+    /** Predictive entropy of the MC ensemble (uncertainty measure). */
+    double predictiveEntropy(const float *x, std::size_t num_samples,
+                             Rng &rng) const;
+
+    /** Mean-field deterministic forward (mu only). */
+    void meanForward(const float *x, float *logits) const;
+
+    /** One sampled forward pass with cached nothing (inference only). */
+    template <typename EpsFn>
+    void
+    sampledForward(const float *x, float *logits, BnnWorkspace &ws,
+                   EpsFn &&eps) const
+    {
+        std::copy(x, x + inputDim(), ws.activations[0].begin());
+        for (std::size_t i = 0; i < layers_.size(); ++i) {
+            layers_[i].sampleForward(ws.activations[i].data(),
+                                     ws.activations[i + 1].data(),
+                                     ws.layerScratch[i], eps);
+            if (i + 1 < layers_.size()) {
+                auto &a = ws.activations[i + 1];
+                for (auto &v : a)
+                    v = v > 0.0f ? v : 0.0f;
+            }
+        }
+        std::copy(ws.activations.back().begin(),
+                  ws.activations.back().end(), logits);
+    }
+
+    std::vector<VariationalDense> &layers() { return layers_; }
+    const std::vector<VariationalDense> &layers() const { return layers_; }
+
+    /** Flat parameter plumbing for the optimizer (mu then rho blocks,
+     *  weights then biases, layer by layer). */
+    std::size_t paramCount() const;
+    void gatherParams(std::vector<float> &flat) const;
+    void scatterParams(const std::vector<float> &flat);
+    void gatherGrads(const BnnWorkspace &ws, std::vector<float> &flat)
+        const;
+
+  private:
+    void ensureWorkspace(BnnWorkspace &ws) const;
+    static void softmaxInPlace(float *values, std::size_t count);
+
+    std::vector<std::size_t> layerSizes_;
+    std::vector<VariationalDense> layers_;
+};
+
+} // namespace vibnn::bnn
+
+#endif // VIBNN_BNN_BAYESIAN_MLP_HH

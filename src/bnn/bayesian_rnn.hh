@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Bayesian Elman RNN — the recurrent instantiation of the paper's BNN
+ * model (the paper cites Fortunato et al.'s Bayesian Recurrent Neural
+ * Networks as a motivating deployment, and claims in Section 1 that
+ * VIBNN's principles apply to RNNs).
+ *
+ * Every parameter block (Wx, Wh, Wy, bh, by) carries a factorized
+ * Gaussian posterior. Following Fortunato et al., one weight sample is
+ * drawn *per sequence* and shared across all timesteps — exactly the
+ * traffic pattern a hardware weight generator would serve (one GRN per
+ * physical parameter per Monte-Carlo pass, reused as the PE array
+ * time-multiplexes over the unrolled sequence). Training is the direct
+ * Bayes-by-Backprop estimator: BPTT through the sampled weights, then
+ * the chain rule maps sampled-weight gradients back to (mu, rho).
+ */
+
+#ifndef VIBNN_BNN_BAYESIAN_RNN_HH
+#define VIBNN_BNN_BAYESIAN_RNN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "bnn/bnn_trainer.hh"
+#include "bnn/variational_matrix.hh"
+#include "common/rng.hh"
+#include "nn/rnn.hh"
+
+namespace vibnn::bnn
+{
+
+/** Per-sequence scratch: sampled weights, eps records, BPTT buffers. */
+struct BrnnWorkspace
+{
+    /** Sampled weights for the current pass. */
+    nn::Matrix wx, wh, wy, bh, by;
+    /** The eps draws that produced them. */
+    nn::Matrix epsWx, epsWh, epsWy, epsBh, epsBy;
+    /** Sampled-weight gradients (BPTT output). */
+    nn::Matrix dWx, dWh, dWy, dBh, dBy;
+    /** Parameter-space gradients. */
+    nn::Matrix gMuWx, gRhoWx, gMuWh, gRhoWh, gMuWy, gRhoWy;
+    nn::Matrix gMuBh, gRhoBh, gMuBy, gRhoBy;
+    /** Hidden trajectory. */
+    std::vector<std::vector<float>> hidden;
+    std::vector<float> deltaH, deltaPre;
+    double lossSum = 0.0;
+    std::size_t sampleCount = 0;
+};
+
+/** Bayesian recurrent classifier. */
+class BayesianRnn
+{
+  public:
+    BayesianRnn(const nn::RnnConfig &config, Rng &rng,
+                float rho_init = -5.0f);
+
+    const nn::RnnConfig &config() const { return config_; }
+    std::size_t inputDim() const { return config_.flatDim(); }
+    std::size_t outputDim() const { return config_.numClasses; }
+
+    BrnnWorkspace makeWorkspace() const;
+    void zeroGrads(BrnnWorkspace &ws) const;
+
+    /**
+     * Run one sampled forward pass: draws one weight sample from `eps`
+     * (shared across timesteps), fills ws.hidden, writes logits.
+     */
+    template <typename EpsFn>
+    void
+    sampledForward(const float *xs, float *logits, BrnnWorkspace &ws,
+                   EpsFn &&eps) const
+    {
+        wx_.sample(ws.wx, ws.epsWx, eps);
+        wh_.sample(ws.wh, ws.epsWh, eps);
+        wy_.sample(ws.wy, ws.epsWy, eps);
+        bh_.sample(ws.bh, ws.epsBh, eps);
+        by_.sample(ws.by, ws.epsBy, eps);
+        runForward(xs, logits, ws);
+    }
+
+    /** Mean-field deterministic forward (mu only). */
+    void meanForward(const float *xs, float *logits,
+                     BrnnWorkspace &ws) const;
+
+    /**
+     * One training sequence: sampled forward, softmax cross-entropy,
+     * BPTT through the sampled weights, chain rule into (mu, rho).
+     */
+    double trainSequence(const float *xs, std::size_t target,
+                         BrnnWorkspace &ws, Rng &rng);
+
+    /** Monte-Carlo predictive distribution (paper equation (6)). */
+    template <typename EpsFn>
+    void
+    mcPredict(const float *xs, std::size_t num_samples, float *probs,
+              BrnnWorkspace &ws, EpsFn &&eps) const
+    {
+        std::vector<float> acc(outputDim(), 0.0f);
+        std::vector<float> logits(outputDim());
+        for (std::size_t s = 0; s < num_samples; ++s) {
+            sampledForward(xs, logits.data(), ws, eps);
+            softmaxInPlace(logits.data(), logits.size());
+            for (std::size_t i = 0; i < acc.size(); ++i)
+                acc[i] += logits[i];
+        }
+        const float inv = 1.0f / static_cast<float>(num_samples);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            probs[i] = acc[i] * inv;
+    }
+
+    /** argmax of mcPredict with rng.gaussian() epsilons. */
+    std::size_t mcClassify(const float *xs, std::size_t num_samples,
+                           BrnnWorkspace &ws, Rng &rng) const;
+
+    /** Total KL divergence to the prior. */
+    double klDivergence(float prior_sigma) const;
+
+    /** Add scaled KL gradients into ws; returns the KL value. */
+    double accumulateKl(BrnnWorkspace &ws, float prior_sigma,
+                        float scale) const;
+
+    /** Flat parameter plumbing: per block mu then rho, blocks in
+     *  (wx, wh, wy, bh, by) order. */
+    std::size_t paramCount() const;
+    void gatherParams(std::vector<float> &flat) const;
+    void scatterParams(const std::vector<float> &flat);
+    void gatherGrads(const BrnnWorkspace &ws, std::vector<float> &flat)
+        const;
+
+    VariationalMatrix &wxBlock() { return wx_; }
+    VariationalMatrix &whBlock() { return wh_; }
+    const VariationalMatrix &wxBlock() const { return wx_; }
+    const VariationalMatrix &whBlock() const { return wh_; }
+
+  private:
+    /** Forward with whatever weights sit in ws.{wx, wh, wy, bh, by}. */
+    void runForward(const float *xs, float *logits,
+                    BrnnWorkspace &ws) const;
+
+    static void softmaxInPlace(float *values, std::size_t count);
+
+    nn::RnnConfig config_;
+    VariationalMatrix wx_, wh_, wy_, bh_, by_;
+};
+
+/** MC-ensemble sequence-classification accuracy. */
+double evaluateBrnnAccuracy(const BayesianRnn &net,
+                            const nn::DataView &data,
+                            std::size_t mc_samples, std::uint64_t seed);
+
+/** Train with Bayes-by-Backprop (direct estimator) + gradient clip. */
+nn::TrainHistory trainBrnn(BayesianRnn &net, const nn::DataView &train,
+                           const BnnTrainConfig &config);
+
+} // namespace vibnn::bnn
+
+#endif // VIBNN_BNN_BAYESIAN_RNN_HH

@@ -1,0 +1,95 @@
+#include "bnn/bnn_trainer.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+#include "nn/optimizer.hh"
+
+namespace vibnn::bnn
+{
+
+double
+evaluateBnnAccuracy(const BayesianMlp &net, const nn::DataView &data,
+                    std::size_t mc_samples, std::uint64_t seed)
+{
+    if (data.count == 0)
+        return 0.0;
+    Rng rng(seed);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.count; ++i) {
+        if (net.mcClassify(data.sample(i), mc_samples, rng) ==
+            static_cast<std::size_t>(data.labels[i])) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.count);
+}
+
+nn::TrainHistory
+trainBnn(BayesianMlp &net, const nn::DataView &train,
+         const BnnTrainConfig &config)
+{
+    VIBNN_ASSERT(train.count > 0, "empty training set");
+    VIBNN_ASSERT(train.dim == net.inputDim(), "feature dim mismatch");
+
+    nn::TrainHistory history;
+    Rng rng(config.seed);
+    nn::AdamOptimizer optimizer(config.learningRate);
+
+    BnnWorkspace ws = net.makeWorkspace();
+    std::vector<float> params, grads;
+    std::vector<std::size_t> order(train.count);
+    std::iota(order.begin(), order.end(), 0);
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t seen = 0;
+
+        for (std::size_t start = 0; start < train.count;
+             start += config.batchSize) {
+            const std::size_t end =
+                std::min(start + config.batchSize, train.count);
+            const std::size_t batch = end - start;
+            net.zeroGrads(ws);
+            for (std::size_t k = start; k < end; ++k) {
+                const std::size_t i = order[k];
+                epoch_loss += net.trainSample(
+                    train.sample(i),
+                    static_cast<std::size_t>(train.labels[i]), ws, rng,
+                    config.useLocalReparameterization);
+            }
+            seen += batch;
+
+            // KL weighting: gatherGrads divides everything by the batch
+            // sample count, so pre-scale by batch/N to land at KL/N per
+            // sample overall (uniform minibatch weighting).
+            const float kl_scale = config.klWeight *
+                static_cast<float>(batch) /
+                static_cast<float>(train.count);
+            const double kl =
+                net.accumulateKl(ws, config.priorSigma, kl_scale);
+            epoch_loss += kl * batch / train.count;
+
+            net.gatherGrads(ws, grads);
+            net.gatherParams(params);
+            optimizer.step(params.data(), grads.data(), params.size());
+            net.scatterParams(params);
+        }
+
+        const double mean_loss = epoch_loss / static_cast<double>(seen);
+        history.trainLoss.push_back(mean_loss);
+        double acc = -1.0;
+        if (config.evalSet) {
+            acc = evaluateBnnAccuracy(net, *config.evalSet,
+                                      config.evalSamples,
+                                      config.seed + 977 + epoch);
+        }
+        history.evalAccuracy.push_back(acc);
+        if (config.onEpoch)
+            config.onEpoch(epoch, mean_loss, acc);
+    }
+    return history;
+}
+
+} // namespace vibnn::bnn

@@ -1,0 +1,220 @@
+#include "bnn/variational_dense.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+
+namespace vibnn::bnn
+{
+
+void
+VariationalGradients::resize(std::size_t out_dim, std::size_t in_dim)
+{
+    muWeight = nn::Matrix(out_dim, in_dim);
+    rhoWeight = nn::Matrix(out_dim, in_dim);
+    muBias.assign(out_dim, 0.0f);
+    rhoBias.assign(out_dim, 0.0f);
+}
+
+void
+VariationalGradients::zero()
+{
+    muWeight.fill(0.0f);
+    rhoWeight.fill(0.0f);
+    std::fill(muBias.begin(), muBias.end(), 0.0f);
+    std::fill(rhoBias.begin(), rhoBias.end(), 0.0f);
+}
+
+VariationalDense::VariationalDense(std::size_t in_dim, std::size_t out_dim,
+                                   Rng &rng, float rho_init)
+    : muWeight_(out_dim, in_dim), rhoWeight_(out_dim, in_dim),
+      muBias_(out_dim, 0.0f), rhoBias_(out_dim, rho_init)
+{
+    const float bound = std::sqrt(6.0f / static_cast<float>(in_dim));
+    for (auto &mu : muWeight_.data())
+        mu = static_cast<float>(rng.uniform(-bound, bound));
+    for (auto &rho : rhoWeight_.data())
+        rho = rho_init + static_cast<float>(rng.uniform(-0.2, 0.2));
+}
+
+float
+VariationalDense::sigmaOf(float rho)
+{
+    return nn::softplus(rho);
+}
+
+void
+VariationalDense::prepareScratch(VariationalScratch &scratch) const
+{
+    if (scratch.epsWeight.rows() != outDim() ||
+        scratch.epsWeight.cols() != inDim()) {
+        scratch.epsWeight = nn::Matrix(outDim(), inDim());
+    }
+    scratch.epsBias.resize(outDim());
+    scratch.activationEps.resize(outDim());
+    scratch.activationStd.resize(outDim());
+    scratch.inputSquared.resize(inDim());
+}
+
+void
+VariationalDense::meanForward(const float *x, float *out) const
+{
+    nn::matVec(muWeight_, x, muBias_.data(), out);
+}
+
+void
+VariationalDense::sampleBackward(const float *x, const float *dy,
+                                 const VariationalScratch &scratch,
+                                 VariationalGradients &grads,
+                                 float *dx) const
+{
+    const std::size_t rows = outDim(), cols = inDim();
+    if (dx)
+        std::fill(dx, dx + cols, 0.0f);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float g = dy[r];
+        const float *mu = muWeight_.row(r);
+        const float *rho = rhoWeight_.row(r);
+        const float *er = scratch.epsWeight.row(r);
+        float *gmu = grads.muWeight.row(r);
+        float *grho = grads.rhoWeight.row(r);
+
+        // Bias: dL/dw_b = g; w_b = mu_b + sigma_b eps_b.
+        grads.muBias[r] += g;
+        grads.rhoBias[r] +=
+            g * scratch.epsBias[r] * nn::logistic(rhoBias_[r]);
+
+        if (g == 0.0f && !dx)
+            continue;
+        for (std::size_t c = 0; c < cols; ++c) {
+            const float dw = g * x[c];
+            gmu[c] += dw;
+            grho[c] += dw * er[c] * nn::logistic(rho[c]);
+            if (dx) {
+                const float w = mu[c] + sigmaOf(rho[c]) * er[c];
+                dx[c] += w * g;
+            }
+        }
+    }
+}
+
+void
+VariationalDense::lrtForward(const float *x, float *out,
+                             VariationalScratch &scratch, Rng &rng) const
+{
+    prepareScratch(scratch);
+    const std::size_t rows = outDim(), cols = inDim();
+    for (std::size_t c = 0; c < cols; ++c)
+        scratch.inputSquared[c] = x[c] * x[c];
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *mu = muWeight_.row(r);
+        const float *rho = rhoWeight_.row(r);
+        float mean = muBias_[r];
+        const float sb = sigmaOf(rhoBias_[r]);
+        float var = sb * sb;
+        for (std::size_t c = 0; c < cols; ++c) {
+            mean += mu[c] * x[c];
+            const float s = sigmaOf(rho[c]);
+            var += s * s * scratch.inputSquared[c];
+        }
+        const float sd = std::sqrt(std::max(var, 1e-16f));
+        const float e = static_cast<float>(rng.gaussian());
+        scratch.activationEps[r] = e;
+        scratch.activationStd[r] = sd;
+        out[r] = mean + sd * e;
+    }
+}
+
+void
+VariationalDense::lrtBackward(const float *x, const float *dy,
+                              const VariationalScratch &scratch,
+                              VariationalGradients &grads, float *dx) const
+{
+    const std::size_t rows = outDim(), cols = inDim();
+    if (dx)
+        std::fill(dx, dx + cols, 0.0f);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float g = dy[r];
+        const float *mu = muWeight_.row(r);
+        const float *rho = rhoWeight_.row(r);
+        float *gmu = grads.muWeight.row(r);
+        float *grho = grads.rhoWeight.row(r);
+
+        // dL/dvar = g * eps / (2 sd); dL/dmean = g.
+        const float dvar =
+            g * scratch.activationEps[r] /
+            (2.0f * scratch.activationStd[r]);
+
+        grads.muBias[r] += g;
+        {
+            const float sb = sigmaOf(rhoBias_[r]);
+            grads.rhoBias[r] +=
+                dvar * 2.0f * sb * nn::logistic(rhoBias_[r]);
+        }
+
+        for (std::size_t c = 0; c < cols; ++c) {
+            gmu[c] += g * x[c];
+            const float s = sigmaOf(rho[c]);
+            grho[c] += dvar * 2.0f * s * scratch.inputSquared[c] *
+                nn::logistic(rho[c]);
+            if (dx) {
+                dx[c] += g * mu[c] +
+                    dvar * s * s * 2.0f * x[c];
+            }
+        }
+    }
+}
+
+double
+VariationalDense::klDivergence(float prior_sigma) const
+{
+    // KL(N(mu, s^2) || N(0, p^2)) =
+    //   ln(p/s) + (s^2 + mu^2) / (2 p^2) - 1/2, summed elementwise.
+    const double p2 = static_cast<double>(prior_sigma) * prior_sigma;
+    const double log_p = std::log(static_cast<double>(prior_sigma));
+    double kl = 0.0;
+
+    auto accumulate = [&](float mu, float rho) {
+        const double s = sigmaOf(rho);
+        kl += log_p - std::log(s) +
+            (s * s + static_cast<double>(mu) * mu) / (2.0 * p2) - 0.5;
+    };
+
+    const auto &mw = muWeight_.data();
+    const auto &rw = rhoWeight_.data();
+    for (std::size_t i = 0; i < mw.size(); ++i)
+        accumulate(mw[i], rw[i]);
+    for (std::size_t i = 0; i < muBias_.size(); ++i)
+        accumulate(muBias_[i], rhoBias_[i]);
+    return kl;
+}
+
+void
+VariationalDense::klBackward(float prior_sigma, float scale,
+                             VariationalGradients &grads) const
+{
+    const float inv_p2 = 1.0f / (prior_sigma * prior_sigma);
+
+    auto grad_pair = [&](float mu, float rho, float &gmu, float &grho) {
+        const float s = sigmaOf(rho);
+        // dKL/dmu = mu / p^2 ; dKL/dsigma = sigma/p^2 - 1/sigma.
+        gmu += scale * mu * inv_p2;
+        grho += scale * (s * inv_p2 - 1.0f / s) * nn::logistic(rho);
+    };
+
+    const auto &mw = muWeight_.data();
+    const auto &rw = rhoWeight_.data();
+    auto &gm = grads.muWeight.data();
+    auto &gr = grads.rhoWeight.data();
+    for (std::size_t i = 0; i < mw.size(); ++i)
+        grad_pair(mw[i], rw[i], gm[i], gr[i]);
+    for (std::size_t i = 0; i < muBias_.size(); ++i)
+        grad_pair(muBias_[i], rhoBias_[i], grads.muBias[i],
+                  grads.rhoBias[i]);
+}
+
+} // namespace vibnn::bnn

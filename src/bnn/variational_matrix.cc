@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Variational parameter block (see variational_matrix.hh).
+ */
+
+#include "bnn/variational_matrix.hh"
+
+#include <cmath>
+
+namespace vibnn::bnn
+{
+
+VariationalMatrix::VariationalMatrix(std::size_t rows, std::size_t cols,
+                                     Rng &rng, float init_bound,
+                                     float rho_init)
+    : mu_(rows, cols), rho_(rows, cols)
+{
+    if (init_bound > 0.0f) {
+        for (auto &m : mu_.data())
+            m = static_cast<float>(rng.uniform(-init_bound, init_bound));
+    }
+    for (auto &r : rho_.data())
+        r = rho_init + static_cast<float>(rng.uniform(-0.2, 0.2));
+}
+
+void
+VariationalMatrix::ensureShape(nn::Matrix &m) const
+{
+    if (m.rows() != mu_.rows() || m.cols() != mu_.cols())
+        m = nn::Matrix(mu_.rows(), mu_.cols());
+}
+
+void
+VariationalMatrix::meanInto(nn::Matrix &w) const
+{
+    ensureShape(w);
+    w.data() = mu_.data();
+}
+
+void
+VariationalMatrix::accumulateSampleGrad(const nn::Matrix &dw,
+                                        const nn::Matrix &eps,
+                                        nn::Matrix &g_mu,
+                                        nn::Matrix &g_rho) const
+{
+    for (std::size_t i = 0; i < mu_.size(); ++i) {
+        const float g = dw.data()[i];
+        g_mu.data()[i] += g;
+        g_rho.data()[i] +=
+            g * eps.data()[i] * nn::logistic(rho_.data()[i]);
+    }
+}
+
+double
+VariationalMatrix::klDivergence(float prior_sigma) const
+{
+    const double p2 = static_cast<double>(prior_sigma) * prior_sigma;
+    const double log_p = std::log(static_cast<double>(prior_sigma));
+    double kl = 0.0;
+    for (std::size_t i = 0; i < mu_.size(); ++i) {
+        const double s = nn::softplus(rho_.data()[i]);
+        const double m = mu_.data()[i];
+        kl += log_p - std::log(s) + (s * s + m * m) / (2.0 * p2) - 0.5;
+    }
+    return kl;
+}
+
+void
+VariationalMatrix::klBackward(float prior_sigma, float scale,
+                              nn::Matrix &g_mu, nn::Matrix &g_rho) const
+{
+    const float inv_p2 = 1.0f / (prior_sigma * prior_sigma);
+    for (std::size_t i = 0; i < mu_.size(); ++i) {
+        const float s = nn::softplus(rho_.data()[i]);
+        g_mu.data()[i] += scale * mu_.data()[i] * inv_p2;
+        g_rho.data()[i] += scale * (s * inv_p2 - 1.0f / s) *
+            nn::logistic(rho_.data()[i]);
+    }
+}
+
+} // namespace vibnn::bnn

@@ -1,0 +1,55 @@
+#include "common/env.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace vibnn
+{
+
+double
+envDouble(const std::string &name, double default_value)
+{
+    const char *raw = std::getenv(name.c_str());
+    if (!raw || !*raw)
+        return default_value;
+    char *end = nullptr;
+    double value = std::strtod(raw, &end);
+    if (end == raw)
+        return default_value;
+    return value;
+}
+
+std::int64_t
+envInt(const std::string &name, std::int64_t default_value)
+{
+    const char *raw = std::getenv(name.c_str());
+    if (!raw || !*raw)
+        return default_value;
+    char *end = nullptr;
+    long long value = std::strtoll(raw, &end, 10);
+    if (end == raw)
+        return default_value;
+    return static_cast<std::int64_t>(value);
+}
+
+double
+envScale()
+{
+    return std::max(0.01, envDouble("VIBNN_SCALE", 1.0));
+}
+
+std::uint64_t
+envSeed()
+{
+    return static_cast<std::uint64_t>(envInt("VIBNN_SEED", 20180324));
+}
+
+std::size_t
+scaledCount(std::size_t base)
+{
+    double scaled = std::round(static_cast<double>(base) * envScale());
+    return std::max<std::size_t>(1, static_cast<std::size_t>(scaled));
+}
+
+} // namespace vibnn

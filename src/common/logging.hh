@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal status/error reporting in the gem5 spirit.
+ *
+ * fatal() is for user errors (bad configuration, invalid arguments):
+ * prints and exits cleanly. panic() is for internal invariant violations
+ * (vibnn bugs): prints and aborts. inform()/warn() report status without
+ * stopping the run.
+ */
+
+#ifndef VIBNN_COMMON_LOGGING_HH
+#define VIBNN_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace vibnn
+{
+
+/** Print an informational message to stderr. */
+void inform(const std::string &message);
+
+/** Print a warning to stderr. */
+void warn(const std::string &message);
+
+/** Report a user-caused error and exit(1). */
+[[noreturn]] void fatal(const std::string &message);
+
+/** Report an internal bug and abort(). */
+[[noreturn]] void panic(const std::string &message);
+
+/**
+ * Lightweight assertion for simulator invariants. Unlike assert(), stays
+ * active in release builds: the cycle-level models rely on these checks to
+ * flag port conflicts and protocol violations.
+ */
+#define VIBNN_ASSERT(cond, msg)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream vibnn_assert_ss;                            \
+            vibnn_assert_ss << "assertion failed: " #cond " — " << msg     \
+                            << " (" << __FILE__ << ":" << __LINE__ << ")"; \
+            ::vibnn::panic(vibnn_assert_ss.str());                         \
+        }                                                                  \
+    } while (0)
+
+} // namespace vibnn
+
+#endif // VIBNN_COMMON_LOGGING_HH

@@ -1,0 +1,98 @@
+#include "common/table.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace vibnn
+{
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back({std::move(cells), false});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({{}, true});
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute per-column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        if (!row.separator)
+            grow(row.cells);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            out << cells[i];
+            if (i + 1 < cells.size()) {
+                for (std::size_t pad = cells[i].size();
+                     pad < widths[i] + 2; ++pad) {
+                    out << ' ';
+                }
+            }
+        }
+        out << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_) {
+        if (row.separator)
+            out << std::string(total, '-') << '\n';
+        else
+            emit(row.cells);
+    }
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+strfmt(const char *format, ...)
+{
+    va_list args;
+    va_start(args, format);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int size = std::vsnprintf(nullptr, 0, format, args);
+    va_end(args);
+
+    std::string result(size > 0 ? size : 0, '\0');
+    if (size > 0)
+        std::vsnprintf(result.data(), size + 1, format, args_copy);
+    va_end(args_copy);
+    return result;
+}
+
+} // namespace vibnn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures and
+ * prints it in a fixed-width layout so runs can be diffed. TextTable takes
+ * a header row plus data rows of strings and right-pads columns.
+ */
+
+#ifndef VIBNN_COMMON_TABLE_HH
+#define VIBNN_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace vibnn
+{
+
+/** Accumulates rows of cells and renders an aligned plain-text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. Rows may have differing cell counts. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/** printf-style helper returning std::string ("%.4f" etc.). */
+std::string strfmt(const char *format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace vibnn
+
+#endif // VIBNN_COMMON_TABLE_HH

@@ -1,0 +1,126 @@
+#include "common/thread_pool.hh"
+
+#include <atomic>
+#include <exception>
+
+namespace vibnn
+{
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        num_threads = hw > 1 ? hw - 1 : 0;
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    condition_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            condition_.wait(lock,
+                            [this] { return stopping_ || !jobs_.empty(); });
+            if (stopping_ && jobs_.empty())
+                return;
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+
+    // Inline path: no workers, or trivially small range.
+    if (workers_.empty() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next_index{0};
+    std::atomic<std::size_t> active_chunks{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::condition_variable done_cv;
+    std::mutex done_mutex;
+
+    auto chunk_runner = [&]() {
+        for (;;) {
+            std::size_t i = next_index.fetch_add(1);
+            if (i >= count)
+                break;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (active_chunks.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(done_mutex);
+            done_cv.notify_all();
+        }
+    };
+
+    std::size_t helpers = std::min(workers_.size(), count - 1);
+    active_chunks.store(helpers);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t i = 0; i < helpers; ++i)
+            jobs_.push(chunk_runner);
+    }
+    condition_.notify_all();
+
+    // The caller participates too.
+    for (;;) {
+        std::size_t i = next_index.fetch_add(1);
+        if (i >= count)
+            break;
+        try {
+            body(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return active_chunks.load() == 0; });
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace vibnn

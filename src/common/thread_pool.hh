@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small fixed-size worker pool with a parallelFor helper.
+ *
+ * Training and Monte-Carlo evaluation parallelize over minibatch items or
+ * test images. On single-core hosts the pool degrades gracefully to
+ * running work inline (zero threads are spawned when hardware_concurrency
+ * reports one core), so callers never need a special case.
+ */
+
+#ifndef VIBNN_COMMON_THREAD_POOL_HH
+#define VIBNN_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vibnn
+{
+
+/** Fixed-size thread pool executing void() jobs. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 means "hardware concurrency - 1"
+     *        (so the calling thread plus workers saturate the machine).
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (may be zero on single-core hosts). */
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /**
+     * Run body(i) for every i in [0, count), splitting the range across
+     * the callers thread and the workers. Blocks until all iterations
+     * finish. Exceptions in the body propagate to the caller (first one
+     * wins).
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Process-wide shared pool. */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable condition_;
+    bool stopping_ = false;
+};
+
+} // namespace vibnn
+
+#endif // VIBNN_COMMON_THREAD_POOL_HH

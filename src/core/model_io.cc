@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Model serialization (see model_io.hh).
+ */
+
+#include "core/model_io.hh"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vibnn::core
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'V', 'I', 'B', 'N', 'N', 'M', 'D', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+enum class Kind : std::uint32_t
+{
+    BayesianMlp = 1,
+    QuantizedNetwork = 2,
+    BayesianConvNet = 3,
+};
+
+/** Little-endian byte sink with a running FNV-1a checksum. */
+class Writer
+{
+  public:
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f32(float v)
+    {
+        std::uint32_t bits;
+        std::memcpy(&bits, &v, 4);
+        u32(bits);
+    }
+
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+
+    void
+    floats(const std::vector<float> &vs)
+    {
+        u64(vs.size());
+        for (float v : vs)
+            f32(v);
+    }
+
+    void
+    ints(const std::vector<std::int32_t> &vs)
+    {
+        u64(vs.size());
+        for (std::int32_t v : vs)
+            i32(v);
+    }
+
+    std::uint64_t hash() const { return hash_; }
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    void
+    byte(std::uint8_t b)
+    {
+        bytes_.push_back(b);
+        hash_ = (hash_ ^ b) * 0x100000001B3ULL;
+    }
+
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/** Bounds-checked little-endian reader with the same checksum. */
+class Reader
+{
+  public:
+    explicit Reader(std::vector<std::uint8_t> bytes)
+        : bytes_(std::move(bytes))
+    {
+    }
+
+    bool
+    u32(std::uint32_t &v)
+    {
+        std::uint8_t b[4];
+        if (!take(b, 4))
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+        return true;
+    }
+
+    bool
+    u64(std::uint64_t &v)
+    {
+        std::uint8_t b[8];
+        if (!take(b, 8))
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return true;
+    }
+
+    bool
+    f32(float &v)
+    {
+        std::uint32_t bits;
+        if (!u32(bits))
+            return false;
+        std::memcpy(&v, &bits, 4);
+        return true;
+    }
+
+    bool
+    i32(std::int32_t &v)
+    {
+        std::uint32_t bits;
+        if (!u32(bits))
+            return false;
+        v = static_cast<std::int32_t>(bits);
+        return true;
+    }
+
+    bool
+    floats(std::vector<float> &vs, std::uint64_t max_count)
+    {
+        std::uint64_t n;
+        if (!u64(n) || n > max_count)
+            return false;
+        vs.resize(n);
+        for (auto &v : vs) {
+            if (!f32(v))
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    ints(std::vector<std::int32_t> &vs, std::uint64_t max_count)
+    {
+        std::uint64_t n;
+        if (!u64(n) || n > max_count)
+            return false;
+        vs.resize(n);
+        for (auto &v : vs) {
+            if (!i32(v))
+                return false;
+        }
+        return true;
+    }
+
+    std::uint64_t hash() const { return hash_; }
+    std::size_t remaining() const { return bytes_.size() - at_; }
+
+    /** Read the 8-byte trailer *without* folding it into the hash. */
+    bool
+    trailer(std::uint64_t &v)
+    {
+        if (remaining() != 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(bytes_[at_ + i]) << (8 * i);
+        at_ += 8;
+        return true;
+    }
+
+  private:
+    bool
+    take(std::uint8_t *out, std::size_t n)
+    {
+        if (at_ + n > bytes_.size())
+            return false;
+        for (std::size_t i = 0; i < n; ++i) {
+            out[i] = bytes_[at_ + i];
+            hash_ = (hash_ ^ out[i]) * 0x100000001B3ULL;
+        }
+        at_ += n;
+        return true;
+    }
+
+    std::vector<std::uint8_t> bytes_;
+    std::size_t at_ = 0;
+    std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/** Read a whole file and verify magic/version/kind/checksum. Returns
+ *  a Reader positioned after the header, or nullptr. */
+std::unique_ptr<Reader>
+openFile(const std::string &path, Kind expected)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        warn("model_io: cannot open " + path);
+        return nullptr;
+    }
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    if (bytes.size() < sizeof(kMagic) + 8 + 8) {
+        warn("model_io: " + path + " is truncated");
+        return nullptr;
+    }
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+        warn("model_io: " + path + " has wrong magic");
+        return nullptr;
+    }
+
+    // Verify the checksum over everything between magic and trailer.
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i + 8 < bytes.size(); ++i) {
+        if (i < sizeof(kMagic))
+            continue;
+        hash = (hash ^ bytes[i]) * 0x100000001B3ULL;
+    }
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+        stored |= static_cast<std::uint64_t>(
+                      bytes[bytes.size() - 8 + i])
+            << (8 * i);
+    }
+    if (hash != stored) {
+        warn("model_io: " + path + " failed checksum (corrupted)");
+        return nullptr;
+    }
+
+    auto reader = std::make_unique<Reader>(std::vector<std::uint8_t>(
+        bytes.begin() + sizeof(kMagic), bytes.end()));
+    std::uint32_t version, kind;
+    if (!reader->u32(version) || version != kVersion) {
+        warn("model_io: " + path + " has unsupported version");
+        return nullptr;
+    }
+    if (!reader->u32(kind) ||
+        kind != static_cast<std::uint32_t>(expected)) {
+        warn("model_io: " + path + " holds a different model kind");
+        return nullptr;
+    }
+    return reader;
+}
+
+/** Write magic + (version, kind, payload) + checksum trailer. The
+ *  checksum covers version/kind/payload only, matching openFile. */
+bool
+saveWithHeader(const std::string &path, Kind kind,
+               const std::function<void(Writer &)> &payload)
+{
+    Writer w;
+    w.u32(kVersion);
+    w.u32(static_cast<std::uint32_t>(kind));
+    payload(w);
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        warn("model_io: cannot open " + path + " for writing");
+        return false;
+    }
+    out.write(kMagic, sizeof(kMagic));
+    out.write(reinterpret_cast<const char *>(w.bytes().data()),
+              static_cast<std::streamsize>(w.bytes().size()));
+    const std::uint64_t h = w.hash();
+    char trailer[8];
+    for (int i = 0; i < 8; ++i)
+        trailer[i] = static_cast<char>(h >> (8 * i));
+    out.write(trailer, 8);
+    return static_cast<bool>(out);
+}
+
+constexpr std::uint64_t kMaxElements = 1ULL << 32;
+
+} // namespace
+
+bool
+saveBayesianMlp(const bnn::BayesianMlp &net, const std::string &path)
+{
+    return saveWithHeader(path, Kind::BayesianMlp, [&](Writer &w) {
+        const auto &sizes = net.layerSizes();
+        w.u64(sizes.size());
+        for (std::size_t s : sizes)
+            w.u64(s);
+        std::vector<float> params;
+        net.gatherParams(params);
+        w.floats(params);
+    });
+}
+
+std::unique_ptr<bnn::BayesianMlp>
+loadBayesianMlp(const std::string &path)
+{
+    auto reader = openFile(path, Kind::BayesianMlp);
+    if (!reader)
+        return nullptr;
+
+    std::uint64_t count;
+    if (!reader->u64(count) || count < 2 || count > 64) {
+        warn("model_io: " + path + " has a bad layer count");
+        return nullptr;
+    }
+    std::vector<std::size_t> sizes(count);
+    for (auto &s : sizes) {
+        std::uint64_t v;
+        if (!reader->u64(v) || v == 0 || v > kMaxElements) {
+            warn("model_io: " + path + " has a bad layer size");
+            return nullptr;
+        }
+        s = static_cast<std::size_t>(v);
+    }
+    std::vector<float> params;
+    if (!reader->floats(params, kMaxElements)) {
+        warn("model_io: " + path + " parameter block truncated");
+        return nullptr;
+    }
+
+    Rng init(0); // every value is overwritten by scatterParams
+    auto net = std::make_unique<bnn::BayesianMlp>(sizes, init);
+    if (params.size() != net->paramCount()) {
+        warn("model_io: " + path + " parameter count mismatch");
+        return nullptr;
+    }
+    net->scatterParams(params);
+    return net;
+}
+
+bool
+saveBayesianConvNet(const bnn::BayesianConvNet &net,
+                    const std::string &path)
+{
+    return saveWithHeader(path, Kind::BayesianConvNet, [&](Writer &w) {
+        const auto &cfg = net.config();
+        w.u64(cfg.inChannels);
+        w.u64(cfg.imageHeight);
+        w.u64(cfg.imageWidth);
+        w.u64(cfg.numClasses);
+        w.u64(cfg.blocks.size());
+        for (const auto &b : cfg.blocks) {
+            w.u64(b.outChannels);
+            w.u64(b.kernel);
+            w.u64(b.stride);
+            w.u64(b.pad);
+            w.u32(b.pool ? 1 : 0);
+            w.u64(b.poolWindow);
+        }
+        w.u64(cfg.denseHidden.size());
+        for (std::size_t h : cfg.denseHidden)
+            w.u64(h);
+        std::vector<float> params;
+        net.gatherParams(params);
+        w.floats(params);
+    });
+}
+
+std::unique_ptr<bnn::BayesianConvNet>
+loadBayesianConvNet(const std::string &path)
+{
+    auto reader = openFile(path, Kind::BayesianConvNet);
+    if (!reader)
+        return nullptr;
+
+    auto bad = [&](const char *what) {
+        warn("model_io: " + path + " has a bad " + what);
+        return nullptr;
+    };
+
+    nn::ConvNetConfig cfg;
+    std::uint64_t v;
+    if (!reader->u64(v) || v == 0 || v > 16)
+        return bad("channel count");
+    cfg.inChannels = static_cast<std::size_t>(v);
+    if (!reader->u64(v) || v == 0 || v > 4096)
+        return bad("image height");
+    cfg.imageHeight = static_cast<std::size_t>(v);
+    if (!reader->u64(v) || v == 0 || v > 4096)
+        return bad("image width");
+    cfg.imageWidth = static_cast<std::size_t>(v);
+    if (!reader->u64(v) || v == 0 || v > 65536)
+        return bad("class count");
+    cfg.numClasses = static_cast<std::size_t>(v);
+
+    std::uint64_t blocks;
+    if (!reader->u64(blocks) || blocks > 32)
+        return bad("block count");
+    cfg.blocks.resize(blocks);
+    for (auto &b : cfg.blocks) {
+        std::uint32_t flag;
+        if (!reader->u64(v) || v == 0 || v > 4096)
+            return bad("block channels");
+        b.outChannels = static_cast<std::size_t>(v);
+        if (!reader->u64(v) || v == 0 || v > 64)
+            return bad("kernel");
+        b.kernel = static_cast<std::size_t>(v);
+        if (!reader->u64(v) || v == 0 || v > 64)
+            return bad("stride");
+        b.stride = static_cast<std::size_t>(v);
+        if (!reader->u64(v) || v >= b.kernel)
+            return bad("pad");
+        b.pad = static_cast<std::size_t>(v);
+        if (!reader->u32(flag))
+            return bad("pool flag");
+        b.pool = flag != 0;
+        if (!reader->u64(v) || v == 0 || v > 64)
+            return bad("pool window");
+        b.poolWindow = static_cast<std::size_t>(v);
+    }
+    std::uint64_t hidden;
+    if (!reader->u64(hidden) || hidden > 32)
+        return bad("hidden count");
+    cfg.denseHidden.resize(hidden);
+    for (auto &h : cfg.denseHidden) {
+        if (!reader->u64(v) || v == 0 || v > kMaxElements)
+            return bad("hidden size");
+        h = static_cast<std::size_t>(v);
+    }
+    std::vector<float> params;
+    if (!reader->floats(params, kMaxElements))
+        return bad("parameter block");
+
+    Rng init(0);
+    auto net = std::make_unique<bnn::BayesianConvNet>(cfg, init);
+    if (params.size() != net->paramCount())
+        return bad("parameter count");
+    net->scatterParams(params);
+    return net;
+}
+
+bool
+saveQuantizedNetwork(const accel::QuantizedNetwork &net,
+                     const std::string &path)
+{
+    return saveWithHeader(path, Kind::QuantizedNetwork, [&](Writer &w) {
+        w.u32(static_cast<std::uint32_t>(
+            net.activationFormat.totalBits()));
+        w.u32(static_cast<std::uint32_t>(
+            net.activationFormat.fracBits()));
+        w.u32(static_cast<std::uint32_t>(net.weightFormat.totalBits()));
+        w.u32(static_cast<std::uint32_t>(net.weightFormat.fracBits()));
+        w.u32(static_cast<std::uint32_t>(net.epsFormat.totalBits()));
+        w.u32(static_cast<std::uint32_t>(net.epsFormat.fracBits()));
+        w.u64(net.layers.size());
+        for (const auto &layer : net.layers) {
+            w.u64(layer.inDim);
+            w.u64(layer.outDim);
+            w.ints(layer.muWeight);
+            w.ints(layer.sigmaWeight);
+            w.ints(layer.muBias);
+            w.ints(layer.sigmaBias);
+        }
+    });
+}
+
+std::unique_ptr<accel::QuantizedNetwork>
+loadQuantizedNetwork(const std::string &path)
+{
+    auto reader = openFile(path, Kind::QuantizedNetwork);
+    if (!reader)
+        return nullptr;
+
+    auto bad = [&](const char *what) {
+        warn("model_io: " + path + " has a bad " + what);
+        return nullptr;
+    };
+
+    std::uint32_t fmt[6];
+    for (auto &f : fmt) {
+        if (!reader->u32(f) || f > 32)
+            return bad("fixed-point format");
+    }
+    auto net = std::make_unique<accel::QuantizedNetwork>();
+    net->activationFormat = fixed::FixedPointFormat(
+        static_cast<int>(fmt[0]), static_cast<int>(fmt[1]));
+    net->weightFormat = fixed::FixedPointFormat(static_cast<int>(fmt[2]),
+                                                static_cast<int>(fmt[3]));
+    net->epsFormat = fixed::FixedPointFormat(static_cast<int>(fmt[4]),
+                                             static_cast<int>(fmt[5]));
+
+    std::uint64_t count;
+    if (!reader->u64(count) || count == 0 || count > 64)
+        return bad("layer count");
+    net->layers.resize(count);
+    for (auto &layer : net->layers) {
+        std::uint64_t in, out;
+        if (!reader->u64(in) || !reader->u64(out) || in == 0 ||
+            out == 0 || in > kMaxElements || out > kMaxElements)
+            return bad("layer dims");
+        layer.inDim = static_cast<std::size_t>(in);
+        layer.outDim = static_cast<std::size_t>(out);
+        if (!reader->ints(layer.muWeight, kMaxElements) ||
+            !reader->ints(layer.sigmaWeight, kMaxElements) ||
+            !reader->ints(layer.muBias, kMaxElements) ||
+            !reader->ints(layer.sigmaBias, kMaxElements))
+            return bad("parameter plane");
+        if (layer.muWeight.size() != layer.inDim * layer.outDim ||
+            layer.sigmaWeight.size() != layer.inDim * layer.outDim ||
+            layer.muBias.size() != layer.outDim ||
+            layer.sigmaBias.size() != layer.outDim)
+            return bad("plane shape");
+    }
+    return net;
+}
+
+} // namespace vibnn::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Model serialization — the deployment-image flow of the paper made
+ * durable.
+ *
+ * The paper trains on CPU/GPU and migrates the variational parameters
+ * (mu, sigma) to the FPGA's memory (Section 2.2). This module provides
+ * the file formats for exactly that hand-off:
+ *
+ *  - a trained BayesianMlp / BayesianConvNet (float mu/rho, so training
+ *    can resume and requantization at other bit-lengths is possible);
+ *  - a QuantizedNetwork (the raw integer planes the accelerator loads —
+ *    the actual deployment image).
+ *
+ * Format: little-endian binary; magic "VIBNNMDL", format version, a
+ * kind tag, the payload, and an FNV-1a checksum trailer. Loaders return
+ * nullptr (with a warn()) on any structural or checksum failure —
+ * corrupted images must never reach the accelerator.
+ */
+
+#ifndef VIBNN_CORE_MODEL_IO_HH
+#define VIBNN_CORE_MODEL_IO_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/config.hh"
+#include "bnn/bayesian_cnn.hh"
+#include "bnn/bayesian_mlp.hh"
+
+namespace vibnn::core
+{
+
+/** Save a trained Bayesian MLP. @return false on IO failure. */
+bool saveBayesianMlp(const bnn::BayesianMlp &net, const std::string &path);
+
+/** Load a Bayesian MLP; nullptr (after warn()) on any failure. */
+std::unique_ptr<bnn::BayesianMlp>
+loadBayesianMlp(const std::string &path);
+
+/** Save a trained Bayesian ConvNet. @return false on IO failure. */
+bool saveBayesianConvNet(const bnn::BayesianConvNet &net,
+                         const std::string &path);
+
+/** Load a Bayesian ConvNet; nullptr (after warn()) on any failure. */
+std::unique_ptr<bnn::BayesianConvNet>
+loadBayesianConvNet(const std::string &path);
+
+/** Save a quantized deployment image. @return false on IO failure. */
+bool saveQuantizedNetwork(const accel::QuantizedNetwork &net,
+                          const std::string &path);
+
+/** Load a quantized deployment image; nullptr on any failure. */
+std::unique_ptr<accel::QuantizedNetwork>
+loadQuantizedNetwork(const std::string &path);
+
+} // namespace vibnn::core
+
+#endif // VIBNN_CORE_MODEL_IO_HH

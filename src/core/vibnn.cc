@@ -1,0 +1,135 @@
+#include "core/vibnn.hh"
+
+#include "common/logging.hh"
+
+namespace vibnn::core
+{
+
+VibnnSystem::VibnnSystem(const bnn::BayesianMlp &net,
+                         const accel::AcceleratorConfig &config,
+                         std::string grng_id, std::uint64_t seed)
+    : net_(std::make_unique<bnn::BayesianMlp>(net)), config_(config),
+      quantized_(accel::quantizeNetwork(net, config)),
+      grngId_(std::move(grng_id)), seed_(seed)
+{
+    config_.validate(quantized_.layerSizes());
+}
+
+VibnnSystem
+VibnnSystem::train(const data::Dataset &dataset,
+                   const std::vector<std::size_t> &hidden,
+                   const bnn::BnnTrainConfig &train_config,
+                   const accel::AcceleratorConfig &accel_config,
+                   const std::string &grng_id)
+{
+    std::vector<std::size_t> sizes;
+    sizes.push_back(dataset.train.dim);
+    sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+    sizes.push_back(static_cast<std::size_t>(dataset.train.numClasses));
+
+    Rng init_rng(train_config.seed);
+    bnn::BayesianMlp net(sizes, init_rng);
+    trainBnn(net, dataset.train.view(), train_config);
+    return VibnnSystem(net, accel_config, grng_id,
+                       train_config.seed + 0xC0FFEE);
+}
+
+double
+VibnnSystem::softwareAccuracy(const nn::DataView &data,
+                              std::size_t mc_samples,
+                              std::uint64_t seed) const
+{
+    return bnn::evaluateBnnAccuracy(*net_, data, mc_samples, seed);
+}
+
+double
+VibnnSystem::hardwareAccuracy(const nn::DataView &data) const
+{
+    auto generator = grng::makeGenerator(grngId_, seed_);
+    accel::FunctionalRunner runner(quantized_, config_, generator.get());
+    if (data.count == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.count; ++i) {
+        if (runner.classify(data.sample(i)) ==
+            static_cast<std::size_t>(data.labels[i])) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.count);
+}
+
+accel::CycleStats
+VibnnSystem::simulateTiming(const nn::DataView &data,
+                            std::size_t images) const
+{
+    VIBNN_ASSERT(data.count > 0, "need at least one image");
+    auto generator = grng::makeGenerator(grngId_, seed_);
+    accel::Simulator sim(quantized_, config_, generator.get());
+    for (std::size_t i = 0; i < images; ++i)
+        sim.runPass(data.sample(i % data.count));
+    return sim.stats();
+}
+
+std::unique_ptr<accel::Simulator>
+VibnnSystem::makeSimulator() const
+{
+    auto generator = grng::makeGenerator(grngId_, seed_);
+    // The simulator does not own the generator; keep it alive by
+    // binding its lifetime to the returned object via a deleter pair.
+    auto *gen_raw = generator.release();
+    struct OwningSimulator : accel::Simulator
+    {
+        OwningSimulator(const accel::QuantizedNetwork &n,
+                        const accel::AcceleratorConfig &c,
+                        grng::GaussianGenerator *g)
+            : accel::Simulator(n, c, g), owned(g)
+        {
+        }
+        std::unique_ptr<grng::GaussianGenerator> owned;
+    };
+    return std::make_unique<OwningSimulator>(quantized_, config_,
+                                             gen_raw);
+}
+
+std::unique_ptr<accel::FunctionalRunner>
+VibnnSystem::makeFunctionalRunner() const
+{
+    auto generator = grng::makeGenerator(grngId_, seed_);
+    auto *gen_raw = generator.release();
+    struct OwningRunner : accel::FunctionalRunner
+    {
+        OwningRunner(const accel::QuantizedNetwork &n,
+                     const accel::AcceleratorConfig &c,
+                     grng::GaussianGenerator *g)
+            : accel::FunctionalRunner(n, c, g), owned(g)
+        {
+        }
+        std::unique_ptr<grng::GaussianGenerator> owned;
+    };
+    return std::make_unique<OwningRunner>(quantized_, config_, gen_raw);
+}
+
+hw::DesignEstimate
+VibnnSystem::resourceEstimate() const
+{
+    hw::NetworkHwConfig hw_config;
+    hw_config.layerSizes.clear();
+    for (std::size_t s : quantized_.layerSizes())
+        hw_config.layerSizes.push_back(static_cast<int>(s));
+    hw_config.peSets = config_.peSets;
+    hw_config.pesPerSet = config_.pesPerSet;
+    hw_config.peInputs = config_.peInputs();
+    hw_config.bits = config_.bits;
+    hw_config.grng = grngId_ == "bnnwallace" ? hw::GrngKind::BnnWallace
+                                             : hw::GrngKind::Rlf;
+    return networkEstimate(hw_config);
+}
+
+hw::PerformanceModel
+VibnnSystem::performance(double cycles_per_image) const
+{
+    return performanceFromCycles(resourceEstimate(), cycles_per_image);
+}
+
+} // namespace vibnn::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * VIBNN public facade — the API a downstream user adopts.
+ *
+ * A VibnnSystem owns a trained Bayesian MLP together with an
+ * accelerator configuration and provides the full deployment flow of
+ * the paper:
+ *
+ *   train (host, Bayes-by-Backprop)
+ *     -> quantize (mu, sigma) onto the B-bit grids
+ *     -> run inference either in software (float, MC ensemble) or on
+ *        the modeled hardware (functional fixed-point path, or the
+ *        cycle-level simulator for timing)
+ *     -> query the FPGA resource / power / throughput estimates.
+ *
+ * See examples/quickstart.cc for the canonical usage.
+ */
+
+#ifndef VIBNN_CORE_VIBNN_HH
+#define VIBNN_CORE_VIBNN_HH
+
+#include <memory>
+#include <string>
+
+#include "accel/functional.hh"
+#include "accel/simulator.hh"
+#include "bnn/bnn_trainer.hh"
+#include "data/dataset.hh"
+#include "grng/registry.hh"
+#include "hwmodel/network_hw.hh"
+
+namespace vibnn::core
+{
+
+/** End-to-end VIBNN deployment handle. */
+class VibnnSystem
+{
+  public:
+    /**
+     * @param net A (typically trained) Bayesian network; copied in.
+     * @param config Accelerator geometry and bit-length.
+     * @param grng_id GRNG design id (see grng::makeGenerator).
+     * @param seed Seed for the hardware GRNG instance.
+     */
+    VibnnSystem(const bnn::BayesianMlp &net,
+                const accel::AcceleratorConfig &config,
+                std::string grng_id = "rlf", std::uint64_t seed = 1);
+
+    /** Train a fresh BNN on a dataset and wrap it. */
+    static VibnnSystem train(const data::Dataset &dataset,
+                             const std::vector<std::size_t> &hidden,
+                             const bnn::BnnTrainConfig &train_config,
+                             const accel::AcceleratorConfig &accel_config,
+                             const std::string &grng_id = "rlf");
+
+    /** The software model. */
+    const bnn::BayesianMlp &network() const { return *net_; }
+    bnn::BayesianMlp &network() { return *net_; }
+
+    /** The quantized deployment image. */
+    const accel::QuantizedNetwork &quantized() const { return quantized_; }
+
+    const accel::AcceleratorConfig &config() const { return config_; }
+    const std::string &grngId() const { return grngId_; }
+
+    /** Software (float) MC-ensemble accuracy. */
+    double softwareAccuracy(const nn::DataView &data,
+                            std::size_t mc_samples,
+                            std::uint64_t seed) const;
+
+    /** Hardware (fixed-point functional path) MC-ensemble accuracy. */
+    double hardwareAccuracy(const nn::DataView &data) const;
+
+    /**
+     * Cycle-accurate timing: simulate `images` single MC passes and
+     * return the statistics (cycles per pass feeds Table 5).
+     */
+    accel::CycleStats simulateTiming(const nn::DataView &data,
+                                     std::size_t images) const;
+
+    /** Fresh cycle-level simulator (caller drives it directly). */
+    std::unique_ptr<accel::Simulator> makeSimulator() const;
+
+    /** Fresh functional runner. */
+    std::unique_ptr<accel::FunctionalRunner> makeFunctionalRunner() const;
+
+    /** FPGA resource/power estimate for this configuration. */
+    hw::DesignEstimate resourceEstimate() const;
+
+    /** Table 5 operating point given measured cycles per image pass. */
+    hw::PerformanceModel performance(double cycles_per_image) const;
+
+  private:
+    std::unique_ptr<bnn::BayesianMlp> net_;
+    accel::AcceleratorConfig config_;
+    accel::QuantizedNetwork quantized_;
+    std::string grngId_;
+    std::uint64_t seed_;
+};
+
+} // namespace vibnn::core
+
+#endif // VIBNN_CORE_VIBNN_HH

@@ -1,0 +1,105 @@
+#include "data/dataset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vibnn::data
+{
+
+nn::DataView
+LabeledData::view() const
+{
+    nn::DataView v;
+    v.count = count();
+    v.dim = dim;
+    v.features = features.data();
+    v.labels = labels.data();
+    return v;
+}
+
+void
+LabeledData::push(const float *x, int label)
+{
+    features.insert(features.end(), x, x + dim);
+    labels.push_back(label);
+}
+
+LabeledData
+stratifiedFraction(const LabeledData &full, double fraction, Rng &rng)
+{
+    VIBNN_ASSERT(fraction > 0.0 && fraction <= 1.0,
+                 "fraction must be in (0, 1]");
+    LabeledData subset;
+    subset.dim = full.dim;
+    subset.numClasses = full.numClasses;
+
+    // Bucket indices by class, shuffle each bucket, take the head.
+    std::vector<std::vector<std::size_t>> buckets(full.numClasses);
+    for (std::size_t i = 0; i < full.count(); ++i)
+        buckets[full.labels[i]].push_back(i);
+
+    std::vector<std::size_t> chosen;
+    for (auto &bucket : buckets) {
+        rng.shuffle(bucket);
+        const auto keep = static_cast<std::size_t>(
+            std::ceil(fraction * static_cast<double>(bucket.size())));
+        for (std::size_t k = 0; k < keep && k < bucket.size(); ++k)
+            chosen.push_back(bucket[k]);
+    }
+    rng.shuffle(chosen);
+
+    subset.features.reserve(chosen.size() * full.dim);
+    subset.labels.reserve(chosen.size());
+    for (std::size_t i : chosen)
+        subset.push(full.sample(i), full.labels[i]);
+    return subset;
+}
+
+void
+standardize(const LabeledData &fit, std::vector<LabeledData *> apply)
+{
+    VIBNN_ASSERT(fit.count() > 1, "need data to fit normalization");
+    const std::size_t dim = fit.dim;
+    std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+
+    for (std::size_t i = 0; i < fit.count(); ++i) {
+        const float *x = fit.sample(i);
+        for (std::size_t d = 0; d < dim; ++d)
+            mean[d] += x[d];
+    }
+    for (auto &m : mean)
+        m /= static_cast<double>(fit.count());
+    for (std::size_t i = 0; i < fit.count(); ++i) {
+        const float *x = fit.sample(i);
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double delta = x[d] - mean[d];
+            var[d] += delta * delta;
+        }
+    }
+    for (auto &v : var)
+        v /= static_cast<double>(fit.count() - 1);
+
+    for (LabeledData *block : apply) {
+        VIBNN_ASSERT(block->dim == dim, "dim mismatch in standardize");
+        for (std::size_t i = 0; i < block->count(); ++i) {
+            float *x = block->features.data() + i * dim;
+            for (std::size_t d = 0; d < dim; ++d) {
+                const double sd = std::sqrt(std::max(var[d], 1e-12));
+                x[d] = static_cast<float>((x[d] - mean[d]) / sd);
+            }
+        }
+    }
+}
+
+std::vector<std::size_t>
+classHistogram(const LabeledData &data)
+{
+    std::vector<std::size_t> hist(data.numClasses, 0);
+    for (int label : data.labels)
+        ++hist[label];
+    return hist;
+}
+
+} // namespace vibnn::data

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dataset containers and utilities: train/test splits, stratified
+ * fraction subsetting (for the small-data study, Figures 16/17), and
+ * feature standardization.
+ */
+
+#ifndef VIBNN_DATA_DATASET_HH
+#define VIBNN_DATA_DATASET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/trainer.hh"
+
+namespace vibnn::data
+{
+
+/** A labeled sample block: row-major features plus integer labels. */
+struct LabeledData
+{
+    std::size_t dim = 0;
+    int numClasses = 0;
+    std::vector<float> features;
+    std::vector<int> labels;
+
+    std::size_t count() const { return labels.size(); }
+    const float *sample(std::size_t i) const
+    {
+        return features.data() + i * dim;
+    }
+
+    /** Borrow as the trainer's non-owning view. */
+    nn::DataView view() const;
+
+    /** Append one sample. */
+    void push(const float *x, int label);
+};
+
+/** A named train/test pair. */
+struct Dataset
+{
+    std::string name;
+    LabeledData train;
+    LabeledData test;
+};
+
+/**
+ * Stratified random subset keeping ceil(fraction * per-class count)
+ * samples of each class — the Figure 16 protocol ("randomly choose a
+ * fraction of the training data").
+ */
+LabeledData stratifiedFraction(const LabeledData &full, double fraction,
+                               Rng &rng);
+
+/** Per-feature standardization (mean 0, stddev 1) computed on `fit` and
+ *  applied to every block in `apply`. */
+void standardize(const LabeledData &fit,
+                 std::vector<LabeledData *> apply);
+
+/** Count per-class occurrences. */
+std::vector<std::size_t> classHistogram(const LabeledData &data);
+
+} // namespace vibnn::data
+
+#endif // VIBNN_DATA_DATASET_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic sequence task (see sequences.hh).
+ */
+
+#include "data/sequences.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vibnn::data
+{
+
+namespace
+{
+
+/** Per-class template: two sinusoids per channel. */
+struct ClassTemplate
+{
+    struct Channel
+    {
+        double freq1, phase1, amp1;
+        double freq2, phase2, amp2;
+    };
+    std::vector<Channel> channels;
+
+    double
+    value(std::size_t channel, double t) const
+    {
+        const auto &c = channels[channel];
+        return c.amp1 * std::sin(c.freq1 * t + c.phase1) +
+            c.amp2 * std::sin(c.freq2 * t + c.phase2);
+    }
+};
+
+std::vector<ClassTemplate>
+makeTemplates(const SequenceTaskConfig &config, Rng &rng)
+{
+    std::vector<ClassTemplate> templates(config.classes);
+    for (auto &tpl : templates) {
+        tpl.channels.resize(config.featDim);
+        for (auto &c : tpl.channels) {
+            // Frequencies span one to three full periods per sequence.
+            const double base = 2.0 * M_PI /
+                static_cast<double>(config.seqLen);
+            c.freq1 = base * rng.uniform(1.0, 3.0);
+            c.freq2 = base * rng.uniform(2.0, 5.0);
+            c.phase1 = rng.uniform(0.0, 2.0 * M_PI);
+            c.phase2 = rng.uniform(0.0, 2.0 * M_PI);
+            c.amp1 = rng.uniform(0.5, 1.0);
+            c.amp2 = rng.uniform(0.2, 0.6);
+        }
+    }
+    return templates;
+}
+
+void
+fillBlock(LabeledData &block, std::size_t count,
+          const std::vector<ClassTemplate> &templates,
+          const SequenceTaskConfig &config, Rng &rng)
+{
+    block.dim = config.seqLen * config.featDim;
+    block.numClasses = static_cast<int>(config.classes);
+    block.features.reserve(count * block.dim);
+    block.labels.reserve(count);
+
+    std::vector<float> row(block.dim);
+    for (std::size_t i = 0; i < count; ++i) {
+        const int label =
+            static_cast<int>(rng.uniformInt(config.classes));
+        const auto &tpl = templates[static_cast<std::size_t>(label)];
+        const double shift =
+            rng.uniform(-config.maxPhaseShift, config.maxPhaseShift);
+        for (std::size_t t = 0; t < config.seqLen; ++t) {
+            for (std::size_t f = 0; f < config.featDim; ++f) {
+                const double clean =
+                    tpl.value(f, static_cast<double>(t) + shift);
+                row[t * config.featDim + f] = static_cast<float>(
+                    clean + rng.gaussian(0.0, config.noise));
+            }
+        }
+        block.push(row.data(), label);
+    }
+}
+
+} // namespace
+
+Dataset
+makeSequenceTask(const SequenceTaskConfig &config)
+{
+    VIBNN_ASSERT(config.classes >= 2, "need at least two classes");
+    VIBNN_ASSERT(config.seqLen >= 2 && config.featDim >= 1,
+                 "degenerate sequence geometry");
+
+    Dataset dataset;
+    dataset.name = "synthetic-sequences";
+    Rng rng(config.seed);
+    const auto templates = makeTemplates(config, rng);
+    fillBlock(dataset.train, config.trainCount, templates, config, rng);
+    fillBlock(dataset.test, config.testCount, templates, config, rng);
+    return dataset;
+}
+
+} // namespace vibnn::data

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic sequence-classification task for the RNN extension.
+ *
+ * Each class is a smooth multivariate trajectory template (a sum of two
+ * random sinusoids per feature channel, drawn once per class); samples
+ * are the template plus white noise and a random phase offset. The task
+ * is temporal by construction — class information lives in the joint
+ * evolution of the channels, and the per-timestep marginals overlap —
+ * which is what a recurrent model exploits and a bag-of-timesteps
+ * cannot. Sequences are stored as flat rows (seqLen * featDim) so they
+ * ride the standard DataView plumbing.
+ */
+
+#ifndef VIBNN_DATA_SEQUENCES_HH
+#define VIBNN_DATA_SEQUENCES_HH
+
+#include <cstdint>
+
+#include "data/dataset.hh"
+
+namespace vibnn::data
+{
+
+/** Generation parameters for the sequence task. */
+struct SequenceTaskConfig
+{
+    std::size_t classes = 3;
+    std::size_t seqLen = 16;
+    std::size_t featDim = 4;
+    std::size_t trainCount = 600;
+    std::size_t testCount = 300;
+    /** Additive white-noise std-dev (template amplitude is ~1). */
+    double noise = 0.4;
+    /** Random per-sample phase offset range, in timesteps. */
+    double maxPhaseShift = 2.0;
+    std::uint64_t seed = 1;
+};
+
+/** Build the train/test pair. */
+Dataset makeSequenceTask(const SequenceTaskConfig &config);
+
+} // namespace vibnn::data
+
+#endif // VIBNN_DATA_SEQUENCES_HH

@@ -1,0 +1,210 @@
+#include "data/tabular.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vibnn::data
+{
+
+Dataset
+makeTabular(const TabularSpec &spec)
+{
+    VIBNN_ASSERT(spec.informative <= spec.features,
+                 "informative exceeds feature count");
+    VIBNN_ASSERT(spec.classes >= 2, "need at least two classes");
+
+    Dataset ds;
+    ds.name = spec.name;
+    Rng rng(spec.seed);
+
+    // Cluster centroids: per class, per cluster, a point in the
+    // informative subspace at distance ~classSeparation from origin.
+    std::vector<std::vector<std::vector<double>>> centroids(spec.classes);
+    for (int c = 0; c < spec.classes; ++c) {
+        centroids[c].resize(spec.clustersPerClass);
+        for (auto &center : centroids[c]) {
+            center.resize(spec.informative);
+            for (auto &v : center)
+                v = rng.gaussian(0.0, spec.classSeparation);
+        }
+    }
+
+    std::vector<double> weights = spec.classWeights;
+    if (weights.empty())
+        weights.assign(spec.classes, 1.0 / spec.classes);
+    VIBNN_ASSERT(static_cast<int>(weights.size()) == spec.classes,
+                 "class weight count mismatch");
+
+    auto draw_class = [&]() {
+        double u = rng.uniform();
+        for (int c = 0; c < spec.classes; ++c) {
+            if (u < weights[c])
+                return c;
+            u -= weights[c];
+        }
+        return spec.classes - 1;
+    };
+
+    auto fill = [&](LabeledData &block, std::size_t count) {
+        block.dim = spec.features;
+        block.numClasses = spec.classes;
+        block.features.reserve(count * spec.features);
+        block.labels.reserve(count);
+        std::vector<float> x(spec.features);
+        for (std::size_t i = 0; i < count; ++i) {
+            const int true_class = draw_class();
+            const auto &center =
+                centroids[true_class][rng.uniformInt(
+                    static_cast<std::uint64_t>(spec.clustersPerClass))];
+            for (std::size_t d = 0; d < spec.features; ++d) {
+                const double base =
+                    d < spec.informative ? center[d] : 0.0;
+                x[d] = static_cast<float>(
+                    base + rng.gaussian(0.0, spec.withinNoise));
+            }
+            int label = true_class;
+            if (rng.bernoulli(spec.labelNoise))
+                label = static_cast<int>(rng.uniformInt(
+                    static_cast<std::uint64_t>(spec.classes)));
+            block.push(x.data(), label);
+        }
+    };
+
+    fill(ds.train, spec.trainCount);
+    fill(ds.test, spec.testCount);
+    standardize(ds.train, {&ds.train, &ds.test});
+    return ds;
+}
+
+TabularSpec
+parkinsonSpec(bool modified_small_train, std::uint64_t seed)
+{
+    TabularSpec spec;
+    spec.name = modified_small_train
+                    ? "Parkinson Speech Dataset (Modified)"
+                    : "Parkinson Speech Dataset (Original)";
+    spec.features = 26; // 26 acoustic features per recording
+    spec.classes = 2;
+    if (modified_small_train) {
+        // Small-data scenario: most samples relocated to the test set,
+        // and only a handful of the acoustic features truly carry
+        // signal — the regime where the FNN overfits (paper: 60.28%)
+        // and the BNN holds up (95.68%).
+        spec.trainCount = 64;
+        spec.testCount = 976;
+        spec.informative = 5;
+        spec.classSeparation = 1.5;
+        spec.labelNoise = 0.03;
+    } else {
+        spec.trainCount = 700;
+        spec.testCount = 340;
+        spec.informative = 12;
+        spec.classSeparation = 1.9;
+        spec.labelNoise = 0.02;
+    }
+    spec.classWeights = {0.5, 0.5};
+    spec.clustersPerClass = 2;
+    spec.withinNoise = 1.0;
+    spec.seed = seed ^ 0x9A17C50FULL;
+    return spec;
+}
+
+TabularSpec
+retinopathySpec(std::uint64_t seed)
+{
+    TabularSpec spec;
+    spec.name = "Diabetics Retinopathy Debrecen Dataset";
+    spec.features = 19; // 19 extracted image features
+    spec.informative = 8;
+    spec.classes = 2;
+    spec.trainCount = 800; // of 1151 total
+    spec.testCount = 351;
+    spec.classWeights = {0.53, 0.47};
+    spec.clustersPerClass = 3;
+    spec.classSeparation = 0.85; // hard task: paper accuracy ~75%
+    spec.withinNoise = 1.0;
+    spec.labelNoise = 0.08;
+    spec.seed = seed ^ 0xD14B371ULL;
+    return spec;
+}
+
+TabularSpec
+thoracicSpec(std::uint64_t seed)
+{
+    TabularSpec spec;
+    spec.name = "Thoracic Surgery Dataset";
+    spec.features = 16; // 16 pre-operative attributes
+    spec.informative = 7;
+    spec.classes = 2;
+    spec.trainCount = 329; // of 470 total
+    spec.testCount = 141;
+    spec.classWeights = {0.85, 0.15}; // 1-year survival imbalance
+    spec.clustersPerClass = 2;
+    spec.classSeparation = 0.9;
+    spec.withinNoise = 1.0;
+    spec.labelNoise = 0.08;
+    spec.seed = seed ^ 0x7404AC1CULL;
+    return spec;
+}
+
+TabularSpec
+tox21Spec(const std::string &task, std::uint64_t seed)
+{
+    TabularSpec spec;
+    spec.name = "TOX21:" + task;
+    spec.features = 100; // substitute for the ~801 dense descriptors
+    spec.informative = 30;
+    spec.classes = 2;
+    spec.trainCount = 1200;
+    spec.testCount = 500;
+    spec.clustersPerClass = 3;
+    spec.withinNoise = 1.0;
+
+    // Per-task imbalance / difficulty roughly tracking the reported
+    // accuracies (~83% for SR.ARE up to ~94% for SR.ATAD5).
+    std::uint64_t salt = 0;
+    for (char ch : task)
+        salt = salt * 131 + static_cast<unsigned char>(ch);
+    if (task == "NR.AhR") {
+        spec.classWeights = {0.88, 0.12};
+        spec.classSeparation = 1.05;
+        spec.labelNoise = 0.05;
+    } else if (task == "SR.ARE") {
+        spec.classWeights = {0.84, 0.16};
+        spec.classSeparation = 0.78;
+        spec.labelNoise = 0.10;
+    } else if (task == "SR.ATAD5") {
+        spec.classWeights = {0.93, 0.07};
+        spec.classSeparation = 1.12;
+        spec.labelNoise = 0.03;
+    } else if (task == "SR.MMP") {
+        spec.classWeights = {0.85, 0.15};
+        spec.classSeparation = 0.95;
+        spec.labelNoise = 0.06;
+    } else { // SR.P53
+        spec.classWeights = {0.91, 0.09};
+        spec.classSeparation = 1.05;
+        spec.labelNoise = 0.04;
+    }
+    spec.seed = seed ^ (salt * 0x2545F4914F6CDD1DULL);
+    return spec;
+}
+
+std::vector<TabularSpec>
+table7Specs(std::uint64_t seed)
+{
+    return {
+        parkinsonSpec(true, seed),
+        parkinsonSpec(false, seed),
+        retinopathySpec(seed),
+        thoracicSpec(seed),
+        tox21Spec("NR.AhR", seed),
+        tox21Spec("SR.ARE", seed),
+        tox21Spec("SR.ATAD5", seed),
+        tox21Spec("SR.MMP", seed),
+        tox21Spec("SR.P53", seed),
+    };
+}
+
+} // namespace vibnn::data

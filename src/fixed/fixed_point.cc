@@ -1,0 +1,102 @@
+#include "fixed/fixed_point.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace vibnn::fixed
+{
+
+FixedPointFormat::FixedPointFormat(int total_bits, int frac_bits)
+    : totalBits_(total_bits), fracBits_(frac_bits)
+{
+    VIBNN_ASSERT(total_bits >= 2 && total_bits <= 32,
+                 "fixed-point width out of range: " << total_bits);
+    VIBNN_ASSERT(frac_bits >= 0 && frac_bits < total_bits,
+                 "fraction bits out of range: " << frac_bits);
+    rawMax_ = (std::int64_t{1} << (total_bits - 1)) - 1;
+    rawMin_ = -(std::int64_t{1} << (total_bits - 1));
+    resolution_ = std::ldexp(1.0, -frac_bits);
+}
+
+std::int64_t
+FixedPointFormat::fromReal(double value, RoundMode mode) const
+{
+    const double scaled = value / resolution_;
+    double rounded;
+    switch (mode) {
+      case RoundMode::Nearest:
+        rounded = std::round(scaled);
+        break;
+      case RoundMode::Floor:
+      default:
+        rounded = std::floor(scaled);
+        break;
+    }
+    if (rounded >= static_cast<double>(rawMax_))
+        return rawMax_;
+    if (rounded <= static_cast<double>(rawMin_))
+        return rawMin_;
+    return static_cast<std::int64_t>(rounded);
+}
+
+double
+FixedPointFormat::toReal(std::int64_t raw) const
+{
+    return static_cast<double>(raw) * resolution_;
+}
+
+std::int64_t
+FixedPointFormat::saturate(std::int64_t raw) const
+{
+    return std::clamp(raw, rawMin_, rawMax_);
+}
+
+std::int64_t
+FixedPointFormat::add(std::int64_t a, std::int64_t b) const
+{
+    return saturate(a + b);
+}
+
+std::int64_t
+FixedPointFormat::sub(std::int64_t a, std::int64_t b) const
+{
+    return saturate(a - b);
+}
+
+std::int64_t
+FixedPointFormat::mul(std::int64_t a, std::int64_t b, RoundMode mode) const
+{
+    std::int64_t product = a * b; // fits: |a|,|b| <= 2^31
+    std::int64_t shifted;
+    if (fracBits_ == 0) {
+        shifted = product;
+    } else if (mode == RoundMode::Nearest) {
+        const std::int64_t half = std::int64_t{1} << (fracBits_ - 1);
+        // Round half away from zero.
+        if (product >= 0)
+            shifted = (product + half) >> fracBits_;
+        else
+            shifted = -((-product + half) >> fracBits_);
+    } else {
+        // Arithmetic shift right == floor for two's complement.
+        shifted = product >> fracBits_;
+    }
+    return saturate(shifted);
+}
+
+double
+FixedPointFormat::quantize(double value, RoundMode mode) const
+{
+    return toReal(fromReal(value, mode));
+}
+
+std::string
+FixedPointFormat::name() const
+{
+    return strfmt("Q%d.%d", totalBits_, fracBits_);
+}
+
+} // namespace vibnn::fixed

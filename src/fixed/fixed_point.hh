@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Runtime-parameterized signed fixed-point arithmetic.
+ *
+ * The VIBNN hardware path computes everything in B-bit two's-complement
+ * fixed point (the paper's bit-length optimization, Section 5.2 / Figure
+ * 18, sweeps B and settles on 8). Because B is a *runtime* experiment
+ * parameter here, the format is a value object rather than a template:
+ * FixedPointFormat describes (total bits, fraction bits) and provides
+ * conversion, saturating arithmetic, and the exact truncation semantics
+ * the datapath models need. Raw values are carried in int64_t, which
+ * comfortably holds any product of two <= 24-bit operands plus adder-tree
+ * growth before requantization.
+ */
+
+#ifndef VIBNN_FIXED_FIXED_POINT_HH
+#define VIBNN_FIXED_FIXED_POINT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace vibnn::fixed
+{
+
+/** How to map real values onto the grid. */
+enum class RoundMode
+{
+    /** Round to nearest, ties away from zero (hardware rounders). */
+    Nearest,
+    /** Truncate toward negative infinity (a plain bit drop). */
+    Floor,
+};
+
+/** Signed two's-complement fixed-point format Q(total, frac). */
+class FixedPointFormat
+{
+  public:
+    /**
+     * @param total_bits Total width including sign, 2..32.
+     * @param frac_bits Fraction bits, 0..total_bits-1.
+     */
+    FixedPointFormat(int total_bits, int frac_bits);
+
+    int totalBits() const { return totalBits_; }
+    int fracBits() const { return fracBits_; }
+    int intBits() const { return totalBits_ - fracBits_; }
+
+    /** Largest representable raw value: 2^(total-1) - 1. */
+    std::int64_t rawMax() const { return rawMax_; }
+    /** Smallest representable raw value: -2^(total-1). */
+    std::int64_t rawMin() const { return rawMin_; }
+
+    /** Real value of one LSB: 2^-frac. */
+    double resolution() const { return resolution_; }
+    /** Largest representable real value. */
+    double realMax() const { return rawMax_ * resolution_; }
+    /** Smallest representable real value. */
+    double realMin() const { return rawMin_ * resolution_; }
+
+    /** Quantize a real value to a raw fixed-point integer, saturating. */
+    std::int64_t fromReal(double value,
+                          RoundMode mode = RoundMode::Nearest) const;
+
+    /** Real value of a raw fixed-point integer. */
+    double toReal(std::int64_t raw) const;
+
+    /** Clamp an int64 intermediate into the representable raw range. */
+    std::int64_t saturate(std::int64_t raw) const;
+
+    /** Saturating add of two raw values in this format. */
+    std::int64_t add(std::int64_t a, std::int64_t b) const;
+
+    /** Saturating subtract. */
+    std::int64_t sub(std::int64_t a, std::int64_t b) const;
+
+    /**
+     * Multiply two raw values in this format and requantize the product
+     * back into the format (the product has 2*frac fraction bits; we
+     * shift right by frac with the chosen rounding, then saturate). This
+     * mirrors a hardware multiplier followed by a rounding stage.
+     */
+    std::int64_t mul(std::int64_t a, std::int64_t b,
+                     RoundMode mode = RoundMode::Floor) const;
+
+    /** Quantize real -> raw -> real in one call (the "what the hardware
+     *  sees" helper used everywhere in the quantized network). */
+    double quantize(double value, RoundMode mode = RoundMode::Nearest) const;
+
+    /** Human-readable name, e.g. "Q8.4". */
+    std::string name() const;
+
+    bool operator==(const FixedPointFormat &other) const = default;
+
+  private:
+    int totalBits_;
+    int fracBits_;
+    std::int64_t rawMax_;
+    std::int64_t rawMin_;
+    double resolution_;
+};
+
+/**
+ * A raw value paired with its format — convenience wrapper for code that
+ * passes scalars around (tests, examples). The hot datapath loops use raw
+ * int64 + a shared format instead to avoid per-element format copies.
+ */
+class Fixed
+{
+  public:
+    Fixed(const FixedPointFormat &format, double real_value)
+        : format_(format), raw_(format.fromReal(real_value)) {}
+
+    static Fixed
+    fromRaw(const FixedPointFormat &format, std::int64_t raw)
+    {
+        Fixed f(format, 0.0);
+        f.raw_ = format.saturate(raw);
+        return f;
+    }
+
+    std::int64_t raw() const { return raw_; }
+    double real() const { return format_.toReal(raw_); }
+    const FixedPointFormat &format() const { return format_; }
+
+    Fixed
+    operator+(const Fixed &other) const
+    {
+        return fromRaw(format_, format_.add(raw_, other.raw_));
+    }
+
+    Fixed
+    operator-(const Fixed &other) const
+    {
+        return fromRaw(format_, format_.sub(raw_, other.raw_));
+    }
+
+    Fixed
+    operator*(const Fixed &other) const
+    {
+        return fromRaw(format_, format_.mul(raw_, other.raw_));
+    }
+
+  private:
+    FixedPointFormat format_;
+    std::int64_t raw_;
+};
+
+} // namespace vibnn::fixed
+
+#endif // VIBNN_FIXED_FIXED_POINT_HH

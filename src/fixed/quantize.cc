@@ -1,0 +1,77 @@
+#include "fixed/quantize.hh"
+
+#include <cmath>
+
+namespace vibnn::fixed
+{
+
+void
+quantizeInPlace(std::vector<float> &values, const FixedPointFormat &format)
+{
+    for (auto &v : values)
+        v = static_cast<float>(format.quantize(v));
+}
+
+std::vector<std::int64_t>
+quantizeToRaw(const std::vector<float> &values,
+              const FixedPointFormat &format)
+{
+    std::vector<std::int64_t> raw;
+    raw.reserve(values.size());
+    for (float v : values)
+        raw.push_back(format.fromReal(v));
+    return raw;
+}
+
+std::vector<float>
+dequantize(const std::vector<std::int64_t> &raw,
+           const FixedPointFormat &format)
+{
+    std::vector<float> values;
+    values.reserve(raw.size());
+    for (std::int64_t r : raw)
+        values.push_back(static_cast<float>(format.toReal(r)));
+    return values;
+}
+
+QuantizationError
+measureQuantizationError(const std::vector<float> &values,
+                         const FixedPointFormat &format)
+{
+    QuantizationError error;
+    if (values.empty())
+        return error;
+
+    double sq_sum = 0.0;
+    std::size_t saturated = 0;
+    for (float v : values) {
+        const std::int64_t raw = format.fromReal(v);
+        if (raw == format.rawMax() || raw == format.rawMin())
+            ++saturated;
+        const double err = static_cast<double>(v) - format.toReal(raw);
+        error.maxAbs = std::max(error.maxAbs, std::fabs(err));
+        sq_sum += err * err;
+    }
+    error.rms = std::sqrt(sq_sum / static_cast<double>(values.size()));
+    error.saturationRate =
+        static_cast<double>(saturated) / static_cast<double>(values.size());
+    return error;
+}
+
+int
+bestFracBits(const std::vector<float> &values, int total_bits)
+{
+    int best = total_bits - 1;
+    double best_rms = -1.0;
+    for (int frac = 0; frac < total_bits; ++frac) {
+        FixedPointFormat format(total_bits, frac);
+        const double rms = measureQuantizationError(values, format).rms;
+        if (best_rms < 0.0 || rms < best_rms) {
+            best_rms = rms;
+            best = frac;
+        }
+    }
+    return best;
+}
+
+} // namespace vibnn::fixed

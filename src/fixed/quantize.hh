@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bulk quantization helpers: quantize float vectors/matrices to a
+ * fixed-point grid and measure the induced error. Used when lowering a
+ * trained BNN's variational parameters onto the accelerator (Section 5.2
+ * of the paper) and by the Figure 18 bit-length sweep.
+ */
+
+#ifndef VIBNN_FIXED_QUANTIZE_HH
+#define VIBNN_FIXED_QUANTIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed_point.hh"
+
+namespace vibnn::fixed
+{
+
+/** Quantize every element in place (real -> grid -> real). */
+void quantizeInPlace(std::vector<float> &values,
+                     const FixedPointFormat &format);
+
+/** Quantize to raw integer codes. */
+std::vector<std::int64_t> quantizeToRaw(const std::vector<float> &values,
+                                        const FixedPointFormat &format);
+
+/** Reconstruct reals from raw codes. */
+std::vector<float> dequantize(const std::vector<std::int64_t> &raw,
+                              const FixedPointFormat &format);
+
+/** Quantization error metrics. */
+struct QuantizationError
+{
+    double maxAbs = 0.0;
+    double rms = 0.0;
+    /** Fraction of elements that hit the saturation rails. */
+    double saturationRate = 0.0;
+};
+
+/** Measure the error introduced by quantizing values to the format. */
+QuantizationError measureQuantizationError(const std::vector<float> &values,
+                                           const FixedPointFormat &format);
+
+/**
+ * Choose the fraction-bit count that minimizes RMS error for the given
+ * data at a fixed total width — a tiny "calibration" pass mirroring what
+ * one does before deploying on the FPGA.
+ */
+int bestFracBits(const std::vector<float> &values, int total_bits);
+
+} // namespace vibnn::fixed
+
+#endif // VIBNN_FIXED_QUANTIZE_HH

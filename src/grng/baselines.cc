@@ -1,0 +1,163 @@
+#include "grng/baselines.hh"
+
+#include <cmath>
+#include <mutex>
+
+#include "stats/normal.hh"
+
+namespace vibnn::grng
+{
+
+BoxMullerGrng::BoxMullerGrng(std::uint64_t seed) : rng_(seed) {}
+
+double
+BoxMullerGrng::next()
+{
+    if (hasCached_) {
+        hasCached_ = false;
+        return cached_;
+    }
+    double u1;
+    do {
+        u1 = rng_.uniform();
+    } while (u1 <= 0.0);
+    const double u2 = rng_.uniform();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * M_PI * u2;
+    cached_ = radius * std::sin(angle);
+    hasCached_ = true;
+    return radius * std::cos(angle);
+}
+
+PolarGrng::PolarGrng(std::uint64_t seed) : rng_(seed) {}
+
+double
+PolarGrng::next()
+{
+    return rng_.gaussian();
+}
+
+namespace
+{
+
+// Marsaglia-Tsang ziggurat with 256 layers over the normal density.
+constexpr int kZigguratLayers = 256;
+constexpr double kZigguratR = 3.6541528853610088;
+constexpr double kZigguratV = 0.00492867323399;
+
+struct ZigguratTables
+{
+    double x[kZigguratLayers + 1];
+    double y[kZigguratLayers];
+
+    ZigguratTables()
+    {
+        auto pdf = [](double v) { return std::exp(-0.5 * v * v); };
+        x[0] = kZigguratR;
+        y[0] = pdf(kZigguratR);
+        // x[1] chosen so the base strip (including the tail mass) has
+        // the same area V as every other strip.
+        x[1] = kZigguratR;
+        for (int i = 1; i < kZigguratLayers; ++i) {
+            const double yi = y[i - 1] + kZigguratV / x[i];
+            // Invert the unnormalized pdf: v = sqrt(-2 ln y).
+            const double clamped = yi >= 1.0 ? 1.0 : yi;
+            x[i + 1] = std::sqrt(-2.0 * std::log(clamped));
+            y[i] = yi;
+        }
+        x[kZigguratLayers] = 0.0;
+    }
+};
+
+const ZigguratTables &
+zigguratTables()
+{
+    static const ZigguratTables tables;
+    return tables;
+}
+
+} // anonymous namespace
+
+ZigguratGrng::ZigguratGrng(std::uint64_t seed) : rng_(seed) {}
+
+const double *
+ZigguratGrng::layerX()
+{
+    return zigguratTables().x;
+}
+
+const double *
+ZigguratGrng::layerY()
+{
+    return zigguratTables().y;
+}
+
+double
+ZigguratGrng::sampleTail(double edge, bool negative)
+{
+    // Marsaglia's exact tail sampler for x > edge.
+    double x, y;
+    do {
+        x = -std::log(rng_.uniform() + 1e-300) / edge;
+        y = -std::log(rng_.uniform() + 1e-300);
+    } while (2.0 * y < x * x);
+    const double value = edge + x;
+    return negative ? -value : value;
+}
+
+double
+ZigguratGrng::next()
+{
+    const double *x = layerX();
+    const double *y = layerY();
+    auto pdf = [](double v) { return std::exp(-0.5 * v * v); };
+
+    for (;;) {
+        const std::uint64_t bits = rng_.next();
+        const int layer = static_cast<int>(bits & 0xFF);
+        const bool negative = (bits >> 8) & 1;
+        const double u = rng_.uniform();
+
+        if (layer == 0) {
+            // Base strip: rectangle of width V / y-area; accept inside
+            // x[1], otherwise sample the analytic tail.
+            const double candidate = u * kZigguratV / pdf(x[1]);
+            if (candidate < x[1])
+                return negative ? -candidate : candidate;
+            return sampleTail(kZigguratR, negative);
+        }
+
+        const double candidate = u * x[layer];
+        if (candidate < x[layer + 1])
+            return negative ? -candidate : candidate;
+
+        // Wedge: accept by comparing against the density.
+        const double y_lo = y[layer - 1];
+        const double y_hi = layer < kZigguratLayers - 1 ? y[layer] : 1.0;
+        const double y_sample = y_lo + rng_.uniform() * (y_hi - y_lo);
+        if (y_sample < pdf(candidate))
+            return negative ? -candidate : candidate;
+    }
+}
+
+CdfInversionGrng::CdfInversionGrng(std::uint64_t seed) : rng_(seed) {}
+
+double
+CdfInversionGrng::next()
+{
+    double u;
+    do {
+        u = rng_.uniform();
+    } while (u <= 0.0);
+    return stats::normalInvCdf(u);
+}
+
+ReferenceGrng::ReferenceGrng(std::uint64_t seed) : rng_(seed) {}
+
+double
+ReferenceGrng::next()
+{
+    return rng_.gaussian();
+}
+
+} // namespace vibnn::grng

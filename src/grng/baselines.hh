@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Software baseline Gaussian generators, one per algorithm family from
+ * the paper's Section 2.3 taxonomy:
+ *
+ *  - CDF inversion (category 1): normalInvCdf applied to a uniform.
+ *  - Transformation / CLT (category 2): Box-Muller (the classic
+ *    transformation method) — the CLT representative is CltLfsrGrng.
+ *  - Rejection (category 3): Marsaglia-Tsang Ziggurat and Marsaglia's
+ *    polar method.
+ *  - Recursion (category 4): the Wallace generators in wallace.hh.
+ *
+ * These exist to calibrate the statistical benches (a known-good
+ * generator should pass ~95% of runs tests at alpha = 0.05) and to give
+ * the microbenchmark a software cost context for the hardware designs.
+ */
+
+#ifndef VIBNN_GRNG_BASELINES_HH
+#define VIBNN_GRNG_BASELINES_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "grng/generator.hh"
+
+namespace vibnn::grng
+{
+
+/** Box-Muller transform generator (pair-cached). */
+class BoxMullerGrng : public GaussianGenerator
+{
+  public:
+    explicit BoxMullerGrng(std::uint64_t seed);
+    double next() override;
+    std::string name() const override { return "Box-Muller"; }
+
+  private:
+    Rng rng_;
+    double cached_ = 0.0;
+    bool hasCached_ = false;
+};
+
+/** Marsaglia polar method generator (pair-cached). */
+class PolarGrng : public GaussianGenerator
+{
+  public:
+    explicit PolarGrng(std::uint64_t seed);
+    double next() override;
+    std::string name() const override { return "Marsaglia-polar"; }
+
+  private:
+    Rng rng_;
+};
+
+/** Marsaglia-Tsang 256-layer Ziggurat generator. */
+class ZigguratGrng : public GaussianGenerator
+{
+  public:
+    explicit ZigguratGrng(std::uint64_t seed);
+    double next() override;
+    std::string name() const override { return "Ziggurat"; }
+
+  private:
+    /** Fallback for the base strip / tail. */
+    double sampleTail(double edge, bool negative);
+
+    Rng rng_;
+    // Layer tables (shared, built once).
+    static const double *layerX();
+    static const double *layerY();
+};
+
+/** Inverse-CDF generator: Phi^-1(U). */
+class CdfInversionGrng : public GaussianGenerator
+{
+  public:
+    explicit CdfInversionGrng(std::uint64_t seed);
+    double next() override;
+    std::string name() const override { return "CDF-inversion"; }
+
+  private:
+    Rng rng_;
+};
+
+/** The project Rng's own gaussian() (polar) — convenience wrapper. */
+class ReferenceGrng : public GaussianGenerator
+{
+  public:
+    explicit ReferenceGrng(std::uint64_t seed);
+    double next() override;
+    std::string name() const override { return "reference"; }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_BASELINES_HH

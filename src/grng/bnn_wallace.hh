@@ -1,0 +1,131 @@
+/**
+ * @file
+ * BNN-oriented hardware Wallace GRNG (Section 4.2.2, Figures 9-10).
+ *
+ * The hardware realization differs from the software algorithm in three
+ * ways, all dictated by FPGA resource limits:
+ *
+ *  1. Pool values live in block RAM as fixed-point words, and the
+ *     divide-by-two inside the Hadamard transform is a plain arithmetic
+ *     right shift (truncation). The transform is therefore only
+ *     *approximately* energy preserving; truncation slowly bleeds pool
+ *     energy, which is one source of the instability Table 1 reports
+ *     for the naive design.
+ *
+ *  2. Addressing is sequential (a counter), because spending a second
+ *     RNG on random pool addresses would defeat the purpose. Without
+ *     further measures the same four pool slots would recombine with
+ *     each other forever — quadruple orbits that cycle almost
+ *     periodically and fail every randomness test (the Wallace-NSS rows
+ *     of Table 1 / Figure 15).
+ *
+ *  3. The *sharing and shifting* scheme fixes (2): N Wallace units run
+ *     side by side, and the 4N outputs of a cycle are rotated by one
+ *     position before write-back, so each unit receives one value from
+ *     its ring neighbour every cycle. Values migrate through all units,
+ *     making N small pools act as one large pool; stability improves by
+ *     the (paper-reported) 2x memory saving at equal quality.
+ *
+ * Setting `sharingAndShifting = false` produces the paper's Wallace-NSS
+ * baseline.
+ */
+
+#ifndef VIBNN_GRNG_BNN_WALLACE_HH
+#define VIBNN_GRNG_BNN_WALLACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed_point.hh"
+#include "grng/generator.hh"
+
+namespace vibnn::grng
+{
+
+/** Configuration of the hardware Wallace generator. */
+struct BnnWallaceConfig
+{
+    /** Number of Wallace units operating in parallel. */
+    int units = 8;
+    /** Pool entries per unit; must be a positive multiple of 4. */
+    int poolSize = 256;
+    /** Fixed-point format of pool entries (paper uses 16-bit words). */
+    fixed::FixedPointFormat format{16, 11};
+    /** Enable the sharing & shifting scheme; false = Wallace-NSS. */
+    bool sharingAndShifting = true;
+    /**
+     * Vary the shift amount per cycle with a small controller LFSR
+     * (a barrel rotator instead of fixed wiring). With the paper's
+     * literal shift-by-one the system is linear time-invariant, so a
+     * ~0.5 anti-correlation spike survives at the pool-recycling lag
+     * of *some* output port no matter how the phase is chosen —
+     * software Wallace only escapes it by randomizing addresses. The
+     * variable shift smears the revisit across all units, spreading
+     * that correlation below the noise floor at ~10 LUTs of cost; it
+     * is the minimal completion of the paper's scheme that actually
+     * achieves the Figure 15 claim. Set false for the literal
+     * fixed-shift design (ablation A2 compares them).
+     */
+    bool variableShift = true;
+    /**
+     * Advance the shared address counter by two extra entries after each
+     * full pool pass. Without it the pool decomposes into closed
+     * four-entry address blocks that only ever recombine with
+     * themselves (ring-shifted across units); the phase rotation makes
+     * quadruples straddle old block boundaries so values migrate
+     * through the whole logical pool — the "all small pools constitute
+     * a large pool" property claimed for the sharing & shifting scheme.
+     * Hardware cost: one increment on a counter that already exists.
+     * Disabled automatically for the NSS baseline.
+     */
+    bool passPhaseRotation = true;
+    /** Normalize the initial pool image (free at ROM-generation time). */
+    bool normalizeInitialPool = true;
+    std::uint64_t seed = 1;
+};
+
+/** Hardware-style Wallace generator: N units, fixed point, ring shift. */
+class BnnWallaceGrng : public GaussianGenerator
+{
+  public:
+    explicit BnnWallaceGrng(const BnnWallaceConfig &config);
+
+    double next() override;
+    std::string name() const override;
+
+    const BnnWallaceConfig &config() const { return config_; }
+
+    /**
+     * Run one hardware cycle: every unit reads four pool entries at the
+     * shared address counter, transforms them, and the (optionally
+     * rotated) results are written back. Appends the 4*units outputs of
+     * this cycle to `out` in unit-interleaved order (consecutive samples
+     * come from different units, matching the hardware output wiring).
+     * Values are real (dequantized) numbers.
+     */
+    void nextCycle(std::vector<double> &out);
+
+    /** Total pool energy (sum of squares, real domain) — used by tests
+     *  to demonstrate truncation drift. */
+    double poolEnergy() const;
+
+    /** Raw pool access for tests. */
+    const std::vector<std::int64_t> &unitPool(int unit) const;
+
+  private:
+    BnnWallaceConfig config_;
+    /** Pools, one vector of raw fixed-point values per unit. */
+    std::vector<std::vector<std::int64_t>> pools_;
+    /** Shared sequential read/write address (entry index). */
+    int address_ = 0;
+    /** Transforms completed in the current pool pass. */
+    int transformsInPass_ = 0;
+    /** Controller LFSR driving the variable shift select. */
+    std::uint32_t shiftLfsr_ = 0xACE1u;
+    std::vector<double> outputBuffer_;
+    std::size_t outputPos_ = 0;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_BNN_WALLACE_HH

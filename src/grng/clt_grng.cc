@@ -1,0 +1,43 @@
+#include "grng/clt_grng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace vibnn::grng
+{
+
+CltLfsrGrng::CltLfsrGrng(int length, std::uint64_t seed,
+                         int steps_per_sample)
+    : lfsr_(length, seed), counter_(length),
+      stepsPerSample_(steps_per_sample)
+{
+    VIBNN_ASSERT(length >= 19,
+                 "binomial approximation needs n > 18 (equation (8)), got "
+                 << length);
+    VIBNN_ASSERT(steps_per_sample >= 1, "steps per sample must be >= 1");
+    mean_ = 0.5 * length;
+    invStddev_ = 1.0 / std::sqrt(0.25 * length);
+}
+
+int
+CltLfsrGrng::nextCount()
+{
+    lfsr_.step(stepsPerSample_);
+    return lfsr_.popcount();
+}
+
+double
+CltLfsrGrng::next()
+{
+    return (static_cast<double>(nextCount()) - mean_) * invStddev_;
+}
+
+std::string
+CltLfsrGrng::name() const
+{
+    return strfmt("CLT-LFSR(%d,step=%d)", lfsr_.length(), stepsPerSample_);
+}
+
+} // namespace vibnn::grng

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Baseline CLT GRNG: LFSR + full-width parallel counter.
+ *
+ * This is the conventional design the paper starts from (Section 4.1.1,
+ * after Andraka & Phelps): the popcount of an n-bit LFSR state follows
+ * B(n, 1/2) ~ N(n/2, n/4). It is the baseline the RLF-GRNG improves on:
+ * correct but register- and adder-hungry, because the full state must be
+ * both stored in flip-flops and recounted every cycle.
+ */
+
+#ifndef VIBNN_GRNG_CLT_GRNG_HH
+#define VIBNN_GRNG_CLT_GRNG_HH
+
+#include <cstdint>
+
+#include "grng/generator.hh"
+#include "grng/lfsr.hh"
+#include "grng/parallel_counter.hh"
+
+namespace vibnn::grng
+{
+
+/** LFSR + parallel-counter Gaussian generator. */
+class CltLfsrGrng : public GaussianGenerator
+{
+  public:
+    /**
+     * @param length LFSR bit count (must satisfy the de Moivre n > 9
+     *        condition of equation (8); n >= 32 recommended).
+     * @param seed Seed for the LFSR state.
+     * @param steps_per_sample LFSR steps between consecutive outputs.
+     *        With 1 step the consecutive popcounts are strongly
+     *        correlated; a full refresh needs ~length steps. Exposed so
+     *        benches can show the quality/throughput trade-off.
+     */
+    CltLfsrGrng(int length, std::uint64_t seed, int steps_per_sample = 1);
+
+    double next() override;
+    std::string name() const override;
+
+    /** Raw binomial count in [0, length]. */
+    int nextCount();
+
+    /** The structural PC model (for resource estimation). */
+    const ParallelCounter &counter() const { return counter_; }
+
+  private:
+    Lfsr lfsr_;
+    ParallelCounter counter_;
+    int stepsPerSample_;
+    double mean_;
+    double invStddev_;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_CLT_GRNG_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Abstract interface for Gaussian random number generators.
+ *
+ * Everything that produces (approximately) unit-Gaussian samples in this
+ * project — the paper's RLF-GRNG and BNNWallace-GRNG, the hardware
+ * baseline Wallace-NSS, and the software baselines (Box-Muller, Ziggurat,
+ * polar, CDF inversion, software Wallace) — implements this interface so
+ * the statistical benches and the BNN sampling layer can treat them
+ * uniformly.
+ */
+
+#ifndef VIBNN_GRNG_GENERATOR_HH
+#define VIBNN_GRNG_GENERATOR_HH
+
+#include <string>
+#include <vector>
+
+namespace vibnn::grng
+{
+
+/** A source of approximately N(0, 1) samples. */
+class GaussianGenerator
+{
+  public:
+    virtual ~GaussianGenerator() = default;
+
+    /** Next sample, normalized to target N(0, 1). */
+    virtual double next() = 0;
+
+    /** Fill a buffer with consecutive samples (overridable for batch
+     *  generators that produce several samples per cycle). */
+    virtual void
+    fill(std::vector<double> &out)
+    {
+        for (auto &x : out)
+            x = next();
+    }
+
+    /** Short identifier used in bench tables. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_GENERATOR_HH

@@ -1,0 +1,195 @@
+#include "grng/lfsr.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace vibnn::grng
+{
+
+namespace
+{
+
+/**
+ * Ward-Molteno maximal-length tap tables (XOR form). Each row lists the
+ * tap positions *excluding* the register length itself; the feedback
+ * function is the XOR of the listed positions and position `length`.
+ */
+struct TapEntry
+{
+    int length;
+    int taps[3];
+    int count;
+};
+
+const TapEntry tap_table[] = {
+    {4, {3, 0, 0}, 1},       {5, {3, 0, 0}, 1},
+    {6, {5, 0, 0}, 1},       {7, {6, 0, 0}, 1},
+    {8, {6, 5, 4}, 3},       {9, {5, 0, 0}, 1},
+    {10, {7, 0, 0}, 1},      {11, {9, 0, 0}, 1},
+    {12, {11, 10, 4}, 3},    {13, {12, 11, 8}, 3},
+    {14, {13, 12, 2}, 3},    {15, {14, 0, 0}, 1},
+    {16, {14, 13, 11}, 3},   {17, {14, 0, 0}, 1},
+    {18, {11, 0, 0}, 1},     {19, {18, 17, 14}, 3},
+    {20, {17, 0, 0}, 1},     {21, {19, 0, 0}, 1},
+    {22, {21, 0, 0}, 1},     {23, {18, 0, 0}, 1},
+    {24, {23, 22, 17}, 3},   {25, {22, 0, 0}, 1},
+    {28, {25, 0, 0}, 1},     {31, {28, 0, 0}, 1},
+    {32, {30, 26, 25}, 3},   {33, {20, 0, 0}, 1},
+    {36, {25, 0, 0}, 1},     {40, {38, 21, 19}, 3},
+    {48, {47, 21, 20}, 3},   {56, {55, 35, 34}, 3},
+    {63, {62, 0, 0}, 1},     {64, {63, 61, 60}, 3},
+    {96, {94, 49, 47}, 3},   {127, {126, 0, 0}, 1},
+    {128, {126, 101, 99}, 3}, {255, {253, 252, 250}, 3},
+    {256, {254, 251, 246}, 3}, {511, {501, 0, 0}, 1},
+    {512, {510, 507, 504}, 3}, {1023, {1016, 0, 0}, 1},
+    {1024, {1015, 1002, 1001}, 3}, {2048, {2035, 2034, 2029}, 3},
+};
+
+const TapEntry *
+findTapEntry(int length)
+{
+    for (const auto &entry : tap_table)
+        if (entry.length == length)
+            return &entry;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+std::vector<int>
+maximalTaps(int length)
+{
+    const TapEntry *entry = findTapEntry(length);
+    if (!entry) {
+        fatal(strfmt("no maximal-length taps known for %d-bit LFSR",
+                     length));
+    }
+    std::vector<int> taps(entry->taps, entry->taps + entry->count);
+    std::sort(taps.begin(), taps.end());
+    return taps;
+}
+
+bool
+hasMaximalTaps(int length)
+{
+    return findTapEntry(length) != nullptr;
+}
+
+std::vector<std::uint8_t>
+expandSeedBits(int length, std::uint64_t seed)
+{
+    VIBNN_ASSERT(length > 0, "LFSR length must be positive");
+    Rng rng(seed);
+    std::vector<std::uint8_t> bits(length);
+    bool any = false;
+    for (auto &b : bits) {
+        b = static_cast<std::uint8_t>(rng.next() & 1);
+        any = any || b;
+    }
+    if (!any)
+        bits[0] = 1;
+    return bits;
+}
+
+Lfsr::Lfsr(int length, std::uint64_t seed)
+    : state_(expandSeedBits(length, seed)), taps_(maximalTaps(length))
+{
+}
+
+int
+Lfsr::step()
+{
+    // Fibonacci form for polynomial x^n + x^a + ... + 1: with
+    // state_[i] = s(k+i), the recurrence is
+    //   s(k+n) = s(k) XOR s(k+a) XOR ...
+    // where the constant term contributes s(k) — the outgoing bit.
+    const int n = length();
+    int feedback = state_[0];
+    for (int t : taps_)
+        feedback ^= state_[t];
+
+    const int out = state_[0];
+    for (int i = 0; i + 1 < n; ++i)
+        state_[i] = state_[i + 1];
+    state_[n - 1] = static_cast<std::uint8_t>(feedback);
+    return out;
+}
+
+void
+Lfsr::step(int n)
+{
+    for (int i = 0; i < n; ++i)
+        step();
+}
+
+int
+Lfsr::popcount() const
+{
+    int count = 0;
+    for (std::uint8_t b : state_)
+        count += b;
+    return count;
+}
+
+std::uint64_t
+Lfsr::nextBits(int n)
+{
+    VIBNN_ASSERT(n >= 1 && n <= 64, "nextBits supports 1..64 bits");
+    std::uint64_t word = 0;
+    for (int i = 0; i < n; ++i)
+        word |= static_cast<std::uint64_t>(step()) << i;
+    return word;
+}
+
+CirculatingLfsr::CirculatingLfsr(int length, std::vector<int> taps,
+                                 std::vector<std::uint8_t> seed_bits)
+    : state_(std::move(seed_bits)), taps_(std::move(taps))
+{
+    VIBNN_ASSERT(static_cast<int>(state_.size()) == length,
+                 "seed size mismatch: " << state_.size() << " vs "
+                 << length);
+    VIBNN_ASSERT(length >= 2, "circulating LFSR needs >= 2 bits");
+    for (int t : taps_) {
+        VIBNN_ASSERT(t > 0 && t < length,
+                     "tap " << t << " out of range for length " << length);
+    }
+}
+
+void
+CirculatingLfsr::step()
+{
+    // Equation (10) semantics with a physically shifting register file:
+    // XOR the head into each tap offset, then rotate the whole register
+    // one position so the next bit becomes the head. The RLF logic
+    // performs the identical XORs but moves the head index instead of
+    // the data.
+    const int n = length();
+    const std::uint8_t head = state_[0];
+    for (int t : taps_)
+        state_[t] = state_[t] ^ head;
+    for (int i = 0; i + 1 < n; ++i)
+        state_[i] = state_[i + 1];
+    state_[n - 1] = head;
+}
+
+int
+CirculatingLfsr::bitFromHead(int i) const
+{
+    const int n = length();
+    VIBNN_ASSERT(i >= 0 && i < n, "bit index out of range");
+    return state_[i];
+}
+
+int
+CirculatingLfsr::popcount() const
+{
+    int count = 0;
+    for (std::uint8_t b : state_)
+        count += b;
+    return count;
+}
+
+} // namespace vibnn::grng

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Linear feedback shift registers.
+ *
+ * Two variants are provided:
+ *
+ *  - Lfsr: a classic Fibonacci LFSR over n bits with maximal-length taps
+ *    from the Ward-Molteno table. Each step shifts one new feedback bit
+ *    in. This is the uniform-bit source behind the CLT baseline GRNG and
+ *    the seed initializer for everything else.
+ *
+ *  - CirculatingLfsr: the paper's formulation (Figure 3a, equation (9)):
+ *    the register file rotates, the head bit is XORed into the tap
+ *    positions, and no bit ever leaves the state. This is the exact
+ *    behaviour that the RAM-based Linear Feedback (RLF) logic reproduces
+ *    with a moving head instead of moving data, so it serves as the
+ *    golden reference for the RLF equivalence tests.
+ */
+
+#ifndef VIBNN_GRNG_LFSR_HH
+#define VIBNN_GRNG_LFSR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vibnn::grng
+{
+
+/**
+ * Maximal-length feedback tap set for a given register length, from the
+ * Ward-Molteno table. The returned set excludes the register length
+ * itself (the implicit feedback output); e.g. for n = 255 it returns
+ * {250, 252, 253} and for n = 8 it returns {4, 5, 6}, matching the
+ * paper's Section 4.1.
+ *
+ * Supported lengths: a curated subset covering every width used in the
+ * experiments; fatal() on unsupported lengths.
+ */
+std::vector<int> maximalTaps(int length);
+
+/** True if maximalTaps() knows this length. */
+bool hasMaximalTaps(int length);
+
+/** Classic Fibonacci LFSR over `length` bits. */
+class Lfsr
+{
+  public:
+    /**
+     * @param length Register count (bits of state).
+     * @param seed Initial state; must not be all zero. Bits are taken
+     *        from the low end; if fewer than `length` bits are provided
+     *        the seed is cycled.
+     */
+    Lfsr(int length, std::uint64_t seed);
+
+    /** Advance one step; returns the bit shifted out. */
+    int step();
+
+    /** Advance n steps. */
+    void step(int n);
+
+    /** Current state bit at position i (0-based). */
+    int bit(int i) const { return state_[i]; }
+
+    /** Number of ones in the state. */
+    int popcount() const;
+
+    /** Register length. */
+    int length() const { return static_cast<int>(state_.size()); }
+
+    /** Collect the next n output bits into a 64-bit word (LSB first). */
+    std::uint64_t nextBits(int n);
+
+    /** Raw state access for tests. */
+    const std::vector<std::uint8_t> &state() const { return state_; }
+
+  private:
+    std::vector<std::uint8_t> state_;
+    std::vector<int> taps_;
+};
+
+/**
+ * The paper's circulating LFSR (Figure 3a): register 1 is the head; each
+ * cycle every register takes its left neighbour's value, tap registers
+ * additionally XOR in the head, and the head's old value rotates into the
+ * top register. State popcount therefore changes by at most the number of
+ * taps per cycle — the property that motivates both the tiny parallel
+ * counter of the RLF-GRNG and its output-quality fix (Section 4.1.2).
+ */
+class CirculatingLfsr
+{
+  public:
+    /**
+     * @param length State bits.
+     * @param taps Tap positions as distances from the head, e.g.
+     *        {250, 252, 253} for length 255 (maximalTaps(length)).
+     * @param seed_bits Initial state, one entry per bit (0/1), length
+     *        must match.
+     */
+    CirculatingLfsr(int length, std::vector<int> taps,
+                    std::vector<std::uint8_t> seed_bits);
+
+    /** Advance one cycle. */
+    void step();
+
+    /** State bit i, where i = 0 is the current head. */
+    int bitFromHead(int i) const;
+
+    /** Number of ones in the state (invariant to rotation). */
+    int popcount() const;
+
+    int length() const { return static_cast<int>(state_.size()); }
+    const std::vector<int> &taps() const { return taps_; }
+
+  private:
+    std::vector<std::uint8_t> state_;
+    std::vector<int> taps_;
+};
+
+/** Expand a 64-bit seed into `length` seed bits that are not all zero. */
+std::vector<std::uint8_t> expandSeedBits(int length, std::uint64_t seed);
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_LFSR_HH

@@ -1,0 +1,54 @@
+#include "grng/parallel_counter.hh"
+
+#include "common/logging.hh"
+
+namespace vibnn::grng
+{
+
+ParallelCounter::ParallelCounter(int inputs) : inputs_(inputs)
+{
+    VIBNN_ASSERT(inputs >= 1, "parallel counter needs at least one input");
+}
+
+int
+ParallelCounter::count(const std::vector<std::uint8_t> &bits) const
+{
+    VIBNN_ASSERT(static_cast<int>(bits.size()) >= inputs_,
+                 "bit vector smaller than counter width");
+    int total = 0;
+    for (int i = 0; i < inputs_; ++i)
+        total += bits[i] ? 1 : 0;
+    return total;
+}
+
+int
+ParallelCounter::outputBits() const
+{
+    int bits = 0;
+    int capacity = 1; // counts representable: 2^bits
+    while (capacity < inputs_ + 1) {
+        capacity <<= 1;
+        ++bits;
+    }
+    return bits == 0 ? 1 : bits;
+}
+
+int
+ParallelCounter::fullAdders() const
+{
+    // Each full adder reduces three partial-count bits to two; counting
+    // the classic construction gives n - ceil(log2(n+1)) full adders.
+    return inputs_ - outputBits();
+}
+
+int
+ParallelCounter::depth() const
+{
+    // Binary-tree reduction depth: ceil(log2(n)) adder levels.
+    int levels = 0;
+    while ((1 << levels) < inputs_)
+        ++levels;
+    return levels;
+}
+
+} // namespace vibnn::grng

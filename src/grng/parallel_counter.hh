@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Parallel counter (population count) model.
+ *
+ * A parallel counter reduces n input bits to a binary count through a
+ * tree of full adders. The paper's key observation (Section 4.1.2) is
+ * that a wide PC is expensive — a 127-input PC needs 120 full adders —
+ * which motivates the RLF design where only the handful of tap bits ever
+ * need counting. This model provides both the functional popcount and
+ * the structural cost/depth figures used by the hardware model.
+ */
+
+#ifndef VIBNN_GRNG_PARALLEL_COUNTER_HH
+#define VIBNN_GRNG_PARALLEL_COUNTER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vibnn::grng
+{
+
+/** Structural model of an n-input parallel counter. */
+class ParallelCounter
+{
+  public:
+    /** @param inputs Number of input bits (>= 1). */
+    explicit ParallelCounter(int inputs);
+
+    /** Count the ones among the first inputs() entries of bits. */
+    int count(const std::vector<std::uint8_t> &bits) const;
+
+    /** Number of input bits. */
+    int inputs() const { return inputs_; }
+
+    /** Output width: ceil(log2(inputs + 1)). */
+    int outputBits() const;
+
+    /**
+     * Full adders required by the classic reduction: an n-input counter
+     * costs n - ceil(log2(n+1)) full adders (127 inputs -> 120 FAs, the
+     * figure quoted in the paper).
+     */
+    int fullAdders() const;
+
+    /** Adder-tree depth in full-adder stages: ceil(log2(n)) levels. */
+    int depth() const;
+
+  private:
+    int inputs_;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_PARALLEL_COUNTER_HH

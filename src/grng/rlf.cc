@@ -1,0 +1,182 @@
+#include "grng/rlf.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "grng/lfsr.hh"
+
+namespace vibnn::grng
+{
+
+RlfLogic::RlfLogic(int length, std::vector<std::uint8_t> seed_bits,
+                   RlfUpdateMode mode)
+    : state_(std::move(seed_bits)), taps_(maximalTaps(length)), mode_(mode)
+{
+    VIBNN_ASSERT(static_cast<int>(state_.size()) == length,
+                 "seed size mismatch");
+    VIBNN_ASSERT(taps_.size() == 3,
+                 "RLF expects a 3-tap feedback function, got "
+                 << taps_.size());
+    for (std::uint8_t b : state_)
+        sum_ += b;
+}
+
+int
+RlfLogic::bitFromHead(int i) const
+{
+    const int n = length();
+    return state_[(head_ + i) % n];
+}
+
+int
+RlfLogic::maxStepDelta() const
+{
+    return mode_ == RlfUpdateMode::Single ? 3 : 5;
+}
+
+int
+RlfLogic::step()
+{
+    const int n = length();
+    auto apply_xor = [this, n](int offset, std::uint8_t source) {
+        const int position = (head_ + offset) % n;
+        const std::uint8_t old_bit = state_[position];
+        const std::uint8_t new_bit = old_bit ^ source;
+        state_[position] = new_bit;
+        sum_ += static_cast<int>(new_bit) - static_cast<int>(old_bit);
+    };
+
+    if (mode_ == RlfUpdateMode::Single) {
+        // Equation (11): x(h+t) ^= x(h) for t in taps; head += 1.
+        const std::uint8_t head_bit = state_[head_];
+        for (int t : taps_)
+            apply_xor(t, head_bit);
+        head_ = (head_ + 1) % n;
+    } else {
+        // Equation (12): two logical steps fused. Offsets t get the
+        // first head, offsets t+1 get the second head; the shared
+        // offset (t3 = t2 + 1 for the {250,252,253} pattern) gets both.
+        const std::uint8_t head0 = state_[head_];
+        const std::uint8_t head1 = state_[(head_ + 1) % n];
+        for (int t : taps_)
+            apply_xor(t, head0);
+        for (int t : taps_)
+            apply_xor(t + 1, head1);
+        head_ = (head_ + 2) % n;
+    }
+    return sum_;
+}
+
+RlfLogicMicro::RlfLogicMicro(int length,
+                             std::vector<std::uint8_t> seed_bits)
+    : length_(length)
+{
+    VIBNN_ASSERT(static_cast<int>(seed_bits.size()) == length,
+                 "seed size mismatch");
+    VIBNN_ASSERT(length % 3 == 0,
+                 "3-block banking needs length divisible by 3, got "
+                 << length);
+    const auto taps = maximalTaps(length);
+    VIBNN_ASSERT(taps.size() == 3 && taps[0] == length - 5 &&
+                 taps[1] == length - 3 && taps[2] == length - 2,
+                 "micro model requires the {n-5, n-3, n-2} tap pattern");
+
+    for (int bank = 0; bank < 3; ++bank)
+        banks_[bank].assign(length / 3, 0);
+    for (int p = 0; p < length; ++p)
+        banks_[bankOf(p)][p / 3] = seed_bits[p];
+    for (std::uint8_t b : seed_bits)
+        sum_ += b;
+
+    // Preload the buffer: taps at offsets n-5..n-1, then the two heads.
+    for (int i = 0; i < 5; ++i)
+        buffer_[i] = seed_bits[(length - 5 + i) % length];
+    buffer_[5] = seed_bits[0];
+    buffer_[6] = seed_bits[1];
+}
+
+int
+RlfLogicMicro::step()
+{
+    const int n = length_;
+    // Offsets relative to the head: buffer_[i] = x(h + n - 5 + i) for
+    // i in 0..4; buffer_[5] = x(h); buffer_[6] = x(h + 1).
+    const std::uint8_t head0 = buffer_[5];
+    const std::uint8_t head1 = buffer_[6];
+
+    // Equation (12) tap updates. For taps {n-5, n-3, n-2} the combined
+    // pattern on buffer indices 0..4 (offsets n-5..n-1) is:
+    //   offset n-5 (idx 0): ^ head0
+    //   offset n-4 (idx 1): ^ head1
+    //   offset n-3 (idx 2): ^ head0
+    //   offset n-2 (idx 3): ^ head0 ^ head1
+    //   offset n-1 (idx 4): ^ head1
+    std::uint8_t updated[5];
+    updated[0] = buffer_[0] ^ head0;
+    updated[1] = buffer_[1] ^ head1;
+    updated[2] = buffer_[2] ^ head0;
+    updated[3] = buffer_[3] ^ head0 ^ head1;
+    updated[4] = buffer_[4] ^ head1;
+
+    // The small parallel counter + tap register + subtractor of Figure
+    // 7b: the sum changes by (popcount of new taps) - (popcount of old
+    // taps); at most +/-5.
+    int old_taps = 0, new_taps = 0;
+    for (int i = 0; i < 5; ++i) {
+        old_taps += buffer_[i];
+        new_taps += updated[i];
+    }
+    sum_ += new_taps - old_taps;
+
+    // RAM schedule for this cycle. Writes retire the two taps leaving
+    // the window (offsets n-5 and n-4); reads fetch the next two heads
+    // (offsets 2 and 3). All four ops land in distinct-or-compatible
+    // banks because the addresses are {h+2, h+3, h+n-5, h+n-4} which
+    // cover bank residues {h+2, h+0, h+1, h+2} mod 3 — at most one read
+    // plus one write per 2-port bank.
+    int ops_per_bank_read[3] = {0, 0, 0};
+    int ops_per_bank_write[3] = {0, 0, 0};
+
+    auto ram_write = [&](int position, std::uint8_t value) {
+        const int bank = bankOf(position);
+        banks_[bank][position / 3] = value;
+        ++ops_per_bank_write[bank];
+        ++ramWrites_;
+    };
+    auto ram_read = [&](int position) -> std::uint8_t {
+        const int bank = bankOf(position);
+        ++ops_per_bank_read[bank];
+        ++ramReads_;
+        return banks_[bank][position / 3];
+    };
+
+    ram_write((head_ + n - 5) % n, updated[0]);
+    ram_write((head_ + n - 4) % n, updated[1]);
+    const std::uint8_t next_head0 = ram_read((head_ + 2) % n);
+    const std::uint8_t next_head1 = ram_read((head_ + 3) % n);
+
+    for (int bank = 0; bank < 3; ++bank) {
+        const int ops = ops_per_bank_read[bank] + ops_per_bank_write[bank];
+        peakBankOps_ = std::max(peakBankOps_, ops);
+        VIBNN_ASSERT(ops_per_bank_read[bank] <= 1 &&
+                     ops_per_bank_write[bank] <= 1,
+                     "2-port RAM bank " << bank << " oversubscribed");
+    }
+
+    // Buffer shift for head += 2: surviving taps slide down two slots,
+    // the old heads re-enter as the top taps (offsets n-2 and n-1,
+    // because mod(h + n, n) = h), and the freshly read bits become the
+    // new heads.
+    buffer_[0] = updated[2];
+    buffer_[1] = updated[3];
+    buffer_[2] = updated[4];
+    buffer_[3] = head0;
+    buffer_[4] = head1;
+    buffer_[5] = next_head0;
+    buffer_[6] = next_head1;
+
+    head_ = (head_ + 2) % n;
+    return sum_;
+}
+
+} // namespace vibnn::grng

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * RAM-based Linear Feedback (RLF) logic — Section 4.1 of the paper.
+ *
+ * The RLF keeps the LFSR state stationary in RAM and moves a head index
+ * instead of shifting data: for each tap t, x(h+t) ^= x(h), then the head
+ * advances. The Gaussian output is the popcount of the whole state
+ * (binomial B(n, 1/2) ~ N(n/2, n/4)), maintained *incrementally* from
+ * the tap deltas so no wide parallel counter is needed.
+ *
+ * Two models are provided:
+ *
+ *  - RlfLogic: functional model on a flat bit vector. Supports both the
+ *    paper's plain 3-tap update (equation (11), head += 1, output delta
+ *    bounded by 3) and the quality-improving combined 5-tap/2-head update
+ *    (equation (12), head += 2, delta bounded by 5). One RlfLogic is one
+ *    "LF-updater lane" of the parallel generator.
+ *
+ *  - RlfLogicMicro: micro-architectural model of the combined update
+ *    with the 3-block 2-port RAM banking scheme (Figure 6), the 7-bit
+ *    buffer register (Figure 5) and the block/position indexer (Figure
+ *    7a). It checks the RAM port budget every cycle and must match
+ *    RlfLogic bit-for-bit; the equivalence is enforced by unit tests.
+ *
+ * The scheduling here is slightly tighter than the paper's prose: with
+ * the buffer caching both heads and all five taps, the retiring old heads
+ * *become* the incoming offset-253/254 taps (mod(h + 255, 255) = h), so
+ * an iteration needs only 2 RAM reads (the next two heads) and 2 RAM
+ * writes (the two taps leaving the window) — within the paper's quoted
+ * 3-read/2-write budget and satisfiable by three 2-port banks.
+ */
+
+#ifndef VIBNN_GRNG_RLF_HH
+#define VIBNN_GRNG_RLF_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vibnn::grng
+{
+
+/** Update flavour for RlfLogic. */
+enum class RlfUpdateMode
+{
+    /** Equation (11): 3 taps, one head, head advances by 1. */
+    Single,
+    /** Equation (12): combined two-step, 5 taps, two heads, head += 2. */
+    Combined,
+};
+
+/** Functional RLF lane: stationary bits, moving head, incremental sum. */
+class RlfLogic
+{
+  public:
+    /**
+     * @param length State size in bits; 255 in the paper.
+     * @param seed_bits Initial seed (length entries of 0/1).
+     * @param mode Plain or combined update.
+     *
+     * Taps are taken from maximalTaps(length); for 255 bits these are
+     * {250, 252, 253} as in the paper.
+     */
+    RlfLogic(int length, std::vector<std::uint8_t> seed_bits,
+             RlfUpdateMode mode = RlfUpdateMode::Combined);
+
+    /** Advance one iteration and return the new state popcount. */
+    int step();
+
+    /** Current popcount without stepping. */
+    int sum() const { return sum_; }
+
+    /** Current head position. */
+    int head() const { return head_; }
+
+    int length() const { return static_cast<int>(state_.size()); }
+    RlfUpdateMode mode() const { return mode_; }
+
+    /** Bit at absolute position i (for equivalence tests). */
+    int bit(int i) const { return state_[i]; }
+
+    /** Bit at offset i from the current head. */
+    int bitFromHead(int i) const;
+
+    /** Largest possible |output(k+1) - output(k)|: 3 or 5 by mode. */
+    int maxStepDelta() const;
+
+  private:
+    std::vector<std::uint8_t> state_;
+    std::vector<int> taps_;
+    int head_ = 0;
+    int sum_ = 0;
+    RlfUpdateMode mode_;
+};
+
+/**
+ * Micro-architectural model of one combined-update RLF lane with 3-bank
+ * RAM, buffer register and indexer. Functionally identical to RlfLogic
+ * in Combined mode; additionally tracks RAM traffic and asserts the
+ * 2-port constraint per bank per cycle.
+ */
+class RlfLogicMicro
+{
+  public:
+    /**
+     * @param length State bits; must be divisible by 3 (banking) and
+     *        have taps {length-5, length-3, length-2} (the paper's
+     *        pattern; true for 255).
+     * @param seed_bits Initial seed bits.
+     */
+    RlfLogicMicro(int length, std::vector<std::uint8_t> seed_bits);
+
+    /** Advance one iteration (two logical LFSR steps), return popcount. */
+    int step();
+
+    int sum() const { return sum_; }
+    int head() const { return head_; }
+    int length() const { return length_; }
+
+    /** Total RAM reads/writes performed so far (for the hw model). */
+    std::uint64_t ramReads() const { return ramReads_; }
+    std::uint64_t ramWrites() const { return ramWrites_; }
+
+    /** Max simultaneous ops observed on any single bank in one cycle. */
+    int peakBankOps() const { return peakBankOps_; }
+
+  private:
+    /** Positions are banked by p % 3 at address p / 3 (Figure 6). */
+    int bankOf(int position) const { return position % 3; }
+
+    int length_;
+    /** Three RAM banks, each holding length/3 bits. */
+    std::vector<std::uint8_t> banks_[3];
+    /** Buffer register: tap values at offsets 250..254 (indices 0..4)
+     *  plus the two head values (indices 5 = head, 6 = head+1). */
+    std::uint8_t buffer_[7];
+    int head_ = 0;
+    int sum_ = 0;
+    std::uint64_t ramReads_ = 0;
+    std::uint64_t ramWrites_ = 0;
+    int peakBankOps_ = 0;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_RLF_HH

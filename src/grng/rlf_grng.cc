@@ -1,0 +1,118 @@
+#include "grng/rlf_grng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "grng/lfsr.hh"
+
+namespace vibnn::grng
+{
+
+RlfGrng::RlfGrng(const RlfGrngConfig &config) : config_(config)
+{
+    VIBNN_ASSERT(config.lanes >= 1, "need at least one lane");
+    VIBNN_ASSERT(config.length >= 19,
+                 "binomial approximation needs n > 18 (equation (8))");
+
+    Rng seeder(config.seed);
+    lanes_.reserve(config.lanes);
+    for (int lane = 0; lane < config.lanes; ++lane) {
+        auto seed_bits = expandSeedBits(config.length, seeder.next());
+        if (config.balancedSeeds) {
+            // Rebalance to popcount floor(n/2) (even lanes) or
+            // ceil(n/2) (odd lanes) by flipping random positions.
+            const int target = config.length / 2 + (lane & 1);
+            int ones = 0;
+            for (std::uint8_t b : seed_bits)
+                ones += b;
+            Rng flipper(seeder.next());
+            while (ones != target) {
+                const auto pos = flipper.uniformInt(
+                    static_cast<std::uint64_t>(config.length));
+                if (ones < target && !seed_bits[pos]) {
+                    seed_bits[pos] = 1;
+                    ++ones;
+                } else if (ones > target && seed_bits[pos]) {
+                    seed_bits[pos] = 0;
+                    --ones;
+                }
+            }
+        }
+        lanes_.emplace_back(config.length, std::move(seed_bits),
+                            config.mode);
+    }
+
+    mean_ = 0.5 * config.length;
+    invStddev_ = 1.0 / std::sqrt(0.25 * config.length);
+    cycleBuffer_.resize(config.lanes);
+    bufferPos_ = cycleBuffer_.size(); // force refill on first draw
+}
+
+double
+RlfGrng::normalize(int count) const
+{
+    return (static_cast<double>(count) - mean_) * invStddev_;
+}
+
+void
+RlfGrng::refillBuffer()
+{
+    nextCycleCounts(cycleBuffer_);
+    bufferPos_ = 0;
+}
+
+void
+RlfGrng::nextCycleCounts(std::vector<int> &out)
+{
+    out.resize(lanes_.size());
+
+    // Step every lane once (they share one indexer in hardware).
+    std::vector<int> raw(lanes_.size());
+    for (std::size_t lane = 0; lane < lanes_.size(); ++lane)
+        raw[lane] = lanes_[lane].step();
+
+    if (!config_.outputMux) {
+        out = raw;
+        ++cycle_;
+        return;
+    }
+
+    // Output multiplexing: within each group of four lanes, output port
+    // p serves lane (p + cycle) % group_size this cycle. The rotating
+    // select is shared by all groups (one controller).
+    const std::size_t n = lanes_.size();
+    for (std::size_t base = 0; base < n; base += 4) {
+        const std::size_t group = std::min<std::size_t>(4, n - base);
+        for (std::size_t port = 0; port < group; ++port) {
+            const std::size_t lane =
+                base + (port + static_cast<std::size_t>(cycle_)) % group;
+            out[base + port] = raw[lane];
+        }
+    }
+    ++cycle_;
+}
+
+int
+RlfGrng::nextCount()
+{
+    if (bufferPos_ >= cycleBuffer_.size())
+        refillBuffer();
+    return cycleBuffer_[bufferPos_++];
+}
+
+double
+RlfGrng::next()
+{
+    return normalize(nextCount());
+}
+
+std::string
+RlfGrng::name() const
+{
+    return strfmt("RLF-GRNG(%dx%d%s)", config_.length, config_.lanes,
+                  config_.outputMux ? "" : ",nomux");
+}
+
+} // namespace vibnn::grng

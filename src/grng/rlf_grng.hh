@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The parallel RLF-GRNG (Figure 8 of the paper).
+ *
+ * m LF-updater lanes run in lockstep: the seed memory (SeMem) is a RAM
+ * of `length` words, each m bits wide, so lane j owns bit column j and
+ * the indexer/controller is shared by all lanes — the key hardware
+ * economy of the design. Every cycle each lane emits its state popcount,
+ * an approximately N(n/2, n/4) binomial sample.
+ *
+ * A raw lane stream is useless on its own: consecutive popcounts differ
+ * by at most 5, so the stream is massively autocorrelated. The block
+ * diagram fixes this with output multiplexers: lanes are grouped in
+ * fours, and each group's four outputs are permuted by a rotating select
+ * shared across groups, so any single output port hops between four
+ * independent lanes on consecutive cycles. The serial stream exposed by
+ * next() walks output ports cycle-major, which reproduces exactly what a
+ * consumer wired to the multiplexer outputs would see. The ablation
+ * bench (bench_ablation_rlf) shows the multiplexer is what makes the
+ * runs test pass.
+ */
+
+#ifndef VIBNN_GRNG_RLF_GRNG_HH
+#define VIBNN_GRNG_RLF_GRNG_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "grng/generator.hh"
+#include "grng/rlf.hh"
+
+namespace vibnn::grng
+{
+
+/** Configuration for RlfGrng. */
+struct RlfGrngConfig
+{
+    /** Seed bits per lane (the paper's SeMem depth); 255 default. */
+    int length = 255;
+    /** Number of parallel LF-updater lanes (SeMem word width). */
+    int lanes = 8;
+    /** Update mode; Combined is the paper's optimized design. */
+    RlfUpdateMode mode = RlfUpdateMode::Combined;
+    /** Enable the output multiplexing stage (Figure 8). Disabling it is
+     *  only for the ablation study. */
+    bool outputMux = true;
+    /**
+     * Balance every lane's seed to popcount floor(n/2) or ceil(n/2)
+     * (alternating across lanes). The seeds live in an initialization
+     * ROM whose image the designer is free to choose; starting each
+     * lane at the stationary mode of the binomial walk removes the
+     * start-up transient from the output distribution.
+     */
+    bool balancedSeeds = true;
+    /** Master seed; each lane derives an independent seed from it. */
+    std::uint64_t seed = 1;
+};
+
+/** Parallel RAM-based Linear Feedback GRNG. */
+class RlfGrng : public GaussianGenerator
+{
+  public:
+    explicit RlfGrng(const RlfGrngConfig &config);
+
+    /** Next normalized sample. */
+    double next() override;
+
+    std::string name() const override;
+
+    /** Next raw binomial count in [0, length]. */
+    int nextCount();
+
+    /**
+     * Produce one full cycle of counts, one per lane, in multiplexed
+     * output-port order. Matches the hardware's per-cycle bandwidth of
+     * `lanes` samples.
+     */
+    void nextCycleCounts(std::vector<int> &out);
+
+    const RlfGrngConfig &config() const { return config_; }
+
+    /** Normalization helpers: count -> approximately N(0,1). */
+    double normalize(int count) const;
+
+  private:
+    void refillBuffer();
+
+    RlfGrngConfig config_;
+    std::vector<RlfLogic> lanes_;
+    std::vector<int> cycleBuffer_;
+    std::size_t bufferPos_ = 0;
+    std::uint64_t cycle_ = 0;
+    double mean_;
+    double invStddev_;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_RLF_GRNG_HH

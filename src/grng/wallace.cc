@@ -1,0 +1,87 @@
+#include "grng/wallace.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace vibnn::grng
+{
+
+WallaceGrng::WallaceGrng(const WallaceConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    VIBNN_ASSERT(config.poolSize >= 8, "Wallace pool must hold >= 8");
+    VIBNN_ASSERT(config.loopsPerOutput >= 1, "need at least one loop");
+
+    pool_.resize(config.poolSize);
+    for (auto &x : pool_)
+        x = rng_.gaussian();
+
+    if (config.normalizeInitialPool) {
+        double mean = 0.0;
+        for (double x : pool_)
+            mean += x;
+        mean /= static_cast<double>(pool_.size());
+        double var = 0.0;
+        for (double x : pool_)
+            var += (x - mean) * (x - mean);
+        var /= static_cast<double>(pool_.size());
+        const double inv_sd = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+        for (auto &x : pool_)
+            x = (x - mean) * inv_sd;
+    }
+}
+
+std::array<double, 4>
+WallaceGrng::transformOnce()
+{
+    // Pick four distinct slots.
+    std::size_t idx[4];
+    for (int i = 0; i < 4; ++i) {
+        bool unique;
+        do {
+            idx[i] = rng_.uniformInt(pool_.size());
+            unique = true;
+            for (int j = 0; j < i; ++j)
+                unique = unique && idx[j] != idx[i];
+        } while (!unique);
+    }
+
+    const std::array<double, 4> x = {pool_[idx[0]], pool_[idx[1]],
+                                     pool_[idx[2]], pool_[idx[3]]};
+    const std::array<double, 4> y = hadamardTransform4(x);
+    for (int i = 0; i < 4; ++i)
+        pool_[idx[i]] = y[i];
+    return y;
+}
+
+double
+WallaceGrng::next()
+{
+    if (outputPos_ >= 4) {
+        for (int loop = 0; loop + 1 < config_.loopsPerOutput; ++loop)
+            transformOnce();
+        outputs_ = transformOnce();
+        outputPos_ = 0;
+    }
+    return outputs_[outputPos_++];
+}
+
+double
+WallaceGrng::poolEnergy() const
+{
+    double energy = 0.0;
+    for (double x : pool_)
+        energy += x * x;
+    return energy;
+}
+
+std::string
+WallaceGrng::name() const
+{
+    return strfmt("Wallace-SW(pool=%zu,loops=%d)", config_.poolSize,
+                  config_.loopsPerOutput);
+}
+
+} // namespace vibnn::grng

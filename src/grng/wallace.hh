@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Software Wallace Gaussian generator (Section 4.2.1).
+ *
+ * Wallace's method keeps a pool of Gaussian numbers and produces new ones
+ * by orthogonal recombination: four pool values x[1..4] are replaced by
+ *   t = (x1 + x2 + x3 + x4) / 2
+ *   x' = {t - x1, t - x2, x3 - t, x4 - t}
+ * which is the Hadamard matrix H/2 of the paper — an orthogonal map, so
+ * a Gaussian pool stays Gaussian and the pool energy is exactly
+ * preserved. The catch: every output is a linear combination of the
+ * initial pool, so the achievable (mu, sigma) stability is bounded by
+ * the initial pool's own sampling error — the effect Table 1 shows as
+ * errors shrinking with pool size 256 -> 1024 -> 4096.
+ *
+ * This software model selects read and write positions with a true
+ * uniform RNG (the luxury the hardware version cannot afford) and
+ * supports optional multi-loop transformations between outputs.
+ */
+
+#ifndef VIBNN_GRNG_WALLACE_HH
+#define VIBNN_GRNG_WALLACE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "grng/generator.hh"
+
+namespace vibnn::grng
+{
+
+/** The 4-point Hadamard recombination used by every Wallace variant. */
+inline std::array<double, 4>
+hadamardTransform4(const std::array<double, 4> &x)
+{
+    const double t = 0.5 * (x[0] + x[1] + x[2] + x[3]);
+    return {t - x[0], t - x[1], x[2] - t, x[3] - t};
+}
+
+/** Configuration for the software Wallace generator. */
+struct WallaceConfig
+{
+    /** Pool size (number of Gaussians kept); must be >= 8. */
+    std::size_t poolSize = 1024;
+    /** In-place transformations performed per emitted quadruple. The
+     *  classic algorithm uses >1 to decorrelate outputs. */
+    int loopsPerOutput = 1;
+    /** Normalize the initial pool to exactly zero mean / unit variance
+     *  (what a hardware ROM image would ship with). The classic software
+     *  algorithm leaves the raw samples, keeping their sampling error. */
+    bool normalizeInitialPool = false;
+    std::uint64_t seed = 1;
+};
+
+/** Software Wallace generator with random pool addressing. */
+class WallaceGrng : public GaussianGenerator
+{
+  public:
+    explicit WallaceGrng(const WallaceConfig &config);
+
+    double next() override;
+    std::string name() const override;
+
+    /** Pool inspection for tests (energy-conservation invariants). */
+    const std::vector<double> &pool() const { return pool_; }
+
+    /** Sum of squares over the pool. */
+    double poolEnergy() const;
+
+  private:
+    /** One in-place transformation of four random pool slots; returns
+     *  the four new values. */
+    std::array<double, 4> transformOnce();
+
+    WallaceConfig config_;
+    Rng rng_;
+    std::vector<double> pool_;
+    std::array<double, 4> outputs_{};
+    std::size_t outputPos_ = 4;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_WALLACE_HH

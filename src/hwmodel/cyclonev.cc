@@ -1,0 +1,133 @@
+#include "hwmodel/cyclonev.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vibnn::hw
+{
+
+double
+adderAlms(int width)
+{
+    // Carry chains pack two bits per ALM, plus a little glue.
+    return 0.55 * width;
+}
+
+double
+gateAlms(int count)
+{
+    // Two independent small LUT functions fit one ALM.
+    return 0.5 * count;
+}
+
+double
+muxAlms(int width, int ways)
+{
+    if (ways <= 1)
+        return 0.0;
+    // A 4:1 mux bit fits one 6-LUT (half an ALM); wider selects tree up
+    // in 4:1 stages.
+    const double luts_per_bit = std::ceil((ways - 1) / 3.0);
+    return 0.5 * width * luts_per_bit;
+}
+
+double
+parallelCounterAlms(int inputs)
+{
+    if (inputs <= 1)
+        return 0.0;
+    // Full-adder construction: n - ceil(log2(n+1)) FAs, one FA per ALM
+    // in compressor packing (~0.75 utilization).
+    int out_bits = 0;
+    while ((1 << out_bits) < inputs + 1)
+        ++out_bits;
+    return 0.75 * (inputs - out_bits) + 0.5 * out_bits;
+}
+
+double
+softMultiplierAlms(int a_bits, int b_bits)
+{
+    // Baugh-Wooley array in soft logic: roughly half an ALM per
+    // partial-product bit.
+    return 0.5 * a_bits * b_bits;
+}
+
+double
+registerCost(int width)
+{
+    return width;
+}
+
+ResourceEstimate
+blockRam(int depth, int width)
+{
+    VIBNN_ASSERT(depth > 0 && width > 0, "empty RAM");
+    ResourceEstimate r;
+    r.memoryBits = static_cast<std::int64_t>(depth) * width;
+
+    const int stripes =
+        (width + CycloneVDevice::ramBlockMaxWidth - 1) /
+        CycloneVDevice::ramBlockMaxWidth;
+    const int stripe_width = (width + stripes - 1) / stripes;
+    const int rows_per_block = std::max(
+        1, CycloneVDevice::ramBlockBits /
+               (stripe_width > 0 ? stripe_width : 1));
+    const int row_groups = (depth + rows_per_block - 1) / rows_per_block;
+    r.ramBlocks = stripes * row_groups;
+    return r;
+}
+
+int
+dspBlocks(int count)
+{
+    return (count + CycloneVDevice::multipliersPerDsp - 1) /
+        CycloneVDevice::multipliersPerDsp;
+}
+
+double
+stageFmaxMhz(int logic_levels, int carry_bits)
+{
+    // Delay model: clock-to-out + routing per LUT level + carry ripple.
+    //   t = t0 + tLUT * levels + tCARRY * bits
+    // Fit: RLF stage (2 levels, 8-bit carry) -> 4.696 ns (212.95 MHz);
+    //      Wallace stage (3 levels, 34 carry bits) -> 8.501 ns
+    //      (117.63 MHz).
+    constexpr double t0_ns = 1.90;
+    constexpr double t_lut_ns = 0.85;
+    constexpr double t_carry_ns = 0.1298;
+    const double t = t0_ns + t_lut_ns * logic_levels +
+        t_carry_ns * carry_bits;
+    return 1000.0 / t;
+}
+
+double
+powerMw(const ResourceEstimate &resources, double f_mhz)
+{
+    // Calibrated on the paper's Table 2:
+    //   RLF-GRNG:       831 ALMs, 1780 regs,   3 M10K @ 212.95 MHz
+    //                   -> 528.69 mW
+    //   BNNWallace:     401 ALMs, 1166 regs, 103 M10K @ 117.63 MHz
+    //                   -> 560.25 mW
+    // With static power fixed at 460 mW (typical for this device), a
+    // standard register coefficient and a RAM access-energy term (the
+    // BNNWallace design touches 8 x 16 pool bits per unit per cycle,
+    // which is most of its dynamic power), the two rows pin the ALM
+    // and RAM-block coefficients.
+    constexpr double static_mw = 460.0;
+    constexpr double alm_uw_per_mhz = 0.208;
+    constexpr double reg_uw_per_mhz = 0.05;
+    constexpr double ram_uw_per_mhz = 2.92;
+    constexpr double dsp_uw_per_mhz = 2.5;
+    constexpr double access_uw_per_mhz_bit = 0.2;
+
+    const double dynamic_uw_per_mhz =
+        alm_uw_per_mhz * resources.alms +
+        reg_uw_per_mhz * resources.registers +
+        ram_uw_per_mhz * resources.ramBlocks +
+        dsp_uw_per_mhz * resources.dsps +
+        access_uw_per_mhz_bit * resources.ramAccessBitsPerCycle;
+    return static_mw + dynamic_uw_per_mhz * f_mhz / 1000.0;
+}
+
+} // namespace vibnn::hw

@@ -1,0 +1,131 @@
+#include "hwmodel/grng_hw.hh"
+
+#include "common/logging.hh"
+#include "hwmodel/cyclonev.hh"
+
+namespace vibnn::hw
+{
+
+DesignEstimate
+rlfGrngEstimate(const RlfGrngHwConfig &config)
+{
+    DesignEstimate design;
+    design.name = "RLF-GRNG";
+    const int m = config.outputs;
+    const int b = config.sampleBits;
+
+    // SeMem: three banks of seedLength/3 words, each word m bits wide
+    // (the 3-block storing scheme of Figure 6).
+    {
+        ResourceEstimate r;
+        const int bank_depth = (config.seedLength + 2) / 3;
+        for (int bank = 0; bank < 3; ++bank)
+            r += blockRam(bank_depth, m);
+        // Two word reads + two word writes per cycle (next heads in,
+        // retired taps out).
+        r.ramAccessBitsPerCycle = 4.0 * m;
+        design.components.push_back({"SeMem (3 banks)", r});
+    }
+
+    // Per-lane LF-updater: 7-bit buffer register, 5 XOR taps, a 5-input
+    // parallel counter, tap register, subtractor and result accumulator
+    // (Figure 7b).
+    {
+        ResourceEstimate r;
+        // Packing factor 0.75: Quartus merges the XOR taps, popcount
+        // and accumulate into shared ALM arithmetic mode; calibrated
+        // against the paper's 831-ALM figure for 64 lanes.
+        constexpr double packing = 0.75;
+        r.alms = packing * m *
+            (gateAlms(6)                       // combined-update XORs
+             + parallelCounterAlms(5)          // tap popcount
+             + adderAlms(3)                    // tap-sum subtractor
+             + adderAlms(b));                  // result accumulator
+        r.registers = m * (registerCost(7)     // buffer register
+                           + registerCost(3)   // tap register
+                           + registerCost(b)); // result register
+        design.components.push_back({"LF-updaters", r});
+    }
+
+    // Output multiplexers: groups of four lanes, one b-bit 4:1 mux and
+    // an output register per port (Figure 8).
+    {
+        ResourceEstimate r;
+        r.alms = m * muxAlms(b, 4);
+        r.registers = m * registerCost(b);
+        design.components.push_back({"output multiplexers", r});
+    }
+
+    // Shared indexer + controller + initialization ROM port logic.
+    {
+        ResourceEstimate r;
+        r.alms = adderAlms(8) + gateAlms(24) + muxAlms(8, 4);
+        r.registers = registerCost(16) + registerCost(8);
+        design.components.push_back({"indexer/controller", r});
+    }
+
+    // Critical path: the 5-input popcount (2 LUT levels) feeding the
+    // b-bit accumulate.
+    design.fmaxMhz = stageFmaxMhz(2, b);
+    design.powerMw = powerMw(design.total(), design.fmaxMhz);
+    return design;
+}
+
+DesignEstimate
+bnnWallaceEstimate(const BnnWallaceHwConfig &config)
+{
+    DesignEstimate design;
+    design.name = "BNNWallace-GRNG";
+    const int units = config.units;
+    const int w = config.entryBits;
+
+    // Pool memories: one RAM per unit.
+    {
+        ResourceEstimate r;
+        for (int u = 0; u < units; ++u)
+            r += blockRam(config.poolSize, w);
+        // Every unit reads four entries and writes four back per cycle.
+        r.ramAccessBitsPerCycle = 8.0 * w * units;
+        design.components.push_back({"pool memories", r});
+    }
+
+    // Wallace units: 4-input adder tree (two w-bit adds plus one
+    // (w+1)-bit add), the shift is free, four subtractors (Figure 9).
+    {
+        ResourceEstimate r;
+        // Packing factor 0.4: the adder tree and the four subtractors
+        // share ALM arithmetic mode aggressively; calibrated against
+        // the paper's 401-ALM figure for 16 units.
+        constexpr double packing = 0.4;
+        r.alms = packing * units *
+            (2 * adderAlms(w) + adderAlms(w + 1) + 4 * adderAlms(w));
+        r.registers = units * (registerCost(4 * w)  // output registers
+                               + registerCost(w + 2)); // t register
+        design.components.push_back({"Wallace units", r});
+    }
+
+    // Sharing & shifting interconnect: the ring rotation is wiring; the
+    // write-back selects cost one 2:1 mux per written bit.
+    {
+        ResourceEstimate r;
+        r.alms = units * muxAlms(4 * w, 2) * 0.25;
+        design.components.push_back({"shift interconnect", r});
+    }
+
+    // Shared address counter + controller.
+    {
+        ResourceEstimate r;
+        r.alms = adderAlms(12) + gateAlms(16);
+        r.registers = registerCost(12) + registerCost(6);
+        design.components.push_back({"controller", r});
+    }
+
+    // Critical path: 4-input adder tree (two adder levels + mux level)
+    // with a (w+2)-bit effective carry, then the subtract absorbed in
+    // the same stage per Figure 9: ~3 logic levels, 2(w+1) carry bits.
+    design.fmaxMhz = stageFmaxMhz(3, 2 * (w + 1));
+    design.powerMw = powerMw(design.total(), design.fmaxMhz);
+    return design;
+}
+
+} // namespace vibnn::hw

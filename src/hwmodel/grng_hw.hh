@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Resource/performance models for the two hardware GRNG designs,
+ * built from the Cyclone V primitives. These regenerate the paper's
+ * Table 2 (64-parallel generation task) and provide the GRNG component
+ * of the full-network estimates (Table 4).
+ */
+
+#ifndef VIBNN_HWMODEL_GRNG_HW_HH
+#define VIBNN_HWMODEL_GRNG_HW_HH
+
+#include "hwmodel/resource.hh"
+
+namespace vibnn::hw
+{
+
+/** Parameters of an RLF-GRNG instance. */
+struct RlfGrngHwConfig
+{
+    /** Seed length (SeMem depth); 255 in the paper. */
+    int seedLength = 255;
+    /** Parallel outputs (SeMem word width / LF-updater lanes). */
+    int outputs = 64;
+    /** Output sample width in bits. */
+    int sampleBits = 8;
+};
+
+/** Parameters of a BNNWallace instance. */
+struct BnnWallaceHwConfig
+{
+    /** Wallace units (4 outputs per unit per cycle). */
+    int units = 16;
+    /** Pool entries per unit. */
+    int poolSize = 4096;
+    /** Pool entry width in bits. */
+    int entryBits = 16;
+};
+
+/** Itemized estimate for an RLF-GRNG (Figure 8 structure). */
+DesignEstimate rlfGrngEstimate(const RlfGrngHwConfig &config);
+
+/** Itemized estimate for a BNNWallace GRNG (Figures 9/10 structure). */
+DesignEstimate bnnWallaceEstimate(const BnnWallaceHwConfig &config);
+
+} // namespace vibnn::hw
+
+#endif // VIBNN_HWMODEL_GRNG_HW_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Survey GRNG cost models (see grng_survey.hh).
+ */
+
+#include "hwmodel/grng_survey.hh"
+
+#include "hwmodel/cyclonev.hh"
+#include "hwmodel/grng_hw.hh"
+
+namespace vibnn::hw
+{
+
+namespace
+{
+
+/** Uniform source: one `width`-bit LFSR per consumer lane. */
+ResourceEstimate
+lfsrSource(int lanes, int width)
+{
+    ResourceEstimate r;
+    // 3 taps of XOR plus the shift register itself.
+    r.alms = lanes * gateAlms(3);
+    r.registers = lanes * registerCost(width);
+    return r;
+}
+
+} // namespace
+
+DesignEstimate
+cdfInversionEstimate(const SurveyGrngConfig &config)
+{
+    DesignEstimate design;
+    design.name = "CDF-inversion GRNG";
+    const int lanes = config.outputs;
+    const int w = config.internalBits;
+
+    // Per-lane uniform source: 32-bit LFSR (the ICDF needs more input
+    // entropy than the output width to resolve the tails).
+    design.components.push_back({"uniform LFSRs", lfsrSource(lanes, 32)});
+
+    // Segment table: 128 segments x 3 coefficients x w bits, one ROM
+    // per lane (a shared ROM would serialize the lanes).
+    {
+        ResourceEstimate r;
+        for (int l = 0; l < lanes; ++l)
+            r += blockRam(128, 3 * w);
+        r.ramAccessBitsPerCycle = static_cast<double>(lanes) * 3 * w;
+        design.components.push_back({"ICDF segment tables", r});
+    }
+
+    // Horner evaluation: two w x w multiplies per lane per cycle plus
+    // two adders; multipliers map onto DSPs (two 9x9-capable slots per
+    // 16-bit product is conservative — price one DSP multiplier per
+    // product half).
+    {
+        ResourceEstimate r;
+        const int mults = 2 * lanes;
+        // A w-bit product needs ceil(w/9)^2 9x9 slices.
+        const int slices_per = ((w + 8) / 9) * ((w + 8) / 9);
+        r.dsps = dspBlocks(mults * slices_per);
+        r.alms = lanes * 2 * adderAlms(w);
+        r.registers = lanes * 3 * registerCost(w); // pipeline stages
+        design.components.push_back({"Horner evaluators", r});
+    }
+
+    // Segment-select comparators and output rounding.
+    {
+        ResourceEstimate r;
+        r.alms = lanes * (adderAlms(7) + muxAlms(config.sampleBits, 2));
+        r.registers = lanes * registerCost(config.sampleBits);
+        design.components.push_back({"select/round", r});
+    }
+
+    // Critical path: table read -> multiply -> add; the DSP multiply
+    // stage dominates (~4 levels with the product register).
+    design.fmaxMhz = stageFmaxMhz(4, w);
+    design.powerMw = powerMw(design.total(), design.fmaxMhz);
+    return design;
+}
+
+DesignEstimate
+boxMullerEstimate(const SurveyGrngConfig &config)
+{
+    DesignEstimate design;
+    design.name = "Box-Muller GRNG";
+    // One engine produces a (sin, cos) pair: two lanes per engine.
+    const int engines = (config.outputs + 1) / 2;
+    const int w = config.internalBits;
+
+    design.components.push_back(
+        {"uniform LFSRs", lfsrSource(2 * engines, 32)});
+
+    // ln(u) unit: range reduction (leading-zero count + shift) plus a
+    // 64-segment linear-interpolation table and one multiply.
+    {
+        ResourceEstimate r;
+        const int slices_per = ((w + 8) / 9) * ((w + 8) / 9);
+        r.dsps = dspBlocks(engines * slices_per);
+        for (int e = 0; e < engines; ++e)
+            r += blockRam(64, 2 * w);
+        r.ramAccessBitsPerCycle = static_cast<double>(engines) * 2 * w;
+        r.alms = engines * (gateAlms(w) /* LZC + shifter */
+                            + adderAlms(w));
+        r.registers = engines * 2.0 * registerCost(w);
+        design.components.push_back({"ln units", r});
+    }
+
+    // sqrt via CORDIC: w iterations folded 2x -> w/2 pipeline stages of
+    // a w-bit add/sub + shift each.
+    {
+        ResourceEstimate r;
+        const int stages = w / 2;
+        r.alms = engines * stages * adderAlms(w);
+        r.registers = engines * stages * registerCost(w);
+        design.components.push_back({"sqrt CORDIC", r});
+    }
+
+    // sin/cos via circular CORDIC: w iterations folded 2x, two
+    // accumulators per stage.
+    {
+        ResourceEstimate r;
+        const int stages = w / 2;
+        r.alms = engines * stages * 2 * adderAlms(w);
+        r.registers = engines * stages * 2.0 * registerCost(w);
+        design.components.push_back({"sin/cos CORDIC", r});
+    }
+
+    // Output multiplies r*sin, r*cos.
+    {
+        ResourceEstimate r;
+        const int slices_per = ((w + 8) / 9) * ((w + 8) / 9);
+        r.dsps = dspBlocks(2 * engines * slices_per);
+        r.registers = engines * 2.0 * registerCost(config.sampleBits);
+        design.components.push_back({"output multipliers", r});
+    }
+
+    // The CORDIC stages are individually short; the multiply stages
+    // set the clock (~4 levels, w-bit carry).
+    design.fmaxMhz = stageFmaxMhz(4, w);
+    design.powerMw = powerMw(design.total(), design.fmaxMhz);
+    return design;
+}
+
+DesignEstimate
+zigguratEstimate(const SurveyGrngConfig &config)
+{
+    DesignEstimate design;
+    design.name = "Ziggurat GRNG";
+    const int lanes = config.outputs;
+    const int w = config.internalBits;
+
+    design.components.push_back({"uniform LFSRs", lfsrSource(lanes, 32)});
+
+    // Layer table: 256 layers x (x_i, y_i) of w bits each, per lane.
+    {
+        ResourceEstimate r;
+        for (int l = 0; l < lanes; ++l)
+            r += blockRam(256, 2 * w);
+        r.ramAccessBitsPerCycle = static_cast<double>(lanes) * 2 * w;
+        design.components.push_back({"layer tables", r});
+    }
+
+    // Accept path: one multiply (u * x_i) and one compare per lane.
+    {
+        ResourceEstimate r;
+        const int slices_per = ((w + 8) / 9) * ((w + 8) / 9);
+        r.dsps = dspBlocks(lanes * slices_per);
+        r.alms = lanes * adderAlms(w); // comparator
+        r.registers = lanes * 2.0 * registerCost(w);
+        design.components.push_back({"accept datapath", r});
+    }
+
+    // Escape path: wedge/tail evaluation needs exp(); shared soft-logic
+    // unit per 16 lanes (it is exercised ~1.5% of the time, so sharing
+    // does not bound throughput).
+    {
+        ResourceEstimate r;
+        const int units = (lanes + 15) / 16;
+        r.alms = units * (softMultiplierAlms(w, w) + 4 * adderAlms(w));
+        r.registers = units * 4.0 * registerCost(w);
+        design.components.push_back({"escape exp units", r});
+    }
+
+    design.fmaxMhz = stageFmaxMhz(4, w);
+    design.powerMw = powerMw(design.total(), design.fmaxMhz);
+    return design;
+}
+
+std::vector<GrngSurveyRow>
+grngSurvey(const SurveyGrngConfig &config)
+{
+    std::vector<GrngSurveyRow> rows;
+
+    {
+        GrngSurveyRow row;
+        row.family = "CDF inversion";
+        row.design = "segmented ICDF";
+        row.estimate = cdfInversionEstimate(config);
+        row.samplesPerCycle = config.outputs;
+        row.deterministicRate = true;
+        rows.push_back(std::move(row));
+    }
+    {
+        GrngSurveyRow row;
+        row.family = "transformation";
+        row.design = "Box-Muller/CORDIC";
+        row.estimate = boxMullerEstimate(config);
+        row.samplesPerCycle = config.outputs;
+        row.deterministicRate = true;
+        rows.push_back(std::move(row));
+    }
+    {
+        GrngSurveyRow row;
+        row.family = "rejection";
+        row.design = "Ziggurat-256";
+        row.estimate = zigguratEstimate(config);
+        // Marsaglia-Tsang 256-layer acceptance probability.
+        row.samplesPerCycle = config.outputs * 0.985;
+        row.deterministicRate = false;
+        rows.push_back(std::move(row));
+    }
+    {
+        GrngSurveyRow row;
+        row.family = "CLT";
+        row.design = "RLF-GRNG (this paper)";
+        RlfGrngHwConfig rlf;
+        rlf.outputs = config.outputs;
+        rlf.sampleBits = config.sampleBits;
+        row.estimate = rlfGrngEstimate(rlf);
+        row.samplesPerCycle = config.outputs;
+        row.deterministicRate = true;
+        rows.push_back(std::move(row));
+    }
+    {
+        GrngSurveyRow row;
+        row.family = "recursion";
+        row.design = "BNNWallace (this paper)";
+        BnnWallaceHwConfig wal;
+        wal.units = config.outputs / 4; // four outputs per unit
+        wal.poolSize = 256;
+        wal.entryBits = 16;
+        row.estimate = bnnWallaceEstimate(wal);
+        row.samplesPerCycle = config.outputs;
+        row.deterministicRate = true;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace vibnn::hw

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware cost survey across the four GRNG algorithm families of the
+ * paper's Section 2.3 (following Malik & Hemani's taxonomy, the paper's
+ * reference [34]):
+ *
+ *   1. CDF inversion       — segmented-LUT ICDF evaluation,
+ *   2. transformation      — Box-Muller with CORDIC/LUT elementary
+ *                            functions (the non-CLT representative;
+ *                            the CLT representative is the RLF design),
+ *   3. rejection           — Ziggurat with a layer-table and a rare
+ *                            escape path,
+ *   4. recursion           — Wallace (modeled in grng_hw.hh as
+ *                            BNNWallace).
+ *
+ * The paper argues qualitatively that CLT-based and Wallace generators
+ * are the appropriate hardware choices for BNN acceleration because of
+ * their low computation overhead; these models make that argument
+ * quantitative for the 64-parallel generation task: inversion and
+ * Box-Muller cost DSP multipliers and deep elementary-function
+ * pipelines per output lane, and Ziggurat's acceptance loop breaks the
+ * free-running one-sample-per-cycle contract the weight generator
+ * depends on. Each model documents its micro-architecture assumptions
+ * inline; coefficients reuse the Cyclone V primitives calibrated on the
+ * paper's own Table 2.
+ */
+
+#ifndef VIBNN_HWMODEL_GRNG_SURVEY_HH
+#define VIBNN_HWMODEL_GRNG_SURVEY_HH
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/resource.hh"
+
+namespace vibnn::hw
+{
+
+/** Shared knobs for the survey designs. */
+struct SurveyGrngConfig
+{
+    /** Parallel output lanes (the BNN task needs 64). */
+    int outputs = 64;
+    /** Output sample width in bits. */
+    int sampleBits = 8;
+    /** Internal datapath width for the function evaluators. */
+    int internalBits = 16;
+};
+
+/**
+ * CDF-inversion GRNG: per lane, a uniform LFSR indexes a 128-segment
+ * degree-2 polynomial table (three coefficients per segment) and two
+ * DSP multiplies evaluate Horner's rule. 1 sample/cycle/lane.
+ */
+DesignEstimate cdfInversionEstimate(const SurveyGrngConfig &config);
+
+/**
+ * Box-Muller GRNG: per *pair* of lanes, one ln(u) unit (segmented LUT +
+ * multiplier), one sqrt CORDIC (internalBits iterations folded 2x), one
+ * sin/cos CORDIC, and two output multiplies. 2 samples/cycle per
+ * engine.
+ */
+DesignEstimate boxMullerEstimate(const SurveyGrngConfig &config);
+
+/**
+ * Ziggurat GRNG: per lane, a 256-layer table (x_i, y_i thresholds), one
+ * DSP multiply and a comparator; ~1.5% of draws take the rejection
+ * escape path, which stalls the lane (modeled as the acceptance rate
+ * below rather than extra hardware for the rare exp() path, which we
+ * price as a shared soft-logic unit per 16 lanes).
+ */
+DesignEstimate zigguratEstimate(const SurveyGrngConfig &config);
+
+/** One row of the survey comparison. */
+struct GrngSurveyRow
+{
+    /** Family name as in Section 2.3. */
+    std::string family;
+    /** Concrete design evaluated. */
+    std::string design;
+    DesignEstimate estimate;
+    /** Average samples per cycle across all lanes. */
+    double samplesPerCycle = 0.0;
+    /** True when every cycle yields exactly one sample per lane (the
+     *  property the free-running weight generator requires). */
+    bool deterministicRate = true;
+};
+
+/**
+ * The full five-design survey (CDF inversion, Box-Muller, Ziggurat,
+ * RLF = CLT family, BNNWallace = recursion family) for one task size.
+ */
+std::vector<GrngSurveyRow> grngSurvey(const SurveyGrngConfig &config);
+
+} // namespace vibnn::hw
+
+#endif // VIBNN_HWMODEL_GRNG_SURVEY_HH

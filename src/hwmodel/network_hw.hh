@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Whole-accelerator resource and performance model (Tables 4 and 5).
+ *
+ * Composes the Cyclone V primitives into the full VIBNN design: the PE
+ * array (multipliers mapped onto DSP blocks — 1024 9-bit multipliers
+ * fill exactly the device's 342 DSPs at three per block), the weight
+ * generator (soft-logic sigma*eps multipliers plus the chosen GRNG),
+ * the distributed WPMems (block-granular allocation, which is why the
+ * paper's memory-bit figures exceed the raw parameter bits), the
+ * double-buffered IFMems, memory distributor, controller and the
+ * two-tier pipeline registers of Figure 14.
+ */
+
+#ifndef VIBNN_HWMODEL_NETWORK_HW_HH
+#define VIBNN_HWMODEL_NETWORK_HW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwmodel/grng_hw.hh"
+#include "hwmodel/resource.hh"
+
+namespace vibnn::hw
+{
+
+/** Which GRNG feeds the weight generator. */
+enum class GrngKind
+{
+    Rlf,
+    BnnWallace,
+};
+
+/** Full-accelerator configuration for the resource model. */
+struct NetworkHwConfig
+{
+    /** Layer widths including input/output, e.g. {784, 200, 200, 10}. */
+    std::vector<int> layerSizes{784, 200, 200, 10};
+    /** PE sets (T), PEs per set (S), inputs per PE (N). Paper: 16x8x8. */
+    int peSets = 16;
+    int pesPerSet = 8;
+    int peInputs = 8;
+    /** Operand bit-length B. */
+    int bits = 8;
+    GrngKind grng = GrngKind::Rlf;
+    /** Pool entries per Wallace unit in the full design (128 matches
+     *  the paper's Table 4 memory-bit delta between the two designs). */
+    int wallacePoolSize = 128;
+};
+
+/** Itemized whole-design estimate, with fmax and power filled in. */
+DesignEstimate networkEstimate(const NetworkHwConfig &config);
+
+/** Operating-point summary derived from an estimate + cycle count. */
+struct PerformanceModel
+{
+    double fsysMhz = 0.0;
+    double cyclesPerImage = 0.0;
+    double imagesPerSecond = 0.0;
+    double powerMw = 0.0;
+    double imagesPerJoule = 0.0;
+};
+
+/**
+ * Combine the modeled operating point with a measured cycles-per-image
+ * figure (from the cycle-level simulator) into Table 5 metrics.
+ */
+PerformanceModel performanceFromCycles(const DesignEstimate &design,
+                                       double cycles_per_image);
+
+/** Total multiplier count of the PE array (for DSP accounting). */
+int peMultiplierCount(const NetworkHwConfig &config);
+
+} // namespace vibnn::hw
+
+#endif // VIBNN_HWMODEL_NETWORK_HW_HH

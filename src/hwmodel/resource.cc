@@ -1,0 +1,27 @@
+#include "hwmodel/resource.hh"
+
+namespace vibnn::hw
+{
+
+ResourceEstimate &
+ResourceEstimate::operator+=(const ResourceEstimate &other)
+{
+    alms += other.alms;
+    registers += other.registers;
+    memoryBits += other.memoryBits;
+    ramBlocks += other.ramBlocks;
+    dsps += other.dsps;
+    ramAccessBitsPerCycle += other.ramAccessBitsPerCycle;
+    return *this;
+}
+
+ResourceEstimate
+DesignEstimate::total() const
+{
+    ResourceEstimate sum;
+    for (const auto &component : components)
+        sum += component.resources;
+    return sum;
+}
+
+} // namespace vibnn::hw

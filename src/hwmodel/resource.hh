@@ -1,0 +1,66 @@
+/**
+ * @file
+ * FPGA resource accounting records.
+ *
+ * ResourceEstimate aggregates the quantities the paper reports in its
+ * utilization tables (ALMs, dedicated registers, block-memory bits, M10K
+ * RAM blocks, DSP blocks) plus the modeled operating point (clock and
+ * power). Estimates compose with operator+ so a design is the sum of its
+ * components, and each component can be labeled for itemized reports.
+ */
+
+#ifndef VIBNN_HWMODEL_RESOURCE_HH
+#define VIBNN_HWMODEL_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vibnn::hw
+{
+
+/** Resource usage of one hardware component or a whole design. */
+struct ResourceEstimate
+{
+    double alms = 0.0;
+    double registers = 0.0;
+    std::int64_t memoryBits = 0;
+    int ramBlocks = 0;
+    int dsps = 0;
+    /** Block-RAM bits read+written per clock cycle when active — the
+     *  dominant dynamic-power term for memory-heavy designs. */
+    double ramAccessBitsPerCycle = 0.0;
+
+    ResourceEstimate &operator+=(const ResourceEstimate &other);
+    friend ResourceEstimate operator+(ResourceEstimate a,
+                                      const ResourceEstimate &b)
+    {
+        a += b;
+        return a;
+    }
+};
+
+/** A labeled component within an itemized design report. */
+struct ComponentEstimate
+{
+    std::string label;
+    ResourceEstimate resources;
+};
+
+/** Itemized estimate for a full design. */
+struct DesignEstimate
+{
+    std::string name;
+    std::vector<ComponentEstimate> components;
+    /** Modeled maximum clock frequency in MHz. */
+    double fmaxMhz = 0.0;
+    /** Modeled total power (static + dynamic) in mW at fmax. */
+    double powerMw = 0.0;
+
+    /** Sum of all components. */
+    ResourceEstimate total() const;
+};
+
+} // namespace vibnn::hw
+
+#endif // VIBNN_HWMODEL_RESOURCE_HH

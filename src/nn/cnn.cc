@@ -1,0 +1,363 @@
+/**
+ * @file
+ * ConvNet assembly, forward/backward plumbing and trainer (see cnn.hh).
+ */
+
+#include "nn/cnn.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+
+namespace vibnn::nn
+{
+
+ConvNetConfig
+ConvNetConfig::lenetLike(std::size_t classes)
+{
+    ConvNetConfig cfg;
+    cfg.blocks = {
+        {8, 5, 1, 2, true, 2},  // 1x28x28 -> 8x28x28 -> 8x14x14
+        {16, 5, 1, 2, true, 2}, // -> 16x14x14 -> 16x7x7
+    };
+    cfg.denseHidden = {64};
+    cfg.numClasses = classes;
+    return cfg;
+}
+
+ConvNet::ConvNet(const ConvNetConfig &config, Rng &rng) : config_(config)
+{
+    std::size_t channels = config.inChannels;
+    std::size_t height = config.imageHeight;
+    std::size_t width = config.imageWidth;
+
+    for (const auto &block : config.blocks) {
+        ConvSpec spec;
+        spec.inChannels = channels;
+        spec.inHeight = height;
+        spec.inWidth = width;
+        spec.outChannels = block.outChannels;
+        spec.kernel = block.kernel;
+        spec.stride = block.stride;
+        spec.pad = block.pad;
+        VIBNN_ASSERT(spec.valid(), "invalid conv block geometry");
+
+        stages_.push_back(Stage::Conv);
+        stageIndex_.push_back(convs_.size());
+        stageOutSize_.push_back(spec.outputSize());
+        stageRelu_.push_back(true);
+        convs_.emplace_back(spec, rng);
+
+        channels = spec.outChannels;
+        height = spec.outHeight();
+        width = spec.outWidth();
+
+        if (block.pool) {
+            PoolSpec pool;
+            pool.channels = channels;
+            pool.inHeight = height;
+            pool.inWidth = width;
+            pool.window = block.poolWindow;
+            pool.stride = block.poolWindow;
+            VIBNN_ASSERT(pool.valid(), "invalid pool geometry");
+
+            stages_.push_back(Stage::Pool);
+            stageIndex_.push_back(pools_.size());
+            stageOutSize_.push_back(pool.outputSize());
+            stageRelu_.push_back(false);
+            pools_.emplace_back(pool);
+
+            height = pool.outHeight();
+            width = pool.outWidth();
+        }
+    }
+
+    std::size_t flat = channels * height * width;
+    for (std::size_t hidden : config.denseHidden) {
+        stages_.push_back(Stage::Dense);
+        stageIndex_.push_back(dense_.size());
+        stageOutSize_.push_back(hidden);
+        stageRelu_.push_back(true);
+        dense_.emplace_back(flat, hidden, rng);
+        flat = hidden;
+    }
+    stages_.push_back(Stage::Dense);
+    stageIndex_.push_back(dense_.size());
+    stageOutSize_.push_back(config.numClasses);
+    stageRelu_.push_back(false);
+    dense_.emplace_back(flat, config.numClasses, rng);
+}
+
+std::size_t
+ConvNet::inputDim() const
+{
+    return config_.inChannels * config_.imageHeight * config_.imageWidth;
+}
+
+ConvNetWorkspace
+ConvNet::makeWorkspace() const
+{
+    ConvNetWorkspace ws;
+    ws.buffers.resize(stages_.size() + 1);
+    ws.buffers[0].resize(inputDim());
+    ws.preActs.resize(stages_.size());
+    std::size_t widest = inputDim();
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        ws.buffers[s + 1].resize(stageOutSize_[s]);
+        if (stageRelu_[s])
+            ws.preActs[s].resize(stageOutSize_[s]);
+        widest = std::max(widest, stageOutSize_[s]);
+    }
+    ws.convScratch.resize(convs_.size());
+    ws.poolScratch.resize(pools_.size());
+    ws.convGrads.resize(convs_.size());
+    for (std::size_t i = 0; i < convs_.size(); ++i)
+        ws.convGrads[i].resize(convs_[i].spec());
+    ws.denseGrads.resize(dense_.size());
+    for (std::size_t i = 0; i < dense_.size(); ++i)
+        ws.denseGrads[i].resize(dense_[i].outDim(), dense_[i].inDim());
+    ws.deltaA.resize(widest);
+    ws.deltaB.resize(widest);
+    return ws;
+}
+
+void
+ConvNet::zeroGrads(ConvNetWorkspace &ws) const
+{
+    for (auto &g : ws.convGrads)
+        g.zero();
+    for (auto &g : ws.denseGrads)
+        g.zero();
+    ws.lossSum = 0.0;
+    ws.sampleCount = 0;
+}
+
+void
+ConvNet::forward(const float *x, float *logits, ConvNetWorkspace &ws)
+    const
+{
+    std::copy(x, x + inputDim(), ws.buffers[0].begin());
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const float *in = ws.buffers[s].data();
+        float *out = ws.buffers[s + 1].data();
+        switch (stages_[s]) {
+          case Stage::Conv:
+            convs_[stageIndex_[s]].forward(in, out,
+                                           ws.convScratch[stageIndex_[s]]);
+            break;
+          case Stage::Pool:
+            pools_[stageIndex_[s]].forward(in, out,
+                                           ws.poolScratch[stageIndex_[s]]);
+            break;
+          case Stage::Dense:
+            {
+                const auto &layer = dense_[stageIndex_[s]];
+                layer.forward(in, out);
+                break;
+            }
+        }
+        if (stageRelu_[s]) {
+            std::copy(out, out + stageOutSize_[s], ws.preActs[s].begin());
+            reluForward(out, stageOutSize_[s]);
+        }
+    }
+    std::copy(ws.buffers.back().begin(), ws.buffers.back().end(), logits);
+}
+
+double
+ConvNet::trainSample(const float *x, std::size_t target,
+                     ConvNetWorkspace &ws)
+{
+    std::vector<float> logits(outputDim());
+    forward(x, logits.data(), ws);
+
+    float *delta = ws.deltaA.data();
+    const double loss =
+        softmaxCrossEntropy(logits.data(), outputDim(), target, delta);
+    ws.lossSum += loss;
+    ws.sampleCount += 1;
+
+    // Walk the stages backward, ping-ponging delta buffers. `delta`
+    // always holds d loss / d (stage output, post-ReLU).
+    float *next_delta = ws.deltaB.data();
+    for (std::size_t s = stages_.size(); s-- > 0;) {
+        if (stageRelu_[s]) {
+            reluBackward(ws.preActs[s].data(), delta, delta,
+                         stageOutSize_[s]);
+        }
+        const float *in = ws.buffers[s].data();
+        const bool want_dx = s > 0;
+        switch (stages_[s]) {
+          case Stage::Conv:
+            convs_[stageIndex_[s]].backward(
+                delta, ws.convScratch[stageIndex_[s]],
+                ws.convGrads[stageIndex_[s]],
+                want_dx ? next_delta : nullptr);
+            break;
+          case Stage::Pool:
+            pools_[stageIndex_[s]].backward(
+                delta, ws.poolScratch[stageIndex_[s]], next_delta);
+            break;
+          case Stage::Dense:
+            dense_[stageIndex_[s]].backward(
+                in, delta, ws.denseGrads[stageIndex_[s]],
+                want_dx ? next_delta : nullptr);
+            break;
+        }
+        std::swap(delta, next_delta);
+    }
+    return loss;
+}
+
+std::size_t
+ConvNet::predict(const float *x, ConvNetWorkspace &ws) const
+{
+    std::vector<float> logits(outputDim());
+    forward(x, logits.data(), ws);
+    return argmax(logits.data(), logits.size());
+}
+
+std::size_t
+ConvNet::paramCount() const
+{
+    std::size_t n = 0;
+    for (const auto &c : convs_)
+        n += c.weight().size() + c.bias().size();
+    for (const auto &d : dense_)
+        n += d.weight().size() + d.bias().size();
+    return n;
+}
+
+void
+ConvNet::gatherParams(std::vector<float> &flat) const
+{
+    flat.clear();
+    flat.reserve(paramCount());
+    for (const auto &c : convs_) {
+        flat.insert(flat.end(), c.weight().data().begin(),
+                    c.weight().data().end());
+        flat.insert(flat.end(), c.bias().begin(), c.bias().end());
+    }
+    for (const auto &d : dense_) {
+        flat.insert(flat.end(), d.weight().data().begin(),
+                    d.weight().data().end());
+        flat.insert(flat.end(), d.bias().begin(), d.bias().end());
+    }
+}
+
+void
+ConvNet::scatterParams(const std::vector<float> &flat)
+{
+    VIBNN_ASSERT(flat.size() == paramCount(), "parameter size mismatch");
+    std::size_t at = 0;
+    auto take = [&](float *dst, std::size_t n) {
+        std::copy(flat.begin() + at, flat.begin() + at + n, dst);
+        at += n;
+    };
+    for (auto &c : convs_) {
+        take(c.weight().data().data(), c.weight().size());
+        take(c.bias().data(), c.bias().size());
+    }
+    for (auto &d : dense_) {
+        take(d.weight().data().data(), d.weight().size());
+        take(d.bias().data(), d.bias().size());
+    }
+}
+
+void
+ConvNet::gatherGrads(const ConvNetWorkspace &ws, std::vector<float> &flat)
+    const
+{
+    const float inv =
+        ws.sampleCount > 0
+            ? 1.0f / static_cast<float>(ws.sampleCount)
+            : 0.0f;
+    flat.clear();
+    flat.reserve(paramCount());
+    auto append = [&](const float *src, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            flat.push_back(src[i] * inv);
+    };
+    for (std::size_t i = 0; i < convs_.size(); ++i) {
+        append(ws.convGrads[i].weight.data().data(),
+               ws.convGrads[i].weight.size());
+        append(ws.convGrads[i].bias.data(), ws.convGrads[i].bias.size());
+    }
+    for (std::size_t i = 0; i < dense_.size(); ++i) {
+        append(ws.denseGrads[i].weight.data().data(),
+               ws.denseGrads[i].weight.size());
+        append(ws.denseGrads[i].bias.data(), ws.denseGrads[i].bias.size());
+    }
+}
+
+double
+evaluateAccuracy(const ConvNet &net, const DataView &data)
+{
+    if (data.count == 0)
+        return 0.0;
+    ConvNetWorkspace ws = net.makeWorkspace();
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.count; ++i) {
+        if (net.predict(data.sample(i), ws) ==
+            static_cast<std::size_t>(data.labels[i])) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.count);
+}
+
+TrainHistory
+trainConvNet(ConvNet &net, const DataView &train, const TrainConfig &config)
+{
+    VIBNN_ASSERT(train.count > 0, "empty training set");
+    VIBNN_ASSERT(train.dim == net.inputDim(), "feature dim mismatch");
+
+    TrainHistory history;
+    Rng rng(config.seed);
+    AdamOptimizer optimizer(config.learningRate);
+
+    ConvNetWorkspace ws = net.makeWorkspace();
+    std::vector<float> params, grads;
+    std::vector<std::size_t> order(train.count);
+    std::iota(order.begin(), order.end(), 0);
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t seen = 0;
+
+        for (std::size_t start = 0; start < train.count;
+             start += config.batchSize) {
+            const std::size_t end =
+                std::min(start + config.batchSize, train.count);
+            net.zeroGrads(ws);
+            for (std::size_t k = start; k < end; ++k) {
+                const std::size_t i = order[k];
+                epoch_loss += net.trainSample(
+                    train.sample(i),
+                    static_cast<std::size_t>(train.labels[i]), ws);
+            }
+            seen += end - start;
+            net.gatherGrads(ws, grads);
+            net.gatherParams(params);
+            optimizer.step(params.data(), grads.data(), params.size());
+            net.scatterParams(params);
+        }
+
+        const double mean_loss = epoch_loss / static_cast<double>(seen);
+        history.trainLoss.push_back(mean_loss);
+        double acc = -1.0;
+        if (config.evalSet)
+            acc = evaluateAccuracy(net, *config.evalSet);
+        history.evalAccuracy.push_back(acc);
+        if (config.onEpoch)
+            config.onEpoch(epoch, mean_loss, acc);
+    }
+    return history;
+}
+
+} // namespace vibnn::nn

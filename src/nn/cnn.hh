@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Conventional convolutional network — the deterministic baseline for
+ * the Bayesian-CNN extension (paper Section 1 claims VIBNN's principles
+ * carry over to CNNs; this module and bnn/bayesian_cnn.hh substantiate
+ * that claim end-to-end).
+ *
+ * Topology: a sequence of conv(+ReLU)(+max-pool) blocks followed by a
+ * dense ReLU head and a softmax classifier, configured by ConvNetConfig.
+ * Like Mlp, the model processes one sample at a time and exposes flat
+ * parameter plumbing for the shared optimizers.
+ */
+
+#ifndef VIBNN_NN_CNN_HH
+#define VIBNN_NN_CNN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/conv.hh"
+#include "nn/dense.hh"
+#include "nn/trainer.hh"
+
+namespace vibnn::nn
+{
+
+/** One conv(+pool) stage of a ConvNet. */
+struct ConvBlockConfig
+{
+    /** Filters in this block. */
+    std::size_t outChannels = 8;
+    /** Square kernel side. */
+    std::size_t kernel = 5;
+    /** Convolution stride. */
+    std::size_t stride = 1;
+    /** Zero padding. */
+    std::size_t pad = 2;
+    /** Append a max-pool after the ReLU. */
+    bool pool = true;
+    /** Pool window (and stride — non-overlapping). */
+    std::size_t poolWindow = 2;
+};
+
+/** Whole-network topology. */
+struct ConvNetConfig
+{
+    std::size_t inChannels = 1;
+    std::size_t imageHeight = 28;
+    std::size_t imageWidth = 28;
+    /** Conv stages, applied in order. */
+    std::vector<ConvBlockConfig> blocks;
+    /** Hidden dense sizes after flattening (each followed by ReLU). */
+    std::vector<std::size_t> denseHidden;
+    /** Output classes. */
+    std::size_t numClasses = 10;
+
+    /** A LeNet-ish default: 2 conv/pool blocks + one hidden layer. */
+    static ConvNetConfig lenetLike(std::size_t classes = 10);
+};
+
+/** Per-sample workspace: activations at every stage boundary. */
+struct ConvNetWorkspace
+{
+    /** Buffers between stages; buffers[0] is the input copy. */
+    std::vector<std::vector<float>> buffers;
+    /** Pre-activation copies for ReLU backward, one per ReLU stage
+     *  (indexed like stages; empty vectors for non-ReLU stages). */
+    std::vector<std::vector<float>> preActs;
+    std::vector<ConvScratch> convScratch;
+    std::vector<PoolScratch> poolScratch;
+    std::vector<ConvGradients> convGrads;
+    std::vector<DenseGradients> denseGrads;
+    /** Backprop ping-pong scratch. */
+    std::vector<float> deltaA, deltaB;
+    double lossSum = 0.0;
+    std::size_t sampleCount = 0;
+};
+
+/** Feed-forward convolutional classifier. */
+class ConvNet
+{
+  public:
+    ConvNet(const ConvNetConfig &config, Rng &rng);
+
+    const ConvNetConfig &config() const { return config_; }
+    /** Flat input size (inChannels * H * W). */
+    std::size_t inputDim() const;
+    std::size_t outputDim() const { return config_.numClasses; }
+
+    ConvNetWorkspace makeWorkspace() const;
+    void zeroGrads(ConvNetWorkspace &ws) const;
+
+    /** Inference forward; logits must hold outputDim() floats. */
+    void forward(const float *x, float *logits,
+                 ConvNetWorkspace &ws) const;
+
+    /** Forward + softmax cross-entropy + backward; accumulates grads
+     *  into ws and returns the sample loss. */
+    double trainSample(const float *x, std::size_t target,
+                       ConvNetWorkspace &ws);
+
+    /** Classify one sample. */
+    std::size_t predict(const float *x, ConvNetWorkspace &ws) const;
+
+    /** Flat parameter plumbing (convs first, then dense; weights then
+     *  bias within a layer). */
+    std::size_t paramCount() const;
+    void gatherParams(std::vector<float> &flat) const;
+    void scatterParams(const std::vector<float> &flat);
+    void gatherGrads(const ConvNetWorkspace &ws, std::vector<float> &flat)
+        const;
+
+    const std::vector<Conv2dLayer> &convLayers() const { return convs_; }
+    const std::vector<DenseLayer> &denseLayers() const { return dense_; }
+
+  private:
+    /** Stage kinds in execution order. */
+    enum class Stage { Conv, Pool, Dense };
+
+    ConvNetConfig config_;
+    std::vector<Stage> stages_;
+    /** Per-stage index into convs_/pools_/dense_. */
+    std::vector<std::size_t> stageIndex_;
+    /** Element count flowing out of each stage. */
+    std::vector<std::size_t> stageOutSize_;
+    /** True when the stage output passes through ReLU (all convs and
+     *  all dense layers except the final classifier). */
+    std::vector<bool> stageRelu_;
+    std::vector<Conv2dLayer> convs_;
+    std::vector<MaxPool2dLayer> pools_;
+    std::vector<DenseLayer> dense_;
+};
+
+/** Classification accuracy of a ConvNet on a dataset. */
+double evaluateAccuracy(const ConvNet &net, const DataView &data);
+
+/** Train a ConvNet with Adam; returns the per-epoch history. */
+TrainHistory trainConvNet(ConvNet &net, const DataView &train,
+                          const TrainConfig &config);
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_CNN_HH

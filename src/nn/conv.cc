@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Convolution and pooling kernels (see conv.hh).
+ */
+
+#include "nn/conv.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace vibnn::nn
+{
+
+namespace
+{
+
+/** Output extent of a strided window sweep, 0 when it cannot fit. */
+std::size_t
+sweptExtent(std::size_t in, std::size_t pad, std::size_t window,
+            std::size_t stride)
+{
+    const std::size_t padded = in + 2 * pad;
+    if (window == 0 || stride == 0 || padded < window)
+        return 0;
+    return (padded - window) / stride + 1;
+}
+
+} // namespace
+
+std::size_t
+ConvSpec::outHeight() const
+{
+    return sweptExtent(inHeight, pad, kernel, stride);
+}
+
+std::size_t
+ConvSpec::outWidth() const
+{
+    return sweptExtent(inWidth, pad, kernel, stride);
+}
+
+bool
+ConvSpec::valid() const
+{
+    return inChannels > 0 && outChannels > 0 && kernel > 0 && stride > 0 &&
+           pad < kernel && outHeight() > 0 && outWidth() > 0;
+}
+
+void
+im2col(const ConvSpec &spec, const float *x, Matrix &patches)
+{
+    const std::size_t out_h = spec.outHeight();
+    const std::size_t out_w = spec.outWidth();
+    const std::size_t patch = spec.patchSize();
+    if (patches.rows() != out_h * out_w || patches.cols() != patch)
+        patches = Matrix(out_h * out_w, patch);
+
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+            float *row = patches.row(oy * out_w + ox);
+            std::size_t k = 0;
+            for (std::size_t c = 0; c < spec.inChannels; ++c) {
+                const float *plane =
+                    x + c * spec.inHeight * spec.inWidth;
+                for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                    // Signed arithmetic: the padded coordinate may be
+                    // negative at the border.
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                        static_cast<std::ptrdiff_t>(spec.pad);
+                    for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * spec.stride +
+                                                        kx) -
+                            static_cast<std::ptrdiff_t>(spec.pad);
+                        const bool inside =
+                            iy >= 0 &&
+                            iy < static_cast<std::ptrdiff_t>(
+                                     spec.inHeight) &&
+                            ix >= 0 &&
+                            ix < static_cast<std::ptrdiff_t>(spec.inWidth);
+                        row[k++] =
+                            inside ? plane[iy * spec.inWidth + ix] : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2imAccumulate(const ConvSpec &spec, const Matrix &d_patches, float *dx)
+{
+    const std::size_t out_h = spec.outHeight();
+    const std::size_t out_w = spec.outWidth();
+    assert(d_patches.rows() == out_h * out_w);
+    assert(d_patches.cols() == spec.patchSize());
+
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const float *row = d_patches.row(oy * out_w + ox);
+            std::size_t k = 0;
+            for (std::size_t c = 0; c < spec.inChannels; ++c) {
+                float *plane = dx + c * spec.inHeight * spec.inWidth;
+                for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                        static_cast<std::ptrdiff_t>(spec.pad);
+                    for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * spec.stride +
+                                                        kx) -
+                            static_cast<std::ptrdiff_t>(spec.pad);
+                        const bool inside =
+                            iy >= 0 &&
+                            iy < static_cast<std::ptrdiff_t>(
+                                     spec.inHeight) &&
+                            ix >= 0 &&
+                            ix < static_cast<std::ptrdiff_t>(spec.inWidth);
+                        if (inside)
+                            plane[iy * spec.inWidth + ix] += row[k];
+                        ++k;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+ConvGradients::resize(const ConvSpec &spec)
+{
+    weight = Matrix(spec.outChannels, spec.patchSize());
+    bias.assign(spec.outChannels, 0.0f);
+}
+
+void
+ConvGradients::zero()
+{
+    weight.fill(0.0f);
+    std::fill(bias.begin(), bias.end(), 0.0f);
+}
+
+Conv2dLayer::Conv2dLayer(const ConvSpec &spec, Rng &rng)
+    : spec_(spec), weight_(spec.outChannels, spec.patchSize()),
+      bias_(spec.outChannels, 0.0f)
+{
+    assert(spec_.valid());
+    // He-uniform over the receptive-field fan-in, the same policy the
+    // dense substrate uses.
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(spec_.patchSize()));
+    for (auto &w : weight_.data())
+        w = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void
+Conv2dLayer::forward(const float *x, float *out, ConvScratch &scratch)
+    const
+{
+    im2col(spec_, x, scratch.patches);
+    const std::size_t positions = spec_.positions();
+    const std::size_t patch = spec_.patchSize();
+    for (std::size_t oc = 0; oc < spec_.outChannels; ++oc) {
+        const float *w = weight_.row(oc);
+        float *plane = out + oc * positions;
+        for (std::size_t p = 0; p < positions; ++p) {
+            const float *v = scratch.patches.row(p);
+            float acc = bias_[oc];
+            for (std::size_t k = 0; k < patch; ++k)
+                acc += w[k] * v[k];
+            plane[p] = acc;
+        }
+    }
+}
+
+void
+Conv2dLayer::backward(const float *dy, ConvScratch &scratch,
+                      ConvGradients &grads, float *dx) const
+{
+    const std::size_t positions = spec_.positions();
+    const std::size_t patch = spec_.patchSize();
+    assert(scratch.patches.rows() == positions);
+
+    const bool want_dx = dx != nullptr;
+    if (want_dx) {
+        if (scratch.dPatches.rows() != positions ||
+            scratch.dPatches.cols() != patch)
+            scratch.dPatches = Matrix(positions, patch);
+        scratch.dPatches.fill(0.0f);
+    }
+
+    for (std::size_t oc = 0; oc < spec_.outChannels; ++oc) {
+        const float *w = weight_.row(oc);
+        const float *g = dy + oc * positions;
+        float *dw = grads.weight.row(oc);
+        float bias_acc = 0.0f;
+        for (std::size_t p = 0; p < positions; ++p) {
+            const float gp = g[p];
+            bias_acc += gp;
+            const float *v = scratch.patches.row(p);
+            for (std::size_t k = 0; k < patch; ++k)
+                dw[k] += gp * v[k];
+            if (want_dx) {
+                float *dv = scratch.dPatches.row(p);
+                for (std::size_t k = 0; k < patch; ++k)
+                    dv[k] += gp * w[k];
+            }
+        }
+        grads.bias[oc] += bias_acc;
+    }
+
+    if (want_dx) {
+        std::fill(dx, dx + spec_.inputSize(), 0.0f);
+        col2imAccumulate(spec_, scratch.dPatches, dx);
+    }
+}
+
+void
+Conv2dLayer::applyDelta(const ConvGradients &delta)
+{
+    assert(delta.weight.size() == weight_.size());
+    for (std::size_t i = 0; i < weight_.size(); ++i)
+        weight_.data()[i] += delta.weight.data()[i];
+    for (std::size_t i = 0; i < bias_.size(); ++i)
+        bias_[i] += delta.bias[i];
+}
+
+std::size_t
+PoolSpec::outHeight() const
+{
+    return sweptExtent(inHeight, 0, window, stride);
+}
+
+std::size_t
+PoolSpec::outWidth() const
+{
+    return sweptExtent(inWidth, 0, window, stride);
+}
+
+bool
+PoolSpec::valid() const
+{
+    return channels > 0 && window > 0 && stride > 0 && outHeight() > 0 &&
+           outWidth() > 0;
+}
+
+MaxPool2dLayer::MaxPool2dLayer(const PoolSpec &spec) : spec_(spec)
+{
+    assert(spec_.valid());
+}
+
+void
+MaxPool2dLayer::forward(const float *x, float *out, PoolScratch &scratch)
+    const
+{
+    const std::size_t out_h = spec_.outHeight();
+    const std::size_t out_w = spec_.outWidth();
+    scratch.argmax.resize(spec_.outputSize());
+
+    std::size_t o = 0;
+    for (std::size_t c = 0; c < spec_.channels; ++c) {
+        const float *plane = x + c * spec_.inHeight * spec_.inWidth;
+        const std::size_t plane_base =
+            c * spec_.inHeight * spec_.inWidth;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+            for (std::size_t ox = 0; ox < out_w; ++ox) {
+                float best = -std::numeric_limits<float>::infinity();
+                std::size_t best_idx = 0;
+                for (std::size_t wy = 0; wy < spec_.window; ++wy) {
+                    const std::size_t iy = oy * spec_.stride + wy;
+                    if (iy >= spec_.inHeight)
+                        break;
+                    for (std::size_t wx = 0; wx < spec_.window; ++wx) {
+                        const std::size_t ix = ox * spec_.stride + wx;
+                        if (ix >= spec_.inWidth)
+                            break;
+                        const float v = plane[iy * spec_.inWidth + ix];
+                        if (v > best) {
+                            best = v;
+                            best_idx = iy * spec_.inWidth + ix;
+                        }
+                    }
+                }
+                out[o] = best;
+                scratch.argmax[o] = plane_base + best_idx;
+                ++o;
+            }
+        }
+    }
+}
+
+void
+MaxPool2dLayer::backward(const float *dy, const PoolScratch &scratch,
+                         float *dx) const
+{
+    assert(scratch.argmax.size() == spec_.outputSize());
+    std::fill(dx, dx + spec_.inputSize(), 0.0f);
+    for (std::size_t o = 0; o < scratch.argmax.size(); ++o)
+        dx[scratch.argmax[o]] += dy[o];
+}
+
+} // namespace vibnn::nn

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * 2-D convolution and max-pooling layers — the substrate for the CNN
+ * extension.
+ *
+ * The paper's Section 1 notes that VIBNN's design principles "are
+ * orthogonal to the optimization techniques on convolutional layers ...
+ * and can be applied to CNNs and RNNs as well". This module provides the
+ * point-estimate convolution building blocks (the conventional-CNN
+ * baseline); the Bayesian counterpart lives in bnn/variational_conv.hh.
+ *
+ * Layout conventions: feature maps are CHW (channel-major, row-major
+ * within a channel), single-sample — matching the rest of the nn
+ * substrate, which processes one sample at a time. Convolutions are
+ * lowered to a patch (im2col) matrix so the inner loops are dense
+ * dot-products; the identical lowering is what maps a convolution onto
+ * the accelerator's PE dot-product datapath (each output pixel becomes a
+ * "neuron" with inChannels * kernel^2 inputs).
+ */
+
+#ifndef VIBNN_NN_CONV_HH
+#define VIBNN_NN_CONV_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/tensor.hh"
+
+namespace vibnn::nn
+{
+
+/** Geometry of a square-kernel 2-D convolution over CHW maps. */
+struct ConvSpec
+{
+    /** Input channel count. */
+    std::size_t inChannels = 1;
+    /** Input map height. */
+    std::size_t inHeight = 0;
+    /** Input map width. */
+    std::size_t inWidth = 0;
+    /** Output channel (filter) count. */
+    std::size_t outChannels = 1;
+    /** Square kernel side. */
+    std::size_t kernel = 3;
+    /** Stride (same in both dimensions). */
+    std::size_t stride = 1;
+    /** Zero padding (same on all four sides). */
+    std::size_t pad = 0;
+
+    /** Output map height: (inHeight + 2 pad - kernel) / stride + 1. */
+    std::size_t outHeight() const;
+    /** Output map width. */
+    std::size_t outWidth() const;
+    /** Flattened receptive-field size: inChannels * kernel^2. */
+    std::size_t patchSize() const
+    {
+        return inChannels * kernel * kernel;
+    }
+    /** Total input element count (inChannels * inHeight * inWidth). */
+    std::size_t inputSize() const
+    {
+        return inChannels * inHeight * inWidth;
+    }
+    /** Output pixel positions per channel. */
+    std::size_t positions() const { return outHeight() * outWidth(); }
+    /** Total output element count. */
+    std::size_t outputSize() const
+    {
+        return outChannels * positions();
+    }
+    /** True when the geometry produces at least one output pixel and
+     *  the kernel fits inside the padded input. */
+    bool valid() const;
+};
+
+/**
+ * im2col lowering: patches must be (positions() x patchSize()); row p
+ * holds the receptive field of output position p (channel-major,
+ * then kernel row, then kernel column), with zeros where the field
+ * overhangs the padded border.
+ */
+void im2col(const ConvSpec &spec, const float *x, Matrix &patches);
+
+/**
+ * Transpose of im2col: scatter-accumulate patch-space gradients back to
+ * input-space. dx must hold inputSize() floats and is accumulated into
+ * (+=), so callers zero it first.
+ */
+void col2imAccumulate(const ConvSpec &spec, const Matrix &d_patches,
+                      float *dx);
+
+/** Gradient buffers for one convolution layer. */
+struct ConvGradients
+{
+    /** d loss / d weight, (outChannels x patchSize). */
+    Matrix weight;
+    /** d loss / d bias, outChannels entries. */
+    std::vector<float> bias;
+
+    void resize(const ConvSpec &spec);
+    void zero();
+};
+
+/** Per-sample scratch for convolution forward/backward. */
+struct ConvScratch
+{
+    /** im2col patch matrix of the last forward input. */
+    Matrix patches;
+    /** Patch-space gradient (backward only). */
+    Matrix dPatches;
+};
+
+/**
+ * Point-estimate convolution layer: out[oc][p] =
+ * dot(weight[oc], patch[p]) + bias[oc].
+ */
+class Conv2dLayer
+{
+  public:
+    /**
+     * @param spec Geometry (must be valid()).
+     * @param rng Initialization source (He-uniform over the fan-in).
+     */
+    Conv2dLayer(const ConvSpec &spec, Rng &rng);
+
+    const ConvSpec &spec() const { return spec_; }
+
+    /**
+     * Forward pass.
+     * @param x Input maps, spec().inputSize() floats.
+     * @param out Output maps, spec().outputSize() floats.
+     * @param scratch Holds the patch matrix for a later backward.
+     */
+    void forward(const float *x, float *out, ConvScratch &scratch) const;
+
+    /**
+     * Backward for one sample. Requires the scratch of the matching
+     * forward call.
+     * @param dy Gradient w.r.t. the output maps.
+     * @param grads Accumulated (+=) parameter gradients.
+     * @param dx If non-null, receives (overwrites) gradient w.r.t. x.
+     */
+    void backward(const float *dy, ConvScratch &scratch,
+                  ConvGradients &grads, float *dx) const;
+
+    /** Apply a parameter step: p += delta. */
+    void applyDelta(const ConvGradients &delta);
+
+    Matrix &weight() { return weight_; }
+    const Matrix &weight() const { return weight_; }
+    std::vector<float> &bias() { return bias_; }
+    const std::vector<float> &bias() const { return bias_; }
+
+  private:
+    ConvSpec spec_;
+    Matrix weight_;
+    std::vector<float> bias_;
+};
+
+/** Geometry of a non-overlapping-capable max pool over CHW maps. */
+struct PoolSpec
+{
+    /** Channel count (pass-through). */
+    std::size_t channels = 1;
+    /** Input map height. */
+    std::size_t inHeight = 0;
+    /** Input map width. */
+    std::size_t inWidth = 0;
+    /** Square window side. */
+    std::size_t window = 2;
+    /** Stride; defaults to the window (non-overlapping). */
+    std::size_t stride = 2;
+
+    std::size_t outHeight() const;
+    std::size_t outWidth() const;
+    std::size_t inputSize() const
+    {
+        return channels * inHeight * inWidth;
+    }
+    std::size_t outputSize() const
+    {
+        return channels * outHeight() * outWidth();
+    }
+    bool valid() const;
+};
+
+/** Per-sample scratch for max pooling (argmax indices for backward). */
+struct PoolScratch
+{
+    /** Flat input index of each output's maximum. */
+    std::vector<std::size_t> argmax;
+};
+
+/** Max-pooling layer (no parameters). */
+class MaxPool2dLayer
+{
+  public:
+    explicit MaxPool2dLayer(const PoolSpec &spec);
+
+    const PoolSpec &spec() const { return spec_; }
+
+    /** Forward: out must hold spec().outputSize() floats. */
+    void forward(const float *x, float *out, PoolScratch &scratch) const;
+
+    /**
+     * Backward: routes each output gradient to the input position that
+     * won the max (ties break to the first scanned). dx is overwritten.
+     */
+    void backward(const float *dy, const PoolScratch &scratch,
+                  float *dx) const;
+
+  private:
+    PoolSpec spec_;
+};
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_CONV_HH

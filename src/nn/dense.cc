@@ -1,0 +1,84 @@
+#include "nn/dense.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vibnn::nn
+{
+
+void
+DenseGradients::resize(std::size_t out_dim, std::size_t in_dim)
+{
+    weight = Matrix(out_dim, in_dim);
+    bias.assign(out_dim, 0.0f);
+}
+
+void
+DenseGradients::zero()
+{
+    weight.fill(0.0f);
+    std::fill(bias.begin(), bias.end(), 0.0f);
+}
+
+void
+DenseGradients::accumulate(const DenseGradients &other)
+{
+    VIBNN_ASSERT(weight.size() == other.weight.size(),
+                 "gradient shape mismatch");
+    auto &dst = weight.data();
+    const auto &src = other.weight.data();
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] += src[i];
+    for (std::size_t i = 0; i < bias.size(); ++i)
+        bias[i] += other.bias[i];
+}
+
+void
+DenseGradients::scale(float factor)
+{
+    for (auto &g : weight.data())
+        g *= factor;
+    for (auto &g : bias)
+        g *= factor;
+}
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim, Rng &rng)
+    : weight_(out_dim, in_dim), bias_(out_dim, 0.0f)
+{
+    // He-uniform initialization, appropriate for ReLU networks.
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(in_dim));
+    for (auto &w : weight_.data())
+        w = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+void
+DenseLayer::forward(const float *x, float *out) const
+{
+    matVec(weight_, x, bias_.data(), out);
+}
+
+void
+DenseLayer::backward(const float *x, const float *dy,
+                     DenseGradients &grads, float *dx) const
+{
+    rankOneUpdate(grads.weight, 1.0f, dy, x);
+    for (std::size_t r = 0; r < outDim(); ++r)
+        grads.bias[r] += dy[r];
+    if (dx)
+        matTVec(weight_, dy, dx);
+}
+
+void
+DenseLayer::applyDelta(const DenseGradients &delta)
+{
+    auto &w = weight_.data();
+    const auto &dw = delta.weight.data();
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] += dw[i];
+    for (std::size_t i = 0; i < bias_.size(); ++i)
+        bias_[i] += delta.bias[i];
+}
+
+} // namespace vibnn::nn

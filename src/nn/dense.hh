@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A dense (fully-connected) layer with plain point-estimate weights —
+ * the building block of the conventional FNN baseline. The Bayesian
+ * counterpart lives in bnn/variational_dense.hh.
+ */
+
+#ifndef VIBNN_NN_DENSE_HH
+#define VIBNN_NN_DENSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/tensor.hh"
+
+namespace vibnn::nn
+{
+
+/** Gradient buffers for one dense layer. */
+struct DenseGradients
+{
+    Matrix weight;
+    std::vector<float> bias;
+
+    void resize(std::size_t out_dim, std::size_t in_dim);
+    void zero();
+    void accumulate(const DenseGradients &other);
+    void scale(float factor);
+};
+
+/** Fully-connected layer y = W x + b. */
+class DenseLayer
+{
+  public:
+    /**
+     * @param in_dim Input feature count.
+     * @param out_dim Output feature count.
+     * @param rng Initialization source (He-uniform fan-in init).
+     */
+    DenseLayer(std::size_t in_dim, std::size_t out_dim, Rng &rng);
+
+    std::size_t inDim() const { return weight_.cols(); }
+    std::size_t outDim() const { return weight_.rows(); }
+
+    /** Forward: out must hold outDim() floats. */
+    void forward(const float *x, float *out) const;
+
+    /**
+     * Backward for one sample.
+     * @param x The input that produced this activation.
+     * @param dy Gradient w.r.t. this layer's output.
+     * @param grads Accumulated (+=) parameter gradients.
+     * @param dx If non-null, receives gradient w.r.t. x.
+     */
+    void backward(const float *x, const float *dy, DenseGradients &grads,
+                  float *dx) const;
+
+    /** Apply a parameter step: p += delta (delta laid out like grads). */
+    void applyDelta(const DenseGradients &delta);
+
+    Matrix &weight() { return weight_; }
+    const Matrix &weight() const { return weight_; }
+    std::vector<float> &bias() { return bias_; }
+    const std::vector<float> &bias() const { return bias_; }
+
+  private:
+    Matrix weight_;
+    std::vector<float> bias_;
+};
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_DENSE_HH

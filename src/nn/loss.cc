@@ -1,0 +1,26 @@
+#include "nn/loss.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+
+namespace vibnn::nn
+{
+
+double
+softmaxCrossEntropy(float *logits, std::size_t count, std::size_t target,
+                    float *grad_out)
+{
+    VIBNN_ASSERT(target < count, "target class out of range");
+    softmax(logits, count);
+    const float p = logits[target];
+    const double loss = -std::log(std::max(p, 1e-12f));
+    if (grad_out) {
+        for (std::size_t i = 0; i < count; ++i)
+            grad_out[i] = logits[i] - (i == target ? 1.0f : 0.0f);
+    }
+    return loss;
+}
+
+} // namespace vibnn::nn

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Classification loss: softmax cross-entropy with the standard fused
+ * gradient (probabilities minus one-hot target).
+ */
+
+#ifndef VIBNN_NN_LOSS_HH
+#define VIBNN_NN_LOSS_HH
+
+#include <cstddef>
+
+namespace vibnn::nn
+{
+
+/**
+ * Compute softmax cross-entropy for one sample.
+ *
+ * @param logits Raw network outputs (modified in place into
+ *        probabilities).
+ * @param count Number of classes.
+ * @param target Index of the true class.
+ * @param grad_out If non-null, receives dLoss/dlogits (p - onehot).
+ * @return The cross-entropy loss value.
+ */
+double softmaxCrossEntropy(float *logits, std::size_t count,
+                           std::size_t target, float *grad_out);
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_LOSS_HH

@@ -1,0 +1,182 @@
+#include "nn/mlp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "nn/activations.hh"
+#include "nn/loss.hh"
+
+namespace vibnn::nn
+{
+
+Mlp::Mlp(const std::vector<std::size_t> &layer_sizes, Rng &rng,
+         float dropout_rate)
+    : layerSizes_(layer_sizes), dropoutRate_(dropout_rate)
+{
+    VIBNN_ASSERT(layer_sizes.size() >= 2, "need input and output layers");
+    VIBNN_ASSERT(dropout_rate >= 0.0f && dropout_rate < 1.0f,
+                 "dropout rate must be in [0, 1)");
+    for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i)
+        layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1], rng);
+}
+
+MlpWorkspace
+Mlp::makeWorkspace() const
+{
+    MlpWorkspace ws;
+    ws.activations.resize(layerSizes_.size());
+    ws.preActivations.resize(layers_.size());
+    ws.dropoutMasks.resize(layers_.size());
+    ws.gradients.resize(layers_.size());
+    std::size_t widest = 0;
+    for (std::size_t i = 0; i < layerSizes_.size(); ++i) {
+        ws.activations[i].resize(layerSizes_[i]);
+        widest = std::max(widest, layerSizes_[i]);
+    }
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        ws.preActivations[i].resize(layers_[i].outDim());
+        ws.dropoutMasks[i].resize(layers_[i].outDim());
+        ws.gradients[i].resize(layers_[i].outDim(), layers_[i].inDim());
+    }
+    ws.deltaA.resize(widest);
+    ws.deltaB.resize(widest);
+    return ws;
+}
+
+void
+Mlp::zeroGrads(MlpWorkspace &ws) const
+{
+    for (auto &g : ws.gradients)
+        g.zero();
+    ws.lossSum = 0.0;
+    ws.sampleCount = 0;
+}
+
+void
+Mlp::forward(const float *x, float *logits) const
+{
+    std::vector<float> buf_a(x, x + inputDim());
+    std::vector<float> buf_b;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        buf_b.resize(layers_[i].outDim());
+        layers_[i].forward(buf_a.data(), buf_b.data());
+        if (i + 1 < layers_.size())
+            reluForward(buf_b.data(), buf_b.size());
+        buf_a.swap(buf_b);
+    }
+    std::copy(buf_a.begin(), buf_a.end(), logits);
+}
+
+double
+Mlp::trainSample(const float *x, std::size_t target, MlpWorkspace &ws,
+                 Rng &dropout_rng)
+{
+    // Forward with cached activations and dropout.
+    std::copy(x, x + inputDim(), ws.activations[0].begin());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        layers_[i].forward(ws.activations[i].data(),
+                           ws.preActivations[i].data());
+        auto &out = ws.activations[i + 1];
+        std::copy(ws.preActivations[i].begin(),
+                  ws.preActivations[i].end(), out.begin());
+        if (i + 1 < layers_.size()) {
+            reluForward(out.data(), out.size());
+            if (dropoutRate_ > 0.0f) {
+                const float keep_scale = 1.0f / (1.0f - dropoutRate_);
+                for (std::size_t j = 0; j < out.size(); ++j) {
+                    const bool keep = !dropout_rng.bernoulli(dropoutRate_);
+                    ws.dropoutMasks[i][j] = keep ? keep_scale : 0.0f;
+                    out[j] *= ws.dropoutMasks[i][j];
+                }
+            }
+        }
+    }
+
+    // Loss and output gradient.
+    auto &logits = ws.activations.back();
+    float *delta = ws.deltaA.data();
+    const double loss =
+        softmaxCrossEntropy(logits.data(), logits.size(), target, delta);
+    ws.lossSum += loss;
+    ++ws.sampleCount;
+
+    // Backward.
+    for (std::size_t ii = layers_.size(); ii-- > 0;) {
+        float *dx = ws.deltaB.data();
+        layers_[ii].backward(ws.activations[ii].data(), delta,
+                             ws.gradients[ii],
+                             ii > 0 ? dx : nullptr);
+        if (ii > 0) {
+            // Through dropout mask, then ReLU.
+            if (dropoutRate_ > 0.0f) {
+                for (std::size_t j = 0; j < layers_[ii].inDim(); ++j)
+                    dx[j] *= ws.dropoutMasks[ii - 1][j];
+            }
+            reluBackward(ws.preActivations[ii - 1].data(), dx,
+                         ws.deltaA.data(), layers_[ii].inDim());
+            delta = ws.deltaA.data();
+        }
+    }
+    return loss;
+}
+
+std::size_t
+Mlp::paramCount() const
+{
+    std::size_t count = 0;
+    for (const auto &layer : layers_)
+        count += layer.weight().size() + layer.bias().size();
+    return count;
+}
+
+void
+Mlp::gatherParams(std::vector<float> &flat) const
+{
+    flat.resize(paramCount());
+    std::size_t k = 0;
+    for (const auto &layer : layers_) {
+        for (float w : layer.weight().data())
+            flat[k++] = w;
+        for (float b : layer.bias())
+            flat[k++] = b;
+    }
+}
+
+void
+Mlp::scatterParams(const std::vector<float> &flat)
+{
+    VIBNN_ASSERT(flat.size() == paramCount(), "flat parameter mismatch");
+    std::size_t k = 0;
+    for (auto &layer : layers_) {
+        for (float &w : layer.weight().data())
+            w = flat[k++];
+        for (float &b : layer.bias())
+            b = flat[k++];
+    }
+}
+
+void
+Mlp::gatherGrads(const MlpWorkspace &ws, std::vector<float> &flat) const
+{
+    flat.resize(paramCount());
+    const float inv = ws.sampleCount > 0
+                          ? 1.0f / static_cast<float>(ws.sampleCount)
+                          : 1.0f;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        for (float g : ws.gradients[i].weight.data())
+            flat[k++] = g * inv;
+        for (float g : ws.gradients[i].bias)
+            flat[k++] = g * inv;
+    }
+}
+
+std::size_t
+Mlp::predict(const float *x) const
+{
+    std::vector<float> logits(outputDim());
+    forward(x, logits.data());
+    return argmax(logits.data(), logits.size());
+}
+
+} // namespace vibnn::nn

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Conventional multi-layer perceptron (the paper's FNN baseline):
+ * dense layers with ReLU hidden activations, optional dropout, and a
+ * softmax cross-entropy head. This is the deterministic counterpart the
+ * BNN is compared against in Tables 6/7 and Figures 16/17.
+ */
+
+#ifndef VIBNN_NN_MLP_HH
+#define VIBNN_NN_MLP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/dense.hh"
+
+namespace vibnn::nn
+{
+
+/** Per-thread scratch space for forward/backward passes. */
+struct MlpWorkspace
+{
+    /** Post-activation values per layer boundary (activations[0] = x). */
+    std::vector<std::vector<float>> activations;
+    /** Pre-activation values per layer. */
+    std::vector<std::vector<float>> preActivations;
+    /** Dropout keep masks per hidden layer (already inverse-scaled). */
+    std::vector<std::vector<float>> dropoutMasks;
+    /** Gradient accumulators per layer. */
+    std::vector<DenseGradients> gradients;
+    /** Backprop scratch. */
+    std::vector<float> deltaA, deltaB;
+
+    /** Sum the loss over samples accumulated since zeroGrads(). */
+    double lossSum = 0.0;
+    std::size_t sampleCount = 0;
+};
+
+/** Feed-forward ReLU network with optional dropout. */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes Sizes including input and output, e.g.
+     *        {784, 200, 200, 10}.
+     * @param rng Initialization source.
+     * @param dropout_rate Drop probability on hidden activations during
+     *        training (0 disables).
+     */
+    Mlp(const std::vector<std::size_t> &layer_sizes, Rng &rng,
+        float dropout_rate = 0.0f);
+
+    std::size_t inputDim() const { return layerSizes_.front(); }
+    std::size_t outputDim() const { return layerSizes_.back(); }
+    const std::vector<std::size_t> &layerSizes() const
+    {
+        return layerSizes_;
+    }
+
+    /** Create a workspace sized for this network. */
+    MlpWorkspace makeWorkspace() const;
+
+    /** Zero a workspace's gradient accumulators. */
+    void zeroGrads(MlpWorkspace &ws) const;
+
+    /** Inference forward pass (no dropout); logits must hold
+     *  outputDim() floats. */
+    void forward(const float *x, float *logits) const;
+
+    /**
+     * Training pass: forward with dropout, softmax cross-entropy, full
+     * backward; gradients accumulate into ws.
+     * @return The sample's loss.
+     */
+    double trainSample(const float *x, std::size_t target,
+                       MlpWorkspace &ws, Rng &dropout_rng);
+
+    /** Total number of scalar parameters. */
+    std::size_t paramCount() const;
+
+    /** Copy parameters into a flat array (weights then bias per layer). */
+    void gatherParams(std::vector<float> &flat) const;
+
+    /** Load parameters from a flat array. */
+    void scatterParams(const std::vector<float> &flat);
+
+    /** Flatten accumulated gradients (averaged over samples). */
+    void gatherGrads(const MlpWorkspace &ws, std::vector<float> &flat)
+        const;
+
+    /** Classify one sample. */
+    std::size_t predict(const float *x) const;
+
+    const std::vector<DenseLayer> &layers() const { return layers_; }
+    float dropoutRate() const { return dropoutRate_; }
+
+  private:
+    std::vector<std::size_t> layerSizes_;
+    std::vector<DenseLayer> layers_;
+    float dropoutRate_;
+};
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_MLP_HH

@@ -1,0 +1,73 @@
+#include "nn/optimizer.hh"
+
+#include <cmath>
+
+namespace vibnn::nn
+{
+
+SgdOptimizer::SgdOptimizer(float learning_rate, float momentum)
+    : learningRate_(learning_rate), momentum_(momentum)
+{
+}
+
+void
+SgdOptimizer::step(float *params, const float *grads, std::size_t count)
+{
+    if (momentum_ == 0.0f) {
+        for (std::size_t i = 0; i < count; ++i)
+            params[i] -= learningRate_ * grads[i];
+        return;
+    }
+    if (velocity_.size() != count)
+        velocity_.assign(count, 0.0f);
+    for (std::size_t i = 0; i < count; ++i) {
+        velocity_[i] = momentum_ * velocity_[i] - learningRate_ * grads[i];
+        params[i] += velocity_[i];
+    }
+}
+
+void
+SgdOptimizer::reset()
+{
+    velocity_.clear();
+}
+
+AdamOptimizer::AdamOptimizer(float learning_rate, float beta1, float beta2,
+                             float epsilon)
+    : learningRate_(learning_rate), beta1_(beta1), beta2_(beta2),
+      epsilon_(epsilon)
+{
+}
+
+void
+AdamOptimizer::step(float *params, const float *grads, std::size_t count)
+{
+    if (m_.size() != count) {
+        m_.assign(count, 0.0f);
+        v_.assign(count, 0.0f);
+        t_ = 0;
+    }
+    ++t_;
+    const float bc1 =
+        1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 =
+        1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (std::size_t i = 0; i < count; ++i) {
+        m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * grads[i];
+        v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * grads[i] * grads[i];
+        const float m_hat = m_[i] / bc1;
+        const float v_hat = v_[i] / bc2;
+        params[i] -= learningRate_ * m_hat /
+            (std::sqrt(v_hat) + epsilon_);
+    }
+}
+
+void
+AdamOptimizer::reset()
+{
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+}
+
+} // namespace vibnn::nn

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * First-order optimizers operating on flat parameter/gradient arrays.
+ * Training happens offline on the host (the paper trains on CPU/GPU and
+ * ships (mu, sigma) to the FPGA), so these are standard SGD-with-momentum
+ * and Adam.
+ */
+
+#ifndef VIBNN_NN_OPTIMIZER_HH
+#define VIBNN_NN_OPTIMIZER_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::nn
+{
+
+/** Optimizer interface over a flat parameter vector. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /**
+     * Apply one update step.
+     * @param params Parameter array (updated in place).
+     * @param grads Gradient array of equal length.
+     * @param count Element count.
+     */
+    virtual void step(float *params, const float *grads,
+                      std::size_t count) = 0;
+
+    /** Reset internal state (moments). */
+    virtual void reset() = 0;
+};
+
+/** SGD with classical momentum. */
+class SgdOptimizer : public Optimizer
+{
+  public:
+    SgdOptimizer(float learning_rate, float momentum = 0.0f);
+
+    void step(float *params, const float *grads,
+              std::size_t count) override;
+    void reset() override;
+
+    float learningRate() const { return learningRate_; }
+    void setLearningRate(float lr) { learningRate_ = lr; }
+
+  private:
+    float learningRate_;
+    float momentum_;
+    std::vector<float> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class AdamOptimizer : public Optimizer
+{
+  public:
+    explicit AdamOptimizer(float learning_rate, float beta1 = 0.9f,
+                           float beta2 = 0.999f, float epsilon = 1e-8f);
+
+    void step(float *params, const float *grads,
+              std::size_t count) override;
+    void reset() override;
+
+    float learningRate() const { return learningRate_; }
+    void setLearningRate(float lr) { learningRate_ = lr; }
+
+  private:
+    float learningRate_;
+    float beta1_, beta2_, epsilon_;
+    std::vector<float> m_, v_;
+    std::size_t t_ = 0;
+};
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_OPTIMIZER_HH

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Elman RNN forward/BPTT kernels and trainer (see rnn.hh).
+ */
+
+#include "nn/rnn.hh"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "nn/loss.hh"
+#include "nn/optimizer.hh"
+
+namespace vibnn::nn
+{
+
+void
+RnnGradients::resize(const RnnConfig &config)
+{
+    wx = Matrix(config.hiddenDim, config.inputDim);
+    wh = Matrix(config.hiddenDim, config.hiddenDim);
+    wy = Matrix(config.numClasses, config.hiddenDim);
+    bh.assign(config.hiddenDim, 0.0f);
+    by.assign(config.numClasses, 0.0f);
+}
+
+void
+RnnGradients::zero()
+{
+    wx.fill(0.0f);
+    wh.fill(0.0f);
+    wy.fill(0.0f);
+    std::fill(bh.begin(), bh.end(), 0.0f);
+    std::fill(by.begin(), by.end(), 0.0f);
+}
+
+double
+RnnGradients::norm() const
+{
+    double sum = 0.0;
+    for (const auto *m : {&wx, &wh, &wy}) {
+        for (float v : m->data())
+            sum += static_cast<double>(v) * v;
+    }
+    for (const auto *v : {&bh, &by}) {
+        for (float x : *v)
+            sum += static_cast<double>(x) * x;
+    }
+    return std::sqrt(sum);
+}
+
+void
+RnnGradients::scale(float factor)
+{
+    for (auto *m : {&wx, &wh, &wy}) {
+        for (auto &v : m->data())
+            v *= factor;
+    }
+    for (auto *v : {&bh, &by}) {
+        for (auto &x : *v)
+            x *= factor;
+    }
+}
+
+ElmanRnn::ElmanRnn(const RnnConfig &config, Rng &rng)
+    : config_(config), wx_(config.hiddenDim, config.inputDim),
+      wh_(config.hiddenDim, config.hiddenDim),
+      wy_(config.numClasses, config.hiddenDim),
+      bh_(config.hiddenDim, 0.0f), by_(config.numClasses, 0.0f)
+{
+    VIBNN_ASSERT(config.inputDim > 0 && config.hiddenDim > 0 &&
+                     config.numClasses > 0 && config.seqLen > 0,
+                 "degenerate RNN geometry");
+    const float in_bound =
+        std::sqrt(6.0f / static_cast<float>(config.inputDim));
+    for (auto &v : wx_.data())
+        v = static_cast<float>(rng.uniform(-in_bound, in_bound));
+    // Small recurrent init keeps the spectral radius < 1 so the
+    // untrained network neither explodes nor saturates.
+    const float rec_bound =
+        0.5f / std::sqrt(static_cast<float>(config.hiddenDim));
+    for (auto &v : wh_.data())
+        v = static_cast<float>(rng.uniform(-rec_bound, rec_bound));
+    const float out_bound =
+        std::sqrt(6.0f / static_cast<float>(config.hiddenDim));
+    for (auto &v : wy_.data())
+        v = static_cast<float>(rng.uniform(-out_bound, out_bound));
+}
+
+RnnWorkspace
+ElmanRnn::makeWorkspace() const
+{
+    RnnWorkspace ws;
+    ws.hidden.assign(config_.seqLen,
+                     std::vector<float>(config_.hiddenDim, 0.0f));
+    ws.grads.resize(config_);
+    ws.deltaH.resize(config_.hiddenDim);
+    ws.deltaPre.resize(config_.hiddenDim);
+    return ws;
+}
+
+void
+ElmanRnn::zeroGrads(RnnWorkspace &ws) const
+{
+    ws.grads.zero();
+    ws.lossSum = 0.0;
+    ws.sampleCount = 0;
+}
+
+void
+ElmanRnn::forward(const float *xs, float *logits, RnnWorkspace &ws) const
+{
+    const std::size_t h_dim = config_.hiddenDim;
+    for (std::size_t t = 0; t < config_.seqLen; ++t) {
+        const float *x = xs + t * config_.inputDim;
+        const std::vector<float> *prev =
+            t > 0 ? &ws.hidden[t - 1] : nullptr;
+        auto &h = ws.hidden[t];
+        for (std::size_t i = 0; i < h_dim; ++i) {
+            float acc = bh_[i];
+            const float *wx_row = wx_.row(i);
+            for (std::size_t j = 0; j < config_.inputDim; ++j)
+                acc += wx_row[j] * x[j];
+            if (prev) {
+                const float *wh_row = wh_.row(i);
+                for (std::size_t j = 0; j < h_dim; ++j)
+                    acc += wh_row[j] * (*prev)[j];
+            }
+            h[i] = std::tanh(acc);
+        }
+    }
+    matVec(wy_, ws.hidden.back().data(), by_.data(), logits);
+}
+
+double
+ElmanRnn::trainSequence(const float *xs, std::size_t target,
+                        RnnWorkspace &ws)
+{
+    std::vector<float> logits(config_.numClasses);
+    forward(xs, logits.data(), ws);
+
+    std::vector<float> dy(config_.numClasses);
+    const double loss = softmaxCrossEntropy(
+        logits.data(), config_.numClasses, target, dy.data());
+    ws.lossSum += loss;
+    ws.sampleCount += 1;
+
+    const std::size_t h_dim = config_.hiddenDim;
+    // Classifier gradients and dL/dh_{T-1}.
+    const auto &h_last = ws.hidden.back();
+    for (std::size_t c = 0; c < config_.numClasses; ++c) {
+        ws.grads.by[c] += dy[c];
+        float *gy = ws.grads.wy.row(c);
+        for (std::size_t j = 0; j < h_dim; ++j)
+            gy[j] += dy[c] * h_last[j];
+    }
+    matTVec(wy_, dy.data(), ws.deltaH.data());
+
+    // BPTT.
+    for (std::size_t t = config_.seqLen; t-- > 0;) {
+        const auto &h = ws.hidden[t];
+        const float *x = xs + t * config_.inputDim;
+        for (std::size_t i = 0; i < h_dim; ++i)
+            ws.deltaPre[i] = ws.deltaH[i] * (1.0f - h[i] * h[i]);
+
+        for (std::size_t i = 0; i < h_dim; ++i) {
+            const float g = ws.deltaPre[i];
+            if (g == 0.0f)
+                continue;
+            ws.grads.bh[i] += g;
+            float *gx = ws.grads.wx.row(i);
+            for (std::size_t j = 0; j < config_.inputDim; ++j)
+                gx[j] += g * x[j];
+            if (t > 0) {
+                const auto &prev = ws.hidden[t - 1];
+                float *gh = ws.grads.wh.row(i);
+                for (std::size_t j = 0; j < h_dim; ++j)
+                    gh[j] += g * prev[j];
+            }
+        }
+        if (t > 0)
+            matTVec(wh_, ws.deltaPre.data(), ws.deltaH.data());
+    }
+    return loss;
+}
+
+std::size_t
+ElmanRnn::predict(const float *xs, RnnWorkspace &ws) const
+{
+    std::vector<float> logits(config_.numClasses);
+    forward(xs, logits.data(), ws);
+    return argmax(logits.data(), logits.size());
+}
+
+std::size_t
+ElmanRnn::paramCount() const
+{
+    return wx_.size() + wh_.size() + wy_.size() + bh_.size() + by_.size();
+}
+
+void
+ElmanRnn::gatherParams(std::vector<float> &flat) const
+{
+    flat.clear();
+    flat.reserve(paramCount());
+    for (const auto *m : {&wx_, &wh_, &wy_})
+        flat.insert(flat.end(), m->data().begin(), m->data().end());
+    flat.insert(flat.end(), bh_.begin(), bh_.end());
+    flat.insert(flat.end(), by_.begin(), by_.end());
+}
+
+void
+ElmanRnn::scatterParams(const std::vector<float> &flat)
+{
+    VIBNN_ASSERT(flat.size() == paramCount(), "parameter size mismatch");
+    std::size_t at = 0;
+    auto take = [&](float *dst, std::size_t n) {
+        std::copy(flat.begin() + at, flat.begin() + at + n, dst);
+        at += n;
+    };
+    for (auto *m : {&wx_, &wh_, &wy_})
+        take(m->data().data(), m->size());
+    take(bh_.data(), bh_.size());
+    take(by_.data(), by_.size());
+}
+
+void
+ElmanRnn::gatherGrads(const RnnWorkspace &ws, std::vector<float> &flat)
+    const
+{
+    const float inv =
+        ws.sampleCount > 0 ? 1.0f / static_cast<float>(ws.sampleCount)
+                           : 0.0f;
+    flat.clear();
+    flat.reserve(paramCount());
+    auto append = [&](const float *src, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            flat.push_back(src[i] * inv);
+    };
+    append(ws.grads.wx.data().data(), ws.grads.wx.size());
+    append(ws.grads.wh.data().data(), ws.grads.wh.size());
+    append(ws.grads.wy.data().data(), ws.grads.wy.size());
+    append(ws.grads.bh.data(), ws.grads.bh.size());
+    append(ws.grads.by.data(), ws.grads.by.size());
+}
+
+double
+evaluateAccuracy(const ElmanRnn &net, const DataView &data)
+{
+    if (data.count == 0)
+        return 0.0;
+    RnnWorkspace ws = net.makeWorkspace();
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.count; ++i) {
+        if (net.predict(data.sample(i), ws) ==
+            static_cast<std::size_t>(data.labels[i])) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.count);
+}
+
+TrainHistory
+trainRnn(ElmanRnn &net, const DataView &train, const TrainConfig &config)
+{
+    VIBNN_ASSERT(train.count > 0, "empty training set");
+    VIBNN_ASSERT(train.dim == net.inputDim(), "sequence dim mismatch");
+
+    TrainHistory history;
+    Rng rng(config.seed);
+    AdamOptimizer optimizer(config.learningRate);
+    constexpr double clip_norm = 5.0;
+
+    RnnWorkspace ws = net.makeWorkspace();
+    std::vector<float> params, grads;
+    std::vector<std::size_t> order(train.count);
+    std::iota(order.begin(), order.end(), 0);
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t seen = 0;
+
+        for (std::size_t start = 0; start < train.count;
+             start += config.batchSize) {
+            const std::size_t end =
+                std::min(start + config.batchSize, train.count);
+            net.zeroGrads(ws);
+            for (std::size_t k = start; k < end; ++k) {
+                const std::size_t i = order[k];
+                epoch_loss += net.trainSequence(
+                    train.sample(i),
+                    static_cast<std::size_t>(train.labels[i]), ws);
+            }
+            seen += end - start;
+
+            // Clip the accumulated gradient's norm before averaging
+            // (the mean-scaling in gatherGrads is norm-preserving up
+            // to the constant factor, so clip on the raw accumulator).
+            const double norm =
+                ws.grads.norm() / static_cast<double>(end - start);
+            if (norm > clip_norm) {
+                ws.grads.scale(
+                    static_cast<float>(clip_norm / norm));
+            }
+
+            net.gatherGrads(ws, grads);
+            net.gatherParams(params);
+            optimizer.step(params.data(), grads.data(), params.size());
+            net.scatterParams(params);
+        }
+
+        const double mean_loss = epoch_loss / static_cast<double>(seen);
+        history.trainLoss.push_back(mean_loss);
+        double acc = -1.0;
+        if (config.evalSet)
+            acc = evaluateAccuracy(net, *config.evalSet);
+        history.evalAccuracy.push_back(acc);
+        if (config.onEpoch)
+            config.onEpoch(epoch, mean_loss, acc);
+    }
+    return history;
+}
+
+} // namespace vibnn::nn

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Elman recurrent network — the substrate for the RNN extension.
+ *
+ * The paper's Section 1 claims VIBNN's principles "can be applied to
+ * CNNs and RNNs as well" (its reference [19] is Fortunato et al.'s
+ * Bayesian Recurrent Neural Networks). This module provides the
+ * point-estimate recurrent classifier used as the baseline; the
+ * Bayesian counterpart lives in bnn/bayesian_rnn.hh.
+ *
+ * Model: h_t = tanh(Wx x_t + Wh h_{t-1} + bh), h_{-1} = 0, and a linear
+ * classifier on the final hidden state. Training is full
+ * backpropagation-through-time with gradient-norm clipping (the
+ * standard guard against the recurrent exploding-gradient problem).
+ * Sequences are presented as flat rows of seqLen * inputDim floats so
+ * they ride the same DataView plumbing as every other model here.
+ */
+
+#ifndef VIBNN_NN_RNN_HH
+#define VIBNN_NN_RNN_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/tensor.hh"
+#include "nn/trainer.hh"
+
+namespace vibnn::nn
+{
+
+/** Recurrent-classifier topology. */
+struct RnnConfig
+{
+    /** Features per timestep. */
+    std::size_t inputDim = 4;
+    /** Hidden state width. */
+    std::size_t hiddenDim = 24;
+    /** Output classes. */
+    std::size_t numClasses = 3;
+    /** Timesteps per sequence. */
+    std::size_t seqLen = 16;
+
+    /** Flat sample width (seqLen * inputDim). */
+    std::size_t flatDim() const { return seqLen * inputDim; }
+};
+
+/** Parameter gradients of one RNN. */
+struct RnnGradients
+{
+    Matrix wx, wh, wy;
+    std::vector<float> bh, by;
+
+    void resize(const RnnConfig &config);
+    void zero();
+    /** Global L2 norm over all entries. */
+    double norm() const;
+    /** Scale every entry (for norm clipping). */
+    void scale(float factor);
+};
+
+/** Per-sequence scratch: hidden trajectory and backprop buffers. */
+struct RnnWorkspace
+{
+    /** hidden[t] = h_t for t in [0, seqLen); plus h_{-1} zeros. */
+    std::vector<std::vector<float>> hidden;
+    RnnGradients grads;
+    std::vector<float> deltaH, deltaPre;
+    double lossSum = 0.0;
+    std::size_t sampleCount = 0;
+};
+
+/** Point-estimate Elman recurrent classifier. */
+class ElmanRnn
+{
+  public:
+    ElmanRnn(const RnnConfig &config, Rng &rng);
+
+    const RnnConfig &config() const { return config_; }
+    std::size_t inputDim() const { return config_.flatDim(); }
+    std::size_t outputDim() const { return config_.numClasses; }
+
+    RnnWorkspace makeWorkspace() const;
+    void zeroGrads(RnnWorkspace &ws) const;
+
+    /** Forward a flat sequence; logits must hold numClasses floats. */
+    void forward(const float *xs, float *logits, RnnWorkspace &ws) const;
+
+    /** Forward + softmax cross-entropy + BPTT; accumulates grads. */
+    double trainSequence(const float *xs, std::size_t target,
+                         RnnWorkspace &ws);
+
+    std::size_t predict(const float *xs, RnnWorkspace &ws) const;
+
+    /** Flat parameter plumbing: wx, wh, wy, bh, by. */
+    std::size_t paramCount() const;
+    void gatherParams(std::vector<float> &flat) const;
+    void scatterParams(const std::vector<float> &flat);
+    void gatherGrads(const RnnWorkspace &ws, std::vector<float> &flat)
+        const;
+
+    Matrix &wx() { return wx_; }
+    Matrix &wh() { return wh_; }
+    Matrix &wy() { return wy_; }
+    const Matrix &wx() const { return wx_; }
+    const Matrix &wh() const { return wh_; }
+    const Matrix &wy() const { return wy_; }
+
+  private:
+    RnnConfig config_;
+    Matrix wx_, wh_, wy_;
+    std::vector<float> bh_, by_;
+};
+
+/** Sequence-classification accuracy. */
+double evaluateAccuracy(const ElmanRnn &net, const DataView &data);
+
+/** Train with Adam and gradient clipping; per-epoch history. */
+TrainHistory trainRnn(ElmanRnn &net, const DataView &train,
+                      const TrainConfig &config);
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_RNN_HH

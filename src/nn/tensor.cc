@@ -1,0 +1,84 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vibnn::nn
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+void
+Matrix::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+axpy(float alpha, const std::vector<float> &x, std::vector<float> &y)
+{
+    VIBNN_ASSERT(x.size() == y.size(), "axpy size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += alpha * x[i];
+}
+
+void
+matVec(const Matrix &w, const float *x, const float *b, float *out)
+{
+    const std::size_t rows = w.rows();
+    const std::size_t cols = w.cols();
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *wr = w.row(r);
+        float acc = b ? b[r] : 0.0f;
+        for (std::size_t c = 0; c < cols; ++c)
+            acc += wr[c] * x[c];
+        out[r] = acc;
+    }
+}
+
+void
+matTVec(const Matrix &w, const float *dy, float *out)
+{
+    const std::size_t rows = w.rows();
+    const std::size_t cols = w.cols();
+    std::fill(out, out + cols, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float *wr = w.row(r);
+        const float g = dy[r];
+        if (g == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols; ++c)
+            out[c] += wr[c] * g;
+    }
+}
+
+void
+rankOneUpdate(Matrix &w, float alpha, const float *dy, const float *x)
+{
+    const std::size_t rows = w.rows();
+    const std::size_t cols = w.cols();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *wr = w.row(r);
+        const float g = alpha * dy[r];
+        if (g == 0.0f)
+            continue;
+        for (std::size_t c = 0; c < cols; ++c)
+            wr[c] += g * x[c];
+    }
+}
+
+std::size_t
+argmax(const float *values, std::size_t count)
+{
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < count; ++i)
+        if (values[i] > values[best])
+            best = i;
+    return best;
+}
+
+} // namespace vibnn::nn

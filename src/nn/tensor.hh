@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal dense-matrix support for the neural-network substrate.
+ *
+ * The networks in this project are fully-connected MLPs (the paper's
+ * target class), so a row-major float matrix with a handful of BLAS-1/2
+ * kernels is all the tensor machinery required. Keeping it hand-rolled
+ * (rather than pulling a BLAS) matches the "everything from scratch"
+ * reproduction contract and is plenty fast for the 784-200-200-10
+ * workloads at laptop scale.
+ */
+
+#ifndef VIBNN_NN_TENSOR_HH
+#define VIBNN_NN_TENSOR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::nn
+{
+
+/** Row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float *row(std::size_t r) { return data_.data() + r * cols_; }
+    const float *row(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    std::vector<float> &data() { return data_; }
+    const std::vector<float> &data() const { return data_; }
+
+    /** Set every element to value. */
+    void fill(float value);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** y += alpha * x (vectors of equal length). */
+void axpy(float alpha, const std::vector<float> &x, std::vector<float> &y);
+
+/** out = W * x + b, where W is (out_dim x in_dim). */
+void matVec(const Matrix &w, const float *x, const float *b, float *out);
+
+/** out = W^T * dy — backward pass input-gradient kernel. */
+void matTVec(const Matrix &w, const float *dy, float *out);
+
+/** Rank-1 update: W += alpha * dy * x^T. */
+void rankOneUpdate(Matrix &w, float alpha, const float *dy, const float *x);
+
+/** Index of the maximum element of a vector (first on ties). */
+std::size_t argmax(const float *values, std::size_t count);
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_TENSOR_HH

@@ -1,0 +1,76 @@
+#include "nn/trainer.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace vibnn::nn
+{
+
+double
+evaluateAccuracy(const Mlp &net, const DataView &data)
+{
+    if (data.count == 0)
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.count; ++i) {
+        if (net.predict(data.sample(i)) ==
+            static_cast<std::size_t>(data.labels[i])) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.count);
+}
+
+TrainHistory
+trainMlp(Mlp &net, const DataView &train, const TrainConfig &config)
+{
+    VIBNN_ASSERT(train.count > 0, "empty training set");
+    VIBNN_ASSERT(train.dim == net.inputDim(), "feature dim mismatch");
+
+    TrainHistory history;
+    Rng rng(config.seed);
+    AdamOptimizer optimizer(config.learningRate);
+
+    MlpWorkspace ws = net.makeWorkspace();
+    std::vector<float> params, grads;
+    std::vector<std::size_t> order(train.count);
+    std::iota(order.begin(), order.end(), 0);
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t seen = 0;
+
+        for (std::size_t start = 0; start < train.count;
+             start += config.batchSize) {
+            const std::size_t end =
+                std::min(start + config.batchSize, train.count);
+            net.zeroGrads(ws);
+            for (std::size_t k = start; k < end; ++k) {
+                const std::size_t i = order[k];
+                epoch_loss += net.trainSample(
+                    train.sample(i),
+                    static_cast<std::size_t>(train.labels[i]), ws, rng);
+            }
+            seen += end - start;
+            net.gatherGrads(ws, grads);
+            net.gatherParams(params);
+            optimizer.step(params.data(), grads.data(), params.size());
+            net.scatterParams(params);
+        }
+
+        const double mean_loss =
+            epoch_loss / static_cast<double>(seen);
+        history.trainLoss.push_back(mean_loss);
+        double acc = -1.0;
+        if (config.evalSet)
+            acc = evaluateAccuracy(net, *config.evalSet);
+        history.evalAccuracy.push_back(acc);
+        if (config.onEpoch)
+            config.onEpoch(epoch, mean_loss, acc);
+    }
+    return history;
+}
+
+} // namespace vibnn::nn

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minibatch trainer and evaluation helpers shared by the FNN and (via a
+ * callback seam) the BNN benches. Records per-epoch accuracy so the
+ * convergence study (Figure 17) can be replayed from the history.
+ */
+
+#ifndef VIBNN_NN_TRAINER_HH
+#define VIBNN_NN_TRAINER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/mlp.hh"
+#include "nn/optimizer.hh"
+
+namespace vibnn::nn
+{
+
+/** Labeled dataset view: features are rows of X. */
+struct DataView
+{
+    /** Sample count. */
+    std::size_t count = 0;
+    /** Feature dimension. */
+    std::size_t dim = 0;
+    /** Row-major features, count x dim. */
+    const float *features = nullptr;
+    /** Labels, count entries. */
+    const int *labels = nullptr;
+
+    const float *sample(std::size_t i) const { return features + i * dim; }
+};
+
+/** Training hyper-parameters. */
+struct TrainConfig
+{
+    std::size_t epochs = 10;
+    std::size_t batchSize = 32;
+    float learningRate = 1e-3f;
+    std::uint64_t seed = 1;
+    /** Evaluate on this set after each epoch when non-null. */
+    const DataView *evalSet = nullptr;
+    /** Optional per-epoch callback (epoch, trainLoss, evalAccuracy). */
+    std::function<void(std::size_t, double, double)> onEpoch;
+};
+
+/** Per-epoch training history. */
+struct TrainHistory
+{
+    std::vector<double> trainLoss;
+    std::vector<double> evalAccuracy;
+};
+
+/** Classification accuracy of an MLP on a dataset. */
+double evaluateAccuracy(const Mlp &net, const DataView &data);
+
+/** Train an MLP with Adam; returns the per-epoch history. */
+TrainHistory trainMlp(Mlp &net, const DataView &train,
+                      const TrainConfig &config);
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_TRAINER_HH

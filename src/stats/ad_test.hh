@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Anderson-Darling test against the fully-specified standard normal.
+ *
+ * The AD statistic weights the CDF discrepancy by 1/(F(1-F)), making it
+ * far more sensitive in the tails than Kolmogorov-Smirnov — exactly
+ * where the binomial-approximation GRNGs deviate (a B(255, 0.5) count
+ * has no mass beyond +-8 sigma and slightly light tails inside). The
+ * p-value uses Marsaglia & Marsaglia's (2004) asymptotic approximation
+ * for the case-0 (no estimated parameters) distribution of A^2.
+ *
+ * Note for discrete generators: an 8-bit GRNG has 256 support points;
+ * at large n the AD test resolves the lattice itself. The `dither`
+ * option adds uniform noise of one quantization step to test the
+ * underlying lattice distribution instead — both views are reported by
+ * the randomness battery.
+ */
+
+#ifndef VIBNN_STATS_AD_TEST_HH
+#define VIBNN_STATS_AD_TEST_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** AD test outcome. */
+struct AdTestResult
+{
+    /** The A^2 statistic. */
+    double statistic = 0.0;
+    /** Asymptotic p-value, case 0 (fully specified null). */
+    double pValue = 0.0;
+    std::size_t n = 0;
+    /** True when the null is not rejected at the given alpha. */
+    bool passed = false;
+};
+
+/**
+ * Anderson-Darling test of samples against N(0, 1).
+ * @param samples The sample set (order irrelevant).
+ * @param alpha Significance level for the pass flag.
+ */
+AdTestResult adTestStandardNormal(const std::vector<double> &samples,
+                                  double alpha = 0.05);
+
+/** P(A^2 <= z) for the asymptotic case-0 AD distribution
+ *  (Marsaglia & Marsaglia 2004, "Evaluating the Anderson-Darling
+ *  distribution", short-series form; absolute error < 2e-6). */
+double andersonDarlingCdf(double z);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_AD_TEST_HH

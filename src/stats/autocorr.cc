@@ -1,0 +1,43 @@
+#include "stats/autocorr.hh"
+
+namespace vibnn::stats
+{
+
+double
+autocorrelation(const std::vector<double> &samples, std::size_t lag)
+{
+    const std::size_t n = samples.size();
+    if (lag >= n || n < 2)
+        return 0.0;
+
+    double mean = 0.0;
+    for (double x : samples)
+        mean += x;
+    mean /= static_cast<double>(n);
+
+    double denom = 0.0;
+    for (double x : samples) {
+        const double d = x - mean;
+        denom += d * d;
+    }
+    if (denom == 0.0)
+        return 0.0;
+
+    double numer = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i)
+        numer += (samples[i] - mean) * (samples[i + lag] - mean);
+
+    return numer / denom;
+}
+
+std::vector<double>
+autocorrelations(const std::vector<double> &samples, std::size_t max_lag)
+{
+    std::vector<double> result;
+    result.reserve(max_lag);
+    for (std::size_t lag = 1; lag <= max_lag; ++lag)
+        result.push_back(autocorrelation(samples, lag));
+    return result;
+}
+
+} // namespace vibnn::stats

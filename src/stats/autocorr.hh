@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Sample autocorrelation of a sequence — used by the RLF ablation bench to
+ * show why the raw popcount stream needs output multiplexing, and by the
+ * Wallace tests to quantify pool-recycling correlation.
+ */
+
+#ifndef VIBNN_STATS_AUTOCORR_HH
+#define VIBNN_STATS_AUTOCORR_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/**
+ * Sample autocorrelation at the given lag (biased estimator, normalized
+ * by the lag-0 variance). Returns 0 for degenerate inputs.
+ */
+double autocorrelation(const std::vector<double> &samples, std::size_t lag);
+
+/** Autocorrelations for lags 1..max_lag. */
+std::vector<double> autocorrelations(const std::vector<double> &samples,
+                                     std::size_t max_lag);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_AUTOCORR_HH

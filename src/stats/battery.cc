@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Randomness battery (see battery.hh).
+ */
+
+#include "stats/battery.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "stats/ad_test.hh"
+#include "stats/chi_square.hh"
+#include "stats/ks_test.hh"
+#include "stats/ljung_box.hh"
+#include "stats/moments.hh"
+#include "stats/runs_test.hh"
+
+namespace vibnn::stats
+{
+
+const BatteryRow &
+BatteryReport::row(const std::string &test) const
+{
+    for (const auto &r : rows) {
+        if (r.test == test)
+            return r;
+    }
+    fatal("battery report has no test named " + test);
+}
+
+double
+BatteryReport::worstPassRate() const
+{
+    double worst = 1.0;
+    for (const auto &r : rows)
+        worst = std::min(worst, r.passRate);
+    return worst;
+}
+
+BatteryReport
+runBattery(const std::function<void(std::vector<double> &)> &generate,
+           const BatteryConfig &config)
+{
+    VIBNN_ASSERT(config.repetitions > 0, "battery needs repetitions");
+    VIBNN_ASSERT(config.samplesPerTest > config.ljungBoxLags + 1,
+                 "battery segment shorter than Ljung-Box lags");
+
+    struct Tally
+    {
+        std::size_t passed = 0;
+        double statistic = 0.0;
+        double pValue = 0.0;
+    };
+    Tally runs, lb, ks, chi, ad;
+
+    Rng dither_rng(config.seed);
+    RunningMoments moments;
+    std::vector<double> samples(config.samplesPerTest);
+    std::vector<double> shaped(config.samplesPerTest);
+
+    for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+        samples.resize(config.samplesPerTest);
+        generate(samples);
+        moments.add(samples);
+
+        // Order-sensitive tests run on the raw stream.
+        {
+            const auto r = runsTest(samples, config.alpha);
+            runs.passed += r.passed ? 1 : 0;
+            runs.statistic += r.z;
+            runs.pValue += r.pValue;
+        }
+        {
+            const auto r =
+                ljungBoxTest(samples, config.ljungBoxLags, config.alpha);
+            lb.passed += r.passed ? 1 : 0;
+            lb.statistic += r.statistic;
+            lb.pValue += r.pValue;
+        }
+
+        // Shape tests optionally see the dithered stream.
+        const std::vector<double> *shape_input = &samples;
+        if (config.ditherStep > 0.0) {
+            shaped.resize(samples.size());
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                shaped[i] = samples[i] +
+                    config.ditherStep *
+                        (dither_rng.uniform() - 0.5);
+            }
+            shape_input = &shaped;
+        }
+        {
+            const auto r = ksTestStandardNormal(*shape_input);
+            ks.passed += r.pValue >= config.alpha ? 1 : 0;
+            ks.statistic += r.statistic;
+            ks.pValue += r.pValue;
+        }
+        {
+            const auto r = chiSquareGofNormal(*shape_input);
+            chi.passed += r.pValue >= config.alpha ? 1 : 0;
+            chi.statistic += r.statistic;
+            chi.pValue += r.pValue;
+        }
+        {
+            const auto r = adTestStandardNormal(*shape_input,
+                                                config.alpha);
+            ad.passed += r.passed ? 1 : 0;
+            ad.statistic += r.statistic;
+            ad.pValue += r.pValue;
+        }
+    }
+
+    const double reps = static_cast<double>(config.repetitions);
+    auto finish = [&](const char *name, const Tally &t) {
+        BatteryRow row;
+        row.test = name;
+        row.passRate = static_cast<double>(t.passed) / reps;
+        row.meanStatistic = t.statistic / reps;
+        row.meanPValue = t.pValue / reps;
+        return row;
+    };
+
+    BatteryReport report;
+    report.rows.push_back(finish("runs", runs));
+    report.rows.push_back(finish("ljung-box", lb));
+    report.rows.push_back(finish("ks", ks));
+    report.rows.push_back(finish("chi-square", chi));
+    report.rows.push_back(finish("anderson-darling", ad));
+    report.mean = moments.mean();
+    report.stddev = moments.stddev();
+    return report;
+}
+
+} // namespace vibnn::stats

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Composite randomness battery for Gaussian generators.
+ *
+ * The paper's Figure 15 evaluates one instrument (Matlab's runstest);
+ * this battery widens the evaluation to five complementary tests, each
+ * repeated on fresh segments so a pass *rate* can be reported per test:
+ *
+ *   - runs test            — sign-pattern independence (the paper's),
+ *   - Ljung-Box            — pooled low-lag autocorrelation,
+ *   - Kolmogorov-Smirnov   — bulk distribution shape,
+ *   - chi-square GoF       — shape on equal-mass bins (discreteness
+ *                            tolerant),
+ *   - Anderson-Darling     — tail-weighted shape.
+ *
+ * Discrete 8-bit generators have a 256-point lattice that the shape
+ * tests can resolve at large n; `ditherStep` optionally smears each
+ * sample uniformly within its quantization bin so the underlying
+ * distribution is tested instead of the lattice. The GRNG battery
+ * bench reports both views.
+ */
+
+#ifndef VIBNN_STATS_BATTERY_HH
+#define VIBNN_STATS_BATTERY_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** Battery knobs. */
+struct BatteryConfig
+{
+    /** Samples per individual test. */
+    std::size_t samplesPerTest = 10000;
+    /** Repetitions per test (fresh segments each). */
+    std::size_t repetitions = 20;
+    /** Significance level. */
+    double alpha = 0.05;
+    /** Pooled lags for Ljung-Box. */
+    std::size_t ljungBoxLags = 20;
+    /**
+     * Quantization step of the generator's output lattice; when > 0,
+     * the distribution-shape tests (KS, chi-square, AD) run on samples
+     * dithered by uniform(-step/2, step/2). 0 = no dithering.
+     */
+    double ditherStep = 0.0;
+    /** Seed for the dithering noise (not the generator). */
+    std::uint64_t seed = 1;
+};
+
+/** Pass rate and mean statistic of one test across repetitions. */
+struct BatteryRow
+{
+    std::string test;
+    double passRate = 0.0;
+    double meanStatistic = 0.0;
+    double meanPValue = 0.0;
+};
+
+/** Full battery outcome. */
+struct BatteryReport
+{
+    std::vector<BatteryRow> rows;
+    /** Moments pooled over every sample the battery consumed. */
+    double mean = 0.0;
+    double stddev = 0.0;
+
+    /** Row lookup by test name; fatal if missing. */
+    const BatteryRow &row(const std::string &test) const;
+    /** Lowest pass rate across all tests. */
+    double worstPassRate() const;
+};
+
+/**
+ * Run the battery.
+ * @param generate Callable filling its argument with the next fresh
+ *        samples from the generator under test (the vector arrives
+ *        pre-sized; order within and across calls matters).
+ * @param config Battery knobs.
+ */
+BatteryReport
+runBattery(const std::function<void(std::vector<double> &)> &generate,
+           const BatteryConfig &config);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_BATTERY_HH

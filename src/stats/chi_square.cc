@@ -1,0 +1,55 @@
+#include "stats/chi_square.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/normal.hh"
+#include "stats/special.hh"
+
+namespace vibnn::stats
+{
+
+ChiSquareResult
+chiSquareGofNormal(const std::vector<double> &samples, std::size_t bins)
+{
+    VIBNN_ASSERT(bins >= 2, "need at least two bins");
+    ChiSquareResult result;
+    result.bins = bins;
+    result.dof = bins - 1;
+    if (samples.empty())
+        return result;
+
+    // Bin edges at normal quantiles i/bins.
+    std::vector<double> edges(bins - 1);
+    for (std::size_t i = 1; i < bins; ++i) {
+        edges[i - 1] =
+            normalInvCdf(static_cast<double>(i) / static_cast<double>(bins));
+    }
+
+    std::vector<std::size_t> counts(bins, 0);
+    for (double x : samples) {
+        // Binary search for the bin.
+        std::size_t lo = 0, hi = bins - 1;
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (x < edges[mid])
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        ++counts[lo];
+    }
+
+    const double expected = static_cast<double>(samples.size()) /
+        static_cast<double>(bins);
+    double stat = 0.0;
+    for (std::size_t c : counts) {
+        const double diff = static_cast<double>(c) - expected;
+        stat += diff * diff / expected;
+    }
+    result.statistic = stat;
+    result.pValue = chiSquareSf(stat, static_cast<double>(result.dof));
+    return result;
+}
+
+} // namespace vibnn::stats

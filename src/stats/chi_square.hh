@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Chi-square goodness-of-fit test against the standard normal, on
+ * equal-probability bins. Suited to the discrete binomial GRNGs where the
+ * KS test's continuity assumption is violated.
+ */
+
+#ifndef VIBNN_STATS_CHI_SQUARE_HH
+#define VIBNN_STATS_CHI_SQUARE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** Chi-square GoF outcome. */
+struct ChiSquareResult
+{
+    double statistic = 0.0;
+    double pValue = 1.0;
+    std::size_t bins = 0;
+    std::size_t dof = 0;
+};
+
+/**
+ * Chi-square GoF of samples vs N(0, 1) using bins of equal normal
+ * probability mass (so every bin has the same expected count).
+ *
+ * @param samples The observations.
+ * @param bins Number of equal-probability bins (default 32).
+ */
+ChiSquareResult chiSquareGofNormal(const std::vector<double> &samples,
+                                   std::size_t bins = 32);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_CHI_SQUARE_HH

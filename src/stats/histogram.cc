@@ -1,0 +1,81 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace vibnn::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    VIBNN_ASSERT(hi > lo, "histogram range must be non-empty");
+    VIBNN_ASSERT(bins >= 1, "histogram needs at least one bin");
+    width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto bin = static_cast<std::size_t>((x - lo_) / width_);
+    if (bin >= counts_.size())
+        bin = counts_.size() - 1; // guards the x == hi_ - epsilon edge
+    ++counts_[bin];
+}
+
+void
+Histogram::add(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::binProbability(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+        static_cast<double>(total_);
+}
+
+std::string
+Histogram::renderAscii(std::size_t max_bar_width) const
+{
+    std::size_t peak = 0;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+    if (peak == 0)
+        peak = 1;
+
+    std::ostringstream out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        auto bar = static_cast<std::size_t>(
+            std::llround(static_cast<double>(counts_[i]) * max_bar_width /
+                         static_cast<double>(peak)));
+        out << strfmt("%8.3f | ", binCenter(i))
+            << std::string(bar, '#') << "  " << counts_[i] << '\n';
+    }
+    return out.str();
+}
+
+} // namespace vibnn::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-range histogram with equal-width bins, plus an ASCII renderer used
+ * by the examples to visualize GRNG output distributions.
+ */
+
+#ifndef VIBNN_STATS_HISTOGRAM_HH
+#define VIBNN_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** Equal-width histogram over [lo, hi); out-of-range samples are counted
+ *  in underflow/overflow. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the histogram range.
+     * @param hi Upper edge (must exceed lo).
+     * @param bins Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add a sample. */
+    void add(double x);
+
+    /** Add many samples. */
+    void add(const std::vector<double> &xs);
+
+    /** Count in bin i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Number of bins. */
+    std::size_t binCount() const { return counts_.size(); }
+
+    /** Center x of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Total samples added (including out-of-range). */
+    std::size_t total() const { return total_; }
+
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+
+    /** Empirical probability mass of bin i. */
+    double binProbability(std::size_t i) const;
+
+    /** Render a horizontal-bar ASCII chart. */
+    std::string renderAscii(std::size_t max_bar_width = 60) const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_HISTOGRAM_HH

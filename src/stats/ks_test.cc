@@ -1,0 +1,37 @@
+#include "stats/ks_test.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/normal.hh"
+#include "stats/special.hh"
+
+namespace vibnn::stats
+{
+
+KsTestResult
+ksTestStandardNormal(const std::vector<double> &samples)
+{
+    KsTestResult result;
+    result.n = samples.size();
+    if (samples.empty())
+        return result;
+
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+
+    const double n = static_cast<double>(sorted.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const double cdf = normalCdf(sorted[i]);
+        const double lo = static_cast<double>(i) / n;
+        const double hi = static_cast<double>(i + 1) / n;
+        d = std::max(d, std::max(std::fabs(cdf - lo), std::fabs(hi - cdf)));
+    }
+    result.statistic = d;
+    const double t = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d;
+    result.pValue = kolmogorovQ(t);
+    return result;
+}
+
+} // namespace vibnn::stats

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * One-sample Kolmogorov-Smirnov test against the standard normal.
+ *
+ * Used by the GRNG unit tests to check distribution shape. Note that the
+ * binomial-count GRNGs produce *discrete* samples (256 support points),
+ * for which the KS statistic has a floor of about half the largest bin
+ * probability; tests account for this.
+ */
+
+#ifndef VIBNN_STATS_KS_TEST_HH
+#define VIBNN_STATS_KS_TEST_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** KS test outcome. */
+struct KsTestResult
+{
+    /** Supremum distance between empirical and target CDFs. */
+    double statistic = 0.0;
+    /** Asymptotic p-value from the Kolmogorov distribution. */
+    double pValue = 0.0;
+    std::size_t n = 0;
+};
+
+/** One-sample KS test of samples against N(0, 1). */
+KsTestResult ksTestStandardNormal(const std::vector<double> &samples);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_KS_TEST_HH

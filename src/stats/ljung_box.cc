@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ljung-Box test (see ljung_box.hh).
+ */
+
+#include "stats/ljung_box.hh"
+
+#include "stats/autocorr.hh"
+#include "stats/special.hh"
+
+namespace vibnn::stats
+{
+
+LjungBoxResult
+ljungBoxTest(const std::vector<double> &samples, std::size_t lags,
+             double alpha)
+{
+    LjungBoxResult result;
+    result.lags = lags;
+    result.n = samples.size();
+    if (samples.size() <= lags + 1 || lags == 0)
+        return result;
+
+    const double n = static_cast<double>(samples.size());
+    const auto rho = autocorrelations(samples, lags);
+    double q = 0.0;
+    for (std::size_t k = 1; k <= lags; ++k) {
+        q += rho[k - 1] * rho[k - 1] /
+            (n - static_cast<double>(k));
+    }
+    result.statistic = n * (n + 2.0) * q;
+    result.pValue =
+        chiSquareSf(result.statistic, static_cast<double>(lags));
+    result.passed = result.pValue >= alpha;
+    return result;
+}
+
+} // namespace vibnn::stats

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ljung-Box portmanteau test for serial correlation.
+ *
+ * Complements the runs test in the randomness battery: the runs test
+ * sees only the above/below-median sign pattern, while Ljung-Box pools
+ * the squared sample autocorrelations over the first m lags. It is the
+ * sharper instrument for the two failure modes this project's ablations
+ * uncovered — the RLF bounded-step random walk (positive low-lag
+ * correlation) and the fixed-shift Wallace port-recycling spike
+ * (isolated negative correlation at the pool-pass lag).
+ */
+
+#ifndef VIBNN_STATS_LJUNG_BOX_HH
+#define VIBNN_STATS_LJUNG_BOX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** Ljung-Box test outcome. */
+struct LjungBoxResult
+{
+    /** The Q statistic (chi-square with `lags` dof under H0). */
+    double statistic = 0.0;
+    double pValue = 0.0;
+    std::size_t lags = 0;
+    std::size_t n = 0;
+    /** True when the no-serial-correlation null is not rejected. */
+    bool passed = false;
+};
+
+/**
+ * Ljung-Box test on the first `lags` autocorrelations.
+ * @param samples The sequence under test (order matters).
+ * @param lags Number of pooled lags (default 20).
+ * @param alpha Significance level for the pass flag.
+ */
+LjungBoxResult ljungBoxTest(const std::vector<double> &samples,
+                            std::size_t lags = 20, double alpha = 0.05);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_LJUNG_BOX_HH

@@ -1,0 +1,109 @@
+#include "stats/moments.hh"
+
+#include <cmath>
+
+namespace vibnn::stats
+{
+
+void
+RunningMoments::add(double x)
+{
+    // Pebay's single-pass central moment updates.
+    const double n1 = static_cast<double>(n_);
+    n_ += 1;
+    const double n = static_cast<double>(n_);
+    const double delta = x - mean_;
+    const double delta_n = delta / n;
+    const double delta_n2 = delta_n * delta_n;
+    const double term1 = delta * delta_n * n1;
+
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) +
+        6.0 * delta_n2 * m2_ - 4.0 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+    m2_ += term1;
+}
+
+void
+RunningMoments::add(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+RunningMoments::mean() const
+{
+    return n_ > 0 ? mean_ : 0.0;
+}
+
+double
+RunningMoments::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningMoments::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningMoments::skewness() const
+{
+    if (n_ < 3 || m2_ <= 0.0)
+        return 0.0;
+    const double n = static_cast<double>(n_);
+    return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double
+RunningMoments::excessKurtosis() const
+{
+    if (n_ < 4 || m2_ <= 0.0)
+        return 0.0;
+    const double n = static_cast<double>(n_);
+    return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+void
+RunningMoments::reset()
+{
+    *this = RunningMoments();
+}
+
+StabilityResult
+measureStability(const std::vector<double> &samples,
+                 std::size_t window_size)
+{
+    StabilityResult result;
+    if (window_size == 0 || samples.size() < window_size)
+        return result;
+
+    RunningMoments stream;
+    double mu_abs_sum = 0.0;
+    double sigma_abs_sum = 0.0;
+    std::size_t windows = 0;
+
+    for (std::size_t start = 0; start + window_size <= samples.size();
+         start += window_size) {
+        RunningMoments window;
+        for (std::size_t i = 0; i < window_size; ++i)
+            window.add(samples[start + i]);
+        mu_abs_sum += std::fabs(window.mean());
+        sigma_abs_sum += std::fabs(window.stddev() - 1.0);
+        ++windows;
+    }
+    for (double x : samples)
+        stream.add(x);
+
+    result.muError = mu_abs_sum / static_cast<double>(windows);
+    result.sigmaError = sigma_abs_sum / static_cast<double>(windows);
+    result.windows = windows;
+    result.streamMean = stream.mean();
+    result.streamStddev = stream.stddev();
+    return result;
+}
+
+} // namespace vibnn::stats

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Online and windowed moment estimation.
+ *
+ * RunningMoments implements the numerically stable one-pass update for
+ * mean/variance/skewness/kurtosis (Pebay's formulas). WindowedStability
+ * implements the Table 1 metric: it splits a sample stream into fixed
+ * windows, estimates (mu, sigma) per window and reports the mean absolute
+ * deviation from the target (0, 1) — the "stability error" of a GRNG.
+ */
+
+#ifndef VIBNN_STATS_MOMENTS_HH
+#define VIBNN_STATS_MOMENTS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** One-pass mean/variance/skewness/kurtosis accumulator. */
+class RunningMoments
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Add a batch of observations. */
+    void add(const std::vector<double> &xs);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const;
+
+    /** Unbiased sample variance (0 when n < 2). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Sample skewness g1 (0 when n < 3 or variance is 0). */
+    double skewness() const;
+
+    /** Excess kurtosis g2 (0 when n < 4 or variance is 0). */
+    double excessKurtosis() const;
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double m3_ = 0.0;
+    double m4_ = 0.0;
+};
+
+/** Result of a windowed stability measurement (Table 1 metric). */
+struct StabilityResult
+{
+    /** Mean absolute deviation of per-window means from 0. */
+    double muError = 0.0;
+    /** Mean absolute deviation of per-window stddevs from 1. */
+    double sigmaError = 0.0;
+    /** Number of complete windows measured. */
+    std::size_t windows = 0;
+    /** Whole-stream mean / stddev for reference. */
+    double streamMean = 0.0;
+    double streamStddev = 0.0;
+};
+
+/**
+ * Measure distributional stability of a sample stream against N(0, 1).
+ *
+ * @param samples The generated stream (assumed normalized to unit scale).
+ * @param window_size Samples per window; incomplete tail is dropped.
+ */
+StabilityResult measureStability(const std::vector<double> &samples,
+                                 std::size_t window_size);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_MOMENTS_HH

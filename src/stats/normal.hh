@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Standard normal distribution functions.
+ *
+ * Used by the GRNG quality tests (expected bin probabilities, KS
+ * distances) and by the CDF-inversion baseline generator. The inverse CDF
+ * uses Acklam's rational approximation refined by one Halley step, giving
+ * ~1e-15 relative accuracy — far below anything the statistical tests can
+ * resolve.
+ */
+
+#ifndef VIBNN_STATS_NORMAL_HH
+#define VIBNN_STATS_NORMAL_HH
+
+namespace vibnn::stats
+{
+
+/** Standard normal probability density at x. */
+double normalPdf(double x);
+
+/** Standard normal cumulative distribution at x. */
+double normalCdf(double x);
+
+/**
+ * Inverse standard normal CDF (quantile function).
+ * @param p Probability in (0, 1); values at or beyond the boundary are
+ *        clamped to +/- ~8.2 sigma.
+ */
+double normalInvCdf(double p);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_NORMAL_HH

@@ -1,0 +1,93 @@
+#include "stats/runs_test.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "stats/normal.hh"
+
+namespace vibnn::stats
+{
+
+RunsTestResult
+runsTest(const std::vector<double> &samples, double alpha)
+{
+    RunsTestResult result;
+    if (samples.size() < 2)
+        return result;
+
+    // Median via nth_element on a copy.
+    std::vector<double> sorted(samples);
+    std::size_t mid = sorted.size() / 2;
+    std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+    double median = sorted[mid];
+    if (sorted.size() % 2 == 0) {
+        auto lower = std::max_element(sorted.begin(), sorted.begin() + mid);
+        median = 0.5 * (median + *lower);
+    }
+
+    // Classify, dropping exact ties (runstest default behaviour).
+    int previous = 0;
+    for (double x : samples) {
+        int cls;
+        if (x > median)
+            cls = 1;
+        else if (x < median)
+            cls = -1;
+        else
+            continue;
+        if (cls > 0)
+            ++result.nPlus;
+        else
+            ++result.nMinus;
+        if (cls != previous)
+            ++result.runs;
+        previous = cls;
+    }
+
+    const double n1 = static_cast<double>(result.nPlus);
+    const double n2 = static_cast<double>(result.nMinus);
+    const double n = n1 + n2;
+    if (n1 == 0 || n2 == 0 || n < 2) {
+        result.passed = false;
+        result.pValue = 0.0;
+        return result;
+    }
+
+    const double expected_runs = 2.0 * n1 * n2 / n + 1.0;
+    const double var_runs =
+        2.0 * n1 * n2 * (2.0 * n1 * n2 - n) / (n * n * (n - 1.0));
+    const double sd = std::sqrt(var_runs);
+
+    // Continuity correction of 0.5, as used by runstest.
+    double deviation = static_cast<double>(result.runs) - expected_runs;
+    double corrected = 0.0;
+    if (std::fabs(deviation) > 0.5)
+        corrected = deviation > 0 ? deviation - 0.5 : deviation + 0.5;
+    result.z = sd > 0.0 ? corrected / sd : 0.0;
+    result.pValue = 2.0 * (1.0 - normalCdf(std::fabs(result.z)));
+    result.passed = result.pValue >= alpha;
+    return result;
+}
+
+double
+runsTestPassRate(
+    const std::function<void(std::vector<double> &)> &generate,
+    std::size_t samples_per_test, std::size_t repetitions, double alpha)
+{
+    if (repetitions == 0)
+        return 0.0;
+    std::vector<double> buffer;
+    buffer.reserve(samples_per_test);
+    std::size_t passed = 0;
+    for (std::size_t rep = 0; rep < repetitions; ++rep) {
+        buffer.clear();
+        buffer.resize(samples_per_test);
+        generate(buffer);
+        if (runsTest(buffer, alpha).passed)
+            ++passed;
+    }
+    return static_cast<double>(passed) / static_cast<double>(repetitions);
+}
+
+} // namespace vibnn::stats

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wald-Wolfowitz runs test of randomness.
+ *
+ * This is the test behind Matlab's runstest, which the paper uses for
+ * Figure 15: each sample is classified as above/below the stream median,
+ * the number of runs (maximal same-class streaks) is counted, and the
+ * observed run count is compared to its expectation under independence
+ * via a normal approximation. Serially correlated streams (e.g. a raw
+ * RLF popcount stream, or a Wallace generator without the sharing and
+ * shifting scheme) produce far too few runs and fail.
+ */
+
+#ifndef VIBNN_STATS_RUNS_TEST_HH
+#define VIBNN_STATS_RUNS_TEST_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** Outcome of a single runs test. */
+struct RunsTestResult
+{
+    /** Number of observed runs. */
+    std::size_t runs = 0;
+    /** Samples above / below the median (ties dropped, Matlab default). */
+    std::size_t nPlus = 0;
+    std::size_t nMinus = 0;
+    /** z statistic (continuity corrected) and two-sided p-value. */
+    double z = 0.0;
+    double pValue = 1.0;
+    /** True when the null "sequence is random" is not rejected. */
+    bool passed = false;
+};
+
+/**
+ * Run the Wald-Wolfowitz runs test above/below the sample median.
+ *
+ * @param samples The sequence under test (order matters).
+ * @param alpha Significance level (default 0.05, as in the paper).
+ */
+RunsTestResult runsTest(const std::vector<double> &samples,
+                        double alpha = 0.05);
+
+/**
+ * Repeat the runs test on consecutive non-overlapping segments generated
+ * by a callable and report the pass rate — the Figure 15 protocol.
+ *
+ * @param generate Callable filling a vector with the next fresh samples.
+ * @param samples_per_test Samples per individual test.
+ * @param repetitions Number of tests.
+ * @param alpha Significance level.
+ * @return Fraction of tests passed in [0, 1].
+ */
+double runsTestPassRate(
+    const std::function<void(std::vector<double> &)> &generate,
+    std::size_t samples_per_test, std::size_t repetitions,
+    double alpha = 0.05);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_RUNS_TEST_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Special functions needed by the statistical tests: the regularized
+ * incomplete gamma functions (for chi-square p-values) and the
+ * Kolmogorov distribution tail.
+ */
+
+#ifndef VIBNN_STATS_SPECIAL_HH
+#define VIBNN_STATS_SPECIAL_HH
+
+namespace vibnn::stats
+{
+
+/** Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a). */
+double regularizedGammaP(double a, double x);
+
+/** Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x). */
+double regularizedGammaQ(double a, double x);
+
+/** Chi-square survival function: P(X > x) for k degrees of freedom. */
+double chiSquareSf(double x, double k);
+
+/**
+ * Kolmogorov distribution complementary CDF Q(t) = P(K > t); used to turn
+ * a scaled KS statistic sqrt(n)*D into an asymptotic p-value.
+ */
+double kolmogorovQ(double t);
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_SPECIAL_HH

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the extended statistics: Anderson-Darling against known
+ * critical values and distorted distributions, Ljung-Box against
+ * constructed serial correlation, and the composite battery's ability
+ * to separate good, serially-correlated, and quantized generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "stats/ad_test.hh"
+#include "stats/battery.hh"
+#include "stats/ljung_box.hh"
+
+using namespace vibnn;
+using namespace vibnn::stats;
+
+TEST(AndersonDarling, CdfMatchesKnownCriticalValues)
+{
+    // Case-0 critical values (D'Agostino & Stephens table 4.2):
+    // P(A^2 < 1.933) = 0.90, P(A^2 < 2.492) = 0.95,
+    // P(A^2 < 3.857) = 0.99.
+    EXPECT_NEAR(andersonDarlingCdf(1.933), 0.90, 0.005);
+    EXPECT_NEAR(andersonDarlingCdf(2.492), 0.95, 0.005);
+    EXPECT_NEAR(andersonDarlingCdf(3.857), 0.99, 0.005);
+    // Monotone, bounded.
+    EXPECT_EQ(andersonDarlingCdf(0.0), 0.0);
+    EXPECT_LT(andersonDarlingCdf(0.5), andersonDarlingCdf(1.0));
+    EXPECT_LT(andersonDarlingCdf(1.0), andersonDarlingCdf(2.0));
+    EXPECT_LT(andersonDarlingCdf(6.0), 1.0);
+    EXPECT_GT(andersonDarlingCdf(6.0), 0.999);
+}
+
+TEST(AndersonDarling, AcceptsGaussianSamples)
+{
+    Rng rng(7);
+    std::vector<double> samples(5000);
+    for (auto &x : samples)
+        x = rng.gaussian();
+    const auto r = adTestStandardNormal(samples);
+    EXPECT_TRUE(r.passed) << "A^2 = " << r.statistic;
+    EXPECT_GT(r.pValue, 0.05);
+}
+
+TEST(AndersonDarling, RejectsShiftedMean)
+{
+    Rng rng(11);
+    std::vector<double> samples(5000);
+    for (auto &x : samples)
+        x = rng.gaussian() + 0.15;
+    const auto r = adTestStandardNormal(samples);
+    EXPECT_FALSE(r.passed) << "A^2 = " << r.statistic;
+}
+
+TEST(AndersonDarling, RejectsUniform)
+{
+    Rng rng(13);
+    std::vector<double> samples(2000);
+    for (auto &x : samples)
+        x = rng.uniform(-1.7320508, 1.7320508); // unit variance
+    const auto r = adTestStandardNormal(samples);
+    EXPECT_FALSE(r.passed);
+}
+
+TEST(AndersonDarling, RejectsHeavyTails)
+{
+    // Unit-variance Laplace: heavier tails than normal at equal scale.
+    Rng rng(17);
+    std::vector<double> samples(5000);
+    for (auto &x : samples) {
+        const double u = rng.uniform() - 0.5;
+        const double b = 1.0 / std::sqrt(2.0);
+        x = -b * std::copysign(std::log1p(-2.0 * std::abs(u)), u);
+    }
+    const auto r = adTestStandardNormal(samples);
+    EXPECT_FALSE(r.passed) << "A^2 = " << r.statistic;
+}
+
+TEST(AndersonDarling, DegenerateInputsHandled)
+{
+    EXPECT_FALSE(adTestStandardNormal({}).passed);
+    EXPECT_FALSE(adTestStandardNormal({1.0, 2.0}).passed);
+    // Extreme lattice values must not produce NaN/inf.
+    std::vector<double> extreme(100, 12.0);
+    const auto r = adTestStandardNormal(extreme);
+    EXPECT_TRUE(std::isfinite(r.statistic));
+    EXPECT_FALSE(r.passed);
+}
+
+TEST(LjungBox, AcceptsWhiteNoise)
+{
+    Rng rng(19);
+    std::vector<double> samples(8000);
+    for (auto &x : samples)
+        x = rng.gaussian();
+    const auto r = ljungBoxTest(samples, 20);
+    EXPECT_TRUE(r.passed) << "Q = " << r.statistic;
+    // Q ~ chi^2_20 under H0: mean 20.
+    EXPECT_LT(r.statistic, 45.0);
+}
+
+TEST(LjungBox, RejectsAr1)
+{
+    Rng rng(23);
+    std::vector<double> samples(8000);
+    double prev = 0.0;
+    const double phi = 0.2;
+    const double innov = std::sqrt(1.0 - phi * phi);
+    for (auto &x : samples) {
+        prev = phi * prev + innov * rng.gaussian();
+        x = prev;
+    }
+    const auto r = ljungBoxTest(samples, 20);
+    EXPECT_FALSE(r.passed) << "Q = " << r.statistic;
+}
+
+TEST(LjungBox, RejectsNegativeLagSpike)
+{
+    // The fixed-shift Wallace pathology: one isolated negative
+    // correlation at a single lag.
+    Rng rng(29);
+    const std::size_t lag = 8;
+    std::vector<double> samples(8000);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const double fresh = rng.gaussian();
+        samples[i] = i >= lag
+                         ? (fresh - 0.4 * samples[i - lag]) /
+                               std::sqrt(1.0 + 0.16)
+                         : fresh;
+    }
+    const auto r = ljungBoxTest(samples, 20);
+    EXPECT_FALSE(r.passed) << "Q = " << r.statistic;
+}
+
+TEST(LjungBox, DegenerateInputsHandled)
+{
+    std::vector<double> tiny(5, 1.0);
+    const auto r = ljungBoxTest(tiny, 20);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.statistic, 0.0);
+}
+
+namespace
+{
+
+BatteryConfig
+quickConfig()
+{
+    BatteryConfig config;
+    config.samplesPerTest = 10000;
+    config.repetitions = 10;
+    config.seed = 99;
+    return config;
+}
+
+} // namespace
+
+TEST(Battery, IidGaussianPassesEverything)
+{
+    Rng rng(31);
+    auto generate = [&](std::vector<double> &out) {
+        for (auto &x : out)
+            x = rng.gaussian();
+    };
+    const auto report = runBattery(generate, quickConfig());
+    ASSERT_EQ(report.rows.size(), 5u);
+    for (const auto &row : report.rows)
+        EXPECT_GE(row.passRate, 0.7) << row.test;
+    EXPECT_NEAR(report.mean, 0.0, 0.05);
+    EXPECT_NEAR(report.stddev, 1.0, 0.05);
+}
+
+TEST(Battery, SerialCorrelationFailsOrderTestsOnly)
+{
+    // Unit-variance AR(1): correct marginal, broken ordering.
+    Rng rng(37);
+    double prev = 0.0;
+    const double phi = 0.25;
+    const double innov = std::sqrt(1.0 - phi * phi);
+    auto generate = [&](std::vector<double> &out) {
+        for (auto &x : out) {
+            prev = phi * prev + innov * rng.gaussian();
+            x = prev;
+        }
+    };
+    const auto report = runBattery(generate, quickConfig());
+    EXPECT_LE(report.row("runs").passRate, 0.2);
+    EXPECT_LE(report.row("ljung-box").passRate, 0.2);
+    // Shape remains near-normal (slight n-dependent variance shrink).
+    EXPECT_GE(report.row("ks").passRate, 0.6);
+    EXPECT_GE(report.row("chi-square").passRate, 0.5);
+}
+
+TEST(Battery, QuantizationFailsShapeUntilDithered)
+{
+    const double step = 0.25;
+    Rng rng1(41);
+    auto quantized = [&](std::vector<double> &out) {
+        for (auto &x : out)
+            x = std::round(rng1.gaussian() / step) * step;
+    };
+    auto raw_report = runBattery(quantized, quickConfig());
+    // The lattice is visible to the continuous shape tests...
+    EXPECT_LE(raw_report.row("ks").passRate, 0.2);
+    EXPECT_LE(raw_report.row("anderson-darling").passRate, 0.2);
+    // ...but order tests are untouched by quantization.
+    EXPECT_GE(raw_report.row("runs").passRate, 0.7);
+
+    Rng rng2(41);
+    auto quantized2 = [&](std::vector<double> &out) {
+        for (auto &x : out)
+            x = std::round(rng2.gaussian() / step) * step;
+    };
+    auto config = quickConfig();
+    config.ditherStep = step;
+    const auto dithered = runBattery(quantized2, config);
+    EXPECT_GE(dithered.row("ks").passRate, 0.7);
+    EXPECT_GE(dithered.row("anderson-darling").passRate, 0.7);
+}
+
+TEST(Battery, WorstPassRateAndRowLookup)
+{
+    Rng rng(43);
+    auto generate = [&](std::vector<double> &out) {
+        for (auto &x : out)
+            x = rng.gaussian();
+    };
+    auto config = quickConfig();
+    config.repetitions = 5;
+    const auto report = runBattery(generate, config);
+    double worst = 1.0;
+    for (const auto &row : report.rows)
+        worst = std::min(worst, row.passRate);
+    EXPECT_DOUBLE_EQ(report.worstPassRate(), worst);
+    EXPECT_EQ(report.row("runs").test, "runs");
+}

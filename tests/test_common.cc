@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the common utilities: deterministic RNG, thread pool,
+ * table formatting and environment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+
+#include "common/env.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+
+using namespace vibnn;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 64; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_LT(lo, 0.01);
+    EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // every residue hit
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniformInt(-5, 5);
+        ASSERT_GE(v, -5);
+        ASSERT_LE(v, 5);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.01);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(21);
+    Rng child_a = parent.fork();
+    Rng child_b = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += child_a.next() == child_b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(31);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto original = v;
+    rng.shuffle(v);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, original);
+}
+
+TEST(SplitMix, KnownSequenceIsStable)
+{
+    std::uint64_t s = 0;
+    const std::uint64_t first = splitmix64Next(s);
+    const std::uint64_t second = splitmix64Next(s);
+    EXPECT_NE(first, second);
+    std::uint64_t s2 = 0;
+    EXPECT_EQ(splitmix64Next(s2), first);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline)
+{
+    ThreadPool pool(0);
+    int count = 0;
+    // Pool may still have workers on multicore hosts; count anyway.
+    std::atomic<int> hits{0};
+    pool.parallelFor(10, [&](std::size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), 10);
+    (void)count;
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(
+        pool.parallelFor(8,
+                         [](std::size_t i) {
+                             if (i == 3)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop)
+{
+    ThreadPool pool(1);
+    pool.parallelFor(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"a", "long-header", "c"});
+    table.addRow({"1", "2", "3"});
+    table.addRow({"wide-cell", "x", "y"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    EXPECT_NE(out.find("wide-cell"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+}
+
+TEST(Env, DefaultsAndParsing)
+{
+    ::unsetenv("VIBNN_TEST_VAR");
+    EXPECT_EQ(envInt("VIBNN_TEST_VAR", 5), 5);
+    ::setenv("VIBNN_TEST_VAR", "17", 1);
+    EXPECT_EQ(envInt("VIBNN_TEST_VAR", 5), 17);
+    ::setenv("VIBNN_TEST_VAR", "2.5", 1);
+    EXPECT_DOUBLE_EQ(envDouble("VIBNN_TEST_VAR", 1.0), 2.5);
+    ::unsetenv("VIBNN_TEST_VAR");
+}
+
+TEST(Env, ScaledCountNeverZero)
+{
+    ::setenv("VIBNN_SCALE", "0.0001", 1);
+    EXPECT_GE(scaledCount(10), 1u);
+    ::unsetenv("VIBNN_SCALE");
+}

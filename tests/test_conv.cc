@@ -1,0 +1,639 @@
+/**
+ * @file
+ * Tests for the convolution substrate: geometry arithmetic, im2col /
+ * col2im adjointness, convolution forward against a naive reference,
+ * gradient checks against numerical differentiation, max-pooling
+ * semantics, and ConvNet end-to-end training.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/cnn.hh"
+#include "nn/conv.hh"
+
+using namespace vibnn;
+using namespace vibnn::nn;
+
+namespace
+{
+
+/** Naive direct convolution, no im2col — the oracle. */
+void
+referenceConv(const ConvSpec &spec, const float *x, const Matrix &w,
+              const std::vector<float> &b, float *out)
+{
+    const std::size_t out_h = spec.outHeight();
+    const std::size_t out_w = spec.outWidth();
+    for (std::size_t oc = 0; oc < spec.outChannels; ++oc) {
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+            for (std::size_t ox = 0; ox < out_w; ++ox) {
+                double acc = b[oc];
+                for (std::size_t c = 0; c < spec.inChannels; ++c) {
+                    for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                        for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                            const std::ptrdiff_t iy =
+                                static_cast<std::ptrdiff_t>(
+                                    oy * spec.stride + ky) -
+                                static_cast<std::ptrdiff_t>(spec.pad);
+                            const std::ptrdiff_t ix =
+                                static_cast<std::ptrdiff_t>(
+                                    ox * spec.stride + kx) -
+                                static_cast<std::ptrdiff_t>(spec.pad);
+                            if (iy < 0 || ix < 0 ||
+                                iy >= static_cast<std::ptrdiff_t>(
+                                          spec.inHeight) ||
+                                ix >= static_cast<std::ptrdiff_t>(
+                                          spec.inWidth))
+                                continue;
+                            const std::size_t widx =
+                                (c * spec.kernel + ky) * spec.kernel + kx;
+                            acc += w.at(oc, widx) *
+                                x[(c * spec.inHeight + iy) * spec.inWidth +
+                                  ix];
+                        }
+                    }
+                }
+                out[(oc * out_h + oy) * out_w + ox] =
+                    static_cast<float>(acc);
+            }
+        }
+    }
+}
+
+std::vector<float>
+randomVector(std::size_t n, Rng &rng, double lo = -1.0, double hi = 1.0)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = static_cast<float>(rng.uniform(lo, hi));
+    return v;
+}
+
+} // namespace
+
+TEST(ConvSpec, GeometryMatchesFormula)
+{
+    ConvSpec s;
+    s.inChannels = 3;
+    s.inHeight = 28;
+    s.inWidth = 28;
+    s.outChannels = 8;
+    s.kernel = 5;
+    s.stride = 1;
+    s.pad = 2;
+    EXPECT_EQ(s.outHeight(), 28u); // "same" padding
+    EXPECT_EQ(s.outWidth(), 28u);
+    EXPECT_EQ(s.patchSize(), 75u);
+    EXPECT_EQ(s.outputSize(), 8u * 28 * 28);
+    EXPECT_TRUE(s.valid());
+
+    s.pad = 0;
+    EXPECT_EQ(s.outHeight(), 24u);
+    s.stride = 2;
+    EXPECT_EQ(s.outHeight(), 12u);
+}
+
+TEST(ConvSpec, InvalidGeometriesRejected)
+{
+    ConvSpec s;
+    s.inHeight = 4;
+    s.inWidth = 4;
+    s.kernel = 5;
+    s.pad = 0;
+    EXPECT_EQ(s.outHeight(), 0u); // kernel larger than input
+    EXPECT_FALSE(s.valid());
+
+    s.kernel = 3;
+    s.stride = 0;
+    EXPECT_FALSE(s.valid());
+
+    s.stride = 1;
+    s.pad = 3; // pad >= kernel admits all-zero patches
+    EXPECT_FALSE(s.valid());
+}
+
+TEST(Im2col, OneByOneKernelIsChannelGather)
+{
+    ConvSpec s;
+    s.inChannels = 2;
+    s.inHeight = 3;
+    s.inWidth = 3;
+    s.outChannels = 1;
+    s.kernel = 1;
+    Rng rng(7);
+    const auto x = randomVector(s.inputSize(), rng);
+    Matrix patches;
+    im2col(s, x.data(), patches);
+    ASSERT_EQ(patches.rows(), 9u);
+    ASSERT_EQ(patches.cols(), 2u);
+    for (std::size_t p = 0; p < 9; ++p) {
+        EXPECT_FLOAT_EQ(patches.at(p, 0), x[p]);
+        EXPECT_FLOAT_EQ(patches.at(p, 1), x[9 + p]);
+    }
+}
+
+TEST(Im2col, PaddingYieldsZeros)
+{
+    ConvSpec s;
+    s.inChannels = 1;
+    s.inHeight = 2;
+    s.inWidth = 2;
+    s.outChannels = 1;
+    s.kernel = 3;
+    s.pad = 1;
+    const float x[4] = {1, 2, 3, 4};
+    Matrix patches;
+    im2col(s, x, patches);
+    ASSERT_EQ(patches.rows(), 4u);
+    ASSERT_EQ(patches.cols(), 9u);
+    // Top-left output position: the first patch row/col hang over the
+    // border, so patch entries 0..3 and 6 are padding zeros.
+    EXPECT_FLOAT_EQ(patches.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(patches.at(0, 4), 1.0f); // center = x(0,0)
+    EXPECT_FLOAT_EQ(patches.at(0, 5), 2.0f);
+    EXPECT_FLOAT_EQ(patches.at(0, 7), 3.0f);
+    EXPECT_FLOAT_EQ(patches.at(0, 8), 4.0f);
+}
+
+/** Adjointness: <im2col(x), P> == <x, col2im(P)> for all x, P — the
+ *  defining property that makes the backward pass correct. */
+TEST(Im2col, Col2imIsAdjoint)
+{
+    ConvSpec s;
+    s.inChannels = 2;
+    s.inHeight = 5;
+    s.inWidth = 4;
+    s.outChannels = 1;
+    s.kernel = 3;
+    s.stride = 2;
+    s.pad = 1;
+    ASSERT_TRUE(s.valid());
+
+    Rng rng(11);
+    const auto x = randomVector(s.inputSize(), rng);
+    Matrix p(s.positions(), s.patchSize());
+    for (auto &v : p.data())
+        v = static_cast<float>(rng.uniform(-1, 1));
+
+    Matrix patches;
+    im2col(s, x.data(), patches);
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < patches.size(); ++i)
+        lhs += static_cast<double>(patches.data()[i]) * p.data()[i];
+
+    std::vector<float> xt(s.inputSize(), 0.0f);
+    col2imAccumulate(s, p, xt.data());
+    double rhs = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        rhs += static_cast<double>(x[i]) * xt[i];
+
+    EXPECT_NEAR(lhs, rhs, 1e-4 * std::abs(lhs) + 1e-6);
+}
+
+struct ConvCase
+{
+    std::size_t inC, h, w, outC, k, stride, pad;
+};
+
+class ConvForwardSweep : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvForwardSweep, MatchesNaiveReference)
+{
+    const auto c = GetParam();
+    ConvSpec s;
+    s.inChannels = c.inC;
+    s.inHeight = c.h;
+    s.inWidth = c.w;
+    s.outChannels = c.outC;
+    s.kernel = c.k;
+    s.stride = c.stride;
+    s.pad = c.pad;
+    ASSERT_TRUE(s.valid());
+
+    Rng rng(101 + c.k + c.stride);
+    Conv2dLayer layer(s, rng);
+    const auto x = randomVector(s.inputSize(), rng);
+
+    std::vector<float> got(s.outputSize());
+    ConvScratch scratch;
+    layer.forward(x.data(), got.data(), scratch);
+
+    std::vector<float> want(s.outputSize());
+    referenceConv(s, x.data(), layer.weight(), layer.bias(), want.data());
+
+    for (std::size_t i = 0; i < want.size(); ++i)
+        EXPECT_NEAR(got[i], want[i], 1e-4f) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvForwardSweep,
+    ::testing::Values(ConvCase{1, 6, 6, 2, 3, 1, 0},
+                      ConvCase{1, 6, 6, 2, 3, 1, 1},
+                      ConvCase{2, 7, 5, 3, 3, 2, 1},
+                      ConvCase{3, 8, 8, 4, 5, 1, 2},
+                      ConvCase{2, 9, 9, 2, 4, 3, 0},
+                      ConvCase{1, 5, 5, 1, 5, 1, 0}),
+    [](const ::testing::TestParamInfo<ConvCase> &info) {
+        const auto &c = info.param;
+        return "c" + std::to_string(c.inC) + "x" + std::to_string(c.h) +
+               "x" + std::to_string(c.w) + "k" + std::to_string(c.k) +
+               "s" + std::to_string(c.stride) + "p" +
+               std::to_string(c.pad);
+    });
+
+class ConvGradientSweep : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvGradientSweep, MatchesNumericalGradients)
+{
+    const auto c = GetParam();
+    ConvSpec s;
+    s.inChannels = c.inC;
+    s.inHeight = c.h;
+    s.inWidth = c.w;
+    s.outChannels = c.outC;
+    s.kernel = c.k;
+    s.stride = c.stride;
+    s.pad = c.pad;
+    ASSERT_TRUE(s.valid());
+
+    Rng rng(31 + c.k);
+    Conv2dLayer layer(s, rng);
+    const auto x = randomVector(s.inputSize(), rng);
+    // Random linear functional of the output: L = sum g[i] out[i];
+    // then dL/dparam decomposes through backward with dy = g.
+    const auto g = randomVector(s.outputSize(), rng);
+
+    auto loss = [&](const float *input) {
+        ConvScratch scratch;
+        std::vector<float> out(s.outputSize());
+        layer.forward(input, out.data(), scratch);
+        double l = 0.0;
+        for (std::size_t i = 0; i < out.size(); ++i)
+            l += static_cast<double>(g[i]) * out[i];
+        return l;
+    };
+
+    ConvScratch scratch;
+    std::vector<float> out(s.outputSize());
+    layer.forward(x.data(), out.data(), scratch);
+    ConvGradients grads;
+    grads.resize(s);
+    grads.zero();
+    std::vector<float> dx(s.inputSize());
+    layer.backward(g.data(), scratch, grads, dx.data());
+
+    const float h = 1e-3f;
+    // Input gradient, spot-checked across the volume.
+    std::vector<float> xp(x);
+    for (std::size_t i = 0; i < x.size(); i += 7) {
+        xp[i] = x[i] + h;
+        const double up = loss(xp.data());
+        xp[i] = x[i] - h;
+        const double dn = loss(xp.data());
+        xp[i] = x[i];
+        EXPECT_NEAR(dx[i], (up - dn) / (2 * h), 2e-2f) << "dx at " << i;
+    }
+    // Weight gradient, spot-checked.
+    for (std::size_t i = 0; i < layer.weight().size(); i += 5) {
+        float &w = layer.weight().data()[i];
+        const float keep = w;
+        w = keep + h;
+        const double up = loss(x.data());
+        w = keep - h;
+        const double dn = loss(x.data());
+        w = keep;
+        EXPECT_NEAR(grads.weight.data()[i], (up - dn) / (2 * h), 2e-2f)
+            << "dw at " << i;
+    }
+    // Bias gradient.
+    for (std::size_t i = 0; i < layer.bias().size(); ++i) {
+        float &b = layer.bias()[i];
+        const float keep = b;
+        b = keep + h;
+        const double up = loss(x.data());
+        b = keep - h;
+        const double dn = loss(x.data());
+        b = keep;
+        EXPECT_NEAR(grads.bias[i], (up - dn) / (2 * h), 2e-2f)
+            << "db at " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGradientSweep,
+    ::testing::Values(ConvCase{1, 5, 5, 2, 3, 1, 1},
+                      ConvCase{2, 6, 4, 2, 3, 2, 1},
+                      ConvCase{2, 5, 5, 3, 2, 1, 0}),
+    [](const ::testing::TestParamInfo<ConvCase> &info) {
+        const auto &c = info.param;
+        return "c" + std::to_string(c.inC) + "k" + std::to_string(c.k) +
+               "s" + std::to_string(c.stride) + "p" +
+               std::to_string(c.pad);
+    });
+
+TEST(MaxPool, ForwardPicksWindowMaxima)
+{
+    PoolSpec s;
+    s.channels = 1;
+    s.inHeight = 4;
+    s.inWidth = 4;
+    s.window = 2;
+    s.stride = 2;
+    // clang-format off
+    const float x[16] = {1, 2, 5, 6,
+                         3, 4, 7, 8,
+                         1, 1, 0, 0,
+                         9, 1, 0, 2};
+    // clang-format on
+    MaxPool2dLayer pool(s);
+    PoolScratch scratch;
+    float out[4];
+    pool.forward(x, out, scratch);
+    EXPECT_FLOAT_EQ(out[0], 4.0f);
+    EXPECT_FLOAT_EQ(out[1], 8.0f);
+    EXPECT_FLOAT_EQ(out[2], 9.0f);
+    EXPECT_FLOAT_EQ(out[3], 2.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax)
+{
+    PoolSpec s;
+    s.channels = 1;
+    s.inHeight = 4;
+    s.inWidth = 4;
+    s.window = 2;
+    s.stride = 2;
+    const float x[16] = {1, 2, 5, 6, 3, 4, 7, 8,
+                         1, 1, 0, 0, 9, 1, 0, 2};
+    MaxPool2dLayer pool(s);
+    PoolScratch scratch;
+    float out[4];
+    pool.forward(x, out, scratch);
+
+    const float dy[4] = {10, 20, 30, 40};
+    float dx[16];
+    pool.backward(dy, scratch, dx);
+    EXPECT_FLOAT_EQ(dx[5], 10.0f);  // x=4 at (1,1)
+    EXPECT_FLOAT_EQ(dx[7], 20.0f);  // x=8 at (1,3)
+    EXPECT_FLOAT_EQ(dx[12], 30.0f); // x=9 at (3,0)
+    EXPECT_FLOAT_EQ(dx[15], 40.0f); // x=2 at (3,3)
+    float total = 0.0f;
+    for (float v : dx)
+        total += v;
+    EXPECT_FLOAT_EQ(total, 100.0f); // nothing lost or duplicated
+}
+
+TEST(MaxPool, OverlappingWindowsAccumulateGradient)
+{
+    PoolSpec s;
+    s.channels = 1;
+    s.inHeight = 3;
+    s.inWidth = 3;
+    s.window = 2;
+    s.stride = 1;
+    // Center element dominates every window.
+    const float x[9] = {0, 0, 0, 0, 5, 0, 0, 0, 0};
+    MaxPool2dLayer pool(s);
+    PoolScratch scratch;
+    float out[4];
+    pool.forward(x, out, scratch);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FLOAT_EQ(out[i], 5.0f);
+
+    const float dy[4] = {1, 1, 1, 1};
+    float dx[9];
+    pool.backward(dy, scratch, dx);
+    EXPECT_FLOAT_EQ(dx[4], 4.0f); // all four windows route here
+}
+
+TEST(MaxPool, TieBreaksToFirstScanned)
+{
+    PoolSpec s;
+    s.channels = 1;
+    s.inHeight = 2;
+    s.inWidth = 2;
+    s.window = 2;
+    s.stride = 2;
+    const float x[4] = {3, 3, 3, 3};
+    MaxPool2dLayer pool(s);
+    PoolScratch scratch;
+    float out[1];
+    pool.forward(x, out, scratch);
+    EXPECT_EQ(scratch.argmax[0], 0u);
+}
+
+TEST(MaxPool, MultiChannelPoolsIndependently)
+{
+    PoolSpec s;
+    s.channels = 2;
+    s.inHeight = 2;
+    s.inWidth = 2;
+    s.window = 2;
+    s.stride = 2;
+    const float x[8] = {1, 2, 3, 4, 8, 7, 6, 5};
+    MaxPool2dLayer pool(s);
+    PoolScratch scratch;
+    float out[2];
+    pool.forward(x, out, scratch);
+    EXPECT_FLOAT_EQ(out[0], 4.0f);
+    EXPECT_FLOAT_EQ(out[1], 8.0f);
+}
+
+namespace
+{
+
+/** Tiny 2-class image task: class 0 = horizontal bar, class 1 =
+ *  vertical bar, plus noise. Linearly non-trivial but conv-easy. */
+void
+makeBarImages(std::size_t count, std::size_t side, Rng &rng,
+              std::vector<float> &features, std::vector<int> &labels)
+{
+    features.assign(count * side * side, 0.0f);
+    labels.assign(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        const int label = static_cast<int>(rng.uniformInt(2));
+        labels[i] = label;
+        float *img = features.data() + i * side * side;
+        const std::size_t bar = rng.uniformInt(side);
+        for (std::size_t j = 0; j < side; ++j) {
+            if (label == 0)
+                img[bar * side + j] = 1.0f;
+            else
+                img[j * side + bar] = 1.0f;
+        }
+        for (std::size_t j = 0; j < side * side; ++j)
+            img[j] += static_cast<float>(rng.uniform(-0.1, 0.1));
+    }
+}
+
+} // namespace
+
+TEST(ConvNet, ParamRoundTrip)
+{
+    ConvNetConfig cfg;
+    cfg.imageHeight = 8;
+    cfg.imageWidth = 8;
+    cfg.blocks = {{4, 3, 1, 1, true, 2}};
+    cfg.denseHidden = {16};
+    cfg.numClasses = 3;
+    Rng rng(5);
+    ConvNet net(cfg, rng);
+
+    std::vector<float> params;
+    net.gatherParams(params);
+    EXPECT_EQ(params.size(), net.paramCount());
+
+    std::vector<float> mutated(params);
+    for (auto &p : mutated)
+        p += 0.25f;
+    net.scatterParams(mutated);
+    std::vector<float> back;
+    net.gatherParams(back);
+    for (std::size_t i = 0; i < params.size(); ++i)
+        EXPECT_FLOAT_EQ(back[i], params[i] + 0.25f);
+}
+
+TEST(ConvNet, ForwardIsDeterministic)
+{
+    ConvNetConfig cfg;
+    cfg.imageHeight = 8;
+    cfg.imageWidth = 8;
+    cfg.blocks = {{4, 3, 1, 1, true, 2}};
+    cfg.denseHidden = {8};
+    cfg.numClasses = 2;
+    Rng rng(6);
+    ConvNet net(cfg, rng);
+
+    Rng data_rng(7);
+    std::vector<float> x(net.inputDim());
+    for (auto &v : x)
+        v = static_cast<float>(data_rng.uniform(-1, 1));
+
+    ConvNetWorkspace ws = net.makeWorkspace();
+    std::vector<float> a(net.outputDim()), b(net.outputDim());
+    net.forward(x.data(), a.data(), ws);
+    net.forward(x.data(), b.data(), ws);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(ConvNet, FullNetworkGradientCheck)
+{
+    ConvNetConfig cfg;
+    cfg.imageHeight = 6;
+    cfg.imageWidth = 6;
+    cfg.blocks = {{2, 3, 1, 1, true, 2}};
+    cfg.denseHidden = {};
+    cfg.numClasses = 2;
+    Rng rng(17);
+    ConvNet net(cfg, rng);
+
+    Rng data_rng(18);
+    std::vector<float> x(net.inputDim());
+    for (auto &v : x)
+        v = static_cast<float>(data_rng.uniform(-1, 1));
+    const std::size_t target = 1;
+
+    ConvNetWorkspace ws = net.makeWorkspace();
+    net.zeroGrads(ws);
+    net.trainSample(x.data(), target, ws);
+    std::vector<float> grads;
+    net.gatherGrads(ws, grads);
+
+    std::vector<float> params;
+    net.gatherParams(params);
+    ASSERT_EQ(grads.size(), params.size());
+
+    auto loss_at = [&](const std::vector<float> &p) {
+        net.scatterParams(p);
+        std::vector<float> logits(net.outputDim());
+        ConvNetWorkspace w2 = net.makeWorkspace();
+        net.forward(x.data(), logits.data(), w2);
+        // softmaxCrossEntropy clobbers logits; replicate the loss.
+        float mx = logits[0];
+        for (float v : logits)
+            mx = std::max(mx, v);
+        double denom = 0.0;
+        for (float v : logits)
+            denom += std::exp(static_cast<double>(v - mx));
+        return -(logits[target] - mx - std::log(denom));
+    };
+
+    const float h = 1e-3f;
+    std::vector<float> probe(params);
+    for (std::size_t i = 0; i < params.size(); i += 11) {
+        probe[i] = params[i] + h;
+        const double up = loss_at(probe);
+        probe[i] = params[i] - h;
+        const double dn = loss_at(probe);
+        probe[i] = params[i];
+        EXPECT_NEAR(grads[i], (up - dn) / (2 * h), 5e-2f)
+            << "param " << i;
+    }
+    net.scatterParams(params);
+}
+
+TEST(ConvNet, LearnsBarOrientation)
+{
+    Rng rng(23);
+    std::vector<float> features;
+    std::vector<int> labels;
+    makeBarImages(160, 8, rng, features, labels);
+
+    ConvNetConfig cfg;
+    cfg.imageHeight = 8;
+    cfg.imageWidth = 8;
+    cfg.blocks = {{4, 3, 1, 1, true, 2}};
+    cfg.denseHidden = {16};
+    cfg.numClasses = 2;
+    Rng init(29);
+    ConvNet net(cfg, init);
+
+    DataView train;
+    train.count = 128;
+    train.dim = 64;
+    train.features = features.data();
+    train.labels = labels.data();
+    DataView test;
+    test.count = 32;
+    test.dim = 64;
+    test.features = features.data() + 128 * 64;
+    test.labels = labels.data() + 128;
+
+    TrainConfig tc;
+    tc.epochs = 12;
+    tc.batchSize = 16;
+    tc.learningRate = 5e-3f;
+    tc.seed = 31;
+    const auto history = trainConvNet(net, train, tc);
+
+    EXPECT_LT(history.trainLoss.back(), history.trainLoss.front());
+    EXPECT_GE(evaluateAccuracy(net, test), 0.9);
+}
+
+TEST(ConvNet, LenetLikeShapesCompose)
+{
+    const auto cfg = ConvNetConfig::lenetLike(10);
+    Rng rng(41);
+    ConvNet net(cfg, rng);
+    EXPECT_EQ(net.inputDim(), 784u);
+    EXPECT_EQ(net.outputDim(), 10u);
+    // 16 channels x 7 x 7 flatten into the first dense layer.
+    EXPECT_EQ(net.denseLayers().front().inDim(), 16u * 7 * 7);
+    ConvNetWorkspace ws = net.makeWorkspace();
+    std::vector<float> x(net.inputDim(), 0.5f);
+    std::vector<float> logits(10);
+    net.forward(x.data(), logits.data(), ws);
+    double sum = 0.0;
+    for (float v : logits)
+        sum += std::abs(v);
+    EXPECT_GT(sum, 0.0);
+}

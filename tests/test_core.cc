@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the VibnnSystem facade: the full train -> quantize ->
+ * simulate -> estimate flow a downstream user runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/vibnn.hh"
+#include "data/tabular.hh"
+
+using namespace vibnn;
+using namespace vibnn::core;
+
+namespace
+{
+
+data::Dataset
+smallDataset()
+{
+    auto spec = data::retinopathySpec(4242);
+    spec.trainCount = 220;
+    spec.testCount = 120;
+    return data::makeTabular(spec);
+}
+
+VibnnSystem
+smallSystem(const data::Dataset &ds, const std::string &grng = "rlf")
+{
+    bnn::BnnTrainConfig tc;
+    tc.epochs = 18;
+    tc.seed = 5;
+    accel::AcceleratorConfig ac;
+    ac.peSets = 2;
+    ac.pesPerSet = 8;
+    ac.mcSamples = 8;
+    return VibnnSystem::train(ds, {24, 24}, tc, ac, grng);
+}
+
+} // anonymous namespace
+
+TEST(VibnnSystem, TrainedSystemBeatsChance)
+{
+    const auto ds = smallDataset();
+    const auto sys = smallSystem(ds);
+    const double sw = sys.softwareAccuracy(ds.test.view(), 8, 11);
+    EXPECT_GT(sw, 0.55);
+}
+
+TEST(VibnnSystem, HardwareTracksSoftware)
+{
+    // Table 6/7's claim: the 8-bit hardware path loses very little
+    // accuracy relative to the float software BNN.
+    const auto ds = smallDataset();
+    const auto sys = smallSystem(ds);
+    const double sw = sys.softwareAccuracy(ds.test.view(), 8, 11);
+    const double hw = sys.hardwareAccuracy(ds.test.view());
+    EXPECT_GT(hw, sw - 0.08);
+}
+
+TEST(VibnnSystem, BothGrngsWork)
+{
+    const auto ds = smallDataset();
+    for (const std::string grng : {"rlf", "bnnwallace"}) {
+        const auto sys = smallSystem(ds, grng);
+        const double hw = sys.hardwareAccuracy(ds.test.view());
+        EXPECT_GT(hw, 0.5) << grng;
+    }
+}
+
+TEST(VibnnSystem, TimingSimulation)
+{
+    const auto ds = smallDataset();
+    const auto sys = smallSystem(ds);
+    const auto stats = sys.simulateTiming(ds.test.view(), 3);
+    EXPECT_EQ(stats.images, 3u);
+    EXPECT_GT(stats.totalCycles, 0u);
+    EXPECT_GT(stats.cyclesPerPass(), 0.0);
+}
+
+TEST(VibnnSystem, SimulatorAndFunctionalAgree)
+{
+    const auto ds = smallDataset();
+    const auto sys = smallSystem(ds);
+    auto sim = sys.makeSimulator();
+    auto fun = sys.makeFunctionalRunner();
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(sim->runPass(ds.test.sample(i)),
+                  fun->runPass(ds.test.sample(i)));
+    }
+}
+
+TEST(VibnnSystem, ResourceEstimateIsPopulated)
+{
+    const auto ds = smallDataset();
+    const auto sys = smallSystem(ds);
+    const auto estimate = sys.resourceEstimate();
+    EXPECT_GT(estimate.total().alms, 0.0);
+    EXPECT_GT(estimate.fmaxMhz, 0.0);
+    EXPECT_GT(estimate.powerMw, 0.0);
+
+    const auto perf = sys.performance(300.0);
+    EXPECT_GT(perf.imagesPerSecond, 0.0);
+    EXPECT_GT(perf.imagesPerJoule, 0.0);
+}
+
+TEST(VibnnSystem, QuantizedImageMatchesConfig)
+{
+    const auto ds = smallDataset();
+    const auto sys = smallSystem(ds);
+    EXPECT_EQ(sys.quantized().layers.size(), 3u);
+    EXPECT_EQ(sys.quantized().activationFormat.totalBits(),
+              sys.config().bits);
+}

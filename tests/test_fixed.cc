@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit and property tests for the fixed-point library — the numeric
+ * substrate of the bit-length study (Figure 18).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "fixed/fixed_point.hh"
+#include "fixed/quantize.hh"
+
+using namespace vibnn;
+using namespace vibnn::fixed;
+
+TEST(FixedFormat, BasicProperties)
+{
+    FixedPointFormat q84(8, 4);
+    EXPECT_EQ(q84.totalBits(), 8);
+    EXPECT_EQ(q84.fracBits(), 4);
+    EXPECT_EQ(q84.intBits(), 4);
+    EXPECT_EQ(q84.rawMax(), 127);
+    EXPECT_EQ(q84.rawMin(), -128);
+    EXPECT_DOUBLE_EQ(q84.resolution(), 0.0625);
+    EXPECT_DOUBLE_EQ(q84.realMax(), 7.9375);
+    EXPECT_DOUBLE_EQ(q84.realMin(), -8.0);
+    EXPECT_EQ(q84.name(), "Q8.4");
+}
+
+TEST(FixedFormat, RoundTripExactGridPoints)
+{
+    FixedPointFormat fmt(8, 4);
+    for (std::int64_t raw = fmt.rawMin(); raw <= fmt.rawMax(); ++raw) {
+        const double real = fmt.toReal(raw);
+        EXPECT_EQ(fmt.fromReal(real), raw);
+    }
+}
+
+TEST(FixedFormat, SaturationAtRails)
+{
+    FixedPointFormat fmt(8, 4);
+    EXPECT_EQ(fmt.fromReal(100.0), fmt.rawMax());
+    EXPECT_EQ(fmt.fromReal(-100.0), fmt.rawMin());
+    EXPECT_EQ(fmt.saturate(1000), fmt.rawMax());
+    EXPECT_EQ(fmt.saturate(-1000), fmt.rawMin());
+}
+
+TEST(FixedFormat, RoundingModes)
+{
+    FixedPointFormat fmt(8, 2); // resolution 0.25
+    EXPECT_EQ(fmt.fromReal(0.3, RoundMode::Nearest), 1);  // 0.25
+    EXPECT_EQ(fmt.fromReal(0.3, RoundMode::Floor), 1);
+    EXPECT_EQ(fmt.fromReal(0.38, RoundMode::Nearest), 2); // 0.5
+    EXPECT_EQ(fmt.fromReal(0.38, RoundMode::Floor), 1);
+    EXPECT_EQ(fmt.fromReal(-0.3, RoundMode::Floor), -2);  // floor(-1.2)
+    EXPECT_EQ(fmt.fromReal(-0.3, RoundMode::Nearest), -1);
+}
+
+TEST(FixedFormat, AddSubSaturate)
+{
+    FixedPointFormat fmt(8, 0);
+    EXPECT_EQ(fmt.add(100, 100), 127);
+    EXPECT_EQ(fmt.add(-100, -100), -128);
+    EXPECT_EQ(fmt.sub(-100, 100), -128);
+    EXPECT_EQ(fmt.add(50, 20), 70);
+}
+
+TEST(FixedFormat, MulMatchesRealArithmetic)
+{
+    FixedPointFormat fmt(16, 8);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const double a = rng.uniform(-10.0, 10.0);
+        const double b = rng.uniform(-10.0, 10.0);
+        const std::int64_t ra = fmt.fromReal(a);
+        const std::int64_t rb = fmt.fromReal(b);
+        const std::int64_t rp = fmt.mul(ra, rb, RoundMode::Floor);
+        const double exact = fmt.toReal(ra) * fmt.toReal(rb);
+        if (exact < fmt.realMax() && exact > fmt.realMin()) {
+            // Floor truncation: error in [-resolution, 0].
+            const double err = fmt.toReal(rp) - exact;
+            EXPECT_LE(err, 1e-12);
+            EXPECT_GE(err, -fmt.resolution() - 1e-12);
+        }
+    }
+}
+
+TEST(FixedFormat, MulNearestIsCloser)
+{
+    FixedPointFormat fmt(12, 6);
+    Rng rng(5);
+    double floor_err = 0.0, nearest_err = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t a = fmt.fromReal(rng.uniform(-5, 5));
+        const std::int64_t b = fmt.fromReal(rng.uniform(-5, 5));
+        const double exact = fmt.toReal(a) * fmt.toReal(b);
+        floor_err +=
+            std::fabs(fmt.toReal(fmt.mul(a, b, RoundMode::Floor)) - exact);
+        nearest_err += std::fabs(
+            fmt.toReal(fmt.mul(a, b, RoundMode::Nearest)) - exact);
+    }
+    EXPECT_LT(nearest_err, floor_err);
+}
+
+TEST(FixedValue, OperatorArithmetic)
+{
+    FixedPointFormat fmt(16, 8);
+    Fixed a(fmt, 1.5), b(fmt, 2.25);
+    EXPECT_DOUBLE_EQ((a + b).real(), 3.75);
+    EXPECT_DOUBLE_EQ((a - b).real(), -0.75);
+    EXPECT_NEAR((a * b).real(), 3.375, fmt.resolution());
+}
+
+/** Property sweep over all widths: quantization error bounded by half
+ *  resolution (nearest) and resolution (floor). */
+class FixedWidthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FixedWidthSweep, QuantizationErrorBounded)
+{
+    const int bits = GetParam();
+    FixedPointFormat fmt(bits, bits / 2);
+    Rng rng(bits);
+    for (int i = 0; i < 500; ++i) {
+        const double x =
+            rng.uniform(fmt.realMin() * 0.99, fmt.realMax() * 0.99);
+        const double qn = fmt.quantize(x, RoundMode::Nearest);
+        EXPECT_LE(std::fabs(qn - x), fmt.resolution() / 2 + 1e-12);
+        const double qf = fmt.quantize(x, RoundMode::Floor);
+        EXPECT_LE(x - qf, fmt.resolution() + 1e-12);
+        EXPECT_GE(x - qf, -1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, FixedWidthSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 10, 12, 16, 24,
+                                           32));
+
+TEST(Quantize, InPlaceAndRawRoundTrip)
+{
+    FixedPointFormat fmt(8, 4);
+    std::vector<float> values = {0.1f, -0.3f, 1.7f, 100.0f, -100.0f};
+    const auto raw = quantizeToRaw(values, fmt);
+    const auto back = dequantize(raw, fmt);
+    auto copy = values;
+    quantizeInPlace(copy, fmt);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        EXPECT_FLOAT_EQ(copy[i], back[i]);
+    EXPECT_FLOAT_EQ(back[3], static_cast<float>(fmt.realMax()));
+}
+
+TEST(Quantize, ErrorMetrics)
+{
+    FixedPointFormat fmt(8, 4);
+    std::vector<float> values;
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        values.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    const auto err = measureQuantizationError(values, fmt);
+    EXPECT_LE(err.maxAbs, fmt.resolution() / 2 + 1e-6);
+    EXPECT_GT(err.rms, 0.0);
+    EXPECT_EQ(err.saturationRate, 0.0);
+
+    values.push_back(1000.0f);
+    const auto err2 = measureQuantizationError(values, fmt);
+    EXPECT_GT(err2.saturationRate, 0.0);
+}
+
+TEST(Quantize, BestFracBitsPicksSensibly)
+{
+    // Data in [-0.5, 0.5]: more fraction bits always better until the
+    // range clips; best should be totalBits-1 for tiny data.
+    std::vector<float> small;
+    Rng rng(9);
+    for (int i = 0; i < 500; ++i)
+        small.push_back(static_cast<float>(rng.uniform(-0.4, 0.4)));
+    EXPECT_EQ(bestFracBits(small, 8), 7);
+
+    // Data spanning [-6, 6] needs at least 3 integer bits.
+    std::vector<float> wide;
+    for (int i = 0; i < 500; ++i)
+        wide.push_back(static_cast<float>(rng.uniform(-6.0, 6.0)));
+    EXPECT_LE(bestFracBits(wide, 8), 5);
+}

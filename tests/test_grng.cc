@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cross-cutting GRNG quality tests, parameterized over the generator
+ * registry: every design that claims to produce unit Gaussians must
+ * have the right moments; the continuous software baselines must pass
+ * distributional tests; and the known-bad configurations must fail the
+ * randomness tests they are supposed to fail.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grng/baselines.hh"
+#include "grng/clt_grng.hh"
+#include "grng/registry.hh"
+#include "grng/rlf_grng.hh"
+#include "stats/autocorr.hh"
+#include "stats/chi_square.hh"
+#include "stats/ks_test.hh"
+#include "stats/moments.hh"
+#include "stats/runs_test.hh"
+
+using namespace vibnn;
+using namespace vibnn::grng;
+
+namespace
+{
+
+std::vector<double>
+drawSamples(GaussianGenerator &gen, std::size_t count)
+{
+    std::vector<double> xs(count);
+    for (auto &x : xs)
+        x = gen.next();
+    return xs;
+}
+
+} // anonymous namespace
+
+/** Every generator in the registry targets N(0, 1). */
+class AllGenerators : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllGenerators, MomentsNearStandardNormal)
+{
+    auto gen = makeGenerator(GetParam(), 12345);
+    auto xs = drawSamples(*gen, 200000);
+    stats::RunningMoments m;
+    m.add(xs);
+    EXPECT_NEAR(m.mean(), 0.0, 0.08) << gen->name();
+    // The small-pool software Wallace is *expected* to carry its
+    // initial pool's sampling error in sigma (Table 1); the loose
+    // bound still catches real normalization bugs.
+    EXPECT_NEAR(m.stddev(), 1.0, 0.12) << gen->name();
+    EXPECT_NEAR(m.skewness(), 0.0, 0.15) << gen->name();
+    // Binomial/recombination designs have slightly light tails; the
+    // loose bound still catches gross errors.
+    EXPECT_NEAR(m.excessKurtosis(), 0.0, 0.5) << gen->name();
+}
+
+TEST_P(AllGenerators, DeterministicGivenSeed)
+{
+    auto a = makeGenerator(GetParam(), 777);
+    auto b = makeGenerator(GetParam(), 777);
+    for (int i = 0; i < 256; ++i)
+        ASSERT_DOUBLE_EQ(a->next(), b->next()) << a->name();
+}
+
+TEST_P(AllGenerators, FillMatchesNext)
+{
+    auto a = makeGenerator(GetParam(), 31);
+    auto b = makeGenerator(GetParam(), 31);
+    std::vector<double> filled(100);
+    a->fill(filled);
+    for (auto x : filled)
+        ASSERT_DOUBLE_EQ(x, b->next());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllGenerators,
+    ::testing::ValuesIn(generatorIds()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (auto &ch : name)
+            if (!std::isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+/** Continuous software baselines must pass shape tests outright. */
+class ContinuousBaselines : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ContinuousBaselines, PassesKsTest)
+{
+    auto gen = makeGenerator(GetParam(), 202);
+    auto xs = drawSamples(*gen, 50000);
+    EXPECT_GT(stats::ksTestStandardNormal(xs).pValue, 1e-3)
+        << gen->name();
+}
+
+TEST_P(ContinuousBaselines, PassesChiSquare)
+{
+    auto gen = makeGenerator(GetParam(), 203);
+    auto xs = drawSamples(*gen, 50000);
+    EXPECT_GT(stats::chiSquareGofNormal(xs, 32).pValue, 1e-3)
+        << gen->name();
+}
+
+TEST_P(ContinuousBaselines, PassesRunsTests)
+{
+    auto gen = makeGenerator(GetParam(), 204);
+    const double rate = stats::runsTestPassRate(
+        [&gen](std::vector<double> &buf) {
+            for (auto &x : buf)
+                x = gen->next();
+        },
+        5000, 40);
+    EXPECT_GT(rate, 0.75) << gen->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Software, ContinuousBaselines,
+                         ::testing::Values("box-muller", "polar",
+                                           "ziggurat", "cdf-inversion",
+                                           "reference", "wallace-1024",
+                                           "wallace-4096"));
+
+TEST(CltLfsr, RawStreamIsHeavilyCorrelated)
+{
+    // The motivation for everything in Section 4: a 1-step-per-sample
+    // CLT generator produces a popcount walk, not white noise.
+    CltLfsrGrng gen(128, 5, 1);
+    auto xs = drawSamples(gen, 20000);
+    EXPECT_GT(stats::autocorrelation(xs, 1), 0.9);
+    EXPECT_FALSE(stats::runsTest(xs).passed);
+}
+
+TEST(CltLfsr, ManyStepsDecorrelate)
+{
+    CltLfsrGrng gen(128, 5, 128); // full refresh between samples
+    auto xs = drawSamples(gen, 20000);
+    EXPECT_LT(std::fabs(stats::autocorrelation(xs, 1)), 0.05);
+}
+
+TEST(CltLfsr, CountMatchesBinomialMoments)
+{
+    CltLfsrGrng gen(64, 7, 16);
+    stats::RunningMoments m;
+    for (int i = 0; i < 50000; ++i)
+        m.add(static_cast<double>(gen.nextCount()));
+    EXPECT_NEAR(m.mean(), 32.0, 0.5);
+    EXPECT_NEAR(m.variance(), 16.0, 1.0);
+}
+
+TEST(CltLfsr, RejectsTooShortRegister)
+{
+    EXPECT_DEATH(CltLfsrGrng(16, 1), "equation");
+}
+
+TEST(RlfQuality, MuxImprovesSinglePortRuns)
+{
+    // The ablation claim behind the Figure 8 multiplexers: a single
+    // output port's stream fails the runs test badly without the
+    // rotation and improves dramatically with it.
+    auto collect_port0 = [](bool mux, std::size_t count) {
+        RlfGrngConfig config;
+        config.lanes = 4;
+        config.outputMux = mux;
+        config.seed = 55;
+        RlfGrng grng(config);
+        std::vector<double> port0;
+        std::vector<int> cycle;
+        for (std::size_t i = 0; i < count; ++i) {
+            grng.nextCycleCounts(cycle);
+            port0.push_back(grng.normalize(cycle[0]));
+        }
+        return port0;
+    };
+
+    const auto without = collect_port0(false, 4000);
+    const auto with = collect_port0(true, 4000);
+    const double ac_without = stats::autocorrelation(without, 1);
+    const double ac_with = stats::autocorrelation(with, 1);
+    EXPECT_GT(ac_without, 0.9);
+    EXPECT_LT(ac_with, 0.2);
+    EXPECT_FALSE(stats::runsTest(without).passed);
+}
+
+TEST(Registry, UnknownIdIsFatal)
+{
+    EXPECT_DEATH((void)makeGenerator("no-such-generator", 1),
+                 "unknown generator");
+}
+
+TEST(Registry, ListsAllIds)
+{
+    const auto ids = generatorIds();
+    EXPECT_GE(ids.size(), 12u);
+    for (const auto &id : ids) {
+        auto gen = makeGenerator(id, 1);
+        EXPECT_FALSE(gen->name().empty());
+    }
+}
+
+TEST(Ziggurat, TailSamplesExist)
+{
+    ZigguratGrng gen(606);
+    int beyond3 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        beyond3 += std::fabs(gen.next()) > 3.0;
+    // P(|Z| > 3) = 0.0027.
+    EXPECT_NEAR(static_cast<double>(beyond3) / n, 0.0027, 0.001);
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the GRNG hardware survey models: the comparison the paper
+ * makes qualitatively in Section 2.3 (CLT and Wallace are the cheap
+ * hardware families) must hold quantitatively in our cost models, and
+ * the models must scale sensibly with the task size.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hwmodel/cyclonev.hh"
+#include "hwmodel/grng_survey.hh"
+
+using namespace vibnn::hw;
+
+namespace
+{
+
+const GrngSurveyRow &
+findRow(const std::vector<GrngSurveyRow> &rows, const std::string &family)
+{
+    for (const auto &r : rows) {
+        if (r.family == family)
+            return r;
+    }
+    ADD_FAILURE() << "missing family " << family;
+    static GrngSurveyRow dummy;
+    return dummy;
+}
+
+} // namespace
+
+TEST(GrngSurvey, CoversAllFourFamilies)
+{
+    SurveyGrngConfig config;
+    const auto rows = grngSurvey(config);
+    ASSERT_EQ(rows.size(), 5u);
+    // Section 2.3's taxonomy, plus the CLT representative.
+    for (const char *family :
+         {"CDF inversion", "transformation", "rejection", "CLT",
+          "recursion"}) {
+        const auto &row = findRow(rows, family);
+        EXPECT_FALSE(row.design.empty());
+        EXPECT_GT(row.estimate.fmaxMhz, 0.0);
+        EXPECT_GT(row.estimate.powerMw, 0.0);
+        EXPECT_GT(row.samplesPerCycle, 0.0);
+    }
+}
+
+TEST(GrngSurvey, PaperFamiliesAreCheapestInLogic)
+{
+    SurveyGrngConfig config; // 64 lanes, the BNN task
+    const auto rows = grngSurvey(config);
+    const auto &rlf = findRow(rows, "CLT");
+    const auto &wallace = findRow(rows, "recursion");
+    const auto &icdf = findRow(rows, "CDF inversion");
+    const auto &bm = findRow(rows, "transformation");
+
+    // The paper's two designs beat both function-evaluation families
+    // on soft logic...
+    EXPECT_LT(rlf.estimate.total().alms, icdf.estimate.total().alms);
+    EXPECT_LT(rlf.estimate.total().alms, bm.estimate.total().alms);
+    EXPECT_LT(wallace.estimate.total().alms, icdf.estimate.total().alms);
+    EXPECT_LT(wallace.estimate.total().alms, bm.estimate.total().alms);
+    // ...and use no DSP multipliers at all, which the PE array needs
+    // exclusively (Table 4 shows 342/342 DSPs on the network).
+    EXPECT_EQ(rlf.estimate.total().dsps, 0);
+    EXPECT_EQ(wallace.estimate.total().dsps, 0);
+    EXPECT_GT(icdf.estimate.total().dsps, 0);
+    EXPECT_GT(bm.estimate.total().dsps, 0);
+}
+
+TEST(GrngSurvey, FunctionEvaluationFamiliesWouldStarveThePeArray)
+{
+    // At the 64-lane task size, the multiplier families alone consume
+    // a large share of the device's 342 DSPs — hardware that Table 4
+    // shows the PE array needs at 100%.
+    SurveyGrngConfig config;
+    const auto icdf = cdfInversionEstimate(config);
+    const auto bm = boxMullerEstimate(config);
+    EXPECT_GT(icdf.total().dsps, CycloneVDevice::totalDsps / 4);
+    EXPECT_GT(bm.total().dsps, CycloneVDevice::totalDsps / 4);
+}
+
+TEST(GrngSurvey, OnlyRejectionHasNonDeterministicRate)
+{
+    SurveyGrngConfig config;
+    const auto rows = grngSurvey(config);
+    for (const auto &row : rows) {
+        if (row.family == "rejection") {
+            EXPECT_FALSE(row.deterministicRate);
+            EXPECT_LT(row.samplesPerCycle,
+                      static_cast<double>(config.outputs));
+        } else {
+            EXPECT_TRUE(row.deterministicRate);
+            EXPECT_DOUBLE_EQ(row.samplesPerCycle,
+                             static_cast<double>(config.outputs));
+        }
+    }
+}
+
+TEST(GrngSurvey, CostsScaleWithLaneCount)
+{
+    SurveyGrngConfig small;
+    small.outputs = 16;
+    SurveyGrngConfig large;
+    large.outputs = 64;
+
+    for (auto *fn :
+         {&cdfInversionEstimate, &boxMullerEstimate, &zigguratEstimate}) {
+        const auto s = (*fn)(small).total();
+        const auto l = (*fn)(large).total();
+        EXPECT_GT(l.alms, s.alms);
+        EXPECT_GE(l.dsps, s.dsps);
+        EXPECT_GE(l.memoryBits, s.memoryBits);
+        // Roughly linear in lanes: 4x lanes should give >= 3x ALMs.
+        EXPECT_GT(l.alms, 3.0 * s.alms);
+    }
+}
+
+TEST(GrngSurvey, WiderDatapathCostsMore)
+{
+    SurveyGrngConfig narrow;
+    narrow.internalBits = 12;
+    SurveyGrngConfig wide;
+    wide.internalBits = 24;
+    EXPECT_GT(boxMullerEstimate(wide).total().alms,
+              boxMullerEstimate(narrow).total().alms);
+    EXPECT_GT(zigguratEstimate(wide).total().memoryBits,
+              zigguratEstimate(narrow).total().memoryBits);
+}
+
+TEST(GrngSurvey, EstimatesAreItemized)
+{
+    SurveyGrngConfig config;
+    for (const auto &row : grngSurvey(config)) {
+        EXPECT_GE(row.estimate.components.size(), 3u)
+            << row.design << " should be itemized";
+        // Totals must equal the component sum by construction.
+        ResourceEstimate sum;
+        for (const auto &c : row.estimate.components)
+            sum += c.resources;
+        EXPECT_DOUBLE_EQ(sum.alms, row.estimate.total().alms);
+        EXPECT_EQ(sum.memoryBits, row.estimate.total().memoryBits);
+    }
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the Cyclone V resource/power/frequency model: primitive
+ * sanity, block-RAM geometry, DSP packing, and — the reproduction
+ * anchors — proximity to the paper's Tables 2 and 4 for the calibrated
+ * configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwmodel/cyclonev.hh"
+#include "hwmodel/grng_hw.hh"
+#include "hwmodel/network_hw.hh"
+
+using namespace vibnn::hw;
+
+namespace
+{
+
+/** Relative-error helper for calibration checks. */
+double
+relErr(double modeled, double paper)
+{
+    return std::fabs(modeled - paper) / paper;
+}
+
+} // anonymous namespace
+
+TEST(Primitives, AdderScalesWithWidth)
+{
+    EXPECT_GT(adderAlms(16), adderAlms(8));
+    EXPECT_NEAR(adderAlms(8), 4.4, 0.5);
+}
+
+TEST(Primitives, ParallelCounterTracksFullAdders)
+{
+    // 127-input PC ~ 120 full adders (the paper's figure).
+    EXPECT_NEAR(parallelCounterAlms(127), 0.75 * 120 + 0.5 * 7, 1.0);
+    EXPECT_EQ(parallelCounterAlms(1), 0.0);
+}
+
+TEST(Primitives, MuxGrowsWithWays)
+{
+    EXPECT_GT(muxAlms(8, 8), muxAlms(8, 4));
+    EXPECT_EQ(muxAlms(8, 1), 0.0);
+}
+
+TEST(Primitives, BlockRamGeometry)
+{
+    // 255 x 64 needs two 40-bit stripes.
+    const auto r = blockRam(255, 64);
+    EXPECT_EQ(r.memoryBits, 255 * 64);
+    EXPECT_EQ(r.ramBlocks, 2);
+
+    // 4096 x 16: one stripe, 640 rows per block -> 7 blocks.
+    const auto r2 = blockRam(4096, 16);
+    EXPECT_EQ(r2.ramBlocks, 7);
+
+    // Tiny RAM still costs one block.
+    EXPECT_EQ(blockRam(16, 8).ramBlocks, 1);
+}
+
+TEST(Primitives, DspPacking)
+{
+    // Three 9x9 multipliers per DSP: 1024 multipliers -> 342 blocks,
+    // exactly the full device (Table 4's 100% DSP row).
+    EXPECT_EQ(dspBlocks(1024), 342);
+    EXPECT_EQ(dspBlocks(3), 1);
+    EXPECT_EQ(dspBlocks(4), 2);
+}
+
+TEST(Primitives, FmaxDecreasesWithDepth)
+{
+    EXPECT_GT(stageFmaxMhz(2, 8), stageFmaxMhz(3, 8));
+    EXPECT_GT(stageFmaxMhz(2, 8), stageFmaxMhz(2, 32));
+}
+
+TEST(Primitives, PowerMonotoneInResources)
+{
+    ResourceEstimate small;
+    small.alms = 100;
+    ResourceEstimate big;
+    big.alms = 10000;
+    big.ramBlocks = 100;
+    EXPECT_GT(powerMw(big, 100.0), powerMw(small, 100.0));
+    // Static floor at zero frequency.
+    EXPECT_NEAR(powerMw(big, 0.0), powerMw(small, 0.0), 1e-9);
+}
+
+TEST(Table2, RlfGrngNearPaper)
+{
+    // Paper Table 2, RLF-GRNG column: 831 ALMs, 1780 registers,
+    // 16,384 memory bits, 212.95 MHz, 528.69 mW.
+    RlfGrngHwConfig config;
+    const auto d = rlfGrngEstimate(config);
+    const auto t = d.total();
+    EXPECT_LT(relErr(t.alms, 831), 0.15);
+    EXPECT_LT(relErr(t.registers, 1780), 0.15);
+    EXPECT_LT(relErr(static_cast<double>(t.memoryBits), 16384), 0.05);
+    EXPECT_LT(relErr(d.fmaxMhz, 212.95), 0.05);
+    EXPECT_LT(relErr(d.powerMw, 528.69), 0.05);
+    EXPECT_EQ(t.dsps, 0);
+}
+
+TEST(Table2, BnnWallaceNearPaper)
+{
+    // Paper Table 2, BNNWallace column: 401 ALMs, 1166 registers,
+    // 1,048,576 bits, 103 blocks, 117.63 MHz, 560.25 mW.
+    BnnWallaceHwConfig config;
+    const auto d = bnnWallaceEstimate(config);
+    const auto t = d.total();
+    EXPECT_LT(relErr(t.alms, 401), 0.4);
+    EXPECT_LT(relErr(t.registers, 1166), 0.2);
+    EXPECT_EQ(t.memoryBits, 1048576);
+    EXPECT_LT(relErr(t.ramBlocks, 103), 0.15);
+    EXPECT_LT(relErr(d.fmaxMhz, 117.63), 0.05);
+    EXPECT_LT(relErr(d.powerMw, 560.25), 0.05);
+}
+
+TEST(Table2, RlfFasterAndLeanerMemory)
+{
+    // The comparison Table 3 summarizes: RLF has (much) lower memory
+    // and higher clock; Wallace has fewer ALMs.
+    const auto rlf = rlfGrngEstimate({});
+    const auto wal = bnnWallaceEstimate({});
+    EXPECT_GT(rlf.fmaxMhz, wal.fmaxMhz);
+    EXPECT_LT(rlf.total().memoryBits, wal.total().memoryBits / 10);
+    EXPECT_GT(rlf.total().alms, wal.total().alms);
+}
+
+TEST(Table4, FullNetworksNearPaper)
+{
+    // Paper Table 4: RLF-based 98,006 ALMs / 88,720 regs / 4,572,928
+    // bits; Wallace-based 91,126 / 78,800 / 4,880,128; both 342 DSPs.
+    NetworkHwConfig config;
+    config.grng = GrngKind::Rlf;
+    const auto rlf = networkEstimate(config);
+    config.grng = GrngKind::BnnWallace;
+    const auto wal = networkEstimate(config);
+
+    EXPECT_LT(relErr(rlf.total().alms, 98006), 0.10);
+    EXPECT_LT(relErr(wal.total().alms, 91126), 0.10);
+    EXPECT_LT(relErr(rlf.total().registers, 88720), 0.10);
+    EXPECT_LT(relErr(wal.total().registers, 78800), 0.10);
+    EXPECT_LT(
+        relErr(static_cast<double>(rlf.total().memoryBits), 4572928),
+        0.05);
+    EXPECT_LT(
+        relErr(static_cast<double>(wal.total().memoryBits), 4880128),
+        0.05);
+    EXPECT_EQ(rlf.total().dsps, 342);
+    EXPECT_EQ(wal.total().dsps, 342);
+
+    // RLF-based uses more ALMs than Wallace-based (GRNG difference).
+    EXPECT_GT(rlf.total().alms, wal.total().alms);
+}
+
+TEST(Table4, FitsOnDevice)
+{
+    for (auto kind : {GrngKind::Rlf, GrngKind::BnnWallace}) {
+        NetworkHwConfig config;
+        config.grng = kind;
+        const auto d = networkEstimate(config);
+        EXPECT_LE(d.total().alms, CycloneVDevice::totalAlms);
+        EXPECT_LE(d.total().memoryBits,
+                  CycloneVDevice::totalMemoryBits);
+        EXPECT_LE(d.total().ramBlocks, CycloneVDevice::totalRamBlocks);
+        EXPECT_LE(d.total().dsps, CycloneVDevice::totalDsps);
+    }
+}
+
+TEST(Table5, EnergyDirectionMatchesPaper)
+{
+    // Paper Table 5: same throughput for both designs; RLF-based more
+    // energy-efficient (52,694.8 vs 37,722.1 images/J).
+    NetworkHwConfig config;
+    config.grng = GrngKind::Rlf;
+    const auto rlf = networkEstimate(config);
+    config.grng = GrngKind::BnnWallace;
+    const auto wal = networkEstimate(config);
+
+    EXPECT_DOUBLE_EQ(rlf.fmaxMhz, wal.fmaxMhz); // shared system clock
+    EXPECT_LT(rlf.powerMw, wal.powerMw);
+
+    const auto perf_rlf = performanceFromCycles(rlf, 322);
+    const auto perf_wal = performanceFromCycles(wal, 322);
+    EXPECT_GT(perf_rlf.imagesPerJoule, perf_wal.imagesPerJoule);
+    // Same order of magnitude as the paper's 321,543 images/s.
+    EXPECT_GT(perf_rlf.imagesPerSecond, 1e5);
+    EXPECT_LT(perf_rlf.imagesPerSecond, 1e6);
+}
+
+TEST(PerfModel, Identities)
+{
+    NetworkHwConfig config;
+    const auto d = networkEstimate(config);
+    const auto p = performanceFromCycles(d, 500);
+    EXPECT_NEAR(p.imagesPerSecond, d.fmaxMhz * 1e6 / 500, 1e-6);
+    EXPECT_NEAR(p.imagesPerJoule,
+                p.imagesPerSecond / (d.powerMw / 1000.0), 1e-6);
+}
+
+TEST(Estimates, ComponentsSumToTotal)
+{
+    NetworkHwConfig config;
+    const auto d = networkEstimate(config);
+    ResourceEstimate manual;
+    for (const auto &c : d.components)
+        manual += c.resources;
+    EXPECT_DOUBLE_EQ(manual.alms, d.total().alms);
+    EXPECT_EQ(manual.memoryBits, d.total().memoryBits);
+    EXPECT_GE(d.components.size(), 6u); // itemized, not a blob
+}
+
+TEST(Estimates, ScaleWithParallelism)
+{
+    RlfGrngHwConfig small;
+    small.outputs = 16;
+    RlfGrngHwConfig large;
+    large.outputs = 256;
+    EXPECT_GT(rlfGrngEstimate(large).total().alms,
+              rlfGrngEstimate(small).total().alms * 8);
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the LFSR infrastructure: the Ward-Molteno tap table, the
+ * Fibonacci LFSR (maximal period on small widths), the circulating
+ * LFSR of the paper's Figure 3, and the parallel counter model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grng/lfsr.hh"
+#include "grng/parallel_counter.hh"
+
+using namespace vibnn::grng;
+
+TEST(TapTable, PaperTapsFor255)
+{
+    // Section 4.1.2: "The taps for the 255-bit linear feedback function
+    // are 250, 252, and 253."
+    const auto taps = maximalTaps(255);
+    EXPECT_EQ(taps, (std::vector<int>{250, 252, 253}));
+}
+
+TEST(TapTable, PaperTapsFor8)
+{
+    // Figure 3(a): "The taps for the 8-bit linear feedback function are
+    // 4, 5, and 6."
+    const auto taps = maximalTaps(8);
+    EXPECT_EQ(taps, (std::vector<int>{4, 5, 6}));
+}
+
+TEST(TapTable, KnownAndUnknownLengths)
+{
+    EXPECT_TRUE(hasMaximalTaps(128));
+    EXPECT_TRUE(hasMaximalTaps(2048));
+    EXPECT_FALSE(hasMaximalTaps(999));
+}
+
+/** Fibonacci LFSRs with maximal taps must have period 2^n - 1. */
+class LfsrPeriod : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LfsrPeriod, MaximalPeriod)
+{
+    const int n = GetParam();
+    Lfsr lfsr(n, 0xDEADBEEF);
+    const auto initial = lfsr.state();
+    const std::uint64_t period = (1ULL << n) - 1;
+    std::uint64_t steps = 0;
+    do {
+        lfsr.step();
+        ++steps;
+    } while (lfsr.state() != initial && steps <= period);
+    EXPECT_EQ(steps, period);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, LfsrPeriod,
+                         ::testing::Values(4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                           13, 14, 15, 16));
+
+TEST(Lfsr, NeverAllZero)
+{
+    Lfsr lfsr(8, 123);
+    for (int i = 0; i < 300; ++i) {
+        lfsr.step();
+        EXPECT_GT(lfsr.popcount(), 0);
+    }
+}
+
+TEST(Lfsr, NextBitsPacksOutput)
+{
+    Lfsr a(16, 77), b(16, 77);
+    std::uint64_t word = a.nextBits(16);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ((word >> i) & 1, static_cast<std::uint64_t>(b.step()));
+}
+
+TEST(Lfsr, BitsAreBalanced)
+{
+    Lfsr lfsr(32, 99);
+    int ones = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ones += lfsr.step();
+    EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.02);
+}
+
+TEST(ExpandSeedBits, NonZeroAndDeterministic)
+{
+    const auto a = expandSeedBits(255, 42);
+    const auto b = expandSeedBits(255, 42);
+    EXPECT_EQ(a, b);
+    int ones = 0;
+    for (auto bit : a)
+        ones += bit;
+    EXPECT_GT(ones, 0);
+    EXPECT_NEAR(ones, 127.5, 40.0); // roughly balanced
+}
+
+TEST(CirculatingLfsr, PopcountDeltaBoundedByTaps)
+{
+    auto seed = expandSeedBits(255, 7);
+    CirculatingLfsr circ(255, maximalTaps(255), seed);
+    int prev = circ.popcount();
+    for (int i = 0; i < 2000; ++i) {
+        circ.step();
+        const int now = circ.popcount();
+        // Section 4.1.2: with 3 taps the output summation changes by
+        // at most 3 per step.
+        EXPECT_LE(std::abs(now - prev), 3);
+        prev = now;
+    }
+}
+
+TEST(CirculatingLfsr, StateDoesNotDegenerate)
+{
+    auto seed = expandSeedBits(255, 11);
+    CirculatingLfsr circ(255, maximalTaps(255), seed);
+    for (int i = 0; i < 10000; ++i)
+        circ.step();
+    EXPECT_GT(circ.popcount(), 60);
+    EXPECT_LT(circ.popcount(), 195);
+}
+
+TEST(CirculatingLfsr, SmallWidthVisitsManyStates)
+{
+    auto seed = expandSeedBits(8, 3);
+    CirculatingLfsr circ(8, maximalTaps(8), seed);
+    std::set<std::vector<int>> states;
+    for (int i = 0; i < 600; ++i) {
+        std::vector<int> state(8);
+        for (int b = 0; b < 8; ++b)
+            state[b] = circ.bitFromHead(b);
+        states.insert(state);
+        circ.step();
+    }
+    EXPECT_GT(states.size(), 60u);
+}
+
+TEST(ParallelCounter, CountsOnes)
+{
+    ParallelCounter pc(8);
+    std::vector<std::uint8_t> bits = {1, 0, 1, 1, 0, 0, 1, 1};
+    EXPECT_EQ(pc.count(bits), 5);
+}
+
+TEST(ParallelCounter, PaperFullAdderFigure)
+{
+    // Section 4.1.1: "a 127-input PC requires 120 full adders".
+    ParallelCounter pc(127);
+    EXPECT_EQ(pc.fullAdders(), 120);
+    EXPECT_EQ(pc.outputBits(), 7);
+}
+
+TEST(ParallelCounter, OutputBitsCoverRange)
+{
+    EXPECT_EQ(ParallelCounter(1).outputBits(), 1);
+    EXPECT_EQ(ParallelCounter(3).outputBits(), 2);
+    EXPECT_EQ(ParallelCounter(255).outputBits(), 8);
+    EXPECT_EQ(ParallelCounter(256).outputBits(), 9);
+}
+
+TEST(ParallelCounter, DepthGrowsLogarithmically)
+{
+    EXPECT_LE(ParallelCounter(8).depth(), 4);
+    EXPECT_LE(ParallelCounter(255).depth(), 10);
+    EXPECT_GT(ParallelCounter(255).depth(),
+              ParallelCounter(8).depth() - 1);
+}

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for model serialization: bit-exact round trips for all three
+ * model kinds, prediction equivalence after reload, and failure
+ * injection — truncation, bit corruption, wrong magic, and cross-kind
+ * loads must all be rejected (never reach the accelerator).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "accel/config.hh"
+#include "bnn/bayesian_cnn.hh"
+#include "bnn/bayesian_mlp.hh"
+#include "common/rng.hh"
+#include "core/model_io.hh"
+
+using namespace vibnn;
+using namespace vibnn::core;
+
+namespace
+{
+
+/** Temp path helper; files are removed by each test. */
+std::string
+tempPath(const char *name)
+{
+    return std::string("/tmp/vibnn_model_io_") + name + ".bin";
+}
+
+std::vector<char>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bnn::BayesianMlp
+makeMlp()
+{
+    Rng rng(5);
+    return bnn::BayesianMlp({12, 8, 4}, rng);
+}
+
+} // namespace
+
+TEST(ModelIo, MlpRoundTripIsBitExact)
+{
+    const auto path = tempPath("mlp_rt");
+    auto net = makeMlp();
+    ASSERT_TRUE(saveBayesianMlp(net, path));
+
+    auto loaded = loadBayesianMlp(path);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->layerSizes(), net.layerSizes());
+
+    std::vector<float> a, b;
+    net.gatherParams(a);
+    loaded->gatherParams(b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "param " << i; // bit-exact
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, MlpPredictionsSurviveReload)
+{
+    const auto path = tempPath("mlp_pred");
+    auto net = makeMlp();
+    ASSERT_TRUE(saveBayesianMlp(net, path));
+    auto loaded = loadBayesianMlp(path);
+    ASSERT_NE(loaded, nullptr);
+
+    Rng data(7);
+    std::vector<float> x(net.inputDim());
+    for (auto &v : x)
+        v = static_cast<float>(data.uniform(-1, 1));
+    std::vector<float> la(net.outputDim()), lb(net.outputDim());
+    net.meanForward(x.data(), la.data());
+    loaded->meanForward(x.data(), lb.data());
+    for (std::size_t i = 0; i < la.size(); ++i)
+        EXPECT_EQ(la[i], lb[i]);
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, ConvNetRoundTripIsBitExact)
+{
+    const auto path = tempPath("bcnn_rt");
+    nn::ConvNetConfig cfg;
+    cfg.imageHeight = 8;
+    cfg.imageWidth = 8;
+    cfg.blocks = {{4, 3, 1, 1, true, 2}, {6, 3, 1, 1, false, 2}};
+    cfg.denseHidden = {16, 8};
+    cfg.numClasses = 3;
+    Rng rng(9);
+    bnn::BayesianConvNet net(cfg, rng);
+    ASSERT_TRUE(saveBayesianConvNet(net, path));
+
+    auto loaded = loadBayesianConvNet(path);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->config().blocks.size(), cfg.blocks.size());
+    EXPECT_EQ(loaded->config().denseHidden, cfg.denseHidden);
+    EXPECT_EQ(loaded->paramCount(), net.paramCount());
+
+    std::vector<float> a, b;
+    net.gatherParams(a);
+    loaded->gatherParams(b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+
+    // Mean predictions identical.
+    Rng data(11);
+    std::vector<float> x(net.inputDim());
+    for (auto &v : x)
+        v = static_cast<float>(data.uniform(0, 1));
+    auto wa = net.makeWorkspace();
+    auto wb = loaded->makeWorkspace();
+    std::vector<float> la(net.outputDim()), lb(net.outputDim());
+    net.meanForward(x.data(), la.data(), wa);
+    loaded->meanForward(x.data(), lb.data(), wb);
+    for (std::size_t i = 0; i < la.size(); ++i)
+        EXPECT_EQ(la[i], lb[i]);
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, QuantizedNetworkRoundTrip)
+{
+    const auto path = tempPath("quant_rt");
+    auto net = makeMlp();
+    accel::AcceleratorConfig config;
+    config.peSets = 2;
+    config.pesPerSet = 4;
+    const auto quantized = accel::quantizeNetwork(net, config);
+    ASSERT_TRUE(saveQuantizedNetwork(quantized, path));
+
+    auto loaded = loadQuantizedNetwork(path);
+    ASSERT_NE(loaded, nullptr);
+    ASSERT_EQ(loaded->layers.size(), quantized.layers.size());
+    for (std::size_t l = 0; l < quantized.layers.size(); ++l) {
+        EXPECT_EQ(loaded->layers[l].inDim, quantized.layers[l].inDim);
+        EXPECT_EQ(loaded->layers[l].muWeight,
+                  quantized.layers[l].muWeight);
+        EXPECT_EQ(loaded->layers[l].sigmaWeight,
+                  quantized.layers[l].sigmaWeight);
+        EXPECT_EQ(loaded->layers[l].muBias, quantized.layers[l].muBias);
+        EXPECT_EQ(loaded->layers[l].sigmaBias,
+                  quantized.layers[l].sigmaBias);
+    }
+    EXPECT_EQ(loaded->activationFormat.totalBits(),
+              quantized.activationFormat.totalBits());
+    EXPECT_EQ(loaded->weightFormat.fracBits(),
+              quantized.weightFormat.fracBits());
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, MissingFileReturnsNull)
+{
+    EXPECT_EQ(loadBayesianMlp("/tmp/vibnn_does_not_exist.bin"), nullptr);
+}
+
+TEST(ModelIo, TruncatedFileRejected)
+{
+    const auto path = tempPath("trunc");
+    auto net = makeMlp();
+    ASSERT_TRUE(saveBayesianMlp(net, path));
+    auto bytes = slurp(path);
+    // Chop the file at several points; every prefix must be rejected.
+    for (std::size_t keep :
+         {std::size_t(4), std::size_t(12), bytes.size() / 2,
+          bytes.size() - 1}) {
+        std::vector<char> cut(bytes.begin(),
+                              bytes.begin() +
+                                  static_cast<std::ptrdiff_t>(keep));
+        spit(path, cut);
+        EXPECT_EQ(loadBayesianMlp(path), nullptr) << "kept " << keep;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, BitCorruptionRejectedByChecksum)
+{
+    const auto path = tempPath("corrupt");
+    auto net = makeMlp();
+    ASSERT_TRUE(saveBayesianMlp(net, path));
+    auto bytes = slurp(path);
+    // Flip one bit in the middle of the parameter payload.
+    bytes[bytes.size() / 2] ^= 0x10;
+    spit(path, bytes);
+    EXPECT_EQ(loadBayesianMlp(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, WrongMagicRejected)
+{
+    const auto path = tempPath("magic");
+    auto net = makeMlp();
+    ASSERT_TRUE(saveBayesianMlp(net, path));
+    auto bytes = slurp(path);
+    bytes[0] = 'X';
+    spit(path, bytes);
+    EXPECT_EQ(loadBayesianMlp(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, CrossKindLoadRejected)
+{
+    const auto path = tempPath("kind");
+    auto net = makeMlp();
+    ASSERT_TRUE(saveBayesianMlp(net, path));
+    // An MLP image is not a ConvNet image nor a quantized image.
+    EXPECT_EQ(loadBayesianConvNet(path), nullptr);
+    EXPECT_EQ(loadQuantizedNetwork(path), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, TrailerCorruptionRejected)
+{
+    const auto path = tempPath("trailer");
+    auto net = makeMlp();
+    ASSERT_TRUE(saveBayesianMlp(net, path));
+    auto bytes = slurp(path);
+    bytes.back() ^= 0x01; // flip a checksum bit
+    spit(path, bytes);
+    EXPECT_EQ(loadBayesianMlp(path), nullptr);
+    std::remove(path.c_str());
+}

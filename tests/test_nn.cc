@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the conventional-NN substrate: tensor kernels, dense layer
+ * gradients (against numerical differentiation), activations, loss,
+ * optimizers and end-to-end training convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/activations.hh"
+#include "nn/dense.hh"
+#include "nn/loss.hh"
+#include "nn/mlp.hh"
+#include "nn/optimizer.hh"
+#include "nn/tensor.hh"
+#include "nn/trainer.hh"
+
+using namespace vibnn;
+using namespace vibnn::nn;
+
+TEST(Tensor, MatVec)
+{
+    Matrix w(2, 3);
+    w.at(0, 0) = 1;
+    w.at(0, 1) = 2;
+    w.at(0, 2) = 3;
+    w.at(1, 0) = -1;
+    w.at(1, 1) = 0;
+    w.at(1, 2) = 1;
+    const float x[3] = {1, 1, 2};
+    const float b[2] = {0.5f, -0.5f};
+    float out[2];
+    matVec(w, x, b, out);
+    EXPECT_FLOAT_EQ(out[0], 9.5f);
+    EXPECT_FLOAT_EQ(out[1], 0.5f);
+}
+
+TEST(Tensor, MatTVecIsTranspose)
+{
+    Matrix w(2, 3);
+    Rng rng(1);
+    for (auto &v : w.data())
+        v = static_cast<float>(rng.uniform(-1, 1));
+    const float dy[2] = {0.7f, -0.3f};
+    float dx[3];
+    matTVec(w, dy, dx);
+    for (int c = 0; c < 3; ++c) {
+        EXPECT_NEAR(dx[c], w.at(0, c) * dy[0] + w.at(1, c) * dy[1],
+                    1e-6f);
+    }
+}
+
+TEST(Tensor, RankOneUpdate)
+{
+    Matrix w(2, 2);
+    const float dy[2] = {1.0f, 2.0f};
+    const float x[2] = {3.0f, 4.0f};
+    rankOneUpdate(w, 0.5f, dy, x);
+    EXPECT_FLOAT_EQ(w.at(0, 0), 1.5f);
+    EXPECT_FLOAT_EQ(w.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, Argmax)
+{
+    const float v[5] = {0.1f, 0.9f, 0.3f, 0.9f, 0.0f};
+    EXPECT_EQ(argmax(v, 5), 1u); // first on ties
+}
+
+TEST(Activations, ReluForwardBackward)
+{
+    float v[4] = {-1.0f, 0.0f, 2.0f, -0.5f};
+    float pre[4];
+    std::copy(v, v + 4, pre);
+    reluForward(v, 4);
+    EXPECT_FLOAT_EQ(v[0], 0.0f);
+    EXPECT_FLOAT_EQ(v[2], 2.0f);
+    const float dy[4] = {1, 1, 1, 1};
+    float dx[4];
+    reluBackward(pre, dy, dx, 4);
+    EXPECT_FLOAT_EQ(dx[0], 0.0f);
+    EXPECT_FLOAT_EQ(dx[2], 1.0f);
+}
+
+TEST(Activations, SoftmaxNormalizes)
+{
+    float v[3] = {1.0f, 2.0f, 3.0f};
+    softmax(v, 3);
+    EXPECT_NEAR(v[0] + v[1] + v[2], 1.0f, 1e-6f);
+    EXPECT_GT(v[2], v[1]);
+    // Stability with huge logits.
+    float big[2] = {1000.0f, 1001.0f};
+    softmax(big, 2);
+    EXPECT_NEAR(big[0] + big[1], 1.0f, 1e-6f);
+}
+
+TEST(Activations, SoftplusAndLogistic)
+{
+    EXPECT_NEAR(softplus(0.0f), std::log(2.0f), 1e-6f);
+    EXPECT_NEAR(softplus(30.0f), 30.0f, 1e-4f);
+    EXPECT_NEAR(softplus(-30.0f), 0.0f, 1e-6f);
+    EXPECT_NEAR(logistic(0.0f), 0.5f, 1e-7f);
+    // logistic is the derivative of softplus.
+    const float h = 1e-3f;
+    for (float x : {-2.0f, -0.5f, 0.3f, 1.7f}) {
+        const float numeric = (softplus(x + h) - softplus(x - h)) /
+            (2.0f * h);
+        EXPECT_NEAR(logistic(x), numeric, 1e-3f);
+    }
+}
+
+TEST(Loss, CrossEntropyGradient)
+{
+    float logits[4] = {0.2f, -0.4f, 1.1f, 0.3f};
+    float grad[4];
+    const double loss = softmaxCrossEntropy(logits, 4, 2, grad);
+    EXPECT_GT(loss, 0.0);
+    // Gradient sums to zero (softmax simplex constraint).
+    EXPECT_NEAR(grad[0] + grad[1] + grad[2] + grad[3], 0.0f, 1e-6f);
+    EXPECT_LT(grad[2], 0.0f); // target gradient negative
+}
+
+TEST(Dense, GradientsMatchNumerical)
+{
+    Rng rng(5);
+    DenseLayer layer(4, 3, rng);
+    const float x[4] = {0.5f, -0.3f, 0.8f, 0.1f};
+
+    // Loss = sum of squares of outputs / 2; dL/dy = y.
+    auto loss_of = [&]() {
+        float out[3];
+        layer.forward(x, out);
+        float l = 0;
+        for (float v : out)
+            l += v * v * 0.5f;
+        return l;
+    };
+
+    float out[3];
+    layer.forward(x, out);
+    DenseGradients grads;
+    grads.resize(3, 4);
+    grads.zero();
+    float dx[4];
+    layer.backward(x, out, grads, dx);
+
+    const float h = 1e-3f;
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            const float saved = layer.weight().at(r, c);
+            layer.weight().at(r, c) = saved + h;
+            const float up = loss_of();
+            layer.weight().at(r, c) = saved - h;
+            const float down = loss_of();
+            layer.weight().at(r, c) = saved;
+            EXPECT_NEAR(grads.weight.at(r, c), (up - down) / (2 * h),
+                        2e-2f);
+        }
+    }
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic)
+{
+    // Minimize f(p) = (p - 3)^2.
+    float p = 0.0f;
+    SgdOptimizer opt(0.1f, 0.9f);
+    for (int i = 0; i < 200; ++i) {
+        const float g = 2.0f * (p - 3.0f);
+        opt.step(&p, &g, 1);
+    }
+    EXPECT_NEAR(p, 3.0f, 1e-3f);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic)
+{
+    float p[2] = {-4.0f, 7.0f};
+    AdamOptimizer opt(0.05f);
+    for (int i = 0; i < 2000; ++i) {
+        const float g[2] = {2.0f * (p[0] - 1.0f), 2.0f * (p[1] + 2.0f)};
+        opt.step(p, g, 2);
+    }
+    EXPECT_NEAR(p[0], 1.0f, 1e-2f);
+    EXPECT_NEAR(p[1], -2.0f, 1e-2f);
+}
+
+TEST(Mlp, ParamRoundTrip)
+{
+    Rng rng(7);
+    Mlp net({4, 8, 3}, rng);
+    std::vector<float> flat;
+    net.gatherParams(flat);
+    EXPECT_EQ(flat.size(), net.paramCount());
+    EXPECT_EQ(flat.size(), 4u * 8 + 8 + 8 * 3 + 3);
+    auto modified = flat;
+    for (auto &v : modified)
+        v += 1.0f;
+    net.scatterParams(modified);
+    std::vector<float> back;
+    net.gatherParams(back);
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        EXPECT_FLOAT_EQ(back[i], flat[i] + 1.0f);
+}
+
+TEST(Mlp, LearnsXor)
+{
+    Rng rng(11);
+    Mlp net({2, 8, 2}, rng);
+    std::vector<float> features = {0, 0, 0, 1, 1, 0, 1, 1};
+    std::vector<int> labels = {0, 1, 1, 0};
+    DataView view{4, 2, features.data(), labels.data()};
+
+    TrainConfig config;
+    config.epochs = 300;
+    config.batchSize = 4;
+    config.learningRate = 0.02f;
+    config.seed = 3;
+    trainMlp(net, view, config);
+    EXPECT_EQ(evaluateAccuracy(net, view), 1.0);
+}
+
+TEST(Mlp, DropoutStillLearns)
+{
+    Rng rng(13);
+    Mlp net({2, 32, 2}, rng, 0.3f);
+    std::vector<float> features = {0, 0, 0, 1, 1, 0, 1, 1};
+    std::vector<int> labels = {0, 1, 1, 0};
+    DataView view{4, 2, features.data(), labels.data()};
+
+    TrainConfig config;
+    config.epochs = 600;
+    config.batchSize = 4;
+    config.learningRate = 0.02f;
+    config.seed = 5;
+    trainMlp(net, view, config);
+    EXPECT_GE(evaluateAccuracy(net, view), 0.75);
+}
+
+TEST(Mlp, TrainingReducesLoss)
+{
+    Rng rng(17);
+    Mlp net({8, 16, 4}, rng);
+
+    // Linearly separable blobs.
+    Rng data_rng(19);
+    std::vector<float> features;
+    std::vector<int> labels;
+    for (int i = 0; i < 400; ++i) {
+        const int cls = i % 4;
+        for (int d = 0; d < 8; ++d) {
+            features.push_back(
+                static_cast<float>(data_rng.gaussian() * 0.3 +
+                                   (d == cls ? 2.0 : 0.0)));
+        }
+        labels.push_back(cls);
+    }
+    DataView view{400, 8, features.data(), labels.data()};
+
+    TrainConfig config;
+    config.epochs = 30;
+    config.learningRate = 3e-3f;
+    config.seed = 7;
+    const auto history = trainMlp(net, view, config);
+    EXPECT_LT(history.trainLoss.back(), history.trainLoss.front() * 0.5);
+    EXPECT_GT(evaluateAccuracy(net, view), 0.95);
+}

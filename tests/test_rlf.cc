@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the RLF logic — the heart of the RLF-GRNG contribution.
+ *
+ * The load-bearing equivalences:
+ *  1. RlfLogic in Single mode == the circulating LFSR with physically
+ *     shifting registers (the RLF is "the same function in RAM").
+ *  2. RlfLogic in Combined mode == two Single steps (equation (12) is
+ *     exactly two fused applications of equation (11)).
+ *  3. RlfLogicMicro (3-bank RAM + buffer register + indexer) ==
+ *     RlfLogic Combined, bit for bit, with the 2-port budget honored.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grng/lfsr.hh"
+#include "grng/rlf.hh"
+#include "grng/rlf_grng.hh"
+
+using namespace vibnn::grng;
+
+TEST(RlfLogic, SumEqualsPopcountInitially)
+{
+    auto seed = expandSeedBits(255, 3);
+    int expected = 0;
+    for (auto b : seed)
+        expected += b;
+    RlfLogic rlf(255, seed);
+    EXPECT_EQ(rlf.sum(), expected);
+}
+
+TEST(RlfLogic, SingleModeMatchesCirculatingLfsr)
+{
+    auto seed = expandSeedBits(255, 17);
+    RlfLogic rlf(255, seed, RlfUpdateMode::Single);
+    CirculatingLfsr circ(255, maximalTaps(255), seed);
+
+    for (int step = 0; step < 3000; ++step) {
+        rlf.step();
+        circ.step();
+        ASSERT_EQ(rlf.sum(), circ.popcount()) << "step " << step;
+        // Spot-check a few bit positions relative to the head.
+        for (int offset : {0, 1, 100, 250, 254}) {
+            ASSERT_EQ(rlf.bitFromHead(offset), circ.bitFromHead(offset))
+                << "step " << step << " offset " << offset;
+        }
+    }
+}
+
+TEST(RlfLogic, CombinedEqualsTwoSingleSteps)
+{
+    auto seed = expandSeedBits(255, 23);
+    RlfLogic combined(255, seed, RlfUpdateMode::Combined);
+    RlfLogic single(255, seed, RlfUpdateMode::Single);
+
+    for (int step = 0; step < 2000; ++step) {
+        combined.step();
+        single.step();
+        single.step();
+        ASSERT_EQ(combined.sum(), single.sum()) << "step " << step;
+        ASSERT_EQ(combined.head(), single.head()) << "step " << step;
+        for (int offset : {0, 3, 128, 251, 254}) {
+            ASSERT_EQ(combined.bitFromHead(offset),
+                      single.bitFromHead(offset))
+                << "step " << step << " offset " << offset;
+        }
+    }
+}
+
+TEST(RlfLogic, CombinedDeltaBoundedByFive)
+{
+    // Section 4.1.2: combining two updates raises the maximum
+    // cycle-to-cycle output difference from three to five.
+    auto seed = expandSeedBits(255, 29);
+    RlfLogic rlf(255, seed, RlfUpdateMode::Combined);
+    EXPECT_EQ(rlf.maxStepDelta(), 5);
+    int prev = rlf.sum();
+    int peak = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const int now = rlf.step();
+        peak = std::max(peak, std::abs(now - prev));
+        prev = now;
+    }
+    EXPECT_LE(peak, 5);
+    EXPECT_GE(peak, 4); // the bound is actually approached
+}
+
+TEST(RlfLogic, SingleDeltaBoundedByThree)
+{
+    auto seed = expandSeedBits(255, 31);
+    RlfLogic rlf(255, seed, RlfUpdateMode::Single);
+    EXPECT_EQ(rlf.maxStepDelta(), 3);
+    int prev = rlf.sum();
+    for (int i = 0; i < 5000; ++i) {
+        const int now = rlf.step();
+        ASSERT_LE(std::abs(now - prev), 3);
+        prev = now;
+    }
+}
+
+TEST(RlfLogicMicro, MatchesFunctionalModel)
+{
+    auto seed = expandSeedBits(255, 37);
+    RlfLogic functional(255, seed, RlfUpdateMode::Combined);
+    RlfLogicMicro micro(255, seed);
+
+    EXPECT_EQ(micro.sum(), functional.sum());
+    for (int step = 0; step < 20000; ++step) {
+        const int a = functional.step();
+        const int b = micro.step();
+        ASSERT_EQ(a, b) << "diverged at step " << step;
+    }
+}
+
+TEST(RlfLogicMicro, TwoPortBudgetHonored)
+{
+    auto seed = expandSeedBits(255, 41);
+    RlfLogicMicro micro(255, seed);
+    for (int i = 0; i < 10000; ++i)
+        micro.step();
+    // <= 1 read + 1 write per bank per cycle; peak combined ops 2.
+    EXPECT_LE(micro.peakBankOps(), 2);
+    // Exactly 2 reads + 2 writes per iteration.
+    EXPECT_EQ(micro.ramReads(), 20000u);
+    EXPECT_EQ(micro.ramWrites(), 20000u);
+}
+
+TEST(RlfLogicMicro, RejectsUnbankableLength)
+{
+    // 256 is not divisible by 3 and lacks the {n-5,n-3,n-2} taps.
+    auto seed = expandSeedBits(256, 1);
+    EXPECT_DEATH(RlfLogicMicro(256, seed), "micro model|divisible");
+}
+
+TEST(RlfGrng, CountsInRange)
+{
+    RlfGrngConfig config;
+    config.lanes = 8;
+    config.seed = 5;
+    RlfGrng grng(config);
+    for (int i = 0; i < 10000; ++i) {
+        const int count = grng.nextCount();
+        ASSERT_GE(count, 0);
+        ASSERT_LE(count, 255);
+    }
+}
+
+TEST(RlfGrng, BalancedSeedsStartAtMode)
+{
+    RlfGrngConfig config;
+    config.lanes = 4;
+    config.seed = 9;
+    RlfGrng grng(config);
+    std::vector<int> counts;
+    grng.nextCycleCounts(counts);
+    // After one step from a balanced seed the sum is within 5 of the
+    // binomial mode 127/128.
+    for (int c : counts) {
+        EXPECT_GE(c, 120);
+        EXPECT_LE(c, 135);
+    }
+}
+
+TEST(RlfGrng, MuxRotatesLanesAcrossPorts)
+{
+    RlfGrngConfig config;
+    config.lanes = 4;
+    config.seed = 11;
+    config.outputMux = true;
+    RlfGrng with_mux(config);
+    config.outputMux = false;
+    RlfGrng no_mux(config);
+
+    // With rotation, port 0 must see a different lane each cycle: over
+    // 4 cycles, port 0's values must equal the no-mux values of lanes
+    // (0+c)%4 stepping in lockstep.
+    std::vector<int> muxed, plain;
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        std::vector<int> a, b;
+        with_mux.nextCycleCounts(a);
+        no_mux.nextCycleCounts(b);
+        muxed.push_back(a[0]);
+        plain.push_back(b[cycle % 4]);
+    }
+    EXPECT_EQ(muxed, plain);
+}
+
+TEST(RlfGrng, NormalizationTargetsUnitGaussian)
+{
+    RlfGrngConfig config;
+    config.lanes = 16;
+    config.seed = 13;
+    RlfGrng grng(config);
+    double sum = 0.0, sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = grng.next();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.06);
+    EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(RlfGrng, DeterministicGivenSeed)
+{
+    RlfGrngConfig config;
+    config.seed = 99;
+    RlfGrng a(config), b(config);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_DOUBLE_EQ(a.next(), b.next());
+}
