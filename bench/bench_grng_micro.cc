@@ -29,6 +29,25 @@ BM_Generator(benchmark::State &state, const std::string &id)
 }
 
 void
+BM_GeneratorFill(benchmark::State &state, const std::string &id)
+{
+    // Block API: one virtual call per 4096 samples, devirtualized and
+    // cache-friendly inner loops. Compare items/sec against the
+    // BM_Generator scalar rows — the ratio is the hot-path win the
+    // weight generator's eps ring inherits.
+    auto gen = makeGenerator(id, 42);
+    std::vector<double> block(4096);
+    for (auto _ : state) {
+        gen->fill(block.data(), block.size());
+        benchmark::DoNotOptimize(block.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(block.size()));
+}
+
+void
 BM_RlfMicroModel(benchmark::State &state)
 {
     RlfLogicMicro micro(255, expandSeedBits(255, 7));
@@ -46,10 +65,21 @@ BENCHMARK_CAPTURE(BM_Generator, bnnwallace, std::string("bnnwallace"));
 BENCHMARK_CAPTURE(BM_Generator, wallace_nss, std::string("wallace-nss"));
 BENCHMARK_CAPTURE(BM_Generator, wallace_sw_1024,
                   std::string("wallace-1024"));
+BENCHMARK_CAPTURE(BM_Generator, wallace_sw_4096,
+                  std::string("wallace-4096"));
 BENCHMARK_CAPTURE(BM_Generator, clt_lfsr, std::string("clt-lfsr"));
 BENCHMARK_CAPTURE(BM_Generator, box_muller, std::string("box-muller"));
 BENCHMARK_CAPTURE(BM_Generator, polar, std::string("polar"));
 BENCHMARK_CAPTURE(BM_Generator, ziggurat, std::string("ziggurat"));
 BENCHMARK_CAPTURE(BM_Generator, cdf_inversion,
                   std::string("cdf-inversion"));
+BENCHMARK_CAPTURE(BM_GeneratorFill, rlf, std::string("rlf"));
+BENCHMARK_CAPTURE(BM_GeneratorFill, bnnwallace, std::string("bnnwallace"));
+BENCHMARK_CAPTURE(BM_GeneratorFill, wallace_sw_1024,
+                  std::string("wallace-1024"));
+BENCHMARK_CAPTURE(BM_GeneratorFill, wallace_sw_4096,
+                  std::string("wallace-4096"));
+BENCHMARK_CAPTURE(BM_GeneratorFill, clt_lfsr, std::string("clt-lfsr"));
+BENCHMARK_CAPTURE(BM_GeneratorFill, box_muller,
+                  std::string("box-muller"));
 BENCHMARK(BM_RlfMicroModel);

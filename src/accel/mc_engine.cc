@@ -1,0 +1,183 @@
+#include "accel/mc_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "grng/registry.hh"
+#include "nn/activations.hh"
+#include "nn/tensor.hh"
+
+namespace vibnn::accel
+{
+
+McEngine::McEngine(const QuantizedNetwork &network,
+                   const AcceleratorConfig &config,
+                   const McEngineConfig &mc)
+    : network_(network), config_(config), mc_(mc)
+{
+    config_.validate(network_.layerSizes());
+    VIBNN_ASSERT(config_.mcSamples >= 1, "need at least one MC sample");
+
+    if (mc_.threads == 0) {
+        executors_ = ThreadPool::global().workerCount() + 1;
+    } else {
+        executors_ = mc_.threads;
+        if (mc_.threads > 1)
+            ownPool_ = std::make_unique<ThreadPool>(mc_.threads - 1);
+    }
+}
+
+McEngine::~McEngine() = default;
+
+std::uint64_t
+McEngine::streamSeed(std::uint64_t seed_base, std::uint64_t image,
+                     std::uint64_t sample)
+{
+    // splitmix64 over a linear combination of the unit coordinates:
+    // distinct (image, sample) pairs land on decorrelated streams, and
+    // the mapping is schedule-free — it depends only on the unit.
+    std::uint64_t state = seed_base +
+        0x9E3779B97F4A7C15ULL * (image + 1) +
+        0xBF58476D1CE4E5B9ULL * (sample + 1);
+    return splitmix64Next(state);
+}
+
+void
+McEngine::ensureReplicas(std::size_t n)
+{
+    while (replicas_.size() < n) {
+        Replica replica;
+        // Placeholder stream; every unit swaps in its own before use.
+        replica.idleGenerator =
+            grng::makeGenerator(mc_.generatorId, mc_.seedBase);
+        replica.simulator = std::make_unique<Simulator>(
+            network_, config_, replica.idleGenerator.get());
+        replicas_.push_back(std::move(replica));
+    }
+}
+
+std::vector<std::int64_t>
+McEngine::runUnit(Replica &replica, const float *x, std::uint64_t image,
+                  std::uint64_t sample)
+{
+    auto generator = grng::makeGenerator(
+        mc_.generatorId, streamSeed(mc_.seedBase, image, sample));
+    replica.simulator->setGenerator(generator.get());
+    auto raw = replica.simulator->runPass(x);
+    // Leave the replica pointing at its own long-lived stream before
+    // the unit's generator goes out of scope.
+    replica.simulator->setGenerator(replica.idleGenerator.get());
+    return raw;
+}
+
+std::vector<std::vector<std::int64_t>>
+McEngine::runUnits(const float *xs, std::size_t count, std::size_t stride)
+{
+    const std::size_t samples =
+        static_cast<std::size_t>(config_.mcSamples);
+    const std::size_t units = count * samples;
+    std::vector<std::vector<std::int64_t>> raw(units);
+    if (units == 0)
+        return raw;
+
+    const std::size_t replica_count =
+        std::max<std::size_t>(1, std::min(executors_, units));
+    ensureReplicas(replica_count);
+
+    // Static unit assignment: replica r owns units r, r+R, r+2R, ...
+    // Outputs depend only on the unit (seeded stream + pure pass), so
+    // the partition is a performance choice, not a semantic one.
+    auto run_replica = [&](std::size_t r) {
+        Replica &replica = replicas_[r];
+        for (std::size_t u = r; u < units; u += replica_count) {
+            const std::size_t image = u / samples;
+            const std::size_t sample = u % samples;
+            raw[u] =
+                runUnit(replica, xs + image * stride, image, sample);
+        }
+    };
+
+    ThreadPool *pool =
+        mc_.threads == 0 ? &ThreadPool::global() : ownPool_.get();
+    if (pool && replica_count > 1)
+        pool->parallelFor(replica_count, run_replica);
+    else
+        for (std::size_t r = 0; r < replica_count; ++r)
+            run_replica(r);
+    return raw;
+}
+
+void
+McEngine::reduceProbs(const std::vector<std::int64_t> *raw_samples,
+                      std::size_t samples, float *probs) const
+{
+    // Serial reduction in sample order: the same accumulation sequence
+    // Simulator::classify performs, fixed regardless of thread count.
+    const std::size_t out_dim = network_.outputDim();
+    const auto &act = network_.activationFormat;
+    std::vector<float> logits(out_dim);
+    std::fill(probs, probs + out_dim, 0.0f);
+    for (std::size_t s = 0; s < samples; ++s) {
+        for (std::size_t i = 0; i < out_dim; ++i)
+            logits[i] = static_cast<float>(act.toReal(raw_samples[s][i]));
+        nn::softmax(logits.data(), out_dim);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            probs[i] += logits[i];
+    }
+    const float inv = 1.0f / static_cast<float>(samples);
+    for (std::size_t i = 0; i < out_dim; ++i)
+        probs[i] *= inv;
+}
+
+std::vector<std::size_t>
+McEngine::classifyBatch(const float *xs, std::size_t count,
+                        std::size_t stride, float *probs)
+{
+    const std::size_t out_dim = network_.outputDim();
+    const std::size_t samples =
+        static_cast<std::size_t>(config_.mcSamples);
+    std::vector<std::size_t> predictions(count, 0);
+    if (count == 0)
+        return predictions;
+
+    const auto raw = runUnits(xs, count, stride);
+    std::vector<float> acc(out_dim);
+    for (std::size_t image = 0; image < count; ++image) {
+        reduceProbs(raw.data() + image * samples, samples, acc.data());
+        if (probs)
+            std::copy(acc.begin(), acc.end(), probs + image * out_dim);
+        predictions[image] = nn::argmax(acc.data(), acc.size());
+    }
+    return predictions;
+}
+
+std::size_t
+McEngine::classify(const float *x, float *probs)
+{
+    return classifyBatch(x, 1, network_.inputDim(), probs).front();
+}
+
+McResult
+McEngine::classifyDetailed(const float *x)
+{
+    McResult result;
+    result.rawSamples = runUnits(x, 1, network_.inputDim());
+    result.probs.assign(network_.outputDim(), 0.0f);
+    reduceProbs(result.rawSamples.data(), result.rawSamples.size(),
+                result.probs.data());
+    result.predicted = nn::argmax(result.probs.data(),
+                                  result.probs.size());
+    return result;
+}
+
+CycleStats
+McEngine::stats() const
+{
+    CycleStats merged;
+    for (const auto &replica : replicas_)
+        merged += replica.simulator->stats();
+    return merged;
+}
+
+} // namespace vibnn::accel

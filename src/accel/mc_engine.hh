@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel Monte-Carlo inference engine.
+ *
+ * VIBNN's ensemble estimate (equation (6)) averages the softmax of
+ * config.mcSamples independent forward passes. The passes are
+ * embarrassingly parallel — each one only needs the quantized network,
+ * an input image, and its own eps stream — so the engine fans the
+ * (image, sample) grid out over ThreadPool workers, each owning a full
+ * Simulator replica.
+ *
+ * Determinism is by construction schedule-independent: every work unit
+ * (image i, MC sample s) runs with a generator freshly seeded from
+ * streamSeed(seedBase, i, s), and a simulator pass is a pure function
+ * of (input, eps stream). Which replica executes a unit therefore
+ * cannot change its output, per-sample results are bit-identical for
+ * any thread count, and the per-image probability reduction runs
+ * serially in sample order so the float accumulation order is fixed
+ * too. Aggregate CycleStats are merged by summation over replicas,
+ * which is also schedule-independent.
+ */
+
+#ifndef VIBNN_ACCEL_MC_ENGINE_HH
+#define VIBNN_ACCEL_MC_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/simulator.hh"
+#include "common/thread_pool.hh"
+#include "grng/generator.hh"
+
+namespace vibnn::accel
+{
+
+/** Parallelization / seeding policy for McEngine. */
+struct McEngineConfig
+{
+    /**
+     * Worker parallelism. 0 sizes the engine from ThreadPool::global()
+     * (workers + caller); an explicit value N runs on a private pool of
+     * N executors (N == 1 means fully inline, no pool).
+     */
+    std::size_t threads = 0;
+    /** Generator registry id used for every eps stream. */
+    std::string generatorId = "rlf";
+    /** Master seed; every (image, sample) stream derives from it. */
+    std::uint64_t seedBase = 1;
+};
+
+/** Per-image result with the per-sample detail kept. */
+struct McResult
+{
+    std::size_t predicted = 0;
+    /** Averaged class probabilities (outputDim). */
+    std::vector<float> probs;
+    /** Raw output-layer values of each MC pass (mcSamples x outputDim),
+     *  on the activation grid — bit-comparable across runs. */
+    std::vector<std::vector<std::int64_t>> rawSamples;
+};
+
+/** Parallel Monte-Carlo classification over Simulator replicas. */
+class McEngine
+{
+  public:
+    McEngine(const QuantizedNetwork &network,
+             const AcceleratorConfig &config,
+             const McEngineConfig &mc = McEngineConfig{});
+    ~McEngine();
+
+    McEngine(const McEngine &) = delete;
+    McEngine &operator=(const McEngine &) = delete;
+
+    /** Classify one image (config.mcSamples parallel passes). */
+    std::size_t classify(const float *x, float *probs = nullptr);
+
+    /** Classify with per-sample raw outputs retained. */
+    McResult classifyDetailed(const float *x);
+
+    /**
+     * Classify a batch: `count` images of `stride` floats each,
+     * row-major. Returns the predicted class per image; if `probs` is
+     * non-null it receives count * outputDim averaged probabilities.
+     */
+    std::vector<std::size_t> classifyBatch(const float *xs,
+                                           std::size_t count,
+                                           std::size_t stride,
+                                           float *probs = nullptr);
+
+    /** Aggregate statistics merged (summed) over all replicas. */
+    CycleStats stats() const;
+
+    /** Replicas instantiated so far (grows up to the executor count). */
+    std::size_t replicaCount() const { return replicas_.size(); }
+
+    /** Executor parallelism the engine schedules for. */
+    std::size_t executorCount() const { return executors_; }
+
+    const AcceleratorConfig &config() const { return config_; }
+
+    /**
+     * Seed of the eps stream for (image, sample) under `seed_base` —
+     * exposed so tests can reproduce any single pass serially.
+     */
+    static std::uint64_t streamSeed(std::uint64_t seed_base,
+                                    std::uint64_t image,
+                                    std::uint64_t sample);
+
+  private:
+    struct Replica
+    {
+        std::unique_ptr<grng::GaussianGenerator> idleGenerator;
+        std::unique_ptr<Simulator> simulator;
+    };
+
+    /** Ensure replicas [0, n) exist. */
+    void ensureReplicas(std::size_t n);
+
+    /** Run one (image, sample) unit on a replica; returns raw pass
+     *  outputs. */
+    std::vector<std::int64_t> runUnit(Replica &replica, const float *x,
+                                      std::uint64_t image,
+                                      std::uint64_t sample);
+
+    /**
+     * The one parallel fan-out: run every (image, sample) unit of the
+     * batch, returning count * mcSamples raw pass outputs indexed by
+     * unit. Partitioning is replica-static; results depend only on the
+     * unit, so the schedule is invisible in the output.
+     */
+    std::vector<std::vector<std::int64_t>> runUnits(const float *xs,
+                                                    std::size_t count,
+                                                    std::size_t stride);
+
+    /** Softmax-average `samples` raw pass outputs (in sample order)
+     *  into `probs` — the same reduction Simulator::classify runs. */
+    void reduceProbs(const std::vector<std::int64_t> *raw_samples,
+                     std::size_t samples, float *probs) const;
+
+    QuantizedNetwork network_;
+    AcceleratorConfig config_;
+    McEngineConfig mc_;
+    std::size_t executors_;
+    /** Private pool when an explicit thread count was requested. */
+    std::unique_ptr<ThreadPool> ownPool_;
+    std::vector<Replica> replicas_;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_MC_ENGINE_HH

@@ -28,6 +28,23 @@ CycleStats::cyclesPerPass() const
         static_cast<double>(images);
 }
 
+CycleStats &
+CycleStats::operator+=(const CycleStats &other)
+{
+    totalCycles += other.totalCycles;
+    if (layerCycles.size() < other.layerCycles.size())
+        layerCycles.resize(other.layerCycles.size(), 0);
+    for (std::size_t i = 0; i < other.layerCycles.size(); ++i)
+        layerCycles[i] += other.layerCycles[i];
+    ifmemReads += other.ifmemReads;
+    ifmemWrites += other.ifmemWrites;
+    wpmemReads += other.wpmemReads;
+    grnSamples += other.grnSamples;
+    macs += other.macs;
+    images += other.images;
+    return *this;
+}
+
 Simulator::Simulator(const QuantizedNetwork &network,
                      const AcceleratorConfig &config,
                      grng::GaussianGenerator *generator)
@@ -50,7 +67,15 @@ Simulator::Simulator(const QuantizedNetwork &network,
     ifmems_[1] =
         std::make_unique<DualPortRam>("IFMem2", if_depth, n);
 
+    weights_.resize(static_cast<std::size_t>(config_.pesPerSet) * n);
+
     packWpmems();
+}
+
+void
+Simulator::setGenerator(grng::GaussianGenerator *generator)
+{
+    weightGen_.setGenerator(generator);
 }
 
 void
@@ -131,9 +156,8 @@ Simulator::runLayer(std::size_t layer_index, bool output_layer)
 
     const std::size_t rounds = (layer.outDim + m - 1) / m;
     const std::size_t chunks = (layer.inDim + n - 1) / n;
+    const std::size_t lanes = static_cast<std::size_t>(s_pes) * n;
     std::uint64_t cycles = 0;
-
-    std::vector<std::int64_t> weights(n);
 
     for (std::size_t r = 0; r < rounds; ++r) {
         for (auto &pe : pes_)
@@ -154,16 +178,16 @@ Simulator::runLayer(std::size_t layer_index, bool output_layer)
                 const RamWord &sg = wpmemSigma_[t]->read(addr);
                 stats_.wpmemReads += 2;
 
+                // Every lane consumes an eps each cycle — the GRNG
+                // free-runs — whether or not the neuron is real. The
+                // whole WPMem word (all S*N lanes of the set) is
+                // sampled in one block call against the eps ring.
+                weightGen_.sampleBlock(mu.data(), sg.data(),
+                                       weights_.data(), lanes);
                 for (int s = 0; s < s_pes; ++s) {
-                    // Every lane consumes an eps each cycle — the GRNG
-                    // free-runs — whether or not the neuron is real.
-                    for (int k = 0; k < n; ++k) {
-                        weights[k] =
-                            weightGen_.sample(mu[s * n + k],
-                                              sg[s * n + k]);
-                    }
                     pes_[static_cast<std::size_t>(t) * s_pes + s]
-                        .macChunk(weights.data(), inputs.data(), n);
+                        .macChunk(weights_.data() + s * n,
+                                  inputs.data(), n);
                 }
             }
             ++cycles;
@@ -178,7 +202,8 @@ Simulator::runLayer(std::size_t layer_index, bool output_layer)
         // port keeps up); only the final round's writes extend the
         // layer's critical path.
         for (int t = 0; t < t_sets; ++t) {
-            RamWord word(n, 0);
+            RamWord &word = distWord_;
+            word.assign(n, 0);
             bool any = false;
             for (int s = 0; s < s_pes; ++s) {
                 const std::size_t neuron =

@@ -59,6 +59,11 @@ struct CycleStats
 
     /** Cycles per single forward pass (one MC sample). */
     double cyclesPerPass() const;
+
+    /** Merge another run's counters into this one (McEngine replica
+     *  aggregation). Lives next to the fields so a new counter cannot
+     *  be forgotten in the merge. */
+    CycleStats &operator+=(const CycleStats &other);
 };
 
 /** The cycle-level accelerator. */
@@ -89,6 +94,12 @@ class Simulator
      * @return The predicted class.
      */
     std::size_t classify(const float *x, float *probs = nullptr);
+
+    /**
+     * Swap the eps source (used by McEngine to give each Monte-Carlo
+     * work unit an independently seeded stream). Not owned.
+     */
+    void setGenerator(grng::GaussianGenerator *generator);
 
     const CycleStats &stats() const { return stats_; }
     const AcceleratorConfig &config() const { return config_; }
@@ -121,6 +132,12 @@ class Simulator
     std::vector<std::unique_ptr<DualPortRam>> wpmemSigma_;
     /** First WPMem word of each layer. */
     std::vector<std::size_t> layerWpBase_;
+
+    /** Sampled weights of one WPMem word (all lanes of a PE set),
+     *  reused across chunks/rounds/layers/passes. */
+    std::vector<std::int64_t> weights_;
+    /** Memory-distributor word staging, reused across rounds. */
+    RamWord distWord_;
 
     CycleStats stats_;
 };

@@ -10,14 +10,30 @@ WeightGenerator::WeightGenerator(const DatapathKernel &kernel,
     : kernel_(kernel), generator_(generator)
 {
     VIBNN_ASSERT(generator != nullptr, "weight generator needs a GRNG");
+    epsReal_.resize(epsBlock);
+    epsRaw_.resize(epsBlock);
 }
 
-std::int64_t
-WeightGenerator::nextEpsRaw()
+void
+WeightGenerator::refill()
 {
-    ++samplesDrawn_;
-    return kernel_.eps.fromReal(generator_->next(),
-                                fixed::RoundMode::Nearest);
+    generator_->fill(epsReal_.data(), epsBlock);
+    // Batch float->fixed conversion: one tight loop per block instead
+    // of one call per consumed sample.
+    for (std::size_t i = 0; i < epsBlock; ++i)
+        epsRaw_[i] =
+            kernel_.eps.fromReal(epsReal_[i], fixed::RoundMode::Nearest);
+    epsPos_ = 0;
+    epsFill_ = epsBlock;
+}
+
+void
+WeightGenerator::setGenerator(grng::GaussianGenerator *generator)
+{
+    VIBNN_ASSERT(generator != nullptr, "weight generator needs a GRNG");
+    generator_ = generator;
+    epsPos_ = 0;
+    epsFill_ = 0; // discard prefetched eps from the old stream
 }
 
 } // namespace vibnn::accel

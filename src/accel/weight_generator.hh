@@ -8,13 +8,23 @@
  * and the updater and a register tier holding the sampled weights
  * (Figure 14) give it a two-stage pipeline, modeled as latency in the
  * simulator's cycle accounting.
+ *
+ * The eps stream is produced in blocks: the GRNG's block fill() API
+ * refills a ring of pre-converted fixed-point eps values, and the
+ * float->fixed conversion runs as one tight batch loop per refill
+ * instead of per consumed sample. Consumers either draw scalars
+ * (nextEpsRaw) or sample whole WPMem words at once (sampleBlock); both
+ * observe the identical stream a per-sample next() implementation
+ * would, because fill() is bit-compatible with next() by contract.
  */
 
 #ifndef VIBNN_ACCEL_WEIGHT_GENERATOR_HH
 #define VIBNN_ACCEL_WEIGHT_GENERATOR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "accel/config.hh"
 #include "grng/generator.hh"
@@ -26,6 +36,9 @@ namespace vibnn::accel
 class WeightGenerator
 {
   public:
+    /** Eps values prefetched per GRNG block refill. */
+    static constexpr std::size_t epsBlock = 4096;
+
     /**
      * @param kernel Shared datapath arithmetic.
      * @param generator The eps source (RLF, BNNWallace, or any
@@ -35,7 +48,14 @@ class WeightGenerator
                     grng::GaussianGenerator *generator);
 
     /** Draw one eps on the eps grid (8-bit). */
-    std::int64_t nextEpsRaw();
+    std::int64_t
+    nextEpsRaw()
+    {
+        if (epsPos_ >= epsFill_)
+            refill();
+        ++samplesDrawn_;
+        return epsRaw_[epsPos_++];
+    }
 
     /** Produce one sampled weight. */
     std::int64_t
@@ -44,16 +64,61 @@ class WeightGenerator
         return kernel_.sampleWeight(mu_raw, sigma_raw, nextEpsRaw());
     }
 
+    /**
+     * Sample `count` weights in one call: w[i] = mu[i] + sigma[i] *
+     * eps, consuming `count` consecutive eps from the stream. This is
+     * the per-chunk-cycle path of the simulator — one call covers a
+     * whole WPMem word (all lanes of a PE set).
+     */
+    void
+    sampleBlock(const std::int32_t *mu_raw, const std::int32_t *sigma_raw,
+                std::int64_t *weights, std::size_t count)
+    {
+        std::size_t i = 0;
+        while (i < count) {
+            if (epsPos_ >= epsFill_)
+                refill();
+            const std::size_t take =
+                std::min(count - i, epsFill_ - epsPos_);
+            const std::int64_t *eps = epsRaw_.data() + epsPos_;
+            for (std::size_t j = 0; j < take; ++j)
+                weights[i + j] = kernel_.sampleWeight(
+                    mu_raw[i + j], sigma_raw[i + j], eps[j]);
+            epsPos_ += take;
+            i += take;
+        }
+        samplesDrawn_ += count;
+    }
+
+    /**
+     * Swap the eps source. Prefetched-but-unconsumed eps from the old
+     * stream are discarded, so the next draw comes from the new
+     * generator's stream start. samplesDrawn() (consumed eps) is
+     * unaffected.
+     */
+    void setGenerator(grng::GaussianGenerator *generator);
+
     /** Pipeline depth in cycles (GRNG DFF tier + weight tier). */
     static constexpr int pipelineDepth = 2;
 
-    /** Samples drawn so far. */
+    /** Eps samples consumed so far. */
     std::uint64_t samplesDrawn() const { return samplesDrawn_; }
 
   private:
+    /** Block-refill the ring: one GRNG fill() plus one batch
+     *  float->fixed conversion loop. */
+    void refill();
+
     DatapathKernel kernel_;
     grng::GaussianGenerator *generator_;
     std::uint64_t samplesDrawn_ = 0;
+
+    /** Real-valued staging for the GRNG block fill. */
+    std::vector<double> epsReal_;
+    /** The fixed-point eps ring. */
+    std::vector<std::int64_t> epsRaw_;
+    std::size_t epsPos_ = 0;
+    std::size_t epsFill_ = 0;
 };
 
 } // namespace vibnn::accel

@@ -29,12 +29,44 @@ BoxMullerGrng::next()
     return radius * std::cos(angle);
 }
 
+void
+BoxMullerGrng::fill(double *out, std::size_t n)
+{
+    std::size_t k = 0;
+    if (hasCached_ && k < n) {
+        hasCached_ = false;
+        out[k++] = cached_;
+    }
+    // Whole pairs, no virtual dispatch, no cache shuffle.
+    while (k + 2 <= n) {
+        double u1;
+        do {
+            u1 = rng_.uniform();
+        } while (u1 <= 0.0);
+        const double u2 = rng_.uniform();
+        const double radius = std::sqrt(-2.0 * std::log(u1));
+        const double angle = 2.0 * M_PI * u2;
+        out[k++] = radius * std::cos(angle);
+        out[k++] = radius * std::sin(angle);
+    }
+    // Odd tail: next() emits the cosine leg and caches the sine leg.
+    if (k < n)
+        out[k++] = BoxMullerGrng::next();
+}
+
 PolarGrng::PolarGrng(std::uint64_t seed) : rng_(seed) {}
 
 double
 PolarGrng::next()
 {
     return rng_.gaussian();
+}
+
+void
+PolarGrng::fill(double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = rng_.gaussian();
 }
 
 namespace
@@ -140,6 +172,14 @@ ZigguratGrng::next()
     }
 }
 
+void
+ZigguratGrng::fill(double *out, std::size_t n)
+{
+    // The qualified call devirtualizes the per-sample dispatch.
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = ZigguratGrng::next();
+}
+
 CdfInversionGrng::CdfInversionGrng(std::uint64_t seed) : rng_(seed) {}
 
 double
@@ -152,12 +192,31 @@ CdfInversionGrng::next()
     return stats::normalInvCdf(u);
 }
 
+void
+CdfInversionGrng::fill(double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        double u;
+        do {
+            u = rng_.uniform();
+        } while (u <= 0.0);
+        out[i] = stats::normalInvCdf(u);
+    }
+}
+
 ReferenceGrng::ReferenceGrng(std::uint64_t seed) : rng_(seed) {}
 
 double
 ReferenceGrng::next()
 {
     return rng_.gaussian();
+}
+
+void
+ReferenceGrng::fill(double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = rng_.gaussian();
 }
 
 } // namespace vibnn::grng

@@ -32,6 +32,8 @@ class BoxMullerGrng : public GaussianGenerator
   public:
     explicit BoxMullerGrng(std::uint64_t seed);
     double next() override;
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
     std::string name() const override { return "Box-Muller"; }
 
   private:
@@ -46,6 +48,8 @@ class PolarGrng : public GaussianGenerator
   public:
     explicit PolarGrng(std::uint64_t seed);
     double next() override;
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
     std::string name() const override { return "Marsaglia-polar"; }
 
   private:
@@ -58,6 +62,8 @@ class ZigguratGrng : public GaussianGenerator
   public:
     explicit ZigguratGrng(std::uint64_t seed);
     double next() override;
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
     std::string name() const override { return "Ziggurat"; }
 
   private:
@@ -76,6 +82,8 @@ class CdfInversionGrng : public GaussianGenerator
   public:
     explicit CdfInversionGrng(std::uint64_t seed);
     double next() override;
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
     std::string name() const override { return "CDF-inversion"; }
 
   private:
@@ -88,6 +96,8 @@ class ReferenceGrng : public GaussianGenerator
   public:
     explicit ReferenceGrng(std::uint64_t seed);
     double next() override;
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
     std::string name() const override { return "reference"; }
 
   private:

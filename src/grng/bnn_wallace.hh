@@ -91,6 +91,11 @@ class BnnWallaceGrng : public GaussianGenerator
     explicit BnnWallaceGrng(const BnnWallaceConfig &config);
 
     double next() override;
+
+    /** Block fill: runs whole hardware cycles directly into `out`. */
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
+
     std::string name() const override;
 
     const BnnWallaceConfig &config() const { return config_; }
@@ -113,9 +118,16 @@ class BnnWallaceGrng : public GaussianGenerator
     const std::vector<std::int64_t> &unitPool(int unit) const;
 
   private:
+    /** One hardware cycle, 4*units dequantized outputs written to
+     *  `out` in unit-interleaved order. Shared by next()/fill()/
+     *  nextCycle so every consumer sees the identical stream. */
+    void runCycle(double *out);
+
     BnnWallaceConfig config_;
     /** Pools, one vector of raw fixed-point values per unit. */
     std::vector<std::vector<std::int64_t>> pools_;
+    /** Per-cycle transform staging, reused (no per-cycle alloc). */
+    std::vector<std::int64_t> flatScratch_;
     /** Shared sequential read/write address (entry index). */
     int address_ = 0;
     /** Transforms completed in the current pool pass. */

@@ -34,6 +34,16 @@ CltLfsrGrng::next()
     return (static_cast<double>(nextCount()) - mean_) * invStddev_;
 }
 
+void
+CltLfsrGrng::fill(double *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        lfsr_.step(stepsPerSample_);
+        out[i] = (static_cast<double>(lfsr_.popcount()) - mean_) *
+            invStddev_;
+    }
+}
+
 std::string
 CltLfsrGrng::name() const
 {

@@ -37,6 +37,11 @@ class CltLfsrGrng : public GaussianGenerator
     CltLfsrGrng(int length, std::uint64_t seed, int steps_per_sample = 1);
 
     double next() override;
+
+    /** Block fill: devirtualized LFSR step + popcount loop. */
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
+
     std::string name() const override;
 
     /** Raw binomial count in [0, length]. */

@@ -13,6 +13,7 @@
 #ifndef VIBNN_GRNG_GENERATOR_HH
 #define VIBNN_GRNG_GENERATOR_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -28,13 +29,26 @@ class GaussianGenerator
     /** Next sample, normalized to target N(0, 1). */
     virtual double next() = 0;
 
-    /** Fill a buffer with consecutive samples (overridable for batch
-     *  generators that produce several samples per cycle). */
+    /**
+     * Fill `out[0..n)` with the next n samples of the stream. The block
+     * form is the hot-path API: concrete generators override it with a
+     * devirtualized inner loop that emits whole hardware cycles (a full
+     * Wallace pool pass, all RLF lanes, ...) straight into the caller's
+     * buffer. Overrides must produce bit-identical values to n repeated
+     * next() calls — tests enforce this for every registered generator.
+     */
     virtual void
+    fill(double *out, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = next();
+    }
+
+    /** Convenience overload filling a whole vector. */
+    void
     fill(std::vector<double> &out)
     {
-        for (auto &x : out)
-            x = next();
+        fill(out.data(), out.size());
     }
 
     /** Short identifier used in bench tables. */

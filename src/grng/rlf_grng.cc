@@ -1,5 +1,6 @@
 #include "grng/rlf_grng.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -69,7 +70,8 @@ RlfGrng::nextCycleCounts(std::vector<int> &out)
     out.resize(lanes_.size());
 
     // Step every lane once (they share one indexer in hardware).
-    std::vector<int> raw(lanes_.size());
+    rawScratch_.resize(lanes_.size());
+    std::vector<int> &raw = rawScratch_;
     for (std::size_t lane = 0; lane < lanes_.size(); ++lane)
         raw[lane] = lanes_[lane].step();
 
@@ -106,6 +108,25 @@ double
 RlfGrng::next()
 {
     return normalize(nextCount());
+}
+
+void
+RlfGrng::fill(double *out, std::size_t n)
+{
+    std::size_t k = 0;
+    while (k < n) {
+        if (bufferPos_ >= cycleBuffer_.size())
+            refillBuffer();
+        // Normalize straight out of the cycle buffer — one virtual call
+        // per fill() instead of one per sample, and the per-cycle lane
+        // scratch is a reused member.
+        const std::size_t take =
+            std::min(n - k, cycleBuffer_.size() - bufferPos_);
+        for (std::size_t i = 0; i < take; ++i)
+            out[k + i] = normalize(cycleBuffer_[bufferPos_ + i]);
+        bufferPos_ += take;
+        k += take;
+    }
 }
 
 std::string

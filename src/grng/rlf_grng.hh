@@ -65,6 +65,10 @@ class RlfGrng : public GaussianGenerator
     /** Next normalized sample. */
     double next() override;
 
+    /** Block fill: steps whole lane cycles directly into `out`. */
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
+
     std::string name() const override;
 
     /** Next raw binomial count in [0, length]. */
@@ -88,6 +92,8 @@ class RlfGrng : public GaussianGenerator
     RlfGrngConfig config_;
     std::vector<RlfLogic> lanes_;
     std::vector<int> cycleBuffer_;
+    /** Pre-mux lane counts, reused every cycle (no per-cycle alloc). */
+    std::vector<int> rawScratch_;
     std::size_t bufferPos_ = 0;
     std::uint64_t cycle_ = 0;
     double mean_;

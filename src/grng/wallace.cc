@@ -1,6 +1,7 @@
 #include "grng/wallace.hh"
 
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -31,41 +32,100 @@ WallaceGrng::WallaceGrng(const WallaceConfig &config)
         for (auto &x : pool_)
             x = (x - mean) * inv_sd;
     }
+
+    blockBuffer_.resize(passOutputs());
+    blockPos_ = blockBuffer_.size(); // force a pass on the first draw
 }
 
-std::array<double, 4>
-WallaceGrng::transformOnce()
+void
+WallaceGrng::transformPass(double *out)
 {
-    // Pick four distinct slots.
-    std::size_t idx[4];
-    for (int i = 0; i < 4; ++i) {
-        bool unique;
-        do {
-            idx[i] = rng_.uniformInt(pool_.size());
-            unique = true;
-            for (int j = 0; j < i; ++j)
-                unique = unique && idx[j] != idx[i];
-        } while (!unique);
-    }
+    const std::size_t pool_size = pool_.size();
+    const std::size_t quads = pool_size / 4;
 
-    const std::array<double, 4> x = {pool_[idx[0]], pool_[idx[1]],
-                                     pool_[idx[2]], pool_[idx[3]]};
-    const std::array<double, 4> y = hadamardTransform4(x);
-    for (int i = 0; i < 4; ++i)
-        pool_[idx[i]] = y[i];
-    return y;
+    // Stride/offset addressing (hardware Wallace unit): the pass walks
+    // the permutation offset + m * stride (mod pool). Any stride
+    // coprime to the pool size yields distinct slots for every
+    // quadruple, so the hot loop below has no retry path; the coprime
+    // draw itself happens once per pass (for power-of-two pools every
+    // odd stride qualifies, so the expected draw count is 2).
+    const std::size_t offset = rng_.uniformInt(pool_size);
+    std::size_t stride;
+    do {
+        stride = 1 + rng_.uniformInt(pool_size - 1);
+    } while (std::gcd(stride, pool_size) != 1);
+
+    double *pool = pool_.data();
+    std::size_t pos = offset;
+    auto advance = [&pos, stride, pool_size]() {
+        const std::size_t at = pos;
+        pos += stride;
+        if (pos >= pool_size)
+            pos -= pool_size;
+        return at;
+    };
+
+    for (std::size_t q = 0; q < quads; ++q) {
+        const std::size_t i0 = advance();
+        const std::size_t i1 = advance();
+        const std::size_t i2 = advance();
+        const std::size_t i3 = advance();
+        const std::array<double, 4> y = hadamardTransform4(
+            {pool[i0], pool[i1], pool[i2], pool[i3]});
+        pool[i0] = y[0];
+        pool[i1] = y[1];
+        pool[i2] = y[2];
+        pool[i3] = y[3];
+        if (out) {
+            out[4 * q + 0] = y[0];
+            out[4 * q + 1] = y[1];
+            out[4 * q + 2] = y[2];
+            out[4 * q + 3] = y[3];
+        }
+    }
+}
+
+void
+WallaceGrng::emitPass(double *out)
+{
+    for (int loop = 0; loop + 1 < config_.loopsPerOutput; ++loop)
+        transformPass(nullptr);
+    transformPass(out);
 }
 
 double
 WallaceGrng::next()
 {
-    if (outputPos_ >= 4) {
-        for (int loop = 0; loop + 1 < config_.loopsPerOutput; ++loop)
-            transformOnce();
-        outputs_ = transformOnce();
-        outputPos_ = 0;
+    if (blockPos_ >= blockBuffer_.size()) {
+        emitPass(blockBuffer_.data());
+        blockPos_ = 0;
     }
-    return outputs_[outputPos_++];
+    return blockBuffer_[blockPos_++];
+}
+
+void
+WallaceGrng::fill(double *out, std::size_t n)
+{
+    std::size_t k = 0;
+    // Drain whatever next() left buffered so the stream stays aligned.
+    while (k < n && blockPos_ < blockBuffer_.size())
+        out[k++] = blockBuffer_[blockPos_++];
+
+    // Whole passes straight into the destination: no virtual dispatch,
+    // no staging copy.
+    const std::size_t block = blockBuffer_.size();
+    while (n - k >= block) {
+        emitPass(out + k);
+        k += block;
+    }
+
+    // Tail shorter than a pass: buffer one pass and hand out a prefix.
+    if (k < n) {
+        emitPass(blockBuffer_.data());
+        blockPos_ = 0;
+        while (k < n)
+            out[k++] = blockBuffer_[blockPos_++];
+    }
 }
 
 double

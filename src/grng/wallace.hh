@@ -13,9 +13,17 @@
  * the initial pool's own sampling error — the effect Table 1 shows as
  * errors shrinking with pool size 256 -> 1024 -> 4096.
  *
- * This software model selects read and write positions with a true
- * uniform RNG (the luxury the hardware version cannot afford) and
- * supports optional multi-loop transformations between outputs.
+ * Addressing follows the paper's hardware Wallace unit: each pool pass
+ * draws one random (offset, stride) pair with stride coprime to the
+ * pool size, and visits the pool at positions offset + m * stride
+ * (mod pool). That is a full permutation of the pool, so the four
+ * slots of every quadruple are distinct *by construction* — no
+ * rejection/retry loop anywhere on the hot path — while the per-pass
+ * re-randomization keeps the recombination partners changing the way
+ * the classic software algorithm's per-quadruple random addressing
+ * does. Outputs are produced a whole pass at a time; next() hands out
+ * buffered singles and fill() writes entire passes straight into the
+ * caller's block.
  */
 
 #ifndef VIBNN_GRNG_WALLACE_HH
@@ -53,13 +61,15 @@ struct WallaceConfig
     std::uint64_t seed = 1;
 };
 
-/** Software Wallace generator with random pool addressing. */
+/** Software Wallace generator with stride/offset pool addressing. */
 class WallaceGrng : public GaussianGenerator
 {
   public:
     explicit WallaceGrng(const WallaceConfig &config);
 
     double next() override;
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
     std::string name() const override;
 
     /** Pool inspection for tests (energy-conservation invariants). */
@@ -68,16 +78,28 @@ class WallaceGrng : public GaussianGenerator
     /** Sum of squares over the pool. */
     double poolEnergy() const;
 
+    /** Outputs emitted per pool pass: floor(pool/4) quadruples. */
+    std::size_t passOutputs() const { return pool_.size() / 4 * 4; }
+
   private:
-    /** One in-place transformation of four random pool slots; returns
-     *  the four new values. */
-    std::array<double, 4> transformOnce();
+    /**
+     * One full pool pass: draw (offset, stride), transform every
+     * quadruple of the induced permutation in place. If `out` is
+     * non-null the passOutputs() new values are written there in
+     * transform order; loopsPerOutput > 1 runs silent passes (null
+     * out) between emitting ones.
+     */
+    void transformPass(double *out);
+
+    /** Run the configured silent passes, then one emitting pass. */
+    void emitPass(double *out);
 
     WallaceConfig config_;
     Rng rng_;
     std::vector<double> pool_;
-    std::array<double, 4> outputs_{};
-    std::size_t outputPos_ = 4;
+    /** Buffered outputs of the most recent emitting pass (next()). */
+    std::vector<double> blockBuffer_;
+    std::size_t blockPos_ = 0;
 };
 
 } // namespace vibnn::grng

@@ -78,6 +78,41 @@ TEST_P(AllGenerators, FillMatchesNext)
         ASSERT_DOUBLE_EQ(x, b->next());
 }
 
+TEST_P(AllGenerators, BlockFillMatchesNextBitExact)
+{
+    // The block API is the hot path: large fills must reproduce the
+    // scalar stream bit for bit, including across the generators'
+    // internal block boundaries (Wallace pool passes, RLF lane cycles).
+    auto a = makeGenerator(GetParam(), 97);
+    auto b = makeGenerator(GetParam(), 97);
+    std::vector<double> filled(6000);
+    a->fill(filled.data(), filled.size());
+    for (std::size_t i = 0; i < filled.size(); ++i)
+        ASSERT_DOUBLE_EQ(filled[i], b->next())
+            << a->name() << " sample " << i;
+}
+
+TEST_P(AllGenerators, InterleavedFillAndNextStaysAligned)
+{
+    // Mixing scalar draws with oddly-sized block fills must never skip
+    // or replay samples: the buffered partial blocks have to drain in
+    // order.
+    auto a = makeGenerator(GetParam(), 53);
+    auto b = makeGenerator(GetParam(), 53);
+    std::vector<double> stream;
+    const std::size_t sizes[] = {1, 3, 7, 50, 2, 1000, 5, 129};
+    std::vector<double> buf;
+    for (std::size_t sz : sizes) {
+        buf.resize(sz);
+        a->fill(buf.data(), sz);
+        stream.insert(stream.end(), buf.begin(), buf.end());
+        stream.push_back(a->next());
+    }
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        ASSERT_DOUBLE_EQ(stream[i], b->next())
+            << a->name() << " sample " << i;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Registry, AllGenerators,
     ::testing::ValuesIn(generatorIds()),
