@@ -17,9 +17,14 @@
 
 #include "accel/conv_lowering.hh"
 #include "accel/design_space.hh"
+#include "accel/functional.hh"
+#include "accel/program.hh"
+#include "accel/simulator.hh"
+#include "bnn/bayesian_cnn.hh"
 #include "bnn/variational_conv.hh"
 #include "grng/registry.hh"
 #include "hwmodel/network_hw.hh"
+#include "nn/cnn.hh"
 
 using namespace vibnn;
 using namespace vibnn::accel;
@@ -107,6 +112,73 @@ main()
              strfmt("%.0f", conv_per_s)});
     }
     table.print();
+
+    // ---- whole-CNN program path: conv -> pool -> conv -> pool ->
+    // dense, compiled once and executed end-to-end on the simulator.
+    std::printf("\nWhole-CNN program (QuantizedProgram IR, LeNet "
+                "topology, T=4 S=N=8):\n\n");
+    {
+        Rng rng(seed + 11);
+        bnn::BayesianConvNet bcnn(nn::ConvNetConfig::lenetLike(10), rng,
+                                  -2.0f);
+        AcceleratorConfig config;
+        config.peSets = 4; // conv1 patch 25 -> 4 chunks bounds T
+        config.pesPerSet = 8;
+        config.mcSamples = 1;
+        const auto program = compile(bcnn, config);
+
+        auto gen = grng::makeGenerator("rlf", seed + 13);
+        Simulator sim(program, config, gen.get());
+        std::vector<float> x(program.inputDim());
+        Rng data(seed + 17);
+        for (auto &v : x)
+            v = static_cast<float>(data.uniform(0, 1));
+        sim.runPass(x.data());
+
+        TextTable ops_table;
+        ops_table.setHeader(
+            {"op", "in", "out", "cycles", "share"});
+        const auto &stats = sim.stats();
+        for (std::size_t o = 0; o < program.ops.size(); ++o) {
+            const auto &op = program.ops[o];
+            ops_table.addRow(
+                {op.label, strfmt("%zu", op.inSize),
+                 strfmt("%zu", op.outSize),
+                 strfmt("%llu", static_cast<unsigned long long>(
+                                    stats.opCycles[o])),
+                 strfmt("%.1f%%",
+                        100.0 * static_cast<double>(stats.opCycles[o]) /
+                            static_cast<double>(stats.totalCycles))});
+        }
+        ops_table.print();
+
+        const std::uint64_t predicted =
+            predictProgramCycles(program, config);
+        hw::NetworkHwConfig hw_cfg;
+        hw_cfg.peSets = config.peSets;
+        hw_cfg.pesPerSet = config.pesPerSet;
+        hw_cfg.peInputs = config.peInputs();
+        const auto estimate = hw::networkEstimate(hw_cfg);
+        std::printf("\n  whole-CNN pass: %llu cycles measured, %llu "
+                    "analytic (%s), %.1f passes/s @ %.0f MHz\n",
+                    static_cast<unsigned long long>(stats.totalCycles),
+                    static_cast<unsigned long long>(predicted),
+                    stats.totalCycles == predicted ? "exact"
+                                                   : "MISMATCH",
+                    estimate.fmaxMhz * 1e6 /
+                        static_cast<double>(predicted),
+                    estimate.fmaxMhz);
+
+        auto gen_b = grng::makeGenerator("rlf", seed + 13);
+        FunctionalRunner fun(program, config, gen_b.get());
+        auto gen_c = grng::makeGenerator("rlf", seed + 13);
+        Simulator sim_b(program, config, gen_c.get());
+        const bool exact =
+            sim_b.runPass(x.data()) == fun.runPass(x.data());
+        std::printf("  simulator vs functional path on the program: "
+                    "%s\n",
+                    exact ? "bit-exact" : "MISMATCH");
+    }
 
     std::printf(
         "\nReading: a conv layer is positions() time-multiplexed dense\n"

@@ -38,12 +38,12 @@ main()
     std::printf("geometry: %d PE-sets x %d PEs x %d inputs @ %d-bit\n\n",
                 config.peSets, config.pesPerSet, config.peInputs(),
                 config.bits);
-    for (std::size_t l = 0; l < stats.layerCycles.size(); ++l) {
-        std::printf("  layer %zu (%4zu -> %4zu): %llu cycles\n", l + 1,
-                    quantized.layers[l].inDim,
-                    quantized.layers[l].outDim,
+    for (std::size_t o = 0; o < stats.opCycles.size(); ++o) {
+        const auto &op = sim.program().ops[o];
+        std::printf("  op %zu %-16s (%4zu -> %4zu): %llu cycles\n",
+                    o + 1, op.label.c_str(), op.inSize, op.outSize,
                     static_cast<unsigned long long>(
-                        stats.layerCycles[l]));
+                        stats.opCycles[o]));
     }
     std::printf("  total: %llu cycles, %.1f%% PE utilization\n",
                 static_cast<unsigned long long>(stats.totalCycles),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/program.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -61,6 +62,24 @@ AcceleratorConfig::validate(
     }
 }
 
+std::size_t
+QuantizedNetwork::inputDim() const
+{
+    if (layers.empty())
+        fatal("QuantizedNetwork::inputDim(): network has no layers "
+              "(quantize a trained model first)");
+    return layers.front().inDim;
+}
+
+std::size_t
+QuantizedNetwork::outputDim() const
+{
+    if (layers.empty())
+        fatal("QuantizedNetwork::outputDim(): network has no layers "
+              "(quantize a trained model first)");
+    return layers.back().outDim;
+}
+
 std::vector<std::size_t>
 QuantizedNetwork::layerSizes() const
 {
@@ -81,32 +100,11 @@ quantizeNetwork(const bnn::BayesianMlp &net,
     q.epsFormat = config.epsFormat();
 
     for (const auto &layer : net.layers()) {
-        QuantizedLayer ql;
-        ql.inDim = layer.inDim();
-        ql.outDim = layer.outDim();
-
-        const auto &mu = layer.muWeight().data();
-        const auto &rho = layer.rhoWeight().data();
-        ql.muWeight.resize(mu.size());
-        ql.sigmaWeight.resize(mu.size());
-        for (std::size_t i = 0; i < mu.size(); ++i) {
-            ql.muWeight[i] = static_cast<std::int32_t>(
-                q.weightFormat.fromReal(mu[i]));
-            ql.sigmaWeight[i] = static_cast<std::int32_t>(
-                q.weightFormat.fromReal(
-                    bnn::VariationalDense::sigmaOf(rho[i])));
-        }
-
-        ql.muBias.resize(layer.muBias().size());
-        ql.sigmaBias.resize(layer.muBias().size());
-        for (std::size_t i = 0; i < layer.muBias().size(); ++i) {
-            ql.muBias[i] = static_cast<std::int32_t>(
-                q.weightFormat.fromReal(layer.muBias()[i]));
-            ql.sigmaBias[i] = static_cast<std::int32_t>(
-                q.weightFormat.fromReal(
-                    bnn::VariationalDense::sigmaOf(layer.rhoBias()[i])));
-        }
-        q.layers.push_back(std::move(ql));
+        q.layers.push_back(quantizeBank(
+            layer.muWeight().data().data(),
+            layer.rhoWeight().data().data(), layer.muBias().data(),
+            layer.rhoBias().data(), layer.inDim(), layer.outDim(),
+            q.weightFormat));
     }
     return q;
 }

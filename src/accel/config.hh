@@ -78,8 +78,10 @@ struct QuantizedNetwork
     fixed::FixedPointFormat weightFormat{8, 6};
     fixed::FixedPointFormat epsFormat{8, 5};
 
-    std::size_t inputDim() const { return layers.front().inDim; }
-    std::size_t outputDim() const { return layers.back().outDim; }
+    /** Input width. fatal() on an empty network. */
+    std::size_t inputDim() const;
+    /** Output width. fatal() on an empty network. */
+    std::size_t outputDim() const;
     std::vector<std::size_t> layerSizes() const;
 };
 
@@ -101,6 +103,14 @@ struct DatapathKernel
     explicit DatapathKernel(const QuantizedNetwork &net)
         : activation(net.activationFormat), weight(net.weightFormat),
           eps(net.epsFormat)
+    {
+    }
+
+    DatapathKernel(const fixed::FixedPointFormat &activation_format,
+                   const fixed::FixedPointFormat &weight_format,
+                   const fixed::FixedPointFormat &eps_format)
+        : activation(activation_format), weight(weight_format),
+          eps(eps_format)
     {
     }
 

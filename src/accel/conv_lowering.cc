@@ -1,15 +1,87 @@
 /**
  * @file
- * Conv-on-accelerator lowering (see conv_lowering.hh).
+ * Conv-on-accelerator geometry helpers (see conv_lowering.hh).
  */
 
 #include "accel/conv_lowering.hh"
 
 #include "accel/design_space.hh"
+#include "accel/program.hh"
 #include "common/logging.hh"
 
 namespace vibnn::accel
 {
+
+void
+im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
+          std::vector<std::int64_t> &patches)
+{
+    const std::size_t out_h = spec.outHeight();
+    const std::size_t out_w = spec.outWidth();
+    const std::size_t patch = spec.patchSize();
+    patches.resize(out_h * out_w * patch);
+
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+        for (std::size_t ox = 0; ox < out_w; ++ox) {
+            std::int64_t *row =
+                patches.data() + (oy * out_w + ox) * patch;
+            std::size_t k = 0;
+            for (std::size_t c = 0; c < spec.inChannels; ++c) {
+                const std::int64_t *plane =
+                    x + c * spec.inHeight * spec.inWidth;
+                for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
+                    // Signed arithmetic: the padded coordinate may be
+                    // negative at the border.
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * spec.stride + ky) -
+                        static_cast<std::ptrdiff_t>(spec.pad);
+                    for (std::size_t kx = 0; kx < spec.kernel; ++kx) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * spec.stride +
+                                                        kx) -
+                            static_cast<std::ptrdiff_t>(spec.pad);
+                        const bool inside =
+                            iy >= 0 &&
+                            iy < static_cast<std::ptrdiff_t>(
+                                     spec.inHeight) &&
+                            ix >= 0 &&
+                            ix < static_cast<std::ptrdiff_t>(spec.inWidth);
+                        row[k++] =
+                            inside ? plane[iy * spec.inWidth + ix] : 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+maxPoolRaw(const nn::PoolSpec &spec, const std::int64_t *x,
+           std::int64_t *out)
+{
+    const std::size_t out_h = spec.outHeight();
+    const std::size_t out_w = spec.outWidth();
+    for (std::size_t c = 0; c < spec.channels; ++c) {
+        const std::int64_t *plane = x + c * spec.inHeight * spec.inWidth;
+        std::int64_t *out_plane = out + c * out_h * out_w;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+            for (std::size_t ox = 0; ox < out_w; ++ox) {
+                const std::size_t y0 = oy * spec.stride;
+                const std::size_t x0 = ox * spec.stride;
+                std::int64_t best = plane[y0 * spec.inWidth + x0];
+                for (std::size_t wy = 0; wy < spec.window; ++wy) {
+                    for (std::size_t wx = 0; wx < spec.window; ++wx) {
+                        const std::int64_t v =
+                            plane[(y0 + wy) * spec.inWidth + (x0 + wx)];
+                        if (v > best)
+                            best = v;
+                    }
+                }
+                out_plane[oy * out_w + ox] = best;
+            }
+        }
+    }
+}
 
 QuantizedNetwork
 quantizeConvLayer(const bnn::VariationalConv2d &layer,
@@ -19,33 +91,11 @@ quantizeConvLayer(const bnn::VariationalConv2d &layer,
     q.activationFormat = config.activationFormat();
     q.weightFormat = config.weightFormat();
     q.epsFormat = config.epsFormat();
-
-    QuantizedLayer ql;
-    ql.inDim = layer.spec().patchSize();
-    ql.outDim = layer.spec().outChannels;
-
-    const auto &mu = layer.muWeight().data();
-    const auto &rho = layer.rhoWeight().data();
-    ql.muWeight.resize(mu.size());
-    ql.sigmaWeight.resize(mu.size());
-    for (std::size_t i = 0; i < mu.size(); ++i) {
-        ql.muWeight[i] =
-            static_cast<std::int32_t>(q.weightFormat.fromReal(mu[i]));
-        ql.sigmaWeight[i] = static_cast<std::int32_t>(
-            q.weightFormat.fromReal(
-                bnn::VariationalConv2d::sigmaOf(rho[i])));
-    }
-
-    ql.muBias.resize(layer.muBias().size());
-    ql.sigmaBias.resize(layer.muBias().size());
-    for (std::size_t i = 0; i < layer.muBias().size(); ++i) {
-        ql.muBias[i] = static_cast<std::int32_t>(
-            q.weightFormat.fromReal(layer.muBias()[i]));
-        ql.sigmaBias[i] = static_cast<std::int32_t>(
-            q.weightFormat.fromReal(
-                bnn::VariationalConv2d::sigmaOf(layer.rhoBias()[i])));
-    }
-    q.layers.push_back(std::move(ql));
+    q.layers.push_back(quantizeBank(
+        layer.muWeight().data().data(), layer.rhoWeight().data().data(),
+        layer.muBias().data(), layer.rhoBias().data(),
+        layer.spec().patchSize(), layer.spec().outChannels,
+        q.weightFormat));
     return q;
 }
 
@@ -53,39 +103,38 @@ ConvLayerRunner::ConvLayerRunner(const bnn::VariationalConv2d &layer,
                                  const AcceleratorConfig &config,
                                  grng::GaussianGenerator *generator,
                                  bool apply_relu)
-    : spec_(layer.spec()), config_(config), applyRelu_(apply_relu),
-      lowered_(quantizeConvLayer(layer, config))
+    : spec_(layer.spec()), config_(config)
 {
     VIBNN_ASSERT(spec_.valid(), "invalid conv geometry");
-    sim_ = std::make_unique<Simulator>(lowered_, config_, generator);
-    patchReal_.resize(spec_.patchSize());
+
+    // A one-op program: the conv layer, then output staging.
+    program_.activationFormat = config.activationFormat();
+    program_.weightFormat = config.weightFormat();
+    program_.epsFormat = config.epsFormat();
+    ProgramOp op;
+    op.kind = OpKind::ConvLowered;
+    op.conv = spec_;
+    op.inSize = spec_.inputSize();
+    op.outSize = spec_.outputSize();
+    op.relu = apply_relu;
+    op.bank = quantizeConvLayer(layer, config).layers.front();
+    op.label = "conv (single-layer study)";
+    program_.ops.push_back(std::move(op));
+    ProgramOp out;
+    out.kind = OpKind::Output;
+    out.inSize = spec_.outputSize();
+    out.outSize = spec_.outputSize();
+    out.relu = false;
+    out.label = "output";
+    program_.ops.push_back(std::move(out));
+
+    sim_ = std::make_unique<Simulator>(program_, config_, generator);
 }
 
 std::vector<std::int64_t>
 ConvLayerRunner::runPass(const float *x)
 {
-    nn::im2col(spec_, x, patches_);
-    const std::size_t positions = spec_.positions();
-    const std::size_t channels = spec_.outChannels;
-    std::vector<std::int64_t> out(spec_.outputSize());
-
-    for (std::size_t p = 0; p < positions; ++p) {
-        const float *patch = patches_.row(p);
-        // One simulator pass per output position: the patch is this
-        // position's "image", the filter bank its dense layer.
-        const auto raw = sim_->runPass(patch);
-        for (std::size_t oc = 0; oc < channels; ++oc) {
-            std::int64_t v = raw[oc];
-            // The simulator finishes a single-layer network on the
-            // no-ReLU output path; clamping after the floor-shift is
-            // arithmetically identical to the PE's finishNeuron ReLU
-            // (the test suite pins this equality down).
-            if (applyRelu_ && v < 0)
-                v = 0;
-            out[oc * positions + p] = v;
-        }
-    }
-    return out;
+    return sim_->runPass(x);
 }
 
 std::vector<float>
@@ -95,7 +144,7 @@ ConvLayerRunner::runPassReal(const float *x)
     std::vector<float> real(raw.size());
     for (std::size_t i = 0; i < raw.size(); ++i) {
         real[i] = static_cast<float>(
-            lowered_.activationFormat.toReal(raw[i]));
+            program_.activationFormat.toReal(raw[i]));
     }
     return real;
 }

@@ -1,24 +1,27 @@
 /**
  * @file
- * Convolution-on-accelerator lowering.
+ * Convolution-on-accelerator lowering: geometry helpers.
  *
  * The paper's Section 1 claims VIBNN's design principles "are
  * orthogonal to the optimization techniques on convolutional layers"
- * — i.e. the PE array + weight generator serve CNNs too. This module
- * makes that concrete with the standard im2col mapping: one output
- * *position* of a conv layer is a dense neuron bank (outChannels
- * neurons of patchSize inputs), so a conv layer executes as
- * positions() time-multiplexed passes of a single-layer dense network
- * on the unmodified cycle simulator. The weight generator samples a
- * fresh w = mu + sigma*eps per position-pass from the same WPMem
- * planes — the hardware analogue of drawing an independent filter
- * sample per receptive field (a *local* reparameterization in hardware
- * terms; the software direct estimator shares one filter sample across
- * positions, and the tests pin down both semantics).
+ * — i.e. the PE array + weight generator serve CNNs too. The standard
+ * im2col mapping makes that concrete: one output *position* of a conv
+ * layer is a dense neuron bank (outChannels neurons of patchSize
+ * inputs), so a conv layer executes as positions() time-multiplexed
+ * bank schedules on the unmodified datapath. The weight generator
+ * samples a fresh w = mu + sigma*eps per position-pass from the same
+ * WPMem planes — the hardware analogue of drawing an independent
+ * filter sample per receptive field (a *local* reparameterization in
+ * hardware terms; the software direct estimator shares one filter
+ * sample across positions, and the tests pin down both semantics).
  *
- * The host-side im2col gather plays the memory distributor's role;
- * everything from the IFMem word reads to the PE accumulate/ReLU runs
- * in the simulator, so cycle counts and arithmetic are the machine's.
+ * Since the QuantizedProgram IR refactor, the lowering itself lives in
+ * the compiler front-end (accel/program.hh: compile(BayesianConvNet)
+ * emits ConvLowered ops) and both executors run it natively. This
+ * module keeps the raw-grid geometry helpers the executors share
+ * (im2colRaw, maxPoolRaw), the single-layer quantizer, and
+ * ConvLayerRunner — now a thin wrapper that compiles a one-op program
+ * for a single conv layer, kept for layer-level studies and benches.
  */
 
 #ifndef VIBNN_ACCEL_CONV_LOWERING_HH
@@ -38,6 +41,25 @@ namespace vibnn::accel
 {
 
 /**
+ * im2col on raw activation-grid values: patches is resized to
+ * positions() x patchSize() row-major; row p holds the receptive field
+ * of output position p (channel-major, then kernel row, then kernel
+ * column), with zeros where the field overhangs the padded border —
+ * the exact integer mirror of nn::im2col (gather commutes with
+ * element-wise quantization, and the padding zero is fromReal(0)).
+ */
+void im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
+               std::vector<std::int64_t> &patches);
+
+/**
+ * Max pooling on raw activation-grid values (CHW in, CHW out). Max is
+ * monotone on the fixed-point grid, so pooling raw values is exactly
+ * the quantization of pooling real values.
+ */
+void maxPoolRaw(const nn::PoolSpec &spec, const std::int64_t *x,
+                std::int64_t *out);
+
+/**
  * Lower one variational conv layer to a single-layer quantized dense
  * network: outDim = outChannels, inDim = patchSize, with the filter
  * (mu, sigma) planes quantized on the config's grids.
@@ -45,7 +67,7 @@ namespace vibnn::accel
 QuantizedNetwork quantizeConvLayer(const bnn::VariationalConv2d &layer,
                                    const AcceleratorConfig &config);
 
-/** One conv layer running on the cycle simulator. */
+/** One conv layer running on the cycle simulator (a one-op program). */
 class ConvLayerRunner
 {
   public:
@@ -63,9 +85,8 @@ class ConvLayerRunner
                     bool apply_relu = true);
 
     /**
-     * Run one sampled pass over a CHW input image: im2col on the host,
-     * one simulator pass per output position, outputs collected into
-     * CHW maps on the activation grid.
+     * Run one sampled pass over a CHW input image; outputs collected
+     * into CHW maps on the activation grid.
      * @param x Input maps, spec().inputSize() floats.
      * @return Raw activation-grid values, spec().outputSize() entries.
      */
@@ -79,17 +100,14 @@ class ConvLayerRunner
 
     const nn::ConvSpec &spec() const { return spec_; }
 
-    /** Cycles one full conv pass costs: positions x dense-pass cost. */
+    /** Cycles one full conv pass costs: positions x bank-pass cost. */
     std::uint64_t cyclesPerConvPass() const;
 
   private:
     nn::ConvSpec spec_;
     AcceleratorConfig config_;
-    bool applyRelu_;
-    QuantizedNetwork lowered_;
+    QuantizedProgram program_;
     std::unique_ptr<Simulator> sim_;
-    nn::Matrix patches_;
-    std::vector<float> patchReal_;
 };
 
 } // namespace vibnn::accel

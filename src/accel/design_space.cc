@@ -16,31 +16,74 @@
 namespace vibnn::accel
 {
 
-std::uint64_t
-predictPassCycles(const std::vector<std::size_t> &layer_sizes,
-                  const AcceleratorConfig &config)
+namespace
 {
-    VIBNN_ASSERT(layer_sizes.size() >= 2, "need at least one layer");
+
+/** One bank schedule (rounds of M neurons) plus the boundary sync —
+ *  the cost of a Dense op or of one ConvLowered position pass. */
+std::uint64_t
+bankPassCycles(std::uint64_t in, std::uint64_t out,
+               const AcceleratorConfig &config)
+{
     const std::uint64_t m = config.totalPes();
     const std::uint64_t s = config.pesPerSet;
     const std::uint64_t n = config.peInputs();
     constexpr std::uint64_t drain =
         WeightGenerator::pipelineDepth + Pe::pipelineDepth;
 
-    std::uint64_t total = 0;
-    for (std::size_t li = 0; li + 1 < layer_sizes.size(); ++li) {
-        const std::uint64_t in = layer_sizes[li];
-        const std::uint64_t out = layer_sizes[li + 1];
-        const std::uint64_t rounds = (out + m - 1) / m;
-        const std::uint64_t chunks = (in + n - 1) / n;
+    const std::uint64_t rounds = (out + m - 1) / m;
+    const std::uint64_t chunks = (in + n - 1) / n;
 
-        std::uint64_t cycles = rounds * (chunks + drain);
-        // Tail write-back: the final round's words cannot overlap the
-        // next round; one cycle per PE-set that produced any neuron.
-        const std::uint64_t last = out - (rounds - 1) * m;
-        cycles += (last + s - 1) / s;
-        cycles += 2; // layer-boundary controller sync
-        total += cycles;
+    std::uint64_t cycles = rounds * (chunks + drain);
+    // Tail write-back: the final round's words cannot overlap the
+    // next round; one cycle per PE-set that produced any neuron.
+    const std::uint64_t last = out - (rounds - 1) * m;
+    cycles += (last + s - 1) / s;
+    cycles += 2; // boundary controller sync
+    return cycles;
+}
+
+} // namespace
+
+std::uint64_t
+predictPassCycles(const std::vector<std::size_t> &layer_sizes,
+                  const AcceleratorConfig &config)
+{
+    VIBNN_ASSERT(layer_sizes.size() >= 2, "need at least one layer");
+    std::uint64_t total = 0;
+    for (std::size_t li = 0; li + 1 < layer_sizes.size(); ++li)
+        total += bankPassCycles(layer_sizes[li], layer_sizes[li + 1],
+                                config);
+    return total;
+}
+
+std::uint64_t
+predictProgramCycles(const QuantizedProgram &program,
+                     const AcceleratorConfig &config)
+{
+    const std::uint64_t n = config.peInputs();
+    std::uint64_t total = 0;
+    for (const auto &op : program.ops) {
+        switch (op.kind) {
+          case OpKind::Dense:
+            total += bankPassCycles(op.bank.inDim, op.bank.outDim,
+                                    config);
+            break;
+          case OpKind::ConvLowered:
+            total += op.conv.positions() *
+                bankPassCycles(op.conv.patchSize(), op.conv.outChannels,
+                               config);
+            break;
+          case OpKind::Pool:
+            // One word read + one word written per cycle through the
+            // distributor, plus the boundary sync.
+            total += (op.inSize + n - 1) / n + (op.outSize + n - 1) / n +
+                2;
+            break;
+          case OpKind::Flatten:
+          case OpKind::Output:
+            break; // free relabeling / staging
+        }
     }
     return total;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/program.hh"
 #include "hwmodel/network_hw.hh"
 
 namespace vibnn::accel
@@ -67,6 +68,17 @@ struct ExplorerOptions
  */
 std::uint64_t predictPassCycles(const std::vector<std::size_t> &layer_sizes,
                                 const AcceleratorConfig &config);
+
+/**
+ * Analytic per-pass cycle count for a QuantizedProgram on a given
+ * geometry — the program-IR generalization of predictPassCycles.
+ * Dense ops cost one bank schedule, ConvLowered ops cost positions()
+ * bank schedules, Pool ops stream in+out words through the distributor,
+ * Flatten/Output are free. A gtest asserts equality with
+ * Simulator::stats() on multi-op CNN programs.
+ */
+std::uint64_t predictProgramCycles(const QuantizedProgram &program,
+                                   const AcceleratorConfig &config);
 
 /**
  * Non-fatal version of AcceleratorConfig::validate plus device-capacity

@@ -1,14 +1,16 @@
 /**
  * @file
- * Fast functional model of the accelerator datapath.
+ * Fast functional model of the accelerator datapath, driven by the
+ * QuantizedProgram IR.
  *
- * Bit-exact with the cycle-level Simulator (a ctest asserts this): it
- * consumes GRNG samples in the identical (layer, round, chunk, set, pe,
- * lane) order and runs the identical DatapathKernel arithmetic, but
- * skips the memory modeling and cycle accounting. Accuracy benches
- * (Tables 6/7, Figure 18) evaluate thousands of images x MC samples;
+ * Bit-exact with the cycle-level Simulator (a ctest asserts this on
+ * both MLP and CNN programs): it consumes GRNG samples in the identical
+ * canonical (op, position, round, chunk, set, pe, lane) order and runs
+ * the identical DatapathKernel arithmetic, but skips the memory
+ * modeling and cycle accounting. Accuracy benches (Tables 6/7, Figure
+ * 18, the CNN extension) evaluate thousands of images x MC samples;
  * this path makes that feasible while the Simulator provides the
- * timing for Table 5 on a sample of images.
+ * timing on a sample of images.
  */
 
 #ifndef VIBNN_ACCEL_FUNCTIONAL_HH
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/program.hh"
 #include "accel/weight_generator.hh"
 
 namespace vibnn::accel
@@ -27,6 +30,12 @@ namespace vibnn::accel
 class FunctionalRunner
 {
   public:
+    FunctionalRunner(const QuantizedProgram &program,
+                     const AcceleratorConfig &config,
+                     grng::GaussianGenerator *generator);
+
+    /** Legacy front-end: lift a flat QuantizedNetwork into a program
+     *  (one Dense op per layer) and run that. */
     FunctionalRunner(const QuantizedNetwork &network,
                      const AcceleratorConfig &config,
                      grng::GaussianGenerator *generator);
@@ -37,14 +46,23 @@ class FunctionalRunner
     /** MC-ensemble classification (equation (6)). */
     std::size_t classify(const float *x, float *probs = nullptr);
 
-    const QuantizedNetwork &network() const { return network_; }
+    const QuantizedProgram &program() const { return program_; }
 
   private:
-    QuantizedNetwork network_;
+    /** One bank schedule (rounds of M neurons) over a word-padded
+     *  input window — the Dense op body and each ConvLowered position
+     *  pass. Consumes eps for every lane of every chunk cycle, real
+     *  neuron or not, exactly like the simulator. */
+    void runBank(const QuantizedLayer &bank, bool relu,
+                 const std::int64_t *in, std::int64_t *out);
+
+    QuantizedProgram program_;
     AcceleratorConfig config_;
     DatapathKernel kernel_;
     WeightGenerator weightGen_;
     std::vector<std::int64_t> bufferA_, bufferB_;
+    std::vector<std::int64_t> patches_, patchBuf_, bankOut_;
+    std::vector<std::int64_t> acc_;
 };
 
 } // namespace vibnn::accel

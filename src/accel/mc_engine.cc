@@ -11,12 +11,12 @@
 namespace vibnn::accel
 {
 
-McEngine::McEngine(const QuantizedNetwork &network,
+McEngine::McEngine(const QuantizedProgram &program,
                    const AcceleratorConfig &config,
                    const McEngineConfig &mc)
-    : network_(network), config_(config), mc_(mc)
+    : program_(program), config_(config), mc_(mc)
 {
-    config_.validate(network_.layerSizes());
+    validateProgram(program_, config_);
     VIBNN_ASSERT(config_.mcSamples >= 1, "need at least one MC sample");
 
     if (mc_.threads == 0) {
@@ -26,6 +26,13 @@ McEngine::McEngine(const QuantizedNetwork &network,
         if (mc_.threads > 1)
             ownPool_ = std::make_unique<ThreadPool>(mc_.threads - 1);
     }
+}
+
+McEngine::McEngine(const QuantizedNetwork &network,
+                   const AcceleratorConfig &config,
+                   const McEngineConfig &mc)
+    : McEngine(programFromNetwork(network), config, mc)
+{
 }
 
 McEngine::~McEngine() = default;
@@ -52,7 +59,7 @@ McEngine::ensureReplicas(std::size_t n)
         replica.idleGenerator =
             grng::makeGenerator(mc_.generatorId, mc_.seedBase);
         replica.simulator = std::make_unique<Simulator>(
-            network_, config_, replica.idleGenerator.get());
+            program_, config_, replica.idleGenerator.get());
         replicas_.push_back(std::move(replica));
     }
 }
@@ -114,8 +121,8 @@ McEngine::reduceProbs(const std::vector<std::int64_t> *raw_samples,
 {
     // Serial reduction in sample order: the same accumulation sequence
     // Simulator::classify performs, fixed regardless of thread count.
-    const std::size_t out_dim = network_.outputDim();
-    const auto &act = network_.activationFormat;
+    const std::size_t out_dim = program_.outputDim();
+    const auto &act = program_.activationFormat;
     std::vector<float> logits(out_dim);
     std::fill(probs, probs + out_dim, 0.0f);
     for (std::size_t s = 0; s < samples; ++s) {
@@ -134,7 +141,7 @@ std::vector<std::size_t>
 McEngine::classifyBatch(const float *xs, std::size_t count,
                         std::size_t stride, float *probs)
 {
-    const std::size_t out_dim = network_.outputDim();
+    const std::size_t out_dim = program_.outputDim();
     const std::size_t samples =
         static_cast<std::size_t>(config_.mcSamples);
     std::vector<std::size_t> predictions(count, 0);
@@ -155,15 +162,15 @@ McEngine::classifyBatch(const float *xs, std::size_t count,
 std::size_t
 McEngine::classify(const float *x, float *probs)
 {
-    return classifyBatch(x, 1, network_.inputDim(), probs).front();
+    return classifyBatch(x, 1, program_.inputDim(), probs).front();
 }
 
 McResult
 McEngine::classifyDetailed(const float *x)
 {
     McResult result;
-    result.rawSamples = runUnits(x, 1, network_.inputDim());
-    result.probs.assign(network_.outputDim(), 0.0f);
+    result.rawSamples = runUnits(x, 1, program_.inputDim());
+    result.probs.assign(program_.outputDim(), 0.0f);
     reduceProbs(result.rawSamples.data(), result.rawSamples.size(),
                 result.probs.data());
     result.predicted = nn::argmax(result.probs.data(),

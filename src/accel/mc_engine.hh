@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "accel/program.hh"
 #include "accel/simulator.hh"
 #include "common/thread_pool.hh"
 #include "grng/generator.hh"
@@ -65,6 +66,12 @@ struct McResult
 class McEngine
 {
   public:
+    McEngine(const QuantizedProgram &program,
+             const AcceleratorConfig &config,
+             const McEngineConfig &mc = McEngineConfig{});
+
+    /** Legacy front-end: lift a flat QuantizedNetwork into a program
+     *  (one Dense op per layer). */
     McEngine(const QuantizedNetwork &network,
              const AcceleratorConfig &config,
              const McEngineConfig &mc = McEngineConfig{});
@@ -99,6 +106,7 @@ class McEngine
     std::size_t executorCount() const { return executors_; }
 
     const AcceleratorConfig &config() const { return config_; }
+    const QuantizedProgram &program() const { return program_; }
 
     /**
      * Seed of the eps stream for (image, sample) under `seed_base` —
@@ -139,7 +147,7 @@ class McEngine
     void reduceProbs(const std::vector<std::int64_t> *raw_samples,
                      std::size_t samples, float *probs) const;
 
-    QuantizedNetwork network_;
+    QuantizedProgram program_;
     AcceleratorConfig config_;
     McEngineConfig mc_;
     std::size_t executors_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "accel/conv_lowering.hh"
 #include "common/logging.hh"
 #include "nn/activations.hh"
 #include "nn/tensor.hh"
@@ -32,10 +33,10 @@ CycleStats &
 CycleStats::operator+=(const CycleStats &other)
 {
     totalCycles += other.totalCycles;
-    if (layerCycles.size() < other.layerCycles.size())
-        layerCycles.resize(other.layerCycles.size(), 0);
-    for (std::size_t i = 0; i < other.layerCycles.size(); ++i)
-        layerCycles[i] += other.layerCycles[i];
+    if (opCycles.size() < other.opCycles.size())
+        opCycles.resize(other.opCycles.size(), 0);
+    for (std::size_t i = 0; i < other.opCycles.size(); ++i)
+        opCycles[i] += other.opCycles[i];
     ifmemReads += other.ifmemReads;
     ifmemWrites += other.ifmemWrites;
     wpmemReads += other.wpmemReads;
@@ -45,22 +46,29 @@ CycleStats::operator+=(const CycleStats &other)
     return *this;
 }
 
-Simulator::Simulator(const QuantizedNetwork &network,
+Simulator::Simulator(const QuantizedProgram &program,
                      const AcceleratorConfig &config,
                      grng::GaussianGenerator *generator)
-    : network_(network), config_(config), kernel_(network),
+    : program_(program), config_(config),
+      kernel_(program_.activationFormat, program_.weightFormat,
+              program_.epsFormat),
       weightGen_(kernel_, generator)
 {
-    config_.validate(network_.layerSizes());
+    validateProgram(program_, config_);
 
     const int n = config_.peInputs();
     for (int p = 0; p < config_.totalPes(); ++p)
         pes_.emplace_back(kernel_);
 
-    // IFMems sized for the widest layer.
-    std::size_t widest = 0;
-    for (std::size_t w : network_.layerSizes())
-        widest = std::max(widest, w);
+    // IFMems sized for the widest window any op stages: every op
+    // boundary plus conv patches (a patch can exceed the input maps
+    // when the kernel overhangs a small padded input).
+    std::size_t widest = program_.inputDim();
+    for (const auto &op : program_.ops) {
+        widest = std::max({widest, op.inSize, op.outSize});
+        if (op.kind == OpKind::ConvLowered)
+            widest = std::max(widest, op.conv.patchSize());
+    }
     const std::size_t if_depth = (widest + n - 1) / n;
     ifmems_[0] =
         std::make_unique<DualPortRam>("IFMem1", if_depth, n);
@@ -70,6 +78,13 @@ Simulator::Simulator(const QuantizedNetwork &network,
     weights_.resize(static_cast<std::size_t>(config_.pesPerSet) * n);
 
     packWpmems();
+}
+
+Simulator::Simulator(const QuantizedNetwork &network,
+                     const AcceleratorConfig &config,
+                     grng::GaussianGenerator *generator)
+    : Simulator(programFromNetwork(network), config, generator)
+{
 }
 
 void
@@ -86,13 +101,15 @@ Simulator::packWpmems()
     const int n = config_.peInputs();
     const int m = config_.totalPes();
 
-    // Total words per WPMem across all layers.
+    // Total words per WPMem across all compute ops.
     std::size_t depth = 0;
-    layerWpBase_.clear();
-    for (const auto &layer : network_.layers) {
-        layerWpBase_.push_back(depth);
-        const std::size_t rounds = (layer.outDim + m - 1) / m;
-        const std::size_t chunks = (layer.inDim + n - 1) / n;
+    opWpBase_.clear();
+    for (const auto &op : program_.ops) {
+        opWpBase_.push_back(depth);
+        if (!op.isCompute())
+            continue;
+        const std::size_t rounds = (op.bank.outDim + m - 1) / m;
+        const std::size_t chunks = (op.bank.inDim + n - 1) / n;
         depth += rounds * chunks;
     }
 
@@ -104,17 +121,21 @@ Simulator::packWpmems()
             "WPMem" + std::to_string(t + 1) + ".sigma", depth, lanes));
     }
 
-    // Pack: word (layer, round, chunk) for set t holds, for each PE s
-    // in the set, the N parameters of neuron round*M + t*S + s over
-    // inputs [chunk*N, chunk*N + N).
-    for (std::size_t li = 0; li < network_.layers.size(); ++li) {
-        const auto &layer = network_.layers[li];
-        const std::size_t rounds = (layer.outDim + m - 1) / m;
-        const std::size_t chunks = (layer.inDim + n - 1) / n;
+    // Pack: word (op, round, chunk) for set t holds, for each PE s in
+    // the set, the N parameters of neuron round*M + t*S + s over
+    // inputs [chunk*N, chunk*N + N). A ConvLowered op packs its filter
+    // bank once; every position pass re-reads the same words.
+    for (std::size_t oi = 0; oi < program_.ops.size(); ++oi) {
+        const auto &op = program_.ops[oi];
+        if (!op.isCompute())
+            continue;
+        const auto &bank = op.bank;
+        const std::size_t rounds = (bank.outDim + m - 1) / m;
+        const std::size_t chunks = (bank.inDim + n - 1) / n;
         for (std::size_t r = 0; r < rounds; ++r) {
             for (std::size_t c = 0; c < chunks; ++c) {
                 const std::size_t addr =
-                    layerWpBase_[li] + r * chunks + c;
+                    opWpBase_[oi] + r * chunks + c;
                 for (int t = 0; t < t_sets; ++t) {
                     RamWord &mu = wpmemMu_[t]->backdoor(addr);
                     RamWord &sg = wpmemSigma_[t]->backdoor(addr);
@@ -125,12 +146,12 @@ Simulator::packWpmems()
                         for (int k = 0; k < n; ++k) {
                             const std::size_t input = c * n + k;
                             std::int32_t mv = 0, sv = 0;
-                            if (neuron < layer.outDim &&
-                                input < layer.inDim) {
+                            if (neuron < bank.outDim &&
+                                input < bank.inDim) {
                                 const std::size_t idx =
-                                    neuron * layer.inDim + input;
-                                mv = layer.muWeight[idx];
-                                sv = layer.sigmaWeight[idx];
+                                    neuron * bank.inDim + input;
+                                mv = bank.muWeight[idx];
+                                sv = bank.sigmaWeight[idx];
                             }
                             mu[s * n + k] = mv;
                             sg[s * n + k] = sv;
@@ -142,20 +163,18 @@ Simulator::packWpmems()
     }
 }
 
-void
-Simulator::runLayer(std::size_t layer_index, bool output_layer)
+std::uint64_t
+Simulator::runBankRounds(std::size_t wp_index, const QuantizedLayer &bank,
+                         bool relu, DualPortRam &ifmem_in,
+                         DualPortRam &ifmem_out)
 {
-    const auto &layer = network_.layers[layer_index];
     const int t_sets = config_.peSets;
     const int s_pes = config_.pesPerSet;
     const int n = config_.peInputs();
     const int m = config_.totalPes();
 
-    DualPortRam &ifmem_in = *ifmems_[activeIfmem_];
-    DualPortRam &ifmem_out = *ifmems_[1 - activeIfmem_];
-
-    const std::size_t rounds = (layer.outDim + m - 1) / m;
-    const std::size_t chunks = (layer.inDim + n - 1) / n;
+    const std::size_t rounds = (bank.outDim + m - 1) / m;
+    const std::size_t chunks = (bank.inDim + n - 1) / n;
     const std::size_t lanes = static_cast<std::size_t>(s_pes) * n;
     std::uint64_t cycles = 0;
 
@@ -170,7 +189,7 @@ Simulator::runLayer(std::size_t layer_index, bool output_layer)
             ++stats_.ifmemReads;
 
             const std::size_t addr =
-                layerWpBase_[layer_index] + r * chunks + c;
+                opWpBase_[wp_index] + r * chunks + c;
             for (int t = 0; t < t_sets; ++t) {
                 wpmemMu_[t]->beginCycle();
                 wpmemSigma_[t]->beginCycle();
@@ -200,7 +219,7 @@ Simulator::runLayer(std::size_t layer_index, bool output_layer)
         // write into the idle IFMem. Writes overlap the next round's
         // compute (the validate() drain condition guarantees the write
         // port keeps up); only the final round's writes extend the
-        // layer's critical path.
+        // bank's critical path.
         for (int t = 0; t < t_sets; ++t) {
             RamWord &word = distWord_;
             word.assign(n, 0);
@@ -208,14 +227,14 @@ Simulator::runLayer(std::size_t layer_index, bool output_layer)
             for (int s = 0; s < s_pes; ++s) {
                 const std::size_t neuron =
                     r * m + static_cast<std::size_t>(t) * s_pes + s;
-                if (neuron >= layer.outDim)
+                if (neuron >= bank.outDim)
                     continue;
                 any = true;
                 const std::int64_t value = pes_[static_cast<std::size_t>(
                                                     t) * s_pes + s]
                                                .finish(
-                                                   layer.muBias[neuron],
-                                                   output_layer);
+                                                   bank.muBias[neuron],
+                                                   /*output_layer=*/!relu);
                 word[s] = static_cast<std::int32_t>(value);
             }
             if (any) {
@@ -227,9 +246,137 @@ Simulator::runLayer(std::size_t layer_index, bool output_layer)
             }
         }
     }
+    return cycles;
+}
 
-    cycles += 2; // layer-boundary controller sync
-    stats_.layerCycles[layer_index] += cycles;
+void
+Simulator::runDenseOp(std::size_t op_index)
+{
+    const auto &op = program_.ops[op_index];
+    std::uint64_t cycles =
+        runBankRounds(op_index, op.bank, op.relu, *ifmems_[activeIfmem_],
+                      *ifmems_[1 - activeIfmem_]);
+    cycles += 2; // op-boundary controller sync
+    stats_.opCycles[op_index] += cycles;
+    stats_.totalCycles += cycles;
+    activeIfmem_ = 1 - activeIfmem_;
+}
+
+void
+Simulator::runConvOp(std::size_t op_index)
+{
+    const auto &op = program_.ops[op_index];
+    const int n = config_.peInputs();
+    DualPortRam &ifmem_in = *ifmems_[activeIfmem_];
+    DualPortRam &ifmem_out = *ifmems_[1 - activeIfmem_];
+
+    // Host-side gather (the memory distributor's external role): pull
+    // the CHW input maps out of the active IFMem and im2col them. The
+    // transfer is pipelined with compute and not charged cycles, like
+    // the image load in runPass.
+    mapStage_.resize(op.inSize);
+    for (std::size_t i = 0; i < op.inSize; ++i)
+        mapStage_[i] = ifmem_in.backdoor(i / n)[i % n];
+    im2colRaw(op.conv, mapStage_.data(), patchStage_);
+
+    const std::size_t positions = op.conv.positions();
+    const std::size_t patch = op.conv.patchSize();
+    const std::size_t chunks = (patch + n - 1) / n;
+    outStage_.assign(op.outSize, 0);
+
+    std::uint64_t cycles = 0;
+    for (std::size_t p = 0; p < positions; ++p) {
+        // Stage this position's patch into the active IFMem, padded to
+        // whole N-wide words.
+        const std::int64_t *row = patchStage_.data() + p * patch;
+        for (std::size_t w = 0; w < chunks; ++w) {
+            RamWord &word = ifmem_in.backdoor(w);
+            for (int k = 0; k < n; ++k) {
+                const std::size_t i = w * n + k;
+                word[k] = i < patch
+                              ? static_cast<std::int32_t>(row[i])
+                              : 0;
+            }
+        }
+
+        // One bank schedule per output position — fresh weight samples
+        // from the same WPMem planes each time.
+        cycles += runBankRounds(op_index, op.bank, op.relu, ifmem_in,
+                                ifmem_out) +
+            2; // position-boundary controller sync
+
+        // Collect the position's channel column into the CHW staging.
+        for (std::size_t oc = 0; oc < op.conv.outChannels; ++oc) {
+            outStage_[oc * positions + p] =
+                ifmem_out.backdoor(oc / n)[oc % n];
+        }
+    }
+
+    // Re-stage the CHW output maps into the idle IFMem (distributor
+    // write-back, overlapped with the final position's drain).
+    for (std::size_t w = 0; w * n < op.outSize; ++w) {
+        RamWord &word = ifmem_out.backdoor(w);
+        for (int k = 0; k < n; ++k) {
+            const std::size_t i = w * n + k;
+            word[k] = i < op.outSize
+                          ? static_cast<std::int32_t>(outStage_[i])
+                          : 0;
+        }
+    }
+
+    stats_.opCycles[op_index] += cycles;
+    stats_.totalCycles += cycles;
+    activeIfmem_ = 1 - activeIfmem_;
+}
+
+void
+Simulator::runPoolOp(std::size_t op_index)
+{
+    const auto &op = program_.ops[op_index];
+    const int n = config_.peInputs();
+    DualPortRam &ifmem_in = *ifmems_[activeIfmem_];
+    DualPortRam &ifmem_out = *ifmems_[1 - activeIfmem_];
+
+    // Stream the maps through the distributor datapath: one word read
+    // per cycle into the comparator line buffer...
+    const std::size_t in_words = (op.inSize + n - 1) / n;
+    mapStage_.resize(op.inSize);
+    std::uint64_t cycles = 0;
+    for (std::size_t w = 0; w < in_words; ++w) {
+        ifmem_in.beginCycle();
+        const RamWord &word = ifmem_in.read(w);
+        ++stats_.ifmemReads;
+        for (int k = 0; k < n; ++k) {
+            const std::size_t i = w * n + k;
+            if (i < op.inSize)
+                mapStage_[i] = word[k];
+        }
+        ++cycles;
+    }
+
+    // ...max over each window (monotone on the activation grid, so raw
+    // comparison is exact)...
+    outStage_.assign(op.outSize, 0);
+    maxPoolRaw(op.pool, mapStage_.data(), outStage_.data());
+
+    // ...and one word written per cycle into the idle IFMem.
+    const std::size_t out_words = (op.outSize + n - 1) / n;
+    RamWord &word = distWord_;
+    for (std::size_t w = 0; w < out_words; ++w) {
+        word.assign(n, 0);
+        for (int k = 0; k < n; ++k) {
+            const std::size_t i = w * n + k;
+            if (i < op.outSize)
+                word[k] = static_cast<std::int32_t>(outStage_[i]);
+        }
+        ifmem_out.beginCycle();
+        ifmem_out.write(w, word);
+        ++stats_.ifmemWrites;
+        ++cycles;
+    }
+
+    cycles += 2; // op-boundary controller sync
+    stats_.opCycles[op_index] += cycles;
     stats_.totalCycles += cycles;
     activeIfmem_ = 1 - activeIfmem_;
 }
@@ -238,16 +385,16 @@ std::vector<std::int64_t>
 Simulator::runPass(const float *x)
 {
     const int n = config_.peInputs();
-    const auto &act = network_.activationFormat;
+    const auto &act = program_.activationFormat;
 
-    if (stats_.layerCycles.size() != network_.layers.size())
-        stats_.layerCycles.assign(network_.layers.size(), 0);
+    if (stats_.opCycles.size() != program_.ops.size())
+        stats_.opCycles.assign(program_.ops.size(), 0);
 
     // Load the quantized image into the active IFMem (backdoor: the
     // external-memory transfer is pipelined with compute and is not
     // part of the per-image cycle count; see EXPERIMENTS.md).
     activeIfmem_ = 0;
-    const std::size_t in_dim = network_.inputDim();
+    const std::size_t in_dim = program_.inputDim();
     for (std::size_t w = 0; w * n < in_dim; ++w) {
         RamWord &word = ifmems_[0]->backdoor(w);
         for (int k = 0; k < n; ++k) {
@@ -258,11 +405,27 @@ Simulator::runPass(const float *x)
         }
     }
 
-    for (std::size_t li = 0; li < network_.layers.size(); ++li)
-        runLayer(li, li + 1 == network_.layers.size());
+    for (std::size_t oi = 0; oi < program_.ops.size(); ++oi) {
+        switch (program_.ops[oi].kind) {
+          case OpKind::Dense:
+            runDenseOp(oi);
+            break;
+          case OpKind::ConvLowered:
+            runConvOp(oi);
+            break;
+          case OpKind::Pool:
+            runPoolOp(oi);
+            break;
+          case OpKind::Flatten:
+          case OpKind::Output:
+            // Pure relabeling / staging: the activation window stays
+            // where it is, no cycles.
+            break;
+        }
+    }
 
-    // Collect the output layer from the now-active IFMem.
-    const std::size_t out_dim = network_.outputDim();
+    // Collect the output window from the now-active IFMem.
+    const std::size_t out_dim = program_.outputDim();
     std::vector<std::int64_t> out(out_dim);
     for (std::size_t i = 0; i < out_dim; ++i) {
         const RamWord &word = ifmems_[activeIfmem_]->backdoor(i / n);
@@ -282,10 +445,10 @@ Simulator::runPass(const float *x)
 std::size_t
 Simulator::classify(const float *x, float *probs)
 {
-    const std::size_t out_dim = network_.outputDim();
+    const std::size_t out_dim = program_.outputDim();
     std::vector<float> acc(out_dim, 0.0f);
     std::vector<float> logits(out_dim);
-    const auto &act = network_.activationFormat;
+    const auto &act = program_.activationFormat;
 
     for (int s = 0; s < config_.mcSamples; ++s) {
         const auto raw = runPass(x);

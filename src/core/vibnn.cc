@@ -10,9 +10,21 @@ VibnnSystem::VibnnSystem(const bnn::BayesianMlp &net,
                          std::string grng_id, std::uint64_t seed)
     : net_(std::make_unique<bnn::BayesianMlp>(net)), config_(config),
       quantized_(accel::quantizeNetwork(net, config)),
+      program_(accel::programFromNetwork(quantized_)),
       grngId_(std::move(grng_id)), seed_(seed)
 {
-    config_.validate(quantized_.layerSizes());
+    // programFromNetwork does not validate; fail fast here like
+    // compile() would.
+    accel::validateProgram(program_, config_);
+}
+
+VibnnSystem::VibnnSystem(const bnn::BayesianConvNet &net,
+                         const accel::AcceleratorConfig &config,
+                         std::string grng_id, std::uint64_t seed)
+    : cnn_(std::make_unique<bnn::BayesianConvNet>(net)), config_(config),
+      program_(accel::compile(net, config)), grngId_(std::move(grng_id)),
+      seed_(seed)
+{
 }
 
 VibnnSystem
@@ -34,11 +46,49 @@ VibnnSystem::train(const data::Dataset &dataset,
                        train_config.seed + 0xC0FFEE);
 }
 
+const bnn::BayesianMlp &
+VibnnSystem::network() const
+{
+    if (!net_)
+        fatal("VibnnSystem::network(): this system wraps a CNN; use "
+              "convNetwork()");
+    return *net_;
+}
+
+bnn::BayesianMlp &
+VibnnSystem::network()
+{
+    if (!net_)
+        fatal("VibnnSystem::network(): this system wraps a CNN; use "
+              "convNetwork()");
+    return *net_;
+}
+
+const bnn::BayesianConvNet &
+VibnnSystem::convNetwork() const
+{
+    if (!cnn_)
+        fatal("VibnnSystem::convNetwork(): this system wraps an MLP; "
+              "use network()");
+    return *cnn_;
+}
+
+const accel::QuantizedNetwork &
+VibnnSystem::quantized() const
+{
+    if (!net_)
+        fatal("VibnnSystem::quantized(): a CNN program has no flat "
+              "layer view; use program()");
+    return quantized_;
+}
+
 double
 VibnnSystem::softwareAccuracy(const nn::DataView &data,
                               std::size_t mc_samples,
                               std::uint64_t seed) const
 {
+    if (cnn_)
+        return bnn::evaluateBcnnAccuracy(*cnn_, data, mc_samples, seed);
     return bnn::evaluateBnnAccuracy(*net_, data, mc_samples, seed);
 }
 
@@ -46,7 +96,7 @@ double
 VibnnSystem::hardwareAccuracy(const nn::DataView &data) const
 {
     auto generator = grng::makeGenerator(grngId_, seed_);
-    accel::FunctionalRunner runner(quantized_, config_, generator.get());
+    accel::FunctionalRunner runner(program_, config_, generator.get());
     if (data.count == 0)
         return 0.0;
     std::size_t correct = 0;
@@ -59,13 +109,41 @@ VibnnSystem::hardwareAccuracy(const nn::DataView &data) const
     return static_cast<double>(correct) / static_cast<double>(data.count);
 }
 
+std::vector<std::size_t>
+VibnnSystem::classifyBatch(const nn::DataView &data, std::size_t threads,
+                           float *probs) const
+{
+    accel::McEngineConfig mc;
+    mc.threads = threads;
+    mc.generatorId = grngId_;
+    mc.seedBase = seed_;
+    accel::McEngine engine(program_, config_, mc);
+    return engine.classifyBatch(data.features, data.count, data.dim,
+                                probs);
+}
+
+double
+VibnnSystem::hardwareAccuracyBatched(const nn::DataView &data,
+                                     std::size_t threads) const
+{
+    if (data.count == 0)
+        return 0.0;
+    const auto predictions = classifyBatch(data, threads);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.count; ++i) {
+        if (predictions[i] == static_cast<std::size_t>(data.labels[i]))
+            ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.count);
+}
+
 accel::CycleStats
 VibnnSystem::simulateTiming(const nn::DataView &data,
                             std::size_t images) const
 {
     VIBNN_ASSERT(data.count > 0, "need at least one image");
     auto generator = grng::makeGenerator(grngId_, seed_);
-    accel::Simulator sim(quantized_, config_, generator.get());
+    accel::Simulator sim(program_, config_, generator.get());
     for (std::size_t i = 0; i < images; ++i)
         sim.runPass(data.sample(i % data.count));
     return sim.stats();
@@ -80,16 +158,15 @@ VibnnSystem::makeSimulator() const
     auto *gen_raw = generator.release();
     struct OwningSimulator : accel::Simulator
     {
-        OwningSimulator(const accel::QuantizedNetwork &n,
+        OwningSimulator(const accel::QuantizedProgram &p,
                         const accel::AcceleratorConfig &c,
                         grng::GaussianGenerator *g)
-            : accel::Simulator(n, c, g), owned(g)
+            : accel::Simulator(p, c, g), owned(g)
         {
         }
         std::unique_ptr<grng::GaussianGenerator> owned;
     };
-    return std::make_unique<OwningSimulator>(quantized_, config_,
-                                             gen_raw);
+    return std::make_unique<OwningSimulator>(program_, config_, gen_raw);
 }
 
 std::unique_ptr<accel::FunctionalRunner>
@@ -99,15 +176,15 @@ VibnnSystem::makeFunctionalRunner() const
     auto *gen_raw = generator.release();
     struct OwningRunner : accel::FunctionalRunner
     {
-        OwningRunner(const accel::QuantizedNetwork &n,
+        OwningRunner(const accel::QuantizedProgram &p,
                      const accel::AcceleratorConfig &c,
                      grng::GaussianGenerator *g)
-            : accel::FunctionalRunner(n, c, g), owned(g)
+            : accel::FunctionalRunner(p, c, g), owned(g)
         {
         }
         std::unique_ptr<grng::GaussianGenerator> owned;
     };
-    return std::make_unique<OwningRunner>(quantized_, config_, gen_raw);
+    return std::make_unique<OwningRunner>(program_, config_, gen_raw);
 }
 
 hw::DesignEstimate
@@ -115,8 +192,27 @@ VibnnSystem::resourceEstimate() const
 {
     hw::NetworkHwConfig hw_config;
     hw_config.layerSizes.clear();
-    for (std::size_t s : quantized_.layerSizes())
-        hw_config.layerSizes.push_back(static_cast<int>(s));
+    // Activation-window chain (reporting) plus direct WPMem/IFMem
+    // sizing from the program: conv banks hold outChannels * patchSize
+    // parameters — far fewer than a dense map-to-map matrix — and the
+    // IFMem must hold the widest window any op stages.
+    hw_config.layerSizes.push_back(
+        static_cast<int>(program_.inputDim()));
+    std::int64_t params = 0;
+    std::size_t widest = program_.inputDim();
+    for (const auto &op : program_.ops) {
+        widest = std::max({widest, op.inSize, op.outSize});
+        if (op.kind == accel::OpKind::ConvLowered)
+            widest = std::max(widest, op.conv.patchSize());
+        if (!op.isCompute())
+            continue;
+        hw_config.layerSizes.push_back(static_cast<int>(op.outSize));
+        params += static_cast<std::int64_t>(op.bank.inDim) *
+                op.bank.outDim +
+            op.bank.outDim;
+    }
+    hw_config.paramCountOverride = params;
+    hw_config.widestActivationOverride = static_cast<int>(widest);
     hw_config.peSets = config_.peSets;
     hw_config.pesPerSet = config_.pesPerSet;
     hw_config.peInputs = config_.peInputs();

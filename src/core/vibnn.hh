@@ -2,18 +2,20 @@
  * @file
  * VIBNN public facade — the API a downstream user adopts.
  *
- * A VibnnSystem owns a trained Bayesian MLP together with an
- * accelerator configuration and provides the full deployment flow of
- * the paper:
+ * A VibnnSystem owns a trained Bayesian network — an MLP *or* a CNN —
+ * together with an accelerator configuration and provides the full
+ * deployment flow of the paper:
  *
  *   train (host, Bayes-by-Backprop)
- *     -> quantize (mu, sigma) onto the B-bit grids
+ *     -> compile into a QuantizedProgram on the B-bit grids
  *     -> run inference either in software (float, MC ensemble) or on
- *        the modeled hardware (functional fixed-point path, or the
- *        cycle-level simulator for timing)
+ *        the modeled hardware (functional fixed-point path, the
+ *        cycle-level simulator for timing, or the parallel McEngine
+ *        for batched classification)
  *     -> query the FPGA resource / power / throughput estimates.
  *
- * See examples/quickstart.cc for the canonical usage.
+ * See examples/quickstart.cc (MLP) and examples/bayesian_lenet.cc
+ * (CNN-on-accelerator) for the canonical usage.
  */
 
 #ifndef VIBNN_CORE_VIBNN_HH
@@ -23,7 +25,10 @@
 #include <string>
 
 #include "accel/functional.hh"
+#include "accel/mc_engine.hh"
+#include "accel/program.hh"
 #include "accel/simulator.hh"
+#include "bnn/bayesian_cnn.hh"
 #include "bnn/bnn_trainer.hh"
 #include "data/dataset.hh"
 #include "grng/registry.hh"
@@ -37,7 +42,7 @@ class VibnnSystem
 {
   public:
     /**
-     * @param net A (typically trained) Bayesian network; copied in.
+     * @param net A (typically trained) Bayesian MLP; copied in.
      * @param config Accelerator geometry and bit-length.
      * @param grng_id GRNG design id (see grng::makeGenerator).
      * @param seed Seed for the hardware GRNG instance.
@@ -46,19 +51,35 @@ class VibnnSystem
                 const accel::AcceleratorConfig &config,
                 std::string grng_id = "rlf", std::uint64_t seed = 1);
 
-    /** Train a fresh BNN on a dataset and wrap it. */
+    /** Same deployment flow for a Bayesian CNN: the compiler lowers
+     *  conv layers via im2col into ConvLowered program ops. */
+    VibnnSystem(const bnn::BayesianConvNet &net,
+                const accel::AcceleratorConfig &config,
+                std::string grng_id = "rlf", std::uint64_t seed = 1);
+
+    /** Train a fresh Bayesian MLP on a dataset and wrap it. */
     static VibnnSystem train(const data::Dataset &dataset,
                              const std::vector<std::size_t> &hidden,
                              const bnn::BnnTrainConfig &train_config,
                              const accel::AcceleratorConfig &accel_config,
                              const std::string &grng_id = "rlf");
 
-    /** The software model. */
-    const bnn::BayesianMlp &network() const { return *net_; }
-    bnn::BayesianMlp &network() { return *net_; }
+    /** True when the wrapped model is a CNN. */
+    bool isConvolutional() const { return cnn_ != nullptr; }
 
-    /** The quantized deployment image. */
-    const accel::QuantizedNetwork &quantized() const { return quantized_; }
+    /** The software MLP model (fatal if this system wraps a CNN). */
+    const bnn::BayesianMlp &network() const;
+    bnn::BayesianMlp &network();
+
+    /** The software CNN model (fatal if this system wraps an MLP). */
+    const bnn::BayesianConvNet &convNetwork() const;
+
+    /** The compiled deployment program. */
+    const accel::QuantizedProgram &program() const { return program_; }
+
+    /** Legacy flat view of the quantized MLP (fatal for CNN systems —
+     *  a CNN program has no flat-layer representation). */
+    const accel::QuantizedNetwork &quantized() const;
 
     const accel::AcceleratorConfig &config() const { return config_; }
     const std::string &grngId() const { return grngId_; }
@@ -72,8 +93,26 @@ class VibnnSystem
     double hardwareAccuracy(const nn::DataView &data) const;
 
     /**
+     * Batched MC-ensemble classification on McEngine — the parallel
+     * hardware path, so examples/benches stop re-implementing the MC
+     * loop. Bit-identical for any thread count.
+     * @param data Images to classify.
+     * @param threads Worker parallelism (0 sizes from the global pool).
+     * @param probs Optional: count * outputDim averaged probabilities.
+     * @return Predicted class per image.
+     */
+    std::vector<std::size_t> classifyBatch(const nn::DataView &data,
+                                           std::size_t threads = 0,
+                                           float *probs = nullptr) const;
+
+    /** MC-ensemble accuracy via classifyBatch (parallel McEngine). */
+    double hardwareAccuracyBatched(const nn::DataView &data,
+                                   std::size_t threads = 0) const;
+
+    /**
      * Cycle-accurate timing: simulate `images` single MC passes and
-     * return the statistics (cycles per pass feeds Table 5).
+     * return the statistics (cycles per pass feeds Table 5; opCycles
+     * breaks the cost down per program op).
      */
     accel::CycleStats simulateTiming(const nn::DataView &data,
                                      std::size_t images) const;
@@ -92,8 +131,12 @@ class VibnnSystem
 
   private:
     std::unique_ptr<bnn::BayesianMlp> net_;
+    std::unique_ptr<bnn::BayesianConvNet> cnn_;
     accel::AcceleratorConfig config_;
+    /** Flat legacy view, populated for MLP systems only (the program
+     *  is derived from it, so the banks are quantized once). */
     accel::QuantizedNetwork quantized_;
+    accel::QuantizedProgram program_;
     std::string grngId_;
     std::uint64_t seed_;
 };

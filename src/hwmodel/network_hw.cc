@@ -123,12 +123,15 @@ networkEstimate(const NetworkHwConfig &config)
         // (equation (15b)). Allocation is block-granular: the reported
         // memory bits are the padded capacity, matching how the paper's
         // utilization table counts.
-        std::int64_t param_count = 0;
-        for (std::size_t i = 0; i + 1 < config.layerSizes.size(); ++i) {
-            param_count += static_cast<std::int64_t>(
-                               config.layerSizes[i]) *
-                    config.layerSizes[i + 1] +
-                config.layerSizes[i + 1];
+        std::int64_t param_count = config.paramCountOverride;
+        if (param_count == 0) {
+            for (std::size_t i = 0; i + 1 < config.layerSizes.size();
+                 ++i) {
+                param_count += static_cast<std::int64_t>(
+                                   config.layerSizes[i]) *
+                        config.layerSizes[i + 1] +
+                    config.layerSizes[i + 1];
+            }
         }
         const std::int64_t param_bits = 2 * param_count * b; // mu + sigma
         const int word_bits = b * n * s;
@@ -149,9 +152,11 @@ networkEstimate(const NetworkHwConfig &config)
     {
         ResourceEstimate r;
         const int word_bits = b * n;
-        int widest = 0;
-        for (int w : config.layerSizes)
-            widest = std::max(widest, w);
+        int widest = config.widestActivationOverride;
+        if (widest == 0) {
+            for (int w : config.layerSizes)
+                widest = std::max(widest, w);
+        }
         const int depth = (widest + n - 1) / n;
         for (int i = 0; i < 2; ++i)
             r += blockRam(std::max(depth, 32), word_bits);

@@ -47,6 +47,17 @@ struct NetworkHwConfig
     /** Pool entries per Wallace unit in the full design (128 matches
      *  the paper's Table 4 memory-bit delta between the two designs). */
     int wallacePoolSize = 128;
+    /**
+     * Direct total (weight + bias) parameter count for the WPMem
+     * sizing; 0 derives it from layerSizes as a dense chain.
+     * Program-compiled workloads (CNNs) must set this: a conv bank
+     * holds outChannels * patchSize parameters, not a dense
+     * map-to-map matrix.
+     */
+    std::int64_t paramCountOverride = 0;
+    /** Widest activation window for the IFMem sizing; 0 derives it
+     *  from layerSizes. */
+    int widestActivationOverride = 0;
 };
 
 /** Itemized whole-design estimate, with fmax and power filled in. */

@@ -237,9 +237,9 @@ TEST(Simulator, CycleCountMatchesAnalyticModel)
     //     9 live sets); L2: 2*(25+5) + 9 + 2 = 71; L3: 1*(25+5) + 2 +
     //     2 = 34 (10 outputs -> 2 live sets).
     const auto &stats = sim.stats();
-    EXPECT_EQ(stats.layerCycles[0], 217u);
-    EXPECT_EQ(stats.layerCycles[1], 71u);
-    EXPECT_EQ(stats.layerCycles[2], 34u);
+    EXPECT_EQ(stats.opCycles[0], 217u);
+    EXPECT_EQ(stats.opCycles[1], 71u);
+    EXPECT_EQ(stats.opCycles[2], 34u);
     EXPECT_EQ(stats.totalCycles, 322u);
 }
 

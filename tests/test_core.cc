@@ -111,4 +111,112 @@ TEST(VibnnSystem, QuantizedImageMatchesConfig)
     EXPECT_EQ(sys.quantized().layers.size(), 3u);
     EXPECT_EQ(sys.quantized().activationFormat.totalBits(),
               sys.config().bits);
+    // The compiled program carries the same dense chain plus the
+    // output staging op.
+    EXPECT_EQ(sys.program().ops.size(), 4u);
+}
+
+TEST(VibnnSystem, ClassifyBatchMatchesFunctionalSerial)
+{
+    // classifyBatch rides McEngine, whose per-unit streams differ from
+    // the functional runner's single stream — but with sigma frozen
+    // out both reduce to the same deterministic quantized network, so
+    // predictions and probabilities must agree exactly, for any
+    // thread count.
+    const auto ds = smallDataset();
+    auto sys = smallSystem(ds);
+    for (auto &layer : sys.network().layers()) {
+        for (auto &rho : layer.rhoWeight().data())
+            rho = -40.0f;
+        for (auto &rho : layer.rhoBias())
+            rho = -40.0f;
+    }
+    const core::VibnnSystem frozen(sys.network(), sys.config(),
+                                   sys.grngId());
+
+    const std::size_t count = 6;
+    nn::DataView few = ds.test.view();
+    few.count = count;
+
+    auto runner = frozen.makeFunctionalRunner();
+    std::vector<std::size_t> serial(count);
+    for (std::size_t i = 0; i < count; ++i)
+        serial[i] = runner->classify(few.sample(i));
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+        const auto batch = frozen.classifyBatch(few, threads);
+        ASSERT_EQ(batch.size(), count);
+        for (std::size_t i = 0; i < count; ++i)
+            EXPECT_EQ(batch[i], serial[i])
+                << "threads=" << threads << " image " << i;
+    }
+}
+
+namespace
+{
+
+bnn::BayesianConvNet
+tinyCnn(std::uint64_t seed)
+{
+    nn::ConvNetConfig cfg;
+    cfg.inChannels = 1;
+    cfg.imageHeight = 8;
+    cfg.imageWidth = 8;
+    cfg.blocks = {{3, 3, 1, 1, true, 2}, {4, 3, 1, 1, true, 2}};
+    cfg.denseHidden = {12};
+    cfg.numClasses = 4;
+    Rng rng(seed);
+    return bnn::BayesianConvNet(cfg, rng, -2.0f);
+}
+
+accel::AcceleratorConfig
+cnnAccelConfig()
+{
+    accel::AcceleratorConfig ac;
+    ac.peSets = 2;
+    ac.pesPerSet = 4;
+    ac.mcSamples = 2;
+    return ac;
+}
+
+} // anonymous namespace
+
+TEST(VibnnSystem, WrapsConvolutionalNetworks)
+{
+    const auto net = tinyCnn(7);
+    const core::VibnnSystem sys(net, cnnAccelConfig());
+    EXPECT_TRUE(sys.isConvolutional());
+    EXPECT_EQ(sys.program().inputDim(), 64u);
+    EXPECT_EQ(sys.program().outputDim(), 4u);
+    EXPECT_EQ(sys.convNetwork().outputDim(), 4u);
+
+    // The full deployment surface works on the CNN program.
+    auto sim = sys.makeSimulator();
+    auto fun = sys.makeFunctionalRunner();
+    std::vector<float> x(64, 0.4f);
+    ASSERT_EQ(sim->runPass(x.data()), fun->runPass(x.data()));
+    EXPECT_GT(sim->stats().totalCycles, 0u);
+
+    const auto estimate = sys.resourceEstimate();
+    EXPECT_GT(estimate.total().alms, 0.0);
+}
+
+TEST(VibnnSystem, CnnTimingReportsPerOpCycles)
+{
+    const auto net = tinyCnn(11);
+    const core::VibnnSystem sys(net, cnnAccelConfig());
+
+    std::vector<float> image(64, 0.25f);
+    std::vector<int> label(1, 0);
+    nn::DataView view;
+    view.count = 1;
+    view.dim = 64;
+    view.features = image.data();
+    view.labels = label.data();
+
+    const auto stats = sys.simulateTiming(view, 2);
+    EXPECT_EQ(stats.images, 2u);
+    ASSERT_EQ(stats.opCycles.size(), sys.program().ops.size());
+    // Conv ops dominate: positions x bank passes each.
+    EXPECT_GT(stats.opCycles[0], stats.opCycles[5]);
 }
