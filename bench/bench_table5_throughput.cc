@@ -18,9 +18,12 @@
 
 #include "bench_util.hh"
 #include "accel/mc_engine.hh"
+#include "accel/program.hh"
 #include "accel/simulator.hh"
 #include "bnn/bayesian_mlp.hh"
+#include "bnn/bnn_trainer.hh"
 #include "common/thread_pool.hh"
+#include "data/synth_mnist.hh"
 #include "grng/registry.hh"
 #include "hwmodel/network_hw.hh"
 
@@ -158,5 +161,136 @@ main()
     if (engine.executorCount() <= 1)
         std::printf("note: single-core host — McEngine ran inline; "
                     "the >= 2x target needs a multi-core machine\n");
+
+    // --- Batched weight-reuse inference (executor backends) -----------
+    // Per-pass fidelity (functional backend, fresh weights per (image,
+    // sample) unit) against the weight-reuse round schedule (batched
+    // backend: one weight draw per compute op per MC round, shared
+    // across the whole batch) at matched T on a trained synth-MNIST
+    // classifier, so the accuracy cost of reuse is visible next to the
+    // throughput win. Both run single-replica so the ratio isolates
+    // the algorithmic effect, not thread scaling.
+    bench::JsonReport report;
+    data::SynthMnistConfig synth;
+    synth.trainCount = scaledCount(600);
+    synth.testCount = 60; // the fixed reference batch
+    synth.seed = envSeed() + 3;
+    const auto ds = data::makeSynthMnist(synth);
+
+    bnn::BnnTrainConfig train_cfg;
+    train_cfg.epochs = std::max<std::size_t>(1, scaledCount(2));
+    train_cfg.seed = envSeed() + 4;
+    Rng init_rng(train_cfg.seed);
+    bnn::BayesianMlp mnist_net({784, 200, 200, 10}, init_rng);
+    bnn::trainBnn(mnist_net, ds.train.view(), train_cfg);
+
+    const auto program = accel::compile(mnist_net, config);
+    const auto test_view = ds.test.view();
+    const std::size_t batch_images = test_view.count;
+
+    auto accuracy_pct = [&](const std::vector<std::size_t> &preds) {
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            if (preds[i] ==
+                static_cast<std::size_t>(test_view.labels[i]))
+                ++correct;
+        }
+        return 100.0 * static_cast<double>(correct) /
+            static_cast<double>(preds.size());
+    };
+
+    struct ModeRow
+    {
+        const char *name;
+        const char *backend;
+        accel::McSchedule schedule;
+        double imagesPerSecond = 0.0;
+        double accuracy = 0.0;
+    };
+    ModeRow modes[2] = {
+        {"fidelity (per-pass)", "functional",
+         accel::McSchedule::PerUnit},
+        {"throughput (weight reuse)", "batched",
+         accel::McSchedule::PerRound},
+    };
+    for (auto &mode : modes) {
+        accel::McEngineConfig mc_cfg;
+        mc_cfg.threads = 1; // isolate the algorithmic effect
+        mc_cfg.generatorId = "rlf";
+        mc_cfg.seedBase = envSeed() + 5;
+        mc_cfg.backendId = mode.backend;
+        mc_cfg.schedule = mode.schedule;
+        accel::McEngine mode_engine(program, config, mc_cfg);
+        mode_engine.classify(test_view.sample(0)); // steady-state
+        bench::Stopwatch clock;
+        const auto preds = mode_engine.classifyBatch(
+            test_view.features, batch_images, test_view.dim);
+        const double seconds = clock.seconds();
+        mode.imagesPerSecond =
+            static_cast<double>(batch_images) / seconds;
+        mode.accuracy = accuracy_pct(preds);
+    }
+    const double reuse_speedup =
+        modes[1].imagesPerSecond / modes[0].imagesPerSecond;
+
+    TextTable mode_table;
+    mode_table.setHeader({"Exec mode (batch inference)", "Images/s",
+                          "Speedup", "Accuracy", "detail"});
+    for (const auto &mode : modes) {
+        mode_table.addRow(
+            {mode.name, strfmt("%.2f", mode.imagesPerSecond),
+             strfmt("%.2fx",
+                    mode.imagesPerSecond / modes[0].imagesPerSecond),
+             strfmt("%.1f%%", mode.accuracy),
+             strfmt("%s backend, T=%d, %zu-image batch", mode.backend,
+                    config.mcSamples, batch_images)});
+    }
+    std::printf("\n");
+    mode_table.print();
+    std::printf("weight reuse turns T x B passes into T rounds: "
+                "%.2fx at T=%d, B=%zu (accuracy delta %.1f pp)\n",
+                reuse_speedup, config.mcSamples, batch_images,
+                modes[1].accuracy - modes[0].accuracy);
+
+    // Machine-readable trajectory (VIBNN_BENCH_JSON=<path>).
+    report.add(bench::JsonRecord()
+                   .field("bench", "table5")
+                   .field("section", "fpga_model")
+                   .field("backend", "simulator")
+                   .field("cycles_per_pass", cycles)
+                   .field("images_per_s", rlf_perf.imagesPerSecond));
+    report.add(bench::JsonRecord()
+                   .field("bench", "table5")
+                   .field("section", "host_mc")
+                   .field("backend", "simulator")
+                   .field("schedule", "serial")
+                   .field("T", config.mcSamples)
+                   .field("batch", mc_images)
+                   .field("images_per_s", serial_throughput));
+    report.add(bench::JsonRecord()
+                   .field("bench", "table5")
+                   .field("section", "host_mc")
+                   .field("backend", "simulator")
+                   .field("schedule", "per-unit")
+                   .field("T", config.mcSamples)
+                   .field("batch", mc_images)
+                   .field("images_per_s", engine_throughput)
+                   .field("executors", engine.executorCount()));
+    for (const auto &mode : modes) {
+        report.add(
+            bench::JsonRecord()
+                .field("bench", "table5")
+                .field("section", "exec_mode")
+                .field("backend", mode.backend)
+                .field("schedule",
+                       mode.schedule == accel::McSchedule::PerRound
+                           ? "per-round"
+                           : "per-unit")
+                .field("T", config.mcSamples)
+                .field("batch", batch_images)
+                .field("images_per_s", mode.imagesPerSecond)
+                .field("accuracy_pct", mode.accuracy));
+    }
+    report.write();
     return 0;
 }

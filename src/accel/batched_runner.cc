@@ -1,0 +1,200 @@
+#include "accel/batched_runner.hh"
+
+#include <algorithm>
+
+#include "accel/conv_lowering.hh"
+#include "common/logging.hh"
+
+namespace vibnn::accel
+{
+
+namespace
+{
+
+/** Images per GEMM tile: the weight slab streams through cache once
+ *  per tile instead of once per image. */
+constexpr std::size_t kImageTile = 16;
+
+} // namespace
+
+BatchedRunner::BatchedRunner(const QuantizedProgram &program,
+                             const AcceleratorConfig &config,
+                             grng::GaussianGenerator *generator)
+    : program_(program), config_(config),
+      kernel_(program_.activationFormat, program_.weightFormat,
+              program_.epsFormat),
+      weightGen_(kernel_, generator)
+{
+    validateProgram(program_, config_);
+
+    // Arena layout: one contiguous slab of outDim x inDim weights per
+    // compute op.
+    std::size_t total = 0;
+    laneWidth_ = program_.inputDim();
+    for (const auto &op : program_.ops) {
+        opWeightBase_.push_back(total);
+        laneWidth_ = std::max({laneWidth_, op.inSize, op.outSize});
+        if (!op.isCompute())
+            continue;
+        total += op.bank.outDim * op.bank.inDim;
+    }
+    weightArena_.resize(total);
+}
+
+void
+BatchedRunner::setGenerator(grng::GaussianGenerator *generator)
+{
+    weightGen_.setGenerator(generator);
+}
+
+void
+BatchedRunner::sampleRoundWeights()
+{
+    // One posterior draw per compute op, in op order: the identical
+    // w = mu + sigma * eps updater arithmetic as the fidelity
+    // executors, but one eps per *weight* instead of one per lane per
+    // chunk cycle (no padding lanes, no per-position redraw).
+    for (std::size_t oi = 0; oi < program_.ops.size(); ++oi) {
+        const auto &op = program_.ops[oi];
+        if (!op.isCompute())
+            continue;
+        const std::size_t n = op.bank.outDim * op.bank.inDim;
+        if (sampleScratch_.size() < n)
+            sampleScratch_.resize(n);
+        weightGen_.sampleBlock(op.bank.muWeight.data(),
+                               op.bank.sigmaWeight.data(),
+                               sampleScratch_.data(), n);
+        std::int32_t *slab = weightArena_.data() + opWeightBase_[oi];
+        for (std::size_t i = 0; i < n; ++i)
+            slab[i] = static_cast<std::int32_t>(sampleScratch_[i]);
+    }
+}
+
+void
+BatchedRunner::runDenseBatch(const ProgramOp &op,
+                             const std::int32_t *weights,
+                             std::size_t count,
+                             const std::int64_t *act_in,
+                             std::int64_t *act_out)
+{
+    const std::size_t in_dim = op.bank.inDim;
+    const std::size_t out_dim = op.bank.outDim;
+
+    for (std::size_t b0 = 0; b0 < count; b0 += kImageTile) {
+        const std::size_t b1 = std::min(b0 + kImageTile, count);
+        for (std::size_t o = 0; o < out_dim; ++o) {
+            const std::int32_t *w = weights + o * in_dim;
+            const std::int64_t bias = op.bank.muBias[o];
+            for (std::size_t b = b0; b < b1; ++b) {
+                const std::int64_t *x = act_in + b * laneWidth_;
+                std::int64_t acc = 0;
+                for (std::size_t k = 0; k < in_dim; ++k)
+                    acc += w[k] * x[k];
+                act_out[b * laneWidth_ + o] =
+                    op.relu ? kernel_.finishNeuron(acc, bias)
+                            : kernel_.finishOutputNeuron(acc, bias);
+            }
+        }
+    }
+    stats_.macs += count * out_dim * in_dim;
+}
+
+void
+BatchedRunner::runConvBatch(const ProgramOp &op,
+                            const std::int32_t *weights,
+                            std::size_t count,
+                            const std::int64_t *act_in,
+                            std::int64_t *act_out)
+{
+    const std::size_t positions = op.conv.positions();
+    const std::size_t patch = op.conv.patchSize();
+    const std::size_t out_channels = op.conv.outChannels;
+
+    for (std::size_t b = 0; b < count; ++b) {
+        im2colRaw(op.conv, act_in + b * laneWidth_, patches_);
+        std::int64_t *out_maps = act_out + b * laneWidth_;
+        for (std::size_t oc = 0; oc < out_channels; ++oc) {
+            const std::int32_t *w = weights + oc * patch;
+            const std::int64_t bias = op.bank.muBias[oc];
+            std::int64_t *row = out_maps + oc * positions;
+            for (std::size_t p = 0; p < positions; ++p) {
+                const std::int64_t *x = patches_.data() + p * patch;
+                std::int64_t acc = 0;
+                for (std::size_t k = 0; k < patch; ++k)
+                    acc += w[k] * x[k];
+                row[p] = op.relu
+                             ? kernel_.finishNeuron(acc, bias)
+                             : kernel_.finishOutputNeuron(acc, bias);
+            }
+        }
+    }
+    stats_.macs += count * out_channels * positions * patch;
+}
+
+void
+BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
+                             std::size_t stride, std::int64_t *out)
+{
+    const std::size_t out_dim = program_.outputDim();
+    if (count == 0)
+        return;
+
+    sampleRoundWeights();
+
+    // Quantize the batch onto the activation grid, batch-major.
+    const auto &act = program_.activationFormat;
+    const std::size_t in_dim = program_.inputDim();
+    actA_.assign(count * laneWidth_, 0);
+    actB_.assign(count * laneWidth_, 0);
+    for (std::size_t b = 0; b < count; ++b) {
+        std::int64_t *row = actA_.data() + b * laneWidth_;
+        const float *x = xs + b * stride;
+        for (std::size_t i = 0; i < in_dim; ++i)
+            row[i] = act.fromReal(x[i]);
+    }
+
+    std::int64_t *in_buf = actA_.data();
+    std::int64_t *out_buf = actB_.data();
+    for (std::size_t oi = 0; oi < program_.ops.size(); ++oi) {
+        const auto &op = program_.ops[oi];
+        switch (op.kind) {
+          case OpKind::Dense:
+            runDenseBatch(op, weightArena_.data() + opWeightBase_[oi],
+                          count, in_buf, out_buf);
+            std::swap(in_buf, out_buf);
+            break;
+          case OpKind::ConvLowered:
+            runConvBatch(op, weightArena_.data() + opWeightBase_[oi],
+                         count, in_buf, out_buf);
+            std::swap(in_buf, out_buf);
+            break;
+          case OpKind::Pool:
+            for (std::size_t b = 0; b < count; ++b)
+                maxPoolRaw(op.pool, in_buf + b * laneWidth_,
+                           out_buf + b * laneWidth_);
+            std::swap(in_buf, out_buf);
+            break;
+          case OpKind::Flatten:
+          case OpKind::Output:
+            // Pure relabeling / staging.
+            break;
+        }
+    }
+
+    for (std::size_t b = 0; b < count; ++b)
+        std::copy(in_buf + b * laneWidth_,
+                  in_buf + b * laneWidth_ + out_dim, out + b * out_dim);
+
+    stats_.grnSamples = weightGen_.samplesDrawn();
+    stats_.images += count;
+}
+
+std::vector<std::int64_t>
+BatchedRunner::runPass(const float *x)
+{
+    std::vector<std::int64_t> out(program_.outputDim());
+    runRoundBatch(x, 1, program_.inputDim(), out.data());
+    return out;
+}
+
+} // namespace vibnn::accel

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Batched weight-reuse inference path — the "batched" executor backend.
+ *
+ * The fidelity executors (Simulator, FunctionalRunner) draw a fresh
+ * weight sample for every MAC lane of every pass: an MC-ensemble
+ * classification of B images at T samples costs T x B full
+ * sample-and-compute passes. Fan et al.'s FPGA BNN accelerator
+ * (PAPERS.md, arXiv:2105.09163) shows the dominant serving win is to
+ * reuse ONE sampled weight set across a whole input batch per
+ * Monte-Carlo round: the ensemble estimate then costs T blocked-GEMM
+ * rounds, and the per-round weight draw amortizes over B images.
+ *
+ * Per runRoundBatch call this backend:
+ *
+ *   1. draws one weight sample per compute op — the bank's (mu, sigma)
+ *      planes go through the identical WeightGenerator block path
+ *      (w = mu + sigma * eps on the weight grid, eps from the block
+ *      GRNG fill() ring) that the fidelity executors use per lane —
+ *      and materializes it into a reusable SoA workspace arena
+ *      (int32 weights, flat per-op slabs);
+ *   2. walks the op list over batch-major activation buffers
+ *      (count x width, int64 on the activation grid): Dense runs as
+ *      image-tiled GEMM against the arena (the weight slab streams
+ *      through cache once per image tile), ConvLowered as a per-image
+ *      im2col + (outChannels x patchSize) GEMM over positions — the
+ *      filter slab is small enough to stay resident — and Pool/
+ *      Flatten vectorized per image.
+ *
+ * The datapath arithmetic (DatapathKernel: sampleWeight, finishNeuron,
+ * finishOutputNeuron) is shared with the fidelity executors, so every
+ * individual neuron evaluation is bit-exact fixed point; what changes
+ * is the *sampling schedule*: one weight draw per op per round, shared
+ * across the batch and across conv positions (the software direct
+ * estimator's semantics) instead of fresh draws per pass and per
+ * position. Results are therefore statistically equivalent — the
+ * per-round weights come from the same variational posterior — but not
+ * bit-identical to the canonical eps order (with sigma = 0 the two
+ * paths coincide exactly; a ctest pins that down). VIBNN's per-pass
+ * sampling contract holds per round: every round is one independent
+ * posterior draw.
+ */
+
+#ifndef VIBNN_ACCEL_BATCHED_RUNNER_HH
+#define VIBNN_ACCEL_BATCHED_RUNNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/executor.hh"
+#include "accel/program.hh"
+#include "accel/weight_generator.hh"
+
+namespace vibnn::accel
+{
+
+/** Throughput-first weight-reuse executor backend. */
+class BatchedRunner : public Executor
+{
+  public:
+    BatchedRunner(const QuantizedProgram &program,
+                  const AcceleratorConfig &config,
+                  grng::GaussianGenerator *generator);
+
+    /** Untimed; true batched weight reuse. */
+    ExecutorCaps
+    caps() const override
+    {
+        return {/*cycleAccurate=*/false, /*batchedRounds=*/true};
+    }
+
+    /** One forward pass == a one-image round (the weight sample is
+     *  still shared across conv positions — this backend's sampling
+     *  semantics, not the canonical per-position order). */
+    std::vector<std::int64_t> runPass(const float *x) override;
+
+    /** One MC round: one weight sample per compute op, reused across
+     *  all `count` images (and across conv positions). */
+    void runRoundBatch(const float *xs, std::size_t count,
+                       std::size_t stride, std::int64_t *out) override;
+
+    /** Swap the eps source (round scheduling). Not owned. */
+    void setGenerator(grng::GaussianGenerator *generator) override;
+
+    /** Pass/sample counters only (untimed backend). */
+    const CycleStats &stats() const override { return stats_; }
+
+    const QuantizedProgram &program() const override { return program_; }
+    const AcceleratorConfig &config() const override { return config_; }
+
+  private:
+    /** Draw this round's weight set into the arena (op order). */
+    void sampleRoundWeights();
+
+    /** Dense bank as image-tiled GEMM: actIn (count x laneWidth_)
+     *  -> actOut. */
+    void runDenseBatch(const ProgramOp &op, const std::int32_t *weights,
+                       std::size_t count, const std::int64_t *act_in,
+                       std::int64_t *act_out);
+
+    /** ConvLowered with the shared filter sample: per image im2col +
+     *  (outChannels x patchSize) GEMM over positions. */
+    void runConvBatch(const ProgramOp &op, const std::int32_t *weights,
+                      std::size_t count, const std::int64_t *act_in,
+                      std::int64_t *act_out);
+
+    QuantizedProgram program_;
+    AcceleratorConfig config_;
+    DatapathKernel kernel_;
+    WeightGenerator weightGen_;
+    CycleStats stats_;
+
+    /** SoA weight arena: one flat int32 slab per compute op (offsets
+     *  indexed like program_.ops; non-compute ops share the next
+     *  base), reused across rounds. */
+    std::vector<std::int32_t> weightArena_;
+    std::vector<std::size_t> opWeightBase_;
+    /** int64 staging for WeightGenerator::sampleBlock output. */
+    std::vector<std::int64_t> sampleScratch_;
+
+    /** Widest activation window any op stages (buffer row width). */
+    std::size_t laneWidth_ = 0;
+    /** Batch-major ping-pong activation buffers (count x laneWidth_). */
+    std::vector<std::int64_t> actA_, actB_;
+    /** Per-image im2col patch staging. */
+    std::vector<std::int64_t> patches_;
+};
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_BATCHED_RUNNER_HH

@@ -1,0 +1,156 @@
+#include "accel/executor.hh"
+
+#include <algorithm>
+
+#include "accel/batched_runner.hh"
+#include "accel/functional.hh"
+#include "accel/simulator.hh"
+#include "common/logging.hh"
+#include "nn/activations.hh"
+
+namespace vibnn::accel
+{
+
+double
+CycleStats::utilization(int total_pes, int pe_inputs) const
+{
+    if (totalCycles == 0)
+        return 0.0;
+    const double peak = static_cast<double>(totalCycles) * total_pes *
+        pe_inputs;
+    return static_cast<double>(macs) / peak;
+}
+
+double
+CycleStats::cyclesPerPass() const
+{
+    if (images == 0)
+        return 0.0;
+    return static_cast<double>(totalCycles) /
+        static_cast<double>(images);
+}
+
+CycleStats &
+CycleStats::operator+=(const CycleStats &other)
+{
+    totalCycles += other.totalCycles;
+    if (opCycles.size() < other.opCycles.size())
+        opCycles.resize(other.opCycles.size(), 0);
+    for (std::size_t i = 0; i < other.opCycles.size(); ++i)
+        opCycles[i] += other.opCycles[i];
+    ifmemReads += other.ifmemReads;
+    ifmemWrites += other.ifmemWrites;
+    wpmemReads += other.wpmemReads;
+    grnSamples += other.grnSamples;
+    macs += other.macs;
+    images += other.images;
+    return *this;
+}
+
+void
+Executor::runRoundBatch(const float *xs, std::size_t count,
+                        std::size_t stride, std::int64_t *out)
+{
+    // Per-pass fallback: one fresh-sample pass per image of the round.
+    // Correct on every backend (the round then simply contains B
+    // independent weight draws instead of one shared one); backends
+    // with caps().batchedRounds override this with true weight reuse.
+    const std::size_t out_dim = program().outputDim();
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto raw = runPass(xs + i * stride);
+        std::copy(raw.begin(), raw.end(), out + i * out_dim);
+    }
+}
+
+std::size_t
+Executor::classify(const float *x, float *probs)
+{
+    const std::size_t out_dim = program().outputDim();
+    std::vector<float> acc(out_dim, 0.0f);
+    std::vector<float> logits(out_dim);
+    const auto &act = program().activationFormat;
+
+    for (int s = 0; s < config().mcSamples; ++s) {
+        const auto raw = runPass(x);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            logits[i] = static_cast<float>(act.toReal(raw[i]));
+        nn::softmax(logits.data(), out_dim);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            acc[i] += logits[i];
+    }
+    const float inv = 1.0f / static_cast<float>(config().mcSamples);
+    for (auto &p : acc)
+        p *= inv;
+    if (probs)
+        std::copy(acc.begin(), acc.end(), probs);
+    return nn::argmax(acc.data(), acc.size());
+}
+
+namespace
+{
+
+/** Backend subclass owning its eps stream: inherits every override of
+ *  `Backend`, so nothing is forwarded (or forgotten). */
+template <typename Backend>
+std::unique_ptr<Executor>
+makeOwning(const QuantizedProgram &program,
+           const AcceleratorConfig &config,
+           std::unique_ptr<grng::GaussianGenerator> generator)
+{
+    struct Owning : Backend
+    {
+        Owning(const QuantizedProgram &p, const AcceleratorConfig &c,
+               std::unique_ptr<grng::GaussianGenerator> g)
+            : Backend(p, c, g.get()), owned(std::move(g))
+        {
+        }
+        std::unique_ptr<grng::GaussianGenerator> owned;
+    };
+    return std::make_unique<Owning>(program, config,
+                                    std::move(generator));
+}
+
+} // namespace
+
+std::unique_ptr<Executor>
+makeExecutor(const std::string &id, const QuantizedProgram &program,
+             const AcceleratorConfig &config,
+             grng::GaussianGenerator *generator)
+{
+    if (id == "simulator")
+        return std::make_unique<Simulator>(program, config, generator);
+    if (id == "functional")
+        return std::make_unique<FunctionalRunner>(program, config,
+                                                  generator);
+    if (id == "batched")
+        return std::make_unique<BatchedRunner>(program, config,
+                                               generator);
+
+    fatal("unknown executor id: " + id);
+}
+
+std::unique_ptr<Executor>
+makeExecutor(const std::string &id, const QuantizedProgram &program,
+             const AcceleratorConfig &config,
+             std::unique_ptr<grng::GaussianGenerator> generator)
+{
+    if (id == "simulator")
+        return makeOwning<Simulator>(program, config,
+                                     std::move(generator));
+    if (id == "functional")
+        return makeOwning<FunctionalRunner>(program, config,
+                                            std::move(generator));
+    if (id == "batched")
+        return makeOwning<BatchedRunner>(program, config,
+                                         std::move(generator));
+
+    fatal("unknown executor id: " + id);
+}
+
+std::vector<std::string>
+executorIds()
+{
+    return {"simulator", "functional", "batched"};
+}
+
+} // namespace vibnn::accel

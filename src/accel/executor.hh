@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Executor backend layer — the one seam every consumer of the
+ * QuantizedProgram IR executes through.
+ *
+ * An Executor runs programs: `runPass(input) -> raw outputs` for one
+ * Monte-Carlo sample, `runRoundBatch(batch) -> raw outputs` for one MC
+ * round over a whole image batch, and `classify()` for the full
+ * ensemble estimate (equation (6)). Backends advertise what they are
+ * via ExecutorCaps and register under a string id (mirroring
+ * grng::makeGenerator), so McEngine, VibnnSystem, benches and tests
+ * construct them declaratively:
+ *
+ *   "simulator"   the cycle-level machine (accel/simulator.hh) —
+ *                 cycle-accurate, bit-exact canonical eps order
+ *   "functional"  the fast untimed datapath (accel/functional.hh) —
+ *                 bit-exact with "simulator" by construction
+ *   "batched"     the throughput-first weight-reuse path
+ *                 (accel/batched_runner.hh) — one weight sample per
+ *                 compute op per MC round, shared across the whole
+ *                 batch (and across conv positions), executed as
+ *                 batch-vectorized GEMM against a sampled-weight
+ *                 arena; statistically equivalent, not bit-exact
+ *
+ * The round-batch API is what makes weight-reuse batching expressible:
+ * a backend with caps().batchedRounds == true draws ONE weight sample
+ * per compute op and amortizes it over every image of the batch, so an
+ * MC-ensemble classification costs T rounds instead of T x B passes
+ * (the dominant serving win of Fan et al.'s FPGA BNN accelerator,
+ * arXiv:2105.09163). Backends without the capability fall back to one
+ * fresh-sample pass per image, which keeps round scheduling correct —
+ * just not cheaper — on every backend.
+ */
+
+#ifndef VIBNN_ACCEL_EXECUTOR_HH
+#define VIBNN_ACCEL_EXECUTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/program.hh"
+#include "grng/generator.hh"
+
+namespace vibnn::accel
+{
+
+/** Execution statistics for one or more inference passes. */
+struct CycleStats
+{
+    std::uint64_t totalCycles = 0;
+    /** Per-op cycle accounting, indexed like QuantizedProgram::ops
+     *  (staging ops — Flatten, Output — read 0). */
+    std::vector<std::uint64_t> opCycles;
+    std::uint64_t ifmemReads = 0;
+    std::uint64_t ifmemWrites = 0;
+    std::uint64_t wpmemReads = 0;
+    std::uint64_t grnSamples = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t images = 0;
+
+    /** PE-array utilization: useful MACs / peak MAC slots. */
+    double utilization(int total_pes, int pe_inputs) const;
+
+    /** Cycles per single forward pass (one MC sample). */
+    double cyclesPerPass() const;
+
+    /** Merge another run's counters into this one (McEngine replica
+     *  aggregation). Lives next to the fields so a new counter cannot
+     *  be forgotten in the merge. */
+    CycleStats &operator+=(const CycleStats &other);
+};
+
+/** What an executor backend provides. */
+struct ExecutorCaps
+{
+    /** stats() carries real cycle/port accounting (the paper's timing
+     *  model); false means only pass/sample counters are meaningful. */
+    bool cycleAccurate = false;
+    /** runRoundBatch() reuses one weight sample per compute op across
+     *  the whole batch (the throughput path); false means the default
+     *  per-image fresh-sample fallback runs. */
+    bool batchedRounds = false;
+};
+
+/** A program-executing backend. */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /** The loaded program / the geometry it was validated against. */
+    virtual const QuantizedProgram &program() const = 0;
+    virtual const AcceleratorConfig &config() const = 0;
+
+    /** Backend capability flags. */
+    virtual ExecutorCaps caps() const = 0;
+
+    /** Swap the eps source (round/unit scheduling gives every work
+     *  unit an independently seeded stream). Not owned. */
+    virtual void setGenerator(grng::GaussianGenerator *generator) = 0;
+
+    /** One forward pass (one MC sample); raw output-layer values on
+     *  the activation grid. */
+    virtual std::vector<std::int64_t> runPass(const float *x) = 0;
+
+    /**
+     * One Monte-Carlo round over a batch: `count` images of `stride`
+     * floats each, row-major; `out` receives count * outputDim raw
+     * values. Backends with caps().batchedRounds draw one weight
+     * sample per compute op for the whole round; the base fallback
+     * runs one fresh-sample runPass per image.
+     */
+    virtual void runRoundBatch(const float *xs, std::size_t count,
+                               std::size_t stride, std::int64_t *out);
+
+    /** Execution statistics accumulated so far. */
+    virtual const CycleStats &stats() const = 0;
+
+    /**
+     * Full Monte-Carlo classification (config().mcSamples passes with
+     * softmax averaging, equation (6)) — the shared ensemble reduction
+     * every backend inherits.
+     * @param probs Optional: receives the averaged class probabilities.
+     * @return The predicted class.
+     */
+    std::size_t classify(const float *x, float *probs = nullptr);
+};
+
+/**
+ * Create an executor backend by registry id ("simulator", "functional",
+ * "batched"). The generator is not owned. fatal() on unknown ids.
+ */
+std::unique_ptr<Executor> makeExecutor(const std::string &id,
+                                       const QuantizedProgram &program,
+                                       const AcceleratorConfig &config,
+                                       grng::GaussianGenerator *generator);
+
+/**
+ * Same, but the executor takes ownership of its eps stream (the
+ * long-lived-backend case: facade handles, caches). Implemented by
+ * deriving from the concrete backend, so every override — present and
+ * future — is inherited rather than forwarded.
+ */
+std::unique_ptr<Executor>
+makeExecutor(const std::string &id, const QuantizedProgram &program,
+             const AcceleratorConfig &config,
+             std::unique_ptr<grng::GaussianGenerator> generator);
+
+/** All ids accepted by makeExecutor, in presentation order. */
+std::vector<std::string> executorIds();
+
+} // namespace vibnn::accel
+
+#endif // VIBNN_ACCEL_EXECUTOR_HH

@@ -1,11 +1,9 @@
 #include "accel/functional.hh"
 
-#include <cmath>
+#include <algorithm>
 
 #include "accel/conv_lowering.hh"
 #include "common/logging.hh"
-#include "nn/activations.hh"
-#include "nn/tensor.hh"
 
 namespace vibnn::accel
 {
@@ -38,6 +36,12 @@ FunctionalRunner::FunctionalRunner(const QuantizedNetwork &network,
                                    grng::GaussianGenerator *generator)
     : FunctionalRunner(programFromNetwork(network), config, generator)
 {
+}
+
+void
+FunctionalRunner::setGenerator(grng::GaussianGenerator *generator)
+{
+    weightGen_.setGenerator(generator);
 }
 
 void
@@ -158,32 +162,12 @@ FunctionalRunner::runPass(const float *x)
         }
     }
 
+    // Pass/sample accounting (no cycles on the untimed path).
+    stats_.grnSamples = weightGen_.samplesDrawn();
+    ++stats_.images;
+
     bufferA_.resize(program_.outputDim());
     return bufferA_;
-}
-
-std::size_t
-FunctionalRunner::classify(const float *x, float *probs)
-{
-    const std::size_t out_dim = program_.outputDim();
-    std::vector<float> acc(out_dim, 0.0f);
-    std::vector<float> logits(out_dim);
-    const auto &act = program_.activationFormat;
-
-    for (int s = 0; s < config_.mcSamples; ++s) {
-        const auto raw = runPass(x);
-        for (std::size_t i = 0; i < out_dim; ++i)
-            logits[i] = static_cast<float>(act.toReal(raw[i]));
-        nn::softmax(logits.data(), out_dim);
-        for (std::size_t i = 0; i < out_dim; ++i)
-            acc[i] += logits[i];
-    }
-    const float inv = 1.0f / static_cast<float>(config_.mcSamples);
-    for (auto &p : acc)
-        p *= inv;
-    if (probs)
-        std::copy(acc.begin(), acc.end(), probs);
-    return nn::argmax(acc.data(), acc.size());
 }
 
 } // namespace vibnn::accel

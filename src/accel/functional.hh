@@ -20,14 +20,16 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/executor.hh"
 #include "accel/program.hh"
 #include "accel/weight_generator.hh"
 
 namespace vibnn::accel
 {
 
-/** Functional (untimed) quantized inference engine. */
-class FunctionalRunner
+/** Functional (untimed) quantized inference engine — the "functional"
+ *  executor backend. */
+class FunctionalRunner : public Executor
 {
   public:
     FunctionalRunner(const QuantizedProgram &program,
@@ -40,13 +42,25 @@ class FunctionalRunner
                      const AcceleratorConfig &config,
                      grng::GaussianGenerator *generator);
 
+    /** Untimed; per-pass fresh weight samples. */
+    ExecutorCaps
+    caps() const override
+    {
+        return {/*cycleAccurate=*/false, /*batchedRounds=*/false};
+    }
+
     /** One forward pass; raw outputs on the activation grid. */
-    std::vector<std::int64_t> runPass(const float *x);
+    std::vector<std::int64_t> runPass(const float *x) override;
 
-    /** MC-ensemble classification (equation (6)). */
-    std::size_t classify(const float *x, float *probs = nullptr);
+    /** Swap the eps source (round/unit scheduling). Not owned. */
+    void setGenerator(grng::GaussianGenerator *generator) override;
 
-    const QuantizedProgram &program() const { return program_; }
+    /** Pass/sample counters only (caps().cycleAccurate is false, so
+     *  the cycle and port fields stay zero). */
+    const CycleStats &stats() const override { return stats_; }
+
+    const QuantizedProgram &program() const override { return program_; }
+    const AcceleratorConfig &config() const override { return config_; }
 
   private:
     /** One bank schedule (rounds of M neurons) over a word-padded
@@ -60,6 +74,7 @@ class FunctionalRunner
     AcceleratorConfig config_;
     DatapathKernel kernel_;
     WeightGenerator weightGen_;
+    CycleStats stats_;
     std::vector<std::int64_t> bufferA_, bufferB_;
     std::vector<std::int64_t> patches_, patchBuf_, bankOut_;
     std::vector<std::int64_t> acc_;

@@ -50,6 +50,17 @@ McEngine::streamSeed(std::uint64_t seed_base, std::uint64_t image,
     return splitmix64Next(state);
 }
 
+std::uint64_t
+McEngine::roundSeed(std::uint64_t seed_base, std::uint64_t round)
+{
+    // Its own multiplier keeps round streams off the per-unit seed
+    // lattice; like streamSeed the mapping depends only on the unit
+    // (the round), never on the schedule.
+    std::uint64_t state = seed_base +
+        0x94D049BB133111EBULL * (round + 1) + 0xD6E8FEB86659FD93ULL;
+    return splitmix64Next(state);
+}
+
 void
 McEngine::ensureReplicas(std::size_t n)
 {
@@ -58,8 +69,9 @@ McEngine::ensureReplicas(std::size_t n)
         // Placeholder stream; every unit swaps in its own before use.
         replica.idleGenerator =
             grng::makeGenerator(mc_.generatorId, mc_.seedBase);
-        replica.simulator = std::make_unique<Simulator>(
-            program_, config_, replica.idleGenerator.get());
+        replica.executor =
+            makeExecutor(mc_.backendId, program_, config_,
+                         replica.idleGenerator.get());
         replicas_.push_back(std::move(replica));
     }
 }
@@ -70,11 +82,11 @@ McEngine::runUnit(Replica &replica, const float *x, std::uint64_t image,
 {
     auto generator = grng::makeGenerator(
         mc_.generatorId, streamSeed(mc_.seedBase, image, sample));
-    replica.simulator->setGenerator(generator.get());
-    auto raw = replica.simulator->runPass(x);
+    replica.executor->setGenerator(generator.get());
+    auto raw = replica.executor->runPass(x);
     // Leave the replica pointing at its own long-lived stream before
     // the unit's generator goes out of scope.
-    replica.simulator->setGenerator(replica.idleGenerator.get());
+    replica.executor->setGenerator(replica.idleGenerator.get());
     return raw;
 }
 
@@ -115,19 +127,70 @@ McEngine::runUnits(const float *xs, std::size_t count, std::size_t stride)
     return raw;
 }
 
-void
-McEngine::reduceProbs(const std::vector<std::int64_t> *raw_samples,
-                      std::size_t samples, float *probs) const
+std::vector<std::vector<std::int64_t>>
+McEngine::runRoundsBatch(const float *xs, std::size_t count,
+                         std::size_t stride)
 {
-    // Serial reduction in sample order: the same accumulation sequence
-    // Simulator::classify performs, fixed regardless of thread count.
+    const std::size_t rounds =
+        static_cast<std::size_t>(config_.mcSamples);
     const std::size_t out_dim = program_.outputDim();
-    const auto &act = program_.activationFormat;
+    std::vector<std::vector<std::int64_t>> raw(rounds);
+    if (count == 0)
+        return raw;
+
+    const std::size_t replica_count =
+        std::max<std::size_t>(1, std::min(executors_, rounds));
+    ensureReplicas(replica_count);
+
+    // Static round assignment, mirroring runUnits: replica r owns
+    // rounds r, r+R, r+2R, ... A round's output depends only on its
+    // seeded stream and the batch, so the partition is a performance
+    // choice, not a semantic one.
+    auto run_replica = [&](std::size_t r) {
+        Replica &replica = replicas_[r];
+        for (std::size_t u = r; u < rounds; u += replica_count) {
+            auto generator = grng::makeGenerator(
+                mc_.generatorId, roundSeed(mc_.seedBase, u));
+            replica.executor->setGenerator(generator.get());
+            raw[u].resize(count * out_dim);
+            replica.executor->runRoundBatch(xs, count, stride,
+                                            raw[u].data());
+            replica.executor->setGenerator(
+                replica.idleGenerator.get());
+        }
+    };
+
+    ThreadPool *pool =
+        mc_.threads == 0 ? &ThreadPool::global() : ownPool_.get();
+    if (pool && replica_count > 1)
+        pool->parallelFor(replica_count, run_replica);
+    else
+        for (std::size_t r = 0; r < replica_count; ++r)
+            run_replica(r);
+    return raw;
+}
+
+namespace
+{
+
+/**
+ * The one softmax-average ensemble reduction (equation (6)): sample
+ * s's raw outputs come from raw_of(s). Serial, in sample order — the
+ * same fixed accumulation sequence Executor::classify performs,
+ * regardless of thread count.
+ */
+template <typename RawOf>
+void
+reduceEnsemble(std::size_t samples, std::size_t out_dim,
+               const fixed::FixedPointFormat &act, RawOf raw_of,
+               float *probs)
+{
     std::vector<float> logits(out_dim);
     std::fill(probs, probs + out_dim, 0.0f);
     for (std::size_t s = 0; s < samples; ++s) {
+        const std::int64_t *raw = raw_of(s);
         for (std::size_t i = 0; i < out_dim; ++i)
-            logits[i] = static_cast<float>(act.toReal(raw_samples[s][i]));
+            logits[i] = static_cast<float>(act.toReal(raw[i]));
         nn::softmax(logits.data(), out_dim);
         for (std::size_t i = 0; i < out_dim; ++i)
             probs[i] += logits[i];
@@ -135,6 +198,31 @@ McEngine::reduceProbs(const std::vector<std::int64_t> *raw_samples,
     const float inv = 1.0f / static_cast<float>(samples);
     for (std::size_t i = 0; i < out_dim; ++i)
         probs[i] *= inv;
+}
+
+} // namespace
+
+void
+McEngine::reduceProbs(const std::vector<std::int64_t> *raw_samples,
+                      std::size_t samples, float *probs) const
+{
+    reduceEnsemble(samples, program_.outputDim(),
+                   program_.activationFormat,
+                   [&](std::size_t s) { return raw_samples[s].data(); },
+                   probs);
+}
+
+void
+McEngine::reduceRoundProbs(
+    const std::vector<std::vector<std::int64_t>> &rounds,
+    std::size_t image, float *probs) const
+{
+    const std::size_t out_dim = program_.outputDim();
+    reduceEnsemble(rounds.size(), out_dim, program_.activationFormat,
+                   [&](std::size_t s) {
+                       return rounds[s].data() + image * out_dim;
+                   },
+                   probs);
 }
 
 std::vector<std::size_t>
@@ -148,8 +236,20 @@ McEngine::classifyBatch(const float *xs, std::size_t count,
     if (count == 0)
         return predictions;
 
-    const auto raw = runUnits(xs, count, stride);
     std::vector<float> acc(out_dim);
+    if (mc_.schedule == McSchedule::PerRound) {
+        const auto rounds = runRoundsBatch(xs, count, stride);
+        for (std::size_t image = 0; image < count; ++image) {
+            reduceRoundProbs(rounds, image, acc.data());
+            if (probs)
+                std::copy(acc.begin(), acc.end(),
+                          probs + image * out_dim);
+            predictions[image] = nn::argmax(acc.data(), acc.size());
+        }
+        return predictions;
+    }
+
+    const auto raw = runUnits(xs, count, stride);
     for (std::size_t image = 0; image < count; ++image) {
         reduceProbs(raw.data() + image * samples, samples, acc.data());
         if (probs)
@@ -169,7 +269,11 @@ McResult
 McEngine::classifyDetailed(const float *x)
 {
     McResult result;
-    result.rawSamples = runUnits(x, 1, program_.inputDim());
+    // For a one-image batch a PerRound round IS one per-sample pass,
+    // so both schedules fill rawSamples with mcSamples raw outputs.
+    result.rawSamples = mc_.schedule == McSchedule::PerRound
+                            ? runRoundsBatch(x, 1, program_.inputDim())
+                            : runUnits(x, 1, program_.inputDim());
     result.probs.assign(program_.outputDim(), 0.0f);
     reduceProbs(result.rawSamples.data(), result.rawSamples.size(),
                 result.probs.data());
@@ -183,7 +287,7 @@ McEngine::stats() const
 {
     CycleStats merged;
     for (const auto &replica : replicas_)
-        merged += replica.simulator->stats();
+        merged += replica.executor->stats();
     return merged;
 }
 

@@ -3,21 +3,28 @@
  * Parallel Monte-Carlo inference engine.
  *
  * VIBNN's ensemble estimate (equation (6)) averages the softmax of
- * config.mcSamples independent forward passes. The passes are
- * embarrassingly parallel — each one only needs the quantized network,
- * an input image, and its own eps stream — so the engine fans the
- * (image, sample) grid out over ThreadPool workers, each owning a full
- * Simulator replica.
+ * config.mcSamples independent forward passes. The engine schedules
+ * that estimate over ThreadPool workers, each owning a full executor
+ * backend replica (any id registered with accel::makeExecutor), at one
+ * of two granularities:
  *
- * Determinism is by construction schedule-independent: every work unit
- * (image i, MC sample s) runs with a generator freshly seeded from
- * streamSeed(seedBase, i, s), and a simulator pass is a pure function
- * of (input, eps stream). Which replica executes a unit therefore
- * cannot change its output, per-sample results are bit-identical for
- * any thread count, and the per-image probability reduction runs
- * serially in sample order so the float accumulation order is fixed
- * too. Aggregate CycleStats are merged by summation over replicas,
- * which is also schedule-independent.
+ *  - PerUnit (fidelity): the work unit is one (image, MC sample) pass.
+ *    Every unit draws fresh weights — the paper's per-pass sampling
+ *    contract — and runs with a generator freshly seeded from
+ *    streamSeed(seedBase, i, s).
+ *  - PerRound (throughput): the work unit is one MC round over the
+ *    WHOLE batch, seeded from roundSeed(seedBase, r). On a backend
+ *    with caps().batchedRounds (the "batched" weight-reuse path) one
+ *    weight sample per compute op serves every image of the round, so
+ *    the batch costs T rounds instead of T x B passes.
+ *
+ * Determinism is by construction schedule-independent in both modes:
+ * a unit's output is a pure function of (input(s), seeded eps stream),
+ * so which replica executes it cannot change the result, outputs are
+ * bit-identical for any thread count, and the per-image probability
+ * reduction runs serially in sample order so the float accumulation
+ * order is fixed too. Aggregate CycleStats are merged by summation
+ * over replicas, which is also schedule-independent.
  */
 
 #ifndef VIBNN_ACCEL_MC_ENGINE_HH
@@ -28,13 +35,24 @@
 #include <string>
 #include <vector>
 
+#include "accel/executor.hh"
 #include "accel/program.hh"
-#include "accel/simulator.hh"
 #include "common/thread_pool.hh"
 #include "grng/generator.hh"
 
 namespace vibnn::accel
 {
+
+/** Work-unit granularity for the Monte-Carlo fan-out. */
+enum class McSchedule
+{
+    /** One (image, MC sample) pass per unit — fresh weight samples
+     *  every pass (the paper's fidelity semantics). */
+    PerUnit,
+    /** One MC round over the whole batch per unit — one weight draw
+     *  per compute op per round on weight-reuse backends. */
+    PerRound,
+};
 
 /** Parallelization / seeding policy for McEngine. */
 struct McEngineConfig
@@ -49,6 +67,10 @@ struct McEngineConfig
     std::string generatorId = "rlf";
     /** Master seed; every (image, sample) stream derives from it. */
     std::uint64_t seedBase = 1;
+    /** Executor backend registry id the replicas run on. */
+    std::string backendId = "simulator";
+    /** Fan-out granularity. */
+    McSchedule schedule = McSchedule::PerUnit;
 };
 
 /** Per-image result with the per-sample detail kept. */
@@ -62,7 +84,8 @@ struct McResult
     std::vector<std::vector<std::int64_t>> rawSamples;
 };
 
-/** Parallel Monte-Carlo classification over Simulator replicas. */
+/** Parallel Monte-Carlo classification over executor-backend
+ *  replicas. */
 class McEngine
 {
   public:
@@ -116,11 +139,18 @@ class McEngine
                                     std::uint64_t image,
                                     std::uint64_t sample);
 
+    /**
+     * Seed of the eps stream of MC round `round` in PerRound mode —
+     * exposed so tests can reproduce any single round serially.
+     */
+    static std::uint64_t roundSeed(std::uint64_t seed_base,
+                                   std::uint64_t round);
+
   private:
     struct Replica
     {
         std::unique_ptr<grng::GaussianGenerator> idleGenerator;
-        std::unique_ptr<Simulator> simulator;
+        std::unique_ptr<Executor> executor;
     };
 
     /** Ensure replicas [0, n) exist. */
@@ -133,19 +163,35 @@ class McEngine
                                       std::uint64_t sample);
 
     /**
-     * The one parallel fan-out: run every (image, sample) unit of the
-     * batch, returning count * mcSamples raw pass outputs indexed by
-     * unit. Partitioning is replica-static; results depend only on the
-     * unit, so the schedule is invisible in the output.
+     * The PerUnit parallel fan-out: run every (image, sample) unit of
+     * the batch, returning count * mcSamples raw pass outputs indexed
+     * by unit. Partitioning is replica-static; results depend only on
+     * the unit, so the schedule is invisible in the output.
      */
     std::vector<std::vector<std::int64_t>> runUnits(const float *xs,
                                                     std::size_t count,
                                                     std::size_t stride);
 
+    /**
+     * The PerRound parallel fan-out: run every MC round over the whole
+     * batch, returning mcSamples buffers of count * outputDim raw
+     * values. Round r runs with the stream seeded by
+     * roundSeed(seedBase, r), so the partition is invisible in the
+     * output exactly like runUnits.
+     */
+    std::vector<std::vector<std::int64_t>> runRoundsBatch(
+        const float *xs, std::size_t count, std::size_t stride);
+
     /** Softmax-average `samples` raw pass outputs (in sample order)
-     *  into `probs` — the same reduction Simulator::classify runs. */
+     *  into `probs` — the same reduction Executor::classify runs. */
     void reduceProbs(const std::vector<std::int64_t> *raw_samples,
                      std::size_t samples, float *probs) const;
+
+    /** The same reduction over PerRound buffers: sample s of `image`
+     *  lives at rounds[s][image * outputDim ...]. */
+    void reduceRoundProbs(
+        const std::vector<std::vector<std::int64_t>> &rounds,
+        std::size_t image, float *probs) const;
 
     QuantizedProgram program_;
     AcceleratorConfig config_;

@@ -1,50 +1,12 @@
 #include "accel/simulator.hh"
 
-#include <cmath>
+#include <algorithm>
 
 #include "accel/conv_lowering.hh"
 #include "common/logging.hh"
-#include "nn/activations.hh"
-#include "nn/tensor.hh"
 
 namespace vibnn::accel
 {
-
-double
-CycleStats::utilization(int total_pes, int pe_inputs) const
-{
-    if (totalCycles == 0)
-        return 0.0;
-    const double peak = static_cast<double>(totalCycles) * total_pes *
-        pe_inputs;
-    return static_cast<double>(macs) / peak;
-}
-
-double
-CycleStats::cyclesPerPass() const
-{
-    if (images == 0)
-        return 0.0;
-    return static_cast<double>(totalCycles) /
-        static_cast<double>(images);
-}
-
-CycleStats &
-CycleStats::operator+=(const CycleStats &other)
-{
-    totalCycles += other.totalCycles;
-    if (opCycles.size() < other.opCycles.size())
-        opCycles.resize(other.opCycles.size(), 0);
-    for (std::size_t i = 0; i < other.opCycles.size(); ++i)
-        opCycles[i] += other.opCycles[i];
-    ifmemReads += other.ifmemReads;
-    ifmemWrites += other.ifmemWrites;
-    wpmemReads += other.wpmemReads;
-    grnSamples += other.grnSamples;
-    macs += other.macs;
-    images += other.images;
-    return *this;
-}
 
 Simulator::Simulator(const QuantizedProgram &program,
                      const AcceleratorConfig &config,
@@ -440,30 +402,6 @@ Simulator::runPass(const float *x)
     stats_.macs = macs;
     ++stats_.images;
     return out;
-}
-
-std::size_t
-Simulator::classify(const float *x, float *probs)
-{
-    const std::size_t out_dim = program_.outputDim();
-    std::vector<float> acc(out_dim, 0.0f);
-    std::vector<float> logits(out_dim);
-    const auto &act = program_.activationFormat;
-
-    for (int s = 0; s < config_.mcSamples; ++s) {
-        const auto raw = runPass(x);
-        for (std::size_t i = 0; i < out_dim; ++i)
-            logits[i] = static_cast<float>(act.toReal(raw[i]));
-        nn::softmax(logits.data(), out_dim);
-        for (std::size_t i = 0; i < out_dim; ++i)
-            acc[i] += logits[i];
-    }
-    const float inv = 1.0f / static_cast<float>(config_.mcSamples);
-    for (auto &p : acc)
-        p *= inv;
-    if (probs)
-        std::copy(acc.begin(), acc.end(), probs);
-    return nn::argmax(acc.data(), acc.size());
 }
 
 } // namespace vibnn::accel

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/executor.hh"
 #include "accel/pe.hh"
 #include "accel/program.hh"
 #include "accel/ram.hh"
@@ -58,34 +59,8 @@
 namespace vibnn::accel
 {
 
-/** Execution statistics for one or more inference passes. */
-struct CycleStats
-{
-    std::uint64_t totalCycles = 0;
-    /** Per-op cycle accounting, indexed like QuantizedProgram::ops
-     *  (staging ops — Flatten, Output — read 0). */
-    std::vector<std::uint64_t> opCycles;
-    std::uint64_t ifmemReads = 0;
-    std::uint64_t ifmemWrites = 0;
-    std::uint64_t wpmemReads = 0;
-    std::uint64_t grnSamples = 0;
-    std::uint64_t macs = 0;
-    std::uint64_t images = 0;
-
-    /** PE-array utilization: useful MACs / peak MAC slots. */
-    double utilization(int total_pes, int pe_inputs) const;
-
-    /** Cycles per single forward pass (one MC sample). */
-    double cyclesPerPass() const;
-
-    /** Merge another run's counters into this one (McEngine replica
-     *  aggregation). Lives next to the fields so a new counter cannot
-     *  be forgotten in the merge. */
-    CycleStats &operator+=(const CycleStats &other);
-};
-
-/** The cycle-level accelerator. */
-class Simulator
+/** The cycle-level accelerator — the "simulator" executor backend. */
+class Simulator : public Executor
 {
   public:
     /**
@@ -105,29 +80,29 @@ class Simulator
               const AcceleratorConfig &config,
               grng::GaussianGenerator *generator);
 
+    /** Cycle-accurate; per-pass fresh weight samples (no batched
+     *  weight reuse). */
+    ExecutorCaps
+    caps() const override
+    {
+        return {/*cycleAccurate=*/true, /*batchedRounds=*/false};
+    }
+
     /**
      * Run one forward pass (one MC sample) for an image given as real
      * features; returns raw output-layer values on the activation grid.
      */
-    std::vector<std::int64_t> runPass(const float *x);
-
-    /**
-     * Full Monte-Carlo classification (config.mcSamples passes with
-     * softmax averaging, equation (6)).
-     * @param probs Optional: receives the averaged class probabilities.
-     * @return The predicted class.
-     */
-    std::size_t classify(const float *x, float *probs = nullptr);
+    std::vector<std::int64_t> runPass(const float *x) override;
 
     /**
      * Swap the eps source (used by McEngine to give each Monte-Carlo
      * work unit an independently seeded stream). Not owned.
      */
-    void setGenerator(grng::GaussianGenerator *generator);
+    void setGenerator(grng::GaussianGenerator *generator) override;
 
-    const CycleStats &stats() const { return stats_; }
-    const AcceleratorConfig &config() const { return config_; }
-    const QuantizedProgram &program() const { return program_; }
+    const CycleStats &stats() const override { return stats_; }
+    const AcceleratorConfig &config() const override { return config_; }
+    const QuantizedProgram &program() const override { return program_; }
 
   private:
     /**

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -60,34 +61,57 @@ ThreadPool::parallelFor(std::size_t count,
         return;
     }
 
+    // Chunked dynamic scheduling: runners claim index *ranges*, not
+    // single indices, so the shared-counter traffic is O(chunks)
+    // instead of O(count). An 8x oversubscription over the party count
+    // keeps the tail balanced when iteration costs vary; small ranges
+    // degrade to chunk == 1, i.e. the old per-index behavior.
+    const std::size_t parties = workers_.size() + 1;
+    const std::size_t chunk =
+        std::max<std::size_t>(1, count / (parties * 8));
+    const std::size_t num_chunks = (count + chunk - 1) / chunk;
+
     std::atomic<std::size_t> next_index{0};
-    std::atomic<std::size_t> active_chunks{0};
+    std::atomic<std::size_t> active_runners{0};
     std::exception_ptr first_error;
     std::mutex error_mutex;
     std::condition_variable done_cv;
     std::mutex done_mutex;
 
-    auto chunk_runner = [&]() {
+    auto run_range = [&]() {
         for (;;) {
-            std::size_t i = next_index.fetch_add(1);
-            if (i >= count)
+            const std::size_t begin = next_index.fetch_add(chunk);
+            if (begin >= count)
                 break;
-            try {
-                body(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
+            const std::size_t end = std::min(begin + chunk, count);
+            for (std::size_t i = begin; i < end; ++i) {
+                try {
+                    body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
             }
-        }
-        if (active_chunks.fetch_sub(1) == 1) {
-            std::lock_guard<std::mutex> lock(done_mutex);
-            done_cv.notify_all();
         }
     };
 
-    std::size_t helpers = std::min(workers_.size(), count - 1);
-    active_chunks.store(helpers);
+    auto chunk_runner = [&]() {
+        run_range();
+        // Decrement and notify under the lock: once the caller's
+        // predicate can observe zero it holds the mutex, so this
+        // helper has already released it and never touches the
+        // stack-local mutex/cv again — no use-after-return window.
+        std::lock_guard<std::mutex> lock(done_mutex);
+        active_runners.fetch_sub(1);
+        done_cv.notify_all();
+    };
+
+    // One queued job per helper (the caller claims ranges too), and
+    // never more helpers than there are chunks beyond the caller's
+    // first claim.
+    std::size_t helpers = std::min(workers_.size(), num_chunks - 1);
+    active_runners.store(helpers);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t i = 0; i < helpers; ++i)
@@ -96,21 +120,10 @@ ThreadPool::parallelFor(std::size_t count,
     condition_.notify_all();
 
     // The caller participates too.
-    for (;;) {
-        std::size_t i = next_index.fetch_add(1);
-        if (i >= count)
-            break;
-        try {
-            body(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error)
-                first_error = std::current_exception();
-        }
-    }
+    run_range();
 
     std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return active_chunks.load() == 0; });
+    done_cv.wait(lock, [&] { return active_runners.load() == 0; });
 
     if (first_error)
         std::rethrow_exception(first_error);

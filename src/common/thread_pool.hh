@@ -41,9 +41,11 @@ class ThreadPool
 
     /**
      * Run body(i) for every i in [0, count), splitting the range across
-     * the callers thread and the workers. Blocks until all iterations
-     * finish. Exceptions in the body propagate to the caller (first one
-     * wins).
+     * the callers thread and the workers. Runners claim chunked index
+     * ranges off a shared counter (O(chunks) synchronization, not
+     * O(count)), so large batch counts don't serialize on the queue
+     * lock. Blocks until all iterations finish. Exceptions in the body
+     * propagate to the caller (first one wins).
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &body);

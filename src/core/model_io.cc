@@ -27,6 +27,7 @@ enum class Kind : std::uint32_t
     BayesianMlp = 1,
     QuantizedNetwork = 2,
     BayesianConvNet = 3,
+    QuantizedProgram = 4,
 };
 
 /** Little-endian byte sink with a running FNV-1a checksum. */
@@ -75,6 +76,14 @@ class Writer
         u64(vs.size());
         for (std::int32_t v : vs)
             i32(v);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        for (char c : s)
+            byte(static_cast<std::uint8_t>(c));
     }
 
     std::uint64_t hash() const { return hash_; }
@@ -148,8 +157,11 @@ class Reader
     bool
     floats(std::vector<float> &vs, std::uint64_t max_count)
     {
+        // Bounding by the bytes actually present (4 per element) keeps
+        // a crafted count field from forcing a huge allocation before
+        // the data check.
         std::uint64_t n;
-        if (!u64(n) || n > max_count)
+        if (!u64(n) || n > max_count || n > remaining() / 4)
             return false;
         vs.resize(n);
         for (auto &v : vs) {
@@ -163,12 +175,28 @@ class Reader
     ints(std::vector<std::int32_t> &vs, std::uint64_t max_count)
     {
         std::uint64_t n;
-        if (!u64(n) || n > max_count)
+        if (!u64(n) || n > max_count || n > remaining() / 4)
             return false;
         vs.resize(n);
         for (auto &v : vs) {
             if (!i32(v))
                 return false;
+        }
+        return true;
+    }
+
+    bool
+    str(std::string &s, std::uint64_t max_len)
+    {
+        std::uint64_t n;
+        if (!u64(n) || n > max_len)
+            return false;
+        s.resize(n);
+        for (auto &c : s) {
+            std::uint8_t b;
+            if (!take(&b, 1))
+                return false;
+            c = static_cast<char>(b);
         }
         return true;
     }
@@ -292,6 +320,19 @@ saveWithHeader(const std::string &path, Kind kind,
 }
 
 constexpr std::uint64_t kMaxElements = 1ULL << 32;
+/** Program bounds shared by writer (save refusal) and reader
+ *  (rejection), so a successful save always round-trips byte-exact. */
+constexpr std::uint64_t kMaxLabel = 256;
+constexpr std::uint64_t kMaxOps = 256;
+
+/** True when (total, frac) is a constructible FixedPointFormat —
+ *  checked before construction so corrupt headers are rejected with
+ *  nullptr instead of tripping the constructor's assertion. */
+bool
+validFormatPair(std::uint32_t total, std::uint32_t frac)
+{
+    return total >= 2 && total <= 32 && frac < total;
+}
 
 } // namespace
 
@@ -486,7 +527,11 @@ loadQuantizedNetwork(const std::string &path)
 
     std::uint32_t fmt[6];
     for (auto &f : fmt) {
-        if (!reader->u32(f) || f > 32)
+        if (!reader->u32(f))
+            return bad("fixed-point format");
+    }
+    for (int i = 0; i < 6; i += 2) {
+        if (!validFormatPair(fmt[i], fmt[i + 1]))
             return bad("fixed-point format");
     }
     auto net = std::make_unique<accel::QuantizedNetwork>();
@@ -520,6 +565,179 @@ loadQuantizedNetwork(const std::string &path)
             return bad("plane shape");
     }
     return net;
+}
+
+bool
+saveQuantizedProgram(const accel::QuantizedProgram &program,
+                     const std::string &path)
+{
+    // Refuse the size bounds the loader enforces, so well-formed
+    // programs always round-trip byte-identically. (Structural
+    // validity — plane shapes, conv geometry — remains the loader's
+    // job, exactly as for freshly compiled programs.)
+    if (program.ops.empty() || program.ops.size() > kMaxOps) {
+        warn("model_io: refusing to save program with " +
+             std::to_string(program.ops.size()) + " ops");
+        return false;
+    }
+    for (const auto &op : program.ops) {
+        if (op.label.size() > kMaxLabel) {
+            warn("model_io: refusing to save op label longer than " +
+                 std::to_string(kMaxLabel) + " chars");
+            return false;
+        }
+    }
+    return saveWithHeader(path, Kind::QuantizedProgram, [&](Writer &w) {
+        w.u32(static_cast<std::uint32_t>(
+            program.activationFormat.totalBits()));
+        w.u32(static_cast<std::uint32_t>(
+            program.activationFormat.fracBits()));
+        w.u32(static_cast<std::uint32_t>(
+            program.weightFormat.totalBits()));
+        w.u32(static_cast<std::uint32_t>(
+            program.weightFormat.fracBits()));
+        w.u32(static_cast<std::uint32_t>(program.epsFormat.totalBits()));
+        w.u32(static_cast<std::uint32_t>(program.epsFormat.fracBits()));
+        w.u64(program.ops.size());
+        for (const auto &op : program.ops) {
+            w.u32(static_cast<std::uint32_t>(op.kind));
+            w.str(op.label);
+            w.u64(op.inSize);
+            w.u64(op.outSize);
+            w.u32(op.relu ? 1 : 0);
+            w.u64(op.bank.inDim);
+            w.u64(op.bank.outDim);
+            w.ints(op.bank.muWeight);
+            w.ints(op.bank.sigmaWeight);
+            w.ints(op.bank.muBias);
+            w.ints(op.bank.sigmaBias);
+            // Conv / pool geometry: written for every op (defaults for
+            // the kinds that don't use them) so records stay
+            // fixed-shape.
+            w.u64(op.conv.inChannels);
+            w.u64(op.conv.inHeight);
+            w.u64(op.conv.inWidth);
+            w.u64(op.conv.outChannels);
+            w.u64(op.conv.kernel);
+            w.u64(op.conv.stride);
+            w.u64(op.conv.pad);
+            w.u64(op.pool.channels);
+            w.u64(op.pool.inHeight);
+            w.u64(op.pool.inWidth);
+            w.u64(op.pool.window);
+            w.u64(op.pool.stride);
+        }
+    });
+}
+
+std::unique_ptr<accel::QuantizedProgram>
+loadQuantizedProgram(const std::string &path)
+{
+    auto reader = openFile(path, Kind::QuantizedProgram);
+    if (!reader)
+        return nullptr;
+
+    auto bad = [&](const char *what) {
+        warn("model_io: " + path + " has a bad " + what);
+        return nullptr;
+    };
+
+    std::uint32_t fmt[6];
+    for (auto &f : fmt) {
+        if (!reader->u32(f))
+            return bad("fixed-point format");
+    }
+    for (int i = 0; i < 6; i += 2) {
+        if (!validFormatPair(fmt[i], fmt[i + 1]))
+            return bad("fixed-point format");
+    }
+    auto program = std::make_unique<accel::QuantizedProgram>();
+    program->activationFormat = fixed::FixedPointFormat(
+        static_cast<int>(fmt[0]), static_cast<int>(fmt[1]));
+    program->weightFormat = fixed::FixedPointFormat(
+        static_cast<int>(fmt[2]), static_cast<int>(fmt[3]));
+    program->epsFormat = fixed::FixedPointFormat(static_cast<int>(fmt[4]),
+                                                 static_cast<int>(fmt[5]));
+
+    std::uint64_t count;
+    if (!reader->u64(count) || count == 0 || count > kMaxOps)
+        return bad("op count");
+    program->ops.resize(count);
+    for (auto &op : program->ops) {
+        std::uint32_t kind, relu;
+        std::uint64_t v;
+        if (!reader->u32(kind) ||
+            kind > static_cast<std::uint32_t>(accel::OpKind::Output))
+            return bad("op kind");
+        op.kind = static_cast<accel::OpKind>(kind);
+        if (!reader->str(op.label, kMaxLabel))
+            return bad("op label");
+        if (!reader->u64(v) || v > kMaxElements)
+            return bad("op input size");
+        op.inSize = static_cast<std::size_t>(v);
+        if (!reader->u64(v) || v > kMaxElements)
+            return bad("op output size");
+        op.outSize = static_cast<std::size_t>(v);
+        if (!reader->u32(relu))
+            return bad("relu flag");
+        op.relu = relu != 0;
+
+        std::uint64_t in, out;
+        if (!reader->u64(in) || !reader->u64(out) ||
+            in > kMaxElements || out > kMaxElements)
+            return bad("bank dims");
+        op.bank.inDim = static_cast<std::size_t>(in);
+        op.bank.outDim = static_cast<std::size_t>(out);
+        if (!reader->ints(op.bank.muWeight, kMaxElements) ||
+            !reader->ints(op.bank.sigmaWeight, kMaxElements) ||
+            !reader->ints(op.bank.muBias, kMaxElements) ||
+            !reader->ints(op.bank.sigmaBias, kMaxElements))
+            return bad("parameter plane");
+        if (op.isCompute()) {
+            if (op.bank.muWeight.size() !=
+                    op.bank.inDim * op.bank.outDim ||
+                op.bank.sigmaWeight.size() !=
+                    op.bank.inDim * op.bank.outDim ||
+                op.bank.muBias.size() != op.bank.outDim ||
+                op.bank.sigmaBias.size() != op.bank.outDim)
+                return bad("plane shape");
+        } else if (!op.bank.muWeight.empty() ||
+                   !op.bank.sigmaWeight.empty() ||
+                   !op.bank.muBias.empty() ||
+                   !op.bank.sigmaBias.empty()) {
+            // Staging ops carry no parameters; reject smuggled planes.
+            return bad("plane shape");
+        }
+
+        std::uint64_t geo[7];
+        for (auto &g : geo) {
+            if (!reader->u64(g) || g > kMaxElements)
+                return bad("conv geometry");
+        }
+        op.conv.inChannels = static_cast<std::size_t>(geo[0]);
+        op.conv.inHeight = static_cast<std::size_t>(geo[1]);
+        op.conv.inWidth = static_cast<std::size_t>(geo[2]);
+        op.conv.outChannels = static_cast<std::size_t>(geo[3]);
+        op.conv.kernel = static_cast<std::size_t>(geo[4]);
+        op.conv.stride = static_cast<std::size_t>(geo[5]);
+        op.conv.pad = static_cast<std::size_t>(geo[6]);
+        if (op.kind == accel::OpKind::ConvLowered && !op.conv.valid())
+            return bad("conv geometry");
+
+        std::uint64_t pg[5];
+        for (auto &g : pg) {
+            if (!reader->u64(g) || g > kMaxElements)
+                return bad("pool geometry");
+        }
+        op.pool.channels = static_cast<std::size_t>(pg[0]);
+        op.pool.inHeight = static_cast<std::size_t>(pg[1]);
+        op.pool.inWidth = static_cast<std::size_t>(pg[2]);
+        op.pool.window = static_cast<std::size_t>(pg[3]);
+        op.pool.stride = static_cast<std::size_t>(pg[4]);
+        if (op.kind == accel::OpKind::Pool && !op.pool.valid())
+            return bad("pool geometry");
+    }
+    return program;
 }
 
 } // namespace vibnn::core

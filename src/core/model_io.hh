@@ -10,7 +10,9 @@
  *  - a trained BayesianMlp / BayesianConvNet (float mu/rho, so training
  *    can resume and requantization at other bit-lengths is possible);
  *  - a QuantizedNetwork (the raw integer planes the accelerator loads —
- *    the actual deployment image).
+ *    the actual deployment image);
+ *  - a QuantizedProgram (the compiled op list any executor backend
+ *    runs — caching one skips the compile step on later runs).
  *
  * Format: little-endian binary; magic "VIBNNMDL", format version, a
  * kind tag, the payload, and an FNV-1a checksum trailer. Loaders return
@@ -25,6 +27,7 @@
 #include <string>
 
 #include "accel/config.hh"
+#include "accel/program.hh"
 #include "bnn/bayesian_cnn.hh"
 #include "bnn/bayesian_mlp.hh"
 
@@ -53,6 +56,18 @@ bool saveQuantizedNetwork(const accel::QuantizedNetwork &net,
 /** Load a quantized deployment image; nullptr on any failure. */
 std::unique_ptr<accel::QuantizedNetwork>
 loadQuantizedNetwork(const std::string &path);
+
+/** Save a compiled program (same tagged + FNV-1a checksum container),
+ *  so compiled CNN programs can be cached across runs instead of
+ *  recompiled. @return false on IO failure. */
+bool saveQuantizedProgram(const accel::QuantizedProgram &program,
+                          const std::string &path);
+
+/** Load a compiled program; nullptr (after warn()) on any failure.
+ *  Callers validate against their AcceleratorConfig exactly as the
+ *  executors do for freshly compiled programs. */
+std::unique_ptr<accel::QuantizedProgram>
+loadQuantizedProgram(const std::string &path);
 
 } // namespace vibnn::core
 

@@ -111,12 +111,22 @@ VibnnSystem::hardwareAccuracy(const nn::DataView &data) const
 
 std::vector<std::size_t>
 VibnnSystem::classifyBatch(const nn::DataView &data, std::size_t threads,
-                           float *probs) const
+                           float *probs, ExecMode mode) const
 {
     accel::McEngineConfig mc;
     mc.threads = threads;
     mc.generatorId = grngId_;
     mc.seedBase = seed_;
+    if (mode == ExecMode::Throughput) {
+        mc.backendId = "batched";
+        mc.schedule = accel::McSchedule::PerRound;
+    } else {
+        // Per-unit fidelity on the functional backend: bit-exact with
+        // the cycle simulator (ctest-enforced) without the memory
+        // model's overhead. Timing comes from simulateTiming().
+        mc.backendId = "functional";
+        mc.schedule = accel::McSchedule::PerUnit;
+    }
     accel::McEngine engine(program_, config_, mc);
     return engine.classifyBatch(data.features, data.count, data.dim,
                                 probs);
@@ -124,11 +134,12 @@ VibnnSystem::classifyBatch(const nn::DataView &data, std::size_t threads,
 
 double
 VibnnSystem::hardwareAccuracyBatched(const nn::DataView &data,
-                                     std::size_t threads) const
+                                     std::size_t threads,
+                                     ExecMode mode) const
 {
     if (data.count == 0)
         return 0.0;
-    const auto predictions = classifyBatch(data, threads);
+    const auto predictions = classifyBatch(data, threads, nullptr, mode);
     std::size_t correct = 0;
     for (std::size_t i = 0; i < data.count; ++i) {
         if (predictions[i] == static_cast<std::size_t>(data.labels[i]))
@@ -185,6 +196,13 @@ VibnnSystem::makeFunctionalRunner() const
         std::unique_ptr<grng::GaussianGenerator> owned;
     };
     return std::make_unique<OwningRunner>(program_, config_, gen_raw);
+}
+
+std::unique_ptr<accel::Executor>
+VibnnSystem::makeExecutor(const std::string &id) const
+{
+    return accel::makeExecutor(id, program_, config_,
+                               grng::makeGenerator(grngId_, seed_));
 }
 
 hw::DesignEstimate

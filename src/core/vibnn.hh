@@ -37,6 +37,25 @@
 namespace vibnn::core
 {
 
+/** Batched-inference execution mode of the facade. */
+enum class ExecMode
+{
+    /**
+     * Per-pass sampling fidelity: every (image, MC sample) unit draws
+     * fresh weights — the paper's semantics — on the "functional"
+     * backend (bit-exact with the cycle simulator by construction).
+     */
+    Fidelity,
+    /**
+     * Weight-reuse throughput: one weight sample per compute op per MC
+     * round, shared across the whole batch, on the "batched" backend —
+     * T rounds instead of T x B passes. Statistically equivalent per
+     * round; use when serving batches, not when reproducing per-pass
+     * hardware behavior.
+     */
+    Throughput,
+};
+
 /** End-to-end VIBNN deployment handle. */
 class VibnnSystem
 {
@@ -95,19 +114,30 @@ class VibnnSystem
     /**
      * Batched MC-ensemble classification on McEngine — the parallel
      * hardware path, so examples/benches stop re-implementing the MC
-     * loop. Bit-identical for any thread count.
+     * loop. Bit-identical for any thread count in either mode.
      * @param data Images to classify.
      * @param threads Worker parallelism (0 sizes from the global pool).
      * @param probs Optional: count * outputDim averaged probabilities.
+     * @param mode Fidelity (per-pass sampling, default) or Throughput
+     *        (per-round weight reuse on the batched backend).
      * @return Predicted class per image.
      */
-    std::vector<std::size_t> classifyBatch(const nn::DataView &data,
-                                           std::size_t threads = 0,
-                                           float *probs = nullptr) const;
+    std::vector<std::size_t>
+    classifyBatch(const nn::DataView &data, std::size_t threads = 0,
+                  float *probs = nullptr,
+                  ExecMode mode = ExecMode::Fidelity) const;
 
     /** MC-ensemble accuracy via classifyBatch (parallel McEngine). */
-    double hardwareAccuracyBatched(const nn::DataView &data,
-                                   std::size_t threads = 0) const;
+    double
+    hardwareAccuracyBatched(const nn::DataView &data,
+                            std::size_t threads = 0,
+                            ExecMode mode = ExecMode::Fidelity) const;
+
+    /** Fresh executor backend by registry id ("simulator",
+     *  "functional", "batched"); the eps stream is owned by the
+     *  returned object. */
+    std::unique_ptr<accel::Executor>
+    makeExecutor(const std::string &id) const;
 
     /**
      * Cycle-accurate timing: simulate `images` single MC passes and

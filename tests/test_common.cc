@@ -170,6 +170,38 @@ TEST(ThreadPool, EmptyRangeIsNoop)
     pool.parallelFor(0, [](std::size_t) { FAIL(); });
 }
 
+TEST(ThreadPool, ChunkedLargeRangeCoversEachIndexOnce)
+{
+    // Large counts take the chunked-range path (ranges off the shared
+    // counter, not one job per index); every index must still run
+    // exactly once.
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(100003);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, PropagatesExceptionsFromChunkedRanges)
+{
+    // Exception propagation must survive the chunked scheduler: a
+    // throw deep inside one range reaches the caller, and the
+    // remaining iterations still run (first error wins, work is not
+    // abandoned).
+    ThreadPool pool(2);
+    std::atomic<int> hits{0};
+    const std::size_t count = 50000;
+    EXPECT_THROW(pool.parallelFor(count,
+                                  [&](std::size_t i) {
+                                      ++hits;
+                                      if (i == 31337)
+                                          throw std::runtime_error(
+                                              "boom");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(hits.load(), static_cast<int>(count));
+}
+
 TEST(TextTable, AlignsColumns)
 {
     TextTable table;

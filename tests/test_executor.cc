@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Tests for the executor backend layer: registry and capability flags,
+ * bit-exact delegation of the fidelity backends through the Executor
+ * seam, the per-image fallback semantics of the default round-batch,
+ * exact agreement of the batched weight-reuse path with the fidelity
+ * path when sigma = 0 (where weight reuse is a no-op) on both MLP and
+ * CNN programs, statistical equivalence of the two paths at matched T
+ * on synth-MNIST, and bit-identical round-scheduling results across
+ * thread counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "accel/batched_runner.hh"
+#include "accel/executor.hh"
+#include "accel/functional.hh"
+#include "accel/mc_engine.hh"
+#include "accel/program.hh"
+#include "accel/simulator.hh"
+#include "bnn/bayesian_cnn.hh"
+#include "bnn/bayesian_mlp.hh"
+#include "common/rng.hh"
+#include "data/synth_mnist.hh"
+#include "grng/registry.hh"
+#include "nn/activations.hh"
+
+using namespace vibnn;
+using namespace vibnn::accel;
+
+namespace
+{
+
+AcceleratorConfig
+smallConfig(int mc_samples = 1)
+{
+    AcceleratorConfig config;
+    config.peSets = 2;
+    config.pesPerSet = 4;
+    config.mcSamples = mc_samples;
+    return config;
+}
+
+QuantizedProgram
+mlpProgram(const AcceleratorConfig &config, std::uint64_t seed,
+           float rho_init = -5.0f)
+{
+    Rng rng(seed);
+    bnn::BayesianMlp net({24, 16, 4}, rng, rho_init);
+    return compile(net, config);
+}
+
+/** conv-pool-dense topology on 1x8x8 inputs. */
+QuantizedProgram
+cnnProgram(const AcceleratorConfig &config, std::uint64_t seed,
+           float rho_init = -2.0f)
+{
+    nn::ConvNetConfig cfg;
+    cfg.inChannels = 1;
+    cfg.imageHeight = 8;
+    cfg.imageWidth = 8;
+    cfg.blocks = {{/*outChannels=*/3, /*kernel=*/3, /*stride=*/1,
+                   /*pad=*/1, /*pool=*/true, /*poolWindow=*/2}};
+    cfg.denseHidden = {12};
+    cfg.numClasses = 4;
+    Rng rng(seed);
+    bnn::BayesianConvNet net(cfg, rng, rho_init);
+    return compile(net, config);
+}
+
+std::vector<float>
+randomBatch(std::size_t count, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> xs(count * dim);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.uniform());
+    return xs;
+}
+
+} // anonymous namespace
+
+TEST(ExecutorRegistry, ProvidesAllBackendsWithExpectedCaps)
+{
+    const auto config = smallConfig();
+    const auto program = mlpProgram(config, 3);
+    const auto ids = executorIds();
+    ASSERT_EQ(ids.size(), 3u);
+
+    for (const auto &id : ids) {
+        auto gen = grng::makeGenerator("rlf", 7);
+        auto exec = makeExecutor(id, program, config, gen.get());
+        ASSERT_NE(exec, nullptr) << id;
+        EXPECT_EQ(exec->program().ops.size(), program.ops.size());
+        EXPECT_EQ(exec->config().peSets, config.peSets);
+        const auto caps = exec->caps();
+        EXPECT_EQ(caps.cycleAccurate, id == "simulator") << id;
+        EXPECT_EQ(caps.batchedRounds, id == "batched") << id;
+    }
+}
+
+TEST(ExecutorSeam, FidelityBackendsBitExactThroughInterface)
+{
+    // Running a backend through the Executor base pointer must be
+    // bit-identical to driving the concrete class directly — the seam
+    // adds no behavior.
+    const auto config = smallConfig();
+    const auto program = mlpProgram(config, 5);
+    const auto x = randomBatch(1, program.inputDim(), 11);
+
+    for (const char *id : {"simulator", "functional"}) {
+        auto gen_seam = grng::makeGenerator("rlf", 13);
+        auto gen_direct = grng::makeGenerator("rlf", 13);
+        auto seam = makeExecutor(id, program, config, gen_seam.get());
+        const auto via_seam = seam->runPass(x.data());
+        if (std::string(id) == "simulator") {
+            Simulator direct(program, config, gen_direct.get());
+            EXPECT_EQ(via_seam, direct.runPass(x.data())) << id;
+        } else {
+            FunctionalRunner direct(program, config, gen_direct.get());
+            EXPECT_EQ(via_seam, direct.runPass(x.data())) << id;
+        }
+    }
+}
+
+TEST(ExecutorSeam, SharedClassifyMatchesManualEnsemble)
+{
+    // Executor::classify is the one MC-ensemble reduction every
+    // backend inherits; it must equal the manual
+    // mcSamples-passes-softmax-average loop exactly (the pre-seam
+    // Simulator::classify/FunctionalRunner::classify body).
+    const auto config = smallConfig(5);
+    const auto program = mlpProgram(config, 7);
+    const auto x = randomBatch(1, program.inputDim(), 17);
+
+    auto gen_a = grng::makeGenerator("rlf", 19);
+    auto gen_b = grng::makeGenerator("rlf", 19);
+    auto classifier = makeExecutor("functional", program, config,
+                                   gen_a.get());
+    std::vector<float> probs(program.outputDim());
+    const std::size_t predicted = classifier->classify(x.data(),
+                                                       probs.data());
+
+    FunctionalRunner manual(program, config, gen_b.get());
+    const std::size_t out_dim = program.outputDim();
+    std::vector<float> acc(out_dim, 0.0f);
+    std::vector<float> logits(out_dim);
+    for (int s = 0; s < config.mcSamples; ++s) {
+        const auto raw = manual.runPass(x.data());
+        for (std::size_t i = 0; i < out_dim; ++i)
+            logits[i] = static_cast<float>(
+                program.activationFormat.toReal(raw[i]));
+        nn::softmax(logits.data(), out_dim);
+        for (std::size_t i = 0; i < out_dim; ++i)
+            acc[i] += logits[i];
+    }
+    for (auto &p : acc)
+        p /= static_cast<float>(config.mcSamples);
+
+    EXPECT_EQ(predicted,
+              static_cast<std::size_t>(
+                  std::max_element(acc.begin(), acc.end()) -
+                  acc.begin()));
+    for (std::size_t i = 0; i < out_dim; ++i)
+        EXPECT_EQ(probs[i], acc[i]) << "class " << i;
+}
+
+TEST(ExecutorSeam, DefaultRoundBatchIsPerImageFreshSamplePasses)
+{
+    // Backends without batchedRounds fall back to one fresh-sample
+    // pass per image of the round, consuming the stream in image
+    // order.
+    const auto config = smallConfig();
+    const auto program = mlpProgram(config, 9);
+    const std::size_t count = 3, dim = program.inputDim();
+    const auto xs = randomBatch(count, dim, 23);
+
+    auto gen_a = grng::makeGenerator("rlf", 29);
+    auto gen_b = grng::makeGenerator("rlf", 29);
+    auto round_exec = makeExecutor("functional", program, config,
+                                   gen_a.get());
+    std::vector<std::int64_t> round_out(count * program.outputDim());
+    round_exec->runRoundBatch(xs.data(), count, dim, round_out.data());
+
+    FunctionalRunner serial(program, config, gen_b.get());
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto raw = serial.runPass(xs.data() + i * dim);
+        for (std::size_t j = 0; j < raw.size(); ++j)
+            EXPECT_EQ(round_out[i * program.outputDim() + j], raw[j])
+                << "image " << i << " out " << j;
+    }
+}
+
+TEST(BatchedRunner, SigmaZeroBitExactWithFunctionalOnMlp)
+{
+    // With sigma = 0 every posterior draw is the mu network, so weight
+    // reuse is a no-op and the batched path must agree bit for bit
+    // with the fidelity path.
+    const auto config = smallConfig();
+    const auto program = mlpProgram(config, 31, /*rho_init=*/-40.0f);
+    const std::size_t count = 4, dim = program.inputDim();
+    const auto xs = randomBatch(count, dim, 37);
+
+    auto gen_a = grng::makeGenerator("rlf", 41);
+    auto gen_b = grng::makeGenerator("rlf", 43); // stream is irrelevant
+    BatchedRunner batched(program, config, gen_a.get());
+    FunctionalRunner fidelity(program, config, gen_b.get());
+
+    std::vector<std::int64_t> out(count * program.outputDim());
+    batched.runRoundBatch(xs.data(), count, dim, out.data());
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto raw = fidelity.runPass(xs.data() + i * dim);
+        for (std::size_t j = 0; j < raw.size(); ++j)
+            EXPECT_EQ(out[i * program.outputDim() + j], raw[j])
+                << "image " << i << " out " << j;
+    }
+}
+
+TEST(BatchedRunner, SigmaZeroBitExactWithFunctionalOnCnn)
+{
+    // Same exactness on a conv-pool-dense program: covers the batched
+    // im2col GEMM and pooling paths (weight sharing across positions
+    // is also a no-op at sigma = 0).
+    const auto config = smallConfig();
+    const auto program = cnnProgram(config, 47, /*rho_init=*/-40.0f);
+    const std::size_t count = 3, dim = program.inputDim();
+    const auto xs = randomBatch(count, dim, 53);
+
+    auto gen_a = grng::makeGenerator("rlf", 59);
+    auto gen_b = grng::makeGenerator("rlf", 61);
+    BatchedRunner batched(program, config, gen_a.get());
+    FunctionalRunner fidelity(program, config, gen_b.get());
+
+    std::vector<std::int64_t> out(count * program.outputDim());
+    batched.runRoundBatch(xs.data(), count, dim, out.data());
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto raw = fidelity.runPass(xs.data() + i * dim);
+        for (std::size_t j = 0; j < raw.size(); ++j)
+            EXPECT_EQ(out[i * program.outputDim() + j], raw[j])
+                << "image " << i << " out " << j;
+    }
+}
+
+TEST(BatchedRunner, RoundsAreDeterministicAndWeightReuseIsVisible)
+{
+    const auto config = smallConfig();
+    const auto program = cnnProgram(config, 67, /*rho_init=*/-1.0f);
+    const std::size_t count = 2, dim = program.inputDim();
+    const auto xs = randomBatch(count, dim, 71);
+    std::vector<std::int64_t> a(count * program.outputDim());
+    std::vector<std::int64_t> b(a.size());
+
+    // Same seed -> bit-identical round.
+    {
+        auto gen_a = grng::makeGenerator("rlf", 73);
+        auto gen_b = grng::makeGenerator("rlf", 73);
+        BatchedRunner run_a(program, config, gen_a.get());
+        BatchedRunner run_b(program, config, gen_b.get());
+        run_a.runRoundBatch(xs.data(), count, dim, a.data());
+        run_b.runRoundBatch(xs.data(), count, dim, b.data());
+        EXPECT_EQ(a, b);
+    }
+
+    // Two identical images inside one round see the SAME weight draw,
+    // so their outputs coincide — the reuse the fidelity path never
+    // exhibits at nonzero sigma.
+    {
+        std::vector<float> twice(2 * dim);
+        std::copy(xs.begin(), xs.begin() + dim, twice.begin());
+        std::copy(xs.begin(), xs.begin() + dim, twice.begin() + dim);
+        auto gen = grng::makeGenerator("rlf", 79);
+        BatchedRunner runner(program, config, gen.get());
+        std::vector<std::int64_t> out(2 * program.outputDim());
+        runner.runRoundBatch(twice.data(), 2, dim, out.data());
+        for (std::size_t j = 0; j < program.outputDim(); ++j)
+            EXPECT_EQ(out[j], out[program.outputDim() + j]);
+    }
+}
+
+TEST(McEngineRound, MatchesSerialRoundSeedScheduleEmulation)
+{
+    // PerRound scheduling runs round r with the stream seeded by
+    // roundSeed(seedBase, r); replaying that schedule on one serial
+    // BatchedRunner must reproduce the engine's per-round outputs bit
+    // for bit.
+    const auto config = smallConfig(6);
+    const auto program = mlpProgram(config, 83);
+    const auto x = randomBatch(1, program.inputDim(), 89);
+
+    McEngineConfig mc;
+    mc.threads = 3;
+    mc.seedBase = 97;
+    mc.backendId = "batched";
+    mc.schedule = McSchedule::PerRound;
+    McEngine engine(program, config, mc);
+    const McResult parallel = engine.classifyDetailed(x.data());
+    ASSERT_EQ(parallel.rawSamples.size(), 6u);
+
+    auto placeholder = grng::makeGenerator("rlf", 1);
+    BatchedRunner serial(program, config, placeholder.get());
+    for (int r = 0; r < config.mcSamples; ++r) {
+        auto gen = grng::makeGenerator(
+            "rlf", McEngine::roundSeed(97,
+                                       static_cast<std::uint64_t>(r)));
+        serial.setGenerator(gen.get());
+        const auto raw = serial.runPass(x.data());
+        EXPECT_EQ(raw, parallel.rawSamples[r]) << "round " << r;
+        serial.setGenerator(placeholder.get());
+    }
+}
+
+TEST(McEngineRound, BitIdenticalAcrossThreadCounts)
+{
+    const auto config = smallConfig(8);
+    const auto program = mlpProgram(config, 101);
+    const std::size_t count = 5, dim = program.inputDim();
+    const auto xs = randomBatch(count, dim, 103);
+
+    std::vector<std::size_t> preds[3];
+    std::vector<float> probs[3];
+    const std::size_t thread_counts[3] = {1, 2, 5};
+    for (int i = 0; i < 3; ++i) {
+        McEngineConfig mc;
+        mc.threads = thread_counts[i];
+        mc.seedBase = 107;
+        mc.backendId = "batched";
+        mc.schedule = McSchedule::PerRound;
+        McEngine engine(program, config, mc);
+        probs[i].resize(count * program.outputDim());
+        preds[i] = engine.classifyBatch(xs.data(), count, dim,
+                                        probs[i].data());
+    }
+    for (int i = 1; i < 3; ++i) {
+        EXPECT_EQ(preds[i], preds[0]) << "threads="
+                                      << thread_counts[i];
+        ASSERT_EQ(probs[i].size(), probs[0].size());
+        for (std::size_t j = 0; j < probs[0].size(); ++j)
+            EXPECT_EQ(probs[i][j], probs[0][j])
+                << "threads=" << thread_counts[i] << " prob " << j;
+    }
+}
+
+TEST(McEngineRound, StatisticallyEquivalentToPerUnitAtMatchedT)
+{
+    // The weight-reuse estimator averages T independent posterior
+    // draws just like the per-pass estimator — only the pairing of
+    // draws with images differs. At matched T on synth-MNIST images
+    // the two predictive means must agree within Monte-Carlo noise.
+    const int t_samples = 64;
+    AcceleratorConfig config;
+    config.peSets = 2;
+    config.pesPerSet = 4;
+    config.mcSamples = t_samples;
+
+    Rng rng(109);
+    bnn::BayesianMlp net({data::kMnistPixels, 16, 10}, rng, -3.0f);
+    const auto program = compile(net, config);
+
+    data::SynthMnistConfig synth;
+    synth.trainCount = 10;
+    synth.testCount = 12;
+    synth.seed = 113;
+    const auto ds = data::makeSynthMnist(synth);
+    const auto view = ds.test.view();
+
+    McEngineConfig fid;
+    fid.seedBase = 127;
+    fid.backendId = "functional";
+    fid.schedule = McSchedule::PerUnit;
+    McEngine fidelity(program, config, fid);
+    std::vector<float> fid_probs(view.count * program.outputDim());
+    fidelity.classifyBatch(view.features, view.count, view.dim,
+                           fid_probs.data());
+
+    McEngineConfig thr;
+    thr.seedBase = 131;
+    thr.backendId = "batched";
+    thr.schedule = McSchedule::PerRound;
+    McEngine throughput(program, config, thr);
+    std::vector<float> thr_probs(view.count * program.outputDim());
+    throughput.classifyBatch(view.features, view.count, view.dim,
+                             thr_probs.data());
+
+    double total_abs = 0.0;
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < fid_probs.size(); ++i) {
+        const float d = std::fabs(fid_probs[i] - thr_probs[i]);
+        total_abs += d;
+        max_abs = std::max(max_abs, d);
+    }
+    const double mean_abs =
+        total_abs / static_cast<double>(fid_probs.size());
+    // MC noise of a T=64 mean of [0,1] quantities is ~0.06 worst case;
+    // the bounds leave ~3x headroom while still catching systematic
+    // bias (reused draws, skipped rounds, wrong reduction order).
+    EXPECT_LT(mean_abs, 0.05) << "max " << max_abs;
+    EXPECT_LT(max_abs, 0.25f);
+}

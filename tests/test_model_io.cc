@@ -1,9 +1,10 @@
 /**
  * @file
- * Tests for model serialization: bit-exact round trips for all three
- * model kinds, prediction equivalence after reload, and failure
- * injection — truncation, bit corruption, wrong magic, and cross-kind
- * loads must all be rejected (never reach the accelerator).
+ * Tests for model serialization: bit-exact round trips for all four
+ * file kinds (MLP, ConvNet, quantized network, compiled program),
+ * prediction equivalence after reload, and failure injection —
+ * truncation, bit corruption, wrong magic, and cross-kind loads must
+ * all be rejected (never reach the accelerator).
  */
 
 #include <gtest/gtest.h>
@@ -13,10 +14,13 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/functional.hh"
+#include "accel/program.hh"
 #include "bnn/bayesian_cnn.hh"
 #include "bnn/bayesian_mlp.hh"
 #include "common/rng.hh"
 #include "core/model_io.hh"
+#include "grng/registry.hh"
 
 using namespace vibnn;
 using namespace vibnn::core;
@@ -162,6 +166,90 @@ TEST(ModelIo, QuantizedNetworkRoundTrip)
               quantized.activationFormat.totalBits());
     EXPECT_EQ(loaded->weightFormat.fracBits(),
               quantized.weightFormat.fracBits());
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, QuantizedProgramRoundTripIsBitExact)
+{
+    // A compiled CNN program — the richest op mix (ConvLowered, Pool,
+    // Flatten, Dense, Output) — must survive the cache file bit-exactly
+    // so cached programs replace recompilation.
+    const auto path = tempPath("prog_rt");
+    nn::ConvNetConfig cfg;
+    cfg.imageHeight = 8;
+    cfg.imageWidth = 8;
+    cfg.blocks = {{4, 3, 1, 1, true, 2}};
+    cfg.denseHidden = {16};
+    cfg.numClasses = 3;
+    Rng rng(13);
+    bnn::BayesianConvNet net(cfg, rng);
+    accel::AcceleratorConfig config;
+    config.peSets = 2;
+    config.pesPerSet = 4;
+    const auto program = accel::compile(net, config);
+    ASSERT_TRUE(saveQuantizedProgram(program, path));
+
+    auto loaded = loadQuantizedProgram(path);
+    ASSERT_NE(loaded, nullptr);
+    ASSERT_EQ(loaded->ops.size(), program.ops.size());
+    for (std::size_t i = 0; i < program.ops.size(); ++i) {
+        const auto &a = program.ops[i];
+        const auto &b = loaded->ops[i];
+        EXPECT_EQ(a.kind, b.kind) << "op " << i;
+        EXPECT_EQ(a.label, b.label);
+        EXPECT_EQ(a.inSize, b.inSize);
+        EXPECT_EQ(a.outSize, b.outSize);
+        EXPECT_EQ(a.relu, b.relu);
+        EXPECT_EQ(a.bank.inDim, b.bank.inDim);
+        EXPECT_EQ(a.bank.outDim, b.bank.outDim);
+        EXPECT_EQ(a.bank.muWeight, b.bank.muWeight);
+        EXPECT_EQ(a.bank.sigmaWeight, b.bank.sigmaWeight);
+        EXPECT_EQ(a.bank.muBias, b.bank.muBias);
+        EXPECT_EQ(a.bank.sigmaBias, b.bank.sigmaBias);
+        EXPECT_EQ(a.conv.outChannels, b.conv.outChannels);
+        EXPECT_EQ(a.conv.kernel, b.conv.kernel);
+        EXPECT_EQ(a.pool.window, b.pool.window);
+    }
+    EXPECT_EQ(loaded->activationFormat, program.activationFormat);
+    EXPECT_EQ(loaded->weightFormat, program.weightFormat);
+    EXPECT_EQ(loaded->epsFormat, program.epsFormat);
+
+    // Executing the reloaded program with the same eps stream must be
+    // bit-identical to the original — the cache is a real substitute.
+    auto gen_a = grng::makeGenerator("rlf", 17);
+    auto gen_b = grng::makeGenerator("rlf", 17);
+    accel::FunctionalRunner run_a(program, config, gen_a.get());
+    accel::FunctionalRunner run_b(*loaded, config, gen_b.get());
+    Rng data(19);
+    std::vector<float> x(program.inputDim());
+    for (auto &v : x)
+        v = static_cast<float>(data.uniform(0, 1));
+    EXPECT_EQ(run_a.runPass(x.data()), run_b.runPass(x.data()));
+    std::remove(path.c_str());
+}
+
+TEST(ModelIo, QuantizedProgramCorruptionAndCrossKindRejected)
+{
+    const auto path = tempPath("prog_bad");
+    auto net = makeMlp();
+    accel::AcceleratorConfig config;
+    config.peSets = 2;
+    config.pesPerSet = 4;
+    const auto program =
+        accel::programFromNetwork(accel::quantizeNetwork(net, config));
+    ASSERT_TRUE(saveQuantizedProgram(program, path));
+
+    // A program image is not a network image and vice versa.
+    EXPECT_EQ(loadQuantizedNetwork(path), nullptr);
+    auto bytes = slurp(path);
+    ASSERT_TRUE(saveQuantizedNetwork(accel::quantizeNetwork(net, config),
+                                     path));
+    EXPECT_EQ(loadQuantizedProgram(path), nullptr);
+
+    // Checksum still guards the payload.
+    bytes[bytes.size() / 2] ^= 0x40;
+    spit(path, bytes);
+    EXPECT_EQ(loadQuantizedProgram(path), nullptr);
     std::remove(path.c_str());
 }
 
