@@ -23,7 +23,6 @@
  * Knobs: VIBNN_SCALE (dataset size multiplier), VIBNN_SEED.
  */
 
-#include <chrono>
 #include <cstdio>
 
 #include "accel/design_space.hh"
@@ -33,6 +32,7 @@
 #include "core/vibnn.hh"
 #include "data/synth_mnist.hh"
 #include "nn/cnn.hh"
+#include "serve/session.hh"
 
 using namespace vibnn;
 
@@ -167,33 +167,35 @@ main()
                     exact ? "bit-exact" : "MISMATCH");
     }
 
-    // MC-ensemble accuracy on the 8-bit hardware path (McEngine batch
-    // classification) vs. the float software estimator above.
+    // MC-ensemble accuracy on the 8-bit hardware path, served through
+    // the InferenceSession request/response surface, vs. the float
+    // software estimator above.
     nn::DataView hw_view = dataset.test.view();
     hw_view.count = std::min<std::size_t>(
         hw_view.count, static_cast<std::size_t>(60 * scale));
     const double sw_acc = evaluateBcnnAccuracy(bcnn, hw_view, 8,
                                                seed + 5);
-    const double hw_acc = sys.hardwareAccuracyBatched(hw_view);
+    const auto serve_mode = [&](serve::ExecMode mode, double &acc) {
+        serve::SessionOptions opts;
+        opts.mode = mode;
+        auto session = sys.makeSession(opts);
+        const auto result =
+            session->run(serve::InferenceRequest::borrow(hw_view));
+        acc = result.accuracy(hw_view.labels);
+        return result.micros / 1e6;
+    };
+    double fid_acc = 0.0, thr_acc = 0.0;
+    const double fid_seconds = serve_mode(serve::ExecMode::Fidelity,
+                                          fid_acc);
     std::printf("  accuracy on %zu images: software (float, direct) "
                 "%.2f%%, accelerator (8-bit MC-8) %.2f%%\n",
-                hw_view.count, 100 * sw_acc, 100 * hw_acc);
+                hw_view.count, 100 * sw_acc, 100 * fid_acc);
 
     // The same batch through the weight-reuse throughput mode: one
     // filter/weight sample per compute op per MC round, shared across
     // all images — T rounds instead of T x B passes.
-    const auto time_mode = [&](core::ExecMode mode, double &acc) {
-        const auto start = std::chrono::steady_clock::now();
-        acc = sys.hardwareAccuracyBatched(hw_view, 0, mode);
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - start)
-            .count();
-    };
-    double fid_acc = 0.0, thr_acc = 0.0;
-    const double fid_seconds = time_mode(core::ExecMode::Fidelity,
-                                         fid_acc);
-    const double thr_seconds = time_mode(core::ExecMode::Throughput,
-                                         thr_acc);
+    const double thr_seconds = serve_mode(serve::ExecMode::Throughput,
+                                          thr_acc);
     std::printf("  throughput mode (weight reuse, MC-8 rounds): "
                 "%.2f%% accuracy, %.1fx faster than fidelity mode\n",
                 100 * thr_acc, fid_seconds / thr_seconds);

@@ -6,17 +6,20 @@
  *   2. Train a Bayesian neural network with Bayes-by-Backprop.
  *   3. Wrap it in a VibnnSystem: this quantizes the variational
  *      parameters onto the accelerator's 8-bit grids.
- *   4. Run inference three ways — float software, fast hardware
- *      functional model, and the cycle-level simulator — and query the
+ *   4. Serve inference through an InferenceSession — the request /
+ *      response surface with per-image uncertainty — next to the float
+ *      software ensemble and the cycle-level simulator, and query the
  *      FPGA resource/performance estimates.
  *
  * Run:  ./build/examples/quickstart
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "core/vibnn.hh"
 #include "data/tabular.hh"
+#include "serve/session.hh"
 
 using namespace vibnn;
 
@@ -51,10 +54,28 @@ main()
     // 4a. Software (float) Monte-Carlo ensemble accuracy.
     const double sw =
         system.softwareAccuracy(dataset.test.view(), 8, /*seed=*/99);
-    // 4b. Hardware path (8-bit fixed point, RLF-GRNG epsilons).
-    const double hw = system.hardwareAccuracy(dataset.test.view());
+
+    // 4b. Hardware path, served through an InferenceSession: one
+    // request for the whole test batch, one response carrying the
+    // prediction AND the uncertainty decomposition per image.
+    auto session = system.makeSession();
+    const auto response = session->run(
+        serve::InferenceRequest::borrow(dataset.test.view()));
+    const double hw = response.accuracy(dataset.test.view().labels);
+    std::size_t uncertain = 0;
+    double worst_entropy = 0.0;
+    for (const auto &p : response.predictions) {
+        if (p.confidence < 0.6f)
+            ++uncertain;
+        worst_entropy = std::max(worst_entropy, p.entropy);
+    }
     std::printf("accuracy: software %.2f%%, 8-bit hardware %.2f%%\n",
                 100 * sw, 100 * hw);
+    std::printf("serving: %zu images in %.1f ms (T=%d MC samples); "
+                "%zu flagged uncertain (confidence < 0.60), "
+                "max predictive entropy %.3f nats\n",
+                response.predictions.size(), response.micros / 1000.0,
+                response.mcSamples, uncertain, worst_entropy);
 
     // 4c. Cycle-level timing of one inference pass.
     auto simulator = system.makeSimulator();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Serving-layer smoke: the async request/response flow in one minute.
+ *
+ *   1. Train a small Bayesian MLP on a synthetic tabular task.
+ *   2. Build an InferenceSession in Throughput mode (weight-reuse
+ *      "batched" backend) — options overridable via the VIBNN_SERVE_*
+ *      environment knobs.
+ *   3. submit() a burst of single-image requests: the dispatcher
+ *      coalesces everything pending into one per-round weight-reuse
+ *      pass, so the burst costs T rounds instead of burst * T.
+ *   4. Verify async results match synchronous run() bit for bit, and
+ *      print the per-request uncertainty decorations.
+ *
+ * This is the CI smoke for docs/SERVING.md — fast at default scale.
+ *
+ * Run:  ./build/serve_smoke
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/env.hh"
+#include "core/vibnn.hh"
+#include "data/tabular.hh"
+#include "serve/session.hh"
+
+using namespace vibnn;
+
+int
+main()
+{
+    // 1. Data + model (19 features, 2 classes; quick to train).
+    auto spec = data::retinopathySpec(envSeed());
+    spec.trainCount = scaledCount(300);
+    spec.testCount = 32;
+    const auto dataset = data::makeTabular(spec);
+
+    bnn::BnnTrainConfig train_config;
+    train_config.epochs = scaledCount(20);
+    train_config.learningRate = 2e-3f;
+    train_config.seed = envSeed() + 1;
+
+    accel::AcceleratorConfig accel_config;
+    accel_config.peSets = 2;
+    accel_config.pesPerSet = 8;
+    accel_config.mcSamples = 8;
+
+    const auto system = core::VibnnSystem::train(
+        dataset, {32, 32}, train_config, accel_config, "rlf");
+
+    // 2. The serving session. Environment knobs override the defaults
+    // (e.g. VIBNN_SERVE_MODE=fidelity VIBNN_SERVE_T=16 ./serve_smoke).
+    serve::SessionOptions defaults;
+    defaults.mode = serve::ExecMode::Throughput;
+    defaults.topK = 2;
+    const auto opts = serve::SessionOptions::fromEnv(defaults);
+    auto session = system.makeSession(opts);
+    std::printf("session: backend=%s mode=%s T=%d threads=%zu\n",
+                session->backendId().c_str(),
+                execModeName(session->options().mode),
+                session->options().mcSamples,
+                session->options().threads);
+
+    // 3. A burst of async single-image requests.
+    const auto view = dataset.test.view();
+    std::vector<serve::ResultHandle> handles;
+    handles.reserve(view.count);
+    for (std::size_t i = 0; i < view.count; ++i) {
+        handles.push_back(session->submit(
+            serve::InferenceRequest::borrow(view.sample(i), 1,
+                                            view.dim)));
+    }
+    session->drain();
+
+    // 4. Async must equal sync exactly (micro-batching is invisible).
+    std::size_t mismatches = 0, correct = 0;
+    double mean_entropy = 0.0;
+    for (std::size_t i = 0; i < view.count; ++i) {
+        auto async_result = handles[i].get();
+        const auto sync_result = session->run(
+            serve::InferenceRequest::borrow(view.sample(i), 1,
+                                            view.dim));
+        const auto &a = async_result.predictions.front();
+        const auto &s = sync_result.predictions.front();
+        if (a.predicted != s.predicted || a.probs != s.probs)
+            ++mismatches;
+        if (a.predicted == static_cast<std::size_t>(view.labels[i]))
+            ++correct;
+        mean_entropy += a.entropy;
+    }
+    const auto counters = session->counters();
+    std::printf("burst: %zu requests -> %llu engine passes "
+                "(largest coalesced pass: %llu requests)\n",
+                view.count,
+                static_cast<unsigned long long>(counters.passes) -
+                    view.count, // subtract the sync verification runs
+                static_cast<unsigned long long>(
+                    counters.maxCoalescedRequests));
+    std::printf("accuracy %.1f%%, mean predictive entropy %.3f nats\n",
+                100.0 * static_cast<double>(correct) /
+                    static_cast<double>(view.count),
+                mean_entropy / static_cast<double>(view.count));
+    std::printf("async vs sync: %s\n",
+                mismatches == 0 ? "bit-exact" : "MISMATCH");
+    return mismatches == 0 ? 0 : 1;
+}

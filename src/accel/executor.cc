@@ -110,6 +110,52 @@ makeOwning(const QuantizedProgram &program,
                                     std::move(generator));
 }
 
+template <typename Backend>
+std::unique_ptr<Executor>
+makeBorrowing(const QuantizedProgram &program,
+              const AcceleratorConfig &config,
+              grng::GaussianGenerator *generator)
+{
+    return std::make_unique<Backend>(program, config, generator);
+}
+
+/** The one registry row per backend — id, flags, both construction
+ *  styles. Every public registry function derives from this table, so
+ *  a new backend is exactly one added row (plus its caps() staying in
+ *  sync with the flags here, which the registry ctest pins). */
+struct BackendEntry
+{
+    const char *id;
+    ExecutorCaps caps;
+    std::unique_ptr<Executor> (*make)(const QuantizedProgram &,
+                                      const AcceleratorConfig &,
+                                      grng::GaussianGenerator *);
+    std::unique_ptr<Executor> (*makeOwningStream)(
+        const QuantizedProgram &, const AcceleratorConfig &,
+        std::unique_ptr<grng::GaussianGenerator>);
+};
+
+const BackendEntry kBackends[] = {
+    {"simulator", {/*cycleAccurate=*/true, /*batchedRounds=*/false},
+     &makeBorrowing<Simulator>, &makeOwning<Simulator>},
+    {"functional", {/*cycleAccurate=*/false, /*batchedRounds=*/false},
+     &makeBorrowing<FunctionalRunner>, &makeOwning<FunctionalRunner>},
+    {"batched", {/*cycleAccurate=*/false, /*batchedRounds=*/true},
+     &makeBorrowing<BatchedRunner>, &makeOwning<BatchedRunner>},
+};
+
+/** The entry for `id`, or fatal() with the registered ids listed. */
+const BackendEntry &
+findBackend(const std::string &id)
+{
+    for (const auto &entry : kBackends) {
+        if (id == entry.id)
+            return entry;
+    }
+    fatal("unknown executor id '" + id + "' (registered: " +
+          joinStrings(registeredExecutorIds()) + ")");
+}
+
 } // namespace
 
 std::unique_ptr<Executor>
@@ -117,16 +163,7 @@ makeExecutor(const std::string &id, const QuantizedProgram &program,
              const AcceleratorConfig &config,
              grng::GaussianGenerator *generator)
 {
-    if (id == "simulator")
-        return std::make_unique<Simulator>(program, config, generator);
-    if (id == "functional")
-        return std::make_unique<FunctionalRunner>(program, config,
-                                                  generator);
-    if (id == "batched")
-        return std::make_unique<BatchedRunner>(program, config,
-                                               generator);
-
-    fatal("unknown executor id: " + id);
+    return findBackend(id).make(program, config, generator);
 }
 
 std::unique_ptr<Executor>
@@ -134,23 +171,23 @@ makeExecutor(const std::string &id, const QuantizedProgram &program,
              const AcceleratorConfig &config,
              std::unique_ptr<grng::GaussianGenerator> generator)
 {
-    if (id == "simulator")
-        return makeOwning<Simulator>(program, config,
-                                     std::move(generator));
-    if (id == "functional")
-        return makeOwning<FunctionalRunner>(program, config,
+    return findBackend(id).makeOwningStream(program, config,
                                             std::move(generator));
-    if (id == "batched")
-        return makeOwning<BatchedRunner>(program, config,
-                                         std::move(generator));
-
-    fatal("unknown executor id: " + id);
 }
 
 std::vector<std::string>
-executorIds()
+registeredExecutorIds()
 {
-    return {"simulator", "functional", "batched"};
+    std::vector<std::string> ids;
+    for (const auto &entry : kBackends)
+        ids.emplace_back(entry.id);
+    return ids;
+}
+
+ExecutorCaps
+executorCaps(const std::string &id)
+{
+    return findBackend(id).caps;
 }
 
 } // namespace vibnn::accel

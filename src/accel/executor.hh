@@ -131,7 +131,8 @@ class Executor
 
 /**
  * Create an executor backend by registry id ("simulator", "functional",
- * "batched"). The generator is not owned. fatal() on unknown ids.
+ * "batched"). The generator is not owned. fatal() on unknown ids, with
+ * the registered ids listed in the message.
  */
 std::unique_ptr<Executor> makeExecutor(const std::string &id,
                                        const QuantizedProgram &program,
@@ -149,8 +150,15 @@ makeExecutor(const std::string &id, const QuantizedProgram &program,
              const AcceleratorConfig &config,
              std::unique_ptr<grng::GaussianGenerator> generator);
 
-/** All ids accepted by makeExecutor, in presentation order. */
-std::vector<std::string> executorIds();
+/** All ids accepted by makeExecutor, in presentation order — the
+ *  registry introspection facades and error messages build on. */
+std::vector<std::string> registeredExecutorIds();
+
+/** A backend's capability flags by registry id, without constructing
+ *  it (scheduling policy — e.g. whether round coalescing is sound —
+ *  is decided before any engine exists). fatal() on unknown ids.
+ *  ctest-enforced equal to the constructed backend's caps(). */
+ExecutorCaps executorCaps(const std::string &id);
 
 } // namespace vibnn::accel
 

@@ -177,13 +177,15 @@ namespace
  * The one softmax-average ensemble reduction (equation (6)): sample
  * s's raw outputs come from raw_of(s). Serial, in sample order — the
  * same fixed accumulation sequence Executor::classify performs,
- * regardless of thread count.
+ * regardless of thread count. A non-null sample_probs captures each
+ * sample's softmax distribution as a side channel; the mean is
+ * accumulated identically either way.
  */
 template <typename RawOf>
 void
 reduceEnsemble(std::size_t samples, std::size_t out_dim,
                const fixed::FixedPointFormat &act, RawOf raw_of,
-               float *probs)
+               float *probs, float *sample_probs)
 {
     std::vector<float> logits(out_dim);
     std::fill(probs, probs + out_dim, 0.0f);
@@ -192,6 +194,9 @@ reduceEnsemble(std::size_t samples, std::size_t out_dim,
         for (std::size_t i = 0; i < out_dim; ++i)
             logits[i] = static_cast<float>(act.toReal(raw[i]));
         nn::softmax(logits.data(), out_dim);
+        if (sample_probs)
+            std::copy(logits.begin(), logits.end(),
+                      sample_probs + s * out_dim);
         for (std::size_t i = 0; i < out_dim; ++i)
             probs[i] += logits[i];
     }
@@ -204,30 +209,32 @@ reduceEnsemble(std::size_t samples, std::size_t out_dim,
 
 void
 McEngine::reduceProbs(const std::vector<std::int64_t> *raw_samples,
-                      std::size_t samples, float *probs) const
+                      std::size_t samples, float *probs,
+                      float *sample_probs) const
 {
     reduceEnsemble(samples, program_.outputDim(),
                    program_.activationFormat,
                    [&](std::size_t s) { return raw_samples[s].data(); },
-                   probs);
+                   probs, sample_probs);
 }
 
 void
 McEngine::reduceRoundProbs(
     const std::vector<std::vector<std::int64_t>> &rounds,
-    std::size_t image, float *probs) const
+    std::size_t image, float *probs, float *sample_probs) const
 {
     const std::size_t out_dim = program_.outputDim();
     reduceEnsemble(rounds.size(), out_dim, program_.activationFormat,
                    [&](std::size_t s) {
                        return rounds[s].data() + image * out_dim;
                    },
-                   probs);
+                   probs, sample_probs);
 }
 
 std::vector<std::size_t>
-McEngine::classifyBatch(const float *xs, std::size_t count,
-                        std::size_t stride, float *probs)
+McEngine::classifyBatchImpl(const float *xs, std::size_t count,
+                            std::size_t stride, float *probs,
+                            float *sample_probs)
 {
     const std::size_t out_dim = program_.outputDim();
     const std::size_t samples =
@@ -237,10 +244,15 @@ McEngine::classifyBatch(const float *xs, std::size_t count,
         return predictions;
 
     std::vector<float> acc(out_dim);
+    const auto image_samples = [&](std::size_t image) {
+        return sample_probs ? sample_probs + image * samples * out_dim
+                            : nullptr;
+    };
     if (mc_.schedule == McSchedule::PerRound) {
         const auto rounds = runRoundsBatch(xs, count, stride);
         for (std::size_t image = 0; image < count; ++image) {
-            reduceRoundProbs(rounds, image, acc.data());
+            reduceRoundProbs(rounds, image, acc.data(),
+                             image_samples(image));
             if (probs)
                 std::copy(acc.begin(), acc.end(),
                           probs + image * out_dim);
@@ -251,12 +263,38 @@ McEngine::classifyBatch(const float *xs, std::size_t count,
 
     const auto raw = runUnits(xs, count, stride);
     for (std::size_t image = 0; image < count; ++image) {
-        reduceProbs(raw.data() + image * samples, samples, acc.data());
+        reduceProbs(raw.data() + image * samples, samples, acc.data(),
+                    image_samples(image));
         if (probs)
             std::copy(acc.begin(), acc.end(), probs + image * out_dim);
         predictions[image] = nn::argmax(acc.data(), acc.size());
     }
     return predictions;
+}
+
+std::vector<std::size_t>
+McEngine::classifyBatch(const float *xs, std::size_t count,
+                        std::size_t stride, float *probs)
+{
+    return classifyBatchImpl(xs, count, stride, probs, nullptr);
+}
+
+McBatchResult
+McEngine::classifyBatchDetailed(const float *xs, std::size_t count,
+                                std::size_t stride,
+                                bool keep_sample_probs)
+{
+    const std::size_t out_dim = program_.outputDim();
+    const std::size_t samples =
+        static_cast<std::size_t>(config_.mcSamples);
+    McBatchResult result;
+    result.probs.resize(count * out_dim);
+    if (keep_sample_probs)
+        result.sampleProbs.resize(count * samples * out_dim);
+    result.predicted = classifyBatchImpl(
+        xs, count, stride, result.probs.data(),
+        keep_sample_probs ? result.sampleProbs.data() : nullptr);
+    return result;
 }
 
 std::size_t

@@ -84,6 +84,23 @@ struct McResult
     std::vector<std::vector<std::int64_t>> rawSamples;
 };
 
+/**
+ * Batched classification with the per-sample softmax distributions
+ * kept — the probability hook the serving layer's uncertainty
+ * decomposition (predictive entropy vs. mutual information) needs.
+ */
+struct McBatchResult
+{
+    /** Predicted class per image (count). */
+    std::vector<std::size_t> predicted;
+    /** Ensemble-mean probabilities, count x outputDim — bit-identical
+     *  with what classifyBatch reports (same serial reduction). */
+    std::vector<float> probs;
+    /** Per-sample softmax distributions,
+     *  count x mcSamples x outputDim row-major. */
+    std::vector<float> sampleProbs;
+};
+
 /** Parallel Monte-Carlo classification over executor-backend
  *  replicas. */
 class McEngine
@@ -118,6 +135,21 @@ class McEngine
                                            std::size_t count,
                                            std::size_t stride,
                                            float *probs = nullptr);
+
+    /**
+     * Classify a batch and keep the per-sample softmax distributions
+     * (for mutual-information / BALD style uncertainty decomposition).
+     * The mean probabilities are reduced in the exact same serial
+     * sample order as classifyBatch, so `probs` is bit-identical to
+     * what classifyBatch would report at the same seeds. With
+     * keep_sample_probs false the count x T x outputDim buffer is
+     * never materialized (sampleProbs stays empty) — for large
+     * prediction-only batches.
+     */
+    McBatchResult classifyBatchDetailed(const float *xs,
+                                        std::size_t count,
+                                        std::size_t stride,
+                                        bool keep_sample_probs = true);
 
     /** Aggregate statistics merged (summed) over all replicas. */
     CycleStats stats() const;
@@ -183,15 +215,27 @@ class McEngine
         const float *xs, std::size_t count, std::size_t stride);
 
     /** Softmax-average `samples` raw pass outputs (in sample order)
-     *  into `probs` — the same reduction Executor::classify runs. */
+     *  into `probs` — the same reduction Executor::classify runs. A
+     *  non-null `sample_probs` also receives the samples x outputDim
+     *  per-sample distributions (without changing the mean). */
     void reduceProbs(const std::vector<std::int64_t> *raw_samples,
-                     std::size_t samples, float *probs) const;
+                     std::size_t samples, float *probs,
+                     float *sample_probs = nullptr) const;
 
     /** The same reduction over PerRound buffers: sample s of `image`
      *  lives at rounds[s][image * outputDim ...]. */
     void reduceRoundProbs(
         const std::vector<std::vector<std::int64_t>> &rounds,
-        std::size_t image, float *probs) const;
+        std::size_t image, float *probs,
+        float *sample_probs = nullptr) const;
+
+    /** Shared body of classifyBatch / classifyBatchDetailed; either
+     *  output pointer may be null. */
+    std::vector<std::size_t> classifyBatchImpl(const float *xs,
+                                               std::size_t count,
+                                               std::size_t stride,
+                                               float *probs,
+                                               float *sample_probs);
 
     QuantizedProgram program_;
     AcceleratorConfig config_;

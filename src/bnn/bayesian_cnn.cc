@@ -14,6 +14,7 @@
 #include "nn/activations.hh"
 #include "nn/loss.hh"
 #include "nn/optimizer.hh"
+#include "nn/uncertainty.hh"
 
 namespace vibnn::bnn
 {
@@ -262,12 +263,7 @@ BayesianConvNet::predictiveEntropy(const float *x,
     std::vector<float> probs(outputDim());
     auto eps = [&rng]() { return rng.gaussian(); };
     mcPredict(x, num_samples, probs.data(), ws, eps);
-    double entropy = 0.0;
-    for (float p : probs) {
-        if (p > 0.0f)
-            entropy -= p * std::log(static_cast<double>(p));
-    }
-    return entropy;
+    return nn::predictiveEntropy(probs.data(), probs.size());
 }
 
 std::size_t

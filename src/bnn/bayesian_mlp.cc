@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "nn/activations.hh"
 #include "nn/loss.hh"
+#include "nn/uncertainty.hh"
 
 namespace vibnn::bnn
 {
@@ -174,11 +175,7 @@ BayesianMlp::predictiveEntropy(const float *x, std::size_t num_samples,
     std::vector<float> probs(outputDim());
     auto eps = [&rng] { return rng.gaussian(); };
     mcPredict(x, num_samples, probs.data(), eps);
-    double entropy = 0.0;
-    for (float p : probs)
-        if (p > 1e-12f)
-            entropy -= p * std::log(p);
-    return entropy;
+    return nn::predictiveEntropy(probs.data(), probs.size());
 }
 
 void

@@ -33,6 +33,15 @@ envInt(const std::string &name, std::int64_t default_value)
     return static_cast<std::int64_t>(value);
 }
 
+std::string
+envString(const std::string &name, const std::string &default_value)
+{
+    const char *raw = std::getenv(name.c_str());
+    if (!raw || !*raw)
+        return default_value;
+    return raw;
+}
+
 double
 envScale()
 {

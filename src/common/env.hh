@@ -24,6 +24,11 @@ double envDouble(const std::string &name, double default_value);
 /** Read an environment variable as int64, with a default. */
 std::int64_t envInt(const std::string &name, std::int64_t default_value);
 
+/** Read an environment variable as a string, with a default (returned
+ *  for unset or empty variables). */
+std::string envString(const std::string &name,
+                      const std::string &default_value);
+
 /** Workload scale factor (VIBNN_SCALE, default 1.0, clamped to >= 0.01). */
 double envScale();
 

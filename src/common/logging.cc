@@ -6,6 +6,19 @@
 namespace vibnn
 {
 
+std::string
+joinStrings(const std::vector<std::string> &items,
+            const char *separator)
+{
+    std::string out;
+    for (const auto &item : items) {
+        if (!out.empty())
+            out += separator;
+        out += item;
+    }
+    return out;
+}
+
 void
 inform(const std::string &message)
 {

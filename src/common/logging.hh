@@ -13,9 +13,15 @@
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace vibnn
 {
+
+/** "a, b, c" rendering of a string list — the shared shape of every
+ *  "unknown id (registered: ...)" error message. */
+std::string joinStrings(const std::vector<std::string> &items,
+                        const char *separator = ", ");
 
 /** Print an informational message to stderr. */
 void inform(const std::string &message);

@@ -1,5 +1,7 @@
 #include "core/vibnn.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace vibnn::core
@@ -109,27 +111,41 @@ VibnnSystem::hardwareAccuracy(const nn::DataView &data) const
     return static_cast<double>(correct) / static_cast<double>(data.count);
 }
 
+std::unique_ptr<serve::InferenceSession>
+VibnnSystem::makeSession(const serve::SessionOptions &options) const
+{
+    // An unset grngId/seed in the options inherits this system's
+    // (Builder::system() semantics); explicit values win.
+    return serve::InferenceSession::Builder()
+        .system(*this)
+        .options(options)
+        .build();
+}
+
 std::vector<std::size_t>
 VibnnSystem::classifyBatch(const nn::DataView &data, std::size_t threads,
                            float *probs, ExecMode mode) const
 {
-    accel::McEngineConfig mc;
-    mc.threads = threads;
-    mc.generatorId = grngId_;
-    mc.seedBase = seed_;
-    if (mode == ExecMode::Throughput) {
-        mc.backendId = "batched";
-        mc.schedule = accel::McSchedule::PerRound;
-    } else {
-        // Per-unit fidelity on the functional backend: bit-exact with
-        // the cycle simulator (ctest-enforced) without the memory
-        // model's overhead. Timing comes from simulateTiming().
-        mc.backendId = "functional";
-        mc.schedule = accel::McSchedule::PerUnit;
+    if (data.count == 0)
+        return {};
+    serve::SessionOptions opts;
+    opts.threads = threads;
+    opts.mode = mode;
+    // The facade reports classes + probs only: no top-k, and no
+    // per-sample distributions materialized.
+    opts.topK = 0;
+    opts.uncertainty = false;
+    auto session = makeSession(opts);
+    const auto result =
+        session->run(serve::InferenceRequest::borrow(data));
+    if (probs) {
+        const std::size_t out_dim = program_.outputDim();
+        for (std::size_t i = 0; i < result.predictions.size(); ++i) {
+            const auto &p = result.predictions[i].probs;
+            std::copy(p.begin(), p.end(), probs + i * out_dim);
+        }
     }
-    accel::McEngine engine(program_, config_, mc);
-    return engine.classifyBatch(data.features, data.count, data.dim,
-                                probs);
+    return result.predictedClasses();
 }
 
 double

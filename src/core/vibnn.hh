@@ -33,28 +33,14 @@
 #include "data/dataset.hh"
 #include "grng/registry.hh"
 #include "hwmodel/network_hw.hh"
+#include "serve/session.hh"
 
 namespace vibnn::core
 {
 
-/** Batched-inference execution mode of the facade. */
-enum class ExecMode
-{
-    /**
-     * Per-pass sampling fidelity: every (image, MC sample) unit draws
-     * fresh weights — the paper's semantics — on the "functional"
-     * backend (bit-exact with the cycle simulator by construction).
-     */
-    Fidelity,
-    /**
-     * Weight-reuse throughput: one weight sample per compute op per MC
-     * round, shared across the whole batch, on the "batched" backend —
-     * T rounds instead of T x B passes. Statistically equivalent per
-     * round; use when serving batches, not when reproducing per-pass
-     * hardware behavior.
-     */
-    Throughput,
-};
+/** Batched-inference execution mode — now owned by the serving layer;
+ *  the facade keeps the name for its pre-session callers. */
+using ExecMode = serve::ExecMode;
 
 /** End-to-end VIBNN deployment handle. */
 class VibnnSystem
@@ -102,6 +88,17 @@ class VibnnSystem
 
     const accel::AcceleratorConfig &config() const { return config_; }
     const std::string &grngId() const { return grngId_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * A serving session over this system's program — the request /
+     * response surface of serve::InferenceSession (async submit(),
+     * micro-batching, per-image uncertainty). The facade's own
+     * classifyBatch/hardwareAccuracyBatched are thin wrappers over
+     * exactly this.
+     */
+    std::unique_ptr<serve::InferenceSession>
+    makeSession(const serve::SessionOptions &options = {}) const;
 
     /** Software (float) MC-ensemble accuracy. */
     double softwareAccuracy(const nn::DataView &data,

@@ -69,7 +69,8 @@ makeGenerator(const std::string &id, std::uint64_t seed)
     if (id == "reference")
         return std::make_unique<ReferenceGrng>(seed);
 
-    fatal("unknown generator id: " + id);
+    fatal("unknown generator id '" + id + "' (registered: " +
+          joinStrings(generatorIds()) + ")");
 }
 
 std::vector<std::string>

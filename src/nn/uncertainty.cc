@@ -1,0 +1,68 @@
+#include "nn/uncertainty.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vibnn::nn
+{
+
+double
+predictiveEntropy(const float *probs, std::size_t count)
+{
+    double entropy = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const double p = probs[i];
+        if (p > 0.0)
+            entropy -= p * std::log(p);
+    }
+    return entropy;
+}
+
+double
+meanSampleEntropy(const float *sample_probs, std::size_t samples,
+                  std::size_t count)
+{
+    if (samples == 0)
+        return 0.0;
+    double total = 0.0;
+    for (std::size_t s = 0; s < samples; ++s)
+        total += predictiveEntropy(sample_probs + s * count, count);
+    return total / static_cast<double>(samples);
+}
+
+double
+mutualInformation(const float *mean_probs, const float *sample_probs,
+                  std::size_t samples, std::size_t count)
+{
+    const double mi = predictiveEntropy(mean_probs, count) -
+        meanSampleEntropy(sample_probs, samples, count);
+    return mi > 0.0 ? mi : 0.0;
+}
+
+float
+maxProbability(const float *probs, std::size_t count)
+{
+    if (count == 0)
+        return 0.0f;
+    return *std::max_element(probs, probs + count);
+}
+
+std::vector<ClassScore>
+topK(const float *probs, std::size_t count, std::size_t k)
+{
+    std::vector<ClassScore> ranking(count);
+    for (std::size_t i = 0; i < count; ++i)
+        ranking[i] = {i, probs[i]};
+    k = std::min(k, count);
+    std::partial_sort(ranking.begin(), ranking.begin() + k,
+                      ranking.end(),
+                      [](const ClassScore &a, const ClassScore &b) {
+                          if (a.prob != b.prob)
+                              return a.prob > b.prob;
+                          return a.classIndex < b.classIndex;
+                      });
+    ranking.resize(k);
+    return ranking;
+}
+
+} // namespace vibnn::nn

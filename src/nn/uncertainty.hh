@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Uncertainty measures over Monte-Carlo ensemble probabilities.
+ *
+ * The whole point of serving a BNN instead of a point estimate is the
+ * calibrated predictive distribution (paper equation (6)): the ensemble
+ * mean probs carry the prediction, and the spread across the T sampled
+ * networks carries the uncertainty. These helpers compute the standard
+ * decompositions from raw probability buffers, so the software models
+ * (bnn::BayesianMlp / bnn::BayesianConvNet), the hardware paths
+ * (accel::McEngine) and the serving layer (serve::InferenceSession)
+ * all report identical metrics from the same numbers:
+ *
+ *   predictive entropy   H[mean_s p_s]        total uncertainty
+ *   expected entropy     mean_s H[p_s]        aleatoric part
+ *   mutual information   H[mean] - mean H     epistemic part (BALD)
+ *   max-prob confidence  max_c mean p(c)      the argmax's probability
+ *
+ * All entropies are in nats.
+ */
+
+#ifndef VIBNN_NN_UNCERTAINTY_HH
+#define VIBNN_NN_UNCERTAINTY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::nn
+{
+
+/** Shannon entropy -sum p ln p of one distribution (zero-prob classes
+ *  contribute nothing). */
+double predictiveEntropy(const float *probs, std::size_t count);
+
+/**
+ * Mean per-sample entropy (1/S) sum_s H[p_s] — the aleatoric term of
+ * the BALD decomposition.
+ * @param sample_probs S x count row-major per-sample distributions.
+ */
+double meanSampleEntropy(const float *sample_probs, std::size_t samples,
+                         std::size_t count);
+
+/**
+ * Mutual information between prediction and posterior weights (BALD):
+ * H[mean distribution] - mean per-sample entropy, clamped at 0 (the
+ * analytic value is nonnegative; float roundoff can dip below).
+ * @param mean_probs The ensemble mean distribution (count entries).
+ * @param sample_probs S x count row-major per-sample distributions.
+ */
+double mutualInformation(const float *mean_probs,
+                         const float *sample_probs, std::size_t samples,
+                         std::size_t count);
+
+/** Max-probability confidence: the probability mass of the argmax. */
+float maxProbability(const float *probs, std::size_t count);
+
+/** One (class, probability) entry of a top-k ranking. */
+struct ClassScore
+{
+    std::size_t classIndex = 0;
+    float prob = 0.0f;
+};
+
+/** The k most probable classes, descending by probability (ties keep
+ *  the lower class index first); k is clamped to count. */
+std::vector<ClassScore> topK(const float *probs, std::size_t count,
+                             std::size_t k);
+
+} // namespace vibnn::nn
+
+#endif // VIBNN_NN_UNCERTAINTY_HH

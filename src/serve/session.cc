@@ -1,0 +1,771 @@
+#include "serve/session.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "bnn/bayesian_cnn.hh"
+#include "bnn/bayesian_mlp.hh"
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "core/model_io.hh"
+#include "core/vibnn.hh"
+#include "grng/registry.hh"
+
+namespace vibnn::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+microsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+} // namespace
+
+ExecMode
+parseExecMode(const std::string &name)
+{
+    if (name == "fidelity")
+        return ExecMode::Fidelity;
+    if (name == "throughput")
+        return ExecMode::Throughput;
+    fatal("unknown exec mode '" + name +
+          "' (expected: fidelity, throughput)");
+}
+
+const char *
+execModeName(ExecMode mode)
+{
+    return mode == ExecMode::Throughput ? "throughput" : "fidelity";
+}
+
+namespace
+{
+
+/**
+ * Strict integer env parsing for the serving knobs: a set-but-garbled
+ * value (stray suffix, hex, plain text) must fail loudly — a seed or
+ * thread count silently falling back to a default turns into phantom
+ * nondeterminism downstream.
+ */
+std::int64_t
+serveEnvInt(const char *name, std::int64_t fallback)
+{
+    const std::string raw = envString(name, "");
+    if (raw.empty())
+        return fallback;
+    char *end = nullptr;
+    const long long value = std::strtoll(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0')
+        fatal(std::string(name) + " must be a base-10 integer, got '" +
+              raw + "'");
+    return value;
+}
+
+} // namespace
+
+SessionOptions
+SessionOptions::fromEnv()
+{
+    return fromEnv(SessionOptions{});
+}
+
+SessionOptions
+SessionOptions::fromEnv(SessionOptions defaults)
+{
+    SessionOptions opts = std::move(defaults);
+    const std::string mode =
+        envString("VIBNN_SERVE_MODE", execModeName(opts.mode));
+    opts.mode = parseExecMode(mode);
+    opts.backendId = envString("VIBNN_SERVE_BACKEND", opts.backendId);
+    opts.grngId = envString("VIBNN_SERVE_GRNG", opts.grngId);
+    opts.mcSamples =
+        static_cast<int>(serveEnvInt("VIBNN_SERVE_T", opts.mcSamples));
+    const std::int64_t threads = serveEnvInt(
+        "VIBNN_SERVE_THREADS", static_cast<std::int64_t>(opts.threads));
+    if (threads < 0)
+        fatal("VIBNN_SERVE_THREADS must be >= 0, got " +
+              std::to_string(threads));
+    opts.threads = static_cast<std::size_t>(threads);
+    if (!envString("VIBNN_SERVE_SEED", "").empty()) {
+        opts.seed = static_cast<std::uint64_t>(
+            serveEnvInt("VIBNN_SERVE_SEED", 1));
+    }
+    opts.topK = static_cast<std::size_t>(
+        serveEnvInt("VIBNN_SERVE_TOPK",
+                    static_cast<std::int64_t>(opts.topK)));
+    return opts;
+}
+
+// --------------------------------------------------------- InferenceRequest
+
+InferenceRequest
+InferenceRequest::borrow(const float *xs, std::size_t count,
+                         std::size_t dim)
+{
+    InferenceRequest request;
+    request.features = xs;
+    request.count = count;
+    request.dim = dim;
+    return request;
+}
+
+InferenceRequest
+InferenceRequest::borrow(const nn::DataView &view)
+{
+    return borrow(view.features, view.count, view.dim);
+}
+
+InferenceRequest
+InferenceRequest::copy(const float *xs, std::size_t count,
+                       std::size_t dim)
+{
+    InferenceRequest request;
+    request.storage.assign(xs, xs + count * dim);
+    request.count = count;
+    request.dim = dim;
+    return request;
+}
+
+// ---------------------------------------------------------- InferenceResult
+
+std::vector<std::size_t>
+InferenceResult::predictedClasses() const
+{
+    std::vector<std::size_t> classes(predictions.size());
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+        classes[i] = predictions[i].predicted;
+    return classes;
+}
+
+double
+InferenceResult::accuracy(const int *labels) const
+{
+    if (predictions.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+        if (predictions[i].predicted ==
+            static_cast<std::size_t>(labels[i]))
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+        static_cast<double>(predictions.size());
+}
+
+// -------------------------------------------------------------- ResultHandle
+
+struct ResultHandle::Pending
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    InferenceResult result;
+
+    void
+    fulfill(InferenceResult value)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            result = std::move(value);
+            done = true;
+        }
+        cv.notify_all();
+    }
+};
+
+bool
+ResultHandle::ready() const
+{
+    if (!state_)
+        return false;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    return state_->done;
+}
+
+void
+ResultHandle::wait() const
+{
+    VIBNN_ASSERT(state_, "waiting on an empty ResultHandle");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+InferenceResult
+ResultHandle::get()
+{
+    VIBNN_ASSERT(state_, "reading an empty ResultHandle");
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return std::move(state_->result);
+}
+
+// -------------------------------------------------------- InferenceSession
+
+/** One queued submission. */
+struct InferenceSession::Queued
+{
+    InferenceRequest request;
+    std::shared_ptr<ResultHandle::Pending> pending;
+    Clock::time_point enqueued;
+};
+
+// ---- Builder
+
+struct InferenceSession::Builder::State
+{
+    std::optional<accel::QuantizedProgram> program;
+    /** Deferred model compilation (runs at build(), once the
+     *  accelerator config is final). */
+    std::function<accel::QuantizedProgram(
+        const accel::AcceleratorConfig &)>
+        compileModel;
+    accel::AcceleratorConfig config;
+    SessionOptions opts;
+    /** A system() source's GRNG id / seed — the inherited defaults
+     *  when the options leave them unset. */
+    std::string sourceGrngId;
+    std::optional<std::uint64_t> sourceSeed;
+};
+
+InferenceSession::Builder::Builder() : state_(std::make_unique<State>())
+{
+}
+
+InferenceSession::Builder::~Builder() = default;
+InferenceSession::Builder::Builder(Builder &&) noexcept = default;
+InferenceSession::Builder &
+InferenceSession::Builder::operator=(Builder &&) noexcept = default;
+
+InferenceSession::Builder &
+InferenceSession::Builder::system(const core::VibnnSystem &sys)
+{
+    state_->program = sys.program();
+    state_->config = sys.config();
+    state_->sourceGrngId = sys.grngId();
+    state_->sourceSeed = sys.seed();
+    state_->compileModel = nullptr;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::model(const bnn::BayesianMlp &net)
+{
+    state_->program.reset();
+    state_->compileModel =
+        [net](const accel::AcceleratorConfig &config) {
+            return accel::compile(net, config);
+        };
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::model(const bnn::BayesianConvNet &net)
+{
+    state_->program.reset();
+    state_->compileModel =
+        [net](const accel::AcceleratorConfig &config) {
+            return accel::compile(net, config);
+        };
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::program(accel::QuantizedProgram prog)
+{
+    state_->program = std::move(prog);
+    state_->compileModel = nullptr;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::programFile(const std::string &path)
+{
+    auto loaded = core::loadQuantizedProgram(path);
+    if (!loaded)
+        fatal("InferenceSession::Builder: cannot load a "
+              "QuantizedProgram from '" +
+              path + "'");
+    state_->program = std::move(*loaded);
+    state_->compileModel = nullptr;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::accelerator(
+    const accel::AcceleratorConfig &config)
+{
+    state_->config = config;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::options(const SessionOptions &opts)
+{
+    state_->opts = opts;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::backend(std::string id)
+{
+    state_->opts.backendId = std::move(id);
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::grng(std::string id)
+{
+    state_->opts.grngId = std::move(id);
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::seed(std::uint64_t seed)
+{
+    state_->opts.seed = seed;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::mcSamples(int t)
+{
+    state_->opts.mcSamples = t;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::threads(std::size_t threads)
+{
+    state_->opts.threads = threads;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::mode(ExecMode mode)
+{
+    state_->opts.mode = mode;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::topK(std::size_t k)
+{
+    state_->opts.topK = k;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::uncertainty(bool enabled)
+{
+    state_->opts.uncertainty = enabled;
+    return *this;
+}
+
+std::unique_ptr<InferenceSession>
+InferenceSession::Builder::build()
+{
+    State &s = *state_;
+    if (!s.program && s.compileModel)
+        s.program = s.compileModel(s.config);
+    if (!s.program)
+        fatal("InferenceSession::Builder: no model source — provide "
+              "system(), model(), program() or programFile() before "
+              "build()");
+
+    SessionOptions &opts = s.opts;
+    if (opts.mcSamples < 0)
+        fatal("InferenceSession::Builder: mcSamples must be >= 0 "
+              "(0 = accelerator default), got " +
+              std::to_string(opts.mcSamples));
+    const int t =
+        opts.mcSamples > 0 ? opts.mcSamples : s.config.mcSamples;
+    if (t < 1)
+        fatal("InferenceSession::Builder: the effective ensemble size "
+              "must be >= 1, got " +
+              std::to_string(t));
+    if (t > kMaxEnsembleSize)
+        fatal("InferenceSession::Builder: the effective ensemble size "
+              "must be <= " +
+              std::to_string(kMaxEnsembleSize) + ", got " +
+              std::to_string(t));
+    // Resolved: options() reports the T the session actually serves
+    // with (per-request overrides still apply on top).
+    opts.mcSamples = t;
+    // A nonsense thread count (e.g. a negative value cast through
+    // size_t) would otherwise surface as an allocation failure deep in
+    // the engine.
+    if (opts.threads > 4096)
+        fatal("InferenceSession::Builder: threads must be <= 4096, "
+              "got " +
+              std::to_string(opts.threads));
+
+    // Resolve the inherit-from-source defaults and the mode-derived
+    // backend into the option block ONCE — the session constructor
+    // reads only resolved values, so validation and execution cannot
+    // diverge.
+    if (opts.grngId.empty())
+        opts.grngId = state_->sourceGrngId.empty()
+                          ? "rlf"
+                          : state_->sourceGrngId;
+    if (!opts.seed)
+        opts.seed = state_->sourceSeed ? *state_->sourceSeed : 1;
+    if (opts.backendId.empty())
+        opts.backendId = opts.mode == ExecMode::Throughput
+                             ? "batched"
+                             : "functional";
+
+    const auto grng_ids = grng::generatorIds();
+    if (std::find(grng_ids.begin(), grng_ids.end(), opts.grngId) ==
+        grng_ids.end()) {
+        fatal("InferenceSession::Builder: unknown GRNG id '" +
+              opts.grngId + "' (registered: " + joinStrings(grng_ids) +
+              ")");
+    }
+
+    const auto exec_ids = accel::registeredExecutorIds();
+    if (std::find(exec_ids.begin(), exec_ids.end(), opts.backendId) ==
+        exec_ids.end()) {
+        fatal("InferenceSession::Builder: unknown executor backend '" +
+              opts.backendId + "' (registered: " +
+              joinStrings(exec_ids) + ")");
+    }
+
+    // Geometry errors surface here, not at the first request.
+    accel::validateProgram(*s.program, s.config);
+
+    opts.topK = std::min(opts.topK, s.program->outputDim());
+    return std::unique_ptr<InferenceSession>(new InferenceSession(
+        std::move(*s.program), s.config, opts));
+}
+
+// ---- session proper
+
+InferenceSession::InferenceSession(accel::QuantizedProgram program,
+                                   const accel::AcceleratorConfig &config,
+                                   const SessionOptions &opts)
+    : program_(std::move(program)), config_(config), opts_(opts),
+      backendId_(opts.backendId),
+      schedule_(opts.mode == ExecMode::Throughput
+                    ? accel::McSchedule::PerRound
+                    : accel::McSchedule::PerUnit),
+      coalesce_(schedule_ == accel::McSchedule::PerRound &&
+                accel::executorCaps(opts.backendId).batchedRounds)
+{
+    // build() resolves every inherit/derive default before handing the
+    // options over.
+    VIBNN_ASSERT(!opts_.backendId.empty() && !opts_.grngId.empty() &&
+                     opts_.seed.has_value(),
+                 "InferenceSession constructed with unresolved options");
+}
+
+InferenceSession::~InferenceSession()
+{
+    if (worker_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(queueMutex_);
+            stopping_ = true;
+        }
+        queueCv_.notify_all();
+        worker_.join();
+    }
+}
+
+int
+InferenceSession::effectiveSamples(const InferenceRequest &request) const
+{
+    if (request.mcSamples > 0)
+        return request.mcSamples;
+    if (opts_.mcSamples > 0)
+        return opts_.mcSamples;
+    return config_.mcSamples;
+}
+
+void
+InferenceSession::validateRequest(const InferenceRequest &request) const
+{
+    if (request.count == 0)
+        fatal("InferenceSession: request holds no images");
+    if (request.dim != program_.inputDim())
+        fatal("InferenceSession: request dim " +
+              std::to_string(request.dim) +
+              " does not match the program input dim " +
+              std::to_string(program_.inputDim()));
+    if (!request.data())
+        fatal("InferenceSession: request carries no feature data");
+    if (request.mcSamples < 0)
+        fatal("InferenceSession: request mcSamples must be >= 0");
+    if (request.mcSamples > kMaxEnsembleSize)
+        fatal("InferenceSession: request mcSamples must be <= " +
+              std::to_string(kMaxEnsembleSize) + ", got " +
+              std::to_string(request.mcSamples));
+}
+
+accel::McEngine &
+InferenceSession::engineFor(int t)
+{
+    auto it = engines_.find(t);
+    if (it != engines_.end()) {
+        // Refresh t's LRU position.
+        engineLru_.erase(
+            std::find(engineLru_.begin(), engineLru_.end(), t));
+        engineLru_.push_back(t);
+        return *it->second;
+    }
+    // Per-request T is caller controlled; bound the cache by retiring
+    // the least-recently-used engine (results are pure functions of
+    // the seeds, so eviction is invisible beyond reconstruction cost).
+    if (engines_.size() >= kMaxCachedEngines) {
+        const int victim_t = engineLru_.front();
+        engineLru_.pop_front();
+        auto victim = engines_.find(victim_t);
+        retiredStats_ += victim->second->stats();
+        engines_.erase(victim);
+    }
+    accel::McEngineConfig mc;
+    mc.threads = opts_.threads;
+    mc.generatorId = opts_.grngId;
+    mc.seedBase = *opts_.seed;
+    mc.backendId = backendId_;
+    mc.schedule = schedule_;
+    accel::AcceleratorConfig config = config_;
+    config.mcSamples = t;
+    it = engines_
+             .emplace(t, std::make_unique<accel::McEngine>(
+                             program_, config, mc))
+             .first;
+    engineLru_.push_back(t);
+    return *it->second;
+}
+
+InferenceResult
+InferenceSession::buildResult(std::uint64_t request_id,
+                              const accel::McBatchResult &detailed,
+                              std::size_t first_image,
+                              std::size_t count, int t,
+                              std::size_t batched_images) const
+{
+    const std::size_t out_dim = program_.outputDim();
+    const std::size_t samples = static_cast<std::size_t>(t);
+    InferenceResult result;
+    result.requestId = request_id;
+    result.mcSamples = t;
+    result.batchedImages = batched_images;
+    result.predictions.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t image = first_image + i;
+        const float *mean = detailed.probs.data() + image * out_dim;
+        Prediction &p = result.predictions[i];
+        p.predicted = detailed.predicted[image];
+        p.probs.assign(mean, mean + out_dim);
+        p.entropy = nn::predictiveEntropy(mean, out_dim);
+        if (!detailed.sampleProbs.empty()) {
+            p.mutualInformation = nn::mutualInformation(
+                mean,
+                detailed.sampleProbs.data() + image * samples * out_dim,
+                samples, out_dim);
+        }
+        p.confidence = nn::maxProbability(mean, out_dim);
+        if (opts_.topK > 0)
+            p.topk = nn::topK(mean, out_dim, opts_.topK);
+    }
+    return result;
+}
+
+InferenceResult
+InferenceSession::run(const InferenceRequest &request)
+{
+    validateRequest(request);
+    const std::uint64_t id =
+        request.id != 0 ? request.id : nextRequestId_.fetch_add(1);
+    const int t = effectiveSamples(request);
+    const auto start = Clock::now();
+
+    std::lock_guard<std::mutex> lock(execMutex_);
+    const auto detailed = engineFor(t).classifyBatchDetailed(
+        request.data(), request.count, request.dim,
+        opts_.uncertainty);
+    InferenceResult result =
+        buildResult(id, detailed, 0, request.count, t, request.count);
+    result.micros = microsSince(start);
+
+    counters_.requests += 1;
+    counters_.images += request.count;
+    counters_.passes += 1;
+    counters_.maxBatchedImages =
+        std::max<std::uint64_t>(counters_.maxBatchedImages,
+                                request.count);
+    counters_.maxCoalescedRequests =
+        std::max<std::uint64_t>(counters_.maxCoalescedRequests, 1);
+    return result;
+}
+
+ResultHandle
+InferenceSession::submit(InferenceRequest request)
+{
+    validateRequest(request);
+    if (request.storage.empty()) {
+        // The caller may free borrowed memory as soon as we return.
+        request.storage.assign(request.features,
+                               request.features +
+                                   request.count * request.dim);
+        request.features = nullptr;
+    }
+    if (request.id == 0)
+        request.id = nextRequestId_.fetch_add(1);
+
+    ResultHandle handle;
+    handle.state_ = std::make_shared<ResultHandle::Pending>();
+
+    Queued item;
+    item.request = std::move(request);
+    item.pending = handle.state_;
+    item.enqueued = Clock::now();
+
+    {
+        std::lock_guard<std::mutex> lock(queueMutex_);
+        ensureWorker();
+        queue_.push_back(std::move(item));
+        ++pendingRequests_;
+    }
+    queueCv_.notify_one();
+    return handle;
+}
+
+void
+InferenceSession::drain()
+{
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    drainCv_.wait(lock, [&] { return pendingRequests_ == 0; });
+}
+
+void
+InferenceSession::ensureWorker()
+{
+    // Called with queueMutex_ held. Lazy start keeps sessions that
+    // only ever run() synchronously thread-free.
+    if (!worker_.joinable())
+        worker_ = std::thread([this] { workerLoop(); });
+}
+
+void
+InferenceSession::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(queueMutex_);
+    for (;;) {
+        queueCv_.wait(lock,
+                      [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        // Pop the oldest request, then — when rounds are coalescable
+        // (weight-reuse schedule on a batchedRounds backend) — merge
+        // every pending request of the same ensemble size into the
+        // pass. Per-image outputs do not depend on the batch
+        // composition there, so the merge is a pure throughput
+        // decision: results are bit-identical either way.
+        std::vector<Queued> batch;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        const int t = effectiveSamples(batch.front().request);
+        if (coalesce_) {
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                if (effectiveSamples(it->request) == t) {
+                    batch.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+
+        lock.unlock();
+        executePass(batch, t);
+        lock.lock();
+        pendingRequests_ -= batch.size();
+        if (pendingRequests_ == 0)
+            drainCv_.notify_all();
+    }
+}
+
+void
+InferenceSession::executePass(std::vector<Queued> &items, int t)
+{
+    const std::size_t dim = program_.inputDim();
+    std::size_t total_images = 0;
+    for (const auto &item : items)
+        total_images += item.request.count;
+
+    // One contiguous feature block for the whole micro-batch (a
+    // single-request pass reuses the request's own storage).
+    const float *xs = nullptr;
+    std::vector<float> merged;
+    if (items.size() == 1) {
+        xs = items.front().request.data();
+    } else {
+        merged.reserve(total_images * dim);
+        for (const auto &item : items) {
+            const float *data = item.request.data();
+            merged.insert(merged.end(), data,
+                          data + item.request.count * dim);
+        }
+        xs = merged.data();
+    }
+
+    std::lock_guard<std::mutex> lock(execMutex_);
+    const auto detailed = engineFor(t).classifyBatchDetailed(
+        xs, total_images, dim, opts_.uncertainty);
+
+    std::size_t first = 0;
+    for (auto &item : items) {
+        InferenceResult result =
+            buildResult(item.request.id, detailed, first,
+                        item.request.count, t, total_images);
+        result.micros = microsSince(item.enqueued);
+        first += item.request.count;
+        item.pending->fulfill(std::move(result));
+    }
+
+    counters_.requests += items.size();
+    counters_.images += total_images;
+    counters_.passes += 1;
+    if (items.size() > 1)
+        counters_.coalescedPasses += 1;
+    counters_.maxCoalescedRequests = std::max<std::uint64_t>(
+        counters_.maxCoalescedRequests, items.size());
+    counters_.maxBatchedImages = std::max<std::uint64_t>(
+        counters_.maxBatchedImages, total_images);
+}
+
+InferenceSession::Counters
+InferenceSession::counters() const
+{
+    std::lock_guard<std::mutex> lock(execMutex_);
+    return counters_;
+}
+
+accel::CycleStats
+InferenceSession::stats() const
+{
+    std::lock_guard<std::mutex> lock(execMutex_);
+    accel::CycleStats merged = retiredStats_;
+    for (const auto &[t, engine] : engines_)
+        merged += engine->stats();
+    return merged;
+}
+
+} // namespace vibnn::serve

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * The VIBNN serving layer — request in, uncertainty-decorated response
+ * out.
+ *
+ * The paper's deployment story (and the follow-on FPGA serving work it
+ * inspired, e.g. Fan et al., arXiv:2105.09163) is request → Monte-Carlo
+ * ensemble → calibrated prediction. An InferenceSession is that story
+ * as an API: it owns a compiled QuantizedProgram, an executor-backend
+ * Monte-Carlo engine per ensemble size, and a submission queue, and
+ * turns InferenceRequests (one or many images) into InferenceResults
+ * carrying the ensemble-mean probabilities plus the full uncertainty
+ * decomposition (predictive entropy, mutual information / BALD,
+ * max-prob confidence, top-k) per image.
+ *
+ * Two call styles:
+ *
+ *  - run(request): synchronous — executes inline on the caller's
+ *    thread (the Monte-Carlo fan-out still parallelizes over the
+ *    engine's ThreadPool workers).
+ *  - submit(request): asynchronous — enqueues onto the session's
+ *    dispatcher and returns a future-style ResultHandle. In Throughput
+ *    mode the dispatcher COALESCES all concurrently pending requests
+ *    of the same ensemble size into one per-round weight-reuse pass on
+ *    the "batched" backend, so k queued single-image requests cost T
+ *    rounds total instead of k * T.
+ *
+ * Determinism: a request's results are a pure function of (program,
+ * options.seed, request images, ensemble size). Per-round weight draws
+ * are seeded by McEngine::roundSeed(seed, round) independently of the
+ * batch composition, and per-image outputs within a round are
+ * independent of their neighbours, so micro-batching is invisible in
+ * the output: submit() under any coalescing pattern returns exactly
+ * what run() returns, bit for bit, for any thread count.
+ *
+ * Construction is through the fluent InferenceSession::Builder — from
+ * a core::VibnnSystem, a trained Bayesian model (compiled here), a
+ * QuantizedProgram, or a program file saved by core::model_io.
+ */
+
+#ifndef VIBNN_SERVE_SESSION_HH
+#define VIBNN_SERVE_SESSION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/config.hh"
+#include "accel/executor.hh"
+#include "accel/mc_engine.hh"
+#include "accel/program.hh"
+#include "nn/trainer.hh"
+#include "nn/uncertainty.hh"
+
+namespace vibnn::bnn
+{
+class BayesianMlp;
+class BayesianConvNet;
+} // namespace vibnn::bnn
+
+namespace vibnn::core
+{
+class VibnnSystem;
+} // namespace vibnn::core
+
+namespace vibnn::serve
+{
+
+/** How a session trades fidelity against throughput. */
+enum class ExecMode
+{
+    /** Per-pass sampling fidelity: every (image, MC sample) unit draws
+     *  fresh weights — the paper's semantics — on the "functional"
+     *  backend (bit-exact with the cycle simulator by construction). */
+    Fidelity,
+    /** Weight-reuse throughput: one weight sample per compute op per
+     *  MC round, shared across the whole (micro-)batch, on the
+     *  "batched" backend — T rounds instead of T x B passes.
+     *  Statistically equivalent per round; this is the mode the async
+     *  micro-batching coalescer exploits. */
+    Throughput,
+};
+
+/** Parse "fidelity" / "throughput"; fatal() on anything else. */
+ExecMode parseExecMode(const std::string &name);
+
+/** Canonical lower-case name of a mode. */
+const char *execModeName(ExecMode mode);
+
+/** Session-wide serving policy. */
+struct SessionOptions
+{
+    /** Executor backend registry id; empty derives it from `mode`
+     *  ("functional" for Fidelity, "batched" for Throughput). */
+    std::string backendId;
+    /** GRNG design id (see grng::makeGenerator); empty inherits the
+     *  model source's id (a Builder::system() session) or "rlf". */
+    std::string grngId;
+    /** Master seed; unset inherits the model source's seed (a
+     *  Builder::system() session) or 1. Every eps stream derives from
+     *  the resolved value. */
+    std::optional<std::uint64_t> seed;
+    /** Ensemble size T; 0 uses the accelerator config's mcSamples. */
+    int mcSamples = 0;
+    /** Monte-Carlo engine parallelism (0 sizes from the global pool). */
+    std::size_t threads = 0;
+    /** Fidelity (default) or Throughput. */
+    ExecMode mode = ExecMode::Fidelity;
+    /** Top-k entries reported per prediction (clamped to the class
+     *  count at build()). */
+    std::size_t topK = 3;
+    /** When false the per-sample softmax distributions are never
+     *  materialized — Prediction::mutualInformation reads 0 — which
+     *  keeps large prediction-only batches allocation-lean (the
+     *  facade's classifyBatch runs this way). */
+    bool uncertainty = true;
+
+    /**
+     * Overlay the VIBNN_SERVE_* environment knobs onto `defaults` —
+     * the string-parsing front door benches and examples use:
+     *   VIBNN_SERVE_MODE     fidelity | throughput
+     *   VIBNN_SERVE_BACKEND  executor id (empty = derive from mode)
+     *   VIBNN_SERVE_GRNG     generator id
+     *   VIBNN_SERVE_T        ensemble size
+     *   VIBNN_SERVE_THREADS  engine parallelism
+     *   VIBNN_SERVE_SEED     master seed
+     *   VIBNN_SERVE_TOPK     top-k entries per prediction
+     */
+    static SessionOptions fromEnv();
+    static SessionOptions fromEnv(SessionOptions defaults);
+};
+
+/** One inference request: one or many images. */
+struct InferenceRequest
+{
+    /** Request id; 0 lets the session assign the next sequential id. */
+    std::uint64_t id = 0;
+    /** Per-request ensemble size override; 0 uses the session's T. */
+    int mcSamples = 0;
+    /** Image count. */
+    std::size_t count = 0;
+    /** Floats per image; must equal the program's input dim. */
+    std::size_t dim = 0;
+    /** Borrowed row-major features (count x dim) when `storage` is
+     *  empty; callers keep the memory alive for run(). submit()
+     *  copies borrowed data into `storage` automatically. */
+    const float *features = nullptr;
+    /** Owning payload (used instead of `features` when non-empty). */
+    std::vector<float> storage;
+
+    /** Wrap caller-owned memory without copying (run()-friendly). */
+    static InferenceRequest borrow(const float *xs, std::size_t count,
+                                   std::size_t dim);
+    /** Wrap a DataView's features without copying. */
+    static InferenceRequest borrow(const nn::DataView &view);
+    /** Copy the images into the request (submit()-friendly). */
+    static InferenceRequest copy(const float *xs, std::size_t count,
+                                 std::size_t dim);
+
+    const float *data() const
+    {
+        return storage.empty() ? features : storage.data();
+    }
+};
+
+/** One image's decorated prediction. */
+struct Prediction
+{
+    /** argmax of the ensemble-mean probabilities. */
+    std::size_t predicted = 0;
+    /** Ensemble-mean class probabilities (outputDim). */
+    std::vector<float> probs;
+    /** Predictive entropy H[mean probs] in nats (total uncertainty). */
+    double entropy = 0.0;
+    /** Mutual information / BALD in nats (epistemic uncertainty). */
+    double mutualInformation = 0.0;
+    /** Probability mass of the argmax class. */
+    float confidence = 0.0f;
+    /** The top-k classes, descending by probability. */
+    std::vector<nn::ClassScore> topk;
+};
+
+/** The response to one InferenceRequest. */
+struct InferenceResult
+{
+    std::uint64_t requestId = 0;
+    /** One decorated prediction per image, in request order. */
+    std::vector<Prediction> predictions;
+    /** Ensemble size the request was served with. */
+    int mcSamples = 0;
+    /** Wall-clock latency in microseconds: compute time for run(),
+     *  submit-to-completion for submit(). */
+    double micros = 0.0;
+    /** Images in the executed engine pass — greater than
+     *  predictions.size() when the request was micro-batched with
+     *  concurrently pending ones. */
+    std::size_t batchedImages = 0;
+
+    /** Convenience: the predicted class per image. */
+    std::vector<std::size_t> predictedClasses() const;
+
+    /** Fraction of predictions matching `labels` (one label per image,
+     *  nn::DataView::labels layout); 0 for an empty result. */
+    double accuracy(const int *labels) const;
+};
+
+/** Future-style handle to a submitted request. */
+class ResultHandle
+{
+  public:
+    ResultHandle() = default;
+
+    /** True once the result is available. */
+    bool ready() const;
+    /** Block until the result is available. */
+    void wait() const;
+    /** Block and take the result (one-shot: moves it out). */
+    InferenceResult get();
+
+  private:
+    friend class InferenceSession;
+    struct Pending;
+    std::shared_ptr<Pending> state_;
+};
+
+/** A serving session over one compiled program. */
+class InferenceSession
+{
+  public:
+    /** Fluent construction. Exactly one model source is required; the
+     *  rest defaults sensibly. build() fatal()s on invalid input with
+     *  the registered ids spelled out. */
+    class Builder
+    {
+      public:
+        Builder();
+        ~Builder();
+        Builder(Builder &&) noexcept;
+        Builder &operator=(Builder &&) noexcept;
+
+        /** Adopt a VibnnSystem's program, accelerator config, GRNG id
+         *  and seed (options set later still override). */
+        Builder &system(const core::VibnnSystem &sys);
+        /** Compile a trained Bayesian MLP at build() time. */
+        Builder &model(const bnn::BayesianMlp &net);
+        /** Compile a trained Bayesian CNN at build() time. */
+        Builder &model(const bnn::BayesianConvNet &net);
+        /** Serve an already-compiled program. */
+        Builder &program(accel::QuantizedProgram prog);
+        /** Load a program saved by core::saveQuantizedProgram. */
+        Builder &programFile(const std::string &path);
+        /** Accelerator geometry (defaults to the paper's 16x8x8@8). */
+        Builder &accelerator(const accel::AcceleratorConfig &config);
+
+        /** Replace the whole option block. */
+        Builder &options(const SessionOptions &opts);
+        Builder &backend(std::string id);
+        Builder &grng(std::string id);
+        Builder &seed(std::uint64_t seed);
+        Builder &mcSamples(int t);
+        Builder &threads(std::size_t threads);
+        Builder &mode(ExecMode mode);
+        Builder &topK(std::size_t k);
+        Builder &uncertainty(bool enabled);
+
+        /** Validate and construct. fatal() on: no model source, an
+         *  unloadable program file, unknown backend / GRNG ids (the
+         *  registered ids are listed), T < 1, or a program that fails
+         *  geometry validation against the accelerator config. */
+        std::unique_ptr<InferenceSession> build();
+
+      private:
+        struct State;
+        std::unique_ptr<State> state_;
+    };
+
+    ~InferenceSession();
+
+    InferenceSession(const InferenceSession &) = delete;
+    InferenceSession &operator=(const InferenceSession &) = delete;
+
+    /** Serve one request synchronously. */
+    InferenceResult run(const InferenceRequest &request);
+
+    /** Enqueue a request; borrowed feature memory is copied so the
+     *  caller may release it immediately. */
+    ResultHandle submit(InferenceRequest request);
+
+    /** Block until every submitted request has completed. */
+    void drain();
+
+    /** Serving statistics. */
+    struct Counters
+    {
+        /** Requests completed (run + submit). */
+        std::uint64_t requests = 0;
+        /** Images classified. */
+        std::uint64_t images = 0;
+        /** Engine batch passes executed. */
+        std::uint64_t passes = 0;
+        /** Passes that merged two or more requests. */
+        std::uint64_t coalescedPasses = 0;
+        /** Largest number of requests merged into one pass. */
+        std::uint64_t maxCoalescedRequests = 0;
+        /** Largest image count of one pass. */
+        std::uint64_t maxBatchedImages = 0;
+    };
+    Counters counters() const;
+
+    /** Aggregate executor statistics merged over all engines. */
+    accel::CycleStats stats() const;
+
+    const SessionOptions &options() const { return opts_; }
+    const accel::QuantizedProgram &program() const { return program_; }
+    const accel::AcceleratorConfig &acceleratorConfig() const
+    {
+        return config_;
+    }
+    std::size_t inputDim() const { return program_.inputDim(); }
+    std::size_t outputDim() const { return program_.outputDim(); }
+    /** The executor backend id the session actually runs on. */
+    const std::string &backendId() const { return backendId_; }
+
+  private:
+    struct Queued;
+
+    InferenceSession(accel::QuantizedProgram program,
+                     const accel::AcceleratorConfig &config,
+                     const SessionOptions &opts);
+
+    /** Ensemble size a request is served with. */
+    int effectiveSamples(const InferenceRequest &request) const;
+
+    /** fatal() unless the request matches the program geometry. */
+    void validateRequest(const InferenceRequest &request) const;
+
+    /** The engine serving ensemble size `t` (created on first use,
+     *  cached up to kMaxCachedEngines — per-request T is caller
+     *  controlled, so the cache must stay bounded; an evicted engine's
+     *  CycleStats are folded into retiredStats_ first). Callers hold
+     *  execMutex_. */
+    accel::McEngine &engineFor(int t);
+
+    /** Run one engine pass over `items` (same effective T), build and
+     *  fulfill/collect the per-request results. */
+    void executePass(std::vector<Queued> &items, int t);
+
+    /** Decorate one image range of a detailed engine result. */
+    InferenceResult buildResult(std::uint64_t request_id,
+                                const accel::McBatchResult &detailed,
+                                std::size_t first_image,
+                                std::size_t count, int t,
+                                std::size_t batched_images) const;
+
+    void workerLoop();
+    void ensureWorker();
+
+    accel::QuantizedProgram program_;
+    accel::AcceleratorConfig config_;
+    SessionOptions opts_;
+    std::string backendId_;
+    accel::McSchedule schedule_;
+    /** Coalescing is sound only when one weight draw genuinely serves
+     *  the whole round (the backend advertises batchedRounds);
+     *  otherwise the fallback streams images sequentially and merging
+     *  would make outputs depend on batch composition. */
+    bool coalesce_;
+
+    /** Upper bound on any ensemble size (session or per-request) —
+     *  T drives count x T x outputDim allocations, so an absurd value
+     *  must fail with a message, not a bad_alloc. */
+    static constexpr int kMaxEnsembleSize = 65536;
+
+    /** Serializes engine construction/use and counter updates. */
+    mutable std::mutex execMutex_;
+    static constexpr std::size_t kMaxCachedEngines = 8;
+    std::map<int, std::unique_ptr<accel::McEngine>> engines_;
+    /** Cached ensemble sizes, least-recently-used first (the eviction
+     *  order of engines_). */
+    std::deque<int> engineLru_;
+    accel::CycleStats retiredStats_;
+    Counters counters_;
+
+    std::atomic<std::uint64_t> nextRequestId_{1};
+
+    /** Dispatcher state (worker started lazily on first submit()). */
+    std::mutex queueMutex_;
+    std::condition_variable queueCv_;
+    std::condition_variable drainCv_;
+    std::deque<Queued> queue_;
+    std::size_t pendingRequests_ = 0;
+    bool stopping_ = false;
+    std::thread worker_;
+};
+
+} // namespace vibnn::serve
+
+#endif // VIBNN_SERVE_SESSION_HH

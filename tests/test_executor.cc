@@ -88,7 +88,7 @@ TEST(ExecutorRegistry, ProvidesAllBackendsWithExpectedCaps)
 {
     const auto config = smallConfig();
     const auto program = mlpProgram(config, 3);
-    const auto ids = executorIds();
+    const auto ids = registeredExecutorIds();
     ASSERT_EQ(ids.size(), 3u);
 
     for (const auto &id : ids) {
@@ -100,6 +100,11 @@ TEST(ExecutorRegistry, ProvidesAllBackendsWithExpectedCaps)
         const auto caps = exec->caps();
         EXPECT_EQ(caps.cycleAccurate, id == "simulator") << id;
         EXPECT_EQ(caps.batchedRounds, id == "batched") << id;
+        // The no-construction registry lookup must agree with the
+        // backend's own flags (serving-layer scheduling relies on it).
+        const auto static_caps = executorCaps(id);
+        EXPECT_EQ(static_caps.cycleAccurate, caps.cycleAccurate) << id;
+        EXPECT_EQ(static_caps.batchedRounds, caps.batchedRounds) << id;
     }
 }
 
