@@ -1,0 +1,168 @@
+/**
+ * @file
+ * SIMD kernel-layer microbenchmark: per-tier throughput of the three
+ * hot kernels the batched inference path is built on — the batched
+ * fixed-point GEMM (with and without the int16 madd fast path), the
+ * fused mu + sigma * eps weight draw, and the double->fixed eps
+ * conversion. Every tier compiled into the binary and supported by
+ * this CPU gets a row, with the dispatch-selected tier marked; all
+ * tiers are ctest-pinned bit-exact, so the only difference between
+ * rows is speed. VIBNN_BENCH_JSON=<path> records the table
+ * machine-readably (section "kernels").
+ */
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "accel/kernels/kernels.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "fixed/fixed_point.hh"
+
+using namespace vibnn;
+namespace k = vibnn::accel::kernels;
+
+namespace
+{
+
+std::vector<std::int32_t>
+randomRaws(const fixed::FixedPointFormat &fmt, std::uint64_t seed,
+           std::size_t count)
+{
+    Rng rng(seed);
+    const auto lo = fmt.rawMin();
+    const auto span =
+        static_cast<std::uint64_t>(fmt.rawMax() - fmt.rawMin() + 1);
+    std::vector<std::int32_t> raws(count);
+    for (auto &r : raws)
+        r = static_cast<std::int32_t>(
+            lo + static_cast<std::int64_t>(rng.uniformInt(span)));
+    return raws;
+}
+
+/** Run body() until ~0.15 s have elapsed; returns iterations/second. */
+template <typename Body>
+double
+rate(const Body &body)
+{
+    body(); // warm
+    std::size_t iters = 0;
+    bench::Stopwatch clock;
+    double elapsed = 0.0;
+    do {
+        body();
+        ++iters;
+        elapsed = clock.seconds();
+    } while (elapsed < 0.15);
+    return static_cast<double>(iters) / elapsed;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("SIMD kernels",
+                  "Per-tier throughput of the batched-path hot loops "
+                  "(GEMM, fused weight sampling, eps conversion)");
+    std::printf("dispatch-selected tier: %s "
+                "(VIBNN_FORCE_SCALAR / VIBNN_KERNELS override)\n\n",
+                k::activeKernelName());
+
+    // The MNIST throughput shape: 200 neurons x 784 inputs over a
+    // 60-image batch — the first (dominant) Dense op of the Table 5
+    // network.
+    const fixed::FixedPointFormat act{8, 4}, weight{8, 6}, eps{8, 5};
+    const std::size_t in_dim = 784, out_dim = 200, images = 60;
+    const auto weights = randomRaws(weight, 1, out_dim * in_dim);
+    const auto acts = randomRaws(act, 2, images * in_dim);
+    const auto bias = randomRaws(weight, 3, out_dim);
+    std::vector<std::int16_t> w16(weights.size()), a16(acts.size());
+    k::scalarKernels().packInt16(weights.data(), w16.data(),
+                                 weights.size());
+    k::scalarKernels().packInt16(acts.data(), a16.data(), acts.size());
+    std::vector<std::int32_t> out(images * out_dim);
+
+    k::GemmArgs gemm;
+    gemm.weights = weights.data();
+    gemm.ldw = in_dim;
+    gemm.acts = acts.data();
+    gemm.lda = in_dim;
+    gemm.bias = bias.data();
+    gemm.out = out.data();
+    gemm.outNeuronStride = 1;
+    gemm.outImageStride = out_dim;
+    gemm.inDim = in_dim;
+    gemm.outDim = out_dim;
+    gemm.images = images;
+    gemm.finish.biasShift = act.fracBits();
+    gemm.finish.outShift = weight.fracBits();
+    gemm.finish.outMin = static_cast<std::int32_t>(act.rawMin());
+    gemm.finish.outMax = static_cast<std::int32_t>(act.rawMax());
+    const double macs_per_call = static_cast<double>(in_dim) * out_dim *
+        images;
+
+    // Fused sampling + conversion shapes: one 64K block per call.
+    const std::size_t n = 1 << 16;
+    const auto mu = randomRaws(weight, 4, n);
+    const auto sigma = randomRaws(weight, 5, n);
+    const auto eps_raw = randomRaws(eps, 6, n);
+    std::vector<std::int32_t> sampled(n);
+    k::SampleParams sp;
+    sp.epsShift = eps.fracBits();
+    sp.wMin = static_cast<std::int32_t>(weight.rawMin());
+    sp.wMax = static_cast<std::int32_t>(weight.rawMax());
+    sp.sigmaAbsMax = -weight.rawMin();
+    sp.epsAbsMax = -eps.rawMin();
+
+    Rng real_rng(7);
+    std::vector<double> reals(n);
+    for (auto &v : reals)
+        v = real_rng.gaussian();
+    std::vector<std::int32_t> converted(n);
+
+    bench::JsonReport report;
+    TextTable table;
+    table.setHeader({"tier", "GEMM s32 GMAC/s", "GEMM s16 GMAC/s",
+                     "sample M/s", "eps conv M/s"});
+    for (const auto *tier : k::availableKernels()) {
+        gemm.weights16 = nullptr;
+        gemm.acts16 = nullptr;
+        const double gemm32 =
+            rate([&] { tier->gemmBatch(gemm); }) * macs_per_call / 1e9;
+        gemm.weights16 = w16.data();
+        gemm.acts16 = a16.data();
+        const double gemm16 =
+            rate([&] { tier->gemmBatch(gemm); }) * macs_per_call / 1e9;
+        const double sample = rate([&] {
+            tier->sampleWeights(mu.data(), sigma.data(), eps_raw.data(),
+                                sampled.data(), n, sp);
+        }) * static_cast<double>(n) / 1e6;
+        const double conv = rate([&] {
+            tier->quantizeDouble(reals.data(), converted.data(), n,
+                                 eps.fracBits(),
+                                 static_cast<std::int32_t>(eps.rawMin()),
+                                 static_cast<std::int32_t>(eps.rawMax()));
+        }) * static_cast<double>(n) / 1e6;
+
+        const bool active =
+            std::string(tier->name) == k::activeKernelName();
+        table.addRow({std::string(tier->name) + (active ? " *" : ""),
+                      strfmt("%.2f", gemm32), strfmt("%.2f", gemm16),
+                      strfmt("%.1f", sample), strfmt("%.1f", conv)});
+        report.add(bench::JsonRecord()
+                       .field("bench", "kernels")
+                       .field("section", "kernels")
+                       .field("tier", tier->name)
+                       .field("active", active ? 1 : 0)
+                       .field("gemm_s32_gmacs", gemm32)
+                       .field("gemm_s16_gmacs", gemm16)
+                       .field("sample_ms", sample)
+                       .field("eps_conv_ms", conv));
+    }
+    table.print();
+    std::printf("\n(* = dispatch-selected; s16 column falls back to the "
+                "s32 path on tiers without a madd kernel)\n");
+    report.write();
+    return 0;
+}

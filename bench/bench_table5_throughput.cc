@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "accel/kernels/kernels.hh"
 #include "accel/mc_engine.hh"
 #include "accel/program.hh"
 #include "accel/simulator.hh"
@@ -240,9 +241,9 @@ main()
              strfmt("%.2fx",
                     mode.imagesPerSecond / modes[0].imagesPerSecond),
              strfmt("%.1f%%", mode.accuracy),
-             strfmt("%s backend, T=%d, %zu-image batch",
+             strfmt("%s backend, T=%d, %zu-image batch, %s kernels",
                     mode.backend.c_str(), config.mcSamples,
-                    batch_images)});
+                    batch_images, accel::kernels::activeKernelName())});
     }
     std::printf("\n");
     mode_table.print();
@@ -345,6 +346,7 @@ main()
                        mode.mode == serve::ExecMode::Throughput
                            ? "per-round"
                            : "per-unit")
+                .field("kernel", accel::kernels::activeKernelName())
                 .field("T", config.mcSamples)
                 .field("batch", batch_images)
                 .field("images_per_s", mode.imagesPerSecond)
@@ -361,6 +363,7 @@ main()
                    .field("bench", "table5")
                    .field("section", "serve")
                    .field("style", "submit-coalesced")
+                   .field("kernel", accel::kernels::activeKernelName())
                    .field("T", config.mcSamples)
                    .field("requests", batch_images)
                    .field("images_per_s", serve_async_ips)

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 
+#include <unistd.h>
+
 #include "accel/conv_lowering.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace vibnn::accel
 {
@@ -11,9 +15,46 @@ namespace vibnn::accel
 namespace
 {
 
-/** Images per GEMM tile: the weight slab streams through cache once
- *  per tile instead of once per image. */
-constexpr std::size_t kImageTile = 16;
+/** A cache size from sysconf, or `fallback` when the kernel does not
+ *  report one (containers frequently do not). */
+long
+cacheSize(int name, long fallback)
+{
+    const long reported = sysconf(name);
+    return reported > 0 ? reported : fallback;
+}
+
+/**
+ * Images per GEMM tile: the weight slab streams through cache once per
+ * tile instead of once per image, so the tile should be as large as
+ * the activation working set (one int32 in-row plus one out-row per
+ * image) allows while staying cache-resident. Derived from the host
+ * L2 (fallback: 8x a 32 KiB L1) with a VIBNN_GEMM_TILE override for
+ * benchmarking; purely a performance choice — the kernels are
+ * tile-order-invariant, so any tile gives bit-identical results.
+ */
+std::size_t
+pickImageTile(std::size_t lane_width)
+{
+    const std::int64_t forced = envInt("VIBNN_GEMM_TILE", 0);
+    if (forced > 0)
+        return static_cast<std::size_t>(forced);
+
+#if defined(_SC_LEVEL1_DCACHE_SIZE) && defined(_SC_LEVEL2_CACHE_SIZE)
+    const long l1 = cacheSize(_SC_LEVEL1_DCACHE_SIZE, 32 * 1024);
+    const long l2 = cacheSize(_SC_LEVEL2_CACHE_SIZE, 8 * l1);
+#else
+    const long l1 = 32 * 1024;
+    const long l2 = 8 * l1;
+#endif
+    // Half the L2 for activations; the other half keeps the head of
+    // the streaming weight slab and the int16 staging warm.
+    const std::size_t row_bytes = 2 * lane_width * sizeof(std::int32_t);
+    const std::size_t tile =
+        static_cast<std::size_t>(l2) / (2 * std::max<std::size_t>(
+                                                row_bytes, 1));
+    return std::clamp<std::size_t>(tile, 8, 256);
+}
 
 } // namespace
 
@@ -27,18 +68,57 @@ BatchedRunner::BatchedRunner(const QuantizedProgram &program,
 {
     validateProgram(program_, config_);
 
+    // The narrowed SoA layout stores activations and weights as int32:
+    // every admissible fixed-point format (<= 32 bits) fits, and the
+    // finish/updater stages saturate onto their grids before any
+    // store. Range-check the formats once so a future wider format
+    // fails loudly here instead of truncating silently.
+    VIBNN_ASSERT(kernel_.activation.rawMax() <= INT32_MAX &&
+                     kernel_.activation.rawMin() >= INT32_MIN,
+                 "activation format exceeds the int32 SoA layout");
+    VIBNN_ASSERT(kernel_.weight.rawMax() <= INT32_MAX &&
+                     kernel_.weight.rawMin() >= INT32_MIN,
+                 "weight format exceeds the int32 arena layout");
+
+    finishBase_.biasShift = kernel_.activation.fracBits();
+    finishBase_.outShift = kernel_.weight.fracBits();
+    finishBase_.outMin =
+        static_cast<std::int32_t>(kernel_.activation.rawMin());
+    finishBase_.outMax =
+        static_cast<std::int32_t>(kernel_.activation.rawMax());
+
     // Arena layout: one contiguous slab of outDim x inDim weights per
     // compute op.
+    const std::int64_t w_abs = -kernel_.weight.rawMin();
+    const std::int64_t a_abs = -kernel_.activation.rawMin();
     std::size_t total = 0;
     laneWidth_ = program_.inputDim();
     for (const auto &op : program_.ops) {
         opWeightBase_.push_back(total);
         laneWidth_ = std::max({laneWidth_, op.inSize, op.outSize});
-        if (!op.isCompute())
+        if (!op.isCompute()) {
+            opInt16_.push_back(false);
             continue;
+        }
         total += op.bank.outDim * op.bank.inDim;
+        // madd fast-path eligibility (see GemmArgs::weights16): both
+        // operands fit int16 and the int32 pair-sum accumulator
+        // provably cannot overflow over this op's reduction depth.
+        // Divide instead of multiplying out inDim * w_abs * a_abs:
+        // 32-bit formats would overflow the int64 product itself.
+        const bool fits16 = w_abs <= INT16_MAX && a_abs <= INT16_MAX &&
+            static_cast<std::int64_t>(op.bank.inDim) <=
+                INT32_MAX / (w_abs * a_abs);
+        opInt16_.push_back(fits16);
     }
     weightArena_.resize(total);
+    for (const bool eligible : opInt16_)
+        anyInt16_ = anyInt16_ || eligible;
+    if (anyInt16_)
+        weightArena16_.resize(total);
+    imageTile_ = pickImageTile(laneWidth_);
+    patches_.resize(1);
+    patches16_.resize(1);
 }
 
 void
@@ -48,87 +128,143 @@ BatchedRunner::setGenerator(grng::GaussianGenerator *generator)
 }
 
 void
+BatchedRunner::setWorkPool(ThreadPool *pool)
+{
+    workPool_ = pool;
+    const std::size_t shards = pool ? pool->parties() : 1;
+    patches_.resize(std::max<std::size_t>(shards, 1));
+    patches16_.resize(patches_.size());
+}
+
+template <typename Body>
+void
+BatchedRunner::forImageShards(std::size_t count, const Body &body)
+{
+    ThreadPool *pool = workPool_;
+    const std::size_t shards =
+        pool ? std::min(pool->parties(), count) : 1;
+    if (shards <= 1) {
+        if (count > 0)
+            body(std::size_t{0}, std::size_t{0}, count);
+        return;
+    }
+    // Static contiguous partition; every image's result depends only
+    // on the frozen round weights and its own row, so the partition
+    // (and the thread count behind it) is invisible in the output.
+    pool->parallelFor(shards, [&](std::size_t s) {
+        const std::size_t begin = s * count / shards;
+        const std::size_t end = (s + 1) * count / shards;
+        if (begin < end)
+            body(s, begin, end);
+    });
+}
+
+void
 BatchedRunner::sampleRoundWeights()
 {
     // One posterior draw per compute op, in op order: the identical
     // w = mu + sigma * eps updater arithmetic as the fidelity
     // executors, but one eps per *weight* instead of one per lane per
-    // chunk cycle (no padding lanes, no per-position redraw).
+    // chunk cycle (no padding lanes, no per-position redraw), fused
+    // straight into the int32 arena by the dispatched kernel.
+    const auto &ops = kernels::activeKernels();
     for (std::size_t oi = 0; oi < program_.ops.size(); ++oi) {
         const auto &op = program_.ops[oi];
         if (!op.isCompute())
             continue;
         const std::size_t n = op.bank.outDim * op.bank.inDim;
-        if (sampleScratch_.size() < n)
-            sampleScratch_.resize(n);
-        weightGen_.sampleBlock(op.bank.muWeight.data(),
-                               op.bank.sigmaWeight.data(),
-                               sampleScratch_.data(), n);
         std::int32_t *slab = weightArena_.data() + opWeightBase_[oi];
-        for (std::size_t i = 0; i < n; ++i)
-            slab[i] = static_cast<std::int32_t>(sampleScratch_[i]);
+        weightGen_.sampleBlockFused(op.bank.muWeight.data(),
+                                    op.bank.sigmaWeight.data(), slab, n);
+        if (opInt16_[oi])
+            ops.packInt16(slab,
+                          weightArena16_.data() + opWeightBase_[oi], n);
     }
 }
 
 void
-BatchedRunner::runDenseBatch(const ProgramOp &op,
-                             const std::int32_t *weights,
-                             std::size_t count,
-                             const std::int64_t *act_in,
-                             std::int64_t *act_out)
+BatchedRunner::runDenseBatch(const ProgramOp &op, std::size_t op_index,
+                             std::size_t begin, std::size_t end,
+                             const std::int32_t *act_in,
+                             std::int32_t *act_out)
 {
+    const auto &ops = kernels::activeKernels();
     const std::size_t in_dim = op.bank.inDim;
-    const std::size_t out_dim = op.bank.outDim;
+    const bool use16 = opInt16_[op_index];
 
-    for (std::size_t b0 = 0; b0 < count; b0 += kImageTile) {
-        const std::size_t b1 = std::min(b0 + kImageTile, count);
-        for (std::size_t o = 0; o < out_dim; ++o) {
-            const std::int32_t *w = weights + o * in_dim;
-            const std::int64_t bias = op.bank.muBias[o];
-            for (std::size_t b = b0; b < b1; ++b) {
-                const std::int64_t *x = act_in + b * laneWidth_;
-                std::int64_t acc = 0;
-                for (std::size_t k = 0; k < in_dim; ++k)
-                    acc += w[k] * x[k];
-                act_out[b * laneWidth_ + o] =
-                    op.relu ? kernel_.finishNeuron(acc, bias)
-                            : kernel_.finishOutputNeuron(acc, bias);
-            }
-        }
+    // madd staging: pack this shard's input rows once; the packed row
+    // is reused by every output neuron.
+    if (use16) {
+        for (std::size_t b = begin; b < end; ++b)
+            ops.packInt16(act_in + b * laneWidth_,
+                          act16_.data() + b * laneWidth_, in_dim);
     }
-    stats_.macs += count * out_dim * in_dim;
+
+    kernels::GemmArgs args;
+    args.weights = weightArena_.data() + opWeightBase_[op_index];
+    args.ldw = in_dim;
+    args.lda = laneWidth_;
+    args.bias = op.bank.muBias.data();
+    args.outNeuronStride = 1;
+    args.outImageStride = laneWidth_;
+    args.inDim = in_dim;
+    args.outDim = op.bank.outDim;
+    args.finish = finishBase_;
+    args.finish.relu = op.relu;
+    if (use16)
+        args.weights16 = weightArena16_.data() + opWeightBase_[op_index];
+
+    for (std::size_t b0 = begin; b0 < end; b0 += imageTile_) {
+        const std::size_t b1 = std::min(b0 + imageTile_, end);
+        args.acts = act_in + b0 * laneWidth_;
+        args.acts16 = use16 ? act16_.data() + b0 * laneWidth_ : nullptr;
+        args.out = act_out + b0 * laneWidth_;
+        args.images = b1 - b0;
+        ops.gemmBatch(args);
+    }
 }
 
 void
-BatchedRunner::runConvBatch(const ProgramOp &op,
-                            const std::int32_t *weights,
-                            std::size_t count,
-                            const std::int64_t *act_in,
-                            std::int64_t *act_out)
+BatchedRunner::runConvBatch(const ProgramOp &op, std::size_t op_index,
+                            std::size_t shard, std::size_t begin,
+                            std::size_t end, const std::int32_t *act_in,
+                            std::int32_t *act_out)
 {
+    const auto &ops = kernels::activeKernels();
     const std::size_t positions = op.conv.positions();
     const std::size_t patch = op.conv.patchSize();
-    const std::size_t out_channels = op.conv.outChannels;
+    const bool use16 = opInt16_[op_index];
+    auto &patches = patches_[shard];
+    auto &patches16 = patches16_[shard];
 
-    for (std::size_t b = 0; b < count; ++b) {
-        im2colRaw(op.conv, act_in + b * laneWidth_, patches_);
-        std::int64_t *out_maps = act_out + b * laneWidth_;
-        for (std::size_t oc = 0; oc < out_channels; ++oc) {
-            const std::int32_t *w = weights + oc * patch;
-            const std::int64_t bias = op.bank.muBias[oc];
-            std::int64_t *row = out_maps + oc * positions;
-            for (std::size_t p = 0; p < positions; ++p) {
-                const std::int64_t *x = patches_.data() + p * patch;
-                std::int64_t acc = 0;
-                for (std::size_t k = 0; k < patch; ++k)
-                    acc += w[k] * x[k];
-                row[p] = op.relu
-                             ? kernel_.finishNeuron(acc, bias)
-                             : kernel_.finishOutputNeuron(acc, bias);
-            }
+    kernels::GemmArgs args;
+    args.weights = weightArena_.data() + opWeightBase_[op_index];
+    args.ldw = patch;
+    args.lda = patch;
+    args.bias = op.bank.muBias.data();
+    // Conv maps are neuron-major: out[oc][position].
+    args.outNeuronStride = positions;
+    args.outImageStride = 1;
+    args.inDim = patch;
+    args.outDim = op.conv.outChannels;
+    args.finish = finishBase_;
+    args.finish.relu = op.relu;
+    if (use16)
+        args.weights16 = weightArena16_.data() + opWeightBase_[op_index];
+
+    for (std::size_t b = begin; b < end; ++b) {
+        im2colRaw(op.conv, act_in + b * laneWidth_, patches);
+        if (use16) {
+            patches16.resize(patches.size());
+            ops.packInt16(patches.data(), patches16.data(),
+                          patches.size());
         }
+        args.acts = patches.data();
+        args.acts16 = use16 ? patches16.data() : nullptr;
+        args.out = act_out + b * laneWidth_;
+        args.images = positions; // the GEMM batch axis is positions
+        ops.gemmBatch(args);
     }
-    stats_.macs += count * out_channels * positions * patch;
 }
 
 void
@@ -142,36 +278,55 @@ BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
     sampleRoundWeights();
 
     // Quantize the batch onto the activation grid, batch-major.
+    const auto &ops = kernels::activeKernels();
     const auto &act = program_.activationFormat;
+    const int act_frac = act.fracBits();
+    const auto act_min = static_cast<std::int32_t>(act.rawMin());
+    const auto act_max = static_cast<std::int32_t>(act.rawMax());
     const std::size_t in_dim = program_.inputDim();
     actA_.assign(count * laneWidth_, 0);
     actB_.assign(count * laneWidth_, 0);
-    for (std::size_t b = 0; b < count; ++b) {
-        std::int64_t *row = actA_.data() + b * laneWidth_;
-        const float *x = xs + b * stride;
-        for (std::size_t i = 0; i < in_dim; ++i)
-            row[i] = act.fromReal(x[i]);
-    }
+    if (anyInt16_)
+        act16_.resize(count * laneWidth_);
+    forImageShards(count, [&](std::size_t, std::size_t begin,
+                              std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b)
+            ops.quantizeFloat(xs + b * stride,
+                              actA_.data() + b * laneWidth_, in_dim,
+                              act_frac, act_min, act_max);
+    });
 
-    std::int64_t *in_buf = actA_.data();
-    std::int64_t *out_buf = actB_.data();
+    std::int32_t *in_buf = actA_.data();
+    std::int32_t *out_buf = actB_.data();
     for (std::size_t oi = 0; oi < program_.ops.size(); ++oi) {
         const auto &op = program_.ops[oi];
         switch (op.kind) {
           case OpKind::Dense:
-            runDenseBatch(op, weightArena_.data() + opWeightBase_[oi],
-                          count, in_buf, out_buf);
+            forImageShards(count, [&](std::size_t, std::size_t begin,
+                                      std::size_t end) {
+                runDenseBatch(op, oi, begin, end, in_buf, out_buf);
+            });
+            stats_.macs += count * op.bank.outDim * op.bank.inDim;
             std::swap(in_buf, out_buf);
             break;
           case OpKind::ConvLowered:
-            runConvBatch(op, weightArena_.data() + opWeightBase_[oi],
-                         count, in_buf, out_buf);
+            forImageShards(count, [&](std::size_t shard,
+                                      std::size_t begin,
+                                      std::size_t end) {
+                runConvBatch(op, oi, shard, begin, end, in_buf,
+                             out_buf);
+            });
+            stats_.macs += count * op.conv.outChannels *
+                op.conv.positions() * op.conv.patchSize();
             std::swap(in_buf, out_buf);
             break;
           case OpKind::Pool:
-            for (std::size_t b = 0; b < count; ++b)
-                maxPoolRaw(op.pool, in_buf + b * laneWidth_,
-                           out_buf + b * laneWidth_);
+            forImageShards(count, [&](std::size_t, std::size_t begin,
+                                      std::size_t end) {
+                for (std::size_t b = begin; b < end; ++b)
+                    maxPoolRaw(op.pool, in_buf + b * laneWidth_,
+                               out_buf + b * laneWidth_);
+            });
             std::swap(in_buf, out_buf);
             break;
           case OpKind::Flatten:
@@ -181,9 +336,12 @@ BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
         }
     }
 
-    for (std::size_t b = 0; b < count; ++b)
-        std::copy(in_buf + b * laneWidth_,
-                  in_buf + b * laneWidth_ + out_dim, out + b * out_dim);
+    for (std::size_t b = 0; b < count; ++b) {
+        const std::int32_t *row = in_buf + b * laneWidth_;
+        std::int64_t *out_row = out + b * out_dim;
+        for (std::size_t i = 0; i < out_dim; ++i)
+            out_row[i] = row[i];
+    }
 
     stats_.grnSamples = weightGen_.samplesDrawn();
     stats_.images += count;

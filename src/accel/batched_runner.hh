@@ -14,31 +14,43 @@
  * Per runRoundBatch call this backend:
  *
  *   1. draws one weight sample per compute op — the bank's (mu, sigma)
- *      planes go through the identical WeightGenerator block path
- *      (w = mu + sigma * eps on the weight grid, eps from the block
- *      GRNG fill() ring) that the fidelity executors use per lane —
- *      and materializes it into a reusable SoA workspace arena
- *      (int32 weights, flat per-op slabs);
- *   2. walks the op list over batch-major activation buffers
- *      (count x width, int64 on the activation grid): Dense runs as
- *      image-tiled GEMM against the arena (the weight slab streams
- *      through cache once per image tile), ConvLowered as a per-image
- *      im2col + (outChannels x patchSize) GEMM over positions — the
- *      filter slab is small enough to stay resident — and Pool/
- *      Flatten vectorized per image.
+ *      planes go through the fused WeightGenerator::sampleBlockFused
+ *      path (w = mu + sigma * eps on the weight grid, eps from the
+ *      block GRNG fill() ring, identical stream and arithmetic as the
+ *      fidelity executors' per-lane draws) straight into a reusable,
+ *      64-byte-aligned int32 SoA arena — no staging copy;
+ *   2. walks the op list over batch-major int32 activation buffers
+ *      (count x width on the activation grid — every admissible
+ *      format is <= 32 bits, so the narrowing is lossless; products
+ *      still accumulate in int64): Dense runs as image-tiled GEMM
+ *      against the arena through the dispatched SIMD kernel layer
+ *      (accel/kernels/), ConvLowered as per-image im2col + an
+ *      (outChannels x patchSize) GEMM over positions, and Pool/
+ *      Flatten per image. The image tile is cache-aware (sized from
+ *      the host L1/L2, VIBNN_GEMM_TILE overrides), and when the
+ *      operand formats fit int16 the arena keeps a packed copy so the
+ *      AVX2 tier can run its madd fast path.
  *
  * The datapath arithmetic (DatapathKernel: sampleWeight, finishNeuron,
- * finishOutputNeuron) is shared with the fidelity executors, so every
- * individual neuron evaluation is bit-exact fixed point; what changes
- * is the *sampling schedule*: one weight draw per op per round, shared
- * across the batch and across conv positions (the software direct
- * estimator's semantics) instead of fresh draws per pass and per
- * position. Results are therefore statistically equivalent — the
- * per-round weights come from the same variational posterior — but not
- * bit-identical to the canonical eps order (with sigma = 0 the two
- * paths coincide exactly; a ctest pins that down). VIBNN's per-pass
- * sampling contract holds per round: every round is one independent
- * posterior draw.
+ * finishOutputNeuron) is compiled into the kernel layer's scalar
+ * reference and every SIMD tier is ctest-pinned bit-exact against it,
+ * so each neuron evaluation is exact fixed point regardless of the
+ * dispatched tier; what changes is the *sampling schedule*: one weight
+ * draw per op per round, shared across the batch and across conv
+ * positions (the software direct estimator's semantics) instead of
+ * fresh draws per pass and per position. Results are therefore
+ * statistically equivalent — the per-round weights come from the same
+ * variational posterior — but not bit-identical to the canonical eps
+ * order (with sigma = 0 the two paths coincide exactly; a ctest pins
+ * that down). VIBNN's per-pass sampling contract holds per round:
+ * every round is one independent posterior draw.
+ *
+ * Intra-pass parallelism: setWorkPool() hands the runner a ThreadPool;
+ * rounds then shard the image dimension across it. Weights are frozen
+ * for the whole round and every image's pipeline is independent, so
+ * outputs are bit-identical for any shard count (ctest-pinned across
+ * 1/2/5 threads). McEngine revokes the pool whenever its round-level
+ * scheduling already owns the workers (oversubscription guard).
  */
 
 #ifndef VIBNN_ACCEL_BATCHED_RUNNER_HH
@@ -49,6 +61,7 @@
 
 #include "accel/config.hh"
 #include "accel/executor.hh"
+#include "accel/kernels/kernels.hh"
 #include "accel/program.hh"
 #include "accel/weight_generator.hh"
 
@@ -83,27 +96,44 @@ class BatchedRunner : public Executor
     /** Swap the eps source (round scheduling). Not owned. */
     void setGenerator(grng::GaussianGenerator *generator) override;
 
+    /** Intra-pass image-dimension parallelism (see file comment).
+     *  Not owned; nullptr (the default) runs rounds serially. */
+    void setWorkPool(ThreadPool *pool) override;
+
     /** Pass/sample counters only (untimed backend). */
     const CycleStats &stats() const override { return stats_; }
 
     const QuantizedProgram &program() const override { return program_; }
     const AcceleratorConfig &config() const override { return config_; }
 
+    /** The GEMM image-tile in effect (cache-derived or
+     *  VIBNN_GEMM_TILE) — introspection for benches/tests. */
+    std::size_t imageTile() const { return imageTile_; }
+
   private:
     /** Draw this round's weight set into the arena (op order). */
     void sampleRoundWeights();
 
-    /** Dense bank as image-tiled GEMM: actIn (count x laneWidth_)
-     *  -> actOut. */
-    void runDenseBatch(const ProgramOp &op, const std::int32_t *weights,
-                       std::size_t count, const std::int64_t *act_in,
-                       std::int64_t *act_out);
+    /** Run body(shard, begin, end) over a static partition of
+     *  [0, count) — parallel when a work pool is set, serial (one
+     *  shard) otherwise. Outputs are per-image, so the partition is
+     *  invisible in the results. */
+    template <typename Body>
+    void forImageShards(std::size_t count, const Body &body);
 
-    /** ConvLowered with the shared filter sample: per image im2col +
-     *  (outChannels x patchSize) GEMM over positions. */
-    void runConvBatch(const ProgramOp &op, const std::int32_t *weights,
-                      std::size_t count, const std::int64_t *act_in,
-                      std::int64_t *act_out);
+    /** Dense bank over images [begin, end): image-tiled GEMM through
+     *  the kernel layer. */
+    void runDenseBatch(const ProgramOp &op, std::size_t op_index,
+                       std::size_t begin, std::size_t end,
+                       const std::int32_t *act_in, std::int32_t *act_out);
+
+    /** ConvLowered with the shared filter sample over images
+     *  [begin, end): per image im2col + (outChannels x patchSize)
+     *  GEMM over positions, using shard-local patch scratch. */
+    void runConvBatch(const ProgramOp &op, std::size_t op_index,
+                      std::size_t shard, std::size_t begin,
+                      std::size_t end, const std::int32_t *act_in,
+                      std::int32_t *act_out);
 
     QuantizedProgram program_;
     AcceleratorConfig config_;
@@ -113,18 +143,38 @@ class BatchedRunner : public Executor
 
     /** SoA weight arena: one flat int32 slab per compute op (offsets
      *  indexed like program_.ops; non-compute ops share the next
-     *  base), reused across rounds. */
-    std::vector<std::int32_t> weightArena_;
+     *  base), reused across rounds; 64-byte-aligned for the SIMD
+     *  tiers. */
+    kernels::AlignedVector<std::int32_t> weightArena_;
     std::vector<std::size_t> opWeightBase_;
-    /** int64 staging for WeightGenerator::sampleBlock output. */
-    std::vector<std::int64_t> sampleScratch_;
+    /** int16-packed arena mirror for ops eligible for the madd fast
+     *  path (same offsets; untouched for ineligible ops). */
+    kernels::AlignedVector<std::int16_t> weightArena16_;
+    /** Per-op madd-path eligibility: operands fit int16 and
+     *  inDim * max|w| * max|x| < 2^31 (see GemmArgs::weights16). */
+    std::vector<bool> opInt16_;
+    /** Any op eligible? Gates the int16 mirror/staging allocations. */
+    bool anyInt16_ = false;
+    /** Finish-stage parameters shared by every op (relu varies). */
+    kernels::GemmFinish finishBase_;
 
     /** Widest activation window any op stages (buffer row width). */
     std::size_t laneWidth_ = 0;
-    /** Batch-major ping-pong activation buffers (count x laneWidth_). */
-    std::vector<std::int64_t> actA_, actB_;
-    /** Per-image im2col patch staging. */
-    std::vector<std::int64_t> patches_;
+    /** GEMM image tile (cache-aware; VIBNN_GEMM_TILE overrides). */
+    std::size_t imageTile_ = 16;
+    /** Batch-major ping-pong activation buffers (count x laneWidth_),
+     *  int32 on the activation grid, 64-byte-aligned. */
+    kernels::AlignedVector<std::int32_t> actA_, actB_;
+    /** int16-packed staging of the current op's input activations
+     *  (madd fast path only). */
+    kernels::AlignedVector<std::int16_t> act16_;
+    /** Per-shard im2col patch scratch (shard-local so parallel conv
+     *  images never share staging). */
+    std::vector<std::vector<std::int32_t>> patches_;
+    std::vector<std::vector<std::int16_t>> patches16_;
+
+    /** Intra-pass worker pool (not owned; nullptr = serial). */
+    ThreadPool *workPool_ = nullptr;
 };
 
 } // namespace vibnn::accel

@@ -12,9 +12,16 @@
 namespace vibnn::accel
 {
 
+namespace
+{
+
+/** Shared body of the raw-grid gathers: the arithmetic is pure
+ *  indexing, so the int64 fidelity buffers and the batched executor's
+ *  narrowed int32 SoA buffers run the identical code. */
+template <typename Raw>
 void
-im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
-          std::vector<std::int64_t> &patches)
+im2colRawImpl(const nn::ConvSpec &spec, const Raw *x,
+              std::vector<Raw> &patches)
 {
     const std::size_t out_h = spec.outHeight();
     const std::size_t out_w = spec.outWidth();
@@ -23,12 +30,10 @@ im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
 
     for (std::size_t oy = 0; oy < out_h; ++oy) {
         for (std::size_t ox = 0; ox < out_w; ++ox) {
-            std::int64_t *row =
-                patches.data() + (oy * out_w + ox) * patch;
+            Raw *row = patches.data() + (oy * out_w + ox) * patch;
             std::size_t k = 0;
             for (std::size_t c = 0; c < spec.inChannels; ++c) {
-                const std::int64_t *plane =
-                    x + c * spec.inHeight * spec.inWidth;
+                const Raw *plane = x + c * spec.inHeight * spec.inWidth;
                 for (std::size_t ky = 0; ky < spec.kernel; ++ky) {
                     // Signed arithmetic: the padded coordinate may be
                     // negative at the border.
@@ -55,23 +60,23 @@ im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
     }
 }
 
+template <typename Raw>
 void
-maxPoolRaw(const nn::PoolSpec &spec, const std::int64_t *x,
-           std::int64_t *out)
+maxPoolRawImpl(const nn::PoolSpec &spec, const Raw *x, Raw *out)
 {
     const std::size_t out_h = spec.outHeight();
     const std::size_t out_w = spec.outWidth();
     for (std::size_t c = 0; c < spec.channels; ++c) {
-        const std::int64_t *plane = x + c * spec.inHeight * spec.inWidth;
-        std::int64_t *out_plane = out + c * out_h * out_w;
+        const Raw *plane = x + c * spec.inHeight * spec.inWidth;
+        Raw *out_plane = out + c * out_h * out_w;
         for (std::size_t oy = 0; oy < out_h; ++oy) {
             for (std::size_t ox = 0; ox < out_w; ++ox) {
                 const std::size_t y0 = oy * spec.stride;
                 const std::size_t x0 = ox * spec.stride;
-                std::int64_t best = plane[y0 * spec.inWidth + x0];
+                Raw best = plane[y0 * spec.inWidth + x0];
                 for (std::size_t wy = 0; wy < spec.window; ++wy) {
                     for (std::size_t wx = 0; wx < spec.window; ++wx) {
-                        const std::int64_t v =
+                        const Raw v =
                             plane[(y0 + wy) * spec.inWidth + (x0 + wx)];
                         if (v > best)
                             best = v;
@@ -81,6 +86,36 @@ maxPoolRaw(const nn::PoolSpec &spec, const std::int64_t *x,
             }
         }
     }
+}
+
+} // namespace
+
+void
+im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
+          std::vector<std::int64_t> &patches)
+{
+    im2colRawImpl(spec, x, patches);
+}
+
+void
+im2colRaw(const nn::ConvSpec &spec, const std::int32_t *x,
+          std::vector<std::int32_t> &patches)
+{
+    im2colRawImpl(spec, x, patches);
+}
+
+void
+maxPoolRaw(const nn::PoolSpec &spec, const std::int64_t *x,
+           std::int64_t *out)
+{
+    maxPoolRawImpl(spec, x, out);
+}
+
+void
+maxPoolRaw(const nn::PoolSpec &spec, const std::int32_t *x,
+           std::int32_t *out)
+{
+    maxPoolRawImpl(spec, x, out);
 }
 
 QuantizedNetwork

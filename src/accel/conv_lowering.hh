@@ -51,6 +51,11 @@ namespace vibnn::accel
 void im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
                std::vector<std::int64_t> &patches);
 
+/** The same gather on the batched executor's narrowed int32 SoA
+ *  buffers (identical indexing code, instantiated per width). */
+void im2colRaw(const nn::ConvSpec &spec, const std::int32_t *x,
+               std::vector<std::int32_t> &patches);
+
 /**
  * Max pooling on raw activation-grid values (CHW in, CHW out). Max is
  * monotone on the fixed-point grid, so pooling raw values is exactly
@@ -58,6 +63,10 @@ void im2colRaw(const nn::ConvSpec &spec, const std::int64_t *x,
  */
 void maxPoolRaw(const nn::PoolSpec &spec, const std::int64_t *x,
                 std::int64_t *out);
+
+/** int32 variant for the batched executor's activation buffers. */
+void maxPoolRaw(const nn::PoolSpec &spec, const std::int32_t *x,
+                std::int32_t *out);
 
 /**
  * Lower one variational conv layer to a single-layer quantized dense

@@ -44,6 +44,11 @@
 #include "accel/program.hh"
 #include "grng/generator.hh"
 
+namespace vibnn
+{
+class ThreadPool;
+}
+
 namespace vibnn::accel
 {
 
@@ -101,6 +106,18 @@ class Executor
     /** Swap the eps source (round/unit scheduling gives every work
      *  unit an independently seeded stream). Not owned. */
     virtual void setGenerator(grng::GaussianGenerator *generator) = 0;
+
+    /**
+     * Offer the backend a worker pool (not owned; nullptr revokes) for
+     * intra-pass parallelism — e.g. the batched runner fans the image
+     * dimension of a round over it. Purely a performance hint: results
+     * must stay bit-identical with any pool or none, and callers that
+     * already parallelize ABOVE the executor (round- or unit-level
+     * scheduling) must revoke it so one fan-out does not oversubscribe
+     * the other's threads. Default: ignored (backends without
+     * intra-pass parallelism).
+     */
+    virtual void setWorkPool(ThreadPool *pool) { (void)pool; }
 
     /** One forward pass (one MC sample); raw output-layer values on
      *  the activation grid. */

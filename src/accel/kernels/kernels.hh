@@ -1,0 +1,237 @@
+/**
+ * @file
+ * SIMD kernel layer with runtime dispatch — the vectorized inner loops
+ * of the throughput inference path.
+ *
+ * The hot arithmetic of the batched weight-reuse executor is four flat
+ * loops: quantizing real inputs onto the activation grid, converting
+ * GRNG eps samples onto the eps grid, the fused weight draw
+ * w = mu + (sigma * eps >> epsFrac), and the batched fixed-point GEMM
+ * with the bias/ReLU/requantize finish stage. This layer packages each
+ * of them as a free function behind a per-tier function table
+ * (KernelOps) with three implementations:
+ *
+ *   "scalar"  portable reference — the semantic ground truth, compiled
+ *             everywhere, and the definition every other tier must
+ *             match bit for bit,
+ *   "sse4"    128-bit x86 (SSE4.1),
+ *   "avx2"    256-bit x86 (AVX2), with an additional int16 madd GEMM
+ *             fast path when the operand formats allow it.
+ *
+ * activeKernels() picks the widest tier the running CPU supports once
+ * per process; VIBNN_FORCE_SCALAR=1 pins the scalar tier and
+ * VIBNN_KERNELS=<name> selects one explicitly (fatal if that tier is
+ * not available on this CPU/build). Tests iterate availableKernels()
+ * and assert bit-exactness of every tier against scalarKernels() —
+ * including saturation and odd-size tail lanes — so the dispatch
+ * decision is a pure performance choice, never a semantic one
+ * (docs/ARCHITECTURE.md documents the contract).
+ *
+ * Integer dot products are order-invariant (64-bit accumulation never
+ * overflows for any format the datapath admits, and saturation happens
+ * only in the finish stage), which is what makes wide/reordered SIMD
+ * accumulation bit-compatible with the sequential scalar loop. The
+ * int16 madd path additionally needs the caller's guarantee that every
+ * 32-bit partial fits (see GemmArgs::weights16).
+ */
+
+#ifndef VIBNN_ACCEL_KERNELS_KERNELS_HH
+#define VIBNN_ACCEL_KERNELS_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <vector>
+
+namespace vibnn::accel::kernels
+{
+
+/** Minimal 64-byte-aligning allocator: SIMD tiers may use aligned
+ *  loads on arena data, and cache-line alignment keeps tile edges off
+ *  shared lines when image shards run on different threads. */
+template <typename T>
+struct AlignedAllocator
+{
+    using value_type = T;
+    static constexpr std::size_t alignment = 64;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 0)
+            return nullptr;
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(alignment)));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, std::align_val_t(alignment));
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U> &) const
+    {
+        return true;
+    }
+};
+
+/** 64-byte-aligned vector for weight/activation arenas. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/** Finish-stage parameters of the GEMM kernels — the exact arithmetic
+ *  of DatapathKernel::finishNeuron / finishOutputNeuron. */
+struct GemmFinish
+{
+    /** Bias alignment shift onto the accumulator grid
+     *  (activation fracBits). */
+    int biasShift = 0;
+    /** Requantization shift back to the activation grid
+     *  (weight fracBits). */
+    int outShift = 0;
+    /** Activation-grid saturation bounds. */
+    std::int32_t outMin = 0;
+    std::int32_t outMax = 0;
+    /** ReLU before requantization (hidden layers). */
+    bool relu = true;
+};
+
+/**
+ * One batched GEMM call: out[o, b] = finish(sum_k w[o, k] * x[b, k],
+ * bias[o]) for o in [0, outDim), b in [0, images). The two output
+ * strides express both activation layouts the executors use:
+ * image-major Dense buffers (outNeuronStride = 1, outImageStride =
+ * laneWidth) and neuron-major conv maps (outNeuronStride = positions,
+ * outImageStride = 1).
+ */
+struct GemmArgs
+{
+    /** Weight slab, outDim rows of stride ldw (>= inDim). */
+    const std::int32_t *weights = nullptr;
+    std::size_t ldw = 0;
+    /** Activations, images rows of stride lda (>= inDim). */
+    const std::int32_t *acts = nullptr;
+    std::size_t lda = 0;
+    /** Raw mu-bias values, outDim entries. */
+    const std::int32_t *bias = nullptr;
+    /** Output, written at out[o * outNeuronStride + b * outImageStride]. */
+    std::int32_t *out = nullptr;
+    std::size_t outNeuronStride = 1;
+    std::size_t outImageStride = 0;
+    std::size_t inDim = 0;
+    std::size_t outDim = 0;
+    std::size_t images = 0;
+    GemmFinish finish;
+
+    /**
+     * Optional int16-packed copies of weights/acts (same strides).
+     * Setting BOTH non-null is the caller's guarantee that (a) every
+     * weight and activation raw value fits int16 and (b)
+     * inDim * max|w| * max|x| < 2^31, so 32-bit madd partials cannot
+     * overflow. Tiers without an int16 path ignore them.
+     */
+    const std::int16_t *weights16 = nullptr;
+    const std::int16_t *acts16 = nullptr;
+};
+
+/** Parameters of the fused weight-sampling kernel — the arithmetic of
+ *  DatapathKernel::sampleWeight. */
+struct SampleParams
+{
+    /** Product requantization shift (eps fracBits). */
+    int epsShift = 0;
+    /** Weight-grid saturation bounds. */
+    std::int32_t wMin = 0;
+    std::int32_t wMax = 0;
+    /**
+     * Conservative operand magnitude bounds implied by the formats
+     * (|sigma| <= sigmaAbsMax, |eps| <= epsAbsMax). SIMD tiers use
+     * them to prove the 32-bit product/sum fast path safe; when the
+     * bounds do not fit they fall back to the scalar reference.
+     */
+    std::int64_t sigmaAbsMax = 0;
+    std::int64_t epsAbsMax = 0;
+};
+
+/** One dispatch tier: a named table of kernel entry points. */
+struct KernelOps
+{
+    const char *name;
+
+    /** Quantize doubles onto a fixed-point grid: round to nearest,
+     *  ties away from zero, saturating — bit-identical to
+     *  FixedPointFormat::fromReal(value, RoundMode::Nearest). */
+    void (*quantizeDouble)(const double *in, std::int32_t *out,
+                           std::size_t n, int fracBits,
+                           std::int32_t rawMin, std::int32_t rawMax);
+
+    /** Same grid mapping for float inputs (batch activation
+     *  quantization; floats go through the identical double path). */
+    void (*quantizeFloat)(const float *in, std::int32_t *out,
+                          std::size_t n, int fracBits,
+                          std::int32_t rawMin, std::int32_t rawMax);
+
+    /** Fused weight draw: out[i] = sat(mu[i] +
+     *  ((sigma[i] * eps[i]) >> epsShift)) on the weight grid. */
+    void (*sampleWeights)(const std::int32_t *mu,
+                          const std::int32_t *sigma,
+                          const std::int32_t *eps, std::int32_t *out,
+                          std::size_t n, const SampleParams &params);
+
+    /** Narrow int32 -> int16 (caller guarantees the values fit). */
+    void (*packInt16)(const std::int32_t *in, std::int16_t *out,
+                      std::size_t n);
+
+    /** Batched GEMM + finish stage (see GemmArgs). */
+    void (*gemmBatch)(const GemmArgs &args);
+};
+
+/** The shared finish stage: bias add on the accumulator grid, optional
+ *  ReLU, arithmetic-shift requantization, activation-grid saturation.
+ *  Inline so every tier compiles the identical arithmetic. */
+inline std::int32_t
+gemmFinish(std::int64_t acc, std::int64_t bias_raw, const GemmFinish &f)
+{
+    std::int64_t v = acc + (bias_raw << f.biasShift);
+    if (f.relu && v < 0)
+        v = 0;
+    v >>= f.outShift; // arithmetic shift floors negative values
+    if (v > f.outMax)
+        return f.outMax;
+    if (v < f.outMin)
+        return f.outMin;
+    return static_cast<std::int32_t>(v);
+}
+
+/** The portable reference tier (always available). */
+const KernelOps &scalarKernels();
+
+/** The tier activeKernels() selected for this process (sticky: the
+ *  first call reads VIBNN_FORCE_SCALAR / VIBNN_KERNELS and probes the
+ *  CPU once). */
+const KernelOps &activeKernels();
+
+/** Name of the active tier ("scalar", "sse4", "avx2"). */
+const char *activeKernelName();
+
+/** Every tier compiled into this binary AND supported by the running
+ *  CPU, widest last — what the bit-exactness tests iterate. */
+std::vector<const KernelOps *> availableKernels();
+
+/** Look up an available tier by name; nullptr when that tier is not
+ *  compiled in or the CPU lacks it. */
+const KernelOps *kernelsByName(const std::string &name);
+
+} // namespace vibnn::accel::kernels
+
+#endif // VIBNN_ACCEL_KERNELS_KERNELS_HH

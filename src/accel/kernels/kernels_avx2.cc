@@ -1,0 +1,338 @@
+/**
+ * @file
+ * AVX2 tier: 256-bit versions of the kernel-layer entry points.
+ *
+ * GEMM runs 32x32->64 multiplies (mul_epi32 over even/odd dword
+ * pairs) with int64 accumulators — exact for every admissible format —
+ * and a 4-image register tile so one weight load serves four
+ * activation rows. When the caller provides int16-packed operands
+ * (GemmArgs::weights16/acts16, with the no-overflow guarantee that
+ * implies) the inner loop switches to madd_epi16: 16 MACs per
+ * instruction with 32-bit pair sums, widened to int64 at reduction.
+ * Tail lanes and ineligible formats drop to the shared scalar bodies
+ * in kernels_detail.hh, so every path is bit-exact with the scalar
+ * tier by construction; integer dot products are order-invariant, so
+ * the reordered SIMD accumulation changes nothing.
+ *
+ * Rounding in the quantize kernels reproduces std::round (half away
+ * from zero) exactly: truncate, take the exact fractional remainder
+ * (Sterbenz — t and v are within a factor of two), and bump by the
+ * remainder's comparison against 0.5. Saturation happens in the double
+ * domain against the same bounds as FixedPointFormat::fromReal.
+ *
+ * This TU is compiled with -mavx2 on x86 hosts only (CMake per-file
+ * flags); runtime dispatch guarantees nothing here executes on a CPU
+ * without AVX2.
+ */
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "accel/kernels/kernels.hh"
+#include "accel/kernels/kernels_detail.hh"
+
+namespace vibnn::accel::kernels
+{
+
+namespace
+{
+
+inline std::int64_t
+hsum64(__m256i v)
+{
+    const __m128i lo = _mm256_castsi256_si128(v);
+    const __m128i hi = _mm256_extracti128_si256(v, 1);
+    const __m128i s = _mm_add_epi64(lo, hi);
+    return _mm_cvtsi128_si64(s) + _mm_extract_epi64(s, 1);
+}
+
+/** Sum 8 int32 lanes into one int64 (each lane widened first, so the
+ *  reduction itself cannot overflow). */
+inline std::int64_t
+hsum32to64(__m256i v)
+{
+    const __m256i lo =
+        _mm256_cvtepi32_epi64(_mm256_castsi256_si128(v));
+    const __m256i hi =
+        _mm256_cvtepi32_epi64(_mm256_extracti128_si256(v, 1));
+    return hsum64(_mm256_add_epi64(lo, hi));
+}
+
+// ------------------------------------------------------------- quantize
+
+/** Round-half-away-from-zero + saturate + narrow for 4 doubles. */
+inline __m128i
+quantize4(__m256d v, __m256d dmin, __m256d dmax, __m256d half,
+          __m256d one)
+{
+    const __m256d t =
+        _mm256_round_pd(v, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __m256d d = _mm256_sub_pd(v, t); // exact remainder
+    const __m256d inc_pos =
+        _mm256_and_pd(_mm256_cmp_pd(d, half, _CMP_GE_OQ), one);
+    const __m256d inc_neg = _mm256_and_pd(
+        _mm256_cmp_pd(_mm256_sub_pd(_mm256_setzero_pd(), d), half,
+                      _CMP_GE_OQ),
+        one);
+    __m256d r = _mm256_add_pd(t, _mm256_sub_pd(inc_pos, inc_neg));
+    r = _mm256_min_pd(_mm256_max_pd(r, dmin), dmax);
+    return _mm256_cvttpd_epi32(r); // integral and in range: exact
+}
+
+void
+quantizeDoubleAvx2(const double *in, std::int32_t *out, std::size_t n,
+                   int frac_bits, std::int32_t raw_min,
+                   std::int32_t raw_max)
+{
+    const double scale = std::ldexp(1.0, frac_bits);
+    const __m256d vscale = _mm256_set1_pd(scale);
+    const __m256d dmin = _mm256_set1_pd(static_cast<double>(raw_min));
+    const __m256d dmax = _mm256_set1_pd(static_cast<double>(raw_max));
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m256d one = _mm256_set1_pd(1.0);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d v =
+            _mm256_mul_pd(_mm256_loadu_pd(in + i), vscale);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         quantize4(v, dmin, dmax, half, one));
+    }
+    for (; i < n; ++i)
+        out[i] = detail::quantizeOne(in[i], scale, raw_min, raw_max);
+}
+
+void
+quantizeFloatAvx2(const float *in, std::int32_t *out, std::size_t n,
+                  int frac_bits, std::int32_t raw_min,
+                  std::int32_t raw_max)
+{
+    const double scale = std::ldexp(1.0, frac_bits);
+    const __m256d vscale = _mm256_set1_pd(scale);
+    const __m256d dmin = _mm256_set1_pd(static_cast<double>(raw_min));
+    const __m256d dmax = _mm256_set1_pd(static_cast<double>(raw_max));
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m256d one = _mm256_set1_pd(1.0);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d v = _mm256_mul_pd(
+            _mm256_cvtps_pd(
+                _mm_loadu_ps(in + i)),
+            vscale);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         quantize4(v, dmin, dmax, half, one));
+    }
+    for (; i < n; ++i)
+        out[i] = detail::quantizeOne(static_cast<double>(in[i]), scale,
+                                     raw_min, raw_max);
+}
+
+// ------------------------------------------------------- weight sampling
+
+void
+sampleWeightsAvx2(const std::int32_t *mu, const std::int32_t *sigma,
+                  const std::int32_t *eps, std::int32_t *out,
+                  std::size_t n, const SampleParams &p)
+{
+    // 32-bit fast-path eligibility: the mullo product and the mu +
+    // scaled sum must both provably fit int32. |mu| is bounded by the
+    // weight grid it was saturated onto (wMin is the negative extreme).
+    constexpr std::int64_t kI32Max = 2147483647;
+    const std::int64_t prod_max = p.sigmaAbsMax * p.epsAbsMax;
+    const std::int64_t sum_max =
+        -static_cast<std::int64_t>(p.wMin) + (prod_max >> p.epsShift);
+    if (prod_max > kI32Max || sum_max > kI32Max) {
+        scalarKernels().sampleWeights(mu, sigma, eps, out, n, p);
+        return;
+    }
+
+    const __m128i shift = _mm_cvtsi32_si128(p.epsShift);
+    const __m256i wmin = _mm256_set1_epi32(p.wMin);
+    const __m256i wmax = _mm256_set1_epi32(p.wMax);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256i sv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(sigma + i));
+        const __m256i ev = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(eps + i));
+        const __m256i mv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(mu + i));
+        const __m256i scaled =
+            _mm256_sra_epi32(_mm256_mullo_epi32(sv, ev), shift);
+        __m256i w = _mm256_add_epi32(mv, scaled);
+        w = _mm256_min_epi32(_mm256_max_epi32(w, wmin), wmax);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i), w);
+    }
+    for (; i < n; ++i)
+        out[i] = detail::sampleOne(mu[i], sigma[i], eps[i], p);
+}
+
+// ----------------------------------------------------------------- pack
+
+void
+packInt16Avx2(const std::int32_t *in, std::int16_t *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        const __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i + 8));
+        // packs interleaves 128-bit halves; permute restores order.
+        // Saturation never fires: the caller guarantees the values fit.
+        const __m256i p = _mm256_permute4x64_epi64(
+            _mm256_packs_epi32(a, b), _MM_SHUFFLE(3, 1, 2, 0));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i), p);
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<std::int16_t>(in[i]);
+}
+
+// ----------------------------------------------------------------- GEMM
+
+/** One weight row against four activation rows, 32x32->64 products. */
+inline void
+gemmRowS32x4(const std::int32_t *w, const std::int32_t *const x[4],
+             std::size_t n, std::int64_t acc_out[4])
+{
+    __m256i acc[4];
+    for (int i = 0; i < 4; ++i)
+        acc[i] = _mm256_setzero_si256();
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + k));
+        const __m256i wo = _mm256_srli_epi64(wv, 32);
+        for (int i = 0; i < 4; ++i) {
+            const __m256i xv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x[i] + k));
+            const __m256i xo = _mm256_srli_epi64(xv, 32);
+            acc[i] = _mm256_add_epi64(acc[i],
+                                      _mm256_mul_epi32(wv, xv));
+            acc[i] = _mm256_add_epi64(acc[i],
+                                      _mm256_mul_epi32(wo, xo));
+        }
+    }
+    for (int i = 0; i < 4; ++i)
+        acc_out[i] = hsum64(acc[i]) + detail::dotTail(w, x[i], k, n);
+}
+
+inline std::int64_t
+gemmRowS32x1(const std::int32_t *w, const std::int32_t *x,
+             std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w + k));
+        const __m256i xv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x + k));
+        acc = _mm256_add_epi64(acc, _mm256_mul_epi32(wv, xv));
+        acc = _mm256_add_epi64(
+            acc, _mm256_mul_epi32(_mm256_srli_epi64(wv, 32),
+                                  _mm256_srli_epi64(xv, 32)));
+    }
+    return hsum64(acc) + detail::dotTail(w, x, k, n);
+}
+
+/** madd path: one int16 weight row against four int16 activation
+ *  rows; the caller's GemmArgs contract makes 32-bit pair-sum
+ *  accumulation overflow-free. Tails read the int32 originals. */
+inline void
+gemmRowS16x4(const std::int16_t *w16, const std::int16_t *const x16[4],
+             const std::int32_t *w, const std::int32_t *const x[4],
+             std::size_t n, std::int64_t acc_out[4])
+{
+    __m256i acc[4];
+    for (int i = 0; i < 4; ++i)
+        acc[i] = _mm256_setzero_si256();
+    std::size_t k = 0;
+    for (; k + 16 <= n; k += 16) {
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w16 + k));
+        for (int i = 0; i < 4; ++i) {
+            const __m256i xv = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(x16[i] + k));
+            acc[i] = _mm256_add_epi32(acc[i],
+                                      _mm256_madd_epi16(wv, xv));
+        }
+    }
+    for (int i = 0; i < 4; ++i)
+        acc_out[i] =
+            hsum32to64(acc[i]) + detail::dotTail(w, x[i], k, n);
+}
+
+inline std::int64_t
+gemmRowS16x1(const std::int16_t *w16, const std::int16_t *x16,
+             const std::int32_t *w, const std::int32_t *x,
+             std::size_t n)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t k = 0;
+    for (; k + 16 <= n; k += 16) {
+        const __m256i wv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(w16 + k));
+        const __m256i xv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x16 + k));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wv, xv));
+    }
+    return hsum32to64(acc) + detail::dotTail(w, x, k, n);
+}
+
+void
+gemmBatchAvx2(const GemmArgs &a)
+{
+    const bool use16 = a.weights16 != nullptr && a.acts16 != nullptr;
+    for (std::size_t o = 0; o < a.outDim; ++o) {
+        const std::int32_t *w = a.weights + o * a.ldw;
+        const std::int16_t *w16 =
+            use16 ? a.weights16 + o * a.ldw : nullptr;
+        const std::int64_t bias = a.bias[o];
+        std::int32_t *out_row = a.out + o * a.outNeuronStride;
+
+        std::size_t b = 0;
+        for (; b + 4 <= a.images; b += 4) {
+            const std::int32_t *x[4];
+            for (int i = 0; i < 4; ++i)
+                x[i] = a.acts + (b + i) * a.lda;
+            std::int64_t acc[4];
+            if (use16) {
+                const std::int16_t *x16[4];
+                for (int i = 0; i < 4; ++i)
+                    x16[i] = a.acts16 + (b + i) * a.lda;
+                gemmRowS16x4(w16, x16, w, x, a.inDim, acc);
+            } else {
+                gemmRowS32x4(w, x, a.inDim, acc);
+            }
+            for (int i = 0; i < 4; ++i)
+                out_row[(b + i) * a.outImageStride] =
+                    gemmFinish(acc[i], bias, a.finish);
+        }
+        for (; b < a.images; ++b) {
+            const std::int32_t *x = a.acts + b * a.lda;
+            const std::int64_t acc =
+                use16 ? gemmRowS16x1(w16, a.acts16 + b * a.lda, w, x,
+                                     a.inDim)
+                      : gemmRowS32x1(w, x, a.inDim);
+            out_row[b * a.outImageStride] =
+                gemmFinish(acc, bias, a.finish);
+        }
+    }
+}
+
+} // namespace
+
+const KernelOps &
+avx2Kernels()
+{
+    static const KernelOps ops = {
+        "avx2",           &quantizeDoubleAvx2, &quantizeFloatAvx2,
+        &sampleWeightsAvx2, &packInt16Avx2,    &gemmBatchAvx2,
+    };
+    return ops;
+}
+
+} // namespace vibnn::accel::kernels
+
+#endif // x86

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared scalar bodies of the kernel layer — the single definition of
+ * each element-wise operation, used by the scalar tier wholesale and by
+ * the SIMD tiers for tail lanes and ineligible-format fallbacks, so
+ * "bit-exact against the scalar reference" holds by construction
+ * everywhere a tier drops out of its vector loop.
+ */
+
+#ifndef VIBNN_ACCEL_KERNELS_KERNELS_DETAIL_HH
+#define VIBNN_ACCEL_KERNELS_KERNELS_DETAIL_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "accel/kernels/kernels.hh"
+
+namespace vibnn::accel::kernels::detail
+{
+
+/** fromReal(value, RoundMode::Nearest) on a grid with 2^-frac
+ *  resolution: scale (an exact power of two, so the scaling never
+ *  rounds), round half away from zero, saturate in the double domain
+ *  exactly like FixedPointFormat::fromReal. `scale` is 2^fracBits. */
+inline std::int32_t
+quantizeOne(double value, double scale, std::int32_t raw_min,
+            std::int32_t raw_max)
+{
+    const double scaled = value * scale;
+    const double rounded = std::round(scaled);
+    if (rounded >= static_cast<double>(raw_max))
+        return raw_max;
+    if (rounded <= static_cast<double>(raw_min))
+        return raw_min;
+    return static_cast<std::int32_t>(rounded);
+}
+
+/** DatapathKernel::sampleWeight: w = mu + ((sigma * eps) >> epsShift),
+ *  saturated to the weight grid. */
+inline std::int32_t
+sampleOne(std::int64_t mu, std::int64_t sigma, std::int64_t eps,
+          const SampleParams &p)
+{
+    const std::int64_t scaled = (sigma * eps) >> p.epsShift;
+    std::int64_t w = mu + scaled;
+    if (w > p.wMax)
+        w = p.wMax;
+    if (w < p.wMin)
+        w = p.wMin;
+    return static_cast<std::int32_t>(w);
+}
+
+/** Scalar int64-accumulate dot product over [k0, n). */
+inline std::int64_t
+dotTail(const std::int32_t *w, const std::int32_t *x, std::size_t k0,
+        std::size_t n)
+{
+    std::int64_t acc = 0;
+    for (std::size_t k = k0; k < n; ++k)
+        acc += static_cast<std::int64_t>(w[k]) * x[k];
+    return acc;
+}
+
+} // namespace vibnn::accel::kernels::detail
+
+#endif // VIBNN_ACCEL_KERNELS_KERNELS_DETAIL_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Portable scalar tier — the semantic reference every SIMD tier is
+ * tested bit-exact against. Compiled everywhere, no ISA assumptions.
+ */
+
+#include "accel/kernels/kernels.hh"
+#include "accel/kernels/kernels_detail.hh"
+
+namespace vibnn::accel::kernels
+{
+
+namespace
+{
+
+void
+quantizeDoubleScalar(const double *in, std::int32_t *out, std::size_t n,
+                     int frac_bits, std::int32_t raw_min,
+                     std::int32_t raw_max)
+{
+    const double scale = std::ldexp(1.0, frac_bits);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = detail::quantizeOne(in[i], scale, raw_min, raw_max);
+}
+
+void
+quantizeFloatScalar(const float *in, std::int32_t *out, std::size_t n,
+                    int frac_bits, std::int32_t raw_min,
+                    std::int32_t raw_max)
+{
+    const double scale = std::ldexp(1.0, frac_bits);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = detail::quantizeOne(static_cast<double>(in[i]), scale,
+                                     raw_min, raw_max);
+}
+
+void
+sampleWeightsScalar(const std::int32_t *mu, const std::int32_t *sigma,
+                    const std::int32_t *eps, std::int32_t *out,
+                    std::size_t n, const SampleParams &params)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = detail::sampleOne(mu[i], sigma[i], eps[i], params);
+}
+
+void
+packInt16Scalar(const std::int32_t *in, std::int16_t *out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::int16_t>(in[i]);
+}
+
+void
+gemmBatchScalar(const GemmArgs &a)
+{
+    for (std::size_t o = 0; o < a.outDim; ++o) {
+        const std::int32_t *w = a.weights + o * a.ldw;
+        const std::int64_t bias = a.bias[o];
+        std::int32_t *out_row = a.out + o * a.outNeuronStride;
+        for (std::size_t b = 0; b < a.images; ++b) {
+            const std::int32_t *x = a.acts + b * a.lda;
+            const std::int64_t acc = detail::dotTail(w, x, 0, a.inDim);
+            out_row[b * a.outImageStride] =
+                gemmFinish(acc, bias, a.finish);
+        }
+    }
+}
+
+} // namespace
+
+const KernelOps &
+scalarKernels()
+{
+    static const KernelOps ops = {
+        "scalar",          &quantizeDoubleScalar, &quantizeFloatScalar,
+        &sampleWeightsScalar, &packInt16Scalar,   &gemmBatchScalar,
+    };
+    return ops;
+}
+
+} // namespace vibnn::accel::kernels

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * SSE4.1 tier: 128-bit fallback for x86 CPUs without AVX2. Same
+ * structure as the AVX2 tier at half the width, minus the int16 madd
+ * fast path (pre-AVX2 hosts are not the throughput target; the s32
+ * path keeps them bit-exact and still ~4x the scalar inner loop).
+ * Compiled with -msse4.1 on x86 hosts only; runtime dispatch keeps it
+ * off CPUs that lack SSE4.1.
+ */
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <smmintrin.h>
+
+#include "accel/kernels/kernels.hh"
+#include "accel/kernels/kernels_detail.hh"
+
+namespace vibnn::accel::kernels
+{
+
+namespace
+{
+
+inline std::int64_t
+hsum64(__m128i v)
+{
+    return _mm_cvtsi128_si64(v) + _mm_extract_epi64(v, 1);
+}
+
+inline __m128i
+quantize2(__m128d v, __m128d dmin, __m128d dmax, __m128d half,
+          __m128d one)
+{
+    const __m128d t =
+        _mm_round_pd(v, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);
+    const __m128d d = _mm_sub_pd(v, t);
+    const __m128d inc_pos =
+        _mm_and_pd(_mm_cmpge_pd(d, half), one);
+    const __m128d inc_neg = _mm_and_pd(
+        _mm_cmpge_pd(_mm_sub_pd(_mm_setzero_pd(), d), half), one);
+    __m128d r = _mm_add_pd(t, _mm_sub_pd(inc_pos, inc_neg));
+    r = _mm_min_pd(_mm_max_pd(r, dmin), dmax);
+    return _mm_cvttpd_epi32(r); // 2 int32 in the low half
+}
+
+void
+quantizeDoubleSse4(const double *in, std::int32_t *out, std::size_t n,
+                   int frac_bits, std::int32_t raw_min,
+                   std::int32_t raw_max)
+{
+    const double scale = std::ldexp(1.0, frac_bits);
+    const __m128d vscale = _mm_set1_pd(scale);
+    const __m128d dmin = _mm_set1_pd(static_cast<double>(raw_min));
+    const __m128d dmax = _mm_set1_pd(static_cast<double>(raw_max));
+    const __m128d half = _mm_set1_pd(0.5);
+    const __m128d one = _mm_set1_pd(1.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d v = _mm_mul_pd(_mm_loadu_pd(in + i), vscale);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(out + i),
+                         quantize2(v, dmin, dmax, half, one));
+    }
+    for (; i < n; ++i)
+        out[i] = detail::quantizeOne(in[i], scale, raw_min, raw_max);
+}
+
+void
+quantizeFloatSse4(const float *in, std::int32_t *out, std::size_t n,
+                  int frac_bits, std::int32_t raw_min,
+                  std::int32_t raw_max)
+{
+    const double scale = std::ldexp(1.0, frac_bits);
+    const __m128d vscale = _mm_set1_pd(scale);
+    const __m128d dmin = _mm_set1_pd(static_cast<double>(raw_min));
+    const __m128d dmax = _mm_set1_pd(static_cast<double>(raw_max));
+    const __m128d half = _mm_set1_pd(0.5);
+    const __m128d one = _mm_set1_pd(1.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d v = _mm_mul_pd(
+            _mm_cvtps_pd(_mm_castsi128_ps(_mm_loadl_epi64(
+                reinterpret_cast<const __m128i *>(in + i)))),
+            vscale);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(out + i),
+                         quantize2(v, dmin, dmax, half, one));
+    }
+    for (; i < n; ++i)
+        out[i] = detail::quantizeOne(static_cast<double>(in[i]), scale,
+                                     raw_min, raw_max);
+}
+
+void
+sampleWeightsSse4(const std::int32_t *mu, const std::int32_t *sigma,
+                  const std::int32_t *eps, std::int32_t *out,
+                  std::size_t n, const SampleParams &p)
+{
+    constexpr std::int64_t kI32Max = 2147483647;
+    const std::int64_t prod_max = p.sigmaAbsMax * p.epsAbsMax;
+    const std::int64_t sum_max =
+        -static_cast<std::int64_t>(p.wMin) + (prod_max >> p.epsShift);
+    if (prod_max > kI32Max || sum_max > kI32Max) {
+        scalarKernels().sampleWeights(mu, sigma, eps, out, n, p);
+        return;
+    }
+
+    const __m128i shift = _mm_cvtsi32_si128(p.epsShift);
+    const __m128i wmin = _mm_set1_epi32(p.wMin);
+    const __m128i wmax = _mm_set1_epi32(p.wMax);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128i sv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(sigma + i));
+        const __m128i ev = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(eps + i));
+        const __m128i mv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(mu + i));
+        const __m128i scaled =
+            _mm_sra_epi32(_mm_mullo_epi32(sv, ev), shift);
+        __m128i w = _mm_add_epi32(mv, scaled);
+        w = _mm_min_epi32(_mm_max_epi32(w, wmin), wmax);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i), w);
+    }
+    for (; i < n; ++i)
+        out[i] = detail::sampleOne(mu[i], sigma[i], eps[i], p);
+}
+
+void
+packInt16Sse4(const std::int32_t *in, std::int16_t *out, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + i));
+        const __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in + i + 4));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         _mm_packs_epi32(a, b));
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<std::int16_t>(in[i]);
+}
+
+inline std::int64_t
+gemmRowS32x1(const std::int32_t *w, const std::int32_t *x,
+             std::size_t n)
+{
+    __m128i acc = _mm_setzero_si128();
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        const __m128i wv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(w + k));
+        const __m128i xv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(x + k));
+        acc = _mm_add_epi64(acc, _mm_mul_epi32(wv, xv));
+        acc = _mm_add_epi64(acc,
+                            _mm_mul_epi32(_mm_srli_epi64(wv, 32),
+                                          _mm_srli_epi64(xv, 32)));
+    }
+    return hsum64(acc) + detail::dotTail(w, x, k, n);
+}
+
+void
+gemmBatchSse4(const GemmArgs &a)
+{
+    for (std::size_t o = 0; o < a.outDim; ++o) {
+        const std::int32_t *w = a.weights + o * a.ldw;
+        const std::int64_t bias = a.bias[o];
+        std::int32_t *out_row = a.out + o * a.outNeuronStride;
+        for (std::size_t b = 0; b < a.images; ++b) {
+            const std::int64_t acc =
+                gemmRowS32x1(w, a.acts + b * a.lda, a.inDim);
+            out_row[b * a.outImageStride] =
+                gemmFinish(acc, bias, a.finish);
+        }
+    }
+}
+
+} // namespace
+
+const KernelOps &
+sse4Kernels()
+{
+    static const KernelOps ops = {
+        "sse4",           &quantizeDoubleSse4, &quantizeFloatSse4,
+        &sampleWeightsSse4, &packInt16Sse4,    &gemmBatchSse4,
+    };
+    return ops;
+}
+
+} // namespace vibnn::accel::kernels
+
+#endif // x86

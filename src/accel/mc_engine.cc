@@ -103,6 +103,10 @@ McEngine::runUnits(const float *xs, std::size_t count, std::size_t stride)
     const std::size_t replica_count =
         std::max<std::size_t>(1, std::min(executors_, units));
     ensureReplicas(replica_count);
+    // Unit-level scheduling owns the pool here; revoke any intra-pass
+    // grant so a backend cannot fan out underneath it.
+    for (auto &replica : replicas_)
+        replica.executor->setWorkPool(nullptr);
 
     // Static unit assignment: replica r owns units r, r+R, r+2R, ...
     // Outputs depend only on the unit (seeded stream + pure pass), so
@@ -142,6 +146,19 @@ McEngine::runRoundsBatch(const float *xs, std::size_t count,
         std::max<std::size_t>(1, std::min(executors_, rounds));
     ensureReplicas(replica_count);
 
+    // Oversubscription guard: when round-level scheduling fans the
+    // rounds over the pool (replica_count > 1), backends must not
+    // also fan the image dimension over the same workers. With a
+    // single replica the rounds run serially, so the pool is free —
+    // hand it to the backend for intra-pass (image-dim) parallelism;
+    // weights are frozen per round, so results stay bit-identical
+    // either way.
+    ThreadPool *pool =
+        mc_.threads == 0 ? &ThreadPool::global() : ownPool_.get();
+    const bool round_level = pool != nullptr && replica_count > 1;
+    for (auto &replica : replicas_)
+        replica.executor->setWorkPool(round_level ? nullptr : pool);
+
     // Static round assignment, mirroring runUnits: replica r owns
     // rounds r, r+R, r+2R, ... A round's output depends only on its
     // seeded stream and the batch, so the partition is a performance
@@ -160,9 +177,7 @@ McEngine::runRoundsBatch(const float *xs, std::size_t count,
         }
     };
 
-    ThreadPool *pool =
-        mc_.threads == 0 ? &ThreadPool::global() : ownPool_.get();
-    if (pool && replica_count > 1)
+    if (round_level)
         pool->parallelFor(replica_count, run_replica);
     else
         for (std::size_t r = 0; r < replica_count; ++r)

@@ -16,7 +16,13 @@
  *    WHOLE batch, seeded from roundSeed(seedBase, r). On a backend
  *    with caps().batchedRounds (the "batched" weight-reuse path) one
  *    weight sample per compute op serves every image of the round, so
- *    the batch costs T rounds instead of T x B passes.
+ *    the batch costs T rounds instead of T x B passes. When only one
+ *    replica runs (rounds execute serially), the engine instead hands
+ *    the pool to the backend via Executor::setWorkPool so it can
+ *    parallelize the image dimension inside each round; with multiple
+ *    replicas the grant is revoked — round-level scheduling owns the
+ *    workers, and intra-pass fan-out underneath it would oversubscribe
+ *    them.
  *
  * Determinism is by construction schedule-independent in both modes:
  * a unit's output is a pure function of (input(s), seeded eps stream),

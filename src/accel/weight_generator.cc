@@ -12,17 +12,32 @@ WeightGenerator::WeightGenerator(const DatapathKernel &kernel,
     VIBNN_ASSERT(generator != nullptr, "weight generator needs a GRNG");
     epsReal_.resize(epsBlock);
     epsRaw_.resize(epsBlock);
+
+    // Fixed-point formats cap at 32 bits, so the raw ranges always fit
+    // the int32 kernel parameters.
+    sampleParams_.epsShift = kernel_.eps.fracBits();
+    sampleParams_.wMin =
+        static_cast<std::int32_t>(kernel_.weight.rawMin());
+    sampleParams_.wMax =
+        static_cast<std::int32_t>(kernel_.weight.rawMax());
+    // |sigma| is bounded by the weight grid it was quantized onto and
+    // |eps| by the eps grid (both rawMin magnitudes, the larger side).
+    sampleParams_.sigmaAbsMax = -kernel_.weight.rawMin();
+    sampleParams_.epsAbsMax = -kernel_.eps.rawMin();
 }
 
 void
 WeightGenerator::refill()
 {
     generator_->fill(epsReal_.data(), epsBlock);
-    // Batch float->fixed conversion: one tight loop per block instead
-    // of one call per consumed sample.
-    for (std::size_t i = 0; i < epsBlock; ++i)
-        epsRaw_[i] =
-            kernel_.eps.fromReal(epsReal_[i], fixed::RoundMode::Nearest);
+    // Batch float->fixed conversion through the dispatched SIMD tier:
+    // one vectorized pass per block instead of one fromReal call per
+    // consumed sample.
+    kernels::activeKernels().quantizeDouble(
+        epsReal_.data(), epsRaw_.data(), epsBlock,
+        kernel_.eps.fracBits(),
+        static_cast<std::int32_t>(kernel_.eps.rawMin()),
+        static_cast<std::int32_t>(kernel_.eps.rawMax()));
     epsPos_ = 0;
     epsFill_ = epsBlock;
 }

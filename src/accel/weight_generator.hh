@@ -11,11 +11,15 @@
  *
  * The eps stream is produced in blocks: the GRNG's block fill() API
  * refills a ring of pre-converted fixed-point eps values, and the
- * float->fixed conversion runs as one tight batch loop per refill
- * instead of per consumed sample. Consumers either draw scalars
- * (nextEpsRaw) or sample whole WPMem words at once (sampleBlock); both
- * observe the identical stream a per-sample next() implementation
- * would, because fill() is bit-compatible with next() by contract.
+ * float->fixed conversion runs through the SIMD kernel layer's
+ * quantizeDouble once per refill (eps formats are <= 32 bits, so the
+ * ring holds int32). Consumers either draw scalars (nextEpsRaw),
+ * sample whole WPMem words at once (sampleBlock), or use the fused
+ * sampleBlockFused path that emits int32 arena weights straight from
+ * the vectorized mu + sigma * eps kernel; all observe the identical
+ * stream a per-sample next() implementation would, because fill() is
+ * bit-compatible with next() by contract and the kernel tiers are
+ * bit-exact against the scalar reference.
  */
 
 #ifndef VIBNN_ACCEL_WEIGHT_GENERATOR_HH
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "accel/config.hh"
+#include "accel/kernels/kernels.hh"
 #include "grng/generator.hh"
 
 namespace vibnn::accel
@@ -80,10 +85,40 @@ class WeightGenerator
                 refill();
             const std::size_t take =
                 std::min(count - i, epsFill_ - epsPos_);
-            const std::int64_t *eps = epsRaw_.data() + epsPos_;
+            const std::int32_t *eps = epsRaw_.data() + epsPos_;
             for (std::size_t j = 0; j < take; ++j)
                 weights[i + j] = kernel_.sampleWeight(
                     mu_raw[i + j], sigma_raw[i + j], eps[j]);
+            epsPos_ += take;
+            i += take;
+        }
+        samplesDrawn_ += count;
+    }
+
+    /**
+     * The fused arena path: identical eps consumption and updater
+     * arithmetic as sampleBlock (bit-exact, ctest-pinned), but the
+     * sampled weights land directly in an int32 destination through
+     * the dispatched SIMD kernel — no int64 staging, no second
+     * narrowing pass. Weight grids are <= 32 bits, so the narrowing is
+     * lossless by construction (the updater saturates on the weight
+     * grid before the store).
+     */
+    void
+    sampleBlockFused(const std::int32_t *mu_raw,
+                     const std::int32_t *sigma_raw,
+                     std::int32_t *weights, std::size_t count)
+    {
+        const auto &ops = kernels::activeKernels();
+        std::size_t i = 0;
+        while (i < count) {
+            if (epsPos_ >= epsFill_)
+                refill();
+            const std::size_t take =
+                std::min(count - i, epsFill_ - epsPos_);
+            ops.sampleWeights(mu_raw + i, sigma_raw + i,
+                              epsRaw_.data() + epsPos_, weights + i,
+                              take, sampleParams_);
             epsPos_ += take;
             i += take;
         }
@@ -111,12 +146,15 @@ class WeightGenerator
 
     DatapathKernel kernel_;
     grng::GaussianGenerator *generator_;
+    /** Precomputed fused-sampling kernel parameters (from kernel_). */
+    kernels::SampleParams sampleParams_;
     std::uint64_t samplesDrawn_ = 0;
 
     /** Real-valued staging for the GRNG block fill. */
     std::vector<double> epsReal_;
-    /** The fixed-point eps ring. */
-    std::vector<std::int64_t> epsRaw_;
+    /** The fixed-point eps ring (eps grids are <= 32 bits; aligned for
+     *  the SIMD tiers). */
+    kernels::AlignedVector<std::int32_t> epsRaw_;
     std::size_t epsPos_ = 0;
     std::size_t epsFill_ = 0;
 };

@@ -66,9 +66,8 @@ ThreadPool::parallelFor(std::size_t count,
     // instead of O(count). An 8x oversubscription over the party count
     // keeps the tail balanced when iteration costs vary; small ranges
     // degrade to chunk == 1, i.e. the old per-index behavior.
-    const std::size_t parties = workers_.size() + 1;
     const std::size_t chunk =
-        std::max<std::size_t>(1, count / (parties * 8));
+        std::max<std::size_t>(1, count / (parties() * 8));
     const std::size_t num_chunks = (count + chunk - 1) / chunk;
 
     std::atomic<std::size_t> next_index{0};

@@ -39,6 +39,12 @@ class ThreadPool
     /** Number of worker threads (may be zero on single-core hosts). */
     std::size_t workerCount() const { return workers_.size(); }
 
+    /** Concurrent runners a parallelFor can field: the workers plus
+     *  the calling thread — the natural shard count for callers that
+     *  statically partition work (McEngine replicas, the batched
+     *  executor's image shards). */
+    std::size_t parties() const { return workers_.size() + 1; }
+
     /**
      * Run body(i) for every i in [0, count), splitting the range across
      * the callers thread and the workers. Runners claim chunked index

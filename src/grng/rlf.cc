@@ -38,8 +38,15 @@ int
 RlfLogic::step()
 {
     const int n = length();
-    auto apply_xor = [this, n](int offset, std::uint8_t source) {
-        const int position = (head_ + offset) % n;
+    // Every index taken here is head_ + offset with head_ < n and
+    // offset <= n - 1, so one conditional subtract replaces the
+    // modulo — this is the eps-stream hot path, and the integer
+    // divisions were most of its cost.
+    const auto wrap = [n](int position) {
+        return position >= n ? position - n : position;
+    };
+    auto apply_xor = [this, wrap](int offset, std::uint8_t source) {
+        const int position = wrap(head_ + offset);
         const std::uint8_t old_bit = state_[position];
         const std::uint8_t new_bit = old_bit ^ source;
         state_[position] = new_bit;
@@ -51,18 +58,18 @@ RlfLogic::step()
         const std::uint8_t head_bit = state_[head_];
         for (int t : taps_)
             apply_xor(t, head_bit);
-        head_ = (head_ + 1) % n;
+        head_ = wrap(head_ + 1);
     } else {
         // Equation (12): two logical steps fused. Offsets t get the
         // first head, offsets t+1 get the second head; the shared
         // offset (t3 = t2 + 1 for the {250,252,253} pattern) gets both.
         const std::uint8_t head0 = state_[head_];
-        const std::uint8_t head1 = state_[(head_ + 1) % n];
+        const std::uint8_t head1 = state_[wrap(head_ + 1)];
         for (int t : taps_)
             apply_xor(t, head0);
         for (int t : taps_)
             apply_xor(t + 1, head1);
-        head_ = (head_ + 2) % n;
+        head_ = wrap(head_ + 2);
     }
     return sum_;
 }

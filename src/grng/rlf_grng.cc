@@ -83,14 +83,19 @@ RlfGrng::nextCycleCounts(std::vector<int> &out)
 
     // Output multiplexing: within each group of four lanes, output port
     // p serves lane (p + cycle) % group_size this cycle. The rotating
-    // select is shared by all groups (one controller).
+    // select is shared by all groups (one controller). Full groups use
+    // the power-of-two mask instead of the per-port division — this
+    // loop runs once per emitted sample and the divisions dominated it.
     const std::size_t n = lanes_.size();
+    const auto rot = static_cast<std::size_t>(cycle_);
     for (std::size_t base = 0; base < n; base += 4) {
         const std::size_t group = std::min<std::size_t>(4, n - base);
-        for (std::size_t port = 0; port < group; ++port) {
-            const std::size_t lane =
-                base + (port + static_cast<std::size_t>(cycle_)) % group;
-            out[base + port] = raw[lane];
+        if (group == 4) {
+            for (std::size_t port = 0; port < 4; ++port)
+                out[base + port] = raw[base + ((port + rot) & 3)];
+        } else {
+            for (std::size_t port = 0; port < group; ++port)
+                out[base + port] = raw[base + (port + rot) % group];
         }
     }
     ++cycle_;

@@ -9,6 +9,7 @@
 
 #include "bnn/bayesian_cnn.hh"
 #include "bnn/bayesian_mlp.hh"
+#include "accel/kernels/kernels.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "core/model_io.hh"
@@ -451,6 +452,12 @@ InferenceSession::Builder::build()
 }
 
 // ---- session proper
+
+const char *
+InferenceSession::kernelName()
+{
+    return accel::kernels::activeKernelName();
+}
 
 InferenceSession::InferenceSession(accel::QuantizedProgram program,
                                    const accel::AcceleratorConfig &config,

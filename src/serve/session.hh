@@ -329,6 +329,12 @@ class InferenceSession
     /** The executor backend id the session actually runs on. */
     const std::string &backendId() const { return backendId_; }
 
+    /** The SIMD kernel tier the backends dispatch to ("scalar",
+     *  "sse4", "avx2") — serving introspection, so a deployment can
+     *  log which datapath it is actually running (the tiers are
+     *  bit-exact, so this only explains throughput). */
+    static const char *kernelName();
+
   private:
     struct Queued;
 

@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Tests for the SIMD kernel layer (accel/kernels/): bit-exactness of
+ * every available dispatch tier against the scalar reference — and of
+ * the scalar reference against the DatapathKernel / FixedPointFormat
+ * arithmetic it mirrors — across registered fixed-point formats, odd
+ * and prime sizes that exercise tail lanes, and saturation at the grid
+ * bounds; the fused WeightGenerator::sampleBlockFused path against the
+ * classic sampleBlock staging path; activation-range saturation of the
+ * int32-narrowed batched path; and thread-count invariance (1/2/5
+ * runners) plus tile-size invariance of the intra-pass parallel
+ * BatchedRunner on synth images.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "accel/batched_runner.hh"
+#include "accel/config.hh"
+#include "accel/kernels/kernels.hh"
+#include "accel/program.hh"
+#include "accel/weight_generator.hh"
+#include "bnn/bayesian_cnn.hh"
+#include "bnn/bayesian_mlp.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "fixed/fixed_point.hh"
+#include "grng/registry.hh"
+
+using namespace vibnn;
+using namespace vibnn::accel;
+namespace k = vibnn::accel::kernels;
+
+namespace
+{
+
+/** The fixed-point grids the datapath registers across the bit-length
+ *  sweep (Figure 18): activation Q(B, B-4), weight Q(B, B-2), eps
+ *  Q(8, 5), plus wider formats that defeat the int16/int32 SIMD fast
+ *  paths so their fallbacks are exercised too. */
+const fixed::FixedPointFormat kFormats[] = {
+    {8, 5},  {8, 4},   {8, 6},  {6, 3},   {4, 0},
+    {12, 8}, {16, 10}, {16, 0}, {24, 16}, {32, 24},
+};
+
+std::vector<double>
+probeValues(const fixed::FixedPointFormat &fmt, std::uint64_t seed,
+            std::size_t count)
+{
+    Rng rng(seed);
+    std::vector<double> values;
+    // Ties (k + 0.5 LSBs), the largest double below one half, the
+    // saturation bounds and beyond, and zero: the rounding edge cases
+    // `round half away from zero` has to get right.
+    const double res = fmt.resolution();
+    values.insert(values.end(),
+                  {0.0, 0.5 * res, -0.5 * res, 1.5 * res, -2.5 * res,
+                   0.49999999999999994 * res, -0.49999999999999994 * res,
+                   fmt.realMax(), fmt.realMin(), fmt.realMax() + 7.3,
+                   fmt.realMin() - 7.3, fmt.realMax() * 2.5,
+                   fmt.realMin() * 2.5});
+    while (values.size() < count)
+        values.push_back((rng.uniform() * 2.0 - 1.0) *
+                         (fmt.realMax() * 1.25));
+    return values;
+}
+
+/** Weight/activation raws uniform over the format's full raw range. */
+std::vector<std::int32_t>
+randomRaws(const fixed::FixedPointFormat &fmt, std::uint64_t seed,
+           std::size_t count)
+{
+    Rng rng(seed);
+    const auto lo = fmt.rawMin();
+    const auto span =
+        static_cast<std::uint64_t>(fmt.rawMax() - fmt.rawMin() + 1);
+    std::vector<std::int32_t> raws(count);
+    for (auto &r : raws)
+        r = static_cast<std::int32_t>(
+            lo + static_cast<std::int64_t>(rng.uniformInt(span)));
+    return raws;
+}
+
+AcceleratorConfig
+smallConfig(int mc_samples = 1)
+{
+    AcceleratorConfig config;
+    config.peSets = 2;
+    config.pesPerSet = 4;
+    config.mcSamples = mc_samples;
+    return config;
+}
+
+std::vector<float>
+randomBatch(std::size_t count, std::size_t dim, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> xs(count * dim);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.uniform());
+    return xs;
+}
+
+/** Drive one full round on a fresh stream and return the raw batch
+ *  outputs. */
+std::vector<std::int64_t>
+roundOutputs(BatchedRunner &runner, const std::vector<float> &xs,
+             std::size_t count, std::size_t dim, std::uint64_t seed)
+{
+    auto gen = grng::makeGenerator("rlf", seed);
+    runner.setGenerator(gen.get());
+    std::vector<std::int64_t> out(count * runner.program().outputDim());
+    runner.runRoundBatch(xs.data(), count, dim, out.data());
+    return out;
+}
+
+} // namespace
+
+TEST(KernelDispatch, ScalarTierAlwaysAvailableAndActiveTierListed)
+{
+    const auto tiers = k::availableKernels();
+    ASSERT_FALSE(tiers.empty());
+    EXPECT_STREQ(tiers.front()->name, "scalar");
+    EXPECT_NE(k::kernelsByName("scalar"), nullptr);
+    EXPECT_EQ(k::kernelsByName("no-such-tier"), nullptr);
+
+    bool active_listed = false;
+    for (const auto *tier : tiers)
+        active_listed |= std::string(tier->name) == k::activeKernelName();
+    EXPECT_TRUE(active_listed)
+        << "active tier " << k::activeKernelName()
+        << " missing from availableKernels()";
+}
+
+TEST(KernelQuantize, MatchesFromRealAcrossFormatsAndTiers)
+{
+    for (const auto &fmt : kFormats) {
+        // Prime count: every tier gets a ragged tail.
+        const auto values = probeValues(fmt, 101 + fmt.totalBits(), 257);
+        const std::size_t n = values.size();
+        std::vector<float> floats(values.begin(), values.end());
+
+        std::vector<std::int32_t> got(n);
+        for (const auto *tier : k::availableKernels()) {
+            tier->quantizeDouble(values.data(), got.data(), n,
+                                 fmt.fracBits(),
+                                 static_cast<std::int32_t>(fmt.rawMin()),
+                                 static_cast<std::int32_t>(fmt.rawMax()));
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(got[i], fmt.fromReal(values[i]))
+                    << tier->name << " " << fmt.name() << " value "
+                    << values[i];
+
+            tier->quantizeFloat(floats.data(), got.data(), n,
+                                fmt.fracBits(),
+                                static_cast<std::int32_t>(fmt.rawMin()),
+                                static_cast<std::int32_t>(fmt.rawMax()));
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(got[i],
+                          fmt.fromReal(static_cast<double>(floats[i])))
+                    << tier->name << " " << fmt.name() << " float value "
+                    << floats[i];
+        }
+    }
+}
+
+TEST(KernelSampleWeights, MatchesDatapathKernelAcrossFormatsAndTiers)
+{
+    const fixed::FixedPointFormat eps_formats[] = {{8, 5}, {16, 10}};
+    for (const auto &wfmt : kFormats) {
+        for (const auto &efmt : eps_formats) {
+            // Prime count for tail lanes. Wide formats push the
+            // sigma*eps bound past int32 and exercise the SIMD tiers'
+            // scalar fallback branch.
+            const std::size_t n = 131;
+            const auto mu = randomRaws(wfmt, 7, n);
+            const auto sigma = randomRaws(wfmt, 11, n);
+            const auto eps = randomRaws(efmt, 13, n);
+
+            DatapathKernel kernel({8, 4}, wfmt, efmt);
+            k::SampleParams params;
+            params.epsShift = efmt.fracBits();
+            params.wMin = static_cast<std::int32_t>(wfmt.rawMin());
+            params.wMax = static_cast<std::int32_t>(wfmt.rawMax());
+            params.sigmaAbsMax = -wfmt.rawMin();
+            params.epsAbsMax = -efmt.rawMin();
+
+            std::vector<std::int32_t> got(n);
+            for (const auto *tier : k::availableKernels()) {
+                tier->sampleWeights(mu.data(), sigma.data(), eps.data(),
+                                    got.data(), n, params);
+                for (std::size_t i = 0; i < n; ++i)
+                    ASSERT_EQ(got[i], kernel.sampleWeight(mu[i], sigma[i],
+                                                          eps[i]))
+                        << tier->name << " w=" << wfmt.name()
+                        << " eps=" << efmt.name() << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(KernelPack, PackInt16ExactOnOddSizes)
+{
+    Rng rng(5);
+    for (const std::size_t n : {1u, 7u, 16u, 17u, 97u}) {
+        std::vector<std::int32_t> in(n);
+        for (auto &v : in)
+            v = static_cast<std::int32_t>(
+                    rng.uniformInt(std::uint64_t{65536})) -
+                32768;
+        std::vector<std::int16_t> got(n);
+        for (const auto *tier : k::availableKernels()) {
+            tier->packInt16(in.data(), got.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_EQ(got[i], static_cast<std::int16_t>(in[i]))
+                    << tier->name << " n=" << n << " i=" << i;
+        }
+    }
+}
+
+namespace
+{
+
+/** Independent GEMM reference straight off DatapathKernel — pins the
+ *  scalar kernel tier (and through it every SIMD tier) to the
+ *  executor arithmetic, not just to itself. */
+void
+naiveGemm(const k::GemmArgs &a, const DatapathKernel &kernel,
+          std::vector<std::int32_t> &out)
+{
+    for (std::size_t o = 0; o < a.outDim; ++o) {
+        for (std::size_t b = 0; b < a.images; ++b) {
+            std::int64_t acc = 0;
+            for (std::size_t i = 0; i < a.inDim; ++i)
+                acc += static_cast<std::int64_t>(
+                           a.weights[o * a.ldw + i]) *
+                    a.acts[b * a.lda + i];
+            const std::int64_t v = a.finish.relu
+                ? kernel.finishNeuron(acc, a.bias[o])
+                : kernel.finishOutputNeuron(acc, a.bias[o]);
+            out[o * a.outNeuronStride + b * a.outImageStride] =
+                static_cast<std::int32_t>(v);
+        }
+    }
+}
+
+} // namespace
+
+TEST(KernelGemm, MatchesDatapathFinishAcrossSizesTiersAndLayouts)
+{
+    // Odd/prime shapes exercise both the k tails (8/16-lane vectors)
+    // and the image tails (4-image register tile).
+    struct Shape
+    {
+        std::size_t inDim, outDim, images;
+    };
+    const Shape shapes[] = {
+        {1, 1, 1},  {3, 2, 5},   {7, 5, 4},   {17, 3, 13},
+        {31, 7, 6}, {97, 11, 9}, {128, 4, 8},
+    };
+    const fixed::FixedPointFormat act{8, 4}, weight{8, 6};
+    DatapathKernel kernel(act, weight, {8, 5});
+
+    for (const auto &shape : shapes) {
+        for (const bool relu : {true, false}) {
+            for (const bool neuron_major : {false, true}) {
+                const std::size_t ldw = shape.inDim + 3; // padded strides
+                const std::size_t lda = shape.inDim + 5;
+                auto weights =
+                    randomRaws(weight, 17 + shape.inDim,
+                               shape.outDim * ldw);
+                auto acts =
+                    randomRaws(act, 19 + shape.images, shape.images * lda);
+                auto bias = randomRaws(weight, 23, shape.outDim);
+
+                k::GemmArgs args;
+                args.weights = weights.data();
+                args.ldw = ldw;
+                args.acts = acts.data();
+                args.lda = lda;
+                args.bias = bias.data();
+                args.inDim = shape.inDim;
+                args.outDim = shape.outDim;
+                args.images = shape.images;
+                if (neuron_major) {
+                    args.outNeuronStride = shape.images;
+                    args.outImageStride = 1;
+                } else {
+                    args.outNeuronStride = 1;
+                    args.outImageStride = shape.outDim;
+                }
+                args.finish.biasShift = act.fracBits();
+                args.finish.outShift = weight.fracBits();
+                args.finish.outMin =
+                    static_cast<std::int32_t>(act.rawMin());
+                args.finish.outMax =
+                    static_cast<std::int32_t>(act.rawMax());
+                args.finish.relu = relu;
+
+                std::vector<std::int32_t> expected(shape.outDim *
+                                                   shape.images);
+                naiveGemm(args, kernel, expected);
+
+                // 8-bit operands satisfy the int16 madd contract.
+                std::vector<std::int16_t> w16(weights.size());
+                std::vector<std::int16_t> a16(acts.size());
+                k::scalarKernels().packInt16(weights.data(), w16.data(),
+                                             weights.size());
+                k::scalarKernels().packInt16(acts.data(), a16.data(),
+                                             acts.size());
+
+                std::vector<std::int32_t> got(expected.size());
+                args.out = got.data();
+                for (const auto *tier : k::availableKernels()) {
+                    for (const bool use16 : {false, true}) {
+                        args.weights16 = use16 ? w16.data() : nullptr;
+                        args.acts16 = use16 ? a16.data() : nullptr;
+                        std::fill(got.begin(), got.end(), -12345);
+                        tier->gemmBatch(args);
+                        ASSERT_EQ(got, expected)
+                            << tier->name << " inDim=" << shape.inDim
+                            << " images=" << shape.images
+                            << " relu=" << relu << " use16=" << use16
+                            << " neuronMajor=" << neuron_major;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(KernelGemm, SaturatesOnActivationBoundsNotInt32)
+{
+    // Extreme operands drive the accumulator far past the activation
+    // grid: the finish stage must clamp at the format bounds in every
+    // tier (the int32 narrowing never truncates, it saturates).
+    const fixed::FixedPointFormat act{8, 4}, weight{8, 6};
+    DatapathKernel kernel(act, weight, {8, 5});
+    const std::size_t in_dim = 33, images = 5;
+    std::vector<std::int32_t> weights(in_dim, 127);  // rawMax
+    std::vector<std::int32_t> acts(images * in_dim, 127);
+    for (std::size_t i = 0; i < in_dim; i += 2)
+        acts[in_dim + i] = -128; // one image swings negative
+    std::vector<std::int32_t> bias = {-128};
+
+    k::GemmArgs args;
+    args.weights = weights.data();
+    args.ldw = in_dim;
+    args.acts = acts.data();
+    args.lda = in_dim;
+    args.bias = bias.data();
+    args.inDim = in_dim;
+    args.outDim = 1;
+    args.images = images;
+    args.outNeuronStride = 1;
+    args.outImageStride = 1;
+    args.finish.biasShift = act.fracBits();
+    args.finish.outShift = weight.fracBits();
+    args.finish.outMin = static_cast<std::int32_t>(act.rawMin());
+    args.finish.outMax = static_cast<std::int32_t>(act.rawMax());
+
+    std::vector<std::int32_t> expected(images);
+    for (const bool relu : {true, false}) {
+        args.finish.relu = relu;
+        naiveGemm(args, kernel, expected);
+        for (const auto v : expected) {
+            ASSERT_GE(v, args.finish.outMin);
+            ASSERT_LE(v, args.finish.outMax);
+        }
+        std::vector<std::int32_t> got(images);
+        for (const auto *tier : k::availableKernels()) {
+            args.out = got.data();
+            tier->gemmBatch(args);
+            ASSERT_EQ(got, expected) << tier->name << " relu=" << relu;
+        }
+    }
+}
+
+TEST(KernelFusedSampling, SampleBlockFusedMatchesStagedSampleBlock)
+{
+    // Crossing the 4096-eps ring boundary at a prime stride pins the
+    // chunked fused path to the classic staged path on the identical
+    // eps stream.
+    const fixed::FixedPointFormat act{8, 4}, weight{8, 6}, eps{8, 5};
+    DatapathKernel kernel(act, weight, eps);
+    const std::size_t n = 10007;
+    const auto mu = randomRaws(weight, 29, n);
+    const auto sigma = randomRaws(weight, 31, n);
+
+    auto gen_a = grng::makeGenerator("rlf", 77);
+    WeightGenerator staged(kernel, gen_a.get());
+    std::vector<std::int64_t> expected(n);
+    staged.sampleBlock(mu.data(), sigma.data(), expected.data(), n);
+
+    auto gen_b = grng::makeGenerator("rlf", 77);
+    WeightGenerator fused(kernel, gen_b.get());
+    std::vector<std::int32_t> got(n);
+    fused.sampleBlockFused(mu.data(), sigma.data(), got.data(), n);
+
+    EXPECT_EQ(staged.samplesDrawn(), fused.samplesDrawn());
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(static_cast<std::int64_t>(got[i]), expected[i])
+            << "i=" << i;
+}
+
+TEST(KernelFusedSampling, EpsRingMatchesPerSampleConversion)
+{
+    // The vectorized refill conversion must reproduce the per-sample
+    // fromReal stream exactly.
+    const fixed::FixedPointFormat eps{8, 5};
+    DatapathKernel kernel({8, 4}, {8, 6}, eps);
+    auto gen = grng::makeGenerator("rlf", 99);
+    WeightGenerator wg(kernel, gen.get());
+
+    auto ref_gen = grng::makeGenerator("rlf", 99);
+    std::vector<double> real(WeightGenerator::epsBlock);
+    ref_gen->fill(real.data(), real.size());
+    for (std::size_t i = 0; i < real.size(); ++i)
+        ASSERT_EQ(wg.nextEpsRaw(), eps.fromReal(real[i])) << "i=" << i;
+}
+
+TEST(BatchedRunnerParallel, ThreadCountInvariantOnMlpAndCnn)
+{
+    const auto config = smallConfig();
+
+    Rng mlp_rng(3);
+    bnn::BayesianMlp mlp({24, 16, 4}, mlp_rng, /*rho_init=*/-2.0f);
+    const auto mlp_program = compile(mlp, config);
+
+    nn::ConvNetConfig cnn_cfg;
+    cnn_cfg.inChannels = 1;
+    cnn_cfg.imageHeight = 8;
+    cnn_cfg.imageWidth = 8;
+    cnn_cfg.blocks = {{/*outChannels=*/3, /*kernel=*/3, /*stride=*/1,
+                       /*pad=*/1, /*pool=*/true, /*poolWindow=*/2}};
+    cnn_cfg.denseHidden = {12};
+    cnn_cfg.numClasses = 4;
+    Rng cnn_rng(4);
+    bnn::BayesianConvNet cnn(cnn_cfg, cnn_rng, /*rho_init=*/-2.0f);
+    const auto cnn_program = compile(cnn, config);
+
+    for (const auto *program : {&mlp_program, &cnn_program}) {
+        const std::size_t dim = program->inputDim();
+        const std::size_t count = 23; // odd: ragged shard boundaries
+        const auto xs = randomBatch(count, dim, 55);
+
+        auto idle = grng::makeGenerator("rlf", 1);
+        BatchedRunner runner(*program, config, idle.get());
+        const auto serial = roundOutputs(runner, xs, count, dim, 42);
+
+        // 1/2/5 concurrent runners: a pool's parties() is workers + 1.
+        for (const std::size_t workers : {0u, 1u, 4u}) {
+            ThreadPool pool(workers);
+            runner.setWorkPool(&pool);
+            const auto parallel = roundOutputs(runner, xs, count, dim, 42);
+            EXPECT_EQ(parallel, serial)
+                << "workers=" << workers << " program input dim=" << dim;
+            runner.setWorkPool(nullptr);
+        }
+    }
+}
+
+TEST(BatchedRunnerParallel, WideFormatsConstructAndRun)
+{
+    // The widest admissible grids (32-bit): the madd-eligibility bound
+    // must be computed without overflowing (UBSan-enforced in the
+    // sanitizer CI leg) and the round must still saturate on the
+    // format, not on int32.
+    QuantizedNetwork network;
+    network.activationFormat = {32, 28};
+    network.weightFormat = {32, 30};
+    network.epsFormat = {8, 5};
+    QuantizedLayer layer;
+    layer.inDim = 6;
+    layer.outDim = 3;
+    Rng rng(9);
+    const auto wfmt = network.weightFormat;
+    for (std::size_t i = 0; i < layer.inDim * layer.outDim; ++i) {
+        layer.muWeight.push_back(static_cast<std::int32_t>(
+            wfmt.fromReal(rng.uniform() * 2.0 - 1.0)));
+        layer.sigmaWeight.push_back(static_cast<std::int32_t>(
+            wfmt.fromReal(rng.uniform() * 0.25)));
+    }
+    for (std::size_t o = 0; o < layer.outDim; ++o) {
+        layer.muBias.push_back(static_cast<std::int32_t>(
+            wfmt.fromReal(rng.uniform() - 0.5)));
+        layer.sigmaBias.push_back(0);
+    }
+    network.layers.push_back(layer);
+    const auto program = programFromNetwork(network);
+
+    auto config = smallConfig();
+    config.peSets = 1;
+    config.pesPerSet = 2;
+    auto gen = grng::makeGenerator("rlf", 3);
+    BatchedRunner runner(program, config, gen.get());
+    const auto xs = randomBatch(5, layer.inDim, 21);
+    const auto out = roundOutputs(runner, xs, 5, layer.inDim, 8);
+    for (const auto v : out) {
+        EXPECT_GE(v, network.activationFormat.rawMin());
+        EXPECT_LE(v, network.activationFormat.rawMax());
+    }
+}
+
+TEST(BatchedRunnerParallel, GemmTileDoesNotChangeResults)
+{
+    const auto config = smallConfig();
+    Rng rng(6);
+    bnn::BayesianMlp net({24, 16, 4}, rng, /*rho_init=*/-2.0f);
+    const auto program = compile(net, config);
+    const std::size_t count = 19;
+    const auto xs = randomBatch(count, program.inputDim(), 77);
+
+    auto idle = grng::makeGenerator("rlf", 1);
+    BatchedRunner runner(program, config, idle.get());
+    const auto reference =
+        roundOutputs(runner, xs, count, program.inputDim(), 13);
+
+    for (const char *tile : {"1", "3", "64"}) {
+        ::setenv("VIBNN_GEMM_TILE", tile, 1);
+        auto idle2 = grng::makeGenerator("rlf", 1);
+        BatchedRunner tiled(program, config, idle2.get());
+        ::unsetenv("VIBNN_GEMM_TILE");
+        EXPECT_EQ(tiled.imageTile(),
+                  static_cast<std::size_t>(std::atoi(tile)));
+        const auto got =
+            roundOutputs(tiled, xs, count, program.inputDim(), 13);
+        EXPECT_EQ(got, reference) << "tile=" << tile;
+    }
+}

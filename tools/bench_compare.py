@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Gate bench throughput against a checked-in baseline.
+
+Both inputs are VIBNN_BENCH_JSON files (a JSON array of flat records,
+see bench/bench_util.hh). Records are matched on their identity fields
+(bench/section/backend/schedule/style/kernel/...) and every matched
+pair with an `images_per_s` value is compared: the run fails when a
+fresh value regresses more than --tolerance (default 10%) below its
+baseline. Faster-than-baseline is always fine — the gate is one-sided.
+Note that the kernel tier is part of the identity, so a scalar-forced
+run never gets judged against an avx2 baseline — it is simply reported
+as unmatched.
+
+Typical use (the CI kernel-matrix job, gating just the batched-path
+rows the PR 5 acceptance tracks):
+
+    VIBNN_BENCH_JSON=fresh.json ./build/bench_table5_throughput
+    python3 tools/bench_compare.py BENCH_PR5.json fresh.json \
+        --only backend=batched --only style=submit-coalesced
+
+--section restricts by section; --only key=value (repeatable) keeps
+records matching ANY given pair; a baseline record with no fresh
+counterpart is an error under --require-all (a silently skipped
+benchmark would otherwise look like a pass).
+"""
+
+import argparse
+import json
+import sys
+
+IDENTITY_KEYS = ("bench", "section", "backend", "schedule", "style",
+                 "kernel", "tier", "T", "batch", "requests")
+METRIC = "images_per_s"
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        records = json.load(handle)
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: expected a JSON array of records")
+    return records
+
+
+def identity(record):
+    return tuple((key, record[key]) for key in IDENTITY_KEYS
+                 if key in record)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--section", nargs="*", default=None,
+                        help="only compare records in these sections")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="KEY=VALUE",
+                        help="keep records matching any given key=value "
+                             "pair (repeatable)")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail if a comparable baseline record has "
+                             "no fresh counterpart")
+    parser.add_argument("--allow-unmatched", action="store_true",
+                        help="exit 0 when nothing matched at all "
+                             "(e.g. the fresh run used a different "
+                             "kernel tier than the baseline)")
+    args = parser.parse_args()
+
+    only = None
+    if args.only:
+        only = []
+        for pair in args.only:
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise SystemExit(f"--only expects key=value, got {pair!r}")
+            only.append((key, value))
+
+    baseline = {identity(r): r for r in load(args.baseline)
+                if METRIC in r}
+    fresh = {identity(r): r for r in load(args.fresh) if METRIC in r}
+
+    compared = 0
+    failures = []
+    missing = []
+    for key, base in sorted(baseline.items()):
+        if args.section is not None and base.get("section") not in \
+                args.section:
+            continue
+        if only is not None and not any(
+                str(base.get(k)) == v for k, v in only):
+            continue
+        other = fresh.get(key)
+        label = " ".join(f"{k}={v}" for k, v in key)
+        if other is None:
+            missing.append(label)
+            continue
+        compared += 1
+        base_v = float(base[METRIC])
+        fresh_v = float(other[METRIC])
+        floor = base_v * (1.0 - args.tolerance)
+        verdict = "ok" if fresh_v >= floor else "REGRESSION"
+        print(f"{verdict:10s} {label}: baseline {base_v:.1f} -> "
+              f"fresh {fresh_v:.1f} img/s (floor {floor:.1f})")
+        if fresh_v < floor:
+            failures.append(label)
+
+    if missing:
+        print(f"\n{len(missing)} baseline record(s) had no fresh "
+              "counterpart:")
+        for label in missing:
+            print(f"  missing: {label}")
+        if args.require_all:
+            return 1
+
+    if compared == 0:
+        if args.allow_unmatched:
+            print("warning: no comparable records (different kernel "
+                  "tier / host?) — skipping the gate")
+            return 0
+        print("error: no comparable records (identity fields or "
+              f"'{METRIC}' missing?)")
+        return 1
+    if failures:
+        print(f"\nFAIL: {len(failures)} of {compared} compared records "
+              f"regressed more than {args.tolerance:.0%}")
+        return 1
+    print(f"\nOK: {compared} records within {args.tolerance:.0%} of "
+          "baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
