@@ -121,10 +121,28 @@ main()
         v = real_rng.gaussian();
     std::vector<std::int32_t> converted(n);
 
+    // Eps generation: the transposed RLF cycle kernel (paper shape,
+    // 255 x 8 lanes), counts per second == eps per second.
+    const std::size_t rlf_cycles = 512;
+    std::vector<std::uint8_t> rlf_planes(255, 0);
+    std::vector<std::int32_t> rlf_sums(8, 0);
+    {
+        Rng seeder(11);
+        for (int lane = 0; lane < 8; ++lane) {
+            for (int p = 0; p < 255; ++p)
+                if (seeder.next() & 1) {
+                    rlf_planes[p] |=
+                        static_cast<std::uint8_t>(1u << lane);
+                    ++rlf_sums[lane];
+                }
+        }
+    }
+    std::vector<std::int32_t> rlf_counts(rlf_cycles * 8);
+
     bench::JsonReport report;
     TextTable table;
     table.setHeader({"tier", "GEMM s32 GMAC/s", "GEMM s16 GMAC/s",
-                     "sample M/s", "eps conv M/s"});
+                     "sample M/s", "eps conv M/s", "rlf eps M/s"});
     for (const auto *tier : k::availableKernels()) {
         gemm.weights16 = nullptr;
         gemm.acts16 = nullptr;
@@ -144,12 +162,22 @@ main()
                                  static_cast<std::int32_t>(eps.rawMin()),
                                  static_cast<std::int32_t>(eps.rawMax()));
         }) * static_cast<double>(n) / 1e6;
+        const double rlf_eps = rate([&] {
+            k::RlfState st;
+            st.planes = rlf_planes.data();
+            st.sums = rlf_sums.data();
+            st.length = 255;
+            st.groups = 1;
+            st.head = 0;
+            tier->rlfCycleCounts(st, rlf_cycles, rlf_counts.data());
+        }) * static_cast<double>(rlf_cycles * 8) / 1e6;
 
         const bool active =
             std::string(tier->name) == k::activeKernelName();
         table.addRow({std::string(tier->name) + (active ? " *" : ""),
                       strfmt("%.2f", gemm32), strfmt("%.2f", gemm16),
-                      strfmt("%.1f", sample), strfmt("%.1f", conv)});
+                      strfmt("%.1f", sample), strfmt("%.1f", conv),
+                      strfmt("%.1f", rlf_eps)});
         report.add(bench::JsonRecord()
                        .field("bench", "kernels")
                        .field("section", "kernels")
@@ -158,7 +186,8 @@ main()
                        .field("gemm_s32_gmacs", gemm32)
                        .field("gemm_s16_gmacs", gemm16)
                        .field("sample_ms", sample)
-                       .field("eps_conv_ms", conv));
+                       .field("eps_conv_ms", conv)
+                       .field("rlf_eps_ms", rlf_eps));
     }
     table.print();
     std::printf("\n(* = dispatch-selected; s16 column falls back to the "

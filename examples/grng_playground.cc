@@ -60,7 +60,7 @@ main(int argc, char **argv)
             ids.emplace_back(argv[i]);
     } else {
         ids = {"rlf", "bnnwallace", "wallace-nss", "wallace-1024",
-               "clt-lfsr", "ziggurat"};
+               "philox", "clt-lfsr", "ziggurat"};
     }
     for (const auto &id : ids)
         showGenerator(id);

@@ -111,8 +111,16 @@ class BatchedRunner : public Executor
     std::size_t imageTile() const { return imageTile_; }
 
   private:
-    /** Draw this round's weight set into the arena (op order). */
+    /** Draw this round's weight set into the arena (op order). With a
+     *  work pool and a splittable eps source (philox), the draw itself
+     *  shards across workers via the counter-based random-access path —
+     *  bit-identical to the sequential draw for any shard count. */
     void sampleRoundWeights();
+
+    /** Sharded body of sampleRoundWeights: sample global weight indices
+     *  [w0, w1) using eps stream offsets base + index. */
+    void sampleWeightRange(std::size_t shard, std::size_t w0,
+                           std::size_t w1, std::uint64_t base);
 
     /** Run body(shard, begin, end) over a static partition of
      *  [0, count) — parallel when a work pool is set, serial (one
@@ -172,6 +180,11 @@ class BatchedRunner : public Executor
      *  images never share staging). */
     std::vector<std::vector<std::int32_t>> patches_;
     std::vector<std::vector<std::int16_t>> patches16_;
+    /** Per-shard eps scratch for the sharded weight draw (sized in
+     *  setWorkPool; one chunk per shard, reused across ops). */
+    std::vector<kernels::AlignedVector<std::int32_t>> epsShard_;
+    /** Compute ops in op order, for the sharded draw's range walk. */
+    std::vector<std::size_t> computeOps_;
 
     /** Intra-pass worker pool (not owned; nullptr = serial). */
     ThreadPool *workPool_ = nullptr;

@@ -144,6 +144,36 @@ struct GemmArgs
     const std::int16_t *acts16 = nullptr;
 };
 
+/**
+ * Transposed lane-parallel RLF state — the eps-generation kernel's view
+ * of a whole RLF-GRNG (all lanes of rlf_grng.hh's RlfGrng at once).
+ *
+ * Instead of one byte-per-bit state vector per lane, lanes are packed
+ * eight to a bit-plane group: `planes` holds `groups` planes of
+ * `length` bytes each, and bit j of byte p in plane g is the state bit
+ * of lane (8 g + j) at position p. All lanes share one head index (the
+ * hardware's shared indexer), so one combined-update iteration is five
+ * byte-wide XOR/mask operations per group — every lane advances in the
+ * same pass, and the per-lane popcounts update incrementally from the
+ * flipped bits. Only the paper's combined update with the
+ * {n-5, n-3, n-2} tap pattern (true for length 255) is expressible in
+ * this layout; RlfGrng falls back to its per-lane RlfLogic path for
+ * anything else.
+ */
+struct RlfState
+{
+    /** Bit-plane state: groups planes of `length` bytes (see above). */
+    std::uint8_t *planes = nullptr;
+    /** Per-lane popcounts, groups * 8 entries, updated in place. */
+    std::int32_t *sums = nullptr;
+    /** State bits per lane (255 in the paper). */
+    int length = 0;
+    /** ceil(lanes / 8) bit-plane groups. */
+    int groups = 0;
+    /** Shared head position in [0, length); advanced by the kernel. */
+    int head = 0;
+};
+
 /** Parameters of the fused weight-sampling kernel — the arithmetic of
  *  DatapathKernel::sampleWeight. */
 struct SampleParams
@@ -194,6 +224,34 @@ struct KernelOps
 
     /** Batched GEMM + finish stage (see GemmArgs). */
     void (*gemmBatch)(const GemmArgs &args);
+
+    /**
+     * Advance `cycles` combined-update RLF iterations on every lane at
+     * once and record the post-iteration per-lane popcounts:
+     * counts[c * groups * 8 + lane] is lane's popcount after cycle c,
+     * in raw (pre-output-mux) lane order. Semantically identical to
+     * stepping `groups * 8` RlfLogic lanes (Combined mode,
+     * {n-5, n-3, n-2} taps) `cycles` times each — ctest-pinned
+     * bit-exact against exactly that. Updates st.planes, st.sums and
+     * st.head in place.
+     */
+    void (*rlfCycleCounts)(RlfState &st, std::size_t cycles,
+                           std::int32_t *counts);
+
+    /**
+     * One Wallace transform pass over the pool (WallaceGrng's hot
+     * loop): walk poolSize/4 quadruples of the stride permutation
+     * offset + m * stride (mod poolSize), Hadamard-transform each in
+     * place, and optionally stream the transformed values to `out`
+     * (4 * (poolSize / 4) entries, quadruple-major). The caller
+     * guarantees gcd(stride, poolSize) == 1, so every slot is distinct
+     * and vector tiers may process several quadruples concurrently;
+     * per-lane arithmetic order matches the scalar reference, so every
+     * tier is bit-exact.
+     */
+    void (*wallacePass)(double *pool, std::size_t poolSize,
+                        std::size_t offset, std::size_t stride,
+                        double *out);
 };
 
 /** The shared finish stage: bias add on the accumulator grid, optional

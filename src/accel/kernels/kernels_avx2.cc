@@ -321,6 +321,116 @@ gemmBatchAvx2(const GemmArgs &a)
     }
 }
 
+// ------------------------------------------------------ eps generation
+
+void
+rlfCycleCountsAvx2(RlfState &st, std::size_t cycles,
+                   std::int32_t *counts)
+{
+    if (st.length > INT16_MAX) { // int16 lane sums would overflow
+        scalarKernels().rlfCycleCounts(st, cycles, counts);
+        return;
+    }
+    const std::size_t stride = static_cast<std::size_t>(st.groups) * 8;
+    const int n = st.length;
+    for (int g = 0; g < st.groups; ++g) {
+        std::uint8_t *plane = st.planes + g * st.length;
+        std::int32_t *sums = st.sums + g * 8;
+        int head = st.head;
+        // All eight lane sums ride in one 8 x int16 register for the
+        // whole burst (popcounts <= length <= 32767); per cycle the
+        // flipped-bit deltas widen from the packed byte counters and
+        // the row lands with a single 256-bit convert + store.
+        __m128i sum16 = _mm_packs_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(sums)),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(sums + 4)));
+        for (std::size_t c = 0; c < cycles; ++c) {
+            std::uint64_t up = 0, down = 0;
+            detail::rlfStepGroup(plane, n, head, up, down);
+            const __m128i up16 = _mm_cvtepu8_epi16(_mm_cvtsi64_si128(
+                static_cast<long long>(up)));
+            const __m128i dn16 = _mm_cvtepu8_epi16(_mm_cvtsi64_si128(
+                static_cast<long long>(down)));
+            sum16 = _mm_add_epi16(sum16, _mm_sub_epi16(up16, dn16));
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(counts + c * stride + g * 8),
+                _mm256_cvtepi16_epi32(sum16));
+            head += 2;
+            if (head >= n)
+                head -= n;
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(sums),
+                            _mm256_cvtepi16_epi32(sum16));
+    }
+    st.head = static_cast<int>(
+        (static_cast<std::size_t>(st.head) + 2 * cycles) %
+        static_cast<std::size_t>(st.length));
+}
+
+void
+wallacePassAvx2(double *pool, std::size_t pool_size, std::size_t offset,
+                std::size_t stride, double *out)
+{
+    const std::size_t quads = pool_size / 4;
+    std::size_t pos = offset;
+    auto advance = [&pos, stride, pool_size]() {
+        const std::size_t at = pos;
+        pos += stride;
+        if (pos >= pool_size)
+            pos -= pool_size;
+        return at;
+    };
+
+    std::size_t q = 0;
+    // Four quadruples in flight: their 16 permutation slots are
+    // distinct whenever the pool holds >= 16 entries (stride is coprime
+    // to the pool size), so the block's reads never see the block's
+    // writes — exactly the scalar order's semantics. Per-lane
+    // arithmetic matches detail::wallaceQuad, so the tier is bit-exact.
+    if (pool_size >= 16) {
+        const __m256d half = _mm256_set1_pd(0.5);
+        for (; q + 4 <= quads; q += 4) {
+            std::size_t idx[16];
+            for (int i = 0; i < 16; ++i)
+                idx[i] = advance();
+            const __m256d x0 = _mm256_set_pd(
+                pool[idx[12]], pool[idx[8]], pool[idx[4]], pool[idx[0]]);
+            const __m256d x1 = _mm256_set_pd(
+                pool[idx[13]], pool[idx[9]], pool[idx[5]], pool[idx[1]]);
+            const __m256d x2 = _mm256_set_pd(pool[idx[14]],
+                                             pool[idx[10]],
+                                             pool[idx[6]],
+                                             pool[idx[2]]);
+            const __m256d x3 = _mm256_set_pd(pool[idx[15]],
+                                             pool[idx[11]],
+                                             pool[idx[7]],
+                                             pool[idx[3]]);
+            const __m256d t = _mm256_mul_pd(
+                half, _mm256_add_pd(
+                          _mm256_add_pd(_mm256_add_pd(x0, x1), x2),
+                          x3));
+            alignas(32) double ys[4][4];
+            _mm256_store_pd(ys[0], _mm256_sub_pd(t, x0));
+            _mm256_store_pd(ys[1], _mm256_sub_pd(t, x1));
+            _mm256_store_pd(ys[2], _mm256_sub_pd(x2, t));
+            _mm256_store_pd(ys[3], _mm256_sub_pd(x3, t));
+            for (int l = 0; l < 4; ++l)
+                for (int j = 0; j < 4; ++j)
+                    pool[idx[4 * l + j]] = ys[j][l];
+            if (out)
+                for (int l = 0; l < 4; ++l)
+                    for (int j = 0; j < 4; ++j)
+                        out[4 * (q + l) + j] = ys[j][l];
+        }
+    }
+    for (; q < quads; ++q) {
+        const std::size_t idx[4] = {advance(), advance(), advance(),
+                                    advance()};
+        detail::wallaceQuad(pool, idx, out ? out + 4 * q : nullptr);
+    }
+}
+
 } // namespace
 
 const KernelOps &
@@ -329,6 +439,7 @@ avx2Kernels()
     static const KernelOps ops = {
         "avx2",           &quantizeDoubleAvx2, &quantizeFloatAvx2,
         &sampleWeightsAvx2, &packInt16Avx2,    &gemmBatchAvx2,
+        &rlfCycleCountsAvx2, &wallacePassAvx2,
     };
     return ops;
 }

@@ -10,6 +10,7 @@
 #ifndef VIBNN_ACCEL_KERNELS_KERNELS_DETAIL_HH
 #define VIBNN_ACCEL_KERNELS_KERNELS_DETAIL_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -59,6 +60,136 @@ dotTail(const std::int32_t *w, const std::int32_t *x, std::size_t k0,
     for (std::size_t k = k0; k < n; ++k)
         acc += static_cast<std::int64_t>(w[k]) * x[k];
     return acc;
+}
+
+/** laneExpand()[b]: byte j of the result is bit j of b — one lookup
+ *  turns a flipped-bits byte into eight per-lane 0/1 counters, so a
+ *  u64 accumulator sums flip counts for all 8 lanes of a plane group
+ *  at once (each lane's count stays < 256, no carry between bytes). */
+constexpr std::array<std::uint64_t, 256>
+makeLaneExpand()
+{
+    std::array<std::uint64_t, 256> table{};
+    for (int b = 0; b < 256; ++b) {
+        std::uint64_t v = 0;
+        for (int j = 0; j < 8; ++j)
+            if (b & (1 << j))
+                v |= std::uint64_t{1} << (8 * j);
+        table[static_cast<std::size_t>(b)] = v;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint64_t, 256> kLaneExpand =
+    makeLaneExpand();
+
+/**
+ * One combined-update RLF iteration on one bit-plane group of 8 lanes:
+ * reads the two head bytes, XOR-updates the five trailing positions
+ * (offsets n-5..n-1 from the head get masks {h0, h1, h0, h0^h1, h1} —
+ * the fused equation (12) pattern for taps {n-5, n-3, n-2}), and
+ * accumulates the per-lane popcount deltas into packed set/clear
+ * counters. Returns nothing; `up`/`down` gain at most 5 per lane.
+ */
+inline void
+rlfStepGroup(std::uint8_t *plane, int n, int head, std::uint64_t &up,
+             std::uint64_t &down)
+{
+    const int h1 = head + 1 >= n ? 0 : head + 1;
+    const std::uint8_t head0 = plane[head];
+    const std::uint8_t head1 = plane[h1];
+    const std::uint8_t mask[5] = {
+        head0, head1, head0, static_cast<std::uint8_t>(head0 ^ head1),
+        head1};
+    int p = head + n - 5;
+    if (p >= n)
+        p -= n;
+    for (int k = 0; k < 5; ++k) {
+        const std::uint8_t old = plane[p];
+        plane[p] = old ^ mask[k];
+        up += kLaneExpand[mask[k] & static_cast<std::uint8_t>(~old)];
+        down += kLaneExpand[mask[k] & old];
+        ++p;
+        if (p >= n)
+            p = 0;
+    }
+}
+
+/** Scalar reference for rlfCycleCounts on one plane group: `counts`
+ *  points at this group's first lane in cycle 0's row; rows are
+ *  `countsStride` apart. Leaves the caller to advance the shared
+ *  head. */
+inline void
+rlfCycleCountsGroup(std::uint8_t *plane, int n, int head,
+                    std::int32_t *sums, std::size_t cycles,
+                    std::int32_t *counts, std::size_t counts_stride)
+{
+    std::int32_t sum[8];
+    for (int j = 0; j < 8; ++j)
+        sum[j] = sums[j];
+    for (std::size_t c = 0; c < cycles; ++c) {
+        std::uint64_t up = 0, down = 0;
+        rlfStepGroup(plane, n, head, up, down);
+        std::int32_t *row = counts + c * counts_stride;
+        for (int j = 0; j < 8; ++j) {
+            sum[j] += static_cast<std::int32_t>((up >> (8 * j)) & 0xFF) -
+                static_cast<std::int32_t>((down >> (8 * j)) & 0xFF);
+            row[j] = sum[j];
+        }
+        head += 2;
+        if (head >= n)
+            head -= n;
+    }
+    for (int j = 0; j < 8; ++j)
+        sums[j] = sum[j];
+}
+
+/** The Wallace 4-point transform exactly as WallaceGrng applies it:
+ *  t = 0.5 * (x0 + x1 + x2 + x3) with left-to-right association, then
+ *  {t - x0, t - x1, x2 - t, x3 - t}. */
+inline void
+wallaceQuad(double *pool, const std::size_t idx[4], double *out4)
+{
+    const double x0 = pool[idx[0]];
+    const double x1 = pool[idx[1]];
+    const double x2 = pool[idx[2]];
+    const double x3 = pool[idx[3]];
+    const double t = 0.5 * (x0 + x1 + x2 + x3);
+    const double y0 = t - x0;
+    const double y1 = t - x1;
+    const double y2 = x2 - t;
+    const double y3 = x3 - t;
+    pool[idx[0]] = y0;
+    pool[idx[1]] = y1;
+    pool[idx[2]] = y2;
+    pool[idx[3]] = y3;
+    if (out4) {
+        out4[0] = y0;
+        out4[1] = y1;
+        out4[2] = y2;
+        out4[3] = y3;
+    }
+}
+
+/** Scalar reference for wallacePass (see KernelOps::wallacePass). */
+inline void
+wallacePassScalar(double *pool, std::size_t pool_size, std::size_t offset,
+                  std::size_t stride, double *out)
+{
+    const std::size_t quads = pool_size / 4;
+    std::size_t pos = offset;
+    auto advance = [&pos, stride, pool_size]() {
+        const std::size_t at = pos;
+        pos += stride;
+        if (pos >= pool_size)
+            pos -= pool_size;
+        return at;
+    };
+    for (std::size_t q = 0; q < quads; ++q) {
+        const std::size_t idx[4] = {advance(), advance(), advance(),
+                                    advance()};
+        wallaceQuad(pool, idx, out ? out + 4 * q : nullptr);
+    }
 }
 
 } // namespace vibnn::accel::kernels::detail

@@ -51,6 +51,27 @@ packInt16Scalar(const std::int32_t *in, std::int16_t *out, std::size_t n)
 }
 
 void
+rlfCycleCountsScalar(RlfState &st, std::size_t cycles,
+                     std::int32_t *counts)
+{
+    const std::size_t stride = static_cast<std::size_t>(st.groups) * 8;
+    for (int g = 0; g < st.groups; ++g)
+        detail::rlfCycleCountsGroup(st.planes + g * st.length, st.length,
+                                    st.head, st.sums + g * 8, cycles,
+                                    counts + g * 8, stride);
+    st.head = static_cast<int>(
+        (static_cast<std::size_t>(st.head) + 2 * cycles) %
+        static_cast<std::size_t>(st.length));
+}
+
+void
+wallacePassScalarTier(double *pool, std::size_t pool_size,
+                      std::size_t offset, std::size_t stride, double *out)
+{
+    detail::wallacePassScalar(pool, pool_size, offset, stride, out);
+}
+
+void
 gemmBatchScalar(const GemmArgs &a)
 {
     for (std::size_t o = 0; o < a.outDim; ++o) {
@@ -74,6 +95,7 @@ scalarKernels()
     static const KernelOps ops = {
         "scalar",          &quantizeDoubleScalar, &quantizeFloatScalar,
         &sampleWeightsScalar, &packInt16Scalar,   &gemmBatchScalar,
+        &rlfCycleCountsScalar, &wallacePassScalarTier,
     };
     return ops;
 }

@@ -160,6 +160,65 @@ gemmRowS32x1(const std::int32_t *w, const std::int32_t *x,
 }
 
 void
+rlfCycleCountsSse4(RlfState &st, std::size_t cycles,
+                   std::int32_t *counts)
+{
+    if (st.length > INT16_MAX) { // int16 lane sums would overflow
+        scalarKernels().rlfCycleCounts(st, cycles, counts);
+        return;
+    }
+    const std::size_t stride = static_cast<std::size_t>(st.groups) * 8;
+    const int n = st.length;
+    for (int g = 0; g < st.groups; ++g) {
+        std::uint8_t *plane = st.planes + g * st.length;
+        std::int32_t *sums = st.sums + g * 8;
+        int head = st.head;
+        // Per-lane sums live in one 8 x int16 register across the whole
+        // burst (popcounts <= length <= 32767); the byte-update stage
+        // stays scalar (it is five byte ops), the delta/extract stage
+        // is where the scalar reference spends half its time.
+        __m128i sum16 = _mm_packs_epi32(
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(sums)),
+            _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(sums + 4)));
+        for (std::size_t c = 0; c < cycles; ++c) {
+            std::uint64_t up = 0, down = 0;
+            detail::rlfStepGroup(plane, n, head, up, down);
+            const __m128i up16 = _mm_cvtepu8_epi16(_mm_cvtsi64_si128(
+                static_cast<long long>(up)));
+            const __m128i dn16 = _mm_cvtepu8_epi16(_mm_cvtsi64_si128(
+                static_cast<long long>(down)));
+            sum16 = _mm_add_epi16(sum16, _mm_sub_epi16(up16, dn16));
+            std::int32_t *row = counts + c * stride + g * 8;
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(row),
+                             _mm_cvtepi16_epi32(sum16));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(row + 4),
+                             _mm_cvtepi16_epi32(
+                                 _mm_srli_si128(sum16, 8)));
+            head += 2;
+            if (head >= n)
+                head -= n;
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(sums),
+                         _mm_cvtepi16_epi32(sum16));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(sums + 4),
+                         _mm_cvtepi16_epi32(_mm_srli_si128(sum16, 8)));
+    }
+    st.head = static_cast<int>(
+        (static_cast<std::size_t>(st.head) + 2 * cycles) %
+        static_cast<std::size_t>(st.length));
+}
+
+void
+wallacePassSse4(double *pool, std::size_t pool_size, std::size_t offset,
+                std::size_t stride, double *out)
+{
+    // The pass is memory-permutation-bound; the 128-bit tier keeps the
+    // shared scalar body (the AVX2 tier carries the 4-wide version).
+    detail::wallacePassScalar(pool, pool_size, offset, stride, out);
+}
+
+void
 gemmBatchSse4(const GemmArgs &a)
 {
     for (std::size_t o = 0; o < a.outDim; ++o) {
@@ -183,6 +242,7 @@ sse4Kernels()
     static const KernelOps ops = {
         "sse4",           &quantizeDoubleSse4, &quantizeFloatSse4,
         &sampleWeightsSse4, &packInt16Sse4,    &gemmBatchSse4,
+        &rlfCycleCountsSse4, &wallacePassSse4,
     };
     return ops;
 }

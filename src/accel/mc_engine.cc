@@ -80,8 +80,15 @@ std::vector<std::int64_t>
 McEngine::runUnit(Replica &replica, const float *x, std::uint64_t image,
                   std::uint64_t sample)
 {
-    auto generator = grng::makeGenerator(
-        mc_.generatorId, streamSeed(mc_.seedBase, image, sample));
+    const std::uint64_t seed = streamSeed(mc_.seedBase, image, sample);
+    // Counter-based generators rekey in place (two register writes):
+    // the per-unit stream switch then skips the heap construction. The
+    // setGenerator call still runs to reset the executor's eps ring.
+    if (replica.idleGenerator->reseed(seed)) {
+        replica.executor->setGenerator(replica.idleGenerator.get());
+        return replica.executor->runPass(x);
+    }
+    auto generator = grng::makeGenerator(mc_.generatorId, seed);
     replica.executor->setGenerator(generator.get());
     auto raw = replica.executor->runPass(x);
     // Leave the replica pointing at its own long-lived stream before
@@ -166,10 +173,20 @@ McEngine::runRoundsBatch(const float *xs, std::size_t count,
     auto run_replica = [&](std::size_t r) {
         Replica &replica = replicas_[r];
         for (std::size_t u = r; u < rounds; u += replica_count) {
-            auto generator = grng::makeGenerator(
-                mc_.generatorId, roundSeed(mc_.seedBase, u));
-            replica.executor->setGenerator(generator.get());
+            const std::uint64_t seed = roundSeed(mc_.seedBase, u);
             raw[u].resize(count * out_dim);
+            // Counter-based generators rekey in place — the per-round
+            // stream switch costs two register writes instead of a
+            // heap construction per round.
+            if (replica.idleGenerator->reseed(seed)) {
+                replica.executor->setGenerator(
+                    replica.idleGenerator.get());
+                replica.executor->runRoundBatch(xs, count, stride,
+                                                raw[u].data());
+                continue;
+            }
+            auto generator = grng::makeGenerator(mc_.generatorId, seed);
+            replica.executor->setGenerator(generator.get());
             replica.executor->runRoundBatch(xs, count, stride,
                                             raw[u].data());
             replica.executor->setGenerator(

@@ -29,17 +29,35 @@ WeightGenerator::WeightGenerator(const DatapathKernel &kernel,
 void
 WeightGenerator::refill()
 {
-    generator_->fill(epsReal_.data(), epsBlock);
-    // Batch float->fixed conversion through the dispatched SIMD tier:
-    // one vectorized pass per block instead of one fromReal call per
-    // consumed sample.
-    kernels::activeKernels().quantizeDouble(
-        epsReal_.data(), epsRaw_.data(), epsBlock,
-        kernel_.eps.fracBits(),
-        static_cast<std::int32_t>(kernel_.eps.rawMin()),
-        static_cast<std::int32_t>(kernel_.eps.rawMax()));
+    // Fused generation + quantization when the generator has it (RLF
+    // count LUT, Philox counter stream): the eps land on the grid in
+    // one pass and the double staging block is never touched.
+    if (!generator_->fillFixed(epsRaw_.data(), epsBlock, kernel_.eps)) {
+        generator_->fill(epsReal_.data(), epsBlock);
+        // Batch float->fixed conversion through the dispatched SIMD
+        // tier: one vectorized pass per block instead of one fromReal
+        // call per consumed sample.
+        kernels::activeKernels().quantizeDouble(
+            epsReal_.data(), epsRaw_.data(), epsBlock,
+            kernel_.eps.fracBits(),
+            static_cast<std::int32_t>(kernel_.eps.rawMin()),
+            static_cast<std::int32_t>(kernel_.eps.rawMax()));
+    }
+    fetched_ += epsBlock;
     epsPos_ = 0;
     epsFill_ = epsBlock;
+}
+
+void
+WeightGenerator::finishShardedRound(std::uint64_t end_pos)
+{
+    VIBNN_ASSERT(end_pos >= streamPos(),
+                 "sharded round cannot end before it started");
+    samplesDrawn_ += end_pos - streamPos();
+    generator_->seekTo(end_pos);
+    fetched_ = end_pos;
+    epsPos_ = 0;
+    epsFill_ = 0; // ring contents predate the jump
 }
 
 void
@@ -49,6 +67,7 @@ WeightGenerator::setGenerator(grng::GaussianGenerator *generator)
     generator_ = generator;
     epsPos_ = 0;
     epsFill_ = 0; // discard prefetched eps from the old stream
+    fetched_ = 0; // the new generator starts at stream position 0
 }
 
 } // namespace vibnn::accel

@@ -126,6 +126,54 @@ class WeightGenerator
     }
 
     /**
+     * Sharded fast path: sample `count` weights using eps samples
+     * `offset .. offset + count` of the generator's stream, bypassing
+     * the ring and leaving the sequential cursor untouched. Requires
+     * splittable(); `eps_scratch` must hold `count` entries and belong
+     * to the calling shard, so shards covering disjoint offset ranges
+     * may run concurrently on one WeightGenerator. The weights are
+     * bit-identical to sampleBlockFused consuming the same stream
+     * positions sequentially (fillFixedAt contract + the same
+     * dispatched sampling kernel). Call finishShardedRound() once all
+     * shards complete to re-align the sequential stream.
+     */
+    void
+    sampleBlockFusedAt(const std::int32_t *mu_raw,
+                       const std::int32_t *sigma_raw,
+                       std::int32_t *weights, std::size_t count,
+                       std::uint64_t offset, std::int32_t *eps_scratch)
+    {
+        generator_->fillFixedAt(offset, eps_scratch, count,
+                                kernel_.eps);
+        kernels::activeKernels().sampleWeights(mu_raw, sigma_raw,
+                                               eps_scratch, weights,
+                                               count, sampleParams_);
+    }
+
+    /** True when the eps source supports the sharded random-access
+     *  path (counter-based generators). */
+    bool splittable() const { return generator_->splittable(); }
+
+    /**
+     * Absolute stream position of the next eps the sequential path
+     * would consume (prefetched-but-unconsumed ring entries included).
+     * This is where a sharded round must start its offsets.
+     */
+    std::uint64_t
+    streamPos() const
+    {
+        return fetched_ - (epsFill_ - epsPos_);
+    }
+
+    /**
+     * Complete a sharded round that consumed eps samples
+     * streamPos() .. end_pos: repositions the sequential cursor past
+     * the shard ranges, drops ring contents that predate the jump, and
+     * books the consumed eps into samplesDrawn().
+     */
+    void finishShardedRound(std::uint64_t end_pos);
+
+    /**
      * Swap the eps source. Prefetched-but-unconsumed eps from the old
      * stream are discarded, so the next draw comes from the new
      * generator's stream start. samplesDrawn() (consumed eps) is
@@ -140,8 +188,9 @@ class WeightGenerator
     std::uint64_t samplesDrawn() const { return samplesDrawn_; }
 
   private:
-    /** Block-refill the ring: one GRNG fill() plus one batch
-     *  float->fixed conversion loop. */
+    /** Block-refill the ring: the generator's fused fillFixed() when it
+     *  has one, else one GRNG fill() plus one batch float->fixed
+     *  conversion pass (bit-identical either way). */
     void refill();
 
     DatapathKernel kernel_;
@@ -149,6 +198,8 @@ class WeightGenerator
     /** Precomputed fused-sampling kernel parameters (from kernel_). */
     kernels::SampleParams sampleParams_;
     std::uint64_t samplesDrawn_ = 0;
+    /** Eps pulled from the generator so far (consumed + ring). */
+    std::uint64_t fetched_ = 0;
 
     /** Real-valued staging for the GRNG block fill. */
     std::vector<double> epsReal_;

@@ -14,8 +14,12 @@
 #define VIBNN_GRNG_GENERATOR_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/logging.hh"
+#include "fixed/fixed_point.hh"
 
 namespace vibnn::grng
 {
@@ -49,6 +53,73 @@ class GaussianGenerator
     fill(std::vector<double> &out)
     {
         fill(out.data(), out.size());
+    }
+
+    /**
+     * Fused generation + quantization fast path: fill `out[0..n)` with
+     * the next n samples already on `format`'s fixed-point grid,
+     * consuming the identical stream positions fill() would. Returns
+     * false when the generator has no fused path — callers then fall
+     * back to fill() plus a separate quantization pass. When it returns
+     * true, the raw values are bit-identical to fill() followed by
+     * FixedPointFormat::fromReal(value, RoundMode::Nearest) per sample
+     * (ctest-enforced), so the fast path is invisible in results — it
+     * only removes the double intermediate from the eps supply.
+     */
+    virtual bool
+    fillFixed(std::int32_t *, std::size_t,
+              const fixed::FixedPointFormat &)
+    {
+        return false;
+    }
+
+    /**
+     * True for counter-based generators whose streams support random
+     * access: sample i is a pure function of (seed, i), so any worker
+     * can produce any subrange of the stream via fillFixedAt() and the
+     * sequential cursor can be repositioned with seekTo(). Stateful
+     * generators (LFSR walks, Wallace pools) return false.
+     */
+    virtual bool
+    splittable() const
+    {
+        return false;
+    }
+
+    /**
+     * Random-access fused fill: `out[0..n)` receives quantized samples
+     * `offset .. offset + n` of this generator's seeded stream, without
+     * moving the sequential cursor. Only meaningful when splittable();
+     * implementations must be re-entrant (no mutable state), so shards
+     * on different threads may call it concurrently on one generator.
+     */
+    virtual void
+    fillFixedAt(std::uint64_t, std::int32_t *, std::size_t,
+                const fixed::FixedPointFormat &)
+    {
+        fatal(name() + " is not splittable (fillFixedAt unsupported)");
+    }
+
+    /** Reposition the sequential stream to sample `offset`. Only
+     *  meaningful when splittable(). */
+    virtual void
+    seekTo(std::uint64_t)
+    {
+        fatal(name() + " is not splittable (seekTo unsupported)");
+    }
+
+    /**
+     * Cheap in-place rekey: restart this generator as if freshly
+     * constructed with `seed` (stream position 0). Returns false when
+     * re-seeding is as expensive as construction (the caller then
+     * builds a new instance); counter-based generators override this so
+     * per-round stream switches cost two register writes instead of a
+     * heap allocation.
+     */
+    virtual bool
+    reseed(std::uint64_t)
+    {
+        return false;
     }
 
     /** Short identifier used in bench tables. */

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Counter-based splittable Gaussian generator (Philox-4x32-10 +
+ * Box-Muller).
+ *
+ * Every stateful generator in this project (RLF walks, Wallace pools)
+ * forces the eps stream to be produced sequentially: sample i cannot
+ * exist until samples 0..i-1 have been stepped through. That serializes
+ * weight sampling — the dominant cost of a Monte-Carlo round — onto one
+ * worker even when the executor has a work pool. A counter-based
+ * generator removes the constraint: sample i is a pure function of
+ * (seed, i), so any worker can produce any subrange of any round's
+ * stream (splittable per (op, round, offset) once the caller maps those
+ * coordinates onto stream offsets), and rekeying for a new round is two
+ * register writes instead of a reconstruction.
+ *
+ * The counter transform is Philox-4x32-10 (Salmon et al., SC'11): ten
+ * rounds of 32x32->64 multiplies and XORs over a 128-bit counter under
+ * a 64-bit key, passing BigCrush. Each counter block yields two
+ * doubles via Box-Muller, so sample i consumes block i/2, phase i%2 —
+ * random access never recomputes more than one neighbor phase.
+ */
+
+#ifndef VIBNN_GRNG_PHILOX_HH
+#define VIBNN_GRNG_PHILOX_HH
+
+#include <cstdint>
+
+#include "grng/generator.hh"
+
+namespace vibnn::grng
+{
+
+/** Counter-based splittable GRNG: Philox-4x32-10 + Box-Muller. */
+class PhiloxGrng : public GaussianGenerator
+{
+  public:
+    explicit PhiloxGrng(std::uint64_t seed);
+
+    double next() override;
+    void fill(double *out, std::size_t n) override;
+    using GaussianGenerator::fill;
+
+    bool fillFixed(std::int32_t *out, std::size_t n,
+                   const fixed::FixedPointFormat &format) override;
+
+    bool splittable() const override { return true; }
+    void fillFixedAt(std::uint64_t offset, std::int32_t *out,
+                     std::size_t n,
+                     const fixed::FixedPointFormat &format) override;
+    void seekTo(std::uint64_t offset) override { pos_ = offset; }
+    bool reseed(std::uint64_t seed) override;
+
+    std::string name() const override { return "Philox"; }
+
+    /** Current sequential stream position (samples consumed). */
+    std::uint64_t streamPos() const { return pos_; }
+
+  private:
+    /** Both Box-Muller phases of counter block `block`. */
+    void sampleBlock(std::uint64_t block, double out2[2]) const;
+
+    /** Stateless core shared by fill()/fillFixedAt(): samples
+     *  `offset .. offset + n` of the keyed stream. */
+    void fillAt(std::uint64_t offset, double *out, std::size_t n) const;
+
+    std::uint32_t key0_;
+    std::uint32_t key1_;
+    std::uint64_t pos_ = 0;
+};
+
+} // namespace vibnn::grng
+
+#endif // VIBNN_GRNG_PHILOX_HH

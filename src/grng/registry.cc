@@ -4,6 +4,7 @@
 #include "grng/baselines.hh"
 #include "grng/bnn_wallace.hh"
 #include "grng/clt_grng.hh"
+#include "grng/philox.hh"
 #include "grng/rlf_grng.hh"
 #include "grng/wallace.hh"
 
@@ -56,6 +57,8 @@ makeGenerator(const std::string &id, std::uint64_t seed)
                               : (id == "wallace-1024" ? 1024 : 4096);
         return std::make_unique<WallaceGrng>(config);
     }
+    if (id == "philox")
+        return std::make_unique<PhiloxGrng>(seed);
     if (id == "clt-lfsr")
         return std::make_unique<CltLfsrGrng>(128, seed);
     if (id == "box-muller")
@@ -80,6 +83,7 @@ generatorIds()
         "rlf",         "rlf-64",       "rlf-nomux",     "rlf-single",
         "bnnwallace",
         "wallace-nss", "wallace-256",  "wallace-1024",  "wallace-4096",
+        "philox",
         "clt-lfsr",    "box-muller",   "polar",         "ziggurat",
         "cdf-inversion", "reference",
     };

@@ -69,6 +69,16 @@ class RlfGrng : public GaussianGenerator
     void fill(double *out, std::size_t n) override;
     using GaussianGenerator::fill;
 
+    /**
+     * Fused generation + quantization: counts map to fixed-point raws
+     * through a 256-entry count -> fromReal(normalize(count)) table, so
+     * the double intermediate disappears entirely from the eps supply.
+     * Available on the transposed kernel path only (returns false
+     * otherwise, and callers fall back to fill() + quantize).
+     */
+    bool fillFixed(std::int32_t *out, std::size_t n,
+                   const fixed::FixedPointFormat &format) override;
+
     std::string name() const override;
 
     /** Next raw binomial count in [0, length]. */
@@ -86,10 +96,28 @@ class RlfGrng : public GaussianGenerator
     /** Normalization helpers: count -> approximately N(0,1). */
     double normalize(int count) const;
 
+    /** True when the transposed lane-parallel kernel path drives this
+     *  instance (Combined mode with the {n-5, n-3, n-2} tap pattern);
+     *  false means the per-lane RlfLogic fallback. Either way the
+     *  stream is identical — the kernel tiers are ctest-pinned
+     *  bit-exact against RlfLogic. */
+    bool usesKernelPath() const { return kernelPath_; }
+
   private:
     void refillBuffer();
 
+    /** Kernel path: run `cycles` transposed iterations and emit
+     *  post-mux counts (cycles x lanes, port-major within a cycle)
+     *  into `counts`; advances cycle_. */
+    void generateMuxedCycles(std::size_t cycles, std::int32_t *counts);
+
+    /** The count -> fixed-point raw table for fillFixed (rebuilt when
+     *  the requested format changes). */
+    const std::int32_t *fixedLut(const fixed::FixedPointFormat &format);
+
     RlfGrngConfig config_;
+    /** Per-lane functional models — the fallback path (Single mode or
+     *  non-{n-5, n-3, n-2} tap patterns); empty on the kernel path. */
     std::vector<RlfLogic> lanes_;
     std::vector<int> cycleBuffer_;
     /** Pre-mux lane counts, reused every cycle (no per-cycle alloc). */
@@ -98,6 +126,22 @@ class RlfGrng : public GaussianGenerator
     std::uint64_t cycle_ = 0;
     double mean_;
     double invStddev_;
+
+    /** Transposed bit-plane state (kernel path; see
+     *  accel/kernels RlfState): groups planes of `length` bytes. */
+    bool kernelPath_ = false;
+    int planeGroups_ = 0;
+    int planeHead_ = 0;
+    std::vector<std::uint8_t> planes_;
+    std::vector<std::int32_t> planeSums_;
+    /** Burst scratch: raw (pre-mux) counts from the kernel. */
+    std::vector<std::int32_t> burstRaw_;
+    /** Burst scratch: post-mux counts handed to fill()/fillFixed(). */
+    std::vector<std::int32_t> burstMuxed_;
+    /** fillFixed count -> raw table and the format it was built for. */
+    std::vector<std::int32_t> lut_;
+    int lutTotalBits_ = -1;
+    int lutFracBits_ = -1;
 };
 
 } // namespace vibnn::grng

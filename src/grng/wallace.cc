@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "accel/kernels/kernels.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -41,7 +42,6 @@ void
 WallaceGrng::transformPass(double *out)
 {
     const std::size_t pool_size = pool_.size();
-    const std::size_t quads = pool_size / 4;
 
     // Stride/offset addressing (hardware Wallace unit): the pass walks
     // the permutation offset + m * stride (mod pool). Any stride
@@ -55,34 +55,11 @@ WallaceGrng::transformPass(double *out)
         stride = 1 + rng_.uniformInt(pool_size - 1);
     } while (std::gcd(stride, pool_size) != 1);
 
-    double *pool = pool_.data();
-    std::size_t pos = offset;
-    auto advance = [&pos, stride, pool_size]() {
-        const std::size_t at = pos;
-        pos += stride;
-        if (pos >= pool_size)
-            pos -= pool_size;
-        return at;
-    };
-
-    for (std::size_t q = 0; q < quads; ++q) {
-        const std::size_t i0 = advance();
-        const std::size_t i1 = advance();
-        const std::size_t i2 = advance();
-        const std::size_t i3 = advance();
-        const std::array<double, 4> y = hadamardTransform4(
-            {pool[i0], pool[i1], pool[i2], pool[i3]});
-        pool[i0] = y[0];
-        pool[i1] = y[1];
-        pool[i2] = y[2];
-        pool[i3] = y[3];
-        if (out) {
-            out[4 * q + 0] = y[0];
-            out[4 * q + 1] = y[1];
-            out[4 * q + 2] = y[2];
-            out[4 * q + 3] = y[3];
-        }
-    }
+    // The quadruple walk itself lives in the kernel layer (scalar body
+    // plus a 4-wide AVX2 tier); every tier is ctest-pinned bit-exact
+    // against hadamardTransform4 applied sequentially.
+    accel::kernels::activeKernels().wallacePass(pool_.data(), pool_size,
+                                                offset, stride, out);
 }
 
 void

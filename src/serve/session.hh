@@ -102,7 +102,10 @@ struct SessionOptions
      *  ("functional" for Fidelity, "batched" for Throughput). */
     std::string backendId;
     /** GRNG design id (see grng::makeGenerator); empty inherits the
-     *  model source's id (a Builder::system() session) or "rlf". */
+     *  model source's id (a Builder::system() session) or "rlf".
+     *  "philox" (VIBNN_SERVE_GRNG=philox) selects the counter-based
+     *  splittable generator: per-round rekey is in-place and throughput
+     *  sessions shard the eps supply across the work pool. */
     std::string grngId;
     /** Master seed; unset inherits the model source's seed (a
      *  Builder::system() session) or 1. Every eps stream derives from

@@ -10,11 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 
 #include "grng/baselines.hh"
 #include "grng/clt_grng.hh"
 #include "grng/registry.hh"
 #include "grng/rlf_grng.hh"
+#include "grng/wallace.hh"
+#include "fixed/fixed_point.hh"
 #include "stats/autocorr.hh"
 #include "stats/chi_square.hh"
 #include "stats/ks_test.hh"
@@ -161,7 +165,7 @@ INSTANTIATE_TEST_SUITE_P(Software, ContinuousBaselines,
                          ::testing::Values("box-muller", "polar",
                                            "ziggurat", "cdf-inversion",
                                            "reference", "wallace-1024",
-                                           "wallace-4096"));
+                                           "wallace-4096", "philox"));
 
 TEST(CltLfsr, RawStreamIsHeavilyCorrelated)
 {
@@ -249,4 +253,211 @@ TEST(Ziggurat, TailSamplesExist)
         beyond3 += std::fabs(gen.next()) > 3.0;
     // P(|Z| > 3) = 0.0027.
     EXPECT_NEAR(static_cast<double>(beyond3) / n, 0.0027, 0.001);
+}
+
+/** Golden stream pins captured before the transposed-kernel rewrite of
+ *  RlfGrng and the kernelized Wallace pass: the eps streams feed every
+ *  reproduced accuracy number, so the refactor must be provably
+ *  stream-identical, not just statistically equivalent. The cases
+ *  cover the default shape, a multi-group (64-lane) shape, the no-mux
+ *  ablation, and a partial output-mux group (5 lanes). */
+TEST(GoldenStreams, RlfCountStreamsUnchanged)
+{
+    {
+        RlfGrngConfig c;
+        c.seed = 123;
+        RlfGrng g(c);
+        EXPECT_TRUE(g.usesKernelPath());
+        const int expected[32] = {
+            128, 128, 127, 129, 129, 124, 126, 128, 128, 128, 129,
+            128, 124, 124, 127, 129, 127, 129, 128, 126, 124, 127,
+            129, 124, 132, 128, 126, 128, 127, 132, 124, 125};
+        for (int i = 0; i < 32; ++i)
+            ASSERT_EQ(g.nextCount(), expected[i]) << "i=" << i;
+    }
+    {
+        RlfGrngConfig c;
+        c.seed = 5;
+        c.outputMux = false;
+        RlfGrng g(c);
+        const int expected[24] = {128, 128, 131, 128, 130, 127,
+                                  127, 131, 129, 125, 130, 127,
+                                  127, 128, 126, 132, 126, 126,
+                                  130, 128, 128, 126, 127, 131};
+        for (int i = 0; i < 24; ++i)
+            ASSERT_EQ(g.nextCount(), expected[i]) << "i=" << i;
+    }
+    {
+        RlfGrngConfig c;
+        c.seed = 11;
+        c.lanes = 5; // partial output-mux group
+        RlfGrng g(c);
+        const int expected[25] = {127, 128, 127, 125, 128, 128, 130,
+                                  126, 130, 129, 126, 124, 126, 130,
+                                  130, 124, 126, 129, 127, 130, 127,
+                                  130, 128, 122, 130};
+        for (int i = 0; i < 25; ++i)
+            ASSERT_EQ(g.nextCount(), expected[i]) << "i=" << i;
+    }
+}
+
+TEST(GoldenStreams, RlfFillStreamUnchanged)
+{
+    RlfGrngConfig c;
+    c.seed = 7;
+    c.lanes = 64;
+    RlfGrng g(c);
+    double out[16];
+    g.fill(out, 16);
+    const double expected[16] = {
+        0.062622429108514954,  0.18786728732554486,
+        -0.062622429108514954, 0.062622429108514954,
+        0.31311214554257477,   0.062622429108514954,
+        -0.062622429108514954, 0.062622429108514954,
+        -0.31311214554257477,  -0.31311214554257477,
+        0.062622429108514954,  -0.31311214554257477,
+        0.18786728732554486,   0.062622429108514954,
+        -0.062622429108514954, 0.18786728732554486};
+    for (int i = 0; i < 16; ++i)
+        ASSERT_EQ(out[i], expected[i]) << "i=" << i;
+}
+
+TEST(GoldenStreams, WallaceFillStreamsUnchanged)
+{
+    {
+        WallaceConfig c;
+        c.seed = 9;
+        c.poolSize = 20; // below the AVX2 4-wide threshold
+        WallaceGrng g(c);
+        double out[12];
+        g.fill(out, 12);
+        const double expected[12] = {
+            0.29915542319618971,   -1.4065803437289373,
+            -0.19422911717280655,  1.2828426356170328,
+            2.1558738507205142,    -1.0944544570060772,
+            -0.60066960601116859,  -0.030038363471977858,
+            0.39588479612145328,   0.61314055430410153,
+            0.42706624145942529,   -0.44741604132986218};
+        for (int i = 0; i < 12; ++i)
+            ASSERT_EQ(out[i], expected[i]) << "i=" << i;
+    }
+    {
+        WallaceConfig c;
+        c.seed = 4; // default 1024 pool: the 4-wide main loop
+        WallaceGrng g(c);
+        double out[8];
+        g.fill(out, 8);
+        const double expected[8] = {
+            0.41224927449868076, 1.7468027046810002,
+            -1.9417333894062487, -0.216901181536159,
+            0.46516019306318862, 1.0056017382370643,
+            1.0043621291096836,  -0.11751925243811082};
+        for (int i = 0; i < 8; ++i)
+            ASSERT_EQ(out[i], expected[i]) << "i=" << i;
+    }
+}
+
+TEST(FusedFill, FillFixedMatchesFillPlusQuantizeForAllGenerators)
+{
+    // The fillFixed contract: when a generator claims the fused path,
+    // the raws must be bit-identical to fill() + fromReal(Nearest) at
+    // the same stream positions — for every registered generator that
+    // opts in, across ring-unaligned sizes and after scalar draws.
+    const fixed::FixedPointFormat formats[] = {{8, 5}, {12, 8}, {6, 3}};
+    for (const auto &id : generatorIds()) {
+        for (const auto &fmt : formats) {
+            auto fused = makeGenerator(id, 321);
+            std::vector<std::int32_t> raws(5000);
+            if (!fused->fillFixed(raws.data(), raws.size(), fmt))
+                break; // no fused path for this generator
+            auto ref = makeGenerator(id, 321);
+            std::vector<double> reals(raws.size());
+            ref->fill(reals.data(), reals.size());
+            for (std::size_t i = 0; i < raws.size(); ++i)
+                ASSERT_EQ(raws[i], fmt.fromReal(reals[i]))
+                    << id << " fmt=" << fmt.name() << " i=" << i;
+
+            // Interleave scalar draws and odd-sized fused fills: the
+            // shared cycle buffer must keep both streams aligned.
+            ASSERT_EQ(fused->next(), ref->next()) << id;
+            std::int32_t tail[137];
+            ASSERT_TRUE(fused->fillFixed(tail, 137, fmt));
+            double tail_ref[137];
+            ref->fill(tail_ref, 137);
+            for (int i = 0; i < 137; ++i)
+                ASSERT_EQ(tail[i], fmt.fromReal(tail_ref[i]))
+                    << id << " tail i=" << i;
+        }
+    }
+}
+
+TEST(Philox, SplittableRandomAccessMatchesSequential)
+{
+    // The splittable contract: fillFixedAt(offset, n) must reproduce
+    // exactly the samples the sequential stream hands out at those
+    // positions, for any offset (including odd ones that land on the
+    // second Box-Muller phase), without moving the cursor.
+    const fixed::FixedPointFormat fmt{8, 5};
+    auto gen = makeGenerator("philox", 777);
+    ASSERT_TRUE(gen->splittable());
+
+    auto seq = makeGenerator("philox", 777);
+    std::vector<std::int32_t> reference(4096);
+    ASSERT_TRUE(seq->fillFixed(reference.data(), reference.size(), fmt));
+
+    const std::pair<std::uint64_t, std::size_t> shards[] = {
+        {0, 1}, {1, 1}, {0, 4096}, {17, 333}, {500, 500},
+        {4095, 1}, {2048, 2048}, {3, 8}};
+    for (const auto &[offset, n] : shards) {
+        std::vector<std::int32_t> got(n, -999);
+        gen->fillFixedAt(offset, got.data(), n, fmt);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(got[i], reference[offset + i])
+                << "offset=" << offset << " i=" << i;
+    }
+    // Random access left the sequential cursor untouched.
+    std::vector<std::int32_t> head(64);
+    ASSERT_TRUE(gen->fillFixed(head.data(), head.size(), fmt));
+    for (std::size_t i = 0; i < head.size(); ++i)
+        ASSERT_EQ(head[i], reference[i]) << "i=" << i;
+}
+
+TEST(Philox, SeekToRepositionsTheSequentialStream)
+{
+    const fixed::FixedPointFormat fmt{8, 5};
+    auto a = makeGenerator("philox", 55);
+    std::vector<std::int32_t> reference(1000);
+    ASSERT_TRUE(a->fillFixed(reference.data(), reference.size(), fmt));
+
+    auto b = makeGenerator("philox", 55);
+    b->seekTo(437);
+    std::vector<std::int32_t> tail(1000 - 437);
+    ASSERT_TRUE(b->fillFixed(tail.data(), tail.size(), fmt));
+    for (std::size_t i = 0; i < tail.size(); ++i)
+        ASSERT_EQ(tail[i], reference[437 + i]) << "i=" << i;
+}
+
+TEST(Philox, ReseedMatchesFreshConstruction)
+{
+    // The in-place rekey the McEngine round loop uses must be
+    // indistinguishable from constructing a new generator.
+    auto recycled = makeGenerator("philox", 1);
+    std::vector<double> warmup(100);
+    recycled->fill(warmup.data(), warmup.size());
+    ASSERT_TRUE(recycled->reseed(987654321));
+
+    auto fresh = makeGenerator("philox", 987654321);
+    for (int i = 0; i < 512; ++i)
+        ASSERT_DOUBLE_EQ(recycled->next(), fresh->next()) << "i=" << i;
+}
+
+TEST(Philox, StatefulGeneratorsRejectSplitApis)
+{
+    auto rlf = makeGenerator("rlf", 1);
+    EXPECT_FALSE(rlf->splittable());
+    EXPECT_FALSE(rlf->reseed(2));
+    EXPECT_DEATH(rlf->seekTo(10), "not splittable");
+    const fixed::FixedPointFormat fmt{8, 5};
+    std::int32_t buf[4];
+    EXPECT_DEATH(rlf->fillFixedAt(0, buf, 4, fmt), "not splittable");
 }

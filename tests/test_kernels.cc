@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <numeric>
 #include <vector>
 
 #include "accel/batched_runner.hh"
@@ -27,7 +28,10 @@
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "fixed/fixed_point.hh"
+#include "grng/lfsr.hh"
 #include "grng/registry.hh"
+#include "grng/rlf.hh"
+#include "grng/wallace.hh"
 
 using namespace vibnn;
 using namespace vibnn::accel;
@@ -528,5 +532,180 @@ TEST(BatchedRunnerParallel, GemmTileDoesNotChangeResults)
         const auto got =
             roundOutputs(tiled, xs, count, program.inputDim(), 13);
         EXPECT_EQ(got, reference) << "tile=" << tile;
+    }
+}
+
+TEST(KernelRlf, CycleCountsMatchRlfLogicAcrossTiers)
+{
+    // The transposed lane-parallel RLF kernel against the per-lane
+    // RlfLogic functional model: pre-mux counts, in-place plane/sum
+    // updates, and head advance must all agree for every tier, for
+    // full and partial bit-plane groups, across burst boundaries at
+    // prime cycle counts (a resumed burst must continue the stream,
+    // not restart it).
+    const int length = 255; // taps {250, 252, 253} = {n-5, n-3, n-2}
+    for (const int lanes : {5, 8, 16}) {
+        const int groups = (lanes + 7) / 8;
+
+        // Reference: one RlfLogic per lane.
+        Rng seeder(1234 + lanes);
+        std::vector<std::vector<std::uint8_t>> seeds;
+        for (int lane = 0; lane < lanes; ++lane)
+            seeds.push_back(grng::expandSeedBits(length, seeder.next()));
+
+        for (const auto *tier : k::availableKernels()) {
+            std::vector<grng::RlfLogic> ref;
+            for (int lane = 0; lane < lanes; ++lane)
+                ref.emplace_back(length, seeds[lane],
+                                 grng::RlfUpdateMode::Combined);
+
+            // Transposed state: plane g byte p bit j = lane 8g+j's
+            // state bit p; padding columns stay zero.
+            std::vector<std::uint8_t> planes(
+                static_cast<std::size_t>(length) * groups, 0);
+            std::vector<std::int32_t> sums(
+                static_cast<std::size_t>(groups) * 8, 0);
+            for (int lane = 0; lane < lanes; ++lane)
+                for (int p = 0; p < length; ++p)
+                    if (seeds[lane][p]) {
+                        planes[static_cast<std::size_t>(lane / 8) *
+                                   length +
+                               p] |= static_cast<std::uint8_t>(
+                            1u << (lane & 7));
+                        ++sums[lane];
+                    }
+
+            k::RlfState st;
+            st.planes = planes.data();
+            st.sums = sums.data();
+            st.length = length;
+            st.groups = groups;
+            st.head = 0;
+
+            const std::size_t bursts[] = {97, 31, 1, 128};
+            std::vector<std::int32_t> counts;
+            for (const std::size_t cycles : bursts) {
+                counts.assign(cycles * groups * 8, -1);
+                tier->rlfCycleCounts(st, cycles, counts.data());
+                for (std::size_t c = 0; c < cycles; ++c)
+                    for (int lane = 0; lane < lanes; ++lane)
+                        ASSERT_EQ(counts[c * groups * 8 + lane],
+                                  ref[lane].step())
+                            << tier->name << " lanes=" << lanes
+                            << " cycle=" << c << " lane=" << lane;
+            }
+            // In-place state agrees too: head and per-lane sums.
+            for (int lane = 0; lane < lanes; ++lane)
+                EXPECT_EQ(sums[lane], ref[lane].sum())
+                    << tier->name << " lane=" << lane;
+            EXPECT_EQ(st.head, ref[0].head()) << tier->name;
+        }
+    }
+}
+
+TEST(KernelWallace, PassMatchesSequentialQuadsAcrossTiers)
+{
+    // The wallacePass kernel against the sequential quadruple walk:
+    // identical pool mutation and output block for every tier,
+    // including pool sizes with a non-multiple-of-16 quad count (the
+    // AVX2 4-wide main loop plus scalar tail) and sizes below the
+    // 4-wide threshold entirely.
+    for (const std::size_t pool_size : {8u, 20u, 28u, 64u, 1024u}) {
+        Rng rng(99 + pool_size);
+        std::vector<double> init(pool_size);
+        for (auto &x : init)
+            x = rng.gaussian();
+        // A handful of (offset, stride) draws, all coprime strides.
+        for (int draw = 0; draw < 4; ++draw) {
+            const std::size_t offset = rng.uniformInt(pool_size);
+            std::size_t stride;
+            do {
+                stride = 1 + rng.uniformInt(pool_size - 1);
+            } while (std::gcd(stride, pool_size) != 1);
+
+            // Sequential reference.
+            std::vector<double> ref_pool = init;
+            std::vector<double> ref_out(4 * (pool_size / 4));
+            {
+                std::size_t pos = offset;
+                auto advance = [&] {
+                    const std::size_t at = pos;
+                    pos += stride;
+                    if (pos >= pool_size)
+                        pos -= pool_size;
+                    return at;
+                };
+                for (std::size_t q = 0; q < pool_size / 4; ++q) {
+                    const std::size_t i0 = advance(), i1 = advance();
+                    const std::size_t i2 = advance(), i3 = advance();
+                    const auto y = grng::hadamardTransform4(
+                        {ref_pool[i0], ref_pool[i1], ref_pool[i2],
+                         ref_pool[i3]});
+                    ref_pool[i0] = y[0];
+                    ref_pool[i1] = y[1];
+                    ref_pool[i2] = y[2];
+                    ref_pool[i3] = y[3];
+                    for (int j = 0; j < 4; ++j)
+                        ref_out[4 * q + j] = y[j];
+                }
+            }
+
+            for (const auto *tier : k::availableKernels()) {
+                std::vector<double> pool = init;
+                std::vector<double> out(ref_out.size(), 0.0);
+                tier->wallacePass(pool.data(), pool_size, offset,
+                                  stride, out.data());
+                for (std::size_t i = 0; i < pool_size; ++i)
+                    ASSERT_EQ(pool[i], ref_pool[i])
+                        << tier->name << " pool=" << pool_size
+                        << " slot=" << i;
+                for (std::size_t i = 0; i < out.size(); ++i)
+                    ASSERT_EQ(out[i], ref_out[i])
+                        << tier->name << " pool=" << pool_size
+                        << " out=" << i;
+                // The nullable-out form mutates the pool identically.
+                std::vector<double> pool2 = init;
+                tier->wallacePass(pool2.data(), pool_size, offset,
+                                  stride, nullptr);
+                ASSERT_EQ(pool2, ref_pool) << tier->name;
+            }
+        }
+    }
+}
+
+TEST(BatchedRunnerSharded, PhiloxShardedDrawMatchesSerial)
+{
+    // With a splittable generator the round's weight draw itself
+    // shards across the work pool via the counter-based random-access
+    // eps path; outputs must be bit-identical to the serial draw for
+    // any shard count, and the stream cursor must stay aligned across
+    // consecutive rounds (round 2 of the sharded run matches round 2
+    // of the serial run).
+    const auto config = smallConfig();
+    Rng rng(8);
+    bnn::BayesianMlp net({24, 16, 4}, rng, /*rho_init=*/-2.0f);
+    const auto program = compile(net, config);
+    const std::size_t count = 9;
+    const std::size_t dim = program.inputDim();
+    const auto xs = randomBatch(count, dim, 31);
+
+    auto run_rounds = [&](ThreadPool *pool) {
+        auto gen = grng::makeGenerator("philox", 4242);
+        BatchedRunner runner(program, config, gen.get());
+        runner.setWorkPool(pool);
+        std::vector<std::int64_t> out(
+            2 * count * runner.program().outputDim());
+        runner.runRoundBatch(xs.data(), count, dim, out.data());
+        runner.runRoundBatch(xs.data(), count, dim,
+                             out.data() +
+                                 count * runner.program().outputDim());
+        return out;
+    };
+
+    const auto serial = run_rounds(nullptr);
+    for (const std::size_t workers : {1u, 4u}) {
+        ThreadPool pool(workers);
+        const auto sharded = run_rounds(&pool);
+        EXPECT_EQ(sharded, serial) << "workers=" << workers;
     }
 }

@@ -4,9 +4,11 @@
 Both inputs are VIBNN_BENCH_JSON files (a JSON array of flat records,
 see bench/bench_util.hh). Records are matched on their identity fields
 (bench/section/backend/schedule/style/kernel/...) and every matched
-pair with an `images_per_s` value is compared: the run fails when a
-fresh value regresses more than --tolerance (default 10%) below its
-baseline. Faster-than-baseline is always fine — the gate is one-sided.
+pair with a value for the gated metric (`images_per_s` by default;
+--metric selects another, e.g. `rlf_eps_ms` for the GRNG eps-supply
+records) is compared: the run fails when a fresh value regresses more
+than --tolerance (default 10%) below its baseline.
+Faster-than-baseline is always fine — the gate is one-sided.
 Note that the kernel tier is part of the identity, so a scalar-forced
 run never gets judged against an avx2 baseline — it is simply reported
 as unmatched.
@@ -29,8 +31,8 @@ import json
 import sys
 
 IDENTITY_KEYS = ("bench", "section", "backend", "schedule", "style",
-                 "kernel", "tier", "T", "batch", "requests")
-METRIC = "images_per_s"
+                 "kernel", "tier", "generator", "T", "batch", "requests")
+DEFAULT_METRIC = "images_per_s"
 
 
 def load(path):
@@ -66,7 +68,17 @@ def main():
                         help="exit 0 when nothing matched at all "
                              "(e.g. the fresh run used a different "
                              "kernel tier than the baseline)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help="record field to gate on (default "
+                             f"{DEFAULT_METRIC}); records lacking the "
+                             "field are ignored")
+    parser.add_argument("--unit", default=None,
+                        help="unit label for the report lines "
+                             "(default derives from --metric)")
     args = parser.parse_args()
+    metric = args.metric
+    unit = args.unit if args.unit is not None else (
+        "img/s" if metric == DEFAULT_METRIC else metric)
 
     only = None
     if args.only:
@@ -78,8 +90,8 @@ def main():
             only.append((key, value))
 
     baseline = {identity(r): r for r in load(args.baseline)
-                if METRIC in r}
-    fresh = {identity(r): r for r in load(args.fresh) if METRIC in r}
+                if metric in r}
+    fresh = {identity(r): r for r in load(args.fresh) if metric in r}
 
     compared = 0
     failures = []
@@ -97,12 +109,12 @@ def main():
             missing.append(label)
             continue
         compared += 1
-        base_v = float(base[METRIC])
-        fresh_v = float(other[METRIC])
+        base_v = float(base[metric])
+        fresh_v = float(other[metric])
         floor = base_v * (1.0 - args.tolerance)
         verdict = "ok" if fresh_v >= floor else "REGRESSION"
         print(f"{verdict:10s} {label}: baseline {base_v:.1f} -> "
-              f"fresh {fresh_v:.1f} img/s (floor {floor:.1f})")
+              f"fresh {fresh_v:.1f} {unit} (floor {floor:.1f})")
         if fresh_v < floor:
             failures.append(label)
 
@@ -120,7 +132,7 @@ def main():
                   "tier / host?) — skipping the gate")
             return 0
         print("error: no comparable records (identity fields or "
-              f"'{METRIC}' missing?)")
+              f"'{metric}' missing?)")
         return 1
     if failures:
         print(f"\nFAIL: {len(failures)} of {compared} compared records "
