@@ -197,6 +197,7 @@ main()
         std::string backend;
         double imagesPerSecond = 0.0;
         double accuracy = 0.0;
+        double meanRounds = 0.0;
     };
     ModeRow modes[2] = {
         {"fidelity (per-pass)", serve::ExecMode::Fidelity, "", 0, 0},
@@ -228,6 +229,7 @@ main()
         mode.imagesPerSecond =
             static_cast<double>(batch_images) / seconds;
         mode.accuracy = 100.0 * result.accuracy(test_view.labels);
+        mode.meanRounds = result.meanRounds;
     }
     const double reuse_speedup =
         modes[1].imagesPerSecond / modes[0].imagesPerSecond;
@@ -258,6 +260,7 @@ main()
     // submitted async, where the session dispatcher coalesces every
     // pending request into one weight-reuse pass.
     double serve_sync_ips = 0.0, serve_async_ips = 0.0;
+    double serve_sync_rounds = 0.0, serve_async_rounds = 0.0;
     std::uint64_t async_passes = 0, async_max_merge = 0;
     {
         serve::SessionOptions serve_opts;
@@ -274,11 +277,13 @@ main()
             test_view.sample(0), 1, test_view.dim)); // steady-state
         bench::Stopwatch sync_clock;
         for (std::size_t i = 0; i < batch_images; ++i) {
-            session->run(serve::InferenceRequest::borrow(
+            const auto r = session->run(serve::InferenceRequest::borrow(
                 test_view.sample(i), 1, test_view.dim));
+            serve_sync_rounds += r.meanRounds;
         }
         serve_sync_ips =
             static_cast<double>(batch_images) / sync_clock.seconds();
+        serve_sync_rounds /= static_cast<double>(batch_images);
 
         const auto before = session->counters();
         bench::Stopwatch async_clock;
@@ -292,6 +297,9 @@ main()
         session->drain();
         serve_async_ips =
             static_cast<double>(batch_images) / async_clock.seconds();
+        for (auto &handle : handles)
+            serve_async_rounds += handle.get().meanRounds;
+        serve_async_rounds /= static_cast<double>(batch_images);
         const auto after = session->counters();
         async_passes = after.passes - before.passes;
         async_max_merge = after.maxCoalescedRequests;
@@ -350,6 +358,8 @@ main()
                 .field("T", config.mcSamples)
                 .field("batch", batch_images)
                 .field("images_per_s", mode.imagesPerSecond)
+                .field("mean_rounds", mode.meanRounds)
+                .field("effective_img_per_s", mode.imagesPerSecond)
                 .field("accuracy_pct", mode.accuracy));
     }
     report.add(bench::JsonRecord()
@@ -358,7 +368,9 @@ main()
                    .field("style", "run-sequential")
                    .field("T", config.mcSamples)
                    .field("requests", batch_images)
-                   .field("images_per_s", serve_sync_ips));
+                   .field("images_per_s", serve_sync_ips)
+                   .field("mean_rounds", serve_sync_rounds)
+                   .field("effective_img_per_s", serve_sync_ips));
     report.add(bench::JsonRecord()
                    .field("bench", "table5")
                    .field("section", "serve")
@@ -367,6 +379,8 @@ main()
                    .field("T", config.mcSamples)
                    .field("requests", batch_images)
                    .field("images_per_s", serve_async_ips)
+                   .field("mean_rounds", serve_async_rounds)
+                   .field("effective_img_per_s", serve_async_ips)
                    .field("passes", async_passes)
                    .field("max_merged_requests", async_max_merge));
     report.write();

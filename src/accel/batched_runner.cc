@@ -336,8 +336,9 @@ BatchedRunner::runConvBatch(const ProgramOp &op, std::size_t op_index,
 }
 
 void
-BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
-                             std::size_t stride, std::int64_t *out)
+BatchedRunner::runRoundImpl(const float *xs, std::size_t stride,
+                            const std::uint32_t *indices,
+                            std::size_t count, std::int64_t *out)
 {
     const std::size_t out_dim = program_.outputDim();
     if (count == 0)
@@ -345,7 +346,11 @@ BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
 
     sampleRoundWeights();
 
-    // Quantize the batch onto the activation grid, batch-major.
+    // Quantize the batch onto the activation grid, batch-major. With an
+    // index set (adaptive active-set compaction) the gather happens
+    // right here — image slot b of the round reads source row
+    // indices[b] — so retired images cost nothing downstream and no
+    // staging copy of the float rows is ever made.
     const auto &ops = kernels::activeKernels();
     const auto &act = program_.activationFormat;
     const int act_frac = act.fracBits();
@@ -358,10 +363,12 @@ BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
         act16_.resize(count * laneWidth_);
     forImageShards(count, [&](std::size_t, std::size_t begin,
                               std::size_t end) {
-        for (std::size_t b = begin; b < end; ++b)
-            ops.quantizeFloat(xs + b * stride,
+        for (std::size_t b = begin; b < end; ++b) {
+            const std::size_t src = indices ? indices[b] : b;
+            ops.quantizeFloat(xs + src * stride,
                               actA_.data() + b * laneWidth_, in_dim,
                               act_frac, act_min, act_max);
+        }
     });
 
     std::int32_t *in_buf = actA_.data();
@@ -413,6 +420,21 @@ BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
 
     stats_.grnSamples = weightGen_.samplesDrawn();
     stats_.images += count;
+}
+
+void
+BatchedRunner::runRoundBatch(const float *xs, std::size_t count,
+                             std::size_t stride, std::int64_t *out)
+{
+    runRoundImpl(xs, stride, /*indices=*/nullptr, count, out);
+}
+
+void
+BatchedRunner::runRoundBatchGather(const float *xs, std::size_t stride,
+                                   const std::uint32_t *indices,
+                                   std::size_t count, std::int64_t *out)
+{
+    runRoundImpl(xs, stride, indices, count, out);
 }
 
 std::vector<std::int64_t>

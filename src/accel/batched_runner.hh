@@ -93,6 +93,16 @@ class BatchedRunner : public Executor
     void runRoundBatch(const float *xs, std::size_t count,
                        std::size_t stride, std::int64_t *out) override;
 
+    /** Active-subset round (adaptive early-exit compaction): the
+     *  gather folds into input quantization — image slot b quantizes
+     *  source row indices[b] directly — so no float-row staging copy.
+     *  The weight draw and per-image arithmetic are those of
+     *  runRoundBatch exactly. */
+    void runRoundBatchGather(const float *xs, std::size_t stride,
+                             const std::uint32_t *indices,
+                             std::size_t count,
+                             std::int64_t *out) override;
+
     /** Swap the eps source (round scheduling). Not owned. */
     void setGenerator(grng::GaussianGenerator *generator) override;
 
@@ -111,6 +121,13 @@ class BatchedRunner : public Executor
     std::size_t imageTile() const { return imageTile_; }
 
   private:
+    /** Shared round body: slot b of the round reads source row
+     *  (indices ? indices[b] : b) of `xs`. Both public round entry
+     *  points funnel here. */
+    void runRoundImpl(const float *xs, std::size_t stride,
+                      const std::uint32_t *indices, std::size_t count,
+                      std::int64_t *out);
+
     /** Draw this round's weight set into the arena (op order). With a
      *  work pool and a splittable eps source (philox), the draw itself
      *  shards across workers via the counter-based random-access path —

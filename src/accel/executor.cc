@@ -62,6 +62,24 @@ Executor::runRoundBatch(const float *xs, std::size_t count,
     }
 }
 
+void
+Executor::runRoundBatchGather(const float *xs, std::size_t stride,
+                              const std::uint32_t *indices,
+                              std::size_t count, std::int64_t *out)
+{
+    // Gather-to-scratch fallback: stage the selected rows contiguously
+    // and run a plain round over them. Backends with their own input
+    // staging (the batched runner quantizes per image anyway) override
+    // this to fold the gather into that step and skip the copy.
+    std::vector<float> gathered(count * stride);
+    for (std::size_t i = 0; i < count; ++i)
+        std::copy(xs + indices[i] * stride,
+                  xs + indices[i] * stride + stride,
+                  gathered.begin() +
+                      static_cast<std::ptrdiff_t>(i * stride));
+    runRoundBatch(gathered.data(), count, stride, out);
+}
+
 std::size_t
 Executor::classify(const float *x, float *probs)
 {

@@ -133,6 +133,27 @@ class Executor
     virtual void runRoundBatch(const float *xs, std::size_t count,
                                std::size_t stride, std::int64_t *out);
 
+    /**
+     * One Monte-Carlo round over an ACTIVE SUBSET of a batch: image i
+     * of the round is row `indices[i]` of `xs` (count indices, rows of
+     * `stride` floats); `out` receives count * outputDim raw values in
+     * index order. This is the active-set compaction hook of the
+     * adaptive early-exit path: retired images simply stop appearing
+     * in `indices`, so they no longer occupy GEMM tiles. The weight
+     * draw is identical to runRoundBatch (one sample per compute op
+     * for the whole round, off the same stream positions), and each
+     * selected image's output is bit-identical to the row it would get
+     * from runRoundBatch over any superset — per-image results never
+     * depend on which neighbours share the round. The base fallback
+     * gathers the selected rows and delegates to runRoundBatch;
+     * batched backends override it to gather during input
+     * quantization instead (no staging copy).
+     */
+    virtual void runRoundBatchGather(const float *xs, std::size_t stride,
+                                     const std::uint32_t *indices,
+                                     std::size_t count,
+                                     std::int64_t *out);
+
     /** Execution statistics accumulated so far. */
     virtual const CycleStats &stats() const = 0;
 

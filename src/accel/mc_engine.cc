@@ -1,6 +1,8 @@
 #include "accel/mc_engine.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -326,6 +328,204 @@ McEngine::classifyBatchDetailed(const float *xs, std::size_t count,
     result.predicted = classifyBatchImpl(
         xs, count, stride, result.probs.data(),
         keep_sample_probs ? result.sampleProbs.data() : nullptr);
+    return result;
+}
+
+void
+McEngine::runRoundRange(const float *xs, std::size_t stride,
+                        const std::uint32_t *indices, std::size_t count,
+                        int r_begin, int r_end,
+                        std::vector<std::int64_t> &raw)
+{
+    const std::size_t out_dim = program_.outputDim();
+    const std::size_t rounds = static_cast<std::size_t>(r_end - r_begin);
+    raw.resize(rounds * count * out_dim);
+    if (rounds == 0 || count == 0)
+        return;
+
+    const std::size_t replica_count =
+        std::max<std::size_t>(1, std::min(executors_, rounds));
+    ensureReplicas(replica_count);
+
+    // Same oversubscription policy as runRoundsBatch: round-level
+    // fan-out owns the pool when several rounds run at once; a lone
+    // replica (tail chunks shrink to one round) hands the pool down
+    // for image-dimension parallelism instead.
+    ThreadPool *pool =
+        mc_.threads == 0 ? &ThreadPool::global() : ownPool_.get();
+    const bool round_level = pool != nullptr && replica_count > 1;
+    for (auto &replica : replicas_)
+        replica.executor->setWorkPool(round_level ? nullptr : pool);
+
+    auto run_replica = [&](std::size_t r) {
+        Replica &replica = replicas_[r];
+        for (std::size_t u = r; u < rounds; u += replica_count) {
+            // Seed by the GLOBAL round index: the stream of round
+            // r_begin + u is the one the fixed-T run uses for that same
+            // round, so surviving images' samples are bit-identical to
+            // it regardless of chunking or who else is still active.
+            const std::uint64_t seed =
+                roundSeed(mc_.seedBase,
+                          static_cast<std::uint64_t>(r_begin) + u);
+            std::int64_t *out = raw.data() + u * count * out_dim;
+            if (replica.idleGenerator->reseed(seed)) {
+                replica.executor->setGenerator(
+                    replica.idleGenerator.get());
+                replica.executor->runRoundBatchGather(xs, stride,
+                                                      indices, count,
+                                                      out);
+                continue;
+            }
+            auto generator = grng::makeGenerator(mc_.generatorId, seed);
+            replica.executor->setGenerator(generator.get());
+            replica.executor->runRoundBatchGather(xs, stride, indices,
+                                                  count, out);
+            replica.executor->setGenerator(replica.idleGenerator.get());
+        }
+    };
+
+    if (round_level)
+        pool->parallelFor(replica_count, run_replica);
+    else
+        for (std::size_t r = 0; r < replica_count; ++r)
+            run_replica(r);
+}
+
+McAdaptiveBatchResult
+McEngine::classifyBatchAdaptive(const float *xs, std::size_t count,
+                                std::size_t stride,
+                                const McAdaptiveOptions &options,
+                                bool keep_sample_probs)
+{
+    const std::size_t out_dim = program_.outputDim();
+    const int budget =
+        options.budget > 0 ? options.budget : config_.mcSamples;
+    VIBNN_ASSERT(budget >= 1, "adaptive MC needs a positive budget");
+
+    McAdaptiveBatchResult result;
+    result.predicted.assign(count, 0);
+    result.probs.assign(count * out_dim, 0.0f);
+    result.achieved.assign(count, 0);
+    result.exitReason.assign(count, McExitReason::Budget);
+    if (keep_sample_probs)
+        result.sampleProbs.assign(
+            count * static_cast<std::size_t>(budget) * out_dim, 0.0f);
+    if (count == 0)
+        return result;
+
+    if (!options.enabled) {
+        // threshold=off contract: byte-for-byte today's fixed-T path
+        // (same float reduction, same code), with the adaptive
+        // bookkeeping reporting "ran the whole budget".
+        VIBNN_ASSERT(budget == config_.mcSamples,
+                     "threshold=off adaptive MC must use the engine's "
+                     "configured round budget");
+        result.predicted = classifyBatchImpl(
+            xs, count, stride, result.probs.data(),
+            keep_sample_probs ? result.sampleProbs.data() : nullptr);
+        std::fill(result.achieved.begin(), result.achieved.end(),
+                  budget);
+        result.meanRounds = static_cast<double>(budget);
+        return result;
+    }
+
+    // The sequential per-image fallback stream of non-batched backends
+    // makes image i's eps depend on how many images precede it in the
+    // round — batch-composition-dependent, which adaptive compaction
+    // would expose. Only the weight-reuse path has the per-image
+    // independence the determinism contract needs.
+    if (!executorCaps(mc_.backendId).batchedRounds)
+        fatal("adaptive early-exit MC requires a batched-rounds "
+              "backend (got '" + mc_.backendId + "')");
+
+    const int chunk = std::max(options.chunk, 1);
+    const auto &act = program_.activationFormat;
+    std::vector<stats::SequentialPosteriorTest> tests(count);
+    for (auto &test : tests)
+        test.reset(out_dim);
+    std::vector<std::uint32_t> active(count);
+    std::iota(active.begin(), active.end(), 0u);
+
+    const bool timed = options.deadlineSeconds > 0.0;
+    const auto t_start = std::chrono::steady_clock::now();
+
+    std::vector<std::int64_t> raw;
+    std::vector<float> logits(out_dim);
+    int done = 0;
+    while (done < budget && !active.empty()) {
+        const int next = std::min(done + chunk, budget);
+        runRoundRange(xs, stride, active.data(), active.size(), done,
+                      next, raw);
+
+        // Serial per-image accumulation in global round order: every
+        // image's running statistics are a pure function of its own
+        // sample sequence, independent of schedule and neighbours.
+        for (std::size_t a = 0; a < active.size(); ++a) {
+            const std::uint32_t image = active[a];
+            for (int r = done; r < next; ++r) {
+                const std::int64_t *row = raw.data() +
+                    (static_cast<std::size_t>(r - done) * active.size() +
+                     a) *
+                        out_dim;
+                for (std::size_t i = 0; i < out_dim; ++i)
+                    logits[i] =
+                        static_cast<float>(act.toReal(row[i]));
+                nn::softmax(logits.data(), out_dim);
+                if (keep_sample_probs)
+                    std::copy(
+                        logits.begin(), logits.end(),
+                        result.sampleProbs.data() +
+                            (static_cast<std::size_t>(image) * budget +
+                             tests[image].samples()) *
+                                out_dim);
+                tests[image].add(logits.data());
+            }
+        }
+        done = next;
+
+        // Anytime deadline (wall clock, chunk granularity): whatever
+        // is still active keeps its running mean as the best answer by
+        // the deadline.
+        if (timed) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t_start)
+                    .count();
+            if (elapsed >= options.deadlineSeconds) {
+                for (const std::uint32_t image : active)
+                    result.exitReason[image] = McExitReason::Deadline;
+                active.clear();
+                break;
+            }
+        }
+
+        // Retire converged/decided images; compact the survivors.
+        std::vector<std::uint32_t> survivors;
+        survivors.reserve(active.size());
+        for (const std::uint32_t image : active) {
+            if (done >= budget)
+                break; // everyone left exits as Budget below
+            const auto decision =
+                tests[image].decide(options.test, budget);
+            if (decision == stats::SequentialDecision::Converged)
+                result.exitReason[image] = McExitReason::Converged;
+            else if (decision == stats::SequentialDecision::Decided)
+                result.exitReason[image] = McExitReason::Decided;
+            else
+                survivors.push_back(image);
+        }
+        if (done < budget)
+            active.swap(survivors);
+    }
+
+    double total_rounds = 0.0;
+    for (std::size_t image = 0; image < count; ++image) {
+        result.achieved[image] = tests[image].samples();
+        total_rounds += result.achieved[image];
+        tests[image].mean(result.probs.data() + image * out_dim);
+        result.predicted[image] = tests[image].predicted();
+    }
+    result.meanRounds = total_rounds / static_cast<double>(count);
     return result;
 }
 

@@ -45,6 +45,7 @@
 #include "accel/program.hh"
 #include "common/thread_pool.hh"
 #include "grng/generator.hh"
+#include "stats/sequential_test.hh"
 
 namespace vibnn::accel
 {
@@ -107,6 +108,64 @@ struct McBatchResult
     std::vector<float> sampleProbs;
 };
 
+/** Why an image's adaptive Monte-Carlo sampling stopped. */
+enum class McExitReason
+{
+    /** Ran the full round budget (the hard images — and every image
+     *  when the early-exit test is disabled). */
+    Budget,
+    /** The sequential CI test settled the argmax early. */
+    Converged,
+    /** The vote gap exceeded the remaining budget: mathematically
+     *  frozen. */
+    Decided,
+    /** The wall-clock deadline expired (anytime mode): the running
+     *  mean at that point is the best answer by the deadline. */
+    Deadline,
+};
+
+/** Policy of classifyBatchAdaptive. */
+struct McAdaptiveOptions
+{
+    /** Round budget per image; 0 uses config.mcSamples. */
+    int budget = 0;
+    /** Rounds per increment between convergence checkpoints. Small
+     *  chunks exit earlier; larger ones amortize round dispatch. */
+    int chunk = 4;
+    /** The sequential convergence test (confidence, minSamples). */
+    stats::SequentialTestConfig test;
+    /** false disables early exit entirely: every image runs the full
+     *  budget through the EXACT fixed-T code path (bit-identical to
+     *  classifyBatchDetailed — the threshold=off contract). */
+    bool enabled = true;
+    /** Anytime deadline in seconds from call entry, checked at chunk
+     *  boundaries; <= 0 means none. Wall-clock-dependent by nature, so
+     *  the bit-determinism contract applies to runs without one. */
+    double deadlineSeconds = 0.0;
+};
+
+/** classifyBatchAdaptive output: per-image posterior plus how many
+ *  rounds each image actually consumed and why it stopped. */
+struct McAdaptiveBatchResult
+{
+    /** Predicted class per image (count). */
+    std::vector<std::size_t> predicted;
+    /** Running ensemble-mean probabilities at exit, count x outputDim
+     *  (double-accumulated in round order, then narrowed). */
+    std::vector<float> probs;
+    /** Per-sample softmax distributions, count x budget x outputDim
+     *  row-major, zero-filled past each image's achieved rounds (the
+     *  serving layer reads achieved[i] rows). Empty unless
+     *  keep_sample_probs. */
+    std::vector<float> sampleProbs;
+    /** Rounds actually consumed per image. */
+    std::vector<int> achieved;
+    /** Why each image stopped. */
+    std::vector<McExitReason> exitReason;
+    /** Mean of achieved over the batch — the effective T. */
+    double meanRounds = 0.0;
+};
+
 /** Parallel Monte-Carlo classification over executor-backend
  *  replicas. */
 class McEngine
@@ -156,6 +215,37 @@ class McEngine
                                         std::size_t count,
                                         std::size_t stride,
                                         bool keep_sample_probs = true);
+
+    /**
+     * Adaptive early-exit classification: run MC rounds in increments
+     * of options.chunk, feed each image's per-round softmax into its
+     * own SequentialPosteriorTest, and retire images from the active
+     * set as soon as the test says more rounds cannot change the
+     * decision — the easy images finish after minSamples rounds while
+     * the hard ones run to the budget. Retired images leave the round
+     * via active-set compaction (Executor::runRoundBatchGather), so
+     * they stop occupying GEMM tiles immediately.
+     *
+     * Determinism: round r is always seeded roundSeed(seedBase, r) and
+     * the batched weight draw is batch-independent, so a retained
+     * image's eps stream — and therefore its sample sequence — is
+     * bit-identical to the fixed-T run no matter which neighbours have
+     * already retired; decisions and running means are serial per-image
+     * double-precision reductions in round order. Results are therefore
+     * bit-identical across thread counts AND batch compositions
+     * (ctest-pinned). With options.enabled == false the call routes
+     * through the exact fixed-T path and reproduces
+     * classifyBatchDetailed byte for byte.
+     *
+     * Requires a backend with caps().batchedRounds (the sequential
+     * per-image fallback stream would make per-image outputs depend on
+     * batch composition); fatal() otherwise.
+     */
+    McAdaptiveBatchResult
+    classifyBatchAdaptive(const float *xs, std::size_t count,
+                          std::size_t stride,
+                          const McAdaptiveOptions &options,
+                          bool keep_sample_probs = true);
 
     /** Aggregate statistics merged (summed) over all replicas. */
     CycleStats stats() const;
@@ -219,6 +309,20 @@ class McEngine
      */
     std::vector<std::vector<std::int64_t>> runRoundsBatch(
         const float *xs, std::size_t count, std::size_t stride);
+
+    /**
+     * Run global MC rounds [r_begin, r_end) over the active subset
+     * `indices[0..count)` of the batch (gather rounds), fanned over
+     * replicas like runRoundsBatch. `raw` is resized to
+     * (r_end - r_begin) x count x outputDim, round-major. Round r is
+     * seeded roundSeed(seedBase, r) — the GLOBAL index — so the stream
+     * any surviving image sees is independent of chunking and of which
+     * images remain.
+     */
+    void runRoundRange(const float *xs, std::size_t stride,
+                       const std::uint32_t *indices, std::size_t count,
+                       int r_begin, int r_end,
+                       std::vector<std::int64_t> &raw);
 
     /** Softmax-average `samples` raw pass outputs (in sample order)
      *  into `probs` — the same reduction Executor::classify runs. A

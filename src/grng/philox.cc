@@ -70,7 +70,19 @@ PhiloxGrng::reseed(std::uint64_t seed)
     key0_ = static_cast<std::uint32_t>(key);
     key1_ = static_cast<std::uint32_t>(key >> 32);
     pos_ = 0;
+    cacheValid_ = false; // cached pair belongs to the old key
     return true;
+}
+
+const double *
+PhiloxGrng::ensureBlock(std::uint64_t block) const
+{
+    if (!cacheValid_ || block != cachedBlock_) {
+        sampleBlock(block, cachedPair_);
+        cachedBlock_ = block;
+        cacheValid_ = true;
+    }
+    return cachedPair_;
 }
 
 void
@@ -101,8 +113,7 @@ PhiloxGrng::fillAt(std::uint64_t offset, double *out,
     std::size_t k = 0;
     double pair[2];
     if (n > 0 && (offset & 1)) { // stranded odd phase at the front
-        sampleBlock(offset >> 1, pair);
-        out[k++] = pair[1];
+        out[k++] = ensureBlock(offset >> 1)[1];
         ++offset;
     }
     for (; k + 2 <= n; k += 2, offset += 2) {
@@ -110,17 +121,19 @@ PhiloxGrng::fillAt(std::uint64_t offset, double *out,
         out[k] = pair[0];
         out[k + 1] = pair[1];
     }
-    if (k < n) { // stranded even phase at the back
-        sampleBlock(offset >> 1, pair);
-        out[k] = pair[0];
+    if (k < n) { // stranded even phase at the back: cache it — the
+                 // very next sample consumed is its odd phase
+        out[k] = ensureBlock(offset >> 1)[0];
     }
 }
 
 double
 PhiloxGrng::next()
 {
-    double value;
-    fillAt(pos_, &value, 1);
+    // Phase-at-a-time consumption through the pair cache: the even
+    // phase computes (and memoizes) the block, the odd phase is a
+    // cache hit — one transform per two samples.
+    const double value = ensureBlock(pos_ >> 1)[pos_ & 1];
     ++pos_;
     return value;
 }

@@ -60,6 +60,13 @@ class PhiloxGrng : public GaussianGenerator
     /** Both Box-Muller phases of counter block `block`. */
     void sampleBlock(std::uint64_t block, double out2[2]) const;
 
+    /** Both phases of `block` via the one-block cache: a phase-at-a-
+     *  time consumer (sequential next(), stranded fill boundaries)
+     *  pays the Philox + Box-Muller transform once per PAIR instead of
+     *  once per sample (~2x). Pure memoization of a deterministic
+     *  function of (key, block), so stream values are unchanged. */
+    const double *ensureBlock(std::uint64_t block) const;
+
     /** Stateless core shared by fill()/fillFixedAt(): samples
      *  `offset .. offset + n` of the keyed stream. */
     void fillAt(std::uint64_t offset, double *out, std::size_t n) const;
@@ -67,6 +74,13 @@ class PhiloxGrng : public GaussianGenerator
     std::uint32_t key0_;
     std::uint32_t key1_;
     std::uint64_t pos_ = 0;
+
+    /** One-block Box-Muller pair cache (invalid until the first use;
+     *  rekeying invalidates — the same block index means different
+     *  values under a new key). */
+    mutable bool cacheValid_ = false;
+    mutable std::uint64_t cachedBlock_ = 0;
+    mutable double cachedPair_[2] = {0.0, 0.0};
 };
 
 } // namespace vibnn::grng

@@ -74,6 +74,21 @@ serveEnvInt(const char *name, std::int64_t fallback)
     return value;
 }
 
+/** The same strictness for the real-valued adaptive knobs. */
+double
+serveEnvFloat(const char *name, double fallback)
+{
+    const std::string raw = envString(name, "");
+    if (raw.empty())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0')
+        fatal(std::string(name) + " must be a decimal number, got '" +
+              raw + "'");
+    return value;
+}
+
 } // namespace
 
 SessionOptions
@@ -106,7 +121,36 @@ SessionOptions::fromEnv(SessionOptions defaults)
     opts.topK = static_cast<std::size_t>(
         serveEnvInt("VIBNN_SERVE_TOPK",
                     static_cast<std::int64_t>(opts.topK)));
+    opts.adaptive.enabled =
+        serveEnvInt("VIBNN_SERVE_ADAPTIVE",
+                    opts.adaptive.enabled ? 1 : 0) != 0;
+    opts.adaptive.confidence = serveEnvFloat("VIBNN_SERVE_CONFIDENCE",
+                                             opts.adaptive.confidence);
+    opts.adaptive.minSamples = static_cast<int>(
+        serveEnvInt("VIBNN_SERVE_MIN_T", opts.adaptive.minSamples));
+    opts.adaptive.chunk = static_cast<int>(
+        serveEnvInt("VIBNN_SERVE_CHUNK", opts.adaptive.chunk));
+    opts.adaptive.deadlineSeconds =
+        serveEnvFloat("VIBNN_SERVE_DEADLINE_MS",
+                      opts.adaptive.deadlineSeconds * 1e3) /
+        1e3;
     return opts;
+}
+
+const char *
+exitReasonName(accel::McExitReason reason)
+{
+    switch (reason) {
+      case accel::McExitReason::Converged:
+        return "converged";
+      case accel::McExitReason::Decided:
+        return "decided";
+      case accel::McExitReason::Deadline:
+        return "deadline";
+      case accel::McExitReason::Budget:
+        break;
+    }
+    return "budget";
 }
 
 // --------------------------------------------------------- InferenceRequest
@@ -374,6 +418,14 @@ InferenceSession::Builder::uncertainty(bool enabled)
     return *this;
 }
 
+InferenceSession::Builder &
+InferenceSession::Builder::adaptive(
+    const SessionOptions::AdaptivePolicy &policy)
+{
+    state_->opts.adaptive = policy;
+    return *this;
+}
+
 std::unique_ptr<InferenceSession>
 InferenceSession::Builder::build()
 {
@@ -441,6 +493,33 @@ InferenceSession::Builder::build()
         fatal("InferenceSession::Builder: unknown executor backend '" +
               opts.backendId + "' (registered: " +
               joinStrings(exec_ids) + ")");
+    }
+
+    if (opts.adaptive.enabled) {
+        // Early exit retires images mid-ensemble; only the weight-reuse
+        // round path keeps the survivors' streams independent of who
+        // left (see McEngine::classifyBatchAdaptive).
+        if (opts.mode != ExecMode::Throughput ||
+            !accel::executorCaps(opts.backendId).batchedRounds) {
+            fatal("InferenceSession::Builder: adaptive early-exit MC "
+                  "requires Throughput mode on a batched-rounds "
+                  "backend (mode " +
+                  std::string(execModeName(opts.mode)) +
+                  ", backend '" + opts.backendId + "')");
+        }
+        if (opts.adaptive.confidence <= 0.0 ||
+            opts.adaptive.confidence >= 1.0)
+            fatal("InferenceSession::Builder: adaptive confidence "
+                  "must be in (0, 1), got " +
+                  std::to_string(opts.adaptive.confidence));
+        if (opts.adaptive.minSamples < 1)
+            fatal("InferenceSession::Builder: adaptive minSamples "
+                  "must be >= 1, got " +
+                  std::to_string(opts.adaptive.minSamples));
+        if (opts.adaptive.chunk < 1)
+            fatal("InferenceSession::Builder: adaptive chunk must be "
+                  ">= 1, got " +
+                  std::to_string(opts.adaptive.chunk));
     }
 
     // Geometry errors surface here, not at the first request.
@@ -557,37 +636,90 @@ InferenceSession::engineFor(int t)
 }
 
 InferenceResult
+InferenceSession::buildResultImpl(
+    std::uint64_t request_id, const std::size_t *predicted,
+    const float *probs, const float *sample_probs,
+    std::size_t sample_stride, const int *achieved,
+    const accel::McExitReason *reasons, std::size_t first_image,
+    std::size_t count, int t, std::size_t batched_images) const
+{
+    const std::size_t out_dim = program_.outputDim();
+    InferenceResult result;
+    result.requestId = request_id;
+    result.mcSamples = t;
+    result.batchedImages = batched_images;
+    result.predictions.resize(count);
+    double total_rounds = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t image = first_image + i;
+        const float *mean = probs + image * out_dim;
+        const int rounds = achieved ? achieved[image] : t;
+        total_rounds += rounds;
+        Prediction &p = result.predictions[i];
+        p.predicted = predicted[image];
+        p.probs.assign(mean, mean + out_dim);
+        p.entropy = nn::predictiveEntropy(mean, out_dim);
+        if (sample_probs && rounds > 0) {
+            // Only the achieved rows are populated; the stride is the
+            // per-image row capacity (the budget).
+            p.mutualInformation = nn::mutualInformation(
+                mean, sample_probs + image * sample_stride * out_dim,
+                static_cast<std::size_t>(rounds), out_dim);
+        }
+        p.confidence = nn::maxProbability(mean, out_dim);
+        if (opts_.topK > 0)
+            p.topk = nn::topK(mean, out_dim, opts_.topK);
+        p.achievedSamples = rounds;
+        p.exitReason =
+            reasons ? reasons[image] : accel::McExitReason::Budget;
+    }
+    result.meanRounds =
+        count > 0 ? total_rounds / static_cast<double>(count) : 0.0;
+    return result;
+}
+
+InferenceResult
 InferenceSession::buildResult(std::uint64_t request_id,
                               const accel::McBatchResult &detailed,
                               std::size_t first_image,
                               std::size_t count, int t,
                               std::size_t batched_images) const
 {
-    const std::size_t out_dim = program_.outputDim();
-    const std::size_t samples = static_cast<std::size_t>(t);
-    InferenceResult result;
-    result.requestId = request_id;
-    result.mcSamples = t;
-    result.batchedImages = batched_images;
-    result.predictions.resize(count);
-    for (std::size_t i = 0; i < count; ++i) {
-        const std::size_t image = first_image + i;
-        const float *mean = detailed.probs.data() + image * out_dim;
-        Prediction &p = result.predictions[i];
-        p.predicted = detailed.predicted[image];
-        p.probs.assign(mean, mean + out_dim);
-        p.entropy = nn::predictiveEntropy(mean, out_dim);
-        if (!detailed.sampleProbs.empty()) {
-            p.mutualInformation = nn::mutualInformation(
-                mean,
-                detailed.sampleProbs.data() + image * samples * out_dim,
-                samples, out_dim);
-        }
-        p.confidence = nn::maxProbability(mean, out_dim);
-        if (opts_.topK > 0)
-            p.topk = nn::topK(mean, out_dim, opts_.topK);
-    }
-    return result;
+    return buildResultImpl(
+        request_id, detailed.predicted.data(), detailed.probs.data(),
+        detailed.sampleProbs.empty() ? nullptr
+                                     : detailed.sampleProbs.data(),
+        static_cast<std::size_t>(t), /*achieved=*/nullptr,
+        /*reasons=*/nullptr, first_image, count, t, batched_images);
+}
+
+InferenceResult
+InferenceSession::buildResult(
+    std::uint64_t request_id,
+    const accel::McAdaptiveBatchResult &detailed,
+    std::size_t first_image, std::size_t count, int t,
+    std::size_t batched_images) const
+{
+    return buildResultImpl(
+        request_id, detailed.predicted.data(), detailed.probs.data(),
+        detailed.sampleProbs.empty() ? nullptr
+                                     : detailed.sampleProbs.data(),
+        static_cast<std::size_t>(t), detailed.achieved.data(),
+        detailed.exitReason.data(), first_image, count, t,
+        batched_images);
+}
+
+accel::McAdaptiveOptions
+InferenceSession::adaptiveOptions(int t) const
+{
+    accel::McAdaptiveOptions aopts;
+    aopts.budget = t;
+    aopts.chunk = opts_.adaptive.chunk;
+    aopts.test.confidence = opts_.adaptive.confidence;
+    aopts.test.minSamples = opts_.adaptive.minSamples;
+    aopts.enabled = true;
+    aopts.deadlineSeconds = opts_.adaptive.deadlineSeconds;
+    return aopts;
 }
 
 InferenceResult
@@ -600,11 +732,20 @@ InferenceSession::run(const InferenceRequest &request)
     const auto start = Clock::now();
 
     std::lock_guard<std::mutex> lock(execMutex_);
-    const auto detailed = engineFor(t).classifyBatchDetailed(
-        request.data(), request.count, request.dim,
-        opts_.uncertainty);
-    InferenceResult result =
-        buildResult(id, detailed, 0, request.count, t, request.count);
+    InferenceResult result;
+    if (opts_.adaptive.enabled) {
+        const auto detailed = engineFor(t).classifyBatchAdaptive(
+            request.data(), request.count, request.dim,
+            adaptiveOptions(t), opts_.uncertainty);
+        result = buildResult(id, detailed, 0, request.count, t,
+                             request.count);
+    } else {
+        const auto detailed = engineFor(t).classifyBatchDetailed(
+            request.data(), request.count, request.dim,
+            opts_.uncertainty);
+        result = buildResult(id, detailed, 0, request.count, t,
+                             request.count);
+    }
     result.micros = microsSince(start);
 
     counters_.requests += 1;
@@ -734,18 +875,27 @@ InferenceSession::executePass(std::vector<Queued> &items, int t)
     }
 
     std::lock_guard<std::mutex> lock(execMutex_);
-    const auto detailed = engineFor(t).classifyBatchDetailed(
-        xs, total_images, dim, opts_.uncertainty);
-
-    std::size_t first = 0;
-    for (auto &item : items) {
-        InferenceResult result =
-            buildResult(item.request.id, detailed, first,
-                        item.request.count, t, total_images);
-        result.micros = microsSince(item.enqueued);
-        first += item.request.count;
-        item.pending->fulfill(std::move(result));
-    }
+    // Either engine path yields per-image outputs independent of the
+    // batch composition, so fulfilling per-request slices of one
+    // coalesced pass is exact.
+    auto fulfill = [&](const auto &detailed) {
+        std::size_t first = 0;
+        for (auto &item : items) {
+            InferenceResult result =
+                buildResult(item.request.id, detailed, first,
+                            item.request.count, t, total_images);
+            result.micros = microsSince(item.enqueued);
+            first += item.request.count;
+            item.pending->fulfill(std::move(result));
+        }
+    };
+    if (opts_.adaptive.enabled)
+        fulfill(engineFor(t).classifyBatchAdaptive(
+            xs, total_images, dim, adaptiveOptions(t),
+            opts_.uncertainty));
+    else
+        fulfill(engineFor(t).classifyBatchDetailed(
+            xs, total_images, dim, opts_.uncertainty));
 
     counters_.requests += items.size();
     counters_.images += total_images;

@@ -127,15 +127,50 @@ struct SessionOptions
     bool uncertainty = true;
 
     /**
+     * Adaptive early-exit / anytime Monte-Carlo (Throughput mode
+     * only — the batched backend's per-image independence is what
+     * makes early retirement invisible to the survivors). When
+     * enabled, T becomes a round BUDGET: images retire as soon as the
+     * sequential convergence test says more rounds cannot change the
+     * decision, Prediction reports the achieved rounds and exit
+     * reason, and a positive deadline turns the session anytime —
+     * best answer by the deadline. enabled == false (the default)
+     * reproduces the fixed-T path bit for bit.
+     */
+    struct AdaptivePolicy
+    {
+        /** Master switch for early exit. */
+        bool enabled = false;
+        /** One-sided confidence of the convergence test, in (0, 1);
+         *  higher spends more rounds before exiting. */
+        double confidence = 0.999;
+        /** No image exits before this many rounds. */
+        int minSamples = 4;
+        /** Rounds per increment between convergence checkpoints. */
+        int chunk = 4;
+        /** Anytime wall-clock deadline per engine pass in seconds;
+         *  <= 0 disables it (deadline exits are inherently
+         *  clock-dependent; the bit-determinism contract covers runs
+         *  without one). */
+        double deadlineSeconds = 0.0;
+    };
+    AdaptivePolicy adaptive;
+
+    /**
      * Overlay the VIBNN_SERVE_* environment knobs onto `defaults` —
      * the string-parsing front door benches and examples use:
-     *   VIBNN_SERVE_MODE     fidelity | throughput
-     *   VIBNN_SERVE_BACKEND  executor id (empty = derive from mode)
-     *   VIBNN_SERVE_GRNG     generator id
-     *   VIBNN_SERVE_T        ensemble size
-     *   VIBNN_SERVE_THREADS  engine parallelism
-     *   VIBNN_SERVE_SEED     master seed
-     *   VIBNN_SERVE_TOPK     top-k entries per prediction
+     *   VIBNN_SERVE_MODE        fidelity | throughput
+     *   VIBNN_SERVE_BACKEND     executor id (empty = derive from mode)
+     *   VIBNN_SERVE_GRNG        generator id
+     *   VIBNN_SERVE_T           ensemble size
+     *   VIBNN_SERVE_THREADS     engine parallelism
+     *   VIBNN_SERVE_SEED        master seed
+     *   VIBNN_SERVE_TOPK       top-k entries per prediction
+     *   VIBNN_SERVE_ADAPTIVE    0 | 1 — early-exit MC master switch
+     *   VIBNN_SERVE_CONFIDENCE  convergence-test confidence in (0, 1)
+     *   VIBNN_SERVE_MIN_T       minimum rounds before any exit
+     *   VIBNN_SERVE_CHUNK       rounds per adaptive increment
+     *   VIBNN_SERVE_DEADLINE_MS anytime deadline per pass (<= 0 off)
      */
     static SessionOptions fromEnv();
     static SessionOptions fromEnv(SessionOptions defaults);
@@ -189,7 +224,17 @@ struct Prediction
     float confidence = 0.0f;
     /** The top-k classes, descending by probability. */
     std::vector<nn::ClassScore> topk;
+    /** MC rounds actually spent on this image — the full ensemble size
+     *  on the fixed-T path, possibly fewer under adaptive early
+     *  exit. */
+    int achievedSamples = 0;
+    /** Why sampling stopped (Budget on the fixed-T path). */
+    accel::McExitReason exitReason = accel::McExitReason::Budget;
 };
+
+/** Canonical lower-case name of an exit reason ("budget",
+ *  "converged", "decided", "deadline") — for logs and bench JSON. */
+const char *exitReasonName(accel::McExitReason reason);
 
 /** The response to one InferenceRequest. */
 struct InferenceResult
@@ -197,8 +242,13 @@ struct InferenceResult
     std::uint64_t requestId = 0;
     /** One decorated prediction per image, in request order. */
     std::vector<Prediction> predictions;
-    /** Ensemble size the request was served with. */
+    /** Ensemble size (the round budget under adaptive early exit) the
+     *  request was served with. */
     int mcSamples = 0;
+    /** Mean achieved rounds over the request's images — equals
+     *  mcSamples on the fixed-T path, below it when early exit
+     *  fires. */
+    double meanRounds = 0.0;
     /** Wall-clock latency in microseconds: compute time for run(),
      *  submit-to-completion for submit(). */
     double micros = 0.0;
@@ -273,6 +323,7 @@ class InferenceSession
         Builder &mode(ExecMode mode);
         Builder &topK(std::size_t k);
         Builder &uncertainty(bool enabled);
+        Builder &adaptive(const SessionOptions::AdaptivePolicy &policy);
 
         /** Validate and construct. fatal() on: no model source, an
          *  unloadable program file, unknown backend / GRNG ids (the
@@ -362,12 +413,34 @@ class InferenceSession
      *  fulfill/collect the per-request results. */
     void executePass(std::vector<Queued> &items, int t);
 
+    /** Decorate one image range of an engine result. `sample_stride`
+     *  is the per-image row capacity of `sample_probs` (the budget);
+     *  `achieved` / `reasons` are per-image across the whole pass and
+     *  may be null (fixed-T: every image ran exactly `t` rounds). */
+    InferenceResult buildResultImpl(
+        std::uint64_t request_id, const std::size_t *predicted,
+        const float *probs, const float *sample_probs,
+        std::size_t sample_stride, const int *achieved,
+        const accel::McExitReason *reasons, std::size_t first_image,
+        std::size_t count, int t, std::size_t batched_images) const;
+
     /** Decorate one image range of a detailed engine result. */
     InferenceResult buildResult(std::uint64_t request_id,
                                 const accel::McBatchResult &detailed,
                                 std::size_t first_image,
                                 std::size_t count, int t,
                                 std::size_t batched_images) const;
+
+    /** Same over an adaptive early-exit result. */
+    InferenceResult buildResult(
+        std::uint64_t request_id,
+        const accel::McAdaptiveBatchResult &detailed,
+        std::size_t first_image, std::size_t count, int t,
+        std::size_t batched_images) const;
+
+    /** The engine-facing adaptive options resolved from
+     *  opts_.adaptive with budget `t`. */
+    accel::McAdaptiveOptions adaptiveOptions(int t) const;
 
     void workerLoop();
     void ensureWorker();

@@ -1,0 +1,115 @@
+#include "stats/sequential_test.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "stats/normal.hh"
+
+namespace vibnn::stats
+{
+
+void
+SequentialPosteriorTest::reset(std::size_t classes)
+{
+    sum_.assign(classes, 0.0);
+    sumSq_.assign(classes, 0.0);
+    samples_ = 0;
+}
+
+void
+SequentialPosteriorTest::add(const float *sample_probs)
+{
+    for (std::size_t c = 0; c < sum_.size(); ++c) {
+        const double p = static_cast<double>(sample_probs[c]);
+        sum_[c] += p;
+        sumSq_[c] += p * p;
+    }
+    ++samples_;
+}
+
+void
+SequentialPosteriorTest::mean(float *out) const
+{
+    if (samples_ == 0) {
+        std::fill(out, out + sum_.size(), 0.0f);
+        return;
+    }
+    const double inv = 1.0 / static_cast<double>(samples_);
+    for (std::size_t c = 0; c < sum_.size(); ++c)
+        out[c] = static_cast<float>(sum_[c] * inv);
+}
+
+std::size_t
+SequentialPosteriorTest::predicted() const
+{
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < sum_.size(); ++c)
+        if (sum_[c] > sum_[best])
+            best = c;
+    return best;
+}
+
+void
+SequentialPosteriorTest::top2(std::size_t &first,
+                              std::size_t &second) const
+{
+    first = predicted();
+    second = first == 0 ? 1 : 0;
+    for (std::size_t c = 0; c < sum_.size(); ++c) {
+        if (c == first)
+            continue;
+        if (sum_[c] > sum_[second])
+            second = c;
+    }
+}
+
+SequentialDecision
+SequentialPosteriorTest::decide(const SequentialTestConfig &config,
+                                int budget) const
+{
+    VIBNN_ASSERT(config.confidence > 0.0 && config.confidence < 1.0,
+                 "sequential test confidence must be in (0, 1)");
+    if (samples_ < std::max(config.minSamples, 1))
+        return SequentialDecision::Continue;
+    // A single class can never change its argmax.
+    if (sum_.size() < 2)
+        return SequentialDecision::Decided;
+
+    std::size_t c1 = 0, c2 = 0;
+    top2(c1, c2);
+    const double gap = sum_[c1] - sum_[c2];
+    const double remaining =
+        static_cast<double>(budget) - static_cast<double>(samples_);
+
+    // Hard bound: every future sample shifts the (c1 - c2) vote gap by
+    // at most 1 (it can hand at most its whole unit of probability
+    // mass to c2 and none to c1), so a gap strictly larger than the
+    // remaining budget freezes the decision. c2 is the runner-up over
+    // ALL classes, so no third class can overtake either.
+    if (gap > remaining)
+        return SequentialDecision::Decided;
+    if (samples_ < 2) // no variance estimate from one sample
+        return SequentialDecision::Continue;
+
+    // Statistical bound: one-sided CI on the mean gap. The covariance
+    // of the two class masses is unknown at this altitude, so bound
+    // sd(gap) by sd1 + sd2 — always >= the true value, so the test can
+    // only be too cautious, never too eager.
+    const double t = static_cast<double>(samples_);
+    const double mean_gap = gap / t;
+    auto variance = [&](std::size_t c) {
+        const double m = sum_[c] / t;
+        // Sample variance (n - 1 denominator); clamp float roundoff.
+        const double v = (sumSq_[c] - t * m * m) / (t - 1.0);
+        return std::max(v, 0.0);
+    };
+    const double sd =
+        std::sqrt(variance(c1)) + std::sqrt(variance(c2));
+    const double z = normalInvCdf(config.confidence);
+    if (mean_gap > z * sd / std::sqrt(t))
+        return SequentialDecision::Converged;
+    return SequentialDecision::Continue;
+}
+
+} // namespace vibnn::stats

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sequential convergence test for Monte-Carlo posterior predictives.
+ *
+ * The fixed-ensemble estimate (paper equation (6)) spends T rounds on
+ * every input, but for most inputs the running class-vote statistics
+ * settle long before the budget is spent: after a handful of samples
+ * the top-1 mass leads the top-2 mass by far more than the sampling
+ * noise could ever close. This test watches one image's running
+ * per-sample softmax distributions and answers, at any checkpoint,
+ * whether more rounds can still change the decision:
+ *
+ *  - Decided: the vote gap is mathematically frozen. Every future
+ *    sample moves the (top-1 - top-2) probability-mass gap by at most
+ *    1, so once gap > remaining-budget the argmax cannot flip no
+ *    matter what the remaining draws produce.
+ *  - Converged: a one-sided confidence-interval test on the running
+ *    top-1 vs top-2 mean mass. The per-class variance is tracked
+ *    across samples and the gap's standard error is bounded
+ *    conservatively by (sd1 + sd2)/sqrt(t) (the Cauchy-Schwarz worst
+ *    case of the unknown covariance, so the test only ever errs toward
+ *    running MORE rounds). Exit when mean gap > z * se at the
+ *    configured confidence.
+ *  - Continue: neither criterion holds (or fewer than minSamples have
+ *    been observed).
+ *
+ * Everything is accumulated serially in double precision in sample
+ * order, so a decision is a pure function of the sample sequence —
+ * schedule- and batch-composition-independent by construction, which
+ * is what lets the adaptive Monte-Carlo path above this pin
+ * bit-identical results across thread counts.
+ */
+
+#ifndef VIBNN_STATS_SEQUENTIAL_TEST_HH
+#define VIBNN_STATS_SEQUENTIAL_TEST_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace vibnn::stats
+{
+
+/** Outcome of one convergence checkpoint. */
+enum class SequentialDecision
+{
+    /** Keep sampling: the posterior is still undecided. */
+    Continue,
+    /** The statistical test says more rounds cannot plausibly change
+     *  the argmax at the configured confidence. */
+    Converged,
+    /** The vote gap exceeds the remaining budget: the argmax is
+     *  mathematically frozen, not just statistically settled. */
+    Decided,
+};
+
+/** Policy knobs of the sequential test. */
+struct SequentialTestConfig
+{
+    /** One-sided confidence that the top-1 vs top-2 gap is positive
+     *  before Converged fires; must be in (0, 1). Higher values spend
+     *  more rounds before exiting. */
+    double confidence = 0.999;
+    /** No exit decision before this many samples (variance estimates
+     *  from 1-2 samples are meaningless). */
+    int minSamples = 4;
+};
+
+/**
+ * Running class-vote / posterior-predictive statistics of ONE image's
+ * Monte-Carlo ensemble, with the early-exit decision rule.
+ */
+class SequentialPosteriorTest
+{
+  public:
+    SequentialPosteriorTest() = default;
+    explicit SequentialPosteriorTest(std::size_t classes)
+    {
+        reset(classes);
+    }
+
+    /** Clear all state and size for `classes` classes. */
+    void reset(std::size_t classes);
+
+    /** Accumulate one MC sample's softmax distribution (`classes`
+     *  entries summing to ~1). Serial, in sample order. */
+    void add(const float *sample_probs);
+
+    /** Samples accumulated so far. */
+    int samples() const { return samples_; }
+
+    /** Class count this test was reset for. */
+    std::size_t classes() const { return sum_.size(); }
+
+    /** Running ensemble-mean probabilities (sum / samples) into
+     *  `out[0..classes)`. Zero-filled before any sample. */
+    void mean(float *out) const;
+
+    /** argmax of the running mean (lowest index wins ties); 0 before
+     *  any sample. */
+    std::size_t predicted() const;
+
+    /**
+     * The checkpoint decision given the total round budget. Pure:
+     * depends only on the samples added so far and the arguments, so
+     * re-evaluating at the same state always answers the same.
+     */
+    SequentialDecision decide(const SequentialTestConfig &config,
+                              int budget) const;
+
+  private:
+    /** Indices of the largest and second-largest running vote mass. */
+    void top2(std::size_t &first, std::size_t &second) const;
+
+    /** Per-class sum of per-sample probabilities. */
+    std::vector<double> sum_;
+    /** Per-class sum of squared per-sample probabilities (for the
+     *  running variance). */
+    std::vector<double> sumSq_;
+    int samples_ = 0;
+};
+
+} // namespace vibnn::stats
+
+#endif // VIBNN_STATS_SEQUENTIAL_TEST_HH

@@ -451,6 +451,57 @@ TEST(Philox, ReseedMatchesFreshConstruction)
         ASSERT_DOUBLE_EQ(recycled->next(), fresh->next()) << "i=" << i;
 }
 
+TEST(Philox, PairCacheInvalidatedByReseed)
+{
+    // next() memoizes the current Box-Muller pair (one transform per
+    // two samples). After a rekey the same block index holds different
+    // values, so a stale cache would replay the old key's pair —
+    // drawing one sample (block 0 cached), reseeding, then drawing
+    // from block 0 again is the exact aliasing scenario.
+    auto recycled = makeGenerator("philox", 3);
+    (void)recycled->next(); // caches block 0 of key(3)
+    ASSERT_TRUE(recycled->reseed(99));
+
+    auto fresh = makeGenerator("philox", 99);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_DOUBLE_EQ(recycled->next(), fresh->next()) << "i=" << i;
+}
+
+TEST(Philox, NextAndFillInterleavingsShareOneStream)
+{
+    // Phase-at-a-time next(), bulk fill() at every parity, and
+    // random-access fillFixedAt() all walk the same keyed stream; the
+    // pair cache must be invisible across any interleaving.
+    auto seq = makeGenerator("philox", 4242);
+    std::vector<double> reference(512);
+    seq->fill(reference.data(), reference.size());
+
+    auto mixed = makeGenerator("philox", 4242);
+    std::size_t at = 0;
+    const std::size_t steps[] = {1, 1, 3, 1, 2, 7, 1, 1, 5, 4, 1, 9};
+    for (const std::size_t n : steps) {
+        if (n == 1) {
+            ASSERT_DOUBLE_EQ(mixed->next(), reference[at]) << at;
+            ++at;
+        } else {
+            std::vector<double> chunk(n);
+            mixed->fill(chunk.data(), n);
+            for (std::size_t i = 0; i < n; ++i)
+                ASSERT_DOUBLE_EQ(chunk[i], reference[at + i])
+                    << at + i;
+            at += n;
+        }
+    }
+    // Random access through the same instance, then back to next().
+    const fixed::FixedPointFormat fmt{8, 5};
+    std::int32_t fixed_buf[33];
+    mixed->fillFixedAt(101, fixed_buf, 33, fmt);
+    for (int i = 0; i < 33; ++i)
+        ASSERT_EQ(fixed_buf[i], fmt.fromReal(reference[101 + i]))
+            << "i=" << i;
+    ASSERT_DOUBLE_EQ(mixed->next(), reference[at]);
+}
+
 TEST(Philox, StatefulGeneratorsRejectSplitApis)
 {
     auto rlf = makeGenerator("rlf", 1);

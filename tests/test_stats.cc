@@ -17,6 +17,7 @@
 #include "stats/moments.hh"
 #include "stats/normal.hh"
 #include "stats/runs_test.hh"
+#include "stats/sequential_test.hh"
 #include "stats/special.hh"
 
 using namespace vibnn;
@@ -266,4 +267,133 @@ TEST(Histogram, CountsAndEdges)
     EXPECT_EQ(h.total(), 6u);
     EXPECT_NEAR(h.binCenter(0), -0.75, 1e-12);
     EXPECT_FALSE(h.renderAscii().empty());
+}
+
+// ---- SequentialPosteriorTest (the adaptive early-exit decision rule)
+
+TEST(SequentialTest, ContinuesBeforeMinSamples)
+{
+    SequentialPosteriorTest test(3);
+    SequentialTestConfig config;
+    config.minSamples = 4;
+    const float certain[3] = {1.0f, 0.0f, 0.0f};
+    for (int s = 0; s < 3; ++s) {
+        test.add(certain);
+        EXPECT_EQ(test.decide(config, 32), SequentialDecision::Continue)
+            << "sample " << s;
+    }
+    test.add(certain);
+    EXPECT_NE(test.decide(config, 32), SequentialDecision::Continue);
+}
+
+TEST(SequentialTest, DecidedWhenGapExceedsRemainingBudget)
+{
+    // After 4 unanimous samples the gap is 4; with budget 7 only 3
+    // rounds remain, and each can shift the gap by at most 1 — the
+    // argmax is mathematically frozen.
+    SequentialPosteriorTest test(2);
+    SequentialTestConfig config;
+    config.minSamples = 4;
+    const float certain[2] = {1.0f, 0.0f};
+    for (int s = 0; s < 4; ++s)
+        test.add(certain);
+    EXPECT_EQ(test.decide(config, 7), SequentialDecision::Decided);
+    // With 4 or more rounds remaining the hard bound cannot fire (a
+    // zero-variance stream converges statistically instead).
+    EXPECT_NE(test.decide(config, 9), SequentialDecision::Decided);
+}
+
+TEST(SequentialTest, ConvergesOnConsistentSamples)
+{
+    // A clear, low-noise margin converges statistically long before
+    // the vote gap could freeze against a large budget.
+    SequentialPosteriorTest test(3);
+    SequentialTestConfig config;
+    config.minSamples = 4;
+    config.confidence = 0.999;
+    Rng rng(5);
+    for (int s = 0; s < 8; ++s) {
+        const float eps = static_cast<float>(rng.uniform()) * 0.02f;
+        const float sample[3] = {0.7f - eps, 0.2f, 0.1f + eps};
+        test.add(sample);
+    }
+    EXPECT_EQ(test.decide(config, 1024),
+              SequentialDecision::Converged);
+}
+
+TEST(SequentialTest, ContinuesWhileContested)
+{
+    // Alternating winners: the mean gap stays near zero relative to
+    // its spread, so no exit fires while budget remains.
+    SequentialPosteriorTest test(2);
+    SequentialTestConfig config;
+    config.minSamples = 4;
+    for (int s = 0; s < 16; ++s) {
+        const float a[2] = {0.9f, 0.1f};
+        const float b[2] = {0.1f, 0.9f};
+        test.add((s % 2) ? b : a);
+        if (test.samples() >= config.minSamples)
+            EXPECT_EQ(test.decide(config, 1024),
+                      SequentialDecision::Continue)
+                << "sample " << s;
+    }
+}
+
+TEST(SequentialTest, HigherConfidenceIsMoreCautious)
+{
+    // The exact state that converges at a loose confidence must not
+    // converge at a strict one when the margin sits between the two
+    // thresholds.
+    SequentialPosteriorTest test(2);
+    Rng rng(11);
+    for (int s = 0; s < 6; ++s) {
+        const float noise = static_cast<float>(rng.gaussian()) * 0.08f;
+        const float sample[2] = {0.56f + noise, 0.44f - noise};
+        test.add(sample);
+    }
+    SequentialTestConfig loose;
+    loose.confidence = 0.6;
+    SequentialTestConfig strict;
+    strict.confidence = 0.999999;
+    EXPECT_EQ(test.decide(loose, 1 << 20),
+              SequentialDecision::Converged);
+    EXPECT_EQ(test.decide(strict, 1 << 20),
+              SequentialDecision::Continue);
+}
+
+TEST(SequentialTest, MeanAndPredictedTrackRunningAverage)
+{
+    SequentialPosteriorTest test(3);
+    const float s1[3] = {0.5f, 0.3f, 0.2f};
+    const float s2[3] = {0.1f, 0.7f, 0.2f};
+    test.add(s1);
+    test.add(s2);
+    float mean[3];
+    test.mean(mean);
+    EXPECT_FLOAT_EQ(mean[0], 0.3f);
+    EXPECT_FLOAT_EQ(mean[1], 0.5f);
+    EXPECT_FLOAT_EQ(mean[2], 0.2f);
+    EXPECT_EQ(test.predicted(), 1u);
+    EXPECT_EQ(test.samples(), 2);
+}
+
+TEST(SequentialTest, DecisionIsPureFunctionOfState)
+{
+    // Re-evaluating at the same accumulated state answers the same —
+    // the property that makes chunk-boundary checks schedule-free.
+    SequentialPosteriorTest test(4);
+    SequentialTestConfig config;
+    Rng rng(17);
+    for (int s = 0; s < 12; ++s) {
+        float sample[4];
+        float sum = 0.0f;
+        for (auto &v : sample)
+            sum += v = static_cast<float>(rng.uniform());
+        for (auto &v : sample)
+            v /= sum;
+        test.add(sample);
+    }
+    const auto first = test.decide(config, 64);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(test.decide(config, 64), first);
 }

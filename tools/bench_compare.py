@@ -31,7 +31,8 @@ import json
 import sys
 
 IDENTITY_KEYS = ("bench", "section", "backend", "schedule", "style",
-                 "kernel", "tier", "generator", "T", "batch", "requests")
+                 "kernel", "tier", "generator", "T", "batch", "requests",
+                 "confidence", "budget")
 DEFAULT_METRIC = "images_per_s"
 
 
