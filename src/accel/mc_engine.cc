@@ -483,23 +483,10 @@ McEngine::classifyBatchAdaptive(const float *xs, std::size_t count,
         }
         done = next;
 
-        // Anytime deadline (wall clock, chunk granularity): whatever
-        // is still active keeps its running mean as the best answer by
-        // the deadline.
-        if (timed) {
-            const double elapsed =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t_start)
-                    .count();
-            if (elapsed >= options.deadlineSeconds) {
-                for (const std::uint32_t image : active)
-                    result.exitReason[image] = McExitReason::Deadline;
-                active.clear();
-                break;
-            }
-        }
-
         // Retire converged/decided images; compact the survivors.
+        // This runs before the deadline check so images that settled
+        // during this chunk report their true exit reason even when
+        // the chunk also blew the deadline.
         std::vector<std::uint32_t> survivors;
         survivors.reserve(active.size());
         for (const std::uint32_t image : active) {
@@ -516,6 +503,23 @@ McEngine::classifyBatchAdaptive(const float *xs, std::size_t count,
         }
         if (done < budget)
             active.swap(survivors);
+
+        // Anytime deadline (wall clock, chunk granularity): whatever
+        // is still active keeps its running mean as the best answer by
+        // the deadline. Images that just exhausted the budget keep
+        // their Budget reason — the deadline only cuts rounds short.
+        if (timed && done < budget && !active.empty()) {
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t_start)
+                    .count();
+            if (elapsed >= options.deadlineSeconds) {
+                for (const std::uint32_t image : active)
+                    result.exitReason[image] = McExitReason::Deadline;
+                active.clear();
+                break;
+            }
+        }
     }
 
     double total_rounds = 0.0;

@@ -110,10 +110,15 @@ void
 PhiloxGrng::fillAt(std::uint64_t offset, double *out,
                    std::size_t n) const
 {
+    // Stateless on purpose: fillFixedAt is documented to run
+    // concurrently from multiple shards on one generator, so the
+    // stranded phases must not touch the shared pair cache — they pay
+    // the full-block transform into a local pair instead.
     std::size_t k = 0;
     double pair[2];
     if (n > 0 && (offset & 1)) { // stranded odd phase at the front
-        out[k++] = ensureBlock(offset >> 1)[1];
+        sampleBlock(offset >> 1, pair);
+        out[k++] = pair[1];
         ++offset;
     }
     for (; k + 2 <= n; k += 2, offset += 2) {
@@ -121,9 +126,9 @@ PhiloxGrng::fillAt(std::uint64_t offset, double *out,
         out[k] = pair[0];
         out[k + 1] = pair[1];
     }
-    if (k < n) { // stranded even phase at the back: cache it — the
-                 // very next sample consumed is its odd phase
-        out[k] = ensureBlock(offset >> 1)[0];
+    if (k < n) { // stranded even phase at the back
+        sampleBlock(offset >> 1, pair);
+        out[k] = pair[0];
     }
 }
 

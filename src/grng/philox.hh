@@ -60,15 +60,20 @@ class PhiloxGrng : public GaussianGenerator
     /** Both Box-Muller phases of counter block `block`. */
     void sampleBlock(std::uint64_t block, double out2[2]) const;
 
-    /** Both phases of `block` via the one-block cache: a phase-at-a-
-     *  time consumer (sequential next(), stranded fill boundaries)
-     *  pays the Philox + Box-Muller transform once per PAIR instead of
-     *  once per sample (~2x). Pure memoization of a deterministic
-     *  function of (key, block), so stream values are unchanged. */
+    /** Both phases of `block` via the one-block cache: the sequential
+     *  phase-at-a-time consumer (next()) pays the Philox + Box-Muller
+     *  transform once per PAIR instead of once per sample (~2x). Pure
+     *  memoization of a deterministic function of (key, block), so
+     *  stream values are unchanged. Only the single-threaded next()
+     *  path may use it: fillAt() must stay stateless because
+     *  fillFixedAt() runs concurrently from multiple shards. */
     const double *ensureBlock(std::uint64_t block) const;
 
-    /** Stateless core shared by fill()/fillFixedAt(): samples
-     *  `offset .. offset + n` of the keyed stream. */
+    /** Stateless (and therefore concurrency-safe) core shared by
+     *  fill()/fillFixedAt(): samples `offset .. offset + n` of the
+     *  keyed stream. Touches no generator state, not even the pair
+     *  cache — sampleBlockFusedAt shards one generator across pool
+     *  threads through this path. */
     void fillAt(std::uint64_t offset, double *out, std::size_t n) const;
 
     std::uint32_t key0_;
