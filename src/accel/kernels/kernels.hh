@@ -193,6 +193,78 @@ struct SampleParams
     std::int64_t epsAbsMax = 0;
 };
 
+/**
+ * One float32 batched GEMM call for the training path. The same
+ * argument block serves three contraction shapes (the fields are
+ * interpreted per entry point, see the KernelOps members):
+ *
+ *   gemmBatchF32  c[i][j]  = dot(aRow i, bRow j, k) + bias[j]
+ *                 (forward: activations (m x k) times weight rows
+ *                 (n x k) — both operands contiguous in the reduction
+ *                 index)
+ *   gemmAtBF32    c[j][:k] += sum_i a[i][j] * b[i][:k], and
+ *                 colSums[j] += a[i][j]
+ *                 (backward weight grads dW = dyT . X with the bias
+ *                 grad — the column sum of dy — folded in)
+ *   gemmABF32     c[i][:k]  = sum_j a[i][j] * b[j][:k]
+ *                 (backward delta dx = dy . W; overwrites c)
+ *
+ * Unlike the integer GEMM, float accumulation is order-sensitive, so
+ * each entry point fixes a canonical accumulation order that every
+ * tier reproduces bit for bit: gemmBatchF32 accumulates into eight
+ * strided lanes (lane k mod 8) reduced by a fixed tree
+ * (reduceLanes8F32), and the two backward shapes keep the reduction
+ * index sequential per output element (vectorizing across independent
+ * output elements only). Kernel translation units are compiled with
+ * -ffp-contract=off so no tier silently fuses the multiply-add.
+ */
+struct GemmF32Args
+{
+    /** A, m rows of stride lda. */
+    const float *a = nullptr;
+    std::size_t lda = 0;
+    /** B, rows of stride ldb (n rows for gemmBatchF32/gemmABF32,
+     *  m rows for gemmAtBF32). */
+    const float *b = nullptr;
+    std::size_t ldb = 0;
+    /** C, rows of stride ldc (m rows of n for gemmBatchF32, n rows of
+     *  k for gemmAtBF32, m rows of k for gemmABF32). */
+    float *c = nullptr;
+    std::size_t ldc = 0;
+    std::size_t m = 0;
+    std::size_t n = 0;
+    std::size_t k = 0;
+    /** gemmBatchF32 only: optional bias, n entries, added once per
+     *  output (out = dot + bias[j], a single rounding). */
+    const float *bias = nullptr;
+    /** gemmAtBF32 only: optional column-sum accumulator, n entries
+     *  (the bias gradient), accumulated in the same i order as c. */
+    float *colSums = nullptr;
+};
+
+/** One fused Adam step over a parameter segment. The caller owns the
+ *  timestep and passes the bias corrections explicitly so a segmented
+ *  sweep over many tensors shares one logical step. Arithmetic per
+ *  element (IEEE single, no contraction — identical on every tier):
+ *    g = grad * gradScale
+ *    m = beta1 * m + (1 - beta1) * g
+ *    v = beta2 * v + (1 - beta2) * g * g
+ *    p -= lr * (m / bc1) / (sqrt(v / bc2) + epsilon)
+ */
+struct AdamStepArgs
+{
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    /** Bias corrections 1 - beta^t for the current step. */
+    float bc1 = 1.0f;
+    float bc2 = 1.0f;
+    /** Applied to every gradient before the moment updates (minibatch
+     *  1/N scaling without a separate pass). */
+    float gradScale = 1.0f;
+};
+
 /** One dispatch tier: a named table of kernel entry points. */
 struct KernelOps
 {
@@ -252,6 +324,23 @@ struct KernelOps
     void (*wallacePass)(double *pool, std::size_t poolSize,
                         std::size_t offset, std::size_t stride,
                         double *out);
+
+    /** Batched f32 forward GEMM: c[i][j] = lane-8 dot(aRow i, bRow j)
+     *  + bias[j] (see GemmF32Args). */
+    void (*gemmBatchF32)(const GemmF32Args &args);
+
+    /** f32 AT.B accumulation (weight grads + bias-grad column sums,
+     *  see GemmF32Args). */
+    void (*gemmAtBF32)(const GemmF32Args &args);
+
+    /** f32 A.B overwrite (delta backprop, see GemmF32Args). */
+    void (*gemmABF32)(const GemmF32Args &args);
+
+    /** Fused Adam update over a contiguous segment: params, grads and
+     *  both moment vectors advance element-wise per AdamStepArgs. */
+    void (*adamStepF32)(float *params, const float *grads, float *m,
+                        float *v, std::size_t n,
+                        const AdamStepArgs &args);
 };
 
 /** The shared finish stage: bias add on the accumulator grid, optional

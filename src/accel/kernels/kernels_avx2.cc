@@ -431,6 +431,156 @@ wallacePassAvx2(double *pool, std::size_t pool_size, std::size_t offset,
     }
 }
 
+/** Finish one lane-8 accumulator: spill, run the scalar tail over
+ *  [k, n), reduce with the canonical tree. Spilling keeps the tail and
+ *  reduction literally the scalar reference — bit-exact for free. */
+inline float
+finishDotLanes8(__m256 acc, const float *a, const float *b,
+                std::size_t k, std::size_t n)
+{
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, acc);
+    detail::dotLanes8TailF32(lanes, a, b, k, n);
+    return detail::reduceLanes8F32(lanes);
+}
+
+void
+gemmBatchF32Avx2(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        float *crow = g.c + i * g.ldc;
+        std::size_t j = 0;
+        // 4 weight rows per activation load: the row register feeds
+        // four independent lane-8 accumulators (each one keeps the
+        // scalar lane decomposition, so the tile is purely ILP).
+        for (; j + 4 <= g.n; j += 4) {
+            const float *b0 = g.b + j * g.ldb;
+            const float *b1 = b0 + g.ldb;
+            const float *b2 = b1 + g.ldb;
+            const float *b3 = b2 + g.ldb;
+            __m256 acc0 = _mm256_setzero_ps();
+            __m256 acc1 = _mm256_setzero_ps();
+            __m256 acc2 = _mm256_setzero_ps();
+            __m256 acc3 = _mm256_setzero_ps();
+            std::size_t k = 0;
+            for (; k + 8 <= g.k; k += 8) {
+                const __m256 av = _mm256_loadu_ps(arow + k);
+                acc0 = _mm256_add_ps(
+                    acc0, _mm256_mul_ps(av, _mm256_loadu_ps(b0 + k)));
+                acc1 = _mm256_add_ps(
+                    acc1, _mm256_mul_ps(av, _mm256_loadu_ps(b1 + k)));
+                acc2 = _mm256_add_ps(
+                    acc2, _mm256_mul_ps(av, _mm256_loadu_ps(b2 + k)));
+                acc3 = _mm256_add_ps(
+                    acc3, _mm256_mul_ps(av, _mm256_loadu_ps(b3 + k)));
+            }
+            const float d0 = finishDotLanes8(acc0, arow, b0, k, g.k);
+            const float d1 = finishDotLanes8(acc1, arow, b1, k, g.k);
+            const float d2 = finishDotLanes8(acc2, arow, b2, k, g.k);
+            const float d3 = finishDotLanes8(acc3, arow, b3, k, g.k);
+            if (g.bias) {
+                crow[j + 0] = d0 + g.bias[j + 0];
+                crow[j + 1] = d1 + g.bias[j + 1];
+                crow[j + 2] = d2 + g.bias[j + 2];
+                crow[j + 3] = d3 + g.bias[j + 3];
+            } else {
+                crow[j + 0] = d0;
+                crow[j + 1] = d1;
+                crow[j + 2] = d2;
+                crow[j + 3] = d3;
+            }
+        }
+        for (; j < g.n; ++j) {
+            const float *brow = g.b + j * g.ldb;
+            __m256 acc = _mm256_setzero_ps();
+            std::size_t k = 0;
+            for (; k + 8 <= g.k; k += 8)
+                acc = _mm256_add_ps(
+                    acc, _mm256_mul_ps(_mm256_loadu_ps(arow + k),
+                                       _mm256_loadu_ps(brow + k)));
+            const float dot = finishDotLanes8(acc, arow, brow, k, g.k);
+            crow[j] = g.bias ? dot + g.bias[j] : dot;
+        }
+    }
+}
+
+inline void
+axpyAvx2(float *crow, float s, const float *brow, std::size_t n)
+{
+    const __m256 sv = _mm256_set1_ps(s);
+    std::size_t t = 0;
+    for (; t + 8 <= n; t += 8)
+        _mm256_storeu_ps(
+            crow + t,
+            _mm256_add_ps(_mm256_loadu_ps(crow + t),
+                          _mm256_mul_ps(sv, _mm256_loadu_ps(brow + t))));
+    detail::axpyTailF32(crow, s, brow, t, n);
+}
+
+void
+gemmAtBF32Avx2(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        const float *brow = g.b + i * g.ldb;
+        for (std::size_t j = 0; j < g.n; ++j) {
+            const float aij = arow[j];
+            if (g.colSums)
+                g.colSums[j] += aij;
+            axpyAvx2(g.c + j * g.ldc, aij, brow, g.k);
+        }
+    }
+}
+
+void
+gemmABF32Avx2(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        float *crow = g.c + i * g.ldc;
+        for (std::size_t t = 0; t < g.k; ++t)
+            crow[t] = 0.0f;
+        for (std::size_t j = 0; j < g.n; ++j)
+            axpyAvx2(crow, arow[j], g.b + j * g.ldb, g.k);
+    }
+}
+
+void
+adamStepF32Avx2(float *params, const float *grads, float *m, float *v,
+                std::size_t n, const AdamStepArgs &a)
+{
+    const __m256 lr = _mm256_set1_ps(a.lr);
+    const __m256 b1 = _mm256_set1_ps(a.beta1);
+    const __m256 b2 = _mm256_set1_ps(a.beta2);
+    const __m256 ob1 = _mm256_set1_ps(1.0f - a.beta1);
+    const __m256 ob2 = _mm256_set1_ps(1.0f - a.beta2);
+    const __m256 bc1 = _mm256_set1_ps(a.bc1);
+    const __m256 bc2 = _mm256_set1_ps(a.bc2);
+    const __m256 eps = _mm256_set1_ps(a.epsilon);
+    const __m256 gs = _mm256_set1_ps(a.gradScale);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 g = _mm256_mul_ps(_mm256_loadu_ps(grads + i), gs);
+        __m256 mv = _mm256_loadu_ps(m + i);
+        __m256 vv = _mm256_loadu_ps(v + i);
+        mv = _mm256_add_ps(_mm256_mul_ps(b1, mv), _mm256_mul_ps(ob1, g));
+        vv = _mm256_add_ps(_mm256_mul_ps(b2, vv),
+                           _mm256_mul_ps(_mm256_mul_ps(ob2, g), g));
+        _mm256_storeu_ps(m + i, mv);
+        _mm256_storeu_ps(v + i, vv);
+        const __m256 mh = _mm256_div_ps(mv, bc1);
+        const __m256 vh = _mm256_div_ps(vv, bc2);
+        const __m256 upd = _mm256_div_ps(
+            _mm256_mul_ps(lr, mh),
+            _mm256_add_ps(_mm256_sqrt_ps(vh), eps));
+        _mm256_storeu_ps(params + i,
+                         _mm256_sub_ps(_mm256_loadu_ps(params + i), upd));
+    }
+    for (; i < n; ++i)
+        detail::adamOneF32(params[i], grads[i], m[i], v[i], a);
+}
+
 } // namespace
 
 const KernelOps &
@@ -440,6 +590,8 @@ avx2Kernels()
         "avx2",           &quantizeDoubleAvx2, &quantizeFloatAvx2,
         &sampleWeightsAvx2, &packInt16Avx2,    &gemmBatchAvx2,
         &rlfCycleCountsAvx2, &wallacePassAvx2,
+        &gemmBatchF32Avx2, &gemmAtBF32Avx2,    &gemmABF32Avx2,
+        &adamStepF32Avx2,
     };
     return ops;
 }

@@ -171,6 +171,71 @@ wallaceQuad(double *pool, const std::size_t idx[4], double *out4)
     }
 }
 
+/** The canonical lane-8 reduction tree of gemmBatchF32: every tier
+ *  ends its dot product with exactly this association, whether the
+ *  lanes were accumulated by AVX2 registers or the scalar loop. */
+inline float
+reduceLanes8F32(const float lanes[8])
+{
+    const float m0 = lanes[0] + lanes[4];
+    const float m1 = lanes[1] + lanes[5];
+    const float m2 = lanes[2] + lanes[6];
+    const float m3 = lanes[3] + lanes[7];
+    return (m0 + m2) + (m1 + m3);
+}
+
+/** Scalar continuation of the lane-8 dot product over [k0, n): element
+ *  k lands in lane k mod 8, matching one 8-wide vector register (or
+ *  the lo/hi SSE pair) walking the same range. */
+inline void
+dotLanes8TailF32(float lanes[8], const float *a, const float *b,
+                 std::size_t k0, std::size_t n)
+{
+    for (std::size_t k = k0; k < n; ++k) {
+        const float p = a[k] * b[k];
+        lanes[k & 7] += p;
+    }
+}
+
+/** Full scalar lane-8 dot product — the gemmBatchF32 reference body. */
+inline float
+dotLanes8F32(const float *a, const float *b, std::size_t n)
+{
+    float lanes[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+    dotLanes8TailF32(lanes, a, b, 0, n);
+    return reduceLanes8F32(lanes);
+}
+
+/** Scalar axpy continuation over [k0, n): dst[k] += s * src[k] with
+ *  the explicit two-rounding (multiply then add) every tier uses. */
+inline void
+axpyTailF32(float *dst, float s, const float *src, std::size_t k0,
+            std::size_t n)
+{
+    for (std::size_t k = k0; k < n; ++k) {
+        const float p = s * src[k];
+        dst[k] += p;
+    }
+}
+
+/** One Adam element update (see AdamStepArgs) — mul/add/div/sqrt are
+ *  all correctly rounded in IEEE single, so the SIMD tiers match this
+ *  bit for bit without any ordering care. */
+inline void
+adamOneF32(float &p, float g, float &m, float &v, const AdamStepArgs &a)
+{
+    // Association mirrors the historical AdamOptimizer::step loop
+    // (((1-b2)*g)*g, (lr*mh)/(sqrt+eps)) so stepping layer storage in
+    // place through this kernel reproduces the old gather/step/scatter
+    // trajectory bit for bit.
+    const float gs = g * a.gradScale;
+    m = a.beta1 * m + (1.0f - a.beta1) * gs;
+    v = a.beta2 * v + ((1.0f - a.beta2) * gs) * gs;
+    const float mh = m / a.bc1;
+    const float vh = v / a.bc2;
+    p -= (a.lr * mh) / (std::sqrt(vh) + a.epsilon);
+}
+
 /** Scalar reference for wallacePass (see KernelOps::wallacePass). */
 inline void
 wallacePassScalar(double *pool, std::size_t pool_size, std::size_t offset,

@@ -87,6 +87,56 @@ gemmBatchScalar(const GemmArgs &a)
     }
 }
 
+void
+gemmBatchF32Scalar(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        float *crow = g.c + i * g.ldc;
+        for (std::size_t j = 0; j < g.n; ++j) {
+            const float dot =
+                detail::dotLanes8F32(arow, g.b + j * g.ldb, g.k);
+            crow[j] = g.bias ? dot + g.bias[j] : dot;
+        }
+    }
+}
+
+void
+gemmAtBF32Scalar(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        const float *brow = g.b + i * g.ldb;
+        for (std::size_t j = 0; j < g.n; ++j) {
+            const float aij = arow[j];
+            if (g.colSums)
+                g.colSums[j] += aij;
+            detail::axpyTailF32(g.c + j * g.ldc, aij, brow, 0, g.k);
+        }
+    }
+}
+
+void
+gemmABF32Scalar(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        float *crow = g.c + i * g.ldc;
+        for (std::size_t t = 0; t < g.k; ++t)
+            crow[t] = 0.0f;
+        for (std::size_t j = 0; j < g.n; ++j)
+            detail::axpyTailF32(crow, arow[j], g.b + j * g.ldb, 0, g.k);
+    }
+}
+
+void
+adamStepF32Scalar(float *params, const float *grads, float *m, float *v,
+                  std::size_t n, const AdamStepArgs &args)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        detail::adamOneF32(params[i], grads[i], m[i], v[i], args);
+}
+
 } // namespace
 
 const KernelOps &
@@ -96,6 +146,8 @@ scalarKernels()
         "scalar",          &quantizeDoubleScalar, &quantizeFloatScalar,
         &sampleWeightsScalar, &packInt16Scalar,   &gemmBatchScalar,
         &rlfCycleCountsScalar, &wallacePassScalarTier,
+        &gemmBatchF32Scalar, &gemmAtBF32Scalar,   &gemmABF32Scalar,
+        &adamStepF32Scalar,
     };
     return ops;
 }

@@ -234,6 +234,117 @@ gemmBatchSse4(const GemmArgs &a)
     }
 }
 
+/** One lane-8 dot product as a lo/hi __m128 pair: lo carries lanes
+ *  k mod 8 in 0..3, hi lanes 4..7 — the same lane decomposition as the
+ *  scalar reference and one AVX2 register. */
+inline float
+dotLanes8Sse4(const float *a, const float *b, std::size_t n)
+{
+    __m128 lo = _mm_setzero_ps();
+    __m128 hi = _mm_setzero_ps();
+    std::size_t k = 0;
+    for (; k + 8 <= n; k += 8) {
+        lo = _mm_add_ps(lo, _mm_mul_ps(_mm_loadu_ps(a + k),
+                                       _mm_loadu_ps(b + k)));
+        hi = _mm_add_ps(hi, _mm_mul_ps(_mm_loadu_ps(a + k + 4),
+                                       _mm_loadu_ps(b + k + 4)));
+    }
+    alignas(16) float lanes[8];
+    _mm_store_ps(lanes, lo);
+    _mm_store_ps(lanes + 4, hi);
+    detail::dotLanes8TailF32(lanes, a, b, k, n);
+    return detail::reduceLanes8F32(lanes);
+}
+
+void
+gemmBatchF32Sse4(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        float *crow = g.c + i * g.ldc;
+        for (std::size_t j = 0; j < g.n; ++j) {
+            const float dot = dotLanes8Sse4(arow, g.b + j * g.ldb, g.k);
+            crow[j] = g.bias ? dot + g.bias[j] : dot;
+        }
+    }
+}
+
+/** crow[t] += s * brow[t]: each element is an independent sequential
+ *  chain, so vector width never reorders the accumulation. */
+inline void
+axpySse4(float *crow, float s, const float *brow, std::size_t n)
+{
+    const __m128 sv = _mm_set1_ps(s);
+    std::size_t t = 0;
+    for (; t + 4 <= n; t += 4)
+        _mm_storeu_ps(crow + t,
+                      _mm_add_ps(_mm_loadu_ps(crow + t),
+                                 _mm_mul_ps(sv, _mm_loadu_ps(brow + t))));
+    detail::axpyTailF32(crow, s, brow, t, n);
+}
+
+void
+gemmAtBF32Sse4(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        const float *brow = g.b + i * g.ldb;
+        for (std::size_t j = 0; j < g.n; ++j) {
+            const float aij = arow[j];
+            if (g.colSums)
+                g.colSums[j] += aij;
+            axpySse4(g.c + j * g.ldc, aij, brow, g.k);
+        }
+    }
+}
+
+void
+gemmABF32Sse4(const GemmF32Args &g)
+{
+    for (std::size_t i = 0; i < g.m; ++i) {
+        const float *arow = g.a + i * g.lda;
+        float *crow = g.c + i * g.ldc;
+        for (std::size_t t = 0; t < g.k; ++t)
+            crow[t] = 0.0f;
+        for (std::size_t j = 0; j < g.n; ++j)
+            axpySse4(crow, arow[j], g.b + j * g.ldb, g.k);
+    }
+}
+
+void
+adamStepF32Sse4(float *params, const float *grads, float *m, float *v,
+                std::size_t n, const AdamStepArgs &a)
+{
+    const __m128 lr = _mm_set1_ps(a.lr);
+    const __m128 b1 = _mm_set1_ps(a.beta1);
+    const __m128 b2 = _mm_set1_ps(a.beta2);
+    const __m128 ob1 = _mm_set1_ps(1.0f - a.beta1);
+    const __m128 ob2 = _mm_set1_ps(1.0f - a.beta2);
+    const __m128 bc1 = _mm_set1_ps(a.bc1);
+    const __m128 bc2 = _mm_set1_ps(a.bc2);
+    const __m128 eps = _mm_set1_ps(a.epsilon);
+    const __m128 gs = _mm_set1_ps(a.gradScale);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 g = _mm_mul_ps(_mm_loadu_ps(grads + i), gs);
+        __m128 mv = _mm_loadu_ps(m + i);
+        __m128 vv = _mm_loadu_ps(v + i);
+        mv = _mm_add_ps(_mm_mul_ps(b1, mv), _mm_mul_ps(ob1, g));
+        vv = _mm_add_ps(_mm_mul_ps(b2, vv),
+                        _mm_mul_ps(_mm_mul_ps(ob2, g), g));
+        _mm_storeu_ps(m + i, mv);
+        _mm_storeu_ps(v + i, vv);
+        const __m128 mh = _mm_div_ps(mv, bc1);
+        const __m128 vh = _mm_div_ps(vv, bc2);
+        const __m128 upd = _mm_div_ps(
+            _mm_mul_ps(lr, mh), _mm_add_ps(_mm_sqrt_ps(vh), eps));
+        _mm_storeu_ps(params + i,
+                      _mm_sub_ps(_mm_loadu_ps(params + i), upd));
+    }
+    for (; i < n; ++i)
+        detail::adamOneF32(params[i], grads[i], m[i], v[i], a);
+}
+
 } // namespace
 
 const KernelOps &
@@ -243,6 +354,8 @@ sse4Kernels()
         "sse4",           &quantizeDoubleSse4, &quantizeFloatSse4,
         &sampleWeightsSse4, &packInt16Sse4,    &gemmBatchSse4,
         &rlfCycleCountsSse4, &wallacePassSse4,
+        &gemmBatchF32Sse4, &gemmAtBF32Sse4,    &gemmABF32Sse4,
+        &adamStepF32Sse4,
     };
     return ops;
 }

@@ -132,10 +132,9 @@ BayesianMlp::accumulateKl(BnnWorkspace &ws, float prior_sigma,
                           float scale) const
 {
     double kl = 0.0;
-    for (std::size_t i = 0; i < layers_.size(); ++i) {
-        kl += layers_[i].klDivergence(prior_sigma);
-        layers_[i].klBackward(prior_sigma, scale, ws.gradients[i]);
-    }
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        kl += layers_[i].klValueAndGrad(prior_sigma, scale,
+                                        ws.gradients[i]);
     return kl;
 }
 
@@ -257,6 +256,30 @@ BayesianMlp::gatherGrads(const BnnWorkspace &ws,
         for (float g : ws.gradients[i].rhoBias)
             flat[k++] = g * inv;
     }
+}
+
+std::vector<ParamSegment>
+BayesianMlp::paramSegments(std::vector<VariationalGradients> &grads)
+{
+    VIBNN_ASSERT(grads.size() == layers_.size(),
+                 "gradient buffers do not match layer count");
+    std::vector<ParamSegment> segments;
+    segments.reserve(4 * layers_.size());
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        auto &layer = layers_[i];
+        auto &g = grads[i];
+        segments.push_back({layer.muWeight().data().data(),
+                            g.muWeight.data().data(),
+                            layer.muWeight().size()});
+        segments.push_back({layer.rhoWeight().data().data(),
+                            g.rhoWeight.data().data(),
+                            layer.rhoWeight().size()});
+        segments.push_back({layer.muBias().data(), g.muBias.data(),
+                            layer.muBias().size()});
+        segments.push_back({layer.rhoBias().data(), g.rhoBias.data(),
+                            layer.rhoBias().size()});
+    }
+    return segments;
 }
 
 } // namespace vibnn::bnn

@@ -19,6 +19,16 @@
 namespace vibnn::bnn
 {
 
+/** One contiguous (parameter, gradient) span of the flat layout — the
+ *  seam that lets an optimizer step layer storage in place instead of
+ *  round-tripping through gather/scatter copies. */
+struct ParamSegment
+{
+    float *params = nullptr;
+    float *grads = nullptr;
+    std::size_t count = 0;
+};
+
 /** Per-thread scratch for a full-network pass. */
 struct BnnWorkspace
 {
@@ -140,6 +150,12 @@ class BayesianMlp
     void scatterParams(const std::vector<float> &flat);
     void gatherGrads(const BnnWorkspace &ws, std::vector<float> &flat)
         const;
+
+    /** The same flat layout as gatherParams/gatherGrads, but as views
+     *  into the layers' own storage paired with `grads` — the segment
+     *  offsets are stable as long as the architecture is. */
+    std::vector<ParamSegment>
+    paramSegments(std::vector<VariationalGradients> &grads);
 
   private:
     void ensureWorkspace(BnnWorkspace &ws) const;

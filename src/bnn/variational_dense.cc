@@ -217,4 +217,36 @@ VariationalDense::klBackward(float prior_sigma, float scale,
                   grads.rhoBias[i]);
 }
 
+double
+VariationalDense::klValueAndGrad(float prior_sigma, float scale,
+                                 VariationalGradients &grads) const
+{
+    const double p2 = static_cast<double>(prior_sigma) * prior_sigma;
+    const double log_p = std::log(static_cast<double>(prior_sigma));
+    const float inv_p2 = 1.0f / (prior_sigma * prior_sigma);
+    double kl = 0.0;
+
+    auto fused = [&](float mu, float rho, float &gmu, float &grho) {
+        const float s = sigmaOf(rho);
+        kl += log_p - std::log(static_cast<double>(s)) +
+            (static_cast<double>(s) * s +
+             static_cast<double>(mu) * mu) /
+                (2.0 * p2) -
+            0.5;
+        gmu += scale * mu * inv_p2;
+        grho += scale * (s * inv_p2 - 1.0f / s) * nn::logistic(rho);
+    };
+
+    const auto &mw = muWeight_.data();
+    const auto &rw = rhoWeight_.data();
+    auto &gm = grads.muWeight.data();
+    auto &gr = grads.rhoWeight.data();
+    for (std::size_t i = 0; i < mw.size(); ++i)
+        fused(mw[i], rw[i], gm[i], gr[i]);
+    for (std::size_t i = 0; i < muBias_.size(); ++i)
+        fused(muBias_[i], rhoBias_[i], grads.muBias[i],
+              grads.rhoBias[i]);
+    return kl;
+}
+
 } // namespace vibnn::bnn

@@ -131,6 +131,12 @@ class VariationalDense
     void klBackward(float prior_sigma, float scale,
                     VariationalGradients &grads) const;
 
+    /** Fused klDivergence + klBackward: one pass over the parameters
+     *  (softplus evaluated once per element instead of twice).
+     *  Bit-identical to calling the two separately. */
+    double klValueAndGrad(float prior_sigma, float scale,
+                          VariationalGradients &grads) const;
+
     /** sigma = softplus(rho). */
     static float sigmaOf(float rho);
 

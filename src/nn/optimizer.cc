@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "accel/kernels/kernels.hh"
+
 namespace vibnn::nn
 {
 
@@ -40,26 +42,47 @@ AdamOptimizer::AdamOptimizer(float learning_rate, float beta1, float beta2,
 }
 
 void
-AdamOptimizer::step(float *params, const float *grads, std::size_t count)
+AdamOptimizer::ensureState(std::size_t count)
 {
     if (m_.size() != count) {
         m_.assign(count, 0.0f);
         v_.assign(count, 0.0f);
         t_ = 0;
     }
+}
+
+void
+AdamOptimizer::beginStep()
+{
     ++t_;
-    const float bc1 =
-        1.0f - std::pow(beta1_, static_cast<float>(t_));
-    const float bc2 =
-        1.0f - std::pow(beta2_, static_cast<float>(t_));
-    for (std::size_t i = 0; i < count; ++i) {
-        m_[i] = beta1_ * m_[i] + (1.0f - beta1_) * grads[i];
-        v_[i] = beta2_ * v_[i] + (1.0f - beta2_) * grads[i] * grads[i];
-        const float m_hat = m_[i] / bc1;
-        const float v_hat = v_[i] / bc2;
-        params[i] -= learningRate_ * m_hat /
-            (std::sqrt(v_hat) + epsilon_);
-    }
+    bc1_ = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    bc2_ = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+}
+
+void
+AdamOptimizer::stepRange(float *params, const float *grads,
+                         std::size_t count, std::size_t offset,
+                         float gradScale)
+{
+    accel::kernels::AdamStepArgs args;
+    args.lr = learningRate_;
+    args.beta1 = beta1_;
+    args.beta2 = beta2_;
+    args.epsilon = epsilon_;
+    args.bc1 = bc1_;
+    args.bc2 = bc2_;
+    args.gradScale = gradScale;
+    accel::kernels::activeKernels().adamStepF32(
+        params, grads, m_.data() + offset, v_.data() + offset, count,
+        args);
+}
+
+void
+AdamOptimizer::step(float *params, const float *grads, std::size_t count)
+{
+    ensureState(count);
+    beginStep();
+    stepRange(params, grads, count, 0);
 }
 
 void

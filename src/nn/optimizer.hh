@@ -53,7 +53,20 @@ class SgdOptimizer : public Optimizer
     std::vector<float> velocity_;
 };
 
-/** Adam (Kingma & Ba) with bias correction. */
+/**
+ * Adam (Kingma & Ba) with bias correction.
+ *
+ * Besides the classic flat step(), the optimizer exposes a segmented
+ * in-place protocol for model storage that lives in many tensors:
+ * ensureState() sizes the moment vectors once, beginStep() advances
+ * the shared timestep, and stepRange() updates one parameter segment
+ * at its offset in the flat layout — so a trainer can step each
+ * layer's own storage without ever gathering parameters into one
+ * vector. A full beginStep + stepRange sweep is bit-identical to one
+ * step() over the concatenated arrays (the inner loop is the same
+ * kernel either way), and the moments persist across minibatches as
+ * long as the total parameter count is stable.
+ */
 class AdamOptimizer : public Optimizer
 {
   public:
@@ -64,12 +77,30 @@ class AdamOptimizer : public Optimizer
               std::size_t count) override;
     void reset() override;
 
+    /** Size the moment vectors for `count` total parameters; resets
+     *  moments and timestep only when the size actually changes. */
+    void ensureState(std::size_t count);
+
+    /** Advance the shared timestep and cache its bias corrections for
+     *  the stepRange() calls of this step. */
+    void beginStep();
+
+    /**
+     * Update the segment living at [offset, offset + count) of the
+     * flat parameter layout, in place. `gradScale` multiplies every
+     * gradient before the moment updates (minibatch averaging without
+     * a scaled copy of the gradient buffer).
+     */
+    void stepRange(float *params, const float *grads, std::size_t count,
+                   std::size_t offset, float gradScale = 1.0f);
+
     float learningRate() const { return learningRate_; }
     void setLearningRate(float lr) { learningRate_ = lr; }
 
   private:
     float learningRate_;
     float beta1_, beta2_, epsilon_;
+    float bc1_ = 1.0f, bc2_ = 1.0f;
     std::vector<float> m_, v_;
     std::size_t t_ = 0;
 };

@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <vector>
 
@@ -707,5 +709,175 @@ TEST(BatchedRunnerSharded, PhiloxShardedDrawMatchesSerial)
         ThreadPool pool(workers);
         const auto sharded = run_rounds(&pool);
         EXPECT_EQ(sharded, serial) << "workers=" << workers;
+    }
+}
+
+namespace
+{
+
+std::vector<float>
+randomFloats(std::size_t count, std::uint64_t seed, float scale = 1.0f)
+{
+    Rng rng(seed);
+    std::vector<float> v(count);
+    for (auto &x : v)
+        x = static_cast<float>((rng.uniform() * 2.0 - 1.0) * scale);
+    return v;
+}
+
+/** Bitwise equality (0.0 vs -0.0 and NaN payloads included). */
+bool
+bitsEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+} // namespace
+
+TEST(KernelGemmF32, BatchForwardTiersBitExact)
+{
+    // Shapes chosen to hit every code path: k below one SIMD step,
+    // exact multiples, prime tails, and n not a multiple of the AVX2
+    // 4-row blocking.
+    const struct
+    {
+        std::size_t m, n, k;
+    } shapes[] = {{1, 1, 1},   {3, 5, 7},   {4, 4, 8},  {5, 7, 131},
+                  {2, 9, 16},  {7, 3, 33},  {1, 13, 257}};
+    for (const auto &sh : shapes) {
+        for (const bool with_bias : {false, true}) {
+            const auto a = randomFloats(sh.m * sh.k, 11 + sh.k, 2.0f);
+            const auto b = randomFloats(sh.n * sh.k, 23 + sh.n, 2.0f);
+            const auto bias = randomFloats(sh.n, 37 + sh.m, 0.5f);
+            k::GemmF32Args args;
+            args.a = a.data();
+            args.lda = sh.k;
+            args.b = b.data();
+            args.ldb = sh.k;
+            args.ldc = sh.n;
+            args.m = sh.m;
+            args.n = sh.n;
+            args.k = sh.k;
+            args.bias = with_bias ? bias.data() : nullptr;
+
+            std::vector<float> ref(sh.m * sh.n, 0.0f);
+            args.c = ref.data();
+            k::scalarKernels().gemmBatchF32(args);
+            for (const k::KernelOps *ops : k::availableKernels()) {
+                std::vector<float> out(sh.m * sh.n, -7.0f);
+                args.c = out.data();
+                ops->gemmBatchF32(args);
+                EXPECT_TRUE(bitsEqual(out, ref))
+                    << ops->name << " m=" << sh.m << " n=" << sh.n
+                    << " k=" << sh.k << " bias=" << with_bias;
+            }
+        }
+    }
+}
+
+TEST(KernelGemmF32, AtBAccumulateTiersBitExact)
+{
+    const struct
+    {
+        std::size_t m, n, k;
+    } shapes[] = {{1, 1, 1}, {4, 5, 7}, {9, 3, 64}, {5, 8, 131},
+                  {2, 17, 9}};
+    for (const auto &sh : shapes) {
+        for (const bool with_sums : {false, true}) {
+            const auto a = randomFloats(sh.m * sh.n, 101 + sh.n, 1.5f);
+            const auto b = randomFloats(sh.m * sh.k, 211 + sh.k, 1.5f);
+            // Accumulating entry point: seed c / colSums non-zero.
+            const auto c0 = randomFloats(sh.n * sh.k, 307, 0.25f);
+            const auto s0 = randomFloats(sh.n, 401, 0.25f);
+            k::GemmF32Args args;
+            args.a = a.data();
+            args.lda = sh.n;
+            args.b = b.data();
+            args.ldb = sh.k;
+            args.ldc = sh.k;
+            args.m = sh.m;
+            args.n = sh.n;
+            args.k = sh.k;
+
+            std::vector<float> ref = c0, refSums = s0;
+            args.c = ref.data();
+            args.colSums = with_sums ? refSums.data() : nullptr;
+            k::scalarKernels().gemmAtBF32(args);
+            for (const k::KernelOps *ops : k::availableKernels()) {
+                std::vector<float> out = c0, sums = s0;
+                args.c = out.data();
+                args.colSums = with_sums ? sums.data() : nullptr;
+                ops->gemmAtBF32(args);
+                EXPECT_TRUE(bitsEqual(out, ref))
+                    << ops->name << " m=" << sh.m << " n=" << sh.n
+                    << " k=" << sh.k;
+                if (with_sums)
+                    EXPECT_TRUE(bitsEqual(sums, refSums)) << ops->name;
+            }
+        }
+    }
+}
+
+TEST(KernelGemmF32, ABOverwriteTiersBitExact)
+{
+    const struct
+    {
+        std::size_t m, n, k;
+    } shapes[] = {{1, 1, 1}, {3, 7, 5}, {6, 9, 64}, {5, 4, 131},
+                  {2, 31, 3}};
+    for (const auto &sh : shapes) {
+        const auto a = randomFloats(sh.m * sh.n, 501 + sh.n, 1.5f);
+        const auto b = randomFloats(sh.n * sh.k, 601 + sh.k, 1.5f);
+        k::GemmF32Args args;
+        args.a = a.data();
+        args.lda = sh.n;
+        args.b = b.data();
+        args.ldb = sh.k;
+        args.ldc = sh.k;
+        args.m = sh.m;
+        args.n = sh.n;
+        args.k = sh.k;
+
+        std::vector<float> ref(sh.m * sh.k, 99.0f); // must be overwritten
+        args.c = ref.data();
+        k::scalarKernels().gemmABF32(args);
+        for (const k::KernelOps *ops : k::availableKernels()) {
+            std::vector<float> out(sh.m * sh.k, -99.0f);
+            args.c = out.data();
+            ops->gemmABF32(args);
+            EXPECT_TRUE(bitsEqual(out, ref))
+                << ops->name << " m=" << sh.m << " n=" << sh.n
+                << " k=" << sh.k;
+        }
+    }
+}
+
+TEST(KernelAdamF32, StepTiersBitExact)
+{
+    for (const std::size_t n : {1u, 7u, 8u, 64u, 131u}) {
+        const auto p0 = randomFloats(n, 701 + n, 1.0f);
+        const auto g = randomFloats(n, 801 + n, 0.1f);
+        const auto m0 = randomFloats(n, 901 + n, 0.01f);
+        auto v0 = randomFloats(n, 1001 + n, 0.01f);
+        for (auto &v : v0)
+            v = std::fabs(v); // second moments are non-negative
+        k::AdamStepArgs args;
+        args.lr = 3e-3f;
+        args.bc1 = 1.0f - 0.9f * 0.9f;
+        args.bc2 = 1.0f - 0.999f * 0.999f;
+        args.gradScale = 1.0f / 3.0f;
+
+        std::vector<float> pr = p0, mr = m0, vr = v0;
+        k::scalarKernels().adamStepF32(pr.data(), g.data(), mr.data(),
+                                       vr.data(), n, args);
+        for (const k::KernelOps *ops : k::availableKernels()) {
+            std::vector<float> p = p0, m = m0, v = v0;
+            ops->adamStepF32(p.data(), g.data(), m.data(), v.data(), n,
+                             args);
+            EXPECT_TRUE(bitsEqual(p, pr)) << ops->name << " n=" << n;
+            EXPECT_TRUE(bitsEqual(m, mr)) << ops->name << " n=" << n;
+            EXPECT_TRUE(bitsEqual(v, vr)) << ops->name << " n=" << n;
+        }
     }
 }

@@ -31,8 +31,8 @@ import json
 import sys
 
 IDENTITY_KEYS = ("bench", "section", "backend", "schedule", "style",
-                 "kernel", "tier", "generator", "T", "batch", "requests",
-                 "confidence", "budget")
+                 "kernel", "tier", "generator", "estimator", "bits", "T",
+                 "batch", "requests", "confidence", "budget")
 DEFAULT_METRIC = "images_per_s"
 
 
