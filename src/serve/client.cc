@@ -1,0 +1,194 @@
+#include "serve/client.hh"
+
+namespace vibnn::serve
+{
+
+const char *
+Client::statusName(Status status)
+{
+    switch (status) {
+    case Status::Ok:
+        return "ok";
+    case Status::Overloaded:
+        return "overloaded";
+    case Status::BadRequest:
+        return "bad_request";
+    case Status::ShuttingDown:
+        return "shutting_down";
+    case Status::ServerError:
+        return "server_error";
+    case Status::TransportError:
+        return "transport_error";
+    case Status::ProtocolError:
+        return "protocol_error";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+Client::Status
+statusFromErrorCode(net::ErrorCode code)
+{
+    switch (code) {
+    case net::ErrorCode::Overloaded:
+        return Client::Status::Overloaded;
+    case net::ErrorCode::BadRequest:
+        return Client::Status::BadRequest;
+    case net::ErrorCode::ShuttingDown:
+        return Client::Status::ShuttingDown;
+    case net::ErrorCode::Internal:
+        return Client::Status::ServerError;
+    }
+    return Client::Status::ServerError;
+}
+
+} // namespace
+
+bool
+Client::connect(const std::string &host, std::uint16_t port,
+                std::string &error)
+{
+    close();
+    sock_ = net::connectTcp(host, port, error);
+    return sock_.valid();
+}
+
+void
+Client::close()
+{
+    sock_.close();
+}
+
+Client::Reply
+Client::classify(const float *xs, std::size_t count, std::size_t dim,
+                 const Options &options)
+{
+    Reply reply;
+    if (!sock_.valid()) {
+        reply.status = Status::TransportError;
+        reply.message = "not connected";
+        return reply;
+    }
+
+    net::WireClassifyRequest wire;
+    wire.id = options.id != 0 ? options.id : nextId_++;
+    wire.mcSamples = options.mcSamples;
+    wire.deadlineMicros = options.deadlineMicros;
+    wire.count = static_cast<std::uint32_t>(count);
+    wire.dim = static_cast<std::uint32_t>(dim);
+    wire.features.assign(xs, xs + count * dim);
+
+    const std::vector<std::uint8_t> frame =
+        net::encodeClassifyRequest(wire);
+    if (!net::writeAll(sock_, frame.data(), frame.size())) {
+        reply.status = Status::TransportError;
+        reply.message = "send failed";
+        return reply;
+    }
+
+    net::FrameType type;
+    std::vector<std::uint8_t> payload;
+    std::string error;
+    if (!net::readFrame(sock_, type, payload, error)) {
+        reply.status = Status::TransportError;
+        reply.message = "recv failed: " + error;
+        return reply;
+    }
+
+    if (type == net::FrameType::Error) {
+        net::WireError err;
+        if (!net::decodeError(payload.data(), payload.size(), err,
+                              error)) {
+            reply.status = Status::ProtocolError;
+            reply.message = "bad error frame: " + error;
+            return reply;
+        }
+        reply.status = statusFromErrorCode(err.code);
+        reply.message = err.message;
+        return reply;
+    }
+    if (type != net::FrameType::ClassifyResponse) {
+        reply.status = Status::ProtocolError;
+        reply.message = "unexpected frame type";
+        return reply;
+    }
+    if (!net::decodeClassifyResponse(payload.data(), payload.size(),
+                                     reply.response, error)) {
+        reply.status = Status::ProtocolError;
+        reply.message = "bad response frame: " + error;
+        return reply;
+    }
+    reply.status = Status::Ok;
+    return reply;
+}
+
+bool
+Client::ping(std::string &error)
+{
+    if (!sock_.valid()) {
+        error = "not connected";
+        return false;
+    }
+    if (!net::writeFrame(sock_, net::FrameType::Ping)) {
+        error = "send failed";
+        return false;
+    }
+    net::FrameType type;
+    std::vector<std::uint8_t> payload;
+    if (!net::readFrame(sock_, type, payload, error))
+        return false;
+    if (type != net::FrameType::Pong) {
+        error = "unexpected frame type";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::metrics(std::string &json, std::string &error)
+{
+    if (!sock_.valid()) {
+        error = "not connected";
+        return false;
+    }
+    if (!net::writeFrame(sock_, net::FrameType::MetricsRequest)) {
+        error = "send failed";
+        return false;
+    }
+    net::FrameType type;
+    std::vector<std::uint8_t> payload;
+    if (!net::readFrame(sock_, type, payload, error))
+        return false;
+    if (type != net::FrameType::MetricsResponse) {
+        error = "unexpected frame type";
+        return false;
+    }
+    return net::decodeMetricsResponse(payload.data(), payload.size(),
+                                      json, error);
+}
+
+bool
+Client::requestShutdown(std::string &error)
+{
+    if (!sock_.valid()) {
+        error = "not connected";
+        return false;
+    }
+    if (!net::writeFrame(sock_, net::FrameType::Shutdown)) {
+        error = "send failed";
+        return false;
+    }
+    net::FrameType type;
+    std::vector<std::uint8_t> payload;
+    if (!net::readFrame(sock_, type, payload, error))
+        return false;
+    if (type != net::FrameType::Pong) {
+        error = "unexpected frame type";
+        return false;
+    }
+    return true;
+}
+
+} // namespace vibnn::serve

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * serve::Client — the library side of the vibnn-serve wire protocol.
+ *
+ * A thin, dependency-free TCP client for talking to serve::Server:
+ * connect, classify (blocking request/response), ping, scrape the
+ * metrics JSON, or ask the server to shut down. Every failure mode is
+ * an explicit Reply::Status — transport loss, protocol garbage, and
+ * the server's own error frames (Overloaded from admission control,
+ * BadRequest, ShuttingDown) all surface as values, never exceptions
+ * or fatal().
+ *
+ * A Client is NOT thread-safe: it owns one socket and one in-flight
+ * request. Use one Client per thread (the load generator does exactly
+ * this), or serialize access externally.
+ */
+
+#ifndef VIBNN_SERVE_CLIENT_HH
+#define VIBNN_SERVE_CLIENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/net/protocol.hh"
+#include "serve/net/socket.hh"
+
+namespace vibnn::serve
+{
+
+class Client
+{
+  public:
+    /** How a classify round-trip ended. */
+    enum class Status
+    {
+        Ok,
+        /** Rejected by admission control — back off and retry. */
+        Overloaded,
+        /** The server rejected the request's content. */
+        BadRequest,
+        /** The server is stopping. */
+        ShuttingDown,
+        /** Server-side internal error frame. */
+        ServerError,
+        /** The connection failed mid-exchange (send/recv). */
+        TransportError,
+        /** The peer sent bytes that do not decode. */
+        ProtocolError,
+    };
+
+    static const char *statusName(Status status);
+
+    /** Per-call classify knobs. */
+    struct Options
+    {
+        /** Per-request ensemble size; 0 uses the server's T. */
+        std::uint32_t mcSamples = 0;
+        /** Latency budget in microseconds (from server receipt);
+         *  0 = none. */
+        std::int64_t deadlineMicros = 0;
+        /** Correlation id echoed back by the server; 0 auto-assigns
+         *  a per-client sequence. */
+        std::uint64_t id = 0;
+    };
+
+    /** A classify outcome: status + either the decoded response or
+     *  the server's error message. */
+    struct Reply
+    {
+        Status status = Status::TransportError;
+        /** Server error text (or local failure description). */
+        std::string message;
+        /** Valid when status == Ok. */
+        net::WireClassifyResponse response;
+
+        bool ok() const { return status == Status::Ok; }
+    };
+
+    Client() = default;
+
+    /** Connect to a server. False + error on failure. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::string &error);
+
+    bool connected() const { return sock_.valid(); }
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /**
+     * Classify `count` images of `dim` floats each (row-major) and
+     * block for the response. Bit-exactness: the floats travel
+     * verbatim, so the returned probabilities are bit-identical to an
+     * in-process InferenceSession::run() with the same program, seed
+     * and T.
+     */
+    Reply classify(const float *xs, std::size_t count, std::size_t dim,
+                   const Options &options);
+
+    /** Classify with default Options (server T, no deadline). */
+    Reply
+    classify(const float *xs, std::size_t count, std::size_t dim)
+    {
+        return classify(xs, count, dim, Options());
+    }
+
+    /** Liveness round-trip. */
+    bool ping(std::string &error);
+
+    /** Fetch the server's metrics JSON (the metrics endpoint). */
+    bool metrics(std::string &json, std::string &error);
+
+    /** Ask the server to shut down (waits for the acknowledgement). */
+    bool requestShutdown(std::string &error);
+
+  private:
+    net::Socket sock_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace vibnn::serve
+
+#endif // VIBNN_SERVE_CLIENT_HH

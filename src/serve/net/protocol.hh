@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The vibnn-serve wire protocol: length-prefixed binary frames.
+ *
+ * Every message on the wire is one frame:
+ *
+ *     u32 magic ("VBN1")  u8 version  u8 type  u16 reserved
+ *     u32 payload length  payload bytes...
+ *
+ * All integers and floats are little-endian; floats travel verbatim
+ * (bit pattern preserved), which is what makes the socket path
+ * bit-identical to in-process InferenceSession::run().
+ *
+ * Frame types:
+ *
+ *   ClassifyRequest   id, T override, deadline budget, images
+ *   ClassifyResponse  per-image decorated predictions
+ *   MetricsRequest    -> MetricsResponse carrying the server's
+ *                     metrics JSON (the "endpoint")
+ *   Error             explicit failure (overload rejection included)
+ *   Ping / Pong       liveness
+ *   Shutdown          ask the server to stop accepting and exit
+ *
+ * Decoding never fatal()s and never throws on malformed input: bytes
+ * off a socket are untrusted, so every decoder returns false with an
+ * error string on truncated, oversized, over-long, or otherwise
+ * garbage frames, and the caller (server or client) degrades to an
+ * Error frame / closed connection. Payload sizes are capped
+ * (kMaxPayloadBytes) before any allocation so a hostile length prefix
+ * cannot drive memory growth.
+ */
+
+#ifndef VIBNN_SERVE_NET_PROTOCOL_HH
+#define VIBNN_SERVE_NET_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/net/socket.hh"
+
+namespace vibnn::serve::net
+{
+
+/** "VBN1" little-endian. */
+constexpr std::uint32_t kMagic = 0x314e4256u;
+/** Protocol version this build speaks. */
+constexpr std::uint8_t kVersion = 1;
+/** Hard cap on a frame payload — rejects hostile length prefixes
+ *  before any allocation. 64 MiB covers ~4k MNIST-sized images. */
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+/** Cap on images per classify frame (keeps count * dim arithmetic
+ *  far from overflow even before the payload-size check). */
+constexpr std::uint32_t kMaxImagesPerFrame = 65536;
+/** Cap on floats per image. */
+constexpr std::uint32_t kMaxImageDim = 1u << 20;
+
+constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class FrameType : std::uint8_t
+{
+    ClassifyRequest = 1,
+    ClassifyResponse = 2,
+    MetricsRequest = 3,
+    MetricsResponse = 4,
+    Error = 5,
+    Ping = 6,
+    Pong = 7,
+    Shutdown = 8,
+};
+
+/** Why a request was refused. */
+enum class ErrorCode : std::uint32_t
+{
+    /** Admission control: the target shard's queue is full. The client
+     *  should back off — this is the explicit alternative to unbounded
+     *  queueing. */
+    Overloaded = 1,
+    /** The request failed validation (dim mismatch, zero images,
+     *  absurd T, malformed frame). */
+    BadRequest = 2,
+    /** Server-side failure unrelated to this request's content. */
+    Internal = 3,
+    /** The server is stopping. */
+    ShuttingDown = 4,
+};
+
+/** Classify request as it travels the wire. */
+struct WireClassifyRequest
+{
+    /** Client-chosen correlation id (echoed back verbatim). */
+    std::uint64_t id = 0;
+    /** Per-request ensemble size; 0 uses the server's configured T. */
+    std::uint32_t mcSamples = 0;
+    /** Latency budget in microseconds from server receipt; 0 = none.
+     *  Bounds how long the deadline-aware coalescer may hold the
+     *  request to fill a round. */
+    std::int64_t deadlineMicros = 0;
+    std::uint32_t count = 0;
+    std::uint32_t dim = 0;
+    /** Row-major count x dim features. */
+    std::vector<float> features;
+};
+
+/** One image's prediction as it travels the wire. */
+struct WirePrediction
+{
+    std::uint32_t predicted = 0;
+    std::uint32_t achievedSamples = 0;
+    /** accel::McExitReason as u8 (0 budget, 1 converged, 2 decided,
+     *  3 deadline). */
+    std::uint8_t exitReason = 0;
+    float confidence = 0.0f;
+    double entropy = 0.0;
+    double mutualInformation = 0.0;
+    /** Ensemble-mean probabilities (outDim), bit-exact. */
+    std::vector<float> probs;
+};
+
+/** Classify response as it travels the wire. */
+struct WireClassifyResponse
+{
+    std::uint64_t id = 0;
+    std::uint32_t mcSamples = 0;
+    std::uint32_t outDim = 0;
+    double meanRounds = 0.0;
+    /** Server-side latency (enqueue to completion) in microseconds. */
+    double serverMicros = 0.0;
+    std::vector<WirePrediction> predictions;
+};
+
+/** Error frame body. */
+struct WireError
+{
+    std::uint64_t id = 0;
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+};
+
+// ------------------------------------------------------------- encoding
+
+/** Wrap a payload in a framed message (header + payload). */
+std::vector<std::uint8_t> encodeFrame(
+    FrameType type, const std::vector<std::uint8_t> &payload = {});
+
+std::vector<std::uint8_t> encodeClassifyRequest(
+    const WireClassifyRequest &request);
+std::vector<std::uint8_t> encodeClassifyResponse(
+    const WireClassifyResponse &response);
+std::vector<std::uint8_t> encodeError(const WireError &error);
+std::vector<std::uint8_t> encodeMetricsResponse(
+    const std::string &json);
+
+// ------------------------------------------------------------- decoding
+
+/**
+ * Validate a frame header. False (with `error`) on bad magic, unknown
+ * version or type, or a payload length above kMaxPayloadBytes.
+ * @param buf Exactly kFrameHeaderBytes header bytes.
+ */
+bool decodeFrameHeader(const std::uint8_t *buf, FrameType &type,
+                       std::uint32_t &payload_len, std::string &error);
+
+/** Decode a ClassifyRequest payload. False + error on truncation,
+ *  trailing garbage, zero/overflowing geometry, or caps exceeded. */
+bool decodeClassifyRequest(const std::uint8_t *payload,
+                           std::size_t len, WireClassifyRequest &out,
+                           std::string &error);
+
+bool decodeClassifyResponse(const std::uint8_t *payload,
+                            std::size_t len, WireClassifyResponse &out,
+                            std::string &error);
+
+bool decodeError(const std::uint8_t *payload, std::size_t len,
+                 WireError &out, std::string &error);
+
+bool decodeMetricsResponse(const std::uint8_t *payload,
+                           std::size_t len, std::string &json,
+                           std::string &error);
+
+// ------------------------------------------------------ socket framing
+
+/** Write one framed message to a socket. */
+bool writeFrame(const Socket &sock, FrameType type,
+                const std::vector<std::uint8_t> &payload = {});
+
+/** Read one framed message. False + error on EOF, a truncated frame,
+ *  or a header that fails validation (the connection is then beyond
+ *  recovery — the caller should close it). */
+bool readFrame(const Socket &sock, FrameType &type,
+               std::vector<std::uint8_t> &payload, std::string &error);
+
+} // namespace vibnn::serve::net
+
+#endif // VIBNN_SERVE_NET_PROTOCOL_HH

@@ -1,0 +1,186 @@
+#include "serve/net/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace vibnn::serve::net
+{
+
+namespace
+{
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool
+parseAddress(const std::string &host, std::uint16_t port,
+             sockaddr_in &addr, std::string &error)
+{
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        error = "invalid IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket
+listenTcp(const std::string &host, std::uint16_t port,
+          std::string &error, std::uint16_t *bound_port)
+{
+    sockaddr_in addr;
+    if (!parseAddress(host, port, addr, error))
+        return Socket();
+
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        error = errnoString("socket");
+        return Socket();
+    }
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        error = errnoString(("bind " + host + ":" +
+                             std::to_string(port)).c_str());
+        return Socket();
+    }
+    if (::listen(sock.fd(), 128) != 0) {
+        error = errnoString("listen");
+        return Socket();
+    }
+    if (bound_port) {
+        sockaddr_in actual;
+        socklen_t len = sizeof actual;
+        if (::getsockname(sock.fd(),
+                          reinterpret_cast<sockaddr *>(&actual),
+                          &len) != 0) {
+            error = errnoString("getsockname");
+            return Socket();
+        }
+        *bound_port = ntohs(actual.sin_port);
+    }
+    error.clear();
+    return sock;
+}
+
+Socket
+acceptTcp(const Socket &listener, std::string &error)
+{
+    for (;;) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof one);
+            error.clear();
+            return Socket(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        error = errnoString("accept");
+        return Socket();
+    }
+}
+
+Socket
+connectTcp(const std::string &host, std::uint16_t port,
+           std::string &error)
+{
+    sockaddr_in addr;
+    if (!parseAddress(host, port, addr, error))
+        return Socket();
+
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) {
+        error = errnoString("socket");
+        return Socket();
+    }
+    for (;;) {
+        if (::connect(sock.fd(),
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        error = errnoString(("connect " + host + ":" +
+                             std::to_string(port)).c_str());
+        return Socket();
+    }
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof one);
+    error.clear();
+    return sock;
+}
+
+bool
+readExact(const Socket &sock, void *buf, std::size_t n)
+{
+    auto *out = static_cast<std::uint8_t *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t got =
+            ::recv(sock.fd(), out + done, n - done, 0);
+        if (got > 0) {
+            done += static_cast<std::size_t>(got);
+            continue;
+        }
+        if (got < 0 && errno == EINTR)
+            continue;
+        return false; // EOF or hard error
+    }
+    return true;
+}
+
+bool
+writeAll(const Socket &sock, const void *buf, std::size_t n)
+{
+    const auto *in = static_cast<const std::uint8_t *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t sent =
+            ::send(sock.fd(), in + done, n - done, MSG_NOSIGNAL);
+        if (sent > 0) {
+            done += static_cast<std::size_t>(sent);
+            continue;
+        }
+        if (sent < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace vibnn::serve::net

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal POSIX TCP plumbing for the serving subsystem.
+ *
+ * The network front end (serve::Server / serve::Client) deliberately
+ * speaks plain blocking TCP with no external dependencies: an RAII fd
+ * wrapper, listen/accept/connect helpers that report failures as
+ * error strings (never fatal() — a refused connection is a runtime
+ * condition, not a configuration bug), and exact-length read/write
+ * loops that absorb EINTR and short transfers.
+ *
+ * Everything here is transport only; framing and message encoding live
+ * in net/protocol.hh.
+ */
+
+#ifndef VIBNN_SERVE_NET_SOCKET_HH
+#define VIBNN_SERVE_NET_SOCKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vibnn::serve::net
+{
+
+/** Move-only RAII wrapper over a socket file descriptor. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &
+    operator=(Socket &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Close the descriptor (idempotent). */
+    void close();
+
+    /** shutdown(SHUT_RDWR): unblocks a peer thread stuck in read/write
+     *  on this socket without racing the fd lifetime (close() from
+     *  another thread would). */
+    void shutdownBoth();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on host:port. Port 0 picks an ephemeral port; the
+ * actual bound port is written to `bound_port` when non-null.
+ * @return A valid listening socket, or an invalid one with `error`
+ *         explaining the failure.
+ */
+Socket listenTcp(const std::string &host, std::uint16_t port,
+                 std::string &error,
+                 std::uint16_t *bound_port = nullptr);
+
+/** Accept one connection (blocking). Invalid + error on failure —
+ *  including the listener being closed by another thread, which is the
+ *  normal shutdown path. */
+Socket acceptTcp(const Socket &listener, std::string &error);
+
+/** Connect to host:port (blocking). Invalid + error on failure. */
+Socket connectTcp(const std::string &host, std::uint16_t port,
+                  std::string &error);
+
+/** Read exactly n bytes. False on EOF or error (short data included —
+ *  a truncated frame must surface as a failure, not a partial read). */
+bool readExact(const Socket &sock, void *buf, std::size_t n);
+
+/** Write exactly n bytes (MSG_NOSIGNAL — a vanished peer surfaces as
+ *  a false return, not a SIGPIPE). */
+bool writeAll(const Socket &sock, const void *buf, std::size_t n);
+
+} // namespace vibnn::serve::net
+
+#endif // VIBNN_SERVE_NET_SOCKET_HH

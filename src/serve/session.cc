@@ -134,6 +134,20 @@ SessionOptions::fromEnv(SessionOptions defaults)
         serveEnvFloat("VIBNN_SERVE_DEADLINE_MS",
                       opts.adaptive.deadlineSeconds * 1e3) /
         1e3;
+    const std::int64_t deadline_us =
+        serveEnvInt("VIBNN_SERVE_DEADLINE_US",
+                    opts.defaultDeadlineMicros);
+    if (deadline_us < 0)
+        fatal("VIBNN_SERVE_DEADLINE_US must be >= 0, got " +
+              std::to_string(deadline_us));
+    opts.defaultDeadlineMicros = deadline_us;
+    const std::int64_t max_batch =
+        serveEnvInt("VIBNN_SERVE_MAX_BATCH",
+                    static_cast<std::int64_t>(opts.maxBatchImages));
+    if (max_batch < 0)
+        fatal("VIBNN_SERVE_MAX_BATCH must be >= 0, got " +
+              std::to_string(max_batch));
+    opts.maxBatchImages = static_cast<std::size_t>(max_batch);
     return opts;
 }
 
@@ -426,6 +440,20 @@ InferenceSession::Builder::adaptive(
     return *this;
 }
 
+InferenceSession::Builder &
+InferenceSession::Builder::defaultDeadline(std::int64_t micros)
+{
+    state_->opts.defaultDeadlineMicros = micros;
+    return *this;
+}
+
+InferenceSession::Builder &
+InferenceSession::Builder::maxBatchImages(std::size_t images)
+{
+    state_->opts.maxBatchImages = images;
+    return *this;
+}
+
 std::unique_ptr<InferenceSession>
 InferenceSession::Builder::build()
 {
@@ -463,6 +491,10 @@ InferenceSession::Builder::build()
         fatal("InferenceSession::Builder: threads must be <= 4096, "
               "got " +
               std::to_string(opts.threads));
+    if (opts.defaultDeadlineMicros < 0)
+        fatal("InferenceSession::Builder: defaultDeadlineMicros must "
+              "be >= 0, got " +
+              std::to_string(opts.defaultDeadlineMicros));
 
     // Resolve the inherit-from-source defaults and the mode-derived
     // backend into the option block ONCE — the session constructor
@@ -578,6 +610,31 @@ InferenceSession::effectiveSamples(const InferenceRequest &request) const
     return config_.mcSamples;
 }
 
+std::int64_t
+InferenceSession::effectiveDeadline(const InferenceRequest &request) const
+{
+    return request.deadlineMicros > 0 ? request.deadlineMicros
+                                      : opts_.defaultDeadlineMicros;
+}
+
+std::int64_t
+InferenceSession::passEstimateMicros(int t) const
+{
+    std::lock_guard<std::mutex> lock(estimatorMutex_);
+    const auto it = passEstimators_.find(t);
+    return it == passEstimators_.end()
+               ? 0
+               : static_cast<std::int64_t>(
+                     it->second.estimateMicros());
+}
+
+void
+InferenceSession::observePassMicros(int t, double micros)
+{
+    std::lock_guard<std::mutex> lock(estimatorMutex_);
+    passEstimators_[t].observe(micros);
+}
+
 void
 InferenceSession::validateRequest(const InferenceRequest &request) const
 {
@@ -596,6 +653,10 @@ InferenceSession::validateRequest(const InferenceRequest &request) const
         fatal("InferenceSession: request mcSamples must be <= " +
               std::to_string(kMaxEnsembleSize) + ", got " +
               std::to_string(request.mcSamples));
+    if (request.deadlineMicros < 0)
+        fatal("InferenceSession: request deadlineMicros must be >= 0, "
+              "got " +
+              std::to_string(request.deadlineMicros));
 }
 
 accel::McEngine &
@@ -710,7 +771,8 @@ InferenceSession::buildResult(
 }
 
 accel::McAdaptiveOptions
-InferenceSession::adaptiveOptions(int t) const
+InferenceSession::adaptiveOptions(
+    int t, std::int64_t tightest_deadline_micros) const
 {
     accel::McAdaptiveOptions aopts;
     aopts.budget = t;
@@ -719,6 +781,17 @@ InferenceSession::adaptiveOptions(int t) const
     aopts.test.minSamples = opts_.adaptive.minSamples;
     aopts.enabled = true;
     aopts.deadlineSeconds = opts_.adaptive.deadlineSeconds;
+    // A member's remaining latency budget bounds the pass itself:
+    // anytime mode returns the best-so-far posterior by the tightest
+    // deadline instead of blowing the caller's SLO.
+    if (tightest_deadline_micros > 0) {
+        const double budget_s =
+            static_cast<double>(tightest_deadline_micros) * 1e-6;
+        aopts.deadlineSeconds = aopts.deadlineSeconds > 0.0
+                                    ? std::min(aopts.deadlineSeconds,
+                                               budget_s)
+                                    : budget_s;
+    }
     return aopts;
 }
 
@@ -736,7 +809,8 @@ InferenceSession::run(const InferenceRequest &request)
     if (opts_.adaptive.enabled) {
         const auto detailed = engineFor(t).classifyBatchAdaptive(
             request.data(), request.count, request.dim,
-            adaptiveOptions(t), opts_.uncertainty);
+            adaptiveOptions(t, effectiveDeadline(request)),
+            opts_.uncertainty);
         result = buildResult(id, detailed, 0, request.count, t,
                              request.count);
     } else {
@@ -747,6 +821,7 @@ InferenceSession::run(const InferenceRequest &request)
                              request.count);
     }
     result.micros = microsSince(start);
+    observePassMicros(t, result.micros);
 
     counters_.requests += 1;
     counters_.images += request.count;
@@ -830,19 +905,68 @@ InferenceSession::workerLoop()
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
         const int t = effectiveSamples(batch.front().request);
-        if (coalesce_) {
-            for (auto it = queue_.begin(); it != queue_.end();) {
+        std::size_t batch_images = batch.front().request.count;
+        const auto batchFull = [&] {
+            return opts_.maxBatchImages != 0 &&
+                batch_images >= opts_.maxBatchImages;
+        };
+        const auto mergePending = [&] {
+            for (auto it = queue_.begin();
+                 it != queue_.end() && !batchFull();) {
                 if (effectiveSamples(it->request) == t) {
+                    batch_images += it->request.count;
                     batch.push_back(std::move(*it));
                     it = queue_.erase(it);
                 } else {
                     ++it;
                 }
             }
+        };
+        bool held = false;
+        if (coalesce_) {
+            mergePending();
+            // Deadline-aware hold: when every batch member carries a
+            // latency budget with slack beyond the expected pass
+            // time, wait for more same-T arrivals to fill the round —
+            // up to the tightest member's allowance, never past it
+            // (serve/coalescer.hh pins the bound). Members without a
+            // budget contribute zero allowance, reproducing the
+            // greedy PR 4 dispatch exactly.
+            while (!stopping_ && !batchFull()) {
+                const auto now = Clock::now();
+                const std::int64_t estimate = passEstimateMicros(t);
+                std::vector<std::int64_t> deadlines(batch.size());
+                std::vector<std::int64_t> waited(batch.size());
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    deadlines[i] =
+                        effectiveDeadline(batch[i].request);
+                    waited[i] = static_cast<std::int64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            now - batch[i].enqueued)
+                            .count());
+                }
+                const std::int64_t allowance =
+                    batchHoldAllowanceMicros(deadlines.data(),
+                                             waited.data(),
+                                             batch.size(), estimate);
+                if (allowance <= 0)
+                    break;
+                held = true;
+                // Wake on a queue-size change, not on mere
+                // non-emptiness: a different-T request parked at the
+                // head of the queue must not spin this loop.
+                const std::size_t seen = queue_.size();
+                queueCv_.wait_for(
+                    lock, std::chrono::microseconds(allowance), [&] {
+                        return stopping_ || queue_.size() != seen;
+                    });
+                mergePending();
+            }
         }
 
         lock.unlock();
-        executePass(batch, t);
+        executePass(batch, t, held);
         lock.lock();
         pendingRequests_ -= batch.size();
         if (pendingRequests_ == 0)
@@ -851,7 +975,8 @@ InferenceSession::workerLoop()
 }
 
 void
-InferenceSession::executePass(std::vector<Queued> &items, int t)
+InferenceSession::executePass(std::vector<Queued> &items, int t,
+                              bool held)
 {
     const std::size_t dim = program_.inputDim();
     std::size_t total_images = 0;
@@ -889,19 +1014,42 @@ InferenceSession::executePass(std::vector<Queued> &items, int t)
             item.pending->fulfill(std::move(result));
         }
     };
-    if (opts_.adaptive.enabled)
+    const auto pass_start = Clock::now();
+    if (opts_.adaptive.enabled) {
+        // The tightest remaining member budget bounds the pass
+        // (anytime mode) — waiting in the queue ate into it.
+        std::int64_t tightest = 0;
+        for (const auto &item : items) {
+            const std::int64_t deadline =
+                effectiveDeadline(item.request);
+            if (deadline <= 0)
+                continue;
+            const std::int64_t waited = static_cast<std::int64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    pass_start - item.enqueued)
+                    .count());
+            const std::int64_t remaining =
+                std::max<std::int64_t>(deadline - waited, 1);
+            tightest = tightest == 0
+                           ? remaining
+                           : std::min(tightest, remaining);
+        }
         fulfill(engineFor(t).classifyBatchAdaptive(
-            xs, total_images, dim, adaptiveOptions(t),
+            xs, total_images, dim, adaptiveOptions(t, tightest),
             opts_.uncertainty));
-    else
+    } else {
         fulfill(engineFor(t).classifyBatchDetailed(
             xs, total_images, dim, opts_.uncertainty));
+    }
+    observePassMicros(t, microsSince(pass_start));
 
     counters_.requests += items.size();
     counters_.images += total_images;
     counters_.passes += 1;
     if (items.size() > 1)
         counters_.coalescedPasses += 1;
+    if (held)
+        counters_.heldPasses += 1;
     counters_.maxCoalescedRequests = std::max<std::uint64_t>(
         counters_.maxCoalescedRequests, items.size());
     counters_.maxBatchedImages = std::max<std::uint64_t>(

@@ -59,6 +59,7 @@
 #include "accel/program.hh"
 #include "nn/trainer.hh"
 #include "nn/uncertainty.hh"
+#include "serve/coalescer.hh"
 
 namespace vibnn::bnn
 {
@@ -126,6 +127,19 @@ struct SessionOptions
      *  facade's classifyBatch runs this way). */
     bool uncertainty = true;
 
+    /** Latency budget in microseconds applied to submitted requests
+     *  that carry none of their own (InferenceRequest::deadlineMicros
+     *  wins when positive); 0 disables holding. A budget licenses the
+     *  deadline-aware coalescer to HOLD a request — waiting for more
+     *  same-T arrivals to fill the round — for up to the budget minus
+     *  the expected pass time, never longer (serve/coalescer.hh). A
+     *  request with no budget dispatches greedily, exactly the PR 4
+     *  behavior. */
+    std::int64_t defaultDeadlineMicros = 0;
+    /** Image cap per coalesced pass; reaching it dispatches a held
+     *  batch immediately (the round is full). 0 = unbounded. */
+    std::size_t maxBatchImages = 0;
+
     /**
      * Adaptive early-exit / anytime Monte-Carlo (Throughput mode
      * only — the batched backend's per-image independence is what
@@ -171,6 +185,9 @@ struct SessionOptions
      *   VIBNN_SERVE_MIN_T       minimum rounds before any exit
      *   VIBNN_SERVE_CHUNK       rounds per adaptive increment
      *   VIBNN_SERVE_DEADLINE_MS anytime deadline per pass (<= 0 off)
+     *   VIBNN_SERVE_DEADLINE_US default request latency budget for
+     *                           the deadline-aware coalescer (0 off)
+     *   VIBNN_SERVE_MAX_BATCH   image cap per coalesced pass (0 off)
      */
     static SessionOptions fromEnv();
     static SessionOptions fromEnv(SessionOptions defaults);
@@ -183,6 +200,19 @@ struct InferenceRequest
     std::uint64_t id = 0;
     /** Per-request ensemble size override; 0 uses the session's T. */
     int mcSamples = 0;
+    /**
+     * Per-request latency budget in microseconds, measured from
+     * submit(); 0 falls back to the session's defaultDeadlineMicros.
+     * A positive budget licenses the dispatcher to hold the request
+     * to fill a round (never past the budget), and under the adaptive
+     * policy also bounds the engine pass itself (anytime mode): the
+     * remaining budget caps the pass's wall-clock deadline, so the
+     * network caller's SLO and PR 7's best-answer-by-deadline
+     * semantics are the same knob. Deadlines shape WHEN a pass runs,
+     * never its outputs — a fixed-T request's results stay
+     * bit-identical with or without one.
+     */
+    std::int64_t deadlineMicros = 0;
     /** Image count. */
     std::size_t count = 0;
     /** Floats per image; must equal the program's input dim. */
@@ -324,6 +354,10 @@ class InferenceSession
         Builder &topK(std::size_t k);
         Builder &uncertainty(bool enabled);
         Builder &adaptive(const SessionOptions::AdaptivePolicy &policy);
+        /** Default latency budget for submitted requests (micros). */
+        Builder &defaultDeadline(std::int64_t micros);
+        /** Image cap per coalesced pass (0 = unbounded). */
+        Builder &maxBatchImages(std::size_t images);
 
         /** Validate and construct. fatal() on: no model source, an
          *  unloadable program file, unknown backend / GRNG ids (the
@@ -362,6 +396,9 @@ class InferenceSession
         std::uint64_t passes = 0;
         /** Passes that merged two or more requests. */
         std::uint64_t coalescedPasses = 0;
+        /** Passes the deadline-aware coalescer held open (waited on a
+         *  latency budget for more arrivals) before dispatching. */
+        std::uint64_t heldPasses = 0;
         /** Largest number of requests merged into one pass. */
         std::uint64_t maxCoalescedRequests = 0;
         /** Largest image count of one pass. */
@@ -399,6 +436,15 @@ class InferenceSession
     /** Ensemble size a request is served with. */
     int effectiveSamples(const InferenceRequest &request) const;
 
+    /** Latency budget a request is served under (its own, else the
+     *  session default; 0 = none). */
+    std::int64_t effectiveDeadline(const InferenceRequest &request) const;
+
+    /** EWMA pass-time estimate for ensemble size `t`, micros (0 until
+     *  the first observed pass at that T). */
+    std::int64_t passEstimateMicros(int t) const;
+    void observePassMicros(int t, double micros);
+
     /** fatal() unless the request matches the program geometry. */
     void validateRequest(const InferenceRequest &request) const;
 
@@ -410,8 +456,9 @@ class InferenceSession
     accel::McEngine &engineFor(int t);
 
     /** Run one engine pass over `items` (same effective T), build and
-     *  fulfill/collect the per-request results. */
-    void executePass(std::vector<Queued> &items, int t);
+     *  fulfill/collect the per-request results. `held` marks a pass
+     *  the deadline-aware coalescer kept open before dispatch. */
+    void executePass(std::vector<Queued> &items, int t, bool held);
 
     /** Decorate one image range of an engine result. `sample_stride`
      *  is the per-image row capacity of `sample_probs` (the budget);
@@ -439,8 +486,12 @@ class InferenceSession
         std::size_t batched_images) const;
 
     /** The engine-facing adaptive options resolved from
-     *  opts_.adaptive with budget `t`. */
-    accel::McAdaptiveOptions adaptiveOptions(int t) const;
+     *  opts_.adaptive with budget `t`. `tightest_deadline_micros` is
+     *  the smallest remaining member latency budget (0 = none): it
+     *  caps the pass's anytime wall-clock deadline, integrating the
+     *  request budget with the PR 7 anytime path. */
+    accel::McAdaptiveOptions adaptiveOptions(
+        int t, std::int64_t tightest_deadline_micros) const;
 
     void workerLoop();
     void ensureWorker();
@@ -472,6 +523,11 @@ class InferenceSession
     Counters counters_;
 
     std::atomic<std::uint64_t> nextRequestId_{1};
+
+    /** Leaf lock guarding the per-T pass-time EWMAs (written after
+     *  every pass, read by the dispatcher while deciding a hold). */
+    mutable std::mutex estimatorMutex_;
+    std::map<int, PassTimeEstimator> passEstimators_;
 
     /** Dispatcher state (worker started lazily on first submit()). */
     std::mutex queueMutex_;

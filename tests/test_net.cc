@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Wire-protocol tests: framing round-trips for every message type
+ * (floats bit-exact through encode/decode), and the malformed-input
+ * contract — truncated, oversized, trailing-garbage, and random-byte
+ * payloads are rejected with false + error, never a crash, hang, or
+ * fatal().
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hh"
+#include "serve/net/protocol.hh"
+
+using namespace vibnn;
+using namespace vibnn::serve::net;
+
+namespace
+{
+
+/** Split a full frame into (header, payload) after validating it. */
+void
+splitFrame(const std::vector<std::uint8_t> &frame, FrameType &type,
+           std::vector<std::uint8_t> &payload)
+{
+    ASSERT_GE(frame.size(), kFrameHeaderBytes);
+    std::uint32_t len = 0;
+    std::string error;
+    ASSERT_TRUE(decodeFrameHeader(frame.data(), type, len, error))
+        << error;
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + len);
+    payload.assign(frame.begin() + kFrameHeaderBytes, frame.end());
+}
+
+WireClassifyRequest
+sampleRequest()
+{
+    WireClassifyRequest req;
+    req.id = 0xdeadbeefcafe1234ull;
+    req.mcSamples = 16;
+    req.deadlineMicros = 250'000;
+    req.count = 3;
+    req.dim = 4;
+    req.features = {0.0f, -1.5f, 3.25f, 1e-30f, 1.0f, 2.0f,
+                    3.0f, 4.0f,  -0.0f, 0.125f, 7.0f, 1e30f};
+    return req;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------- round trips
+
+TEST(Protocol, ClassifyRequestRoundTripsBitExact)
+{
+    const WireClassifyRequest req = sampleRequest();
+    const auto frame = encodeClassifyRequest(req);
+
+    FrameType type;
+    std::vector<std::uint8_t> payload;
+    splitFrame(frame, type, payload);
+    EXPECT_EQ(type, FrameType::ClassifyRequest);
+
+    WireClassifyRequest out;
+    std::string error;
+    ASSERT_TRUE(decodeClassifyRequest(payload.data(), payload.size(),
+                                      out, error))
+        << error;
+    EXPECT_EQ(out.id, req.id);
+    EXPECT_EQ(out.mcSamples, req.mcSamples);
+    EXPECT_EQ(out.deadlineMicros, req.deadlineMicros);
+    EXPECT_EQ(out.count, req.count);
+    EXPECT_EQ(out.dim, req.dim);
+    ASSERT_EQ(out.features.size(), req.features.size());
+    // Bit-exact, not approximately-equal: the serving bit-exactness
+    // pin depends on floats travelling verbatim.
+    EXPECT_EQ(std::memcmp(out.features.data(), req.features.data(),
+                          req.features.size() * sizeof(float)),
+              0);
+}
+
+TEST(Protocol, ClassifyResponseRoundTripsBitExact)
+{
+    WireClassifyResponse resp;
+    resp.id = 99;
+    resp.mcSamples = 32;
+    resp.outDim = 3;
+    resp.meanRounds = 17.5;
+    resp.serverMicros = 1234.25;
+    for (int i = 0; i < 2; ++i) {
+        WirePrediction p;
+        p.predicted = static_cast<std::uint32_t>(i);
+        p.achievedSamples = 20 + i;
+        p.exitReason = static_cast<std::uint8_t>(i);
+        p.confidence = 0.75f + 0.1f * static_cast<float>(i);
+        p.entropy = 0.5 * i;
+        p.mutualInformation = 0.25 * i;
+        p.probs = {0.2f, 0.3f, 0.5f};
+        resp.predictions.push_back(p);
+    }
+    const auto frame = encodeClassifyResponse(resp);
+
+    FrameType type;
+    std::vector<std::uint8_t> payload;
+    splitFrame(frame, type, payload);
+    EXPECT_EQ(type, FrameType::ClassifyResponse);
+
+    WireClassifyResponse out;
+    std::string error;
+    ASSERT_TRUE(decodeClassifyResponse(payload.data(), payload.size(),
+                                       out, error))
+        << error;
+    EXPECT_EQ(out.id, resp.id);
+    EXPECT_EQ(out.mcSamples, resp.mcSamples);
+    EXPECT_EQ(out.outDim, resp.outDim);
+    EXPECT_EQ(out.meanRounds, resp.meanRounds);
+    EXPECT_EQ(out.serverMicros, resp.serverMicros);
+    ASSERT_EQ(out.predictions.size(), resp.predictions.size());
+    for (std::size_t i = 0; i < out.predictions.size(); ++i) {
+        const auto &a = out.predictions[i];
+        const auto &b = resp.predictions[i];
+        EXPECT_EQ(a.predicted, b.predicted);
+        EXPECT_EQ(a.achievedSamples, b.achievedSamples);
+        EXPECT_EQ(a.exitReason, b.exitReason);
+        EXPECT_EQ(std::memcmp(&a.confidence, &b.confidence,
+                              sizeof(float)),
+                  0);
+        EXPECT_EQ(a.entropy, b.entropy);
+        EXPECT_EQ(a.mutualInformation, b.mutualInformation);
+        ASSERT_EQ(a.probs.size(), b.probs.size());
+        EXPECT_EQ(std::memcmp(a.probs.data(), b.probs.data(),
+                              a.probs.size() * sizeof(float)),
+                  0);
+    }
+}
+
+TEST(Protocol, ErrorFrameRoundTrips)
+{
+    WireError err;
+    err.id = 7;
+    err.code = ErrorCode::Overloaded;
+    err.message = "shard queue full";
+    const auto frame = encodeError(err);
+
+    FrameType type;
+    std::vector<std::uint8_t> payload;
+    splitFrame(frame, type, payload);
+    EXPECT_EQ(type, FrameType::Error);
+
+    WireError out;
+    std::string error;
+    ASSERT_TRUE(decodeError(payload.data(), payload.size(), out,
+                            error))
+        << error;
+    EXPECT_EQ(out.id, err.id);
+    EXPECT_EQ(out.code, err.code);
+    EXPECT_EQ(out.message, err.message);
+}
+
+TEST(Protocol, MetricsResponseRoundTrips)
+{
+    const std::string json = "{\"requests\": 5, \"p99_us\": 123.4}";
+    const auto frame = encodeMetricsResponse(json);
+
+    FrameType type;
+    std::vector<std::uint8_t> payload;
+    splitFrame(frame, type, payload);
+    EXPECT_EQ(type, FrameType::MetricsResponse);
+
+    std::string out, error;
+    ASSERT_TRUE(decodeMetricsResponse(payload.data(), payload.size(),
+                                      out, error))
+        << error;
+    EXPECT_EQ(out, json);
+}
+
+TEST(Protocol, EmptyPayloadFramesCarryHeaderOnly)
+{
+    const auto frame = encodeFrame(FrameType::Ping);
+    EXPECT_EQ(frame.size(), kFrameHeaderBytes);
+    FrameType type;
+    std::uint32_t len = 0;
+    std::string error;
+    ASSERT_TRUE(decodeFrameHeader(frame.data(), type, len, error));
+    EXPECT_EQ(type, FrameType::Ping);
+    EXPECT_EQ(len, 0u);
+}
+
+// ------------------------------------------------------- header defense
+
+TEST(Protocol, HeaderRejectsBadMagic)
+{
+    auto frame = encodeFrame(FrameType::Ping);
+    frame[0] ^= 0xff;
+    FrameType type;
+    std::uint32_t len = 0;
+    std::string error;
+    EXPECT_FALSE(decodeFrameHeader(frame.data(), type, len, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Protocol, HeaderRejectsUnknownVersion)
+{
+    auto frame = encodeFrame(FrameType::Ping);
+    frame[4] = kVersion + 1;
+    FrameType type;
+    std::uint32_t len = 0;
+    std::string error;
+    EXPECT_FALSE(decodeFrameHeader(frame.data(), type, len, error));
+}
+
+TEST(Protocol, HeaderRejectsUnknownFrameType)
+{
+    auto frame = encodeFrame(FrameType::Ping);
+    frame[5] = 0;
+    FrameType type;
+    std::uint32_t len = 0;
+    std::string error;
+    EXPECT_FALSE(decodeFrameHeader(frame.data(), type, len, error));
+    frame[5] = 200;
+    EXPECT_FALSE(decodeFrameHeader(frame.data(), type, len, error));
+}
+
+TEST(Protocol, HeaderRejectsHostileLengthPrefix)
+{
+    // A length just above the cap must be refused before any
+    // allocation happens.
+    auto frame = encodeFrame(FrameType::Ping);
+    const std::uint32_t hostile = kMaxPayloadBytes + 1;
+    std::memcpy(frame.data() + 8, &hostile, sizeof(hostile));
+    FrameType type;
+    std::uint32_t len = 0;
+    std::string error;
+    EXPECT_FALSE(decodeFrameHeader(frame.data(), type, len, error));
+}
+
+// ------------------------------------------------------ payload defense
+
+TEST(Protocol, TruncatedClassifyRequestIsRejectedAtEveryLength)
+{
+    const auto frame = encodeClassifyRequest(sampleRequest());
+    const std::uint8_t *payload = frame.data() + kFrameHeaderBytes;
+    const std::size_t full = frame.size() - kFrameHeaderBytes;
+    for (std::size_t len = 0; len < full; ++len) {
+        WireClassifyRequest out;
+        std::string error;
+        EXPECT_FALSE(
+            decodeClassifyRequest(payload, len, out, error))
+            << "accepted truncation at " << len;
+        EXPECT_FALSE(error.empty());
+    }
+}
+
+TEST(Protocol, TrailingBytesAreRejected)
+{
+    auto frame = encodeClassifyRequest(sampleRequest());
+    frame.push_back(0x00); // one byte past the encoded payload
+    WireClassifyRequest out;
+    std::string error;
+    EXPECT_FALSE(decodeClassifyRequest(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error));
+}
+
+TEST(Protocol, ClassifyRequestRejectsAbsurdGeometry)
+{
+    WireClassifyRequest req = sampleRequest();
+    std::string error;
+
+    // Zero images.
+    req.count = 0;
+    req.features.clear();
+    auto frame = encodeClassifyRequest(req);
+    WireClassifyRequest out;
+    EXPECT_FALSE(decodeClassifyRequest(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error));
+
+    // count over the per-frame cap: forge the header fields of a
+    // valid frame (the encoder itself refuses to build one).
+    frame = encodeClassifyRequest(sampleRequest());
+    const std::uint32_t big_count = kMaxImagesPerFrame + 1;
+    std::memcpy(frame.data() + kFrameHeaderBytes + 20, &big_count, 4);
+    EXPECT_FALSE(decodeClassifyRequest(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error));
+
+    // dim over the cap.
+    frame = encodeClassifyRequest(sampleRequest());
+    const std::uint32_t big_dim = kMaxImageDim + 1;
+    std::memcpy(frame.data() + kFrameHeaderBytes + 24, &big_dim, 4);
+    EXPECT_FALSE(decodeClassifyRequest(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error));
+}
+
+TEST(Protocol, RandomGarbagePayloadsNeverCrashDecoders)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::size_t len =
+            static_cast<std::size_t>(rng.uniform() * 256);
+        std::vector<std::uint8_t> junk(len);
+        for (auto &b : junk)
+            b = static_cast<std::uint8_t>(rng.uniform() * 256);
+        std::string error;
+        WireClassifyRequest req;
+        WireClassifyResponse resp;
+        WireError err;
+        std::string json;
+        // Any of these may "succeed" only if the bytes happen to form
+        // a valid message; what they must never do is crash, hang, or
+        // read out of bounds (ASan/UBSan builds check the latter).
+        decodeClassifyRequest(junk.data(), junk.size(), req, error);
+        decodeClassifyResponse(junk.data(), junk.size(), resp, error);
+        decodeError(junk.data(), junk.size(), err, error);
+        decodeMetricsResponse(junk.data(), junk.size(), json, error);
+    }
+    SUCCEED();
+}
+
+TEST(Protocol, ExitReasonAboveRangeIsRejected)
+{
+    WireClassifyResponse resp;
+    resp.id = 1;
+    resp.mcSamples = 4;
+    resp.outDim = 2;
+    WirePrediction p;
+    p.probs = {0.5f, 0.5f};
+    resp.predictions.push_back(p);
+    auto frame = encodeClassifyResponse(resp);
+    // Locate and corrupt the exitReason byte: payload layout is
+    // id(8) mcSamples(4) outDim(4) meanRounds(8) serverMicros(8)
+    // count(4) then per-prediction predicted(4) achieved(4) reason(1).
+    const std::size_t reason_off = kFrameHeaderBytes + 36 + 8;
+    frame[reason_off] = 4; // one past McExitReason::Deadline
+    WireClassifyResponse out;
+    std::string error;
+    EXPECT_FALSE(decodeClassifyResponse(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error));
+}

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -531,4 +532,124 @@ TEST(SessionValidationDeathTest, RequestsAreValidated)
     EXPECT_DEATH((void)session->run(InferenceRequest::borrow(
                      xs.data(), 0, session->inputDim())),
                  "no images");
+}
+
+// ------------------------------------------- deadline-aware dispatching
+
+TEST(SessionOptions, DeadlineAndMaxBatchEnvKnobs)
+{
+    setenv("VIBNN_SERVE_DEADLINE_US", "2500", 1);
+    setenv("VIBNN_SERVE_MAX_BATCH", "32", 1);
+    const auto opts = SessionOptions::fromEnv();
+    unsetenv("VIBNN_SERVE_DEADLINE_US");
+    unsetenv("VIBNN_SERVE_MAX_BATCH");
+    EXPECT_EQ(opts.defaultDeadlineMicros, 2500);
+    EXPECT_EQ(opts.maxBatchImages, 32u);
+}
+
+TEST(SessionOptionsDeathTest, DeadlineEnvKnobsParseStrictly)
+{
+    // The PR 4 convention: a garbled knob is fatal, never silently
+    // ignored.
+    setenv("VIBNN_SERVE_DEADLINE_US", "soon-ish", 1);
+    EXPECT_DEATH((void)SessionOptions::fromEnv(),
+                 "VIBNN_SERVE_DEADLINE_US must be a base-10 integer");
+    setenv("VIBNN_SERVE_DEADLINE_US", "-5", 1);
+    EXPECT_DEATH((void)SessionOptions::fromEnv(),
+                 "VIBNN_SERVE_DEADLINE_US must be >= 0");
+    unsetenv("VIBNN_SERVE_DEADLINE_US");
+
+    setenv("VIBNN_SERVE_MAX_BATCH", "many", 1);
+    EXPECT_DEATH((void)SessionOptions::fromEnv(),
+                 "VIBNN_SERVE_MAX_BATCH must be a base-10 integer");
+    setenv("VIBNN_SERVE_MAX_BATCH", "-1", 1);
+    EXPECT_DEATH((void)SessionOptions::fromEnv(),
+                 "VIBNN_SERVE_MAX_BATCH must be >= 0");
+    unsetenv("VIBNN_SERVE_MAX_BATCH");
+}
+
+TEST(SessionValidationDeathTest, DeadlinesAreValidated)
+{
+    const auto config = smallConfig();
+    EXPECT_DEATH((void)smallBuilder(config).defaultDeadline(-1).build(),
+                 "defaultDeadlineMicros must be >= 0");
+
+    auto session = smallBuilder(config).build();
+    const auto xs = randomBatch(1, session->inputDim(), 47);
+    InferenceRequest request =
+        InferenceRequest::borrow(xs.data(), 1, session->inputDim());
+    request.deadlineMicros = -100;
+    EXPECT_DEATH((void)session->run(request),
+                 "deadlineMicros must be >= 0");
+}
+
+TEST(InferenceSession, DeadlinedSubmitBitIdenticalToRun)
+{
+    // A latency budget shapes WHEN the dispatcher executes, never the
+    // outputs: a held submit() returns exactly what run() returns.
+    const auto config = smallConfig(8);
+    auto session =
+        smallBuilder(config).mode(ExecMode::Throughput).build();
+    const auto xs = randomBatch(2, session->inputDim(), 33);
+
+    const auto reference = session->run(
+        InferenceRequest::borrow(xs.data(), 2, session->inputDim()));
+
+    InferenceRequest request = InferenceRequest::copy(
+        xs.data(), 2, session->inputDim());
+    request.deadlineMicros = 50'000;
+    auto result = session->submit(std::move(request)).get();
+
+    ASSERT_EQ(result.predictions.size(), reference.predictions.size());
+    for (std::size_t i = 0; i < result.predictions.size(); ++i) {
+        EXPECT_EQ(result.predictions[i].probs,
+                  reference.predictions[i].probs);
+        EXPECT_EQ(result.predictions[i].predicted,
+                  reference.predictions[i].predicted);
+        EXPECT_EQ(result.predictions[i].entropy,
+                  reference.predictions[i].entropy);
+    }
+    // The lone deadlined request had a license to hold, and nothing
+    // arrived to fill the round.
+    EXPECT_GE(session->counters().heldPasses, 1u);
+}
+
+TEST(InferenceSession, MaxBatchImagesDispatchesAFullRoundEarly)
+{
+    // Two single-image requests against maxBatchImages=2: the second
+    // arrival fills the round, so a 5-second budget must NOT be
+    // waited out — completion in milliseconds is the pin that the
+    // full-round early dispatch works.
+    const auto config = smallConfig(8);
+    auto session = smallBuilder(config)
+                       .mode(ExecMode::Throughput)
+                       .defaultDeadline(5'000'000)
+                       .maxBatchImages(2)
+                       .build();
+    const auto xs = randomBatch(2, session->inputDim(), 81);
+
+    const auto started = std::chrono::steady_clock::now();
+    auto a = session->submit(InferenceRequest::copy(
+        xs.data(), 1, session->inputDim()));
+    auto b = session->submit(InferenceRequest::copy(
+        xs.data() + session->inputDim(), 1, session->inputDim()));
+    const auto result_a = a.get();
+    const auto result_b = b.get();
+    const double waited_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    EXPECT_LT(waited_s, 2.0)
+        << "full round did not dispatch early against its deadline";
+
+    // Still bit-identical to solo runs.
+    const auto ref_a = session->run(InferenceRequest::borrow(
+        xs.data(), 1, session->inputDim()));
+    const auto ref_b = session->run(InferenceRequest::borrow(
+        xs.data() + session->inputDim(), 1, session->inputDim()));
+    EXPECT_EQ(result_a.predictions[0].probs, ref_a.predictions[0].probs);
+    EXPECT_EQ(result_b.predictions[0].probs, ref_b.predictions[0].probs);
+
+    const auto counters = session->counters();
+    EXPECT_LE(counters.maxBatchedImages, 2u);
 }

@@ -7,8 +7,12 @@ see bench/bench_util.hh). Records are matched on their identity fields
 pair with a value for the gated metric (`images_per_s` by default;
 --metric selects another, e.g. `rlf_eps_ms` for the GRNG eps-supply
 records) is compared: the run fails when a fresh value regresses more
-than --tolerance (default 10%) below its baseline.
-Faster-than-baseline is always fine — the gate is one-sided.
+than --tolerance (default 10%) past its baseline. The gate is
+one-sided and directional: with --direction higher (the default,
+throughput metrics) regression means falling below the baseline
+floor; with --direction lower (latency metrics, e.g. the serving
+bench's p99_us) regression means rising above the baseline ceiling —
+better-than-baseline is always fine either way.
 Note that the kernel tier is part of the identity, so a scalar-forced
 run never gets judged against an avx2 baseline — it is simply reported
 as unmatched.
@@ -32,7 +36,8 @@ import sys
 
 IDENTITY_KEYS = ("bench", "section", "backend", "schedule", "style",
                  "kernel", "tier", "generator", "estimator", "bits", "T",
-                 "batch", "requests", "confidence", "budget")
+                 "batch", "requests", "confidence", "budget", "shards",
+                 "offered", "conns")
 DEFAULT_METRIC = "images_per_s"
 
 
@@ -73,6 +78,13 @@ def main():
                         help="record field to gate on (default "
                              f"{DEFAULT_METRIC}); records lacking the "
                              "field are ignored")
+    parser.add_argument("--direction", choices=("higher", "lower"),
+                        default="higher",
+                        help="gating direction: 'higher' (throughput "
+                             "metrics, the default) fails when fresh "
+                             "drops below baseline*(1-tol); 'lower' "
+                             "(latency metrics like p99_us) fails when "
+                             "fresh rises above baseline*(1+tol)")
     parser.add_argument("--unit", default=None,
                         help="unit label for the report lines "
                              "(default derives from --metric)")
@@ -112,11 +124,20 @@ def main():
         compared += 1
         base_v = float(base[metric])
         fresh_v = float(other[metric])
-        floor = base_v * (1.0 - args.tolerance)
-        verdict = "ok" if fresh_v >= floor else "REGRESSION"
+        if args.direction == "higher":
+            floor = base_v * (1.0 - args.tolerance)
+            regressed = fresh_v < floor
+            bound_note = f"floor {floor:.1f}"
+        else:
+            # Lower-is-better (latency): regression means RISING past
+            # the baseline plus headroom.
+            ceiling = base_v * (1.0 + args.tolerance)
+            regressed = fresh_v > ceiling
+            bound_note = f"ceiling {ceiling:.1f}"
+        verdict = "REGRESSION" if regressed else "ok"
         print(f"{verdict:10s} {label}: baseline {base_v:.1f} -> "
-              f"fresh {fresh_v:.1f} {unit} (floor {floor:.1f})")
-        if fresh_v < floor:
+              f"fresh {fresh_v:.1f} {unit} ({bound_note})")
+        if regressed:
             failures.append(label)
 
     if missing:

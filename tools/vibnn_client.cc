@@ -1,0 +1,175 @@
+/**
+ * @file
+ * vibnn_client — command-line client for a running vibnn_server.
+ *
+ *   ./build/vibnn_client --port 7411 ping
+ *   ./build/vibnn_client --port 7411 classify --count 4 --t 16
+ *   ./build/vibnn_client --port 7411 metrics
+ *   ./build/vibnn_client --port 7411 shutdown
+ *
+ * `classify` sends random images (deterministic from --seed) of the
+ * server program's input dimension and prints each prediction with its
+ * uncertainty decorations; --deadline-us attaches a latency budget,
+ * which licenses the server's deadline-aware coalescer to hold the
+ * request to fill a Monte-Carlo round (never past the budget).
+ *
+ * Exit code: 0 on success, 1 on any transport/protocol/server error —
+ * scripts (the CI server smoke) rely on that.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "serve/client.hh"
+
+using namespace vibnn;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: vibnn_client [--host ADDR] --port N COMMAND\n"
+        "commands:\n"
+        "  ping                       liveness round-trip\n"
+        "  metrics                    print the server's metrics JSON\n"
+        "  shutdown                   ask the server to stop\n"
+        "  classify [--count N] [--dim D] [--t T]\n"
+        "           [--deadline-us N] [--seed S]\n"
+        "                             classify random images\n");
+}
+
+long long
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        fatal(std::string(argv[i]) + " expects a value");
+    return std::atoll(argv[++i]);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string host = "127.0.0.1";
+    std::string command;
+    int port = 7411;
+    long long count = 1, dim = 24, t = 0, deadline_us = 0, seed = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--host" && i + 1 < argc)
+            host = argv[++i];
+        else if (arg == "--port")
+            port = static_cast<int>(argValue(argc, argv, i));
+        else if (arg == "--count")
+            count = argValue(argc, argv, i);
+        else if (arg == "--dim")
+            dim = argValue(argc, argv, i);
+        else if (arg == "--t")
+            t = argValue(argc, argv, i);
+        else if (arg == "--deadline-us")
+            deadline_us = argValue(argc, argv, i);
+        else if (arg == "--seed")
+            seed = argValue(argc, argv, i);
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (command.empty() && !arg.empty() && arg[0] != '-')
+            command = arg;
+        else {
+            usage();
+            fatal("unknown argument '" + arg + "'");
+        }
+    }
+    if (command.empty()) {
+        usage();
+        return 1;
+    }
+    if (port <= 0 || port > 65535)
+        fatal("--port must be in [1, 65535]");
+    if (count < 1 || dim < 1 || t < 0 || deadline_us < 0)
+        fatal("--count and --dim must be >= 1, --t and "
+              "--deadline-us >= 0");
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(host, static_cast<std::uint16_t>(port),
+                        error)) {
+        std::fprintf(stderr, "vibnn_client: connect: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    if (command == "ping") {
+        if (!client.ping(error)) {
+            std::fprintf(stderr, "vibnn_client: ping: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("pong\n");
+        return 0;
+    }
+    if (command == "metrics") {
+        std::string json;
+        if (!client.metrics(json, error)) {
+            std::fprintf(stderr, "vibnn_client: metrics: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", json.c_str());
+        return 0;
+    }
+    if (command == "shutdown") {
+        if (!client.requestShutdown(error)) {
+            std::fprintf(stderr, "vibnn_client: shutdown: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        std::printf("shutdown acknowledged\n");
+        return 0;
+    }
+    if (command != "classify") {
+        usage();
+        fatal("unknown command '" + command + "'");
+    }
+
+    Rng rng(static_cast<std::uint64_t>(seed));
+    std::vector<float> xs(static_cast<std::size_t>(count * dim));
+    for (auto &v : xs)
+        v = static_cast<float>(rng.uniform());
+
+    serve::Client::Options options;
+    options.mcSamples = static_cast<std::uint32_t>(t);
+    options.deadlineMicros = deadline_us;
+    const auto reply = client.classify(
+        xs.data(), static_cast<std::size_t>(count),
+        static_cast<std::size_t>(dim), options);
+    if (!reply.ok()) {
+        std::fprintf(stderr, "vibnn_client: classify: %s (%s)\n",
+                     serve::Client::statusName(reply.status),
+                     reply.message.c_str());
+        return 1;
+    }
+
+    const auto &resp = reply.response;
+    std::printf("classified %zu image(s)  T=%u  mean rounds %.1f  "
+                "server %.0f us\n",
+                resp.predictions.size(), resp.mcSamples,
+                resp.meanRounds, resp.serverMicros);
+    for (std::size_t i = 0; i < resp.predictions.size(); ++i) {
+        const auto &p = resp.predictions[i];
+        std::printf("  [%zu] class %u  conf %.3f  entropy %.3f  "
+                    "MI %.3f  rounds %u\n",
+                    i, p.predicted, p.confidence, p.entropy,
+                    p.mutualInformation, p.achievedSamples);
+    }
+    return 0;
+}
