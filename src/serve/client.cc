@@ -184,7 +184,19 @@ Client::requestShutdown(std::string &error)
     std::vector<std::uint8_t> payload;
     if (!net::readFrame(sock_, type, payload, error))
         return false;
-    if (type != net::FrameType::Pong) {
+    if (type == net::FrameType::Error) {
+        // The server's RemoteShutdown policy refused the request;
+        // relay its reason.
+        net::WireError err;
+        std::string decode_error;
+        error = net::decodeError(payload.data(), payload.size(), err,
+                                 decode_error)
+                    ? err.message
+                    : "shutdown refused (bad error frame: " +
+                          decode_error + ")";
+        return false;
+    }
+    if (type != net::FrameType::ShutdownAck) {
         error = "unexpected frame type";
         return false;
     }

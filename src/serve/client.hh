@@ -112,7 +112,9 @@ class Client
     /** Fetch the server's metrics JSON (the metrics endpoint). */
     bool metrics(std::string &json, std::string &error);
 
-    /** Ask the server to shut down (waits for the acknowledgement). */
+    /** Ask the server to shut down (waits for the ShutdownAck).
+     *  False + the server's reason when its RemoteShutdown policy
+     *  refuses the request. */
     bool requestShutdown(std::string &error);
 
   private:

@@ -20,10 +20,24 @@
 #ifndef VIBNN_SERVE_COALESCER_HH
 #define VIBNN_SERVE_COALESCER_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace vibnn::serve
 {
+
+/**
+ * Upper bound on any deadline budget, in microseconds (10 minutes).
+ * A deadline licenses the dispatcher to HOLD work, so an unbounded
+ * caller-supplied value would let one request park a shard's
+ * dispatcher for an arbitrary time (starving every different-T
+ * request) — and values near INT64_MAX overflow the duration math
+ * inside condition_variable::wait_for. Enforced at every admission
+ * edge: wire decode (net::decodeClassifyRequest), server admission
+ * (Server::handleClassify), InferenceSession::validateRequest, the
+ * session Builder, and the VIBNN_SERVE_DEADLINE_US env front door.
+ */
+constexpr std::int64_t kMaxDeadlineMicros = 600'000'000;
 
 /**
  * EWMA of recent engine pass durations — the coalescer's expectation

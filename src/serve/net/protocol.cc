@@ -1,6 +1,7 @@
 #include "serve/net/protocol.hh"
 
 #include <cstring>
+#include <limits>
 
 namespace vibnn::serve::net
 {
@@ -312,7 +313,7 @@ decodeFrameHeader(const std::uint8_t *buf, FrameType &type,
     }
     if (raw_type < static_cast<std::uint8_t>(
                        FrameType::ClassifyRequest) ||
-        raw_type > static_cast<std::uint8_t>(FrameType::Shutdown)) {
+        raw_type > static_cast<std::uint8_t>(FrameType::ShutdownAck)) {
         error = "unknown frame type " + std::to_string(raw_type);
         return false;
     }
@@ -351,12 +352,28 @@ decodeClassifyRequest(const std::uint8_t *payload, std::size_t len,
             std::to_string(out.dim) + ")";
         return false;
     }
-    if (out.deadlineMicros < 0) {
-        error = "ClassifyRequest deadline must be >= 0";
+    if (out.deadlineMicros < 0 ||
+        out.deadlineMicros > kMaxDeadlineMicros) {
+        // An unbounded deadline is an unbounded dispatcher-hold
+        // license (and overflows wait_for's duration math) — a
+        // remotely triggerable DoS, so the cap is a wire-level reject.
+        error = "ClassifyRequest deadline must be in [0, " +
+            std::to_string(kMaxDeadlineMicros) + "] us";
         return false;
     }
-    const std::size_t n = static_cast<std::size_t>(out.count) *
-        static_cast<std::size_t>(out.dim);
+    // count * dim fits uint64 (caps are 2^16 and 2^20) but not
+    // necessarily size_t: on a 32-bit build a wrapped product would
+    // pass expectEnd with fewer floats than count * dim and downstream
+    // copies would read out of bounds.
+    const std::uint64_t n64 = static_cast<std::uint64_t>(out.count) *
+        static_cast<std::uint64_t>(out.dim);
+    if (n64 > std::numeric_limits<std::size_t>::max() /
+                  sizeof(float)) {
+        error = "ClassifyRequest feature block is unaddressable on "
+                "this platform";
+        return false;
+    }
+    const std::size_t n = static_cast<std::size_t>(n64);
     if (!reader.f32Block(out.features, n) || !reader.expectEnd())
         return decodeFailed(error, "ClassifyRequest");
     error.clear();

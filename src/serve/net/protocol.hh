@@ -20,6 +20,7 @@
  *   Error             explicit failure (overload rejection included)
  *   Ping / Pong       liveness
  *   Shutdown          ask the server to stop accepting and exit
+ *   ShutdownAck       the server's acknowledgement of a Shutdown
  *
  * Decoding never fatal()s and never throws on malformed input: bytes
  * off a socket are untrusted, so every decoder returns false with an
@@ -38,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/coalescer.hh"
 #include "serve/net/socket.hh"
 
 namespace vibnn::serve::net
@@ -50,11 +52,18 @@ constexpr std::uint8_t kVersion = 1;
 /** Hard cap on a frame payload — rejects hostile length prefixes
  *  before any allocation. 64 MiB covers ~4k MNIST-sized images. */
 constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
-/** Cap on images per classify frame (keeps count * dim arithmetic
- *  far from overflow even before the payload-size check). */
+/** Cap on images per classify frame. Note count * dim can still
+ *  reach 2^36 under these caps, so the decoder does that arithmetic
+ *  in uint64 and rejects products a size_t cannot address — the caps
+ *  alone do NOT keep a 32-bit build out of overflow territory. */
 constexpr std::uint32_t kMaxImagesPerFrame = 65536;
 /** Cap on floats per image. */
 constexpr std::uint32_t kMaxImageDim = 1u << 20;
+/** Cap on a request's deadline budget — serve::kMaxDeadlineMicros
+ *  (an unbounded client deadline would license an unbounded
+ *  dispatcher hold; see serve/coalescer.hh). Decoders reject frames
+ *  above it, and the server re-checks at admission. */
+constexpr std::int64_t kMaxDeadlineMicros = serve::kMaxDeadlineMicros;
 
 constexpr std::size_t kFrameHeaderBytes = 12;
 
@@ -68,6 +77,7 @@ enum class FrameType : std::uint8_t
     Ping = 6,
     Pong = 7,
     Shutdown = 8,
+    ShutdownAck = 9,
 };
 
 /** Why a request was refused. */
@@ -93,9 +103,10 @@ struct WireClassifyRequest
     std::uint64_t id = 0;
     /** Per-request ensemble size; 0 uses the server's configured T. */
     std::uint32_t mcSamples = 0;
-    /** Latency budget in microseconds from server receipt; 0 = none.
-     *  Bounds how long the deadline-aware coalescer may hold the
-     *  request to fill a round. */
+    /** Latency budget in microseconds from server receipt; 0 = none,
+     *  capped at kMaxDeadlineMicros (decode rejects values outside
+     *  [0, cap]). Bounds how long the deadline-aware coalescer may
+     *  hold the request to fill a round. */
     std::int64_t deadlineMicros = 0;
     std::uint32_t count = 0;
     std::uint32_t dim = 0;

@@ -36,6 +36,15 @@ jsonNumber(double v)
     return buf;
 }
 
+/** Is `host` a loopback bind? Covers the whole 127/8 block plus the
+ *  spellings listenTcp accepts for it. */
+bool
+isLoopbackHost(const std::string &host)
+{
+    return host == "localhost" || host == "::1" ||
+        host.rfind("127.", 0) == 0;
+}
+
 } // namespace
 
 // ------------------------------------------------------ LatencyHistogram
@@ -119,6 +128,10 @@ Server::Server(accel::QuantizedProgram program,
         fatal("serve::Server: queueCapacity must be >= 1");
     if (options_.maxConnections == 0)
         fatal("serve::Server: maxConnections must be >= 1");
+    shutdownAllowed_ =
+        options_.remoteShutdown == RemoteShutdown::Enabled ||
+        (options_.remoteShutdown == RemoteShutdown::LoopbackOnly &&
+         isLoopbackHost(options_.host));
 
     shards_.reserve(options_.shards);
     for (std::size_t i = 0; i < options_.shards; ++i) {
@@ -173,11 +186,14 @@ Server::stop()
         return;
     }
     stopping_.store(true);
-    // Closing the listener unblocks the accept loop.
+    // shutdown() unblocks the accept loop (a parked accept() returns
+    // EINVAL); the close() — the write that invalidates the fd — must
+    // wait until the accept thread is joined, or it races the
+    // thread's fd reads inside acceptTcp.
     listener_.shutdownBoth();
-    listener_.close();
     if (acceptThread_.joinable())
         acceptThread_.join();
+    listener_.close();
     // Unblock every connection thread stuck in a read, then join.
     {
         std::lock_guard<std::mutex> lock(connMutex_);
@@ -238,7 +254,15 @@ Server::acceptLoop()
         if (!client.valid()) {
             if (stopping_.load())
                 break;
-            // Transient accept failure; keep serving.
+            // acceptTcp already retried EINTR, so this is a real
+            // error — possibly a persistent one (EMFILE/ENFILE under
+            // fd exhaustion). Back off briefly so the accept thread
+            // cannot spin a core, and say so once.
+            if (!acceptFailureLogged_.exchange(true))
+                warn("serve::Server: accept failed (" + error +
+                     "); backing off");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
             continue;
         }
         reapConnections(false);
@@ -346,10 +370,14 @@ Server::handleClassify(Connection &conn,
         return sendError(conn.sock, wire.id, net::ErrorCode::BadRequest,
                          "mcSamples too large");
     }
-    if (wire.deadlineMicros < 0) {
+    if (wire.deadlineMicros < 0 ||
+        wire.deadlineMicros > net::kMaxDeadlineMicros) {
+        // The decoder already rejects out-of-range deadlines; this
+        // re-check keeps the admission invariant local — nothing
+        // beyond the cap ever reaches a dispatcher's hold loop.
         shard.inflight.fetch_sub(1);
         return sendError(conn.sock, wire.id, net::ErrorCode::BadRequest,
-                         "negative deadlineMicros");
+                         "deadlineMicros out of range");
     }
 
     ResultHandle handle = shard.session->submit(std::move(request));
@@ -413,10 +441,21 @@ Server::serveConnection(Connection &conn)
             ok = handleClassify(conn, payload);
             break;
         case net::FrameType::Shutdown:
+            // Any connected peer can send this frame, so honor it
+            // only under the configured RemoteShutdown policy — on a
+            // non-loopback bind it would otherwise be an
+            // unauthenticated kill switch.
+            if (!shutdownAllowed_) {
+                ok = sendError(conn.sock, 0,
+                               net::ErrorCode::BadRequest,
+                               "remote shutdown disabled on this "
+                               "server (RemoteShutdown policy)");
+                break;
+            }
             // Acknowledge, then wake waitForShutdownRequest(). The
             // owner thread drives the actual stop() — a connection
             // thread cannot join itself.
-            net::writeFrame(conn.sock, net::FrameType::Pong);
+            net::writeFrame(conn.sock, net::FrameType::ShutdownAck);
             {
                 std::lock_guard<std::mutex> lock(shutdownMutex_);
                 shutdownRequested_ = true;

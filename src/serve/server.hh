@@ -34,6 +34,7 @@
 #define VIBNN_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -83,6 +84,21 @@ class LatencyHistogram
     std::atomic<std::uint64_t> counts_[kBuckets] = {};
 };
 
+/** Who may stop the server with a Shutdown frame. Any connected peer
+ *  can send one, so on a non-loopback bind an unrestricted Shutdown
+ *  is an unauthenticated remote kill switch. */
+enum class RemoteShutdown
+{
+    /** Honor Shutdown only when the bind address is loopback — the
+     *  safe default: local tooling keeps the client-driven-stop
+     *  workflow, a LAN-exposed server ignores remote kills. */
+    LoopbackOnly,
+    /** Always honor Shutdown (an orchestrator owns the network). */
+    Enabled,
+    /** Never honor Shutdown; only the owner's stop() ends serving. */
+    Disabled,
+};
+
 /** Serving policy of one server process. */
 struct ServerOptions
 {
@@ -100,6 +116,9 @@ struct ServerOptions
     /** Concurrent connection bound; excess connections are refused
      *  with an Overloaded error frame. */
     std::size_t maxConnections = 1024;
+    /** Shutdown-frame policy (see RemoteShutdown). A refused Shutdown
+     *  gets a BadRequest error frame and the connection survives. */
+    RemoteShutdown remoteShutdown = RemoteShutdown::LoopbackOnly;
     /** Per-shard serving policy (exec mode, T, GRNG, seed, deadline
      *  defaults...). Every shard gets an identical copy — one seed,
      *  one program — which is what makes routing invisible in the
@@ -240,6 +259,11 @@ class Server
     std::thread acceptThread_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
+    /** Resolved remoteShutdown policy against the bind address. */
+    bool shutdownAllowed_ = true;
+    /** One-shot latch so a persistent accept failure (fd exhaustion)
+     *  warns once instead of flooding stderr. */
+    std::atomic<bool> acceptFailureLogged_{false};
 
     mutable std::mutex connMutex_;
     std::vector<std::unique_ptr<Connection>> connections_;

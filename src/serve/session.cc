@@ -137,8 +137,9 @@ SessionOptions::fromEnv(SessionOptions defaults)
     const std::int64_t deadline_us =
         serveEnvInt("VIBNN_SERVE_DEADLINE_US",
                     opts.defaultDeadlineMicros);
-    if (deadline_us < 0)
-        fatal("VIBNN_SERVE_DEADLINE_US must be >= 0, got " +
+    if (deadline_us < 0 || deadline_us > kMaxDeadlineMicros)
+        fatal("VIBNN_SERVE_DEADLINE_US must be in [0, " +
+              std::to_string(kMaxDeadlineMicros) + "], got " +
               std::to_string(deadline_us));
     opts.defaultDeadlineMicros = deadline_us;
     const std::int64_t max_batch =
@@ -491,9 +492,11 @@ InferenceSession::Builder::build()
         fatal("InferenceSession::Builder: threads must be <= 4096, "
               "got " +
               std::to_string(opts.threads));
-    if (opts.defaultDeadlineMicros < 0)
+    if (opts.defaultDeadlineMicros < 0 ||
+        opts.defaultDeadlineMicros > kMaxDeadlineMicros)
         fatal("InferenceSession::Builder: defaultDeadlineMicros must "
-              "be >= 0, got " +
+              "be in [0, " +
+              std::to_string(kMaxDeadlineMicros) + "], got " +
               std::to_string(opts.defaultDeadlineMicros));
 
     // Resolve the inherit-from-source defaults and the mode-derived
@@ -653,9 +656,14 @@ InferenceSession::validateRequest(const InferenceRequest &request) const
         fatal("InferenceSession: request mcSamples must be <= " +
               std::to_string(kMaxEnsembleSize) + ", got " +
               std::to_string(request.mcSamples));
-    if (request.deadlineMicros < 0)
-        fatal("InferenceSession: request deadlineMicros must be >= 0, "
-              "got " +
+    if (request.deadlineMicros < 0 ||
+        request.deadlineMicros > kMaxDeadlineMicros)
+        // An unbounded budget is an unbounded dispatcher-hold license
+        // (and overflows wait_for's duration math) — cap it like
+        // mcSamples above.
+        fatal("InferenceSession: request deadlineMicros must be in "
+              "[0, " +
+              std::to_string(kMaxDeadlineMicros) + "], got " +
               std::to_string(request.deadlineMicros));
 }
 
@@ -957,8 +965,15 @@ InferenceSession::workerLoop()
                 // non-emptiness: a different-T request parked at the
                 // head of the queue must not spin this loop.
                 const std::size_t seen = queue_.size();
+                // Deadlines are capped at every admission edge, so
+                // the allowance is too; the clamp is belt and braces
+                // against a wait_for duration-conversion overflow
+                // should a path around validateRequest ever appear.
                 queueCv_.wait_for(
-                    lock, std::chrono::microseconds(allowance), [&] {
+                    lock,
+                    std::chrono::microseconds(
+                        std::min(allowance, kMaxDeadlineMicros)),
+                    [&] {
                         return stopping_ || queue_.size() != seen;
                     });
                 mergePending();

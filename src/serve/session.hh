@@ -210,7 +210,9 @@ struct InferenceRequest
      * network caller's SLO and PR 7's best-answer-by-deadline
      * semantics are the same knob. Deadlines shape WHEN a pass runs,
      * never its outputs — a fixed-T request's results stay
-     * bit-identical with or without one.
+     * bit-identical with or without one. Capped at
+     * serve::kMaxDeadlineMicros (an unbounded budget would license an
+     * unbounded dispatcher hold); validateRequest rejects more.
      */
     std::int64_t deadlineMicros = 0;
     /** Image count. */

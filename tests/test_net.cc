@@ -296,6 +296,60 @@ TEST(Protocol, ClassifyRequestRejectsAbsurdGeometry)
         frame.size() - kFrameHeaderBytes, out, error));
 }
 
+TEST(Protocol, ClassifyRequestRejectsOverCapDeadline)
+{
+    // A deadline licenses the coalescer to HOLD the request, so an
+    // unbounded client-chosen value would be a remotely triggerable
+    // dispatcher park (and overflows wait_for's duration math near
+    // INT64_MAX). The decoder must refuse anything over the cap.
+    for (const std::int64_t hostile :
+         {kMaxDeadlineMicros + 1,
+          std::int64_t{1} << 62,
+          std::int64_t{-1}}) {
+        WireClassifyRequest req = sampleRequest();
+        req.deadlineMicros = hostile;
+        const auto frame = encodeClassifyRequest(req);
+        WireClassifyRequest out;
+        std::string error;
+        EXPECT_FALSE(decodeClassifyRequest(
+            frame.data() + kFrameHeaderBytes,
+            frame.size() - kFrameHeaderBytes, out, error))
+            << "accepted deadline " << hostile;
+        EXPECT_FALSE(error.empty());
+    }
+
+    // The cap itself is legal.
+    WireClassifyRequest req = sampleRequest();
+    req.deadlineMicros = kMaxDeadlineMicros;
+    const auto frame = encodeClassifyRequest(req);
+    WireClassifyRequest out;
+    std::string error;
+    EXPECT_TRUE(decodeClassifyRequest(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error))
+        << error;
+    EXPECT_EQ(out.deadlineMicros, kMaxDeadlineMicros);
+}
+
+TEST(Protocol, ShutdownAckHeaderRoundTrips)
+{
+    const auto frame = encodeFrame(FrameType::ShutdownAck);
+    EXPECT_EQ(frame.size(), kFrameHeaderBytes);
+    FrameType type;
+    std::uint32_t len = 0;
+    std::string error;
+    ASSERT_TRUE(decodeFrameHeader(frame.data(), type, len, error))
+        << error;
+    EXPECT_EQ(type, FrameType::ShutdownAck);
+    EXPECT_EQ(len, 0u);
+
+    // One past ShutdownAck is still an unknown type.
+    auto forged = encodeFrame(FrameType::ShutdownAck);
+    forged[5] =
+        static_cast<std::uint8_t>(FrameType::ShutdownAck) + 1;
+    EXPECT_FALSE(decodeFrameHeader(forged.data(), type, len, error));
+}
+
 TEST(Protocol, RandomGarbagePayloadsNeverCrashDecoders)
 {
     Rng rng(1234);

@@ -582,6 +582,30 @@ TEST(Server, PingAndClientDrivenShutdownHandshake)
     EXPECT_FALSE(server->running());
 }
 
+TEST(Server, DisabledRemoteShutdownIsRefusedAndServingContinues)
+{
+    const auto config = smallConfig(4);
+    ServerOptions options;
+    options.session = throughputOptions();
+    options.remoteShutdown = RemoteShutdown::Disabled;
+    auto server = startServer(config, options);
+
+    Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", server->port(), error));
+    // The Shutdown frame comes back as an explicit refusal carrying
+    // the server's reason, and the connection keeps serving.
+    EXPECT_FALSE(client.requestShutdown(error));
+    EXPECT_NE(error.find("remote shutdown disabled"),
+              std::string::npos)
+        << error;
+    EXPECT_FALSE(server->shutdownRequested());
+    EXPECT_TRUE(client.ping(error)) << error;
+
+    server->stop(); // the owner can always stop
+    EXPECT_FALSE(server->running());
+}
+
 TEST(Server, StopIsIdempotentAndStartReportsBindFailures)
 {
     const auto config = smallConfig(4);

@@ -556,7 +556,13 @@ TEST(SessionOptionsDeathTest, DeadlineEnvKnobsParseStrictly)
                  "VIBNN_SERVE_DEADLINE_US must be a base-10 integer");
     setenv("VIBNN_SERVE_DEADLINE_US", "-5", 1);
     EXPECT_DEATH((void)SessionOptions::fromEnv(),
-                 "VIBNN_SERVE_DEADLINE_US must be >= 0");
+                 "VIBNN_SERVE_DEADLINE_US must be in");
+    // Over the cap is just as fatal as negative: a deadline licenses
+    // the dispatcher to hold work, so it must be bounded.
+    setenv("VIBNN_SERVE_DEADLINE_US",
+           std::to_string(serve::kMaxDeadlineMicros + 1).c_str(), 1);
+    EXPECT_DEATH((void)SessionOptions::fromEnv(),
+                 "VIBNN_SERVE_DEADLINE_US must be in");
     unsetenv("VIBNN_SERVE_DEADLINE_US");
 
     setenv("VIBNN_SERVE_MAX_BATCH", "many", 1);
@@ -572,7 +578,12 @@ TEST(SessionValidationDeathTest, DeadlinesAreValidated)
 {
     const auto config = smallConfig();
     EXPECT_DEATH((void)smallBuilder(config).defaultDeadline(-1).build(),
-                 "defaultDeadlineMicros must be >= 0");
+                 "defaultDeadlineMicros must be in");
+    EXPECT_DEATH(
+        (void)smallBuilder(config)
+            .defaultDeadline(serve::kMaxDeadlineMicros + 1)
+            .build(),
+        "defaultDeadlineMicros must be in");
 
     auto session = smallBuilder(config).build();
     const auto xs = randomBatch(1, session->inputDim(), 47);
@@ -580,7 +591,10 @@ TEST(SessionValidationDeathTest, DeadlinesAreValidated)
         InferenceRequest::borrow(xs.data(), 1, session->inputDim());
     request.deadlineMicros = -100;
     EXPECT_DEATH((void)session->run(request),
-                 "deadlineMicros must be >= 0");
+                 "deadlineMicros must be in");
+    request.deadlineMicros = serve::kMaxDeadlineMicros + 1;
+    EXPECT_DEATH((void)session->run(request),
+                 "deadlineMicros must be in");
 }
 
 TEST(InferenceSession, DeadlinedSubmitBitIdenticalToRun)

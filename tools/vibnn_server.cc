@@ -47,6 +47,9 @@ usage()
         "  --shards N        session shards (default 1, 0 = cores)\n"
         "  --queue N         per-shard in-flight bound (default 256)\n"
         "  --max-conns N     connection bound (default 1024)\n"
+        "  --remote-shutdown loopback|on|off\n"
+        "                    honor client Shutdown frames: only from\n"
+        "                    a loopback bind (default), always, never\n"
         "  --program FILE    serve a saved QuantizedProgram instead\n"
         "                    of the synthetic 24-16-4 MLP\n"
         "  --seed N          synthetic-model seed (default 7)\n"
@@ -69,6 +72,7 @@ main(int argc, char **argv)
     std::string host = "127.0.0.1";
     std::string port_file;
     std::string program_path;
+    std::string remote_shutdown = "loopback";
     int port = 7411;
     long long shards = 1, queue = 256, max_conns = 1024, seed = 7;
 
@@ -86,6 +90,8 @@ main(int argc, char **argv)
             queue = argValue(argc, argv, i);
         else if (arg == "--max-conns")
             max_conns = argValue(argc, argv, i);
+        else if (arg == "--remote-shutdown" && i + 1 < argc)
+            remote_shutdown = argv[++i];
         else if (arg == "--program" && i + 1 < argc)
             program_path = argv[++i];
         else if (arg == "--seed")
@@ -131,6 +137,15 @@ main(int argc, char **argv)
     options.shards = static_cast<std::size_t>(shards);
     options.queueCapacity = static_cast<std::size_t>(queue);
     options.maxConnections = static_cast<std::size_t>(max_conns);
+    if (remote_shutdown == "loopback")
+        options.remoteShutdown = serve::RemoteShutdown::LoopbackOnly;
+    else if (remote_shutdown == "on")
+        options.remoteShutdown = serve::RemoteShutdown::Enabled;
+    else if (remote_shutdown == "off")
+        options.remoteShutdown = serve::RemoteShutdown::Disabled;
+    else
+        fatal("--remote-shutdown must be loopback, on, or off, got '" +
+              remote_shutdown + "'");
     options.session = serve::SessionOptions::fromEnv(session_defaults);
 
     serve::Server server(std::move(program), config, options);
