@@ -1,11 +1,13 @@
 #include "accel/batched_runner.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include <unistd.h>
 
 #include "accel/conv_lowering.hh"
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 
@@ -234,6 +236,7 @@ BatchedRunner::sampleRoundWeights()
                 sampleWeightRange(s, w0, w1, base);
         });
         weightGen_.finishShardedRound(base + total);
+        injectWeightFaults();
         return;
     }
 
@@ -247,6 +250,89 @@ BatchedRunner::sampleRoundWeights()
         if (opInt16_[oi])
             ops.packInt16(slab,
                           weightArena16_.data() + opWeightBase_[oi], n);
+    }
+    injectWeightFaults();
+}
+
+void
+BatchedRunner::injectWeightFaults()
+{
+    if (!fault::anyArmed())
+        return;
+    const double rate = fault::siteRate("accel.weights.bitflip");
+    if (rate <= 0.0 || weightArena_.empty())
+        return;
+
+    // Seed the flip stream from a content hash of the freshly drawn
+    // arena XOR the site seed. The arena is bit-identical per round
+    // regardless of thread count or shard assignment (the determinism
+    // contract), so the flip pattern is too — a chaos run replays
+    // exactly on any machine configuration.
+    std::uint64_t hash = 1469598103934665603ull; // FNV-1a basis
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(weightArena_.data());
+    const std::size_t nbytes =
+        weightArena_.size() * sizeof(std::int32_t);
+    for (std::size_t i = 0; i < nbytes; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ull;
+    }
+    std::uint64_t state =
+        hash ^ fault::siteSeed("accel.weights.bitflip");
+
+    // Geometric-skip sampling over the (slot x weight-bit) space:
+    // each of the arena's total_bits-wide payload bits flips with
+    // probability `rate`, independently, without visiting every bit.
+    const unsigned total_bits =
+        static_cast<unsigned>(kernel_.weight.totalBits());
+    const std::uint64_t space_bits =
+        static_cast<std::uint64_t>(weightArena_.size()) * total_bits;
+    const double log_keep =
+        std::log1p(-std::min(rate, 1.0 - 1e-9));
+    const unsigned extend_shift = 32 - total_bits;
+    std::uint64_t pos = 0;
+    std::uint64_t flips = 0;
+    for (;;) {
+        state = fault::mix64(state);
+        const double u =
+            std::max(fault::mixToUnit(state), 1e-300);
+        const double skip_f = std::log(u) / log_keep;
+        if (skip_f >= static_cast<double>(space_bits))
+            break;
+        pos += static_cast<std::uint64_t>(skip_f) + 1;
+        if (pos > space_bits)
+            break;
+        const std::uint64_t bit_index = pos - 1;
+        const std::size_t slot =
+            static_cast<std::size_t>(bit_index / total_bits);
+        const unsigned bit =
+            static_cast<unsigned>(bit_index % total_bits);
+        std::uint32_t raw =
+            static_cast<std::uint32_t>(weightArena_[slot]);
+        raw ^= 1u << bit;
+        // Re-sign-extend from the payload width: every total_bits
+        // pattern is a valid two's-complement weight, so the flipped
+        // value needs no saturation, only a consistent upper half.
+        weightArena_[slot] = static_cast<std::int32_t>(
+            raw << extend_shift) >> extend_shift;
+        ++flips;
+    }
+    if (flips == 0)
+        return;
+    fault::recordFires("accel.weights.bitflip", flips);
+    // The int16 mirror must match the corrupted arena or the madd
+    // fast path would silently serve the uncorrupted weights.
+    if (anyInt16_) {
+        const auto &ops = kernels::activeKernels();
+        for (const std::size_t oi : computeOps_) {
+            if (!opInt16_[oi])
+                continue;
+            const auto &op = program_.ops[oi];
+            const std::size_t n = op.bank.outDim * op.bank.inDim;
+            ops.packInt16(weightArena_.data() + opWeightBase_[oi],
+                          weightArena16_.data() + opWeightBase_[oi],
+                          n);
+        }
     }
 }
 

@@ -139,6 +139,15 @@ class BatchedRunner : public Executor
     void sampleWeightRange(std::size_t shard, std::size_t w0,
                            std::size_t w1, std::uint64_t base);
 
+    /** Chaos-only bit-flip injection over the freshly drawn weight
+     *  arena (the "accel.weights.bitflip" fault site, p = per-bit
+     *  flip rate). No-op unless the fault registry is armed. The flip
+     *  pattern is seeded from a content hash of the arena itself, so
+     *  it is deterministic across thread counts and shard assignments
+     *  (the drawn arena is bit-identical by contract); flips do not
+     *  accumulate — every round draws fresh weights first. */
+    void injectWeightFaults();
+
     /** Run body(shard, begin, end) over a static partition of
      *  [0, count) — parallel when a work pool is set, serial (one
      *  shard) otherwise. Outputs are per-image, so the partition is

@@ -1,0 +1,374 @@
+#include "common/fault.hh"
+
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vibnn::fault
+{
+
+std::atomic<bool> g_armed{false};
+
+namespace
+{
+
+/** Parsed arming of one site. */
+struct SiteSpec
+{
+    std::string name;
+    /** Fire on exactly this hit (1-based); 0 = off. */
+    std::uint64_t nth = 0;
+    /** Fire on every Nth hit; 0 = off. */
+    std::uint64_t every = 0;
+    /** Per-hit fire probability (or a rate parameter for rate-style
+     *  sites); < 0 = off. */
+    double p = -1.0;
+    /** Cap on total fires. */
+    std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
+    /** Parameter for delay-style sites, milliseconds. */
+    std::int64_t delayMillis = -1;
+    bool always = false;
+};
+
+struct SiteState
+{
+    SiteSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+};
+
+/** Registry. The mutex guards everything; armed code paths are
+ *  chaos-only so the serialization is acceptable by design. */
+std::mutex g_mutex;
+std::vector<SiteState> g_sites;
+std::uint64_t g_seed = 1;
+
+SiteState *
+findLocked(const char *site)
+{
+    for (SiteState &s : g_sites)
+        if (s.spec.name == site)
+            return &s;
+    return nullptr;
+}
+
+/** FNV-1a over the site name — the per-site seed component. */
+std::uint64_t
+hashName(const std::string &name)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : name)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    return h;
+}
+
+bool
+parseU64(const std::string &raw, std::uint64_t &out)
+{
+    if (raw.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+    if (end == raw.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseF64(const std::string &raw, double &out)
+{
+    if (raw.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    if (end == raw.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+/** Parse one "site:item+item" clause into `spec`. */
+bool
+parseClause(const std::string &clause, SiteSpec &spec,
+            std::string &error)
+{
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= clause.size()) {
+        error = "fault clause '" + clause +
+            "' is not of the form site:items";
+        return false;
+    }
+    spec = SiteSpec();
+    spec.name = clause.substr(0, colon);
+
+    std::stringstream items(clause.substr(colon + 1));
+    std::string item;
+    bool any = false;
+    while (std::getline(items, item, '+')) {
+        any = true;
+        const std::size_t eq = item.find('=');
+        const std::string key =
+            eq == std::string::npos ? item : item.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : item.substr(eq + 1);
+        if (key == "always" && eq == std::string::npos) {
+            spec.always = true;
+        } else if (key == "nth") {
+            if (!parseU64(value, spec.nth) || spec.nth == 0) {
+                error = "fault item 'nth' needs a positive integer, "
+                        "got '" +
+                    value + "'";
+                return false;
+            }
+        } else if (key == "every") {
+            if (!parseU64(value, spec.every) || spec.every == 0) {
+                error = "fault item 'every' needs a positive "
+                        "integer, got '" +
+                    value + "'";
+                return false;
+            }
+        } else if (key == "count") {
+            if (!parseU64(value, spec.count)) {
+                error = "fault item 'count' needs an integer, got '" +
+                    value + "'";
+                return false;
+            }
+        } else if (key == "p") {
+            if (!parseF64(value, spec.p) || spec.p < 0.0 ||
+                spec.p > 1.0) {
+                error = "fault item 'p' needs a probability in "
+                        "[0, 1], got '" +
+                    value + "'";
+                return false;
+            }
+        } else if (key == "delay") {
+            std::uint64_t ms = 0;
+            if (!parseU64(value, ms)) {
+                error = "fault item 'delay' needs milliseconds, "
+                        "got '" +
+                    value + "'";
+                return false;
+            }
+            spec.delayMillis = static_cast<std::int64_t>(ms);
+        } else {
+            error = "unknown fault item '" + item + "' in clause '" +
+                clause + "'";
+            return false;
+        }
+    }
+    if (!any) {
+        error = "fault clause '" + clause + "' arms nothing";
+        return false;
+    }
+    return true;
+}
+
+/** Parse and install a full spec under the lock. */
+bool
+armLocked(const std::string &spec, std::string &error)
+{
+    std::vector<SiteState> parsed;
+    std::stringstream clauses(spec);
+    std::string clause;
+    while (std::getline(clauses, clause, ',')) {
+        if (clause.empty())
+            continue;
+        SiteState state;
+        if (!parseClause(clause, state.spec, error))
+            return false;
+        parsed.push_back(std::move(state));
+    }
+    if (parsed.empty()) {
+        error = "fault spec '" + spec + "' arms no sites";
+        return false;
+    }
+    g_sites = std::move(parsed);
+    g_armed.store(true, std::memory_order_relaxed);
+    error.clear();
+    return true;
+}
+
+/** Apply the VIBNN_FAULTS / VIBNN_FAULT_SEED environment (process
+ *  start, and reset()). A malformed spec is a configuration bug: a
+ *  chaos run that silently tests nothing must fail loudly. */
+void
+armFromEnv()
+{
+    const char *seed_raw = std::getenv("VIBNN_FAULT_SEED");
+    if (seed_raw && *seed_raw) {
+        std::uint64_t seed = 0;
+        if (!parseU64(seed_raw, seed))
+            fatal("VIBNN_FAULT_SEED must be a base-10 integer, "
+                  "got '" +
+                  std::string(seed_raw) + "'");
+        g_seed = seed;
+    }
+    const char *spec = std::getenv("VIBNN_FAULTS");
+    if (spec && *spec) {
+        std::string error;
+        if (!armLocked(spec, error))
+            fatal("VIBNN_FAULTS: " + error);
+    }
+}
+
+/** One-time environment arming at static-initialization time: an
+ *  unarmed process never pays more than the g_armed load. */
+struct EnvArmOnce
+{
+    EnvArmOnce()
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        armFromEnv();
+    }
+};
+EnvArmOnce g_envArm;
+
+} // namespace
+
+bool
+shouldFire(const char *site)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    SiteState *state = findLocked(site);
+    if (!state)
+        return false;
+    const std::uint64_t hit = ++state->hits;
+    const SiteSpec &spec = state->spec;
+    bool fire = spec.always;
+    if (!fire && spec.nth != 0)
+        fire = hit == spec.nth;
+    if (!fire && spec.every != 0)
+        fire = hit % spec.every == 0;
+    if (!fire && spec.p >= 0.0) {
+        // Pure function of (seed, site, hit index): the same chaos
+        // seed replays the identical fault pattern.
+        const std::uint64_t draw =
+            mix64(g_seed ^ hashName(spec.name) ^ (hit * 0x9e37ull));
+        fire = mixToUnit(draw) < spec.p;
+    }
+    if (!fire || state->fires >= spec.count)
+        return false;
+    ++state->fires;
+    return true;
+}
+
+bool
+armSpec(const std::string &spec, std::string &error)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return armLocked(spec, error);
+}
+
+void
+disarm()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_sites.clear();
+    g_armed.store(false, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_sites.clear();
+    g_armed.store(false, std::memory_order_relaxed);
+    armFromEnv();
+}
+
+std::uint64_t
+hits(const char *site)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const SiteState *state = findLocked(site);
+    return state ? state->hits : 0;
+}
+
+std::uint64_t
+fires(const char *site)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const SiteState *state = findLocked(site);
+    return state ? state->fires : 0;
+}
+
+std::uint64_t
+totalFires()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::uint64_t total = 0;
+    for (const SiteState &s : g_sites)
+        total += s.fires;
+    return total;
+}
+
+std::uint64_t
+totalHits()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::uint64_t total = 0;
+    for (const SiteState &s : g_sites)
+        total += s.hits;
+    return total;
+}
+
+double
+siteRate(const char *site)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const SiteState *state = findLocked(site);
+    return state && state->spec.p >= 0.0 ? state->spec.p : 0.0;
+}
+
+std::int64_t
+fireDelayMillis(const char *site, std::int64_t fallback)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const SiteState *state = findLocked(site);
+    return state && state->spec.delayMillis >= 0
+               ? state->spec.delayMillis
+               : fallback;
+}
+
+std::uint64_t
+siteSeed(const char *site)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    return mix64(g_seed ^ hashName(site));
+}
+
+void
+recordFires(const char *site, std::uint64_t n)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    SiteState *state = findLocked(site);
+    if (!state)
+        return;
+    ++state->hits;
+    state->fires += n;
+}
+
+std::string
+faultsJson()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::string out = "{";
+    for (std::size_t i = 0; i < g_sites.size(); ++i) {
+        const SiteState &s = g_sites[i];
+        if (i > 0)
+            out += ", ";
+        out += "\"" + s.spec.name +
+            "\": {\"hits\": " + std::to_string(s.hits) +
+            ", \"fires\": " + std::to_string(s.fires) + "}";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace vibnn::fault

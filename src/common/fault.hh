@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection for chaos testing.
+ *
+ * The serving stack's robustness claims (client retry/backoff, shard
+ * watchdog, brownout degradation, bit-flip resilience) are only worth
+ * anything if the repo can PROVE them — which needs faults that fire
+ * on demand, deterministically, at named points in production code
+ * paths. This registry provides exactly that:
+ *
+ *   - Code marks an injection site with VIBNN_FAULT("net.read.torn").
+ *     Unarmed, the macro is one relaxed atomic load and a
+ *     never-taken branch — the hot path pays nothing measurable.
+ *   - Faults are armed via the VIBNN_FAULTS environment variable (read
+ *     once at process start) or programmatically via armSpec() (tests).
+ *     The spec grammar is a comma-separated list of site:items pairs:
+ *
+ *         VIBNN_FAULTS=net.read.torn:nth=3,serve.pass.stuck:p=0.01+delay=200
+ *
+ *     with '+'-separated items per site:
+ *         nth=N     fire on exactly the Nth hit (1-based)
+ *         every=N   fire on every Nth hit
+ *         p=F       fire each hit with probability F (deterministic
+ *                   from the seed and the hit index — same pattern
+ *                   every run); rate-style sites (accel.weights.bitflip)
+ *                   read F as their rate parameter instead
+ *         count=N   cap total fires at N
+ *         delay=MS  parameter for delay-style sites (milliseconds)
+ *         always    fire on every hit
+ *
+ *   - Probabilistic firing is a pure function of (VIBNN_FAULT_SEED,
+ *     site name, hit index) via splitmix64 — re-running a chaos test
+ *     with the same seed replays the identical fault pattern, which is
+ *     what makes "retry until success is bit-exact with the fault-free
+ *     run" a checkable assertion instead of a flake.
+ *
+ * All counters (hits, fires) are exposed for tests and surface in the
+ * server's metricsJson. Arming/disarming takes a mutex; shouldFire()
+ * takes it too (armed paths are chaos-only — correctness over speed),
+ * but the unarmed fast path never touches it.
+ */
+
+#ifndef VIBNN_COMMON_FAULT_HH
+#define VIBNN_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace vibnn::fault
+{
+
+/** Global armed flag — the only state the unarmed fast path reads. */
+extern std::atomic<bool> g_armed;
+
+/** One relaxed load; false in every process that never armed a
+ *  fault, which keeps VIBNN_FAULT() off the profile. */
+inline bool
+anyArmed()
+{
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Count a hit at `site` and decide — deterministically — whether the
+ * armed spec fires it. Unarmed sites (or a fully unarmed process)
+ * return false. Call through VIBNN_FAULT() so the unarmed path skips
+ * the registry entirely.
+ */
+bool shouldFire(const char *site);
+
+/**
+ * Arm from a spec string (replaces any previous arming, including the
+ * environment's). False + `error` on grammar violations — an armed
+ * chaos run with a silently dropped site would test nothing.
+ */
+bool armSpec(const std::string &spec, std::string &error);
+
+/** Drop every armed site (counters included). */
+void disarm();
+
+/** disarm(), then re-apply the VIBNN_FAULTS environment spec (the
+ *  state a chaos-profile process started in). fatal() on a malformed
+ *  environment spec, mirroring process start. */
+void reset();
+
+/** Hits observed at `site` (0 when never hit or not armed). */
+std::uint64_t hits(const char *site);
+
+/** Fires delivered at `site`. */
+std::uint64_t fires(const char *site);
+
+/** Total fires across all armed sites (the metrics counter). */
+std::uint64_t totalFires();
+
+/** Total hits across all armed sites. */
+std::uint64_t totalHits();
+
+/**
+ * The `p=` parameter of an armed site, or 0 when the site is unarmed.
+ * Rate-style sites (accel.weights.bitflip) read their rate here
+ * instead of going through shouldFire's per-hit coin flip.
+ */
+double siteRate(const char *site);
+
+/** The `delay=` parameter (milliseconds) of an armed site, or
+ *  `fallback` when the site is unarmed or carries none. */
+std::int64_t fireDelayMillis(const char *site,
+                             std::int64_t fallback = 0);
+
+/** The deterministic per-site seed: VIBNN_FAULT_SEED (default 1)
+ *  mixed with the site name. Rate-style consumers fold it into their
+ *  own deterministic draw. */
+std::uint64_t siteSeed(const char *site);
+
+/** Record `n` externally decided fires at `site` (rate-style sites
+ *  that sample their own events, e.g. per-bit weight flips). Also
+ *  counts one hit. No-op when the site is unarmed. */
+void recordFires(const char *site, std::uint64_t n);
+
+/** The armed sites and their counters as a flat JSON object:
+ *  {"site": {"hits": H, "fires": F}, ...} — merged into the server's
+ *  metrics document. "{}" when nothing is armed. */
+std::string faultsJson();
+
+/** splitmix64 — the registry's deterministic mixer, exposed so
+ *  rate-style sites derive their own streams from siteSeed(). */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Map a mixed value onto [0, 1). */
+inline double
+mixToUnit(std::uint64_t x)
+{
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+} // namespace vibnn::fault
+
+/** The injection-site macro: true iff the armed spec fires this hit.
+ *  Reads one relaxed atomic when unarmed. */
+#define VIBNN_FAULT(site)                                             \
+    (::vibnn::fault::anyArmed() && ::vibnn::fault::shouldFire(site))
+
+#endif // VIBNN_COMMON_FAULT_HH

@@ -1,5 +1,11 @@
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/fault.hh"
+
 namespace vibnn::serve
 {
 
@@ -21,8 +27,19 @@ Client::statusName(Status status)
         return "transport_error";
     case Status::ProtocolError:
         return "protocol_error";
+    case Status::Timeout:
+        return "timeout";
     }
     return "unknown";
+}
+
+Client::RetryPolicy
+Client::RetryPolicy::attempts(int attempts, std::int64_t backoff_ms)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = attempts;
+    policy.backoffMillis = backoff_ms;
+    return policy;
 }
 
 namespace
@@ -44,6 +61,49 @@ statusFromErrorCode(net::ErrorCode code)
     return Client::Status::ServerError;
 }
 
+bool
+isRetryable(Client::Status status)
+{
+    switch (status) {
+    case Client::Status::Overloaded:
+    case Client::Status::Timeout:
+    case Client::Status::TransportError:
+    case Client::Status::ProtocolError:
+        return true;
+    default:
+        // BadRequest and ShuttingDown are deterministic refusals;
+        // replaying the same bytes cannot change the answer.
+        return false;
+    }
+}
+
+/**
+ * Backoff before retry `attempt` (1 = first retry): bounded
+ * exponential growth scaled by a deterministic jitter factor in
+ * [0.5, 1.0] keyed on (seed, attempt), so a fleet of clients that
+ * failed together does not retry in lockstep, yet every chaos-test
+ * run replays the exact same schedule.
+ */
+std::int64_t
+backoffMillisFor(const Client::RetryPolicy &policy, int attempt,
+                 std::uint64_t seed)
+{
+    double millis = static_cast<double>(
+        std::max<std::int64_t>(policy.backoffMillis, 0));
+    const double cap = static_cast<double>(
+        std::max<std::int64_t>(policy.maxBackoffMillis, 0));
+    for (int i = 1; i < attempt; ++i) {
+        millis *= std::max(policy.multiplier, 1.0);
+        if (millis >= cap)
+            break;
+    }
+    millis = std::min(millis, cap);
+    const std::uint64_t mixed = fault::mix64(
+        seed ^ (static_cast<std::uint64_t>(attempt) * 0x9e3779b97f4a7c15ull));
+    const double jitter = 0.5 + 0.5 * fault::mixToUnit(mixed);
+    return static_cast<std::int64_t>(millis * jitter);
+}
+
 } // namespace
 
 bool
@@ -51,6 +111,8 @@ Client::connect(const std::string &host, std::uint16_t port,
                 std::string &error)
 {
     close();
+    host_ = host;
+    port_ = port;
     sock_ = net::connectTcp(host, port, error);
     return sock_.valid();
 }
@@ -61,9 +123,27 @@ Client::close()
     sock_.close();
 }
 
+bool
+Client::readReply(net::FrameType &type,
+                  std::vector<std::uint8_t> &payload,
+                  std::string &error, bool &timed_out)
+{
+    timed_out = false;
+    switch (net::readFrameTimed(sock_, type, payload, error,
+                                receiveTimeoutMillis_)) {
+    case net::FrameReadStatus::Ok:
+        return true;
+    case net::FrameReadStatus::Timeout:
+        timed_out = true;
+        return false;
+    case net::FrameReadStatus::Failed:
+        return false;
+    }
+    return false;
+}
+
 Client::Reply
-Client::classify(const float *xs, std::size_t count, std::size_t dim,
-                 const Options &options)
+Client::classifyOnce(const net::WireClassifyRequest &wire)
 {
     Reply reply;
     if (!sock_.valid()) {
@@ -71,14 +151,6 @@ Client::classify(const float *xs, std::size_t count, std::size_t dim,
         reply.message = "not connected";
         return reply;
     }
-
-    net::WireClassifyRequest wire;
-    wire.id = options.id != 0 ? options.id : nextId_++;
-    wire.mcSamples = options.mcSamples;
-    wire.deadlineMicros = options.deadlineMicros;
-    wire.count = static_cast<std::uint32_t>(count);
-    wire.dim = static_cast<std::uint32_t>(dim);
-    wire.features.assign(xs, xs + count * dim);
 
     const std::vector<std::uint8_t> frame =
         net::encodeClassifyRequest(wire);
@@ -91,9 +163,14 @@ Client::classify(const float *xs, std::size_t count, std::size_t dim,
     net::FrameType type;
     std::vector<std::uint8_t> payload;
     std::string error;
-    if (!net::readFrame(sock_, type, payload, error)) {
-        reply.status = Status::TransportError;
-        reply.message = "recv failed: " + error;
+    bool timed_out = false;
+    if (!readReply(type, payload, error, timed_out)) {
+        // Either way the stream position is unknown — the caller
+        // must reconnect before reusing this client.
+        reply.status =
+            timed_out ? Status::Timeout : Status::TransportError;
+        reply.message = timed_out ? "receive deadline expired"
+                                  : "recv failed: " + error;
         return reply;
     }
 
@@ -124,6 +201,72 @@ Client::classify(const float *xs, std::size_t count, std::size_t dim,
     return reply;
 }
 
+Client::Reply
+Client::classify(const float *xs, std::size_t count, std::size_t dim,
+                 const Options &options)
+{
+    net::WireClassifyRequest wire;
+    wire.id = options.id != 0 ? options.id : nextId_++;
+    wire.mcSamples = options.mcSamples;
+    wire.deadlineMicros = options.deadlineMicros;
+    wire.count = static_cast<std::uint32_t>(count);
+    wire.dim = static_cast<std::uint32_t>(dim);
+    wire.features.assign(xs, xs + count * dim);
+    return classifyOnce(wire);
+}
+
+Client::Reply
+Client::classify(const float *xs, std::size_t count, std::size_t dim,
+                 const Options &options, const RetryPolicy &policy)
+{
+    net::WireClassifyRequest wire;
+    // Pin the id before the attempt loop: every attempt replays the
+    // same request, and the server's determinism contract makes the
+    // replayed response bit-identical.
+    wire.id = options.id != 0 ? options.id : nextId_++;
+    wire.mcSamples = options.mcSamples;
+    wire.deadlineMicros = options.deadlineMicros;
+    wire.count = static_cast<std::uint32_t>(count);
+    wire.dim = static_cast<std::uint32_t>(dim);
+    wire.features.assign(xs, xs + count * dim);
+
+    const int max_attempts = std::max(policy.maxAttempts, 1);
+    const std::uint64_t jitter_seed =
+        fault::mix64(policy.jitterSeed ^ wire.id);
+    Reply reply;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        if (attempt > 0) {
+            const std::int64_t nap =
+                backoffMillisFor(policy, attempt, jitter_seed);
+            if (nap > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(nap));
+        }
+        wire.retryAttempt = static_cast<std::uint16_t>(
+            std::min(attempt, 65535));
+        // After a timeout, transport loss, or protocol garbage the
+        // stream position is unknown; start the attempt on a fresh
+        // connection. An Overloaded error frame leaves the stream
+        // aligned, so the existing connection is still good.
+        if (!sock_.valid() && !host_.empty()) {
+            std::string error;
+            if (!connect(host_, port_, error)) {
+                reply.status = Status::TransportError;
+                reply.message = "reconnect failed: " + error;
+                reply.attempts = attempt + 1;
+                continue;
+            }
+        }
+        reply = classifyOnce(wire);
+        reply.attempts = attempt + 1;
+        if (!isRetryable(reply.status))
+            return reply;
+        if (reply.status != Status::Overloaded)
+            close();
+    }
+    return reply;
+}
+
 bool
 Client::ping(std::string &error)
 {
@@ -137,7 +280,8 @@ Client::ping(std::string &error)
     }
     net::FrameType type;
     std::vector<std::uint8_t> payload;
-    if (!net::readFrame(sock_, type, payload, error))
+    bool timed_out = false;
+    if (!readReply(type, payload, error, timed_out))
         return false;
     if (type != net::FrameType::Pong) {
         error = "unexpected frame type";
@@ -159,7 +303,8 @@ Client::metrics(std::string &json, std::string &error)
     }
     net::FrameType type;
     std::vector<std::uint8_t> payload;
-    if (!net::readFrame(sock_, type, payload, error))
+    bool timed_out = false;
+    if (!readReply(type, payload, error, timed_out))
         return false;
     if (type != net::FrameType::MetricsResponse) {
         error = "unexpected frame type";
@@ -182,7 +327,8 @@ Client::requestShutdown(std::string &error)
     }
     net::FrameType type;
     std::vector<std::uint8_t> payload;
-    if (!net::readFrame(sock_, type, payload, error))
+    bool timed_out = false;
+    if (!readReply(type, payload, error, timed_out))
         return false;
     if (type == net::FrameType::Error) {
         // The server's RemoteShutdown policy refused the request;

@@ -5,10 +5,20 @@
  * A thin, dependency-free TCP client for talking to serve::Server:
  * connect, classify (blocking request/response), ping, scrape the
  * metrics JSON, or ask the server to shut down. Every failure mode is
- * an explicit Reply::Status — transport loss, protocol garbage, and
- * the server's own error frames (Overloaded from admission control,
- * BadRequest, ShuttingDown) all surface as values, never exceptions
- * or fatal().
+ * an explicit Reply::Status — transport loss, protocol garbage, a
+ * blown receive deadline, and the server's own error frames
+ * (Overloaded from admission control, BadRequest, ShuttingDown) all
+ * surface as values, never exceptions or fatal().
+ *
+ * Resilience: setReceiveTimeout() bounds every response wait with a
+ * poll-based deadline, so a peer that accepts and then wedges surfaces
+ * as Status::Timeout instead of an eternal blocking read. classify()
+ * with a RetryPolicy reconnects and re-sends on Overloaded / Timeout /
+ * transport loss under bounded exponential backoff with deterministic
+ * jitter. A retried classify is SAFE: the request id is pinned across
+ * attempts and the response is a pure function of (program, seed, T,
+ * images) — the replay returns the bit-identical answer, so at-least-
+ * once delivery composes with the stack's determinism contract.
  *
  * A Client is NOT thread-safe: it owns one socket and one in-flight
  * request. Use one Client per thread (the load generator does exactly
@@ -48,6 +58,10 @@ class Client
         TransportError,
         /** The peer sent bytes that do not decode. */
         ProtocolError,
+        /** The receive deadline expired (see setReceiveTimeout) —
+         *  the peer is wedged or unreachable, and the connection is
+         *  abandoned (the stream position is unknown). */
+        Timeout,
     };
 
     static const char *statusName(Status status);
@@ -65,6 +79,33 @@ class Client
         std::uint64_t id = 0;
     };
 
+    /**
+     * Retry policy for classify(): which transient failures to retry
+     * (Overloaded, Timeout, TransportError, ProtocolError — never
+     * BadRequest or ShuttingDown), how many attempts, and the bounded
+     * exponential backoff between them. Jitter is deterministic from
+     * `jitterSeed` so chaos tests replay exactly.
+     */
+    struct RetryPolicy
+    {
+        /** Total attempts including the first; 1 = no retry. */
+        int maxAttempts = 1;
+        /** Backoff before the first retry, milliseconds. */
+        std::int64_t backoffMillis = 10;
+        /** Cap on any single backoff, milliseconds. */
+        std::int64_t maxBackoffMillis = 1000;
+        /** Backoff growth per retry. */
+        double multiplier = 2.0;
+        /** Seed of the deterministic jitter stream (each backoff is
+         *  scaled by a factor in [0.5, 1.0]). */
+        std::uint64_t jitterSeed = 1;
+
+        /** Convenience: `attempts` tries with `backoff_ms` initial
+         *  backoff. */
+        static RetryPolicy attempts(int attempts,
+                                    std::int64_t backoff_ms = 10);
+    };
+
     /** A classify outcome: status + either the decoded response or
      *  the server's error message. */
     struct Reply
@@ -74,13 +115,22 @@ class Client
         std::string message;
         /** Valid when status == Ok. */
         net::WireClassifyResponse response;
+        /** Delivery attempts consumed (1 = first try succeeded). */
+        int attempts = 1;
 
         bool ok() const { return status == Status::Ok; }
+        /** Served under brownout at a reduced T (see
+         *  net::kResponseFlagDegraded). */
+        bool degraded() const
+        {
+            return status == Status::Ok && response.degraded();
+        }
     };
 
     Client() = default;
 
-    /** Connect to a server. False + error on failure. */
+    /** Connect to a server. False + error on failure. The endpoint is
+     *  remembered for retry-driven reconnects. */
     bool connect(const std::string &host, std::uint16_t port,
                  std::string &error);
 
@@ -88,6 +138,23 @@ class Client
 
     /** Close the connection (idempotent). */
     void close();
+
+    /**
+     * Bound every response wait: a read that exceeds the timeout
+     * returns Status::Timeout (classify) or fails with a deadline
+     * message (ping/metrics/shutdown) instead of blocking forever.
+     * 0 (the default) blocks indefinitely — the pre-resilience
+     * behavior.
+     */
+    void setReceiveTimeout(std::int64_t millis)
+    {
+        receiveTimeoutMillis_ = millis;
+    }
+
+    std::int64_t receiveTimeoutMillis() const
+    {
+        return receiveTimeoutMillis_;
+    }
 
     /**
      * Classify `count` images of `dim` floats each (row-major) and
@@ -106,6 +173,17 @@ class Client
         return classify(xs, count, dim, Options());
     }
 
+    /**
+     * Classify with retry: on a retryable failure (Overloaded,
+     * Timeout, TransportError, ProtocolError) back off, reconnect to
+     * the remembered endpoint when the transport was lost, and
+     * re-send the SAME request (pinned id, attempt counter stamped
+     * into the frame) up to policy.maxAttempts times. Returns the
+     * last attempt's Reply with `attempts` filled in.
+     */
+    Reply classify(const float *xs, std::size_t count, std::size_t dim,
+                   const Options &options, const RetryPolicy &policy);
+
     /** Liveness round-trip. */
     bool ping(std::string &error);
 
@@ -118,7 +196,19 @@ class Client
     bool requestShutdown(std::string &error);
 
   private:
+    /** One send + receive of a classify exchange. */
+    Reply classifyOnce(const net::WireClassifyRequest &wire);
+
+    /** Timed frame read honoring receiveTimeoutMillis_; fills
+     *  `timed_out` so callers can distinguish deadline from loss. */
+    bool readReply(net::FrameType &type,
+                   std::vector<std::uint8_t> &payload,
+                   std::string &error, bool &timed_out);
+
     net::Socket sock_;
+    std::string host_;
+    std::uint16_t port_ = 0;
+    std::int64_t receiveTimeoutMillis_ = 0;
     std::uint64_t nextId_ = 1;
 };
 

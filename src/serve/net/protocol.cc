@@ -1,5 +1,7 @@
 #include "serve/net/protocol.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 
@@ -230,6 +232,7 @@ encodeClassifyRequest(const WireClassifyRequest &request)
     putU64(payload, request.id);
     putU32(payload, request.mcSamples);
     putU64(payload, static_cast<std::uint64_t>(request.deadlineMicros));
+    putU16(payload, request.retryAttempt);
     putU32(payload, request.count);
     putU32(payload, request.dim);
     for (float v : request.features)
@@ -249,6 +252,7 @@ encodeClassifyResponse(const WireClassifyResponse &response)
     putU32(payload, response.outDim);
     putF64(payload, response.meanRounds);
     putF64(payload, response.serverMicros);
+    putU8(payload, response.flags);
     putU32(payload,
            static_cast<std::uint32_t>(response.predictions.size()));
     for (const WirePrediction &p : response.predictions) {
@@ -337,6 +341,7 @@ decodeClassifyRequest(const std::uint8_t *payload, std::size_t len,
     out.id = reader.u64();
     out.mcSamples = reader.u32();
     out.deadlineMicros = static_cast<std::int64_t>(reader.u64());
+    out.retryAttempt = reader.u16();
     out.count = reader.u32();
     out.dim = reader.u32();
     if (!reader.ok())
@@ -390,11 +395,18 @@ decodeClassifyResponse(const std::uint8_t *payload, std::size_t len,
     out.outDim = reader.u32();
     out.meanRounds = reader.f64();
     out.serverMicros = reader.f64();
+    out.flags = reader.u8();
     const std::uint32_t count = reader.u32();
     if (!reader.ok())
         return decodeFailed(error, "ClassifyResponse");
     if (count > kMaxImagesPerFrame || out.outDim > kMaxImageDim) {
         error = "ClassifyResponse geometry exceeds protocol caps";
+        return false;
+    }
+    if ((out.flags & ~kResponseFlagDegraded) != 0) {
+        // This build speaks protocol version 1 exactly; unknown flag
+        // bits mean a version-skewed (or corrupted) peer.
+        error = "ClassifyResponse carries unknown flag bits";
         return false;
     }
     out.predictions.resize(count);
@@ -481,6 +493,57 @@ readFrame(const Socket &sock, FrameType &type,
     }
     error.clear();
     return true;
+}
+
+FrameReadStatus
+readFrameTimed(const Socket &sock, FrameType &type,
+               std::vector<std::uint8_t> &payload, std::string &error,
+               std::int64_t timeout_millis)
+{
+    if (timeout_millis <= 0)
+        return readFrame(sock, type, payload, error)
+                   ? FrameReadStatus::Ok
+                   : FrameReadStatus::Failed;
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_millis);
+    const auto remaining = [&]() -> std::int64_t {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(
+                   deadline - Clock::now())
+            .count();
+    };
+    std::uint8_t header[kFrameHeaderBytes];
+    switch (readExactTimed(sock, header, sizeof header,
+                           std::max<std::int64_t>(remaining(), 1))) {
+    case IoStatus::Ok:
+        break;
+    case IoStatus::Timeout:
+        error = "receive deadline expired";
+        return FrameReadStatus::Timeout;
+    case IoStatus::Closed:
+        error = "connection closed";
+        return FrameReadStatus::Failed;
+    }
+    std::uint32_t payload_len = 0;
+    if (!decodeFrameHeader(header, type, payload_len, error))
+        return FrameReadStatus::Failed;
+    payload.resize(payload_len);
+    if (payload_len > 0) {
+        switch (readExactTimed(
+            sock, payload.data(), payload_len,
+            std::max<std::int64_t>(remaining(), 1))) {
+        case IoStatus::Ok:
+            break;
+        case IoStatus::Timeout:
+            error = "receive deadline expired mid-frame";
+            return FrameReadStatus::Timeout;
+        case IoStatus::Closed:
+            error = "connection closed mid-frame";
+            return FrameReadStatus::Failed;
+        }
+    }
+    error.clear();
+    return FrameReadStatus::Ok;
 }
 
 } // namespace vibnn::serve::net

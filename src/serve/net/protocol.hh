@@ -108,6 +108,11 @@ struct WireClassifyRequest
      *  [0, cap]). Bounds how long the deadline-aware coalescer may
      *  hold the request to fill a round. */
     std::int64_t deadlineMicros = 0;
+    /** Which delivery attempt this is (0 = first). A retrying client
+     *  stamps its attempt number so the server can count observed
+     *  retries — same id, same payload, so the replay is safe: the
+     *  response is a pure function of (program, seed, T, images). */
+    std::uint16_t retryAttempt = 0;
     std::uint32_t count = 0;
     std::uint32_t dim = 0;
     /** Row-major count x dim features. */
@@ -129,6 +134,15 @@ struct WirePrediction
     std::vector<float> probs;
 };
 
+/** ClassifyResponse flag bits. */
+enum : std::uint8_t
+{
+    /** The serving shard was in brownout: the request ran at a
+     *  reduced ensemble size (the response's mcSamples reports the
+     *  T actually achieved). */
+    kResponseFlagDegraded = 1u << 0,
+};
+
 /** Classify response as it travels the wire. */
 struct WireClassifyResponse
 {
@@ -138,7 +152,14 @@ struct WireClassifyResponse
     double meanRounds = 0.0;
     /** Server-side latency (enqueue to completion) in microseconds. */
     double serverMicros = 0.0;
+    /** kResponseFlag* bits (degraded service marker). */
+    std::uint8_t flags = 0;
     std::vector<WirePrediction> predictions;
+
+    bool degraded() const
+    {
+        return (flags & kResponseFlagDegraded) != 0;
+    }
 };
 
 /** Error frame body. */
@@ -201,6 +222,26 @@ bool writeFrame(const Socket &sock, FrameType type,
  *  recovery — the caller should close it). */
 bool readFrame(const Socket &sock, FrameType &type,
                std::vector<std::uint8_t> &payload, std::string &error);
+
+/** How a deadline-bounded frame read ended. */
+enum class FrameReadStatus
+{
+    Ok,
+    /** EOF, truncation, or a header that fails validation — close
+     *  the connection. */
+    Failed,
+    /** The deadline expired (mid-header or mid-payload — either way
+     *  the stream position is unknown, so the connection must be
+     *  abandoned, not retried in place). */
+    Timeout,
+};
+
+/** readFrame with an absolute deadline over the whole frame.
+ *  timeout_millis <= 0 blocks forever (readFrame semantics). */
+FrameReadStatus readFrameTimed(const Socket &sock, FrameType &type,
+                               std::vector<std::uint8_t> &payload,
+                               std::string &error,
+                               std::int64_t timeout_millis);
 
 } // namespace vibnn::serve::net
 

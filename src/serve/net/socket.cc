@@ -1,14 +1,19 @@
 #include "serve/net/socket.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
+
+#include "common/fault.hh"
 
 namespace vibnn::serve::net
 {
@@ -127,6 +132,10 @@ connectTcp(const std::string &host, std::uint16_t port,
         error = errnoString("socket");
         return Socket();
     }
+    if (VIBNN_FAULT("net.connect.fail")) {
+        error = "injected fault: net.connect.fail";
+        return Socket();
+    }
     for (;;) {
         if (::connect(sock.fd(),
                       reinterpret_cast<const sockaddr *>(&addr),
@@ -148,6 +157,26 @@ connectTcp(const std::string &host, std::uint16_t port,
 bool
 readExact(const Socket &sock, void *buf, std::size_t n)
 {
+    // Torn read: consume part of the transfer, then fail as if the
+    // peer reset mid-stream — the caller must treat the connection as
+    // beyond recovery, exactly like a real truncation.
+    if (n > 0 && VIBNN_FAULT("net.read.torn")) {
+        auto *out = static_cast<std::uint8_t *>(buf);
+        std::size_t torn = 0;
+        const std::size_t half = n / 2;
+        while (torn < half) {
+            const ssize_t got =
+                ::recv(sock.fd(), out + torn, half - torn, 0);
+            if (got > 0) {
+                torn += static_cast<std::size_t>(got);
+                continue;
+            }
+            if (got < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        return false;
+    }
     auto *out = static_cast<std::uint8_t *>(buf);
     std::size_t done = 0;
     while (done < n) {
@@ -164,14 +193,75 @@ readExact(const Socket &sock, void *buf, std::size_t n)
     return true;
 }
 
+IoStatus
+readExactTimed(const Socket &sock, void *buf, std::size_t n,
+               std::int64_t timeout_millis)
+{
+    if (timeout_millis <= 0)
+        return readExact(sock, buf, n) ? IoStatus::Ok
+                                       : IoStatus::Closed;
+    if (n > 0 && VIBNN_FAULT("net.read.torn"))
+        return IoStatus::Closed;
+    using Clock = std::chrono::steady_clock;
+    // One absolute deadline across the whole transfer: a peer
+    // trickling bytes cannot stretch it.
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_millis);
+    auto *out = static_cast<std::uint8_t *>(buf);
+    std::size_t done = 0;
+    while (done < n) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (remaining <= 0)
+            return IoStatus::Timeout;
+        pollfd pfd;
+        pfd.fd = sock.fd();
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int ready =
+            ::poll(&pfd, 1, static_cast<int>(remaining));
+        if (ready == 0)
+            return IoStatus::Timeout;
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Closed;
+        }
+        const ssize_t got =
+            ::recv(sock.fd(), out + done, n - done, 0);
+        if (got > 0) {
+            done += static_cast<std::size_t>(got);
+            continue;
+        }
+        if (got < 0 && (errno == EINTR || errno == EAGAIN ||
+                        errno == EWOULDBLOCK))
+            continue;
+        return IoStatus::Closed; // EOF or hard error
+    }
+    return IoStatus::Ok;
+}
+
 bool
 writeAll(const Socket &sock, const void *buf, std::size_t n)
 {
+    if (VIBNN_FAULT("net.write.delay"))
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            fault::fireDelayMillis("net.write.delay", 50)));
+    std::size_t limit = n;
+    bool torn = false;
+    if (n > 0 && VIBNN_FAULT("net.write.torn")) {
+        // Torn write: push half the bytes, then fail — the peer sees
+        // a frame truncated mid-payload.
+        limit = n / 2;
+        torn = true;
+    }
     const auto *in = static_cast<const std::uint8_t *>(buf);
     std::size_t done = 0;
-    while (done < n) {
+    while (done < limit) {
         const ssize_t sent =
-            ::send(sock.fd(), in + done, n - done, MSG_NOSIGNAL);
+            ::send(sock.fd(), in + done, limit - done, MSG_NOSIGNAL);
         if (sent > 0) {
             done += static_cast<std::size_t>(sent);
             continue;
@@ -180,7 +270,7 @@ writeAll(const Socket &sock, const void *buf, std::size_t n)
             continue;
         return false;
     }
-    return true;
+    return !torn;
 }
 
 } // namespace vibnn::serve::net

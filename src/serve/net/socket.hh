@@ -86,6 +86,26 @@ Socket connectTcp(const std::string &host, std::uint16_t port,
  *  a truncated frame must surface as a failure, not a partial read). */
 bool readExact(const Socket &sock, void *buf, std::size_t n);
 
+/** How a deadline-bounded transfer ended. */
+enum class IoStatus
+{
+    Ok,
+    /** EOF or a hard error — the connection is gone. */
+    Closed,
+    /** The deadline expired before the transfer completed. */
+    Timeout,
+};
+
+/**
+ * Read exactly n bytes or give up after `timeout_millis`. The deadline
+ * is absolute across the whole transfer (poll() before every recv), so
+ * a peer trickling one byte per poll interval cannot stretch it — the
+ * wedged-server story of serve::Client hangs on this primitive.
+ * timeout_millis <= 0 blocks forever (readExact semantics).
+ */
+IoStatus readExactTimed(const Socket &sock, void *buf, std::size_t n,
+                        std::int64_t timeout_millis);
+
 /** Write exactly n bytes (MSG_NOSIGNAL — a vanished peer surfaces as
  *  a false return, not a SIGPIPE). */
 bool writeAll(const Socket &sock, const void *buf, std::size_t n);

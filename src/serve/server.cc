@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace vibnn::serve
@@ -46,6 +47,20 @@ isLoopbackHost(const std::string &host)
 }
 
 } // namespace
+
+const char *
+shardHealthName(ShardHealth health)
+{
+    switch (health) {
+    case ShardHealth::Healthy:
+        return "healthy";
+    case ShardHealth::Degraded:
+        return "degraded";
+    case ShardHealth::Wedged:
+        return "wedged";
+    }
+    return "healthy";
+}
 
 // ------------------------------------------------------ LatencyHistogram
 
@@ -128,6 +143,27 @@ Server::Server(accel::QuantizedProgram program,
         fatal("serve::Server: queueCapacity must be >= 1");
     if (options_.maxConnections == 0)
         fatal("serve::Server: maxConnections must be >= 1");
+    if (options_.watchdogMillis < 0)
+        fatal("serve::Server: watchdogMillis must be >= 0");
+    if (options_.wedgedAfterMillis < 1)
+        fatal("serve::Server: wedgedAfterMillis must be >= 1");
+    if (options_.brownout) {
+        // Health transitions happen only on the watchdog thread, so
+        // brownout without a watchdog would never engage — that is a
+        // configuration bug, not a policy.
+        if (options_.watchdogMillis == 0)
+            fatal("serve::Server: brownout requires watchdogMillis "
+                  "> 0 (health transitions run on the watchdog)");
+        if (options_.brownoutSamples < 1)
+            fatal("serve::Server: brownoutSamples must be >= 1");
+        if (options_.brownoutEnterFraction <= 0.0 ||
+            options_.brownoutEnterFraction > 1.0 ||
+            options_.brownoutExitFraction < 0.0 ||
+            options_.brownoutExitFraction >=
+                options_.brownoutEnterFraction)
+            fatal("serve::Server: brownout fractions must satisfy "
+                  "0 <= exit < enter <= 1");
+    }
     shutdownAllowed_ =
         options_.remoteShutdown == RemoteShutdown::Enabled ||
         (options_.remoteShutdown == RemoteShutdown::LoopbackOnly &&
@@ -165,6 +201,10 @@ Server::start(std::string &error)
         return false;
     boundPort_ = bound;
     stopping_.store(false);
+    draining_.store(false);
+    for (auto &shard : shards_)
+        shard->health.store(
+            static_cast<int>(ShardHealth::Healthy));
     {
         std::lock_guard<std::mutex> lock(shutdownMutex_);
         shutdownRequested_ = false;
@@ -172,7 +212,20 @@ Server::start(std::string &error)
     startTime_ = Clock::now();
     running_.store(true);
     acceptThread_ = std::thread([this] { acceptLoop(); });
+    if (options_.watchdogMillis > 0)
+        watchdogThread_ = std::thread([this] { watchdogLoop(); });
     return true;
+}
+
+void
+Server::beginDrain()
+{
+    if (draining_.exchange(true))
+        return;
+    // Held batches must dispatch now, not ride out their latency
+    // budgets: flush every shard dispatcher's hold loop.
+    for (auto &shard : shards_)
+        shard->session->flushHolds();
 }
 
 void
@@ -185,6 +238,21 @@ Server::stop()
         shutdownCv_.notify_all();
         return;
     }
+    // Drain before teardown: new classifies turn into deterministic
+    // ShuttingDown error frames (their responses still go out on live
+    // connections) while in-flight work completes. The wait is
+    // bounded — a wedged pass must not hold shutdown hostage.
+    beginDrain();
+    const Clock::time_point drain_deadline =
+        Clock::now() + std::chrono::seconds(5);
+    for (;;) {
+        std::size_t inflight = 0;
+        for (const auto &shard : shards_)
+            inflight += shard->inflight.load();
+        if (inflight == 0 || Clock::now() >= drain_deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     stopping_.store(true);
     // shutdown() unblocks the accept loop (a parked accept() returns
     // EINVAL); the close() — the write that invalidates the fd — must
@@ -194,6 +262,13 @@ Server::stop()
     if (acceptThread_.joinable())
         acceptThread_.join();
     listener_.close();
+    if (watchdogThread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdogMutex_);
+        }
+        watchdogCv_.notify_all();
+        watchdogThread_.join();
+    }
     // Unblock every connection thread stuck in a read, then join.
     {
         std::lock_guard<std::mutex> lock(connMutex_);
@@ -246,6 +321,62 @@ Server::reapConnections(bool all)
 }
 
 void
+Server::watchdogLoop()
+{
+    // Per-shard wedge latch: one watchdog trip per wedge EVENT, not
+    // per poll tick that observes it.
+    std::vector<bool> latched(shards_.size(), false);
+    std::unique_lock<std::mutex> lock(watchdogMutex_);
+    while (!stopping_.load()) {
+        watchdogCv_.wait_for(
+            lock, std::chrono::milliseconds(options_.watchdogMillis),
+            [this] { return stopping_.load(); });
+        if (stopping_.load())
+            return;
+        lock.unlock();
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            Shard &shard = *shards_[i];
+            const std::int64_t pass_micros =
+                shard.session->currentPassMicros();
+            if (pass_micros >
+                options_.wedgedAfterMillis * 1000) {
+                // The pass has blown far past any sane duration: the
+                // shard thread is stuck inside the engine and cannot
+                // be interrupted — route around it until the pass
+                // finally completes.
+                if (!latched[i]) {
+                    latched[i] = true;
+                    watchdogTrips_.fetch_add(1);
+                }
+                shard.health.store(
+                    static_cast<int>(ShardHealth::Wedged));
+                continue;
+            }
+            latched[i] = false;
+            auto health =
+                static_cast<ShardHealth>(shard.health.load());
+            if (health == ShardHealth::Wedged)
+                health = ShardHealth::Healthy; // pass completed
+            if (options_.brownout) {
+                const double depth = static_cast<double>(
+                    shard.inflight.load());
+                const double cap = static_cast<double>(
+                    options_.queueCapacity);
+                if (health != ShardHealth::Degraded &&
+                    depth >= options_.brownoutEnterFraction * cap)
+                    health = ShardHealth::Degraded;
+                else if (health == ShardHealth::Degraded &&
+                         depth <=
+                             options_.brownoutExitFraction * cap)
+                    health = ShardHealth::Healthy;
+            }
+            shard.health.store(static_cast<int>(health));
+        }
+        lock.lock();
+    }
+}
+
+void
 Server::acceptLoop()
 {
     while (!stopping_.load()) {
@@ -263,6 +394,12 @@ Server::acceptLoop()
                      "); backing off");
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(5));
+            continue;
+        }
+        if (VIBNN_FAULT("serve.accept.fail")) {
+            // Injected accept failure: the connection is accepted by
+            // the kernel and immediately dropped — the client sees an
+            // instant EOF, the accept loop keeps serving.
             continue;
         }
         reapConnections(false);
@@ -309,8 +446,26 @@ Server::sendError(const net::Socket &sock, std::uint64_t id,
 Server::Shard &
 Server::pickShard()
 {
-    std::size_t best = 0;
+    // Two-pass routing: least-loaded among the non-Wedged shards; if
+    // EVERY shard is wedged there is nothing to route around, so fall
+    // back to plain least-loaded (the request queues behind the
+    // stuck pass rather than being dropped).
+    std::size_t best = shards_.size();
     std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i]->health.load() ==
+            static_cast<int>(ShardHealth::Wedged))
+            continue;
+        const std::size_t load = shards_[i]->inflight.load();
+        if (load < best_load) {
+            best_load = load;
+            best = i;
+        }
+    }
+    if (best < shards_.size())
+        return *shards_[best];
+    best = 0;
+    best_load = std::numeric_limits<std::size_t>::max();
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         const std::size_t load = shards_[i]->inflight.load();
         if (load < best_load) {
@@ -319,6 +474,12 @@ Server::pickShard()
         }
     }
     return *shards_[best];
+}
+
+ShardHealth
+Server::shardHealth(std::size_t i) const
+{
+    return static_cast<ShardHealth>(shards_[i]->health.load());
 }
 
 bool
@@ -337,7 +498,18 @@ Server::handleClassify(Connection &conn,
                          error);
     }
 
+    if (draining_.load()) {
+        // Deterministic refusal during drain: every would-be classify
+        // gets an explicit ShuttingDown frame, so a retrying client
+        // knows to fail over instead of hammering a dying server.
+        return sendError(conn.sock, wire.id,
+                         net::ErrorCode::ShuttingDown,
+                         "server is draining");
+    }
+
     Shard &shard = pickShard();
+    if (wire.retryAttempt > 0)
+        shard.retriesObserved.fetch_add(1);
     // Admission control: reserve a slot; over capacity => explicit
     // rejection, never an unbounded queue.
     const std::size_t load = shard.inflight.fetch_add(1) + 1;
@@ -380,6 +552,26 @@ Server::handleClassify(Connection &conn,
                          "deadlineMicros out of range");
     }
 
+    // Brownout: a Degraded shard degrades service instead of refusing
+    // it — the request runs at the reduced ensemble size and the
+    // response says so (degraded flag + the T actually achieved in
+    // mcSamples). Bit-exactness is per (program, seed, T, images), so
+    // a browned-out response is exactly the T=brownoutSamples answer.
+    std::uint8_t response_flags = 0;
+    if (options_.brownout &&
+        shard.health.load() ==
+            static_cast<int>(ShardHealth::Degraded)) {
+        const int requested =
+            wire.mcSamples > 0
+                ? static_cast<int>(wire.mcSamples)
+                : shard.session->options().mcSamples;
+        if (requested > options_.brownoutSamples) {
+            request.mcSamples = options_.brownoutSamples;
+            response_flags |= net::kResponseFlagDegraded;
+            shard.brownoutPasses.fetch_add(1);
+        }
+    }
+
     ResultHandle handle = shard.session->submit(std::move(request));
     InferenceResult result = handle.get();
     shard.inflight.fetch_sub(1);
@@ -399,6 +591,7 @@ Server::handleClassify(Connection &conn,
         static_cast<std::uint32_t>(session.outputDim());
     response.meanRounds = result.meanRounds;
     response.serverMicros = latency;
+    response.flags = response_flags;
     response.predictions.reserve(result.predictions.size());
     for (const Prediction &p : result.predictions) {
         net::WirePrediction wp;
@@ -414,6 +607,19 @@ Server::handleClassify(Connection &conn,
     }
     const std::vector<std::uint8_t> frame =
         net::encodeClassifyResponse(response);
+    if (VIBNN_FAULT("serve.response.delay")) {
+        // Slow response: the frame goes out intact but late — what a
+        // GC pause or an overloaded NIC looks like to the client.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            fault::fireDelayMillis("serve.response.delay", 50)));
+    }
+    if (VIBNN_FAULT("serve.response.torn")) {
+        // Torn response: half the frame, then the connection dies —
+        // the client's decoder must reject the stub and its retry
+        // path must recover the answer on a fresh connection.
+        net::writeAll(conn.sock, frame.data(), frame.size() / 2);
+        return false;
+    }
     return net::writeAll(conn.sock, frame.data(), frame.size());
 }
 
@@ -426,6 +632,8 @@ Server::serveConnection(Connection &conn)
         std::string error;
         if (!net::readFrame(conn.sock, type, payload, error))
             break; // EOF, garbage header, or shutdown — close quietly
+        if (VIBNN_FAULT("serve.conn.drop"))
+            break; // injected mid-session disconnect
         bool ok = true;
         switch (type) {
         case net::FrameType::Ping:
@@ -501,13 +709,21 @@ Server::stats() const
         s.p50Micros = shard->latency.quantileMicros(0.50);
         s.p95Micros = shard->latency.quantileMicros(0.95);
         s.p99Micros = shard->latency.quantileMicros(0.99);
+        s.health = static_cast<ShardHealth>(shard->health.load());
+        s.brownoutPasses = shard->brownoutPasses.load();
+        s.retriesObserved = shard->retriesObserved.load();
         aggregate.merge(shard->latency);
         out.requests += s.requests;
         out.images += s.images;
         out.rejects += s.rejects;
         out.rounds += s.rounds;
+        out.brownoutPasses += s.brownoutPasses;
+        out.retriesObserved += s.retriesObserved;
         out.shards.push_back(std::move(s));
     }
+    out.watchdogTrips = watchdogTrips_.load();
+    out.faultFires = fault::totalFires();
+    out.draining = draining_.load();
     {
         std::lock_guard<std::mutex> lock(connMutex_);
         out.activeConnections = connections_.size();
@@ -539,6 +755,14 @@ Server::metricsJson() const
     os << ", \"p50_us\": " << jsonNumber(s.p50Micros);
     os << ", \"p95_us\": " << jsonNumber(s.p95Micros);
     os << ", \"p99_us\": " << jsonNumber(s.p99Micros);
+    os << ", \"brownout_passes\": " << s.brownoutPasses;
+    os << ", \"retries_observed\": " << s.retriesObserved;
+    os << ", \"watchdog_trips\": " << s.watchdogTrips;
+    os << ", \"fault_fires\": " << s.faultFires;
+    os << ", \"draining\": " << (s.draining ? 1 : 0);
+    // Per-site hit/fire counters of the armed chaos profile; "{}" in
+    // every unarmed (production) process.
+    os << ", \"faults\": " << fault::faultsJson();
     os << ", \"shards\": [";
     for (std::size_t i = 0; i < s.shards.size(); ++i) {
         const ShardStats &sh = s.shards[i];
@@ -560,6 +784,10 @@ Server::metricsJson() const
         os << ", \"p50_us\": " << jsonNumber(sh.p50Micros);
         os << ", \"p95_us\": " << jsonNumber(sh.p95Micros);
         os << ", \"p99_us\": " << jsonNumber(sh.p99Micros);
+        os << ", \"health\": \"" << shardHealthName(sh.health)
+           << "\"";
+        os << ", \"brownout_passes\": " << sh.brownoutPasses;
+        os << ", \"retries_observed\": " << sh.retriesObserved;
         os << "}";
     }
     os << "]}";

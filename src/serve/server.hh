@@ -21,6 +21,19 @@
  *    rounds/s, merge factor, and reject counts via stats(), and as a
  *    JSON document served to any client over the MetricsRequest frame
  *    (the metrics "endpoint" — see serve::Client::metrics()).
+ *  - Self-healing: an optional watchdog thread tracks per-shard
+ *    health (Healthy / Degraded / Wedged). A shard whose engine pass
+ *    has run far past the configured bound is marked Wedged and the
+ *    router avoids it until the pass completes; under queue pressure
+ *    a shard BROWNS OUT — serves at a reduced ensemble size, stamping
+ *    the degraded flag and the achieved T into the response — and
+ *    recovers with hysteresis once the pressure clears. Degrade
+ *    service, don't refuse it.
+ *  - Graceful drain: beginDrain() flushes every dispatcher hold and
+ *    answers new classifies with a deterministic ShuttingDown error
+ *    frame; stop() drains in-flight work bounded before tearing the
+ *    connections down, so held requests complete instead of dying
+ *    mid-flight.
  *
  * Determinism carries through from the session layer: every shard
  * serves the same (program, seed, GRNG), and per-request outputs are
@@ -99,6 +112,23 @@ enum class RemoteShutdown
     Disabled,
 };
 
+/** Watchdog-assigned serving state of one shard. */
+enum class ShardHealth
+{
+    /** Serving normally. */
+    Healthy,
+    /** Brownout: queue pressure crossed the enter threshold; the
+     *  shard serves at a reduced ensemble size until pressure drops
+     *  below the exit threshold (hysteresis). */
+    Degraded,
+    /** The shard's current engine pass has run past the wedge bound;
+     *  the router avoids the shard until the pass completes. */
+    Wedged,
+};
+
+/** Canonical lower-case name ("healthy", "degraded", "wedged"). */
+const char *shardHealthName(ShardHealth health);
+
 /** Serving policy of one server process. */
 struct ServerOptions
 {
@@ -119,6 +149,27 @@ struct ServerOptions
     /** Shutdown-frame policy (see RemoteShutdown). A refused Shutdown
      *  gets a BadRequest error frame and the connection survives. */
     RemoteShutdown remoteShutdown = RemoteShutdown::LoopbackOnly;
+    /** Watchdog poll interval in milliseconds; 0 (the default)
+     *  disables the watchdog — and with it shard health tracking and
+     *  brownout, reproducing the pre-fault-tolerance server
+     *  exactly. */
+    std::int64_t watchdogMillis = 0;
+    /** Enable brownout degradation: under queue pressure a Degraded
+     *  shard clamps the served ensemble size to brownoutSamples and
+     *  stamps the response degraded. Requires the watchdog (health
+     *  transitions happen only on its thread). */
+    bool brownout = false;
+    /** Queue-pressure fraction of queueCapacity at which a shard
+     *  enters brownout... */
+    double brownoutEnterFraction = 0.75;
+    /** ...and the (lower) fraction at which it exits — the gap is the
+     *  hysteresis that stops flapping. */
+    double brownoutExitFraction = 0.25;
+    /** The reduced ensemble size a browned-out shard serves with. */
+    int brownoutSamples = 2;
+    /** An engine pass older than this (milliseconds) marks its shard
+     *  Wedged. */
+    std::int64_t wedgedAfterMillis = 1000;
     /** Per-shard serving policy (exec mode, T, GRNG, seed, deadline
      *  defaults...). Every shard gets an identical copy — one seed,
      *  one program — which is what makes routing invisible in the
@@ -146,6 +197,12 @@ struct ShardStats
     double p50Micros = 0.0;
     double p95Micros = 0.0;
     double p99Micros = 0.0;
+    /** Watchdog-assigned health (Healthy when the watchdog is off). */
+    ShardHealth health = ShardHealth::Healthy;
+    /** Requests served at a brownout-reduced ensemble size. */
+    std::uint64_t brownoutPasses = 0;
+    /** Requests that arrived stamped as a retry (retryAttempt > 0). */
+    std::uint64_t retriesObserved = 0;
 };
 
 /** Point-in-time view of the whole server. */
@@ -162,6 +219,16 @@ struct ServerStats
     double p50Micros = 0.0;
     double p95Micros = 0.0;
     double p99Micros = 0.0;
+    /** Sums over the shards. */
+    std::uint64_t brownoutPasses = 0;
+    std::uint64_t retriesObserved = 0;
+    /** Healthy→Wedged transitions the watchdog recorded. */
+    std::uint64_t watchdogTrips = 0;
+    /** Injected faults fired process-wide (fault::totalFires()) — 0
+     *  outside chaos runs. */
+    std::uint64_t faultFires = 0;
+    /** beginDrain() ran: new classifies get ShuttingDown. */
+    bool draining = false;
 };
 
 /** The network server. Construct, start(), serve until a client sends
@@ -191,8 +258,21 @@ class Server
      */
     bool start(std::string &error);
 
-    /** Stop accepting, unblock and join every connection, drain the
-     *  shards. Idempotent; also runs on destruction. */
+    /**
+     * Enter draining: every dispatcher hold is flushed (held batches
+     * dispatch immediately) and every classify that arrives from now
+     * on is answered with a deterministic ShuttingDown error frame —
+     * in-flight requests still complete and their responses still go
+     * out. Idempotent; stop() calls it first.
+     */
+    void beginDrain();
+
+    /** True once beginDrain() (or stop()) ran. */
+    bool draining() const { return draining_.load(); }
+
+    /** Stop accepting, drain in-flight work (bounded), unblock and
+     *  join every connection. Idempotent; also runs on
+     *  destruction. */
     void stop();
 
     bool running() const { return running_.load(); }
@@ -218,6 +298,10 @@ class Server
      *  frame serves (schema documented in docs/SERVING.md). */
     std::string metricsJson() const;
 
+    /** Watchdog-assigned health of shard `i` (Healthy when the
+     *  watchdog is off). */
+    ShardHealth shardHealth(std::size_t i) const;
+
   private:
     struct Shard
     {
@@ -225,6 +309,10 @@ class Server
         std::atomic<std::size_t> inflight{0};
         std::atomic<std::uint64_t> rejects{0};
         std::atomic<std::uint64_t> rounds{0};
+        /** ShardHealth; written only by the watchdog thread. */
+        std::atomic<int> health{0};
+        std::atomic<std::uint64_t> brownoutPasses{0};
+        std::atomic<std::uint64_t> retriesObserved{0};
         LatencyHistogram latency;
     };
 
@@ -238,7 +326,11 @@ class Server
 
     void acceptLoop();
     void serveConnection(Connection &conn);
-    /** Route to the least-loaded shard (smallest in-flight count). */
+    /** Health poller: marks over-deadline passes Wedged and drives
+     *  brownout enter/exit — the only writer of Shard::health. */
+    void watchdogLoop();
+    /** Route to the least-loaded shard (smallest in-flight count),
+     *  preferring non-Wedged shards. */
     Shard &pickShard();
     /** Handle one decoded classify frame on `conn`'s socket. */
     bool handleClassify(Connection &conn,
@@ -257,8 +349,14 @@ class Server
     net::Socket listener_;
     std::uint16_t boundPort_ = 0;
     std::thread acceptThread_;
+    std::thread watchdogThread_;
     std::atomic<bool> running_{false};
     std::atomic<bool> stopping_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> watchdogTrips_{0};
+    /** Wakes the watchdog out of its poll sleep at stop(). */
+    mutable std::mutex watchdogMutex_;
+    std::condition_variable watchdogCv_;
     /** Resolved remoteShutdown policy against the bind address. */
     bool shutdownAllowed_ = true;
     /** One-shot latch so a persistent accept failure (fd exhaustion)

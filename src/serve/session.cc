@@ -11,6 +11,7 @@
 #include "bnn/bayesian_mlp.hh"
 #include "accel/kernels/kernels.hh"
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "core/model_io.hh"
 #include "core/vibnn.hh"
@@ -29,6 +30,14 @@ microsSince(Clock::time_point start)
 {
     return std::chrono::duration<double, std::micro>(Clock::now() -
                                                      start)
+        .count();
+}
+
+std::int64_t
+nowMicros()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now().time_since_epoch())
         .count();
 }
 
@@ -881,6 +890,25 @@ InferenceSession::drain()
     drainCv_.wait(lock, [&] { return pendingRequests_ == 0; });
 }
 
+std::int64_t
+InferenceSession::currentPassMicros() const
+{
+    const std::int64_t start =
+        passStartMicros_.load(std::memory_order_acquire);
+    if (start == 0)
+        return 0;
+    return std::max<std::int64_t>(nowMicros() - start, 1);
+}
+
+void
+InferenceSession::flushHolds()
+{
+    holdsFlushed_.store(true, std::memory_order_release);
+    // The dispatcher may be parked inside a hold wait; wake it so the
+    // held batch dispatches now.
+    queueCv_.notify_all();
+}
+
 void
 InferenceSession::ensureWorker()
 {
@@ -940,7 +968,8 @@ InferenceSession::workerLoop()
             // (serve/coalescer.hh pins the bound). Members without a
             // budget contribute zero allowance, reproducing the
             // greedy PR 4 dispatch exactly.
-            while (!stopping_ && !batchFull()) {
+            while (!stopping_ && !batchFull() &&
+                   !holdsFlushed_.load(std::memory_order_acquire)) {
                 const auto now = Clock::now();
                 const std::int64_t estimate = passEstimateMicros(t);
                 std::vector<std::int64_t> deadlines(batch.size());
@@ -974,7 +1003,10 @@ InferenceSession::workerLoop()
                     std::chrono::microseconds(
                         std::min(allowance, kMaxDeadlineMicros)),
                     [&] {
-                        return stopping_ || queue_.size() != seen;
+                        return stopping_ ||
+                            holdsFlushed_.load(
+                                std::memory_order_acquire) ||
+                            queue_.size() != seen;
                     });
                 mergePending();
             }
@@ -1030,6 +1062,15 @@ InferenceSession::executePass(std::vector<Queued> &items, int t,
         }
     };
     const auto pass_start = Clock::now();
+    // Publish the pass start so the server's watchdog can measure how
+    // long this pass has been running (wedge detection).
+    passStartMicros_.store(nowMicros(), std::memory_order_release);
+    if (VIBNN_FAULT("serve.pass.stuck")) {
+        // Simulated wedge: the pass sits on the clock (stamp already
+        // published) long enough for a watchdog to notice.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            fault::fireDelayMillis("serve.pass.stuck", 200)));
+    }
     if (opts_.adaptive.enabled) {
         // The tightest remaining member budget bounds the pass
         // (anytime mode) — waiting in the queue ate into it.
@@ -1056,6 +1097,7 @@ InferenceSession::executePass(std::vector<Queued> &items, int t,
         fulfill(engineFor(t).classifyBatchDetailed(
             xs, total_images, dim, opts_.uncertainty));
     }
+    passStartMicros_.store(0, std::memory_order_release);
     observePassMicros(t, microsSince(pass_start));
 
     counters_.requests += items.size();

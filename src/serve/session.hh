@@ -387,6 +387,23 @@ class InferenceSession
     /** Block until every submitted request has completed. */
     void drain();
 
+    /**
+     * Microseconds the dispatcher's current engine pass has been
+     * executing, or 0 when no pass is in flight. The watchdog's
+     * wedge detector: a pass that exceeds its deadline many times
+     * over means the shard is stuck, not slow.
+     */
+    std::int64_t currentPassMicros() const;
+
+    /**
+     * Permanently disable deadline-aware holding: any batch the
+     * dispatcher is currently holding open dispatches immediately,
+     * and future passes dispatch greedily. Sticky — the drain path
+     * calls this so held requests flush instead of riding out their
+     * budgets during shutdown.
+     */
+    void flushHolds();
+
     /** Serving statistics. */
     struct Counters
     {
@@ -538,6 +555,11 @@ class InferenceSession
     std::deque<Queued> queue_;
     std::size_t pendingRequests_ = 0;
     bool stopping_ = false;
+    /** Sticky hold-disable switch (see flushHolds()). */
+    std::atomic<bool> holdsFlushed_{false};
+    /** steady_clock micros at which the in-flight engine pass
+     *  started; 0 = none. Read lock-free by the watchdog. */
+    std::atomic<std::int64_t> passStartMicros_{0};
     std::thread worker_;
 };
 

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Fault-injection registry tests: spec-grammar rejection, the firing
+ * semantics of nth/every/p/count/always, seeded determinism (the
+ * property that makes chaos assertions replayable instead of flaky),
+ * environment re-arming via reset(), and the unarmed contract — zero
+ * counters, zero registry traffic, VIBNN_FAULT() false everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fault.hh"
+
+using namespace vibnn;
+
+namespace
+{
+
+/** Every test leaves the process-global registry unarmed. */
+class Fault : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::disarm(); }
+    void TearDown() override
+    {
+        fault::disarm();
+        ::unsetenv("VIBNN_FAULTS");
+    }
+};
+
+} // anonymous namespace
+
+// -------------------------------------------------------- spec grammar
+
+TEST_F(Fault, MalformedSpecsAreRejectedWithAnError)
+{
+    const char *bad[] = {
+        "",                     // arms no sites
+        ",,,",                  // only empty clauses
+        "noitems",              // no colon
+        ":always",              // empty site name
+        "site:",                // colon but no items
+        "site:nth=0",           // nth must be positive
+        "site:nth=abc",         // not an integer
+        "site:every=0",         // every must be positive
+        "site:count=x",         // not an integer
+        "site:p=1.5",           // probability above 1
+        "site:p=-0.25",         // probability below 0
+        "site:p=",              // empty value
+        "site:delay=soon",      // not milliseconds
+        "site:frobnicate=1",    // unknown item
+        "good:always,bad",      // one bad clause poisons the spec
+    };
+    for (const char *spec : bad) {
+        std::string error;
+        EXPECT_FALSE(fault::armSpec(spec, error))
+            << "accepted '" << spec << "'";
+        EXPECT_FALSE(error.empty()) << spec;
+        // A rejected spec must not leave the process half-armed.
+        EXPECT_FALSE(fault::anyArmed()) << spec;
+    }
+}
+
+TEST_F(Fault, WellFormedSpecArmsEverySite)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec(
+        "a.b:nth=3,c.d:p=0.5+count=2,e.f:always+delay=40", error))
+        << error;
+    EXPECT_TRUE(fault::anyArmed());
+    EXPECT_DOUBLE_EQ(fault::siteRate("c.d"), 0.5);
+    EXPECT_EQ(fault::fireDelayMillis("e.f", 7), 40);
+    EXPECT_EQ(fault::fireDelayMillis("a.b", 7), 7); // fallback
+}
+
+// ---------------------------------------------------- firing semantics
+
+TEST_F(Fault, NthFiresExactlyOnce)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("s:nth=3", error)) << error;
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(VIBNN_FAULT("s"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false,
+                                        false, false}));
+    EXPECT_EQ(fault::hits("s"), 6u);
+    EXPECT_EQ(fault::fires("s"), 1u);
+}
+
+TEST_F(Fault, EveryFiresPeriodically)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("s:every=2", error)) << error;
+    std::vector<bool> fired;
+    for (int i = 0; i < 6; ++i)
+        fired.push_back(VIBNN_FAULT("s"));
+    EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true,
+                                        false, true}));
+}
+
+TEST_F(Fault, CountCapsTotalFires)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("s:always+count=2", error)) << error;
+    int fires = 0;
+    for (int i = 0; i < 10; ++i)
+        fires += VIBNN_FAULT("s") ? 1 : 0;
+    EXPECT_EQ(fires, 2);
+    EXPECT_EQ(fault::hits("s"), 10u);
+    EXPECT_EQ(fault::fires("s"), 2u);
+}
+
+TEST_F(Fault, ProbabilityEdgesAreExact)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("never:p=0,ever:p=1", error)) << error;
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(VIBNN_FAULT("never"));
+        EXPECT_TRUE(VIBNN_FAULT("ever"));
+    }
+}
+
+TEST_F(Fault, ProbabilisticFiringReplaysExactly)
+{
+    // The chaos-test keystone: (seed, site, hit index) fully determine
+    // the pattern, so re-arming the same spec replays it bit-for-bit.
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("s:p=0.3", error)) << error;
+    std::vector<bool> first;
+    for (int i = 0; i < 200; ++i)
+        first.push_back(VIBNN_FAULT("s"));
+    ASSERT_TRUE(fault::armSpec("s:p=0.3", error)) << error;
+    std::vector<bool> second;
+    for (int i = 0; i < 200; ++i)
+        second.push_back(VIBNN_FAULT("s"));
+    EXPECT_EQ(first, second);
+    // Sanity: p=0.3 over 200 hits fires sometimes, not always.
+    const int fires =
+        static_cast<int>(std::count(first.begin(), first.end(), true));
+    EXPECT_GT(fires, 0);
+    EXPECT_LT(fires, 200);
+}
+
+TEST_F(Fault, DistinctSitesDrawDistinctStreams)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("a:p=0.5,b:p=0.5", error)) << error;
+    std::vector<bool> a, b;
+    for (int i = 0; i < 200; ++i) {
+        a.push_back(VIBNN_FAULT("a"));
+        b.push_back(VIBNN_FAULT("b"));
+    }
+    EXPECT_NE(a, b);
+    EXPECT_NE(fault::siteSeed("a"), fault::siteSeed("b"));
+}
+
+// ----------------------------------------------------- unarmed contract
+
+TEST_F(Fault, UnarmedProcessSeesNothing)
+{
+    EXPECT_FALSE(fault::anyArmed());
+    EXPECT_FALSE(VIBNN_FAULT("any.site"));
+    EXPECT_EQ(fault::hits("any.site"), 0u);
+    EXPECT_EQ(fault::fires("any.site"), 0u);
+    EXPECT_EQ(fault::totalHits(), 0u);
+    EXPECT_EQ(fault::totalFires(), 0u);
+    EXPECT_DOUBLE_EQ(fault::siteRate("any.site"), 0.0);
+    EXPECT_EQ(fault::fireDelayMillis("any.site", 123), 123);
+    EXPECT_EQ(fault::faultsJson(), "{}");
+    fault::recordFires("any.site", 5); // no-op, not a crash
+    EXPECT_EQ(fault::totalFires(), 0u);
+}
+
+TEST_F(Fault, ArmedSitesDoNotFireUnarmedOnes)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("armed:always", error)) << error;
+    EXPECT_TRUE(VIBNN_FAULT("armed"));
+    EXPECT_FALSE(VIBNN_FAULT("other"));
+    EXPECT_EQ(fault::hits("other"), 0u);
+}
+
+TEST_F(Fault, DisarmDropsSitesAndCounters)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("s:always", error)) << error;
+    EXPECT_TRUE(VIBNN_FAULT("s"));
+    fault::disarm();
+    EXPECT_FALSE(fault::anyArmed());
+    EXPECT_FALSE(VIBNN_FAULT("s"));
+    EXPECT_EQ(fault::hits("s"), 0u);
+    EXPECT_EQ(fault::fires("s"), 0u);
+}
+
+TEST_F(Fault, RearmingReplacesSitesAndCounters)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("old:always", error)) << error;
+    EXPECT_TRUE(VIBNN_FAULT("old"));
+    ASSERT_TRUE(fault::armSpec("fresh:always", error)) << error;
+    EXPECT_EQ(fault::hits("old"), 0u); // gone, not carried over
+    EXPECT_TRUE(VIBNN_FAULT("fresh"));
+    EXPECT_EQ(fault::totalFires(), 1u);
+}
+
+// ------------------------------------------------- counters and JSON
+
+TEST_F(Fault, RecordFiresCountsExternallySampledEvents)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("rate.site:p=0.01", error)) << error;
+    fault::recordFires("rate.site", 7);
+    fault::recordFires("rate.site", 3);
+    EXPECT_EQ(fault::hits("rate.site"), 2u);
+    EXPECT_EQ(fault::fires("rate.site"), 10u);
+    EXPECT_EQ(fault::totalFires(), 10u);
+}
+
+TEST_F(Fault, FaultsJsonReportsEverySite)
+{
+    std::string error;
+    ASSERT_TRUE(fault::armSpec("a:always,b:nth=5", error)) << error;
+    (void)VIBNN_FAULT("a");
+    (void)VIBNN_FAULT("a");
+    (void)VIBNN_FAULT("b");
+    const std::string json = fault::faultsJson();
+    EXPECT_NE(json.find("\"a\": {\"hits\": 2, \"fires\": 2}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"b\": {\"hits\": 1, \"fires\": 0}"),
+              std::string::npos)
+        << json;
+}
+
+// ------------------------------------------------------------- reset()
+
+TEST_F(Fault, ResetReappliesTheEnvironmentSpec)
+{
+    // reset() restores the state a chaos-profile process started in:
+    // whatever VIBNN_FAULTS says right now, counters zeroed.
+    ASSERT_EQ(::setenv("VIBNN_FAULTS", "env.site:always", 1), 0);
+    fault::reset();
+    EXPECT_TRUE(fault::anyArmed());
+    EXPECT_TRUE(VIBNN_FAULT("env.site"));
+
+    ::unsetenv("VIBNN_FAULTS");
+    fault::reset();
+    EXPECT_FALSE(fault::anyArmed());
+    EXPECT_FALSE(VIBNN_FAULT("env.site"));
+}

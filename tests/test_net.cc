@@ -42,6 +42,7 @@ sampleRequest()
     req.id = 0xdeadbeefcafe1234ull;
     req.mcSamples = 16;
     req.deadlineMicros = 250'000;
+    req.retryAttempt = 2;
     req.count = 3;
     req.dim = 4;
     req.features = {0.0f, -1.5f, 3.25f, 1e-30f, 1.0f, 2.0f,
@@ -71,6 +72,7 @@ TEST(Protocol, ClassifyRequestRoundTripsBitExact)
     EXPECT_EQ(out.id, req.id);
     EXPECT_EQ(out.mcSamples, req.mcSamples);
     EXPECT_EQ(out.deadlineMicros, req.deadlineMicros);
+    EXPECT_EQ(out.retryAttempt, req.retryAttempt);
     EXPECT_EQ(out.count, req.count);
     EXPECT_EQ(out.dim, req.dim);
     ASSERT_EQ(out.features.size(), req.features.size());
@@ -89,6 +91,7 @@ TEST(Protocol, ClassifyResponseRoundTripsBitExact)
     resp.outDim = 3;
     resp.meanRounds = 17.5;
     resp.serverMicros = 1234.25;
+    resp.flags = kResponseFlagDegraded;
     for (int i = 0; i < 2; ++i) {
         WirePrediction p;
         p.predicted = static_cast<std::uint32_t>(i);
@@ -117,6 +120,8 @@ TEST(Protocol, ClassifyResponseRoundTripsBitExact)
     EXPECT_EQ(out.outDim, resp.outDim);
     EXPECT_EQ(out.meanRounds, resp.meanRounds);
     EXPECT_EQ(out.serverMicros, resp.serverMicros);
+    EXPECT_EQ(out.flags, resp.flags);
+    EXPECT_TRUE(out.degraded());
     ASSERT_EQ(out.predictions.size(), resp.predictions.size());
     for (std::size_t i = 0; i < out.predictions.size(); ++i) {
         const auto &a = out.predictions[i];
@@ -279,10 +284,12 @@ TEST(Protocol, ClassifyRequestRejectsAbsurdGeometry)
         frame.size() - kFrameHeaderBytes, out, error));
 
     // count over the per-frame cap: forge the header fields of a
-    // valid frame (the encoder itself refuses to build one).
+    // valid frame (the encoder itself refuses to build one). Request
+    // payload layout: id(8) mcSamples(4) deadline(8) retryAttempt(2)
+    // count(4) dim(4).
     frame = encodeClassifyRequest(sampleRequest());
     const std::uint32_t big_count = kMaxImagesPerFrame + 1;
-    std::memcpy(frame.data() + kFrameHeaderBytes + 20, &big_count, 4);
+    std::memcpy(frame.data() + kFrameHeaderBytes + 22, &big_count, 4);
     EXPECT_FALSE(decodeClassifyRequest(
         frame.data() + kFrameHeaderBytes,
         frame.size() - kFrameHeaderBytes, out, error));
@@ -290,7 +297,7 @@ TEST(Protocol, ClassifyRequestRejectsAbsurdGeometry)
     // dim over the cap.
     frame = encodeClassifyRequest(sampleRequest());
     const std::uint32_t big_dim = kMaxImageDim + 1;
-    std::memcpy(frame.data() + kFrameHeaderBytes + 24, &big_dim, 4);
+    std::memcpy(frame.data() + kFrameHeaderBytes + 26, &big_dim, 4);
     EXPECT_FALSE(decodeClassifyRequest(
         frame.data() + kFrameHeaderBytes,
         frame.size() - kFrameHeaderBytes, out, error));
@@ -387,12 +394,44 @@ TEST(Protocol, ExitReasonAboveRangeIsRejected)
     auto frame = encodeClassifyResponse(resp);
     // Locate and corrupt the exitReason byte: payload layout is
     // id(8) mcSamples(4) outDim(4) meanRounds(8) serverMicros(8)
-    // count(4) then per-prediction predicted(4) achieved(4) reason(1).
-    const std::size_t reason_off = kFrameHeaderBytes + 36 + 8;
+    // flags(1) count(4) then per-prediction predicted(4) achieved(4)
+    // reason(1).
+    const std::size_t reason_off = kFrameHeaderBytes + 37 + 8;
     frame[reason_off] = 4; // one past McExitReason::Deadline
     WireClassifyResponse out;
     std::string error;
     EXPECT_FALSE(decodeClassifyResponse(
         frame.data() + kFrameHeaderBytes,
         frame.size() - kFrameHeaderBytes, out, error));
+}
+
+TEST(Protocol, UnknownResponseFlagBitsAreRejected)
+{
+    // This build speaks protocol version 1 exactly: a response with
+    // flag bits beyond kResponseFlagDegraded is a version-skewed or
+    // corrupted peer and must be refused, not silently masked.
+    WireClassifyResponse resp;
+    resp.id = 1;
+    resp.mcSamples = 4;
+    resp.outDim = 2;
+    WirePrediction p;
+    p.probs = {0.5f, 0.5f};
+    resp.predictions.push_back(p);
+    auto frame = encodeClassifyResponse(resp);
+    const std::size_t flags_off = kFrameHeaderBytes + 32;
+    frame[flags_off] = 0x02; // one past the degraded bit
+    WireClassifyResponse out;
+    std::string error;
+    EXPECT_FALSE(decodeClassifyResponse(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error));
+    EXPECT_FALSE(error.empty());
+
+    // The degraded bit itself is legal and surfaces via degraded().
+    frame[flags_off] = kResponseFlagDegraded;
+    EXPECT_TRUE(decodeClassifyResponse(
+        frame.data() + kFrameHeaderBytes,
+        frame.size() - kFrameHeaderBytes, out, error))
+        << error;
+    EXPECT_TRUE(out.degraded());
 }

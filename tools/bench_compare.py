@@ -37,7 +37,7 @@ import sys
 IDENTITY_KEYS = ("bench", "section", "backend", "schedule", "style",
                  "kernel", "tier", "generator", "estimator", "bits", "T",
                  "batch", "requests", "confidence", "budget", "shards",
-                 "offered", "conns")
+                 "offered", "conns", "rate", "profile")
 DEFAULT_METRIC = "images_per_s"
 
 

@@ -13,8 +13,18 @@
  * which licenses the server's deadline-aware coalescer to hold the
  * request to fill a Monte-Carlo round (never past the budget).
  *
- * Exit code: 0 on success, 1 on any transport/protocol/server error —
- * scripts (the CI server smoke) rely on that.
+ * Resilience knobs: --timeout-ms bounds every response wait (default
+ * 5000 — a wedged server fails the command instead of hanging it;
+ * 0 restores the old block-forever behavior), and --retries N arms
+ * classify with bounded-exponential-backoff retry (--backoff-ms sets
+ * the initial backoff) over Overloaded / Timeout / transport loss.
+ *
+ * Exit codes (scripts and the CI smoke rely on these):
+ *   0  success
+ *   2  the server rejected with Overloaded (after any retries)
+ *   3  the receive deadline expired
+ *   4  the server is shutting down
+ *   1  any other transport/protocol/server error
  */
 
 #include <cstdio>
@@ -42,7 +52,33 @@ usage()
         "  shutdown                   ask the server to stop\n"
         "  classify [--count N] [--dim D] [--t T]\n"
         "           [--deadline-us N] [--seed S]\n"
-        "                             classify random images\n");
+        "                             classify random images\n"
+        "options:\n"
+        "  --timeout-ms N   receive deadline per attempt, 0 = block\n"
+        "                   forever (default 5000)\n"
+        "  --retries N      extra classify attempts on overload /\n"
+        "                   timeout / transport loss (default 0)\n"
+        "  --backoff-ms N   initial retry backoff (default 10)\n"
+        "exit codes: 0 ok, 2 overloaded, 3 timeout, 4 shutting down,\n"
+        "1 other error\n");
+}
+
+int
+exitCodeFor(vibnn::serve::Client::Status status)
+{
+    using Status = vibnn::serve::Client::Status;
+    switch (status) {
+    case Status::Ok:
+        return 0;
+    case Status::Overloaded:
+        return 2;
+    case Status::Timeout:
+        return 3;
+    case Status::ShuttingDown:
+        return 4;
+    default:
+        return 1;
+    }
 }
 
 long long
@@ -62,6 +98,7 @@ main(int argc, char **argv)
     std::string command;
     int port = 7411;
     long long count = 1, dim = 24, t = 0, deadline_us = 0, seed = 1;
+    long long timeout_ms = 5000, retries = 0, backoff_ms = 10;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -79,6 +116,12 @@ main(int argc, char **argv)
             deadline_us = argValue(argc, argv, i);
         else if (arg == "--seed")
             seed = argValue(argc, argv, i);
+        else if (arg == "--timeout-ms")
+            timeout_ms = argValue(argc, argv, i);
+        else if (arg == "--retries")
+            retries = argValue(argc, argv, i);
+        else if (arg == "--backoff-ms")
+            backoff_ms = argValue(argc, argv, i);
         else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -98,8 +141,11 @@ main(int argc, char **argv)
     if (count < 1 || dim < 1 || t < 0 || deadline_us < 0)
         fatal("--count and --dim must be >= 1, --t and "
               "--deadline-us >= 0");
+    if (timeout_ms < 0 || retries < 0 || backoff_ms < 0)
+        fatal("--timeout-ms, --retries and --backoff-ms must be >= 0");
 
     serve::Client client;
+    client.setReceiveTimeout(timeout_ms);
     std::string error;
     if (!client.connect(host, static_cast<std::uint16_t>(port),
                         error)) {
@@ -149,21 +195,28 @@ main(int argc, char **argv)
     serve::Client::Options options;
     options.mcSamples = static_cast<std::uint32_t>(t);
     options.deadlineMicros = deadline_us;
+    serve::Client::RetryPolicy policy =
+        serve::Client::RetryPolicy::attempts(
+            static_cast<int>(retries) + 1, backoff_ms);
+    policy.jitterSeed = static_cast<std::uint64_t>(seed);
     const auto reply = client.classify(
         xs.data(), static_cast<std::size_t>(count),
-        static_cast<std::size_t>(dim), options);
+        static_cast<std::size_t>(dim), options, policy);
     if (!reply.ok()) {
-        std::fprintf(stderr, "vibnn_client: classify: %s (%s)\n",
+        std::fprintf(stderr,
+                     "vibnn_client: classify: %s (%s) after %d "
+                     "attempt(s)\n",
                      serve::Client::statusName(reply.status),
-                     reply.message.c_str());
-        return 1;
+                     reply.message.c_str(), reply.attempts);
+        return exitCodeFor(reply.status);
     }
 
     const auto &resp = reply.response;
     std::printf("classified %zu image(s)  T=%u  mean rounds %.1f  "
-                "server %.0f us\n",
+                "server %.0f us  attempts %d%s\n",
                 resp.predictions.size(), resp.mcSamples,
-                resp.meanRounds, resp.serverMicros);
+                resp.meanRounds, resp.serverMicros, reply.attempts,
+                reply.degraded() ? "  [degraded]" : "");
     for (std::size_t i = 0; i < resp.predictions.size(); ++i) {
         const auto &p = resp.predictions[i];
         std::printf("  [%zu] class %u  conf %.3f  entropy %.3f  "

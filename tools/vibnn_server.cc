@@ -50,6 +50,12 @@ usage()
         "  --remote-shutdown loopback|on|off\n"
         "                    honor client Shutdown frames: only from\n"
         "                    a loopback bind (default), always, never\n"
+        "  --watchdog-ms N   shard health watchdog poll interval,\n"
+        "                    0 = off (default 0)\n"
+        "  --brownout        degrade under queue pressure: browned-out\n"
+        "                    shards serve at a reduced T and stamp the\n"
+        "                    response degraded (needs --watchdog-ms)\n"
+        "  --brownout-t N    the reduced ensemble size (default 2)\n"
         "  --program FILE    serve a saved QuantizedProgram instead\n"
         "                    of the synthetic 24-16-4 MLP\n"
         "  --seed N          synthetic-model seed (default 7)\n"
@@ -75,6 +81,8 @@ main(int argc, char **argv)
     std::string remote_shutdown = "loopback";
     int port = 7411;
     long long shards = 1, queue = 256, max_conns = 1024, seed = 7;
+    long long watchdog_ms = 0, brownout_t = 2;
+    bool brownout = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -96,6 +104,12 @@ main(int argc, char **argv)
             program_path = argv[++i];
         else if (arg == "--seed")
             seed = argValue(argc, argv, i);
+        else if (arg == "--watchdog-ms")
+            watchdog_ms = argValue(argc, argv, i);
+        else if (arg == "--brownout")
+            brownout = true;
+        else if (arg == "--brownout-t")
+            brownout_t = argValue(argc, argv, i);
         else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -108,6 +122,11 @@ main(int argc, char **argv)
         fatal("--port must be in [0, 65535]");
     if (shards < 0 || queue < 1 || max_conns < 1)
         fatal("--shards must be >= 0, --queue and --max-conns >= 1");
+    if (watchdog_ms < 0 || brownout_t < 1)
+        fatal("--watchdog-ms must be >= 0, --brownout-t >= 1");
+    if (brownout && watchdog_ms == 0)
+        fatal("--brownout requires --watchdog-ms > 0 (health "
+              "transitions run on the watchdog)");
 
     // The model: a saved deployment image, or the self-contained
     // synthetic MLP (untrained weights — structure and determinism are
@@ -137,6 +156,9 @@ main(int argc, char **argv)
     options.shards = static_cast<std::size_t>(shards);
     options.queueCapacity = static_cast<std::size_t>(queue);
     options.maxConnections = static_cast<std::size_t>(max_conns);
+    options.watchdogMillis = watchdog_ms;
+    options.brownout = brownout;
+    options.brownoutSamples = static_cast<int>(brownout_t);
     if (remote_shutdown == "loopback")
         options.remoteShutdown = serve::RemoteShutdown::LoopbackOnly;
     else if (remote_shutdown == "on")
@@ -182,5 +204,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(stats.images),
                 static_cast<unsigned long long>(stats.rejects),
                 stats.p50Micros, stats.p95Micros, stats.p99Micros);
+    if (stats.retriesObserved > 0 || stats.brownoutPasses > 0 ||
+        stats.watchdogTrips > 0)
+        std::printf(
+            "vibnn_server: retries_observed=%llu brownout_passes=%llu "
+            "watchdog_trips=%llu\n",
+            static_cast<unsigned long long>(stats.retriesObserved),
+            static_cast<unsigned long long>(stats.brownoutPasses),
+            static_cast<unsigned long long>(stats.watchdogTrips));
     return 0;
 }
